@@ -1,0 +1,123 @@
+// Ablation study (DESIGN.md): how much each tableau engineering choice buys.
+// Three switches: the safety fast path (lazy DFS instead of the full graph),
+// branch subsumption, and branching deferral. The workload is the checker's
+// own residuals (grounded FIFO) plus literal-mode Axiom_D satisfiability —
+// the two places the optimizations were designed for.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "checker/extension.h"
+#include "checker/grounding.h"
+#include "ptl/progress.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace {
+
+bench::OrdersFixture& Fixture() {
+  static bench::OrdersFixture* f = new bench::OrdersFixture();
+  return *f;
+}
+
+// Prepares the residual of the FIFO constraint over an n-order history, to be
+// solved with different tableau configurations.
+struct PreparedResidual {
+  std::shared_ptr<ptl::Factory> factory;
+  ptl::Formula residual;
+};
+
+PreparedResidual PrepareFifoResidual(size_t n) {
+  auto& fx = Fixture();
+  History h = fx.MakeHistory(2 * n, n, /*recycle=*/false);
+  auto g = checker::GroundUniversal(*fx.factory, fx.fifo, h);
+  PreparedResidual out;
+  out.factory = g->prop_factory;
+  out.residual = *ptl::ProgressThroughWord(g->prop_factory.get(), g->phi_d, g->word);
+  return out;
+}
+
+void RunConfig(benchmark::State& state, bool fast_path, bool subsumption,
+               bool defer) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PreparedResidual prep = PrepareFifoResidual(n);
+  ptl::TableauOptions opts;
+  opts.use_safety_fast_path = fast_path;
+  opts.use_subsumption = subsumption;
+  opts.defer_branching = defer;
+  opts.max_states = 1u << 16;
+  opts.max_expansions = 1u << 20;  // fail fast if a config explodes
+  ptl::TableauStats stats;
+  for (auto _ : state) {
+    auto res = ptl::CheckSat(prep.factory.get(), prep.residual, opts);
+    if (!res.ok()) {
+      state.SkipWithError(res.status().ToString().c_str());
+      return;
+    }
+    stats = res->stats;
+    benchmark::DoNotOptimize(res->satisfiable);
+  }
+  state.counters["tableau_states"] = static_cast<double>(stats.num_states);
+  state.counters["expansions"] = static_cast<double>(stats.num_expansions);
+}
+
+void BM_Ablation_AllOn(benchmark::State& state) { RunConfig(state, true, true, true); }
+BENCHMARK(BM_Ablation_AllOn)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Ablation_NoFastPath(benchmark::State& state) {
+  RunConfig(state, false, true, true);
+}
+BENCHMARK(BM_Ablation_NoFastPath)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Ablation_NoSubsumption(benchmark::State& state) {
+  RunConfig(state, true, false, true);
+}
+BENCHMARK(BM_Ablation_NoSubsumption)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Ablation_NoDeferral(benchmark::State& state) {
+  RunConfig(state, true, true, false);
+}
+BENCHMARK(BM_Ablation_NoDeferral)->Arg(2)->Arg(4)->Arg(6);
+
+// Literal-mode Axiom_D satisfiability: the workload that motivated deferral +
+// subsumption (the diagram literals must prune the equivalence schemas).
+void RunLiteralConfig(benchmark::State& state, bool subsumption, bool defer) {
+  auto& fx = Fixture();
+  History h = fx.MakeWideHistory(1);
+  checker::GroundingOptions gopts;
+  gopts.mode = checker::GroundingMode::kLiteral;
+  auto g = checker::GroundUniversal(*fx.factory, fx.submit_once, h, {}, gopts);
+  auto residual =
+      *ptl::ProgressThroughWord(g->prop_factory.get(), g->phi_d, g->word);
+  ptl::TableauOptions opts;
+  opts.use_subsumption = subsumption;
+  opts.defer_branching = defer;
+  opts.max_states = 1u << 16;
+  opts.max_expansions = 1u << 20;
+  for (auto _ : state) {
+    auto res = ptl::CheckSat(g->prop_factory.get(), residual, opts);
+    if (!res.ok()) {
+      state.SkipWithError(res.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(res->satisfiable);
+  }
+}
+
+void BM_Ablation_Literal_AllOn(benchmark::State& state) {
+  RunLiteralConfig(state, true, true);
+}
+BENCHMARK(BM_Ablation_Literal_AllOn);
+
+void BM_Ablation_Literal_NoSubsumption(benchmark::State& state) {
+  RunLiteralConfig(state, false, true);
+}
+BENCHMARK(BM_Ablation_Literal_NoSubsumption);
+
+void BM_Ablation_Literal_NoDeferral(benchmark::State& state) {
+  RunLiteralConfig(state, true, false);
+}
+BENCHMARK(BM_Ablation_Literal_NoDeferral);
+
+}  // namespace
+}  // namespace tic

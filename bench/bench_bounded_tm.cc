@@ -1,0 +1,103 @@
+// Experiment E11: the Section 6 lower-bound construction, run forward — the
+// Theorem 4.2 checker deciding space-bounded Turing-machine behaviour. The
+// cost must track both the region size (|R_D| in the exponent-bearing
+// grounding) and the machine's own running time (the tableau's forced chain
+// IS the computation), which is the paper's argument that |R_D| cannot be
+// removed from the exponent.
+
+#include <benchmark/benchmark.h>
+
+#include "checker/extension.h"
+#include "tm/formulas.h"
+
+namespace tic {
+namespace {
+
+void BM_BoundedShuttle_RegionSweep(benchmark::State& state) {
+  size_t region = static_cast<size_t>(state.range(0));
+  tm::TuringMachine shuttle = *tm::MakeShuttleMachine();
+  auto inst = tm::BuildBoundedInstance(shuttle, "", region);
+  if (!inst.ok()) {
+    state.SkipWithError(inst.status().ToString().c_str());
+    return;
+  }
+  checker::CheckResult last;
+  for (auto _ : state) {
+    auto r = checker::CheckPotentialSatisfaction(*inst->factory, inst->phi,
+                                                 inst->history);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    last = *r;
+    benchmark::DoNotOptimize(last.potentially_satisfied);
+  }
+  state.counters["region"] = static_cast<double>(region);
+  state.counters["satisfied"] = last.potentially_satisfied ? 1 : 0;
+  state.counters["phi_d_size"] = static_cast<double>(last.grounding_stats.phi_d_size);
+  state.counters["tableau_states"] =
+      static_cast<double>(last.tableau_stats.num_states);
+}
+BENCHMARK(BM_BoundedShuttle_RegionSweep)->DenseRange(3, 9, 2);
+
+// Longer inputs stretch the shuttle's cycle: the tableau's lasso grows with
+// the machine's period while the region grows only linearly.
+void BM_BoundedShuttle_InputSweep(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::string input(n, '0');
+  tm::TuringMachine shuttle = *tm::MakeShuttleMachine();
+  auto inst = tm::BuildBoundedInstance(shuttle, input, n + 3);
+  if (!inst.ok()) {
+    state.SkipWithError(inst.status().ToString().c_str());
+    return;
+  }
+  checker::CheckResult last;
+  for (auto _ : state) {
+    auto r = checker::CheckPotentialSatisfaction(*inst->factory, inst->phi,
+                                                 inst->history);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    last = *r;
+    benchmark::DoNotOptimize(last.potentially_satisfied);
+  }
+  state.counters["input_len"] = static_cast<double>(n);
+  state.counters["satisfied"] = last.potentially_satisfied ? 1 : 0;
+  state.counters["tableau_states"] =
+      static_cast<double>(last.tableau_stats.num_states);
+}
+BENCHMARK(BM_BoundedShuttle_InputSweep)->DenseRange(1, 5, 2);
+
+// Refutation cost: the binary counter must be simulated until it overflows
+// the region (~2^bits machine steps) before the checker can say NO — the
+// miniature version of "deciding the extension question within time
+// polynomial in D0 would solve SAT in polynomial time".
+void BM_BoundedCounter_Refutation(benchmark::State& state) {
+  size_t region = static_cast<size_t>(state.range(0));
+  tm::TuringMachine counter = *tm::MakeBinaryCounterMachine();
+  auto inst = tm::BuildBoundedInstance(counter, "", region);
+  if (!inst.ok()) {
+    state.SkipWithError(inst.status().ToString().c_str());
+    return;
+  }
+  checker::CheckResult last;
+  for (auto _ : state) {
+    auto r = checker::CheckPotentialSatisfaction(*inst->factory, inst->phi,
+                                                 inst->history);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    last = *r;
+    benchmark::DoNotOptimize(last.potentially_satisfied);
+  }
+  state.counters["region"] = static_cast<double>(region);
+  state.counters["satisfied"] = last.potentially_satisfied ? 1 : 0;
+  state.counters["tableau_states"] =
+      static_cast<double>(last.tableau_stats.num_states);
+}
+BENCHMARK(BM_BoundedCounter_Refutation)->DenseRange(3, 7, 1);
+
+}  // namespace
+}  // namespace tic

@@ -1,0 +1,73 @@
+#ifndef TIC_BENCH_BENCH_COMMON_H_
+#define TIC_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the experiment benches (EXPERIMENTS.md): the Section 2
+// order-processing vocabulary and the paper's two running constraints.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/update.h"
+#include "fotl/factory.h"
+#include "fotl/parser.h"
+
+namespace tic {
+namespace bench {
+
+struct OrdersFixture {
+  VocabularyPtr vocab;
+  PredicateId sub = 0;
+  PredicateId fill = 0;
+  std::shared_ptr<fotl::FormulaFactory> factory;
+  fotl::Formula submit_once = nullptr;  // forall x (k = 1)
+  fotl::Formula fifo = nullptr;         // forall x, y (k = 2)
+
+  OrdersFixture() {
+    auto v = std::make_shared<Vocabulary>();
+    sub = *v->AddPredicate("Sub", 1);
+    fill = *v->AddPredicate("Fill", 1);
+    vocab = v;
+    factory = std::make_shared<fotl::FormulaFactory>(vocab);
+    submit_once =
+        *fotl::Parse(factory.get(), "forall x . G (Sub(x) -> X G !Sub(x))");
+    fifo = *fotl::Parse(factory.get(),
+                        "forall x y . G !(x != y & Sub(x) & ((!Fill(x)) until "
+                        "(Sub(y) & ((!Fill(x)) until (Fill(y) & !Fill(x))))))");
+  }
+
+  // A history of `length` states over `num_orders` distinct orders, FIFO-
+  // consistent: order i is submitted at instant i (mod num_orders when
+  // `recycle`) and filled one instant later. Controls |R_D| and t
+  // independently. With recycle = false, orders are submitted once only
+  // (submit-once stays satisfied); with recycle = true, submissions repeat
+  // forever (FIFO stays satisfied, submit-once does not).
+  History MakeHistory(size_t length, size_t num_orders, bool recycle = true) const {
+    History h = *History::Create(vocab);
+    for (size_t t = 0; t < length; ++t) {
+      DatabaseState* s = h.AppendEmptyState();
+      if (recycle || t < num_orders) {
+        Value now = static_cast<Value>(t % num_orders) + 1;
+        (void)s->Insert(sub, {now});
+      }
+      if (t > 0 && (recycle || t <= num_orders)) {
+        Value prev = static_cast<Value>((t - 1) % num_orders) + 1;
+        (void)s->Insert(fill, {prev});
+      }
+    }
+    return h;
+  }
+
+  // A single-state history naming orders 1..n (controls |R_D| with t = 1).
+  History MakeWideHistory(size_t n) const {
+    History h = *History::Create(vocab);
+    DatabaseState* s = h.AppendEmptyState();
+    for (size_t i = 1; i <= n; ++i) s->Insert(sub, {static_cast<Value>(i)});
+    return h;
+  }
+};
+
+}  // namespace bench
+}  // namespace tic
+
+#endif  // TIC_BENCH_BENCH_COMMON_H_

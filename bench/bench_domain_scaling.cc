@@ -1,0 +1,78 @@
+// Experiment E1 (EXPERIMENTS.md): runtime of the Theorem 4.2 decision
+// procedure as a function of the relevant-set size |R_D|, for k = 1 (submit
+// once) and k = 2 (FIFO). The theory predicts growth like
+// (|phi| * |R_D|)^max(k, l) for grounding plus 2^O(...) for satisfiability —
+// |R_D| sits in the exponent (Section 6 argues it cannot be removed).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "checker/extension.h"
+
+namespace tic {
+namespace {
+
+bench::OrdersFixture& Fixture() {
+  static bench::OrdersFixture* f = new bench::OrdersFixture();
+  return *f;
+}
+
+void BM_SubmitOnce_DomainSweep(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  History h = fx.MakeWideHistory(n);
+  checker::CheckResult last;
+  for (auto _ : state) {
+    auto res = checker::CheckPotentialSatisfaction(*fx.factory, fx.submit_once, h);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    last = *res;
+    benchmark::DoNotOptimize(last.potentially_satisfied);
+  }
+  state.counters["relevant"] = static_cast<double>(last.grounding_stats.relevant_size);
+  state.counters["instances"] = static_cast<double>(last.grounding_stats.num_instances);
+  state.counters["phi_d_size"] = static_cast<double>(last.grounding_stats.phi_d_size);
+  state.counters["tableau_states"] =
+      static_cast<double>(last.tableau_stats.num_states);
+  state.counters["satisfied"] = last.potentially_satisfied ? 1 : 0;
+}
+BENCHMARK(BM_SubmitOnce_DomainSweep)->DenseRange(1, 9, 2)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Fifo_DomainSweep(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  // FIFO-consistent history over n orders (length 2n: each submitted, filled).
+  History h = fx.MakeHistory(2 * n, n, /*recycle=*/false);
+  checker::CheckResult last;
+  for (auto _ : state) {
+    auto res = checker::CheckPotentialSatisfaction(*fx.factory, fx.fifo, h);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    last = *res;
+    benchmark::DoNotOptimize(last.potentially_satisfied);
+  }
+  state.counters["relevant"] = static_cast<double>(last.grounding_stats.relevant_size);
+  state.counters["instances"] = static_cast<double>(last.grounding_stats.num_instances);
+  state.counters["phi_d_size"] = static_cast<double>(last.grounding_stats.phi_d_size);
+  state.counters["tableau_states"] =
+      static_cast<double>(last.tableau_stats.num_states);
+  state.counters["satisfied"] = last.potentially_satisfied ? 1 : 0;
+}
+BENCHMARK(BM_Fifo_DomainSweep)->DenseRange(1, 9, 2)->Arg(12)->Arg(16);
+
+// The violating variant: once the residual collapses, phase 2 is skipped —
+// violations are *cheaper* to certify than satisfaction.
+void BM_SubmitOnce_Violated(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  History h = fx.MakeWideHistory(n);
+  DatabaseState* s = *h.AppendCopyOfLast();  // every order resubmitted
+  (void)s;
+  for (auto _ : state) {
+    auto res = checker::CheckPotentialSatisfaction(*fx.factory, fx.submit_once, h);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    benchmark::DoNotOptimize(res->permanently_violated);
+  }
+}
+BENCHMARK(BM_SubmitOnce_Violated)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tic

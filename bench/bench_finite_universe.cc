@@ -1,0 +1,89 @@
+// Experiment E9: the Section 4 finite-universe example family
+// (W1 & W4 & Q1 & Q4 & inverse-order): models of every finite size but no
+// infinite-universe model. We measure the checker's behaviour as the named
+// chain grows — every prefix is rejected (the z-instances of W4 collapse), and
+// the cost of discovering that grows with the chain.
+
+#include <benchmark/benchmark.h>
+
+#include "checker/extension.h"
+#include "fotl/parser.h"
+
+namespace tic {
+namespace {
+
+struct R7Fixture {
+  VocabularyPtr vocab;
+  PredicateId w = 0, q = 0;
+  std::shared_ptr<fotl::FormulaFactory> factory;
+  fotl::Formula phi = nullptr;
+
+  R7Fixture() {
+    auto v = std::make_shared<Vocabulary>();
+    w = *v->AddPredicate("Wp", 1);
+    q = *v->AddPredicate("Qp", 1);
+    vocab = v;
+    factory = std::make_shared<fotl::FormulaFactory>(vocab);
+    phi = *fotl::Parse(
+        factory.get(),
+        "forall x y . "
+        "(G ((Wp(x) & Wp(y)) -> x = y)) & "
+        "(G ((Qp(x) & Qp(y)) -> x = y)) & "
+        "((!Wp(x)) until (Wp(x) & X G !Wp(x))) & "
+        "((!Qp(x)) until (Qp(x) & X G !Qp(x))) & "
+        "(F (Qp(x) & F Qp(y)) -> F (Wp(y) & F Wp(x)))");
+  }
+
+  // W ascending 1..n, Q descending n..1 over n states: a "finite model" chain.
+  History MakeChain(size_t n) const {
+    History h = *History::Create(vocab);
+    for (size_t t = 0; t < n; ++t) {
+      DatabaseState* s = h.AppendEmptyState();
+      (void)s->Insert(w, {static_cast<Value>(t) + 1});
+      (void)s->Insert(q, {static_cast<Value>(n - t)});
+    }
+    return h;
+  }
+};
+
+R7Fixture& Fixture() {
+  static R7Fixture* f = new R7Fixture();
+  return *f;
+}
+
+void BM_FiniteUniverse_ChainSweep(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  History h = fx.MakeChain(n);
+  checker::CheckOptions opts;
+  opts.require_safety = false;  // the family is deliberately non-safety
+  state.counters["chain"] = static_cast<double>(n);
+  for (auto _ : state) {
+    auto res = checker::CheckPotentialSatisfaction(*fx.factory, fx.phi, h, {}, opts);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    // No infinite-universe model exists: the checker rejects every chain.
+    state.counters["satisfied"] = res->potentially_satisfied ? 1 : 0;
+    benchmark::DoNotOptimize(res->potentially_satisfied);
+  }
+}
+BENCHMARK(BM_FiniteUniverse_ChainSweep)->DenseRange(1, 7, 2)->Arg(10);
+
+// The W1-only part is a genuine safety constraint; it stays checkable and
+// satisfied on the same chains — separating the subformula behaviours.
+void BM_FiniteUniverse_W1Only(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  History h = fx.MakeChain(n);
+  static fotl::Formula w1 = *fotl::Parse(
+      fx.factory.get(), "forall x y . G ((Wp(x) & Wp(y)) -> x = y)");
+  for (auto _ : state) {
+    auto res = checker::CheckPotentialSatisfaction(*fx.factory, w1, h);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    state.counters["satisfied"] = res->potentially_satisfied ? 1 : 0;
+    benchmark::DoNotOptimize(res->potentially_satisfied);
+  }
+}
+BENCHMARK(BM_FiniteUniverse_W1Only)->DenseRange(1, 7, 2)->Arg(10);
+
+}  // namespace
+}  // namespace tic

@@ -1,0 +1,83 @@
+// Experiment E3: the Theorem 4.1 grounding itself — measured |phi_D| against
+// the paper's O((|phi| * |R_D|)^max(k, l)) bound, in both fidelity (kLiteral,
+// with the full Axiom_D) and folded (kSimplified) modes, plus the DAG
+// compression that hash-consing buys.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "checker/grounding.h"
+
+namespace tic {
+namespace {
+
+bench::OrdersFixture& Fixture() {
+  static bench::OrdersFixture* f = new bench::OrdersFixture();
+  return *f;
+}
+
+void RunGrounding(benchmark::State& state, fotl::Formula phi,
+                  checker::GroundingMode mode) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  History h = fx.MakeWideHistory(n);
+  checker::GroundingOptions opts;
+  opts.mode = mode;
+  checker::GroundingStats stats;
+  for (auto _ : state) {
+    auto g = checker::GroundUniversal(*fx.factory, phi, h, {}, opts);
+    if (!g.ok()) {
+      state.SkipWithError(g.status().ToString().c_str());
+      return;
+    }
+    stats = g->stats;
+    benchmark::DoNotOptimize(g->phi_d);
+  }
+  state.counters["relevant"] = static_cast<double>(stats.relevant_size);
+  state.counters["k"] = static_cast<double>(stats.num_external_vars);
+  state.counters["instances"] = static_cast<double>(stats.num_instances);
+  state.counters["phi_d_size"] = static_cast<double>(stats.phi_d_size);
+  state.counters["dag_nodes"] = static_cast<double>(stats.phi_d_dag_nodes);
+  state.counters["letters"] = static_cast<double>(stats.num_prop_letters);
+  double phi_size = static_cast<double>(phi->size());
+  double bound = 1;
+  size_t exponent = std::max<size_t>(stats.num_external_vars, 1);
+  for (size_t i = 0; i < exponent; ++i) {
+    bound *= phi_size * static_cast<double>(stats.relevant_size + 1);
+  }
+  state.counters["paper_bound"] = bound;
+}
+
+void BM_Ground_SubmitOnce_Simplified(benchmark::State& state) {
+  RunGrounding(state, Fixture().submit_once, checker::GroundingMode::kSimplified);
+}
+BENCHMARK(BM_Ground_SubmitOnce_Simplified)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Ground_SubmitOnce_Literal(benchmark::State& state) {
+  RunGrounding(state, Fixture().submit_once, checker::GroundingMode::kLiteral);
+}
+BENCHMARK(BM_Ground_SubmitOnce_Literal)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Ground_Fifo_Simplified(benchmark::State& state) {
+  RunGrounding(state, Fixture().fifo, checker::GroundingMode::kSimplified);
+}
+BENCHMARK(BM_Ground_Fifo_Simplified)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Ground_Fifo_Literal(benchmark::State& state) {
+  RunGrounding(state, Fixture().fifo, checker::GroundingMode::kLiteral);
+}
+BENCHMARK(BM_Ground_Fifo_Literal)->Arg(2)->Arg(8);
+
+// k = 3 sweep: the exponent dominates (a three-variable mutual-exclusion
+// constraint).
+void BM_Ground_ThreeVars(benchmark::State& state) {
+  auto& fx = Fixture();
+  static fotl::Formula three = *fotl::Parse(
+      fx.factory.get(),
+      "forall x y z . G !(x != y & y != z & x != z & Sub(x) & Sub(y) & Sub(z))");
+  RunGrounding(state, three, checker::GroundingMode::kSimplified);
+}
+BENCHMARK(BM_Ground_ThreeVars)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace tic

@@ -1,0 +1,88 @@
+// Experiment E2: runtime as a function of the history length t with the
+// relevant set held fixed. Lemma 4.2 phase 1 is O(t * |phi_D|); phase 2 does
+// not depend on t at all, so total time must grow linearly in t. The
+// incremental monitor turns that into O(|phi_D|) amortized per update.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "checker/extension.h"
+#include "checker/monitor.h"
+
+namespace tic {
+namespace {
+
+bench::OrdersFixture& Fixture() {
+  static bench::OrdersFixture* f = new bench::OrdersFixture();
+  return *f;
+}
+
+// Batch re-check of the whole history: linear in t.
+void BM_Fifo_HistorySweep(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t t = static_cast<size_t>(state.range(0));
+  History h = fx.MakeHistory(t, /*num_orders=*/4, /*recycle=*/true);
+  checker::CheckResult last;
+  for (auto _ : state) {
+    auto res = checker::CheckPotentialSatisfaction(*fx.factory, fx.fifo, h);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    last = *res;
+    benchmark::DoNotOptimize(last.potentially_satisfied);
+  }
+  state.counters["t"] = static_cast<double>(t);
+  state.counters["relevant"] = static_cast<double>(last.grounding_stats.relevant_size);
+  state.counters["residual_size"] = static_cast<double>(last.residual_size);
+  state.counters["satisfied"] = last.potentially_satisfied ? 1 : 0;
+  state.SetComplexityN(static_cast<int64_t>(t));
+}
+BENCHMARK(BM_Fifo_HistorySweep)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+// Incremental monitoring: per-update cost stays flat as the history grows.
+void BM_Fifo_MonitorPerUpdate(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t warmup = static_cast<size_t>(state.range(0));
+  auto monitor = *checker::Monitor::Create(fx.factory, fx.fifo);
+  // Grow the history to `warmup` states first.
+  size_t n = 4;
+  for (size_t t = 0; t < warmup; ++t) {
+    Transaction txn;
+    txn.push_back(UpdateOp::Insert(fx.sub, {static_cast<Value>(t % n) + 1}));
+    if (t > 0) {
+      txn.push_back(UpdateOp::Insert(fx.fill, {static_cast<Value>((t - 1) % n) + 1}));
+      txn.push_back(UpdateOp::Delete(fx.sub, {static_cast<Value>((t - 1) % n) + 1}));
+      if (t > 1) {
+        txn.push_back(
+            UpdateOp::Delete(fx.fill, {static_cast<Value>((t - 2) % n) + 1}));
+      }
+    }
+    auto v = monitor->ApplyTransaction(txn);
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+  }
+  size_t t = warmup;
+  for (auto _ : state) {
+    Transaction txn;
+    txn.push_back(UpdateOp::Insert(fx.sub, {static_cast<Value>(t % n) + 1}));
+    txn.push_back(UpdateOp::Insert(fx.fill, {static_cast<Value>((t - 1) % n) + 1}));
+    txn.push_back(UpdateOp::Delete(fx.sub, {static_cast<Value>((t - 1) % n) + 1}));
+    txn.push_back(UpdateOp::Delete(fx.fill, {static_cast<Value>((t - 2) % n) + 1}));
+    auto v = monitor->ApplyTransaction(txn);
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(v->potentially_satisfied);
+    ++t;
+  }
+  state.counters["start_length"] = static_cast<double>(warmup);
+  state.counters["end_length"] = static_cast<double>(monitor->history().length());
+}
+BENCHMARK(BM_Fifo_MonitorPerUpdate)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace tic

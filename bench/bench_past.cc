@@ -1,0 +1,117 @@
+// Experiment E10: the Past FOTL baseline in isolation — per-update cost as a
+// function of history length (flat: the history-less property, Proposition
+// 2.1's G-past constraints are linear-time checkable) and of the relevant-set
+// size (polynomial: auxiliary tables are |M|^vars).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "past/past_monitor.h"
+
+namespace tic {
+namespace {
+
+bench::OrdersFixture& Fixture() {
+  static bench::OrdersFixture* f = new bench::OrdersFixture();
+  return *f;
+}
+
+Transaction CycleTxn(const bench::OrdersFixture& fx, size_t t, size_t n) {
+  Transaction txn;
+  txn.push_back(UpdateOp::Insert(fx.sub, {static_cast<Value>(t % n) + 1}));
+  if (t > 0) {
+    txn.push_back(UpdateOp::Insert(fx.fill, {static_cast<Value>((t - 1) % n) + 1}));
+    txn.push_back(UpdateOp::Delete(fx.sub, {static_cast<Value>((t - 1) % n) + 1}));
+    if (t > 1) {
+      txn.push_back(UpdateOp::Delete(fx.fill, {static_cast<Value>((t - 2) % n) + 1}));
+    }
+  }
+  return txn;
+}
+
+// Per-update cost after histories of very different lengths: must be flat.
+void BM_Past_HistoryIndependence(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t warmup = static_cast<size_t>(state.range(0));
+  static fotl::Formula policy = *fotl::Parse(
+      fx.factory.get(), "forall x . G (Fill(x) -> O Sub(x))");
+  auto monitor = *past::PastMonitor::Create(fx.factory, policy);
+  size_t t = 0;
+  for (size_t i = 0; i < warmup; ++i) {
+    auto v = monitor->ApplyTransaction(CycleTxn(fx, t++, 4));
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto v = monitor->ApplyTransaction(CycleTxn(fx, t++, 4));
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(v->satisfied);
+  }
+  state.counters["start_length"] = static_cast<double>(warmup);
+  state.counters["aux_state"] = static_cast<double>(monitor->AuxiliaryStateSize());
+}
+BENCHMARK(BM_Past_HistoryIndependence)->Arg(0)->Arg(64)->Arg(512)->Arg(4096);
+
+// Per-update cost vs relevant-set size (table width |M|^vars).
+void BM_Past_DomainSweep(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  static fotl::Formula policy = *fotl::Parse(
+      fx.factory.get(), "forall x . G (Fill(x) -> O Sub(x))");
+  auto monitor = *past::PastMonitor::Create(fx.factory, policy);
+  size_t t = 0;
+  for (size_t i = 0; i < n + 2; ++i) {
+    auto v = monitor->ApplyTransaction(CycleTxn(fx, t++, n));
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto v = monitor->ApplyTransaction(CycleTxn(fx, t++, n));
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(v->satisfied);
+  }
+  state.counters["orders"] = static_cast<double>(n);
+  state.counters["aux_state"] = static_cast<double>(monitor->AuxiliaryStateSize());
+}
+BENCHMARK(BM_Past_DomainSweep)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// A two-variable past constraint: quadratic tables.
+void BM_Past_TwoVarTables(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  static fotl::Formula policy = *fotl::Parse(
+      fx.factory.get(),
+      "forall x y . G ((Fill(x) & Fill(y)) -> x = y | O (Sub(x) & Sub(y)))");
+  auto monitor = *past::PastMonitor::Create(fx.factory, policy);
+  size_t t = 0;
+  for (size_t i = 0; i < n + 2; ++i) {
+    auto v = monitor->ApplyTransaction(CycleTxn(fx, t++, n));
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto v = monitor->ApplyTransaction(CycleTxn(fx, t++, n));
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(v->satisfied);
+  }
+  state.counters["aux_state"] = static_cast<double>(monitor->AuxiliaryStateSize());
+}
+BENCHMARK(BM_Past_TwoVarTables)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace tic

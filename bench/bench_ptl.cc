@@ -1,0 +1,157 @@
+// Experiment E4: the two phases of Lemma 4.2 in isolation.
+// Phase 1 (Sistla–Wolfson rewriting / progression) must cost O(t * |psi|);
+// phase 2 (satisfiability) is 2^O(|psi|) in the worst case, with the safety
+// fast path collapsing to a cheap DFS on safety formulas.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "ptl/formula.h"
+#include "ptl/progress.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace {
+
+struct PtlFixture {
+  ptl::PropVocabularyPtr vocab = std::make_shared<ptl::PropVocabulary>();
+  ptl::Factory factory{vocab};
+  std::vector<ptl::Formula> atoms;
+
+  PtlFixture() {
+    for (int i = 0; i < 16; ++i) {
+      atoms.push_back(factory.Atom(vocab->Intern("p" + std::to_string(i))));
+    }
+  }
+
+  // /\_{i<n} G (p_i -> X G !p_i): n independent safety conjuncts.
+  ptl::Formula SafetyConjunction(size_t n) {
+    ptl::Formula acc = factory.True();
+    for (size_t i = 0; i < n; ++i) {
+      ptl::Formula p = atoms[i % atoms.size()];
+      acc = factory.And(
+          acc, factory.Always(factory.Implies(
+                   p, factory.Next(factory.Always(factory.Not(p))))));
+    }
+    return acc;
+  }
+
+  // /\_{i<n} (p_i U p_{i+1}): n interleaved eventualities (full tableau path).
+  ptl::Formula UntilConjunction(size_t n) {
+    ptl::Formula acc = factory.True();
+    for (size_t i = 0; i < n; ++i) {
+      acc = factory.And(acc, factory.Until(atoms[i % atoms.size()],
+                                           atoms[(i + 1) % atoms.size()]));
+    }
+    return acc;
+  }
+
+  // A random word prefix where letter i holds at instant t iff (t + i) % 3 == 0.
+  ptl::Word MakeWord(size_t t) {
+    ptl::Word w;
+    for (size_t j = 0; j < t; ++j) {
+      ptl::PropState s;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if ((j + i) % 3 == 0) s.Set(atoms[i]->atom(), true);
+      }
+      w.push_back(std::move(s));
+    }
+    return w;
+  }
+};
+
+PtlFixture& Fixture() {
+  static PtlFixture* f = new PtlFixture();
+  return *f;
+}
+
+// Phase 1: progression through a prefix of length t (linear in t).
+void BM_Progression_PrefixLength(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t t = static_cast<size_t>(state.range(0));
+  ptl::Formula psi = fx.SafetyConjunction(6);
+  ptl::Word w = fx.MakeWord(t);
+  for (auto _ : state) {
+    auto res = ptl::ProgressThroughWord(&fx.factory, psi, w);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    benchmark::DoNotOptimize(*res);
+  }
+  state.SetComplexityN(static_cast<int64_t>(t));
+}
+BENCHMARK(BM_Progression_PrefixLength)
+    ->RangeMultiplier(4)
+    ->Range(4, 4096)
+    ->Complexity(benchmark::oN);
+
+// Phase 1: progression vs formula size (linear in |psi|).
+void BM_Progression_FormulaSize(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  ptl::Formula psi = fx.SafetyConjunction(n);
+  ptl::Word w = fx.MakeWord(64);
+  for (auto _ : state) {
+    auto res = ptl::ProgressThroughWord(&fx.factory, psi, w);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    benchmark::DoNotOptimize(*res);
+  }
+  state.counters["formula_size"] = static_cast<double>(psi->size());
+}
+BENCHMARK(BM_Progression_FormulaSize)->DenseRange(2, 14, 4);
+
+// Phase 2, general path: interleaved Untils blow up exponentially.
+void BM_Tableau_UntilChain(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  ptl::Formula psi = fx.UntilConjunction(n);
+  ptl::TableauStats stats;
+  for (auto _ : state) {
+    auto res = ptl::CheckSat(&fx.factory, psi);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    stats = res->stats;
+    benchmark::DoNotOptimize(res->satisfiable);
+  }
+  state.counters["tableau_states"] = static_cast<double>(stats.num_states);
+  state.counters["formula_size"] = static_cast<double>(psi->size());
+}
+BENCHMARK(BM_Tableau_UntilChain)->DenseRange(1, 9, 1);
+
+// Phase 2, safety fast path: the same growth pattern but eventuality-free —
+// the lazy DFS finds a model without materializing the graph.
+void BM_Tableau_SafetyFastPath(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  ptl::Formula psi = fx.SafetyConjunction(n);
+  ptl::TableauStats stats;
+  for (auto _ : state) {
+    auto res = ptl::CheckSat(&fx.factory, psi);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    stats = res->stats;
+    benchmark::DoNotOptimize(res->satisfiable);
+  }
+  state.counters["tableau_states"] = static_cast<double>(stats.num_states);
+  state.counters["formula_size"] = static_cast<double>(psi->size());
+}
+BENCHMARK(BM_Tableau_SafetyFastPath)->DenseRange(2, 14, 4);
+
+// Unsatisfiable inputs: the complement side of phase 2.
+void BM_Tableau_Unsat(benchmark::State& state) {
+  auto& fx = Fixture();
+  size_t n = static_cast<size_t>(state.range(0));
+  // (p0 U p1) & ... & G !p1 ... forcing failure of the first eventualities.
+  ptl::Formula psi = fx.UntilConjunction(n);
+  for (size_t i = 1; i <= n; ++i) {
+    psi = fx.factory.And(
+        psi, fx.factory.Always(fx.factory.Not(fx.atoms[i % fx.atoms.size()])));
+  }
+  for (auto _ : state) {
+    auto res = ptl::CheckSat(&fx.factory, psi);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    benchmark::DoNotOptimize(res->satisfiable);
+  }
+}
+BENCHMARK(BM_Tableau_Unsat)->DenseRange(1, 7, 2);
+
+}  // namespace
+}  // namespace tic

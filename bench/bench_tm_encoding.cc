@@ -1,0 +1,81 @@
+// Experiment E7: cost and size of the Section 3 constructions — the appendix
+// formula phi and the W-relativized phi-tilde — as the machine grows. The
+// theory predicts polynomial sizes in |Q| x |Sigma| (the reduction is
+// effective and cheap; it is the *decision problem* that is hard).
+
+#include <benchmark/benchmark.h>
+
+#include "tm/formulas.h"
+
+namespace tic {
+namespace {
+
+// A chain machine with n working states: q0 marks, then walks right through
+// q1..q_{n-1}, looping forever (never returning). Scales |Q| while keeping
+// |Sigma| fixed.
+Result<tm::TuringMachine> MakeChainMachine(size_t n) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) names.push_back("q" + std::to_string(i));
+  TIC_ASSIGN_OR_RETURN(tm::TuringMachine m,
+                       tm::TuringMachine::Create(names, {'0', '1', 'B'}));
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t next = static_cast<uint32_t>((i + 1) % n);
+    for (char c : {'0', '1', 'B'}) {
+      TIC_RETURN_NOT_OK(m.AddTransition(static_cast<uint32_t>(i), c, next, c,
+                                        tm::Dir::kRight));
+    }
+  }
+  return m;
+}
+
+void BM_BuildPhi(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  tm::TuringMachine machine = *MakeChainMachine(n);
+  tm::TmEncoding enc = *tm::TmEncoding::Create(&machine);
+  uint64_t size = 0;
+  for (auto _ : state) {
+    auto f = tm::BuildPhi(enc);
+    if (!f.ok()) state.SkipWithError(f.status().ToString().c_str());
+    size = f->phi->size();
+    benchmark::DoNotOptimize(f->phi);
+  }
+  state.counters["states"] = static_cast<double>(n);
+  state.counters["transitions"] = static_cast<double>(machine.transitions().size());
+  state.counters["phi_size"] = static_cast<double>(size);
+}
+BENCHMARK(BM_BuildPhi)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BuildPhiTilde(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  tm::TuringMachine machine = *MakeChainMachine(n);
+  tm::TmEncoding enc = *tm::TmEncoding::Create(&machine, /*with_w=*/true);
+  uint64_t size = 0;
+  for (auto _ : state) {
+    auto f = tm::BuildPhiTilde(enc);
+    if (!f.ok()) state.SkipWithError(f.status().ToString().c_str());
+    size = f->phi_tilde->size();
+    benchmark::DoNotOptimize(f->phi_tilde);
+  }
+  state.counters["states"] = static_cast<double>(n);
+  state.counters["phi_tilde_size"] = static_cast<double>(size);
+}
+BENCHMARK(BM_BuildPhiTilde)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EncodeComputation(benchmark::State& state) {
+  size_t steps = static_cast<size_t>(state.range(0));
+  tm::TuringMachine machine = *tm::MakeBinaryCounterMachine();
+  tm::TmEncoding enc = *tm::TmEncoding::Create(&machine);
+  for (auto _ : state) {
+    auto h = enc.EncodeComputation("", steps);
+    if (!h.ok()) state.SkipWithError(h.status().ToString().c_str());
+    benchmark::DoNotOptimize(h->length());
+  }
+  state.SetComplexityN(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_EncodeComputation)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace tic

@@ -1,0 +1,90 @@
+// Experiment E8: bounded exploration of the repeating-behaviour problem
+// (Theorem 3.1's semi-decision structure). Qualitative shape: origin-visit
+// counts grow without bound only for genuinely repeating machines; halting
+// machines are refuted instantly; non-returning machines stay undecided at
+// one visit no matter the budget. The dovetailing schema of Lemma 3.1 shows
+// the same trichotomy at the relation level.
+
+#include <benchmark/benchmark.h>
+
+#include "tm/explorer.h"
+
+namespace tic {
+namespace {
+
+void BM_Explore_Shuttle(benchmark::State& state) {
+  tm::TuringMachine m = *tm::MakeShuttleMachine();
+  size_t budget = static_cast<size_t>(state.range(0));
+  size_t visits = 0;
+  for (auto _ : state) {
+    auto r = tm::ExploreRepeating(m, "0101", budget);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    visits = r->origin_visits;
+    benchmark::DoNotOptimize(visits);
+  }
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["origin_visits"] = static_cast<double>(visits);
+}
+BENCHMARK(BM_Explore_Shuttle)->RangeMultiplier(4)->Range(256, 262144);
+
+void BM_Explore_BinaryCounter(benchmark::State& state) {
+  tm::TuringMachine m = *tm::MakeBinaryCounterMachine();
+  size_t budget = static_cast<size_t>(state.range(0));
+  size_t visits = 0;
+  for (auto _ : state) {
+    auto r = tm::ExploreRepeating(m, "", budget);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    visits = r->origin_visits;
+    benchmark::DoNotOptimize(visits);
+  }
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["origin_visits"] = static_cast<double>(visits);
+}
+BENCHMARK(BM_Explore_BinaryCounter)->RangeMultiplier(4)->Range(256, 262144);
+
+void BM_Explore_RightWalker(benchmark::State& state) {
+  tm::TuringMachine m = *tm::MakeRightWalkerMachine();
+  size_t budget = static_cast<size_t>(state.range(0));
+  size_t visits = 0;
+  for (auto _ : state) {
+    auto r = tm::ExploreRepeating(m, "01", budget);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    visits = r->origin_visits;  // stays 1 forever: undecided, not refuted
+    benchmark::DoNotOptimize(visits);
+  }
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["origin_visits"] = static_cast<double>(visits);
+}
+BENCHMARK(BM_Explore_RightWalker)->RangeMultiplier(4)->Range(256, 262144);
+
+void BM_Explore_Halting(benchmark::State& state) {
+  tm::TuringMachine m = *tm::MakeImmediateHaltMachine();
+  for (auto _ : state) {
+    auto r = tm::ExploreRepeating(m, "0101", 1u << 20);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->verdict);  // refuted in O(1)
+  }
+}
+BENCHMARK(BM_Explore_Halting);
+
+// Lemma 3.1 schema: probes-per-visit reflects witness sparsity.
+void BM_Dovetail(benchmark::State& state) {
+  uint64_t sparsity = static_cast<uint64_t>(state.range(0));
+  uint64_t visits = 0;
+  for (auto _ : state) {
+    tm::DovetailingMachine m(
+        [sparsity](const std::string&, uint64_t v, uint64_t u) {
+          return u == sparsity * v;
+        },
+        "w");
+    m.Run(100000);
+    visits = m.progress().origin_visits;
+    benchmark::DoNotOptimize(visits);
+  }
+  state.counters["witness_sparsity"] = static_cast<double>(sparsity);
+  state.counters["visits_per_100k_probes"] = static_cast<double>(visits);
+}
+BENCHMARK(BM_Dovetail)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tic

@@ -1,0 +1,135 @@
+#include "checker/analysis.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "ptl/formula.h"
+#include "ptl/safety.h"
+
+namespace tic {
+namespace checker {
+
+namespace {
+
+// Abstracts every first-order atom of a biquantified body to a propositional
+// letter; safety depends only on the temporal skeleton.
+ptl::Formula Skeletonize(fotl::Formula f, ptl::Factory* pf,
+                         ptl::PropVocabulary* vocab,
+                         std::unordered_map<fotl::Formula, ptl::Formula>* atoms) {
+  using fotl::NodeKind;
+  switch (f->kind()) {
+    case NodeKind::kTrue:
+      return pf->True();
+    case NodeKind::kFalse:
+      return pf->False();
+    case NodeKind::kEquals:
+    case NodeKind::kAtom:
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      // Internal FO blocks (if any) are state formulas: one letter each.
+      auto it = atoms->find(f);
+      if (it != atoms->end()) return it->second;
+      ptl::Formula letter =
+          pf->Atom(vocab->Intern("skel#" + std::to_string(atoms->size())));
+      atoms->emplace(f, letter);
+      return letter;
+    }
+    case NodeKind::kNot:
+      return pf->Not(Skeletonize(f->child(0), pf, vocab, atoms));
+    case NodeKind::kNext:
+      return pf->Next(Skeletonize(f->child(0), pf, vocab, atoms));
+    case NodeKind::kEventually:
+      return pf->Eventually(Skeletonize(f->child(0), pf, vocab, atoms));
+    case NodeKind::kAlways:
+      return pf->Always(Skeletonize(f->child(0), pf, vocab, atoms));
+    case NodeKind::kAnd:
+      return pf->And(Skeletonize(f->lhs(), pf, vocab, atoms),
+                     Skeletonize(f->rhs(), pf, vocab, atoms));
+    case NodeKind::kOr:
+      return pf->Or(Skeletonize(f->lhs(), pf, vocab, atoms),
+                    Skeletonize(f->rhs(), pf, vocab, atoms));
+    case NodeKind::kImplies:
+      return pf->Implies(Skeletonize(f->lhs(), pf, vocab, atoms),
+                         Skeletonize(f->rhs(), pf, vocab, atoms));
+    case NodeKind::kUntil:
+      return pf->Until(Skeletonize(f->lhs(), pf, vocab, atoms),
+                       Skeletonize(f->rhs(), pf, vocab, atoms));
+    default:
+      // Past connectives: unreachable on future-only bodies; conservative.
+      return pf->True();
+  }
+}
+
+}  // namespace
+
+const char* CheckabilityToString(Checkability c) {
+  switch (c) {
+    case Checkability::kUniversalSafety:
+      return "universal-safety (Theorem 4.2)";
+    case Checkability::kPastAlways:
+      return "always-past (history-less baseline)";
+    case Checkability::kUniversalNonSafety:
+      return "universal-non-safety (heuristic only)";
+    case Checkability::kUndecidableFragment:
+      return "undecidable fragment (Theorem 3.2)";
+    case Checkability::kUnsupported:
+      return "unsupported";
+  }
+  return "unknown";
+}
+
+ConstraintReport AnalyzeConstraint(const fotl::FormulaFactory& factory,
+                                   fotl::Formula constraint) {
+  (void)factory;
+  ConstraintReport report;
+  report.classification = fotl::Classify(constraint);
+  const fotl::Classification& c = report.classification;
+
+  // Safety of the tense skeleton (meaningful for future-only bodies).
+  if (c.future_only) {
+    auto vocab = std::make_shared<ptl::PropVocabulary>();
+    ptl::Factory pf(vocab);
+    std::unordered_map<fotl::Formula, ptl::Formula> atoms;
+    std::vector<fotl::VarId> prefix;
+    fotl::Formula body = nullptr;
+    fotl::StripUniversalPrefix(constraint, &prefix, &body);
+    ptl::Formula skeleton = Skeletonize(body, &pf, vocab.get(), &atoms);
+    report.syntactically_safe = ptl::IsSyntacticallySafe(&pf, skeleton);
+  }
+
+  if (c.is_always_past) {
+    report.checkability = Checkability::kPastAlways;
+    report.explanation =
+        "G A with A a past formula: always a safety property (Proposition "
+        "2.1); use PastMonitor for linear-time history-less checking, or "
+        "rewrite into the future fragment for potential satisfaction.";
+  } else if (!c.biquantified) {
+    report.checkability = Checkability::kUnsupported;
+    report.explanation =
+        "not biquantified: either past/future tenses are mixed, or a "
+        "quantifier has a temporal operator in its scope, or the external "
+        "prefix is not purely universal (Section 2's fragment definitions).";
+  } else if (c.num_internal_quantifiers > 0) {
+    report.checkability = Checkability::kUndecidableFragment;
+    report.explanation =
+        "biquantified with internal quantifiers: the extension problem for "
+        "forall* tense(Sigma_1) is Sigma^0_2-complete (Theorem 3.2); no "
+        "checking algorithm exists.";
+  } else if (report.syntactically_safe) {
+    report.checkability = Checkability::kUniversalSafety;
+    report.explanation =
+        "universal safety sentence: potential satisfaction decidable in "
+        "exponential time (Theorem 4.2); use ExtensionChecker or Monitor.";
+  } else {
+    report.checkability = Checkability::kUniversalNonSafety;
+    report.explanation =
+        "universal but not (syntactically) safe: Lemma 4.1 fails for "
+        "non-safety sentences, so the Theorem 4.2 reduction is unsound here; "
+        "the checker only proceeds with require_safety=false, and its answers "
+        "are conservative about unnamed elements.";
+  }
+  return report;
+}
+
+}  // namespace checker
+}  // namespace tic

@@ -1,0 +1,53 @@
+#ifndef TIC_CHECKER_ANALYSIS_H_
+#define TIC_CHECKER_ANALYSIS_H_
+
+#include <string>
+
+#include "fotl/classify.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace checker {
+
+/// \brief Which checking technology (if any) can handle a constraint — the
+/// practical summary of the paper's decidability map.
+enum class Checkability {
+  /// Universal safety sentence: exact potential satisfaction via Theorem 4.2
+  /// (ExtensionChecker / Monitor).
+  kUniversalSafety,
+  /// `forall* G A` with A past: the history-less baseline (PastMonitor),
+  /// classical (non-potential) semantics, linear time.
+  kPastAlways,
+  /// Universal but with eventualities: outside the safety fragment; Lemma 4.1
+  /// fails, so only heuristic checking with require_safety=false is possible.
+  kUniversalNonSafety,
+  /// Biquantified with internal quantifiers (forall* tense(Sigma_n), n >= 1):
+  /// the extension problem is undecidable (Theorem 3.2 for n = 1).
+  kUndecidableFragment,
+  /// Not biquantified at all (mixed tenses, quantifiers over temporal scopes).
+  kUnsupported,
+};
+
+/// \brief Structured constraint report: fragment classification + safety
+/// analysis + engine recommendation, with a human-readable explanation that
+/// cites the relevant paper results.
+struct ConstraintReport {
+  fotl::Classification classification;
+  /// Syntactic safety of the tense skeleton (atoms abstracted to letters) —
+  /// the Section 6 conjecture used as a sound gate.
+  bool syntactically_safe = false;
+  Checkability checkability = Checkability::kUnsupported;
+  std::string explanation;
+};
+
+/// \brief Analyzes a closed constraint and recommends a checking engine.
+ConstraintReport AnalyzeConstraint(const fotl::FormulaFactory& factory,
+                                   fotl::Formula constraint);
+
+/// \brief Short name for a checkability verdict.
+const char* CheckabilityToString(Checkability c);
+
+}  // namespace checker
+}  // namespace tic
+
+#endif  // TIC_CHECKER_ANALYSIS_H_

@@ -1,0 +1,65 @@
+#ifndef TIC_CHECKER_EXTENSION_H_
+#define TIC_CHECKER_EXTENSION_H_
+
+#include <optional>
+
+#include "checker/grounding.h"
+#include "common/result.h"
+#include "db/history.h"
+#include "fotl/evaluator.h"
+#include "fotl/factory.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace checker {
+
+/// \brief Options for the Theorem 4.2 decision procedure.
+struct CheckOptions {
+  GroundingOptions grounding;
+  ptl::TableauOptions tableau;
+  /// Require the constraint to pass the syntactic safety test after grounding
+  /// (Section 4's results are stated for safety sentences; Lemma 4.1 fails
+  /// without safety, e.g. for `forall x . F p(x)`). Disable only for
+  /// experiments that deliberately probe non-safety behaviour.
+  bool require_safety = true;
+  /// Produce a decoded witness extension when the answer is YES.
+  bool want_witness = true;
+};
+
+/// \brief Outcome of a potential-satisfaction check.
+struct CheckResult {
+  /// The paper's verdict: the history is in Pref(phi) — it has an infinite
+  /// extension satisfying phi.
+  bool potentially_satisfied = false;
+
+  /// When potentially satisfied and want_witness: a concrete ultimately
+  /// periodic extension (the full infinite database: the history states
+  /// followed by the decoded future evolution). Its prefix of length
+  /// |history| equals the history (Theorem 4.1 decoding direction).
+  std::optional<UltimatelyPeriodicDb> witness;
+
+  /// True when the residual collapsed to `false` during the prefix rewriting
+  /// phase: the violation is *permanent*, i.e. no earlier verdict could have
+  /// been different from this instant on (the safety property at work).
+  bool permanently_violated = false;
+
+  GroundingStats grounding_stats;
+  ptl::TableauStats tableau_stats;
+  uint64_t residual_size = 0;  ///< |residual| after phase 1
+};
+
+/// \brief Decides whether `history` can be extended to an infinite temporal
+/// database satisfying the universal safety sentence `phi` (Theorem 4.2):
+/// ground (Theorem 4.1), rewrite through the prefix (Lemma 4.2 phase 1),
+/// decide satisfiability of the residual (phase 2), decode the witness.
+///
+/// `binding` pre-binds free variables of `phi` (trigger duality, Section 2).
+Result<CheckResult> CheckPotentialSatisfaction(
+    const fotl::FormulaFactory& fotl_factory, fotl::Formula phi,
+    const History& history, const fotl::Valuation& binding = {},
+    const CheckOptions& options = {});
+
+}  // namespace checker
+}  // namespace tic
+
+#endif  // TIC_CHECKER_EXTENSION_H_

@@ -1,0 +1,425 @@
+#include "checker/grounding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/hash.h"
+
+namespace tic {
+namespace checker {
+
+namespace {
+
+using fotl::NodeKind;
+
+bool HasBuiltinAtom(const Vocabulary& vocab, fotl::Formula f) {
+  if (f->kind() == NodeKind::kAtom &&
+      vocab.predicate(f->predicate()).builtin != Builtin::kNone) {
+    return true;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (f->child(i) != nullptr && HasBuiltinAtom(vocab, f->child(i))) return true;
+  }
+  return false;
+}
+
+// Environment: ground element for each variable id mentioned by the matrix.
+using Env = std::unordered_map<fotl::VarId, GroundElem>;
+
+struct MemoKey {
+  fotl::Formula f;
+  std::vector<Value> env;  // codes of f's free vars, in sorted-var order
+  bool operator==(const MemoKey& o) const { return f == o.f && env == o.env; }
+};
+struct MemoKeyHash {
+  size_t operator()(const MemoKey& k) const {
+    size_t seed = reinterpret_cast<size_t>(k.f);
+    for (Value v : k.env) HashCombine(&seed, std::hash<Value>{}(v));
+    return seed;
+  }
+};
+
+struct LetterKey {
+  uint32_t pred;  // predicate id, or UINT32_MAX for equality letters
+  std::vector<Value> codes;
+  bool operator==(const LetterKey& o) const {
+    return pred == o.pred && codes == o.codes;
+  }
+};
+struct LetterKeyHash {
+  size_t operator()(const LetterKey& k) const {
+    size_t seed = k.pred;
+    for (Value v : k.codes) HashCombine(&seed, std::hash<Value>{}(v));
+    return seed;
+  }
+};
+
+class Grounder {
+ public:
+  Grounder(const fotl::FormulaFactory& fotl_factory, const History& history,
+           const GroundingOptions& options)
+      : ffac_(fotl_factory), history_(history), options_(options) {
+    out_.prop_vocab = std::make_shared<ptl::PropVocabulary>();
+    out_.prop_factory = std::make_shared<ptl::Factory>(out_.prop_vocab);
+  }
+
+  Result<Grounding> Run(fotl::Formula phi, const fotl::Valuation& binding) {
+    TIC_RETURN_NOT_OK(Validate(phi, binding));
+
+    // R_D plus any bound values.
+    out_.relevant = history_.RelevantSet();
+    for (const auto& [var, value] : binding) {
+      (void)var;
+      if (!std::binary_search(out_.relevant.begin(), out_.relevant.end(), value)) {
+        out_.relevant.insert(
+            std::upper_bound(out_.relevant.begin(), out_.relevant.end(), value),
+            value);
+      }
+    }
+
+    std::vector<fotl::VarId> external;
+    fotl::Formula matrix = nullptr;
+    fotl::StripUniversalPrefix(phi, &external, &matrix);
+    out_.num_z = external.size();
+    out_.stats.relevant_size = out_.relevant.size();
+    out_.stats.num_external_vars = external.size();
+
+    // M = R_D ∪ {z_1,...,z_k}.
+    std::vector<GroundElem> m;
+    m.reserve(out_.relevant.size() + out_.num_z);
+    for (Value v : out_.relevant) m.push_back(GroundElem::Relevant(v));
+    for (size_t i = 0; i < out_.num_z; ++i) m.push_back(GroundElem::Z(i));
+    if (m.empty()) m.push_back(GroundElem::Z(0));  // degenerate: no elements at all
+
+    // Instance budget |M|^k.
+    double instances = std::pow(static_cast<double>(m.size()),
+                                static_cast<double>(external.size()));
+    if (instances > static_cast<double>(options_.max_instances)) {
+      return Status::ResourceExhausted(
+          "grounding would need " + std::to_string(instances) + " instances (cap " +
+          std::to_string(options_.max_instances) + ")");
+    }
+
+    // Phi_D = conjunction over all maps f of psi[f].
+    Env env;
+    for (const auto& [var, value] : binding) {
+      env[var] = GroundElem::Relevant(value);
+    }
+    ptl::Formula phi_d = out_.prop_factory->True();
+    std::vector<size_t> idx(external.size(), 0);
+    while (true) {
+      for (size_t i = 0; i < external.size(); ++i) env[external[i]] = m[idx[i]];
+      ++out_.stats.num_instances;
+      TIC_ASSIGN_OR_RETURN(ptl::Formula inst, Ground(matrix, env));
+      phi_d = out_.prop_factory->And(phi_d, inst);
+      size_t d = 0;
+      while (d < external.size() && ++idx[d] == m.size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == external.size()) break;
+    }
+
+    if (options_.mode == GroundingMode::kLiteral) {
+      // Axiom_D contains congruence schemas of size |M|^(2*arity); refuse to
+      // build an axiom that would dwarf the instance budget.
+      double axiom_size = std::pow(static_cast<double>(m.size()),
+                                   2.0 * ffac_.vocabulary()->MaxArity());
+      if (axiom_size > static_cast<double>(options_.max_instances)) {
+        return Status::ResourceExhausted(
+            "literal Axiom_D would need ~" + std::to_string(axiom_size) +
+            " congruence conjuncts; use GroundingMode::kSimplified");
+      }
+      phi_d = out_.prop_factory->And(phi_d, BuildAxiomD(m));
+    }
+    out_.phi_d = phi_d;
+    out_.stats.phi_d_size = phi_d->size();
+    out_.stats.phi_d_dag_nodes = out_.prop_factory->num_nodes();
+
+    BuildWord(m);
+    out_.stats.num_prop_letters = out_.prop_vocab->size();
+    return std::move(out_);
+  }
+
+ private:
+  Status Validate(fotl::Formula phi, const fotl::Valuation& binding) {
+    fotl::Classification c = fotl::Classify(phi);
+    if (!c.biquantified) {
+      return Status::NotSupported(
+          "formula is not biquantified (forall* tense(Sigma), future-only)");
+    }
+    if (!c.universal) {
+      return Status::NotSupported(
+          "formula has internal quantifiers; the extension problem for "
+          "forall*tense(Sigma_1) is undecidable (Theorem 3.2) — only universal "
+          "formulas (no internal quantifiers) are supported (Theorem 4.2)");
+    }
+    for (fotl::VarId v : phi->free_vars()) {
+      if (binding.find(v) == binding.end()) {
+        return Status::InvalidArgument("free variable '" + ffac_.VarName(v) +
+                                       "' has no binding");
+      }
+    }
+    if (HasBuiltinAtom(*ffac_.vocabulary(), phi)) {
+      return Status::NotSupported(
+          "extended-vocabulary builtins (<=, succ, Zero) denote infinite rigid "
+          "relations and are outside the Theorem 4.1 reduction");
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ResolveTerm(const fotl::Term& t, const Env& env, GroundElem* out) {
+    if (t.is_constant()) {
+      *out = GroundElem::Relevant(history_.ConstantValue(t.id));
+      return Value{0};
+    }
+    auto it = env.find(t.id);
+    if (it == env.end()) {
+      return Status::Internal("unbound variable during grounding");
+    }
+    *out = it->second;
+    return Value{0};
+  }
+
+  // Letter p(codes...) (pred != UINT32_MAX) or eq(a,b) (pred == UINT32_MAX).
+  ptl::PropId Letter(uint32_t pred, std::vector<Value> codes) {
+    LetterKey key{pred, std::move(codes)};
+    auto it = letters_.find(key);
+    if (it != letters_.end()) return it->second;
+    std::string name =
+        key.pred == UINT32_MAX ? "eq" : ffac_.vocabulary()->predicate(key.pred).name;
+    name += "(";
+    bool all_relevant = true;
+    for (size_t i = 0; i < key.codes.size(); ++i) {
+      if (i > 0) name += ",";
+      name += GroundElem{key.codes[i]}.ToString();
+      all_relevant = all_relevant && key.codes[i] >= 0;
+    }
+    name += ")";
+    ptl::PropId id = out_.prop_vocab->Intern(name);
+    if (key.pred != UINT32_MAX && all_relevant) {
+      Grounding::DecodedAtom decoded;
+      decoded.predicate = key.pred;
+      decoded.args.assign(key.codes.begin(), key.codes.end());
+      out_.letter_to_atom.emplace(id, std::move(decoded));
+    }
+    letters_.emplace(std::move(key), id);
+    return id;
+  }
+
+  Result<ptl::Formula> Ground(fotl::Formula f, const Env& env) {
+    MemoKey key{f, {}};
+    key.env.reserve(f->free_vars().size());
+    for (fotl::VarId v : f->free_vars()) {
+      auto it = env.find(v);
+      key.env.push_back(it == env.end() ? INT64_MIN : it->second.code);
+    }
+    auto memo_it = memo_.find(key);
+    if (memo_it != memo_.end()) return memo_it->second;
+    TIC_ASSIGN_OR_RETURN(ptl::Formula out, Compute(f, env));
+    memo_.emplace(std::move(key), out);
+    return out;
+  }
+
+  Result<ptl::Formula> Compute(fotl::Formula f, const Env& env) {
+    ptl::Factory* pf = out_.prop_factory.get();
+    switch (f->kind()) {
+      case NodeKind::kTrue:
+        return pf->True();
+      case NodeKind::kFalse:
+        return pf->False();
+      case NodeKind::kEquals: {
+        GroundElem a, b;
+        TIC_RETURN_NOT_OK(ResolveTerm(f->terms()[0], env, &a).status());
+        TIC_RETURN_NOT_OK(ResolveTerm(f->terms()[1], env, &b).status());
+        if (options_.mode == GroundingMode::kSimplified) {
+          return a == b ? pf->True() : pf->False();
+        }
+        return pf->Atom(Letter(UINT32_MAX, {a.code, b.code}));
+      }
+      case NodeKind::kAtom: {
+        std::vector<Value> codes;
+        codes.reserve(f->terms().size());
+        bool has_z = false;
+        for (const fotl::Term& t : f->terms()) {
+          GroundElem e;
+          TIC_RETURN_NOT_OK(ResolveTerm(t, env, &e).status());
+          has_z = has_z || e.is_z();
+          codes.push_back(e.code);
+        }
+        if (has_z && options_.mode == GroundingMode::kSimplified) {
+          // Axiom_D forces !p(...z...) always; fold it.
+          return pf->False();
+        }
+        return pf->Atom(Letter(f->predicate(), std::move(codes)));
+      }
+      case NodeKind::kNot: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->child(0), env));
+        return pf->Not(a);
+      }
+      case NodeKind::kAnd: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->lhs(), env));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, Ground(f->rhs(), env));
+        return pf->And(a, b);
+      }
+      case NodeKind::kOr: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->lhs(), env));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, Ground(f->rhs(), env));
+        return pf->Or(a, b);
+      }
+      case NodeKind::kImplies: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->lhs(), env));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, Ground(f->rhs(), env));
+        return pf->Implies(a, b);
+      }
+      case NodeKind::kNext: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->child(0), env));
+        return pf->Next(a);
+      }
+      case NodeKind::kUntil: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->lhs(), env));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, Ground(f->rhs(), env));
+        return pf->Until(a, b);
+      }
+      case NodeKind::kEventually: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->child(0), env));
+        return pf->Eventually(a);
+      }
+      case NodeKind::kAlways: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, Ground(f->child(0), env));
+        return pf->Always(a);
+      }
+      default:
+        return Status::Internal(
+            "unexpected connective in universal matrix during grounding");
+    }
+  }
+
+  // Axiom_D of Theorem 4.1 (kLiteral mode), wrapped in G(...).
+  ptl::Formula BuildAxiomD(const std::vector<GroundElem>& m) {
+    ptl::Factory* pf = out_.prop_factory.get();
+    std::vector<ptl::Formula> conjuncts;
+    auto eq = [&](GroundElem a, GroundElem b) {
+      return pf->Atom(Letter(UINT32_MAX, {a.code, b.code}));
+    };
+    // Reflexivity, symmetry, transitivity.
+    for (GroundElem a : m) conjuncts.push_back(eq(a, a));
+    for (GroundElem a : m) {
+      for (GroundElem b : m) {
+        conjuncts.push_back(pf->And(pf->Implies(eq(a, b), eq(b, a)),
+                                    pf->Implies(eq(b, a), eq(a, b))));
+      }
+    }
+    for (GroundElem a : m) {
+      for (GroundElem b : m) {
+        for (GroundElem c : m) {
+          conjuncts.push_back(
+              pf->Implies(pf->And(eq(a, b), eq(b, c)), eq(a, c)));
+        }
+      }
+    }
+    // Diagram of equality: distinct relevant elements differ; z's differ from
+    // everything (including each other).
+    for (GroundElem a : m) {
+      for (GroundElem b : m) {
+        if (a == b) continue;
+        conjuncts.push_back(pf->Not(eq(a, b)));
+      }
+    }
+    // Congruence and z-emptiness per predicate.
+    const Vocabulary& vocab = *ffac_.vocabulary();
+    for (PredicateId p = 0; p < vocab.num_predicates(); ++p) {
+      if (vocab.predicate(p).builtin != Builtin::kNone) continue;
+      uint32_t r = vocab.predicate(p).arity;
+      // Enumerate all tuples over M of arity r.
+      std::vector<size_t> idx(r, 0);
+      std::vector<std::vector<Value>> tuples;
+      while (true) {
+        std::vector<Value> t(r);
+        for (uint32_t i = 0; i < r; ++i) t[i] = m[idx[i]].code;
+        tuples.push_back(std::move(t));
+        size_t d = 0;
+        while (d < r && ++idx[d] == m.size()) {
+          idx[d] = 0;
+          ++d;
+        }
+        if (d == r) break;
+      }
+      for (const auto& t : tuples) {
+        bool has_z = false;
+        for (Value v : t) has_z = has_z || v < 0;
+        if (has_z) conjuncts.push_back(pf->Not(pf->Atom(Letter(p, t))));
+      }
+      // Congruence: eq-related tuples agree. With the diagram above this is
+      // vacuous, but the proof includes it; keep it for fidelity on small M.
+      for (const auto& t1 : tuples) {
+        for (const auto& t2 : tuples) {
+          std::vector<ptl::Formula> eqs;
+          for (uint32_t i = 0; i < r; ++i) {
+            eqs.push_back(eq(GroundElem{t1[i]}, GroundElem{t2[i]}));
+          }
+          ptl::Formula lhs = pf->AndAll(eqs);
+          ptl::Formula p1 = pf->Atom(Letter(p, t1));
+          ptl::Formula p2 = pf->Atom(Letter(p, t2));
+          conjuncts.push_back(pf->Implies(
+              lhs, pf->And(pf->Implies(p1, p2), pf->Implies(p2, p1))));
+        }
+      }
+    }
+    return pf->Always(pf->AndAll(conjuncts));
+  }
+
+  void BuildWord(const std::vector<GroundElem>& m) {
+    const Vocabulary& vocab = *ffac_.vocabulary();
+    out_.word.clear();
+    out_.word.reserve(history_.length());
+    for (size_t t = 0; t < history_.length(); ++t) {
+      ptl::PropState w;
+      if (options_.mode == GroundingMode::kLiteral) {
+        for (GroundElem a : m) w.Set(Letter(UINT32_MAX, {a.code, a.code}), true);
+      }
+      const DatabaseState& state = history_.state(t);
+      for (PredicateId p = 0; p < vocab.num_predicates(); ++p) {
+        if (vocab.predicate(p).builtin != Builtin::kNone) continue;
+        for (const Tuple& tuple : state.relation(p)) {
+          std::vector<Value> codes(tuple.begin(), tuple.end());
+          w.Set(Letter(p, std::move(codes)), true);
+        }
+      }
+      out_.word.push_back(std::move(w));
+    }
+  }
+
+  const fotl::FormulaFactory& ffac_;
+  const History& history_;
+  GroundingOptions options_;
+  Grounding out_;
+  std::unordered_map<MemoKey, ptl::Formula, MemoKeyHash> memo_;
+  std::unordered_map<LetterKey, ptl::PropId, LetterKeyHash> letters_;
+};
+
+}  // namespace
+
+Result<Grounding> GroundUniversal(const fotl::FormulaFactory& fotl_factory,
+                                  fotl::Formula phi, const History& history,
+                                  const fotl::Valuation& binding,
+                                  const GroundingOptions& options) {
+  Grounder g(fotl_factory, history, options);
+  return g.Run(phi, binding);
+}
+
+Result<DatabaseState> DecodePropState(const Grounding& grounding,
+                                      const VocabularyPtr& vocab,
+                                      const ptl::PropState& state) {
+  DatabaseState out(vocab);
+  for (const auto& [letter, atom] : grounding.letter_to_atom) {
+    if (state.Get(letter)) {
+      TIC_RETURN_NOT_OK(out.Insert(atom.predicate, atom.args));
+    }
+  }
+  return out;
+}
+
+}  // namespace checker
+}  // namespace tic

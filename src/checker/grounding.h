@@ -1,0 +1,115 @@
+#ifndef TIC_CHECKER_GROUNDING_H_
+#define TIC_CHECKER_GROUNDING_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/history.h"
+#include "fotl/classify.h"
+#include "fotl/evaluator.h"
+#include "fotl/factory.h"
+#include "ptl/formula.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace checker {
+
+/// \brief A ground element of the set M = R_D ∪ {z_1,...,z_k} of Theorem 4.1.
+///
+/// Non-negative payloads are relevant universe elements; z-symbols (stand-ins
+/// for the anonymous elements outside R_D) are encoded as negative payloads.
+struct GroundElem {
+  Value code;
+
+  static GroundElem Relevant(Value v) { return GroundElem{v}; }
+  static GroundElem Z(size_t i) { return GroundElem{-static_cast<Value>(i) - 1}; }
+
+  bool is_z() const { return code < 0; }
+  size_t z_index() const { return static_cast<size_t>(-code - 1); }
+  Value value() const { return code; }
+
+  bool operator==(const GroundElem& o) const { return code == o.code; }
+
+  std::string ToString() const {
+    return is_z() ? "z" + std::to_string(z_index() + 1) : std::to_string(code);
+  }
+};
+
+/// \brief How faithfully to reproduce the Theorem 4.1 construction.
+enum class GroundingMode {
+  /// Emit the propositional language L_D and the axiom Axiom_D exactly as in
+  /// the proof: letters for every equality (a=b) and every predicate instance
+  /// p(a_1,...,a_r) over M, the equivalence/congruence/diagram axioms wrapped
+  /// in G(...), and the w_D states assigning the equality letters. Exact but
+  /// exponentially bigger; used for fidelity tests and ablation benches.
+  kLiteral,
+  /// Observe that Axiom_D *determines* every equality letter and every
+  /// predicate letter with a z-argument, and constant-fold them during
+  /// grounding. Produces an equisatisfiable-after-w_D formula over predicate
+  /// letters on relevant elements only. Default.
+  kSimplified,
+};
+
+struct GroundingOptions {
+  GroundingMode mode = GroundingMode::kSimplified;
+  /// Cap on |M|^k grounding instances, guarding against accidental blow-up.
+  size_t max_instances = 50'000'000;
+};
+
+/// \brief Size counters for Experiment E3.
+struct GroundingStats {
+  size_t relevant_size = 0;       ///< |R_D|
+  size_t num_external_vars = 0;   ///< k
+  size_t num_instances = 0;       ///< |M|^k
+  size_t num_prop_letters = 0;    ///< |L_D| actually materialized
+  uint64_t phi_d_size = 0;        ///< |phi_D| (tree size)
+  uint64_t phi_d_dag_nodes = 0;   ///< distinct nodes (hash-consing effect)
+};
+
+/// \brief Output of the Theorem 4.1 reduction: the propositional temporal
+/// formula phi_D, the propositional prefix w_D, and the decoding tables.
+struct Grounding {
+  ptl::PropVocabularyPtr prop_vocab;
+  std::shared_ptr<ptl::Factory> prop_factory;
+  ptl::Formula phi_d = nullptr;
+  ptl::Word word;  ///< w_D = (w_0,...,w_t)
+  GroundingStats stats;
+
+  std::vector<Value> relevant;  ///< R_D, sorted
+  size_t num_z = 0;             ///< k
+
+  /// Decoding table: prop letter -> (predicate, all-relevant argument tuple).
+  /// Only letters with no z-argument appear (those are what a witness decodes).
+  struct DecodedAtom {
+    PredicateId predicate;
+    Tuple args;
+  };
+  std::unordered_map<ptl::PropId, DecodedAtom> letter_to_atom;
+};
+
+/// \brief Runs the Theorem 4.1 construction for a universal sentence
+/// `phi = forall x1 ... xk . psi` (psi quantifier-free, future-only, ordinary
+/// vocabulary) against the finite history `D`.
+///
+/// `binding` optionally pre-binds free variables of phi to universe elements
+/// (used by the trigger manager, where phi = !C theta); bound values must be
+/// elements of R_D.
+Result<Grounding> GroundUniversal(const fotl::FormulaFactory& fotl_factory,
+                                  fotl::Formula phi, const History& history,
+                                  const fotl::Valuation& binding = {},
+                                  const GroundingOptions& options = {});
+
+/// \brief Decodes one propositional state of a tableau witness back into a
+/// database state over `vocab` (the second half of the Theorem 4.1 proof):
+/// p(a_1,...,a_r) holds iff its letter is true; everything else is empty.
+Result<DatabaseState> DecodePropState(const Grounding& grounding,
+                                      const VocabularyPtr& vocab,
+                                      const ptl::PropState& state);
+
+}  // namespace checker
+}  // namespace tic
+
+#endif  // TIC_CHECKER_GROUNDING_H_

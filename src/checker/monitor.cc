@@ -1,0 +1,517 @@
+#include "checker/monitor.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "ptl/safety.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace checker {
+
+size_t Monitor::AssignmentHash::operator()(const std::vector<GroundElem>& a) const {
+  size_t seed = a.size();
+  for (const GroundElem& e : a) HashCombine(&seed, std::hash<Value>{}(e.code));
+  return seed;
+}
+
+bool Monitor::AssignmentEq::operator()(const std::vector<GroundElem>& a,
+                                       const std::vector<GroundElem>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+size_t Monitor::LetterKeyHash::operator()(const LetterKey& k) const {
+  size_t seed = k.pred;
+  for (Value v : k.codes) HashCombine(&seed, std::hash<Value>{}(v));
+  return seed;
+}
+
+Monitor::Monitor(std::shared_ptr<fotl::FormulaFactory> fotl_factory,
+                 fotl::Formula phi, History history, CheckOptions options,
+                 MonitorMode mode)
+    : ffac_(std::move(fotl_factory)),
+      phi_(phi),
+      options_(options),
+      mode_(mode),
+      history_(std::move(history)),
+      prop_vocab_(std::make_shared<ptl::PropVocabulary>()),
+      prop_factory_(std::make_shared<ptl::Factory>(prop_vocab_)) {
+  fotl::StripUniversalPrefix(phi_, &external_, &matrix_);
+}
+
+Result<std::unique_ptr<Monitor>> Monitor::Create(
+    std::shared_ptr<fotl::FormulaFactory> fotl_factory, fotl::Formula phi,
+    std::vector<Value> constant_interp, CheckOptions options, MonitorMode mode) {
+  fotl::Classification c = fotl::Classify(phi);
+  if (!c.universal) {
+    return Status::NotSupported(
+        "Monitor requires a universal sentence (forall* tense(Sigma_0))");
+  }
+  if (!c.closed) {
+    return Status::InvalidArgument("Monitor requires a sentence (no free variables)");
+  }
+  TIC_ASSIGN_OR_RETURN(
+      History h, History::Create(fotl_factory->vocabulary(), std::move(constant_interp)));
+  std::unique_ptr<Monitor> m(
+      new Monitor(std::move(fotl_factory), phi, std::move(h), options, mode));
+
+  // Safety gate: check the tense skeleton (each first-order atom abstracted to
+  // one letter — safety depends only on the temporal structure).
+  if (options.require_safety) {
+    ptl::Factory* pf = m->prop_factory_.get();
+    std::unordered_map<fotl::Formula, ptl::Formula> atoms;
+    std::function<ptl::Formula(fotl::Formula)> skel =
+        [&](fotl::Formula f) -> ptl::Formula {
+      using fotl::NodeKind;
+      switch (f->kind()) {
+        case NodeKind::kTrue:
+          return pf->True();
+        case NodeKind::kFalse:
+          return pf->False();
+        case NodeKind::kEquals:
+        case NodeKind::kAtom: {
+          auto it = atoms.find(f);
+          if (it != atoms.end()) return it->second;
+          ptl::Formula letter = pf->Atom(m->prop_vocab_->Intern(
+              "skel#" + std::to_string(atoms.size())));
+          atoms.emplace(f, letter);
+          return letter;
+        }
+        case NodeKind::kNot:
+          return pf->Not(skel(f->child(0)));
+        case NodeKind::kNext:
+          return pf->Next(skel(f->child(0)));
+        case NodeKind::kEventually:
+          return pf->Eventually(skel(f->child(0)));
+        case NodeKind::kAlways:
+          return pf->Always(skel(f->child(0)));
+        case NodeKind::kAnd:
+          return pf->And(skel(f->lhs()), skel(f->rhs()));
+        case NodeKind::kOr:
+          return pf->Or(skel(f->lhs()), skel(f->rhs()));
+        case NodeKind::kImplies:
+          return pf->Implies(skel(f->lhs()), skel(f->rhs()));
+        case NodeKind::kUntil:
+          return pf->Until(skel(f->lhs()), skel(f->rhs()));
+        default:
+          return pf->True();  // unreachable for universal matrices
+      }
+    };
+    ptl::Formula skeleton = skel(m->matrix_);
+    if (!ptl::IsSyntacticallySafe(pf, skeleton)) {
+      return Status::NotSupported(
+          "constraint's tense skeleton is not syntactically safe; the monitor "
+          "implements Section 4's algorithm for safety sentences only");
+    }
+  }
+
+  // Instances over the initial M (constants only, plus the z's).
+  std::vector<Value> relevant = m->history_.RelevantSet();
+  m->known_relevant_ = relevant;
+  std::vector<GroundElem> domain;
+  for (Value v : relevant) domain.push_back(GroundElem::Relevant(v));
+  for (size_t i = 0; i < m->external_.size(); ++i) domain.push_back(GroundElem::Z(i));
+  if (domain.empty()) domain.push_back(GroundElem::Z(0));
+
+  size_t k = m->external_.size();
+  std::vector<size_t> idx(k, 0);
+  while (true) {
+    std::vector<GroundElem> assignment(k);
+    for (size_t i = 0; i < k; ++i) assignment[i] = domain[idx[i]];
+    TIC_ASSIGN_OR_RETURN(ptl::Formula residual, m->GroundMatrix(assignment));
+    m->instance_index_.emplace(assignment, m->instances_.size());
+    m->instances_.push_back(Instance{std::move(assignment), residual});
+    size_t d = 0;
+    while (d < k && ++idx[d] == domain.size()) {
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == k) break;
+  }
+  return m;
+}
+
+ptl::PropId Monitor::Letter(PredicateId pred, const std::vector<Value>& codes) {
+  LetterKey key{pred, codes};
+  auto it = letters_.find(key);
+  if (it != letters_.end()) return it->second;
+  std::string name = ffac_->vocabulary()->predicate(pred).name + "(";
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (i > 0) name += ",";
+    name += GroundElem{codes[i]}.ToString();
+  }
+  name += ")";
+  ptl::PropId id = prop_vocab_->Intern(name);
+  letters_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<ptl::Formula> Monitor::GroundMatrix(const std::vector<GroundElem>& assignment) {
+  // Simplified-mode grounding (equalities folded, z-atoms false); see
+  // GroundingMode::kSimplified.
+  std::unordered_map<fotl::VarId, GroundElem> env;
+  for (size_t i = 0; i < external_.size(); ++i) env[external_[i]] = assignment[i];
+
+  std::function<Result<ptl::Formula>(fotl::Formula)> go =
+      [&](fotl::Formula f) -> Result<ptl::Formula> {
+    using fotl::NodeKind;
+    ptl::Factory* pf = prop_factory_.get();
+    auto resolve = [&](const fotl::Term& t) -> Result<GroundElem> {
+      if (t.is_constant()) {
+        return GroundElem::Relevant(history_.ConstantValue(t.id));
+      }
+      auto it = env.find(t.id);
+      if (it == env.end()) return Status::Internal("unbound variable in matrix");
+      return it->second;
+    };
+    switch (f->kind()) {
+      case NodeKind::kTrue:
+        return pf->True();
+      case NodeKind::kFalse:
+        return pf->False();
+      case NodeKind::kEquals: {
+        TIC_ASSIGN_OR_RETURN(GroundElem a, resolve(f->terms()[0]));
+        TIC_ASSIGN_OR_RETURN(GroundElem b, resolve(f->terms()[1]));
+        return a == b ? pf->True() : pf->False();
+      }
+      case NodeKind::kAtom: {
+        if (ffac_->vocabulary()->predicate(f->predicate()).builtin != Builtin::kNone) {
+          return Status::NotSupported("builtins unsupported by the monitor");
+        }
+        std::vector<Value> codes;
+        codes.reserve(f->terms().size());
+        bool has_z = false;
+        for (const fotl::Term& t : f->terms()) {
+          TIC_ASSIGN_OR_RETURN(GroundElem e, resolve(t));
+          has_z = has_z || e.is_z();
+          codes.push_back(e.code);
+        }
+        if (has_z && mode_ != MonitorMode::kEagerHistoryLess) {
+          // Folded per Axiom_D (kSimplified grounding).
+          return pf->False();
+        }
+        // History-less mode keeps stand-in letters unfolded: they are never
+        // true in any w state, and they are what fresh-element instances are
+        // renamed from.
+        return pf->Atom(Letter(f->predicate(), codes));
+      }
+      case NodeKind::kNot: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
+        return pf->Not(a);
+      }
+      case NodeKind::kNext: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
+        return pf->Next(a);
+      }
+      case NodeKind::kEventually: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
+        return pf->Eventually(a);
+      }
+      case NodeKind::kAlways: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
+        return pf->Always(a);
+      }
+      case NodeKind::kAnd: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
+        return pf->And(a, b);
+      }
+      case NodeKind::kOr: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
+        return pf->Or(a, b);
+      }
+      case NodeKind::kImplies: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
+        return pf->Implies(a, b);
+      }
+      case NodeKind::kUntil: {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
+        return pf->Until(a, b);
+      }
+      default:
+        return Status::Internal("unexpected connective in universal matrix");
+    }
+  };
+  return go(matrix_);
+}
+
+ptl::PropState Monitor::PropStateOf(size_t t) {
+  ptl::PropState w;
+  const Vocabulary& vocab = *ffac_->vocabulary();
+  const DatabaseState& state = history_.state(t);
+  for (PredicateId p = 0; p < vocab.num_predicates(); ++p) {
+    if (vocab.predicate(p).builtin != Builtin::kNone) continue;
+    for (const Tuple& tuple : state.relation(p)) {
+      std::vector<Value> codes(tuple.begin(), tuple.end());
+      w.Set(Letter(p, codes), true);
+    }
+  }
+  return w;
+}
+
+Result<ptl::Formula> Monitor::GroundAndCatchUp(
+    const std::vector<GroundElem>& assignment) {
+  TIC_ASSIGN_OR_RETURN(ptl::Formula residual, GroundMatrix(assignment));
+  for (const ptl::PropState& w : word_) {
+    TIC_ASSIGN_OR_RETURN(residual, ptl::Progress(prop_factory_.get(), residual, w));
+    if (residual->kind() == ptl::Kind::kFalse) break;
+  }
+  return residual;
+}
+
+Result<ptl::Formula> Monitor::RenameFromPattern(
+    const std::vector<GroundElem>& assignment) {
+  // Canonical pattern: each distinct fresh (just-became-relevant) element is
+  // replaced by a distinct stand-in index not otherwise used by the
+  // assignment. Over the whole past, the element was indistinguishable from
+  // that stand-in, so the pattern instance's residual — with the stand-in
+  // letters renamed — IS the fresh instance's residual. No history replay.
+  std::unordered_set<size_t> used_z;
+  for (const GroundElem& e : assignment) {
+    if (e.is_z()) used_z.insert(e.z_index());
+  }
+  std::unordered_map<Value, GroundElem> fresh_to_z;  // element -> stand-in
+  std::vector<GroundElem> pattern = assignment;
+  size_t next_z = 0;
+  for (GroundElem& e : pattern) {
+    if (e.is_z()) continue;
+    if (std::binary_search(known_relevant_.begin(), known_relevant_.end(),
+                           e.value())) {
+      continue;  // long-relevant element: stays
+    }
+    auto it = fresh_to_z.find(e.value());
+    if (it != fresh_to_z.end()) {
+      e = it->second;
+      continue;
+    }
+    while (used_z.count(next_z) > 0) ++next_z;
+    used_z.insert(next_z);
+    GroundElem z = GroundElem::Z(next_z);
+    fresh_to_z.emplace(e.value(), z);
+    e = z;
+  }
+
+  auto pattern_it = instance_index_.find(pattern);
+  if (pattern_it == instance_index_.end()) {
+    return Status::Internal("history-less catch-up: pattern instance missing");
+  }
+  ptl::Formula pattern_residual = instances_[pattern_it->second].residual;
+
+  // Letter renaming: any letter mentioning a mapped stand-in code becomes the
+  // letter with the fresh element substituted.
+  std::unordered_map<Value, Value> code_map;  // z code -> element value
+  for (const auto& [value, z] : fresh_to_z) code_map.emplace(z.code, value);
+  std::unordered_map<ptl::PropId, ptl::PropId> letter_map;
+  std::vector<std::pair<LetterKey, ptl::PropId>> snapshot(letters_.begin(),
+                                                          letters_.end());
+  for (const auto& [key, id] : snapshot) {
+    bool touched = false;
+    std::vector<Value> renamed = key.codes;
+    for (Value& c : renamed) {
+      auto it = code_map.find(c);
+      if (it != code_map.end()) {
+        c = it->second;
+        touched = true;
+      }
+    }
+    if (touched) letter_map.emplace(id, Letter(key.pred, renamed));
+  }
+  return RenameLetters(pattern_residual, letter_map);
+}
+
+ptl::Formula Monitor::RenameLetters(
+    ptl::Formula f, const std::unordered_map<ptl::PropId, ptl::PropId>& map) {
+  ptl::Factory* pf = prop_factory_.get();
+  std::unordered_map<ptl::Formula, ptl::Formula> memo;
+  std::function<ptl::Formula(ptl::Formula)> go =
+      [&](ptl::Formula g) -> ptl::Formula {
+    auto hit = memo.find(g);
+    if (hit != memo.end()) return hit->second;
+    ptl::Formula out = g;
+    switch (g->kind()) {
+      case ptl::Kind::kTrue:
+      case ptl::Kind::kFalse:
+        break;
+      case ptl::Kind::kAtom: {
+        auto it = map.find(g->atom());
+        if (it != map.end()) out = pf->Atom(it->second);
+        break;
+      }
+      case ptl::Kind::kNot:
+        out = pf->Not(go(g->child(0)));
+        break;
+      case ptl::Kind::kNext:
+        out = pf->Next(go(g->child(0)));
+        break;
+      case ptl::Kind::kEventually:
+        out = pf->Eventually(go(g->child(0)));
+        break;
+      case ptl::Kind::kAlways:
+        out = pf->Always(go(g->child(0)));
+        break;
+      case ptl::Kind::kAnd:
+        out = pf->And(go(g->lhs()), go(g->rhs()));
+        break;
+      case ptl::Kind::kOr:
+        out = pf->Or(go(g->lhs()), go(g->rhs()));
+        break;
+      case ptl::Kind::kImplies:
+        out = pf->Implies(go(g->lhs()), go(g->rhs()));
+        break;
+      case ptl::Kind::kUntil:
+        out = pf->Until(go(g->lhs()), go(g->rhs()));
+        break;
+      case ptl::Kind::kRelease:
+        out = pf->Release(go(g->lhs()), go(g->rhs()));
+        break;
+    }
+    memo.emplace(g, out);
+    return out;
+  };
+  return go(f);
+}
+
+Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
+  TIC_RETURN_NOT_OK(tic::ApplyTransaction(&history_, txn));
+  size_t t = history_.length() - 1;
+  MonitorVerdict verdict;
+  verdict.time = t;
+
+  if (dead_) {
+    verdict.permanently_violated = true;
+    verdict.potentially_satisfied = false;
+    last_verdict_ = verdict;
+    return verdict;
+  }
+
+  // New relevant elements introduced by this state?
+  std::unordered_set<Value> active;
+  history_.state(t).CollectActiveDomain(&active);
+  std::vector<Value> fresh;
+  for (Value v : active) {
+    if (!std::binary_search(known_relevant_.begin(), known_relevant_.end(), v)) {
+      fresh.push_back(v);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+
+  // Enumerates every assignment over the merged domain that touches a fresh
+  // element and hands it to `make` to build its residual.
+  auto create_fresh_instances =
+      [&](const std::function<Result<ptl::Formula>(
+              const std::vector<GroundElem>&)>& make) -> Status {
+    size_t k = external_.size();
+    if (k == 0 || fresh.empty()) return Status::OK();
+    std::vector<Value> merged;
+    std::merge(known_relevant_.begin(), known_relevant_.end(), fresh.begin(),
+               fresh.end(), std::back_inserter(merged));
+    std::vector<GroundElem> domain;
+    for (Value v : merged) domain.push_back(GroundElem::Relevant(v));
+    for (size_t i = 0; i < k; ++i) domain.push_back(GroundElem::Z(i));
+    std::unordered_set<Value> fresh_set(fresh.begin(), fresh.end());
+
+    std::vector<size_t> idx(k, 0);
+    while (true) {
+      bool touches_fresh = false;
+      for (size_t i = 0; i < k; ++i) {
+        const GroundElem& e = domain[idx[i]];
+        if (!e.is_z() && fresh_set.count(e.value()) > 0) {
+          touches_fresh = true;
+          break;
+        }
+      }
+      if (touches_fresh) {
+        std::vector<GroundElem> assignment(k);
+        for (size_t i = 0; i < k; ++i) assignment[i] = domain[idx[i]];
+        TIC_ASSIGN_OR_RETURN(ptl::Formula residual, make(assignment));
+        instance_index_.emplace(assignment, instances_.size());
+        instances_.push_back(Instance{std::move(assignment), residual});
+      }
+      size_t d = 0;
+      while (d < k && ++idx[d] == domain.size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == k) break;
+    }
+    return Status::OK();
+  };
+
+  ptl::PropState w = PropStateOf(t);
+
+  if (mode_ == MonitorMode::kEagerHistoryLess) {
+    // Fresh instances first (renamed from their stand-in patterns, whose
+    // residuals are still at the t-1 basis), then progress everything through
+    // the new state. The propositional history is never stored.
+    TIC_RETURN_NOT_OK(create_fresh_instances(
+        [&](const std::vector<GroundElem>& a) { return RenameFromPattern(a); }));
+    if (!fresh.empty()) {
+      std::vector<Value> merged;
+      std::merge(known_relevant_.begin(), known_relevant_.end(), fresh.begin(),
+                 fresh.end(), std::back_inserter(merged));
+      known_relevant_ = std::move(merged);
+    }
+    for (Instance& inst : instances_) {
+      if (inst.residual->kind() == ptl::Kind::kFalse) continue;
+      TIC_ASSIGN_OR_RETURN(inst.residual,
+                           ptl::Progress(prop_factory_.get(), inst.residual, w));
+    }
+  } else {
+    word_.push_back(w);
+    for (Instance& inst : instances_) {
+      if (inst.residual->kind() == ptl::Kind::kFalse) continue;
+      TIC_ASSIGN_OR_RETURN(inst.residual,
+                           ptl::Progress(prop_factory_.get(), inst.residual, w));
+    }
+    if (!fresh.empty()) {
+      TIC_RETURN_NOT_OK(create_fresh_instances(
+          [&](const std::vector<GroundElem>& a) { return GroundAndCatchUp(a); }));
+      std::vector<Value> merged;
+      std::merge(known_relevant_.begin(), known_relevant_.end(), fresh.begin(),
+                 fresh.end(), std::back_inserter(merged));
+      known_relevant_ = std::move(merged);
+    }
+  }
+
+  // Conjunction of residuals.
+  ptl::Formula conj = prop_factory_->True();
+  for (const Instance& inst : instances_) {
+    conj = prop_factory_->And(conj, inst.residual);
+    if (conj->kind() == ptl::Kind::kFalse) break;
+  }
+  verdict.residual_size = conj->size();
+  verdict.num_instances = instances_.size();
+
+  if (conj->kind() == ptl::Kind::kFalse) {
+    dead_ = true;
+    verdict.permanently_violated = true;
+    verdict.potentially_satisfied = false;
+  } else if (mode_ == MonitorMode::kLazy) {
+    // Lipeck–Saake-style weak monitoring: no satisfiability check; report
+    // "no violation detected yet".
+    verdict.potentially_satisfied = true;
+  } else {
+    TIC_ASSIGN_OR_RETURN(ptl::SatResult sat,
+                         ptl::CheckSat(prop_factory_.get(), conj, options_.tableau));
+    verdict.tableau_stats = sat.stats;
+    verdict.potentially_satisfied = sat.satisfiable;
+    if (!sat.satisfiable) {
+      dead_ = true;
+      verdict.permanently_violated = true;
+    }
+  }
+  last_verdict_ = verdict;
+  return verdict;
+}
+
+}  // namespace checker
+}  // namespace tic

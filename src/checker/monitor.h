@@ -1,0 +1,148 @@
+#ifndef TIC_CHECKER_MONITOR_H_
+#define TIC_CHECKER_MONITOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "checker/extension.h"
+#include "common/result.h"
+#include "db/update.h"
+#include "fotl/factory.h"
+#include "ptl/progress.h"
+
+namespace tic {
+namespace checker {
+
+/// \brief How eagerly the monitor detects violations, and how it catches up
+/// instances for newly relevant elements.
+enum class MonitorMode {
+  /// Exact potential satisfaction (Theorem 4.2): run the satisfiability check
+  /// after every update, detecting violations at the earliest possible time.
+  /// New-element instances are caught up by replaying the stored history.
+  kEager,
+  /// The weaker notion implemented by Lipeck & Saake (Section 5): only the
+  /// linear-time progression runs per update, so violations are always
+  /// detected (the residual collapses to false) but possibly later than the
+  /// earliest time. Cheap: no exponential phase per update.
+  kLazy,
+  /// Eager verdicts WITHOUT storing the propositional history — an answer (in
+  /// this setting) to the Section 6 open question of a history-less method
+  /// for universal formulas. The z-stand-in atoms are kept as real letters
+  /// (never true in any state) instead of being folded to false; when an
+  /// element e becomes relevant, its instances' residuals are obtained from
+  /// the matching z-pattern instance by *renaming letters* (e was
+  /// indistinguishable from the stand-in over the entire past), so no replay
+  /// is needed. Per-update memory is O(residuals), independent of t.
+  kEagerHistoryLess,
+};
+
+/// \brief Verdict after one transaction.
+struct MonitorVerdict {
+  size_t time = 0;  ///< instant of the newly appended state
+  bool potentially_satisfied = false;
+  /// True once the constraint can never be satisfied again regardless of
+  /// future updates (safety: violations are permanent).
+  bool permanently_violated = false;
+  uint64_t residual_size = 0;
+  size_t num_instances = 0;
+  ptl::TableauStats tableau_stats;
+};
+
+/// \brief Incremental temporal integrity monitor for a universal safety
+/// sentence: the production-facing API.
+///
+/// Maintains, across updates, one progression residual per grounding instance
+/// f : {x1..xk} -> M (Theorem 4.1). After each transaction it only
+/// (a) progresses every live residual through the single new propositional
+/// state and (b) grounds + catches up instances created by newly relevant
+/// elements, then re-decides satisfiability of the conjunction. This makes the
+/// per-update cost O(|phi_D|) amortized plus one 2^O(|residual|)
+/// satisfiability check — the incremental reading of Theorem 4.2.
+class Monitor {
+ public:
+  /// `phi` must be a universal safety sentence over `vocab`.
+  static Result<std::unique_ptr<Monitor>> Create(
+      std::shared_ptr<fotl::FormulaFactory> fotl_factory, fotl::Formula phi,
+      std::vector<Value> constant_interp = {}, CheckOptions options = {},
+      MonitorMode mode = MonitorMode::kEager);
+
+  /// Applies `txn` (appending one state to the history) and re-checks.
+  Result<MonitorVerdict> ApplyTransaction(const Transaction& txn);
+
+  /// The monitored history so far.
+  const History& history() const { return history_; }
+
+  /// Latest verdict (valid after the first transaction).
+  const MonitorVerdict& last_verdict() const { return last_verdict_; }
+
+ private:
+  Monitor(std::shared_ptr<fotl::FormulaFactory> fotl_factory, fotl::Formula phi,
+          History history, CheckOptions options, MonitorMode mode);
+
+  // Grounds the matrix for one instance assignment and progresses it through
+  // the whole current history (used when new elements join R_D).
+  Result<ptl::Formula> GroundAndCatchUp(const std::vector<GroundElem>& assignment);
+
+  // Builds the propositional state for history state `t`, creating letters on
+  // demand (mirrors Grounding::BuildWord, incrementally).
+  ptl::PropState PropStateOf(size_t t);
+
+  Result<ptl::Formula> GroundMatrix(const std::vector<GroundElem>& assignment);
+  ptl::PropId Letter(PredicateId pred, const std::vector<Value>& codes);
+
+  // History-less catch-up: derives the residual of a fresh-element assignment
+  // by renaming the stand-in letters of its z-pattern instance's residual.
+  Result<ptl::Formula> RenameFromPattern(const std::vector<GroundElem>& assignment);
+  ptl::Formula RenameLetters(ptl::Formula f,
+                             const std::unordered_map<ptl::PropId, ptl::PropId>& map);
+
+  std::shared_ptr<fotl::FormulaFactory> ffac_;
+  fotl::Formula phi_;
+  std::vector<fotl::VarId> external_;
+  fotl::Formula matrix_ = nullptr;
+  CheckOptions options_;
+  MonitorMode mode_;
+  std::vector<ptl::PropState> word_;  // one per history state
+
+  History history_;
+  std::vector<Value> known_relevant_;  // sorted
+  ptl::PropVocabularyPtr prop_vocab_;
+  std::shared_ptr<ptl::Factory> prop_factory_;
+
+  struct LetterKey {
+    PredicateId pred;
+    std::vector<Value> codes;
+    bool operator==(const LetterKey& o) const {
+      return pred == o.pred && codes == o.codes;
+    }
+  };
+  struct LetterKeyHash {
+    size_t operator()(const LetterKey& k) const;
+  };
+  std::unordered_map<LetterKey, ptl::PropId, LetterKeyHash> letters_;
+
+  // One residual per instance; the monitored condition is their conjunction.
+  struct Instance {
+    std::vector<GroundElem> assignment;
+    ptl::Formula residual;
+  };
+  std::vector<Instance> instances_;
+  struct AssignmentHash {
+    size_t operator()(const std::vector<GroundElem>& a) const;
+  };
+  struct AssignmentEq {
+    bool operator()(const std::vector<GroundElem>& a,
+                    const std::vector<GroundElem>& b) const;
+  };
+  std::unordered_map<std::vector<GroundElem>, size_t, AssignmentHash, AssignmentEq>
+      instance_index_;
+  bool dead_ = false;  // permanently violated
+  MonitorVerdict last_verdict_;
+};
+
+}  // namespace checker
+}  // namespace tic
+
+#endif  // TIC_CHECKER_MONITOR_H_

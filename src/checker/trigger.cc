@@ -1,0 +1,100 @@
+#include "checker/trigger.h"
+
+#include "fotl/classify.h"
+
+namespace tic {
+namespace checker {
+
+TriggerManager::TriggerManager(std::shared_ptr<fotl::FormulaFactory> fotl_factory,
+                               History history, CheckOptions options)
+    : ffac_(std::move(fotl_factory)),
+      options_(options),
+      history_(std::move(history)) {
+  options_.want_witness = false;  // triggers only need the verdict
+}
+
+Result<std::unique_ptr<TriggerManager>> TriggerManager::Create(
+    std::shared_ptr<fotl::FormulaFactory> fotl_factory,
+    std::vector<Value> constant_interp, CheckOptions options) {
+  TIC_ASSIGN_OR_RETURN(
+      History h,
+      History::Create(fotl_factory->vocabulary(), std::move(constant_interp)));
+  return std::unique_ptr<TriggerManager>(
+      new TriggerManager(std::move(fotl_factory), std::move(h), options));
+}
+
+Status TriggerManager::AddTrigger(std::string name, fotl::Formula condition,
+                                  std::function<void(const TriggerFiring&)> action) {
+  // Dualize: C == exists y1..ym . rho   =>   !C == forall y1..ym . !rho.
+  std::vector<fotl::VarId> exist_vars;
+  fotl::Formula body = condition;
+  while (body->kind() == fotl::NodeKind::kExists) {
+    exist_vars.push_back(body->var());
+    body = body->child(0);
+  }
+  fotl::Formula negated = ffac_->Not(body);
+  for (auto it = exist_vars.rbegin(); it != exist_vars.rend(); ++it) {
+    negated = ffac_->Forall(*it, negated);
+  }
+
+  fotl::Classification c = fotl::Classify(negated);
+  if (!c.universal) {
+    return Status::NotSupported(
+        "trigger condition must be existential over a quantifier-free "
+        "future-tense body (class exists* tense(Sigma_0)); its negation "
+        "then falls in the decidable universal fragment of Theorem 4.2");
+  }
+
+  Trigger t;
+  t.name = std::move(name);
+  t.condition = condition;
+  t.negated = negated;
+  t.params = condition->free_vars();
+  t.action = std::move(action);
+  triggers_.push_back(std::move(t));
+  return Status::OK();
+}
+
+Result<std::vector<TriggerFiring>> TriggerManager::EvaluateTriggers() {
+  std::vector<TriggerFiring> firings;
+  if (history_.empty()) return firings;
+  size_t now = history_.length() - 1;
+  std::vector<Value> relevant = history_.RelevantSet();
+  if (relevant.empty()) relevant.push_back(0);  // degenerate domain
+
+  for (const Trigger& trig : triggers_) {
+    size_t p = trig.params.size();
+    std::vector<size_t> idx(p, 0);
+    while (true) {
+      fotl::Valuation theta;
+      for (size_t i = 0; i < p; ++i) theta[trig.params[i]] = relevant[idx[i]];
+
+      TIC_ASSIGN_OR_RETURN(
+          CheckResult check,
+          CheckPotentialSatisfaction(*ffac_, trig.negated, history_, theta,
+                                     options_));
+      if (!check.potentially_satisfied) {
+        TriggerFiring firing{trig.name, now, theta};
+        if (trig.action) trig.action(firing);
+        firings.push_back(std::move(firing));
+      }
+
+      size_t d = 0;
+      while (d < p && ++idx[d] == relevant.size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == p) break;
+    }
+  }
+  return firings;
+}
+
+Result<std::vector<TriggerFiring>> TriggerManager::OnTransaction(
+    const Transaction& txn) {
+  TIC_RETURN_NOT_OK(ApplyTransaction(&history_, txn));
+  return EvaluateTriggers();
+}
+
+}  // namespace checker
+}  // namespace tic

@@ -1,0 +1,77 @@
+#ifndef TIC_CHECKER_TRIGGER_H_
+#define TIC_CHECKER_TRIGGER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/extension.h"
+#include "common/result.h"
+#include "db/update.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace checker {
+
+/// \brief One firing of a Condition-Action trigger.
+struct TriggerFiring {
+  std::string trigger;
+  size_t time = 0;            ///< instant of the state after the update
+  fotl::Valuation substitution;  ///< ground substitution theta for C's free vars
+};
+
+/// \brief Temporal Condition-Action triggers via the duality of Section 2:
+/// the trigger "if C then A" fires at instant t for a ground substitution
+/// theta iff !C theta is NOT potentially satisfied at t — i.e. no extension of
+/// the history can make the condition false.
+///
+/// For the firing test to be decidable, !C must fall in the universal fragment
+/// (Theorem 4.2); dually, C must be an *existential* formula: a chain of
+/// leading existential quantifiers over a tense(Sigma_0) body — the class
+/// `exists* tense(Sigma)` that Section 5 identifies with the expressivity of
+/// Sistla & Wolfson's trigger language. Substitutions range over the relevant
+/// set R_D of the current history.
+class TriggerManager {
+ public:
+  static Result<std::unique_ptr<TriggerManager>> Create(
+      std::shared_ptr<fotl::FormulaFactory> fotl_factory,
+      std::vector<Value> constant_interp = {}, CheckOptions options = {});
+
+  /// Registers "if `condition` then `action`". The action is invoked for each
+  /// firing. Fails (NotSupported) if the negated condition is not universal.
+  Status AddTrigger(std::string name, fotl::Formula condition,
+                    std::function<void(const TriggerFiring&)> action = nullptr);
+
+  /// Applies `txn` to the internal history and evaluates every trigger for
+  /// every substitution; returns all firings (and invokes actions).
+  Result<std::vector<TriggerFiring>> OnTransaction(const Transaction& txn);
+
+  /// Evaluates triggers against the current history without updating it.
+  Result<std::vector<TriggerFiring>> EvaluateTriggers();
+
+  const History& history() const { return history_; }
+  History* mutable_history() { return &history_; }
+
+ private:
+  TriggerManager(std::shared_ptr<fotl::FormulaFactory> fotl_factory,
+                 History history, CheckOptions options);
+
+  struct Trigger {
+    std::string name;
+    fotl::Formula condition;      // original C
+    fotl::Formula negated;        // universal !C with the same free variables
+    std::vector<fotl::VarId> params;  // free variables of C
+    std::function<void(const TriggerFiring&)> action;
+  };
+
+  std::shared_ptr<fotl::FormulaFactory> ffac_;
+  CheckOptions options_;
+  History history_;
+  std::vector<Trigger> triggers_;
+};
+
+}  // namespace checker
+}  // namespace tic
+
+#endif  // TIC_CHECKER_TRIGGER_H_

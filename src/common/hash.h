@@ -1,0 +1,25 @@
+#ifndef TIC_COMMON_HASH_H_
+#define TIC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace tic {
+
+/// \brief Mixes a new value into a running hash (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+/// \brief Hashes all arguments into one seed.
+template <typename... Ts>
+size_t HashAll(const Ts&... values) {
+  size_t seed = 0;
+  (HashCombine(&seed, std::hash<Ts>{}(values)), ...);
+  return seed;
+}
+
+}  // namespace tic
+
+#endif  // TIC_COMMON_HASH_H_

@@ -1,0 +1,53 @@
+#ifndef TIC_COMMON_INTERNER_H_
+#define TIC_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tic {
+
+/// \brief Dense id assigned to an interned string. 0-based, stable for the
+/// lifetime of the owning StringInterner.
+using SymbolId = uint32_t;
+
+/// \brief Bidirectional string <-> dense-id map.
+///
+/// Predicates, constants and variables are referred to by SymbolId throughout
+/// the library, so formula nodes stay small and comparisons are integral.
+/// Not thread-safe; each Vocabulary owns its interner.
+class StringInterner {
+ public:
+  /// Returns the id of `s`, interning it on first sight.
+  SymbolId Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `s` if already interned, or false.
+  bool Lookup(std::string_view s, SymbolId* out) const {
+    auto it = ids_.find(std::string(s));
+    if (it == ids_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// \pre id < size()
+  const std::string& Name(SymbolId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace tic
+
+#endif  // TIC_COMMON_INTERNER_H_

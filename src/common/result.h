@@ -1,0 +1,72 @@
+#ifndef TIC_COMMON_RESULT_H_
+#define TIC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tic {
+
+/// \brief Either a value of type T or a non-OK Status (Arrow's arrow::Result idiom).
+///
+/// Constructing a Result from an OK status is a programming error; fallible
+/// functions either produce a value or a reason they could not.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// \pre ok()
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define TIC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define TIC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define TIC_ASSIGN_OR_RETURN_NAME(a, b) TIC_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define TIC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TIC_ASSIGN_OR_RETURN_IMPL(TIC_ASSIGN_OR_RETURN_NAME(_res_, __LINE__), lhs, rexpr)
+
+}  // namespace tic
+
+#endif  // TIC_COMMON_RESULT_H_

@@ -1,0 +1,110 @@
+#ifndef TIC_COMMON_STATUS_H_
+#define TIC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tic {
+
+/// \brief Error categories used across the library.
+///
+/// Modeled after the Arrow/RocksDB convention: public entry points that can
+/// fail return a Status (or a Result<T>) rather than throwing exceptions.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed malformed input (bad formula, bad arity, ...)
+  kParseError = 2,        ///< textual formula/machine description failed to parse
+  kNotSupported = 3,      ///< operation outside the decidable fragment handled here
+  kOutOfRange = 4,        ///< index/time instant outside the history
+  kResourceExhausted = 5, ///< configured limit (node budget, step budget) exceeded
+  kInternal = 6,          ///< invariant violation inside the library (a bug)
+  kNotFound = 7,          ///< lookup of a named symbol/predicate failed
+  kAlreadyExists = 8,     ///< duplicate registration of a symbol
+};
+
+/// \brief Returns a human-readable name for a status code ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error value, cheap to pass by value in the success case.
+///
+/// The OK status carries no allocation; error states carry a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : rep_(code == StatusCode::kOk ? nullptr
+                                     : std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  /// \name Factory helpers, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define TIC_RETURN_NOT_OK(expr)               \
+  do {                                        \
+    ::tic::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace tic
+
+#endif  // TIC_COMMON_STATUS_H_

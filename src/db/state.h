@@ -1,0 +1,81 @@
+#ifndef TIC_DB_STATE_H_
+#define TIC_DB_STATE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "db/relation.h"
+#include "db/vocabulary.h"
+
+namespace tic {
+
+/// \brief One database state D_t: a finite interpretation for every ordinary
+/// predicate of the vocabulary. Builtins and constants are interpreted at the
+/// History level (they are rigid).
+class DatabaseState {
+ public:
+  /// Creates an all-empty state over `vocab` (all relations empty).
+  explicit DatabaseState(VocabularyPtr vocab) : vocab_(std::move(vocab)) {
+    relations_.reserve(vocab_->num_predicates());
+    for (size_t i = 0; i < vocab_->num_predicates(); ++i) {
+      relations_.emplace_back(vocab_->predicate(static_cast<PredicateId>(i)).arity);
+    }
+  }
+
+  const VocabularyPtr& vocabulary() const { return vocab_; }
+
+  /// Mutable access for loading data; InvalidArgument if `p` is a builtin.
+  Result<Relation*> MutableRelation(PredicateId p) {
+    if (p >= relations_.size()) return Status::OutOfRange("no such predicate id");
+    if (vocab_->predicate(p).builtin != Builtin::kNone) {
+      return Status::InvalidArgument("builtin predicate '" + vocab_->predicate(p).name +
+                                     "' has a fixed interpretation");
+    }
+    return &relations_[p];
+  }
+
+  /// \pre p < num_predicates()
+  const Relation& relation(PredicateId p) const { return relations_[p]; }
+
+  /// Convenience: inserts `t` into predicate `p`.
+  Status Insert(PredicateId p, Tuple t) {
+    TIC_ASSIGN_OR_RETURN(Relation * rel, MutableRelation(p));
+    return rel->Insert(std::move(t));
+  }
+
+  /// Convenience: removes `t` from predicate `p`.
+  Status Erase(PredicateId p, const Tuple& t) {
+    TIC_ASSIGN_OR_RETURN(Relation * rel, MutableRelation(p));
+    return rel->Erase(t);
+  }
+
+  bool Holds(PredicateId p, const Tuple& t) const {
+    return p < relations_.size() && relations_[p].Contains(t);
+  }
+
+  /// Adds every element mentioned by any relation of this state to `out`
+  /// (the state's contribution to the relevant set R_D of Section 4).
+  void CollectActiveDomain(std::unordered_set<Value>* out) const {
+    for (const Relation& r : relations_) r.CollectElements(out);
+  }
+
+  /// Total number of tuples across all relations.
+  size_t TotalTuples() const {
+    size_t n = 0;
+    for (const Relation& r : relations_) n += r.size();
+    return n;
+  }
+
+  bool operator==(const DatabaseState& other) const {
+    return relations_ == other.relations_;
+  }
+
+ private:
+  VocabularyPtr vocab_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace tic
+
+#endif  // TIC_DB_STATE_H_

@@ -1,0 +1,42 @@
+#ifndef TIC_DB_TUPLE_H_
+#define TIC_DB_TUPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace tic {
+
+/// \brief A domain element. The paper's universe is countably infinite; we use
+/// the non-negative 64-bit integers, and the relevant-domain discipline of
+/// Lemma 4.1 guarantees only finitely many ever materialize.
+using Value = int64_t;
+
+/// \brief A database tuple (fixed arity determined by its relation).
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (Value v : t) HashCombine(&seed, std::hash<Value>{}(static_cast<Value>(v)));
+    return seed;
+  }
+};
+
+/// \brief "(a, b, c)" rendering for diagnostics.
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tic
+
+#endif  // TIC_DB_TUPLE_H_

@@ -1,0 +1,58 @@
+#ifndef TIC_DB_UPDATE_H_
+#define TIC_DB_UPDATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "db/history.h"
+
+namespace tic {
+
+/// \brief One primitive update: insert or delete a tuple of a predicate.
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind;
+  PredicateId predicate;
+  Tuple tuple;
+
+  static UpdateOp Insert(PredicateId p, Tuple t) {
+    return UpdateOp{Kind::kInsert, p, std::move(t)};
+  }
+  static UpdateOp Delete(PredicateId p, Tuple t) {
+    return UpdateOp{Kind::kDelete, p, std::move(t)};
+  }
+};
+
+/// \brief A transaction: primitive updates applied atomically to produce the
+/// next database state from the current one.
+using Transaction = std::vector<UpdateOp>;
+
+/// \brief Appends to `history` the state obtained by applying `txn` to its last
+/// state (or to the empty state if the history is empty).
+///
+/// This is the update model of temporal integrity monitoring: each committed
+/// transaction extends the current history by one state, after which the
+/// monitor re-checks potential satisfaction.
+inline Status ApplyTransaction(History* history, const Transaction& txn) {
+  DatabaseState* next = nullptr;
+  if (history->empty()) {
+    next = history->AppendEmptyState();
+  } else {
+    TIC_ASSIGN_OR_RETURN(next, history->AppendCopyOfLast());
+  }
+  for (const UpdateOp& op : txn) {
+    switch (op.kind) {
+      case UpdateOp::Kind::kInsert:
+        TIC_RETURN_NOT_OK(next->Insert(op.predicate, op.tuple));
+        break;
+      case UpdateOp::Kind::kDelete:
+        TIC_RETURN_NOT_OK(next->Erase(op.predicate, op.tuple));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tic
+
+#endif  // TIC_DB_UPDATE_H_

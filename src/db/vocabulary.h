@@ -1,0 +1,147 @@
+#ifndef TIC_DB_VOCABULARY_H_
+#define TIC_DB_VOCABULARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tic {
+
+/// \brief Index of a predicate symbol within its Vocabulary.
+using PredicateId = uint32_t;
+/// \brief Index of a constant symbol within its Vocabulary.
+using ConstantId = uint32_t;
+
+/// \brief Built-in rigid predicates of the *extended vocabulary* (Section 2 of the
+/// paper): interpreted identically in every database state, over the universe N.
+///
+/// kNone marks an ordinary (finite, state-dependent) database predicate.
+enum class Builtin : uint8_t {
+  kNone = 0,
+  kLessEq,  ///< binary: standard ordering on N
+  kSucc,    ///< binary: succ(a, b) iff b = a + 1
+  kZero,    ///< unary: Zero(a) iff a = 0
+};
+
+/// \brief Metadata for one predicate symbol.
+struct PredicateInfo {
+  std::string name;
+  uint32_t arity = 0;
+  Builtin builtin = Builtin::kNone;
+};
+
+/// \brief A database vocabulary: finite sets of predicate and constant symbols.
+///
+/// Matches the paper's Section 2 notion. Ordinary predicates denote finite,
+/// time-varying relations; builtins (when registered) denote the infinite rigid
+/// relations <=, succ, Zero of the extended vocabulary. Equality is not a
+/// vocabulary member; the formula layer has a dedicated node for it.
+///
+/// Vocabularies are immutable once shared; build one up front, then wrap it in a
+/// shared_ptr passed to histories and formula factories.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Registers an ordinary predicate. Fails with AlreadyExists on a duplicate
+  /// name and InvalidArgument on arity 0 (the paper requires r >= 1).
+  Result<PredicateId> AddPredicate(std::string_view name, uint32_t arity) {
+    return AddPredicateImpl(name, arity, Builtin::kNone);
+  }
+
+  /// Registers one of the extended-vocabulary builtins under `name`.
+  Result<PredicateId> AddBuiltin(std::string_view name, Builtin builtin) {
+    if (builtin == Builtin::kNone) {
+      return Status::InvalidArgument("AddBuiltin requires a real builtin kind");
+    }
+    uint32_t arity = builtin == Builtin::kZero ? 1 : 2;
+    return AddPredicateImpl(name, arity, builtin);
+  }
+
+  /// Registers a constant symbol.
+  Result<ConstantId> AddConstant(std::string_view name) {
+    SymbolId dummy;
+    if (constant_names_.Lookup(name, &dummy)) {
+      return Status::AlreadyExists("constant already declared: " + std::string(name));
+    }
+    ConstantId id = static_cast<ConstantId>(constant_names_.Intern(name));
+    return id;
+  }
+
+  /// Looks up a predicate by name.
+  Result<PredicateId> FindPredicate(std::string_view name) const {
+    SymbolId id;
+    if (!predicate_names_.Lookup(name, &id)) {
+      return Status::NotFound("unknown predicate: " + std::string(name));
+    }
+    return static_cast<PredicateId>(id);
+  }
+
+  /// Looks up a constant by name.
+  Result<ConstantId> FindConstant(std::string_view name) const {
+    SymbolId id;
+    if (!constant_names_.Lookup(name, &id)) {
+      return Status::NotFound("unknown constant: " + std::string(name));
+    }
+    return static_cast<ConstantId>(id);
+  }
+
+  size_t num_predicates() const { return predicates_.size(); }
+  size_t num_constants() const { return constant_names_.size(); }
+
+  /// \pre id < num_predicates()
+  const PredicateInfo& predicate(PredicateId id) const { return predicates_[id]; }
+  /// \pre id < num_constants()
+  const std::string& constant_name(ConstantId id) const {
+    return constant_names_.Name(id);
+  }
+
+  /// Largest arity over ordinary predicates (the paper's `l`); 0 if none.
+  uint32_t MaxArity() const {
+    uint32_t m = 0;
+    for (const auto& p : predicates_) {
+      if (p.builtin == Builtin::kNone && p.arity > m) m = p.arity;
+    }
+    return m;
+  }
+
+  /// True if any extended-vocabulary builtin is registered.
+  bool HasBuiltins() const {
+    for (const auto& p : predicates_) {
+      if (p.builtin != Builtin::kNone) return true;
+    }
+    return false;
+  }
+
+ private:
+  Result<PredicateId> AddPredicateImpl(std::string_view name, uint32_t arity,
+                                       Builtin builtin) {
+    if (arity == 0) {
+      return Status::InvalidArgument("predicate arity must be >= 1: " +
+                                     std::string(name));
+    }
+    SymbolId dummy;
+    if (predicate_names_.Lookup(name, &dummy)) {
+      return Status::AlreadyExists("predicate already declared: " + std::string(name));
+    }
+    PredicateId id = static_cast<PredicateId>(predicate_names_.Intern(name));
+    predicates_.push_back(PredicateInfo{std::string(name), arity, builtin});
+    return id;
+  }
+
+  StringInterner predicate_names_;
+  StringInterner constant_names_;
+  std::vector<PredicateInfo> predicates_;
+};
+
+using VocabularyPtr = std::shared_ptr<const Vocabulary>;
+
+}  // namespace tic
+
+#endif  // TIC_DB_VOCABULARY_H_

@@ -1,0 +1,185 @@
+#ifndef TIC_FOTL_AST_H_
+#define TIC_FOTL_AST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interner.h"
+#include "db/vocabulary.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief Identifier of a (rigid/global) variable, interned by the owning
+/// FormulaFactory. Variable values do not change with time (Section 2).
+using VarId = SymbolId;
+
+/// \brief A term: a variable or a constant symbol (paper, Section 2).
+struct Term {
+  enum class Kind : uint8_t { kVariable, kConstant };
+  Kind kind;
+  uint32_t id;  ///< VarId or ConstantId depending on kind
+
+  static Term Var(VarId v) { return Term{Kind::kVariable, v}; }
+  static Term Const(ConstantId c) { return Term{Kind::kConstant, c}; }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  bool operator==(const Term& o) const { return kind == o.kind && id == o.id; }
+};
+
+/// \brief Connectives of first-order temporal logic.
+///
+/// The base language of the paper has =, the boolean connectives, quantifiers,
+/// Next/Until (future) and Prev/Since (past). The derived connectives
+/// Eventually (sometime-in-the-future), Always, Once (sometime-in-the-past) and
+/// Historically are kept first-class for readability; Desugar() removes them.
+enum class NodeKind : uint8_t {
+  kTrue,
+  kFalse,
+  kEquals,   ///< t1 = t2
+  kAtom,     ///< p(t1,...,tr)
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kExists,
+  kForall,
+  kNext,          ///< O A  ("next time A")
+  kUntil,         ///< A until B
+  kPrev,          ///< previous time A
+  kSince,         ///< A since B
+  kEventually,    ///< <> A  == True until A
+  kAlways,        ///< [] A  == !<>!A
+  kOnce,          ///< sometime in the past
+  kHistorically,  ///< always in the past
+};
+
+/// \brief True for the binary connectives (two formula children).
+inline bool IsBinaryConnective(NodeKind k) {
+  switch (k) {
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+    case NodeKind::kImplies:
+    case NodeKind::kUntil:
+    case NodeKind::kSince:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// \brief True for the unary connectives (one formula child).
+inline bool IsUnaryConnective(NodeKind k) {
+  switch (k) {
+    case NodeKind::kNot:
+    case NodeKind::kNext:
+    case NodeKind::kPrev:
+    case NodeKind::kEventually:
+    case NodeKind::kAlways:
+    case NodeKind::kOnce:
+    case NodeKind::kHistorically:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// \brief True for future-tense temporal connectives.
+inline bool IsFutureConnective(NodeKind k) {
+  switch (k) {
+    case NodeKind::kNext:
+    case NodeKind::kUntil:
+    case NodeKind::kEventually:
+    case NodeKind::kAlways:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// \brief True for past-tense temporal connectives.
+inline bool IsPastConnective(NodeKind k) {
+  switch (k) {
+    case NodeKind::kPrev:
+    case NodeKind::kSince:
+    case NodeKind::kOnce:
+    case NodeKind::kHistorically:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool IsTemporalConnective(NodeKind k) {
+  return IsFutureConnective(k) || IsPastConnective(k);
+}
+
+inline bool IsQuantifier(NodeKind k) {
+  return k == NodeKind::kExists || k == NodeKind::kForall;
+}
+
+class Node;
+/// \brief A formula handle. Nodes are hash-consed by their FormulaFactory, so
+/// pointer equality is structural equality (within one factory).
+using Formula = const Node*;
+
+/// \brief Immutable, hash-consed FOTL formula node. Create via FormulaFactory.
+class Node {
+ public:
+  NodeKind kind() const { return kind_; }
+
+  /// \pre kind() is unary or binary or a quantifier
+  Formula child(size_t i) const { return children_[i]; }
+  Formula lhs() const { return children_[0]; }
+  Formula rhs() const { return children_[1]; }
+
+  /// \pre kind() == kExists || kind() == kForall
+  VarId var() const { return var_; }
+
+  /// \pre kind() == kAtom
+  PredicateId predicate() const { return predicate_; }
+  /// \pre kind() == kAtom (argument list) or kEquals (the two terms)
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// Formula size |A|: number of connective/atom nodes (counted with
+  /// multiplicity, i.e., as a tree), the measure used in Theorem 4.2.
+  uint64_t size() const { return size_; }
+
+  /// Free variables, sorted ascending.
+  const std::vector<VarId>& free_vars() const { return free_vars_; }
+
+  bool has_future() const { return has_future_; }
+  bool has_past() const { return has_past_; }
+  bool has_temporal() const { return has_future_ || has_past_; }
+  bool has_quantifier() const { return has_quantifier_; }
+  bool is_closed() const { return free_vars_.empty(); }
+  /// Pure first-order: no temporal connectives anywhere (Section 2).
+  bool is_pure_first_order() const { return !has_temporal(); }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  friend class FormulaFactory;
+  Node() = default;
+
+  NodeKind kind_ = NodeKind::kTrue;
+  PredicateId predicate_ = 0;
+  VarId var_ = 0;
+  std::vector<Term> terms_;
+  Formula children_[2] = {nullptr, nullptr};
+
+  // Derived/cached data.
+  uint64_t size_ = 1;
+  uint64_t hash_ = 0;
+  std::vector<VarId> free_vars_;
+  bool has_future_ = false;
+  bool has_past_ = false;
+  bool has_quantifier_ = false;
+};
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_AST_H_

@@ -1,0 +1,80 @@
+#include "fotl/classify.h"
+
+namespace tic {
+namespace fotl {
+
+namespace {
+
+// Counts quantifier nodes in the subtree (as a tree, but each distinct shared
+// node contributes per occurrence only once since formulas are DAGs with
+// logical semantics; counting distinct nodes suffices for classification).
+size_t CountQuantifiers(Formula f) {
+  if (!f->has_quantifier()) return 0;
+  size_t n = IsQuantifier(f->kind()) ? 1 : 0;
+  if (f->child(0) != nullptr) n += CountQuantifiers(f->child(0));
+  if (f->child(1) != nullptr) n += CountQuantifiers(f->child(1));
+  return n;
+}
+
+// True when f is a prenex block: a (possibly empty) chain of one kind of
+// quantifier over a quantifier-free pure-FO formula. (Covers Sigma_1 / Pi_1.)
+bool IsPrenex1(Formula f) {
+  if (!f->has_quantifier()) return true;
+  NodeKind q = f->kind();
+  if (!IsQuantifier(q)) return false;
+  Formula body = f;
+  while (body->kind() == q) body = body->child(0);
+  return !body->has_quantifier();
+}
+
+// Checks that in `f`, every quantifier subtree is pure first-order, i.e. no
+// temporal operator occurs in the scope of a quantifier. Also gathers each
+// maximal quantified block for the prenex-1 test.
+bool QuantifiersArePureFO(Formula f, bool* blocks_prenex1) {
+  if (!f->has_quantifier()) return true;
+  if (IsQuantifier(f->kind())) {
+    if (f->has_temporal()) return false;  // temporal op inside quantifier scope
+    *blocks_prenex1 = *blocks_prenex1 && IsPrenex1(f);
+    return true;
+  }
+  bool ok = true;
+  if (f->child(0) != nullptr) ok = ok && QuantifiersArePureFO(f->child(0), blocks_prenex1);
+  if (f->child(1) != nullptr) ok = ok && QuantifiersArePureFO(f->child(1), blocks_prenex1);
+  return ok;
+}
+
+}  // namespace
+
+void StripUniversalPrefix(Formula f, std::vector<VarId>* vars, Formula* body) {
+  vars->clear();
+  while (f->kind() == NodeKind::kForall) {
+    vars->push_back(f->var());
+    f = f->child(0);
+  }
+  *body = f;
+}
+
+Classification Classify(Formula f) {
+  Classification c;
+  c.closed = f->is_closed();
+  c.future_only = !f->has_past();
+  c.past_only = !f->has_future();
+  c.pure_first_order = f->is_pure_first_order();
+
+  Formula body = nullptr;
+  StripUniversalPrefix(f, &c.external_universals, &body);
+
+  c.num_internal_quantifiers = CountQuantifiers(body);
+  c.internal_blocks_prenex1 = true;
+  bool internal_ok = QuantifiersArePureFO(body, &c.internal_blocks_prenex1);
+  c.biquantified = c.future_only && internal_ok;
+  if (!c.biquantified) c.internal_blocks_prenex1 = false;
+  c.universal = c.biquantified && c.num_internal_quantifiers == 0;
+
+  c.is_always_past =
+      f->kind() == NodeKind::kAlways && !f->child(0)->has_future();
+  return c;
+}
+
+}  // namespace fotl
+}  // namespace tic

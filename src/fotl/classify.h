@@ -1,0 +1,61 @@
+#ifndef TIC_FOTL_CLASSIFY_H_
+#define TIC_FOTL_CLASSIFY_H_
+
+#include <vector>
+
+#include "fotl/ast.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief Syntactic classification of a formula according to the paper's
+/// hierarchy (Section 2, "Classification of formulas").
+///
+/// A *biquantified* formula is of the form `forall x1 ... xk . rho` where `rho`
+/// is built from pure first-order formulas using future temporal and boolean
+/// connectives only (class `8* tense(Sigma)`): external quantifiers are all
+/// universal and sit outside every temporal operator; internal quantifiers have
+/// no temporal operator in their scope.
+///
+/// A *universal* formula is a biquantified formula with no internal quantifiers
+/// (class `8* tense(Sigma_0)`); these are the formulas for which Section 4
+/// gives the exponential-time checking algorithm.
+struct Classification {
+  bool closed = false;            ///< sentence (no free variables)
+  bool future_only = false;       ///< no past-tense connectives
+  bool past_only = false;         ///< no future-tense connectives
+  bool pure_first_order = false;  ///< no temporal connectives at all
+
+  /// The maximal leading chain of universal quantifiers (the external prefix).
+  std::vector<VarId> external_universals;
+
+  bool biquantified = false;
+  /// Number of quantifier nodes in the body after stripping the external
+  /// prefix (the paper's internal quantifiers). Only meaningful when
+  /// biquantified is true.
+  size_t num_internal_quantifiers = 0;
+  /// True when every internal quantified block is a prenex
+  /// exists*/forall*-over-quantifier-free formula (Sigma_1 or Pi_1), so the
+  /// formula lies in `8* tense(Sigma_1)` — the fragment shown undecidable in
+  /// Section 3 (when num_internal_quantifiers >= 1).
+  bool internal_blocks_prenex1 = false;
+
+  /// biquantified && num_internal_quantifiers == 0.
+  bool universal = false;
+
+  /// Of the form `G A` with A a past formula — the shape of Proposition 2.1,
+  /// always a safety formula, and the shape the past-FOTL baseline handles.
+  bool is_always_past = false;
+};
+
+/// \brief Computes the classification of `f`.
+Classification Classify(Formula f);
+
+/// \brief Splits `forall x1 ... xk . body` into prefix variables and body
+/// (k = 0 and body = f when there is no universal prefix).
+void StripUniversalPrefix(Formula f, std::vector<VarId>* vars, Formula* body);
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_CLASSIFY_H_

@@ -1,0 +1,333 @@
+#include "fotl/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace tic {
+namespace fotl {
+
+namespace {
+
+// Projects the valuation onto the free variables of f (sorted order) to form a
+// compact memo environment.
+std::vector<Value> ProjectEnv(Formula f, const Valuation& v) {
+  std::vector<Value> env;
+  env.reserve(f->free_vars().size());
+  for (VarId var : f->free_vars()) {
+    auto it = v.find(var);
+    env.push_back(it == v.end() ? -1 : it->second);
+  }
+  return env;
+}
+
+size_t HashEnvKey(const void* f, size_t pos, const std::vector<Value>& env) {
+  size_t seed = reinterpret_cast<size_t>(f);
+  HashCombine(&seed, pos);
+  for (Value x : env) HashCombine(&seed, std::hash<Value>{}(x));
+  return seed;
+}
+
+void CollectBoundVars(Formula f, std::unordered_set<VarId>* out) {
+  if (!f->has_quantifier()) return;
+  if (IsQuantifier(f->kind())) out->insert(f->var());
+  if (f->child(0) != nullptr) CollectBoundVars(f->child(0), out);
+  if (f->child(1) != nullptr) CollectBoundVars(f->child(1), out);
+}
+
+}  // namespace
+
+size_t CountDistinctBoundVars(Formula f) {
+  std::unordered_set<VarId> vars;
+  CollectBoundVars(f, &vars);
+  return vars.size();
+}
+
+bool EvaluateBuiltin(Builtin b, const std::vector<Value>& args) {
+  switch (b) {
+    case Builtin::kLessEq:
+      return args[0] <= args[1];
+    case Builtin::kSucc:
+      return args[1] == args[0] + 1;
+    case Builtin::kZero:
+      return args[0] == 0;
+    case Builtin::kNone:
+      break;
+  }
+  return false;
+}
+
+size_t PeriodicEvaluator::MemoKeyHash::operator()(const MemoKey& k) const {
+  return HashEnvKey(k.f, k.pos, k.env);
+}
+
+Result<Value> PeriodicEvaluator::ResolveTerm(const Term& t, const Valuation& v) const {
+  if (t.is_constant()) return db_->ConstantValue(t.id);
+  auto it = v.find(t.id);
+  if (it == v.end()) {
+    return Status::InvalidArgument("free variable without a value (formula not closed)");
+  }
+  return it->second;
+}
+
+Result<bool> PeriodicEvaluator::EvaluateAt(Formula f, const Valuation& v, size_t pos) {
+  if (pos >= NumPositions()) {
+    return Status::OutOfRange("position beyond prefix+loop representation");
+  }
+  return Eval(f, v, pos);
+}
+
+Result<bool> PeriodicEvaluator::Eval(Formula f, const Valuation& v, size_t pos) {
+  MemoKey key{f, pos, ProjectEnv(f, v)};
+  auto memo_it = memo_.find(key);
+  if (memo_it != memo_.end()) return memo_it->second;
+
+  auto remember = [&](bool value) -> Result<bool> {
+    memo_.emplace(std::move(key), value);
+    return value;
+  };
+
+  switch (f->kind()) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kFalse:
+      return false;
+    case NodeKind::kEquals: {
+      TIC_ASSIGN_OR_RETURN(Value a, ResolveTerm(f->terms()[0], v));
+      TIC_ASSIGN_OR_RETURN(Value b, ResolveTerm(f->terms()[1], v));
+      return a == b;
+    }
+    case NodeKind::kAtom: {
+      const PredicateInfo& info = db_->vocabulary()->predicate(f->predicate());
+      Tuple args;
+      args.reserve(f->terms().size());
+      for (const Term& t : f->terms()) {
+        TIC_ASSIGN_OR_RETURN(Value a, ResolveTerm(t, v));
+        args.push_back(a);
+      }
+      if (info.builtin != Builtin::kNone) {
+        return EvaluateBuiltin(info.builtin, args);
+      }
+      return db_->StateAt(pos).Holds(f->predicate(), args);
+    }
+    case NodeKind::kNot: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), v, pos));
+      return remember(!a);
+    }
+    case NodeKind::kAnd: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), v, pos));
+      if (!a) return remember(false);
+      TIC_ASSIGN_OR_RETURN(bool b, Eval(f->rhs(), v, pos));
+      return remember(b);
+    }
+    case NodeKind::kOr: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), v, pos));
+      if (a) return remember(true);
+      TIC_ASSIGN_OR_RETURN(bool b, Eval(f->rhs(), v, pos));
+      return remember(b);
+    }
+    case NodeKind::kImplies: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), v, pos));
+      if (!a) return remember(true);
+      TIC_ASSIGN_OR_RETURN(bool b, Eval(f->rhs(), v, pos));
+      return remember(b);
+    }
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      bool is_exists = f->kind() == NodeKind::kExists;
+      Valuation v2 = v;
+      for (Value d : domain_) {
+        v2[f->var()] = d;
+        TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), v2, pos));
+        if (is_exists && a) return remember(true);
+        if (!is_exists && !a) return remember(false);
+      }
+      return remember(!is_exists);
+    }
+    case NodeKind::kNext:
+      return Eval(f->child(0), v, NextPos(pos));
+    case NodeKind::kEventually:
+    case NodeKind::kAlways:
+    case NodeKind::kUntil: {
+      // Walk the deterministic successor chain; it revisits a position after at
+      // most prefix+loop steps, at which point the answer is forced.
+      size_t cur = pos;
+      size_t bound = NumPositions() + 1;
+      bool is_until = f->kind() == NodeKind::kUntil;
+      bool is_always = f->kind() == NodeKind::kAlways;
+      Formula hold = is_until ? f->lhs() : f->child(0);
+      Formula goal = is_until ? f->rhs() : f->child(0);
+      for (size_t step = 0; step < bound; ++step) {
+        if (is_always) {
+          TIC_ASSIGN_OR_RETURN(bool h, Eval(hold, v, cur));
+          if (!h) return remember(false);
+        } else {
+          TIC_ASSIGN_OR_RETURN(bool g, Eval(goal, v, cur));
+          if (g) return remember(true);
+          if (is_until) {
+            TIC_ASSIGN_OR_RETURN(bool h, Eval(hold, v, cur));
+            if (!h) return remember(false);
+          }
+        }
+        cur = NextPos(cur);
+      }
+      // Cycled through every reachable position.
+      return remember(is_always);
+    }
+    case NodeKind::kPrev:
+    case NodeKind::kSince:
+    case NodeKind::kOnce:
+    case NodeKind::kHistorically:
+      return Status::NotSupported(
+          "PeriodicEvaluator handles future formulas only; use "
+          "FiniteHistoryEvaluator for past formulas");
+  }
+  return Status::Internal("unhandled node kind in PeriodicEvaluator");
+}
+
+Result<bool> EvaluateFuture(const UltimatelyPeriodicDb& db, Formula sentence,
+                            size_t num_fresh) {
+  if (!sentence->is_closed()) {
+    return Status::InvalidArgument("EvaluateFuture requires a sentence");
+  }
+  if (sentence->has_past()) {
+    return Status::NotSupported("EvaluateFuture requires a future formula");
+  }
+  if (num_fresh == static_cast<size_t>(-1)) {
+    num_fresh = CountDistinctBoundVars(sentence);
+  }
+  std::vector<Value> domain = db.RelevantSet();
+  Value next_fresh = domain.empty() ? 0 : domain.back() + 1;
+  for (size_t i = 0; i < num_fresh; ++i) domain.push_back(next_fresh + i);
+  PeriodicEvaluator ev(&db, std::move(domain));
+  return ev.Evaluate(sentence);
+}
+
+size_t FiniteHistoryEvaluator::MemoKeyHash::operator()(const MemoKey& k) const {
+  return HashEnvKey(k.f, k.t, k.env);
+}
+
+Result<Value> FiniteHistoryEvaluator::ResolveTerm(const Term& t,
+                                                  const Valuation& v) const {
+  if (t.is_constant()) return history_->ConstantValue(t.id);
+  auto it = v.find(t.id);
+  if (it == v.end()) {
+    return Status::InvalidArgument("free variable without a value");
+  }
+  return it->second;
+}
+
+Result<bool> FiniteHistoryEvaluator::EvaluateAt(Formula f, const Valuation& v,
+                                                size_t t) {
+  if (t >= history_->length()) return Status::OutOfRange("instant beyond history");
+  return Eval(f, v, t);
+}
+
+Result<bool> FiniteHistoryEvaluator::Eval(Formula f, const Valuation& v, size_t t) {
+  MemoKey key{f, t, ProjectEnv(f, v)};
+  auto memo_it = memo_.find(key);
+  if (memo_it != memo_.end()) return memo_it->second;
+  auto remember = [&](bool value) -> Result<bool> {
+    memo_.emplace(std::move(key), value);
+    return value;
+  };
+
+  switch (f->kind()) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kFalse:
+      return false;
+    case NodeKind::kEquals: {
+      TIC_ASSIGN_OR_RETURN(Value a, ResolveTerm(f->terms()[0], v));
+      TIC_ASSIGN_OR_RETURN(Value b, ResolveTerm(f->terms()[1], v));
+      return a == b;
+    }
+    case NodeKind::kAtom: {
+      const PredicateInfo& info = history_->vocabulary()->predicate(f->predicate());
+      Tuple args;
+      args.reserve(f->terms().size());
+      for (const Term& term : f->terms()) {
+        TIC_ASSIGN_OR_RETURN(Value a, ResolveTerm(term, v));
+        args.push_back(a);
+      }
+      if (info.builtin != Builtin::kNone) {
+        return EvaluateBuiltin(info.builtin, args);
+      }
+      return history_->state(t).Holds(f->predicate(), args);
+    }
+    case NodeKind::kNot: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), v, t));
+      return remember(!a);
+    }
+    case NodeKind::kAnd: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), v, t));
+      if (!a) return remember(false);
+      TIC_ASSIGN_OR_RETURN(bool b, Eval(f->rhs(), v, t));
+      return remember(b);
+    }
+    case NodeKind::kOr: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), v, t));
+      if (a) return remember(true);
+      TIC_ASSIGN_OR_RETURN(bool b, Eval(f->rhs(), v, t));
+      return remember(b);
+    }
+    case NodeKind::kImplies: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), v, t));
+      if (!a) return remember(true);
+      TIC_ASSIGN_OR_RETURN(bool b, Eval(f->rhs(), v, t));
+      return remember(b);
+    }
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      bool is_exists = f->kind() == NodeKind::kExists;
+      Valuation v2 = v;
+      for (Value d : domain_) {
+        v2[f->var()] = d;
+        TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), v2, t));
+        if (is_exists && a) return remember(true);
+        if (!is_exists && !a) return remember(false);
+      }
+      return remember(!is_exists);
+    }
+    case NodeKind::kPrev: {
+      if (t == 0) return remember(false);
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), v, t - 1));
+      return remember(a);
+    }
+    case NodeKind::kSince: {
+      // A since B at t == B(t) or (A(t) and t > 0 and (A since B)(t-1)).
+      TIC_ASSIGN_OR_RETURN(bool b, Eval(f->rhs(), v, t));
+      if (b) return remember(true);
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), v, t));
+      if (!a || t == 0) return remember(false);
+      TIC_ASSIGN_OR_RETURN(bool s, Eval(f, v, t - 1));
+      return remember(s);
+    }
+    case NodeKind::kOnce: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), v, t));
+      if (a) return remember(true);
+      if (t == 0) return remember(false);
+      TIC_ASSIGN_OR_RETURN(bool o, Eval(f, v, t - 1));
+      return remember(o);
+    }
+    case NodeKind::kHistorically: {
+      TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), v, t));
+      if (!a) return remember(false);
+      if (t == 0) return remember(true);
+      TIC_ASSIGN_OR_RETURN(bool h, Eval(f, v, t - 1));
+      return remember(h);
+    }
+    case NodeKind::kNext:
+    case NodeKind::kUntil:
+    case NodeKind::kEventually:
+    case NodeKind::kAlways:
+      return Status::NotSupported(
+          "FiniteHistoryEvaluator handles past formulas only; use "
+          "PeriodicEvaluator for future formulas");
+  }
+  return Status::Internal("unhandled node kind in FiniteHistoryEvaluator");
+}
+
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,118 @@
+#ifndef TIC_FOTL_EVALUATOR_H_
+#define TIC_FOTL_EVALUATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/history.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief A valuation: variable -> universe element (rigid, Section 2).
+using Valuation = std::unordered_map<VarId, Value>;
+
+/// \brief Evaluates *future* FOTL formulas on a finitely-represented infinite
+/// temporal database (prefix + loop), with quantifiers ranging over a given
+/// finite domain.
+///
+/// Domain finiteness is justified by the relevant-element argument of
+/// Lemma 4.1: elements outside every relation and constant are pairwise
+/// indistinguishable, so quantification over the relevant set plus one fresh
+/// element per quantified variable is *exact* for ordinary vocabularies.
+/// When the formula mentions extended-vocabulary builtins (<=, succ, Zero),
+/// irrelevant elements become distinguishable and evaluation is relative to
+/// the supplied domain (active-domain semantics); callers must then supply a
+/// domain that covers the positions of interest.
+class PeriodicEvaluator {
+ public:
+  /// `db` must outlive the evaluator.
+  PeriodicEvaluator(const UltimatelyPeriodicDb* db, std::vector<Value> domain)
+      : db_(db), domain_(std::move(domain)) {}
+
+  /// Truth of closed `f` at instant 0 (the paper's `D |= f`).
+  Result<bool> Evaluate(Formula f) { return EvaluateAt(f, Valuation{}, 0); }
+
+  /// Truth of `f` under `v` at normalized position `pos` in [0, prefix+loop).
+  Result<bool> EvaluateAt(Formula f, const Valuation& v, size_t pos);
+
+ private:
+  struct MemoKey {
+    Formula f;
+    size_t pos;
+    std::vector<Value> env;  // values of f's free vars, in sorted-var order
+    bool operator==(const MemoKey& o) const {
+      return f == o.f && pos == o.pos && env == o.env;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const;
+  };
+
+  size_t NumPositions() const { return db_->prefix_length() + db_->loop_length(); }
+  size_t NextPos(size_t pos) const {
+    size_t n = pos + 1;
+    return n < NumPositions() ? n : db_->prefix_length();
+  }
+
+  Result<Value> ResolveTerm(const Term& t, const Valuation& v) const;
+  Result<bool> Eval(Formula f, const Valuation& v, size_t pos);
+
+  const UltimatelyPeriodicDb* db_;
+  std::vector<Value> domain_;
+  std::unordered_map<MemoKey, bool, MemoKeyHash> memo_;
+};
+
+/// \brief Evaluates a future FOTL *sentence* on `db` at instant 0, using the
+/// relevant set of `db` plus `num_fresh` fresh elements as the quantifier
+/// domain. When `num_fresh` is SIZE_MAX (default), one fresh element per
+/// distinct bound variable of the sentence is used, which is exact for
+/// builtin-free vocabularies.
+Result<bool> EvaluateFuture(const UltimatelyPeriodicDb& db, Formula sentence,
+                            size_t num_fresh = static_cast<size_t>(-1));
+
+/// \brief Evaluates *past* FOTL formulas over a finite history, as used for
+/// `G past` constraints (Proposition 2.1) and the past-FOTL baseline.
+/// Quantifier domain handling is as in PeriodicEvaluator.
+class FiniteHistoryEvaluator {
+ public:
+  FiniteHistoryEvaluator(const History* history, std::vector<Value> domain)
+      : history_(history), domain_(std::move(domain)) {}
+
+  /// Truth of past formula `f` under `v` at instant `t` < history length.
+  Result<bool> EvaluateAt(Formula f, const Valuation& v, size_t t);
+
+ private:
+  struct MemoKey {
+    Formula f;
+    size_t t;
+    std::vector<Value> env;
+    bool operator==(const MemoKey& o) const {
+      return f == o.f && t == o.t && env == o.env;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const;
+  };
+
+  Result<Value> ResolveTerm(const Term& t, const Valuation& v) const;
+  Result<bool> Eval(Formula f, const Valuation& v, size_t t);
+
+  const History* history_;
+  std::vector<Value> domain_;
+  std::unordered_map<MemoKey, bool, MemoKeyHash> memo_;
+};
+
+/// \brief Number of distinct bound variables of `f` (used to size the fresh
+/// part of quantifier domains).
+size_t CountDistinctBoundVars(Formula f);
+
+/// \brief Evaluates a rigid builtin on concrete elements.
+bool EvaluateBuiltin(Builtin b, const std::vector<Value>& args);
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_EVALUATOR_H_

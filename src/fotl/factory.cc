@@ -1,0 +1,254 @@
+#include "fotl/factory.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace tic {
+namespace fotl {
+
+namespace {
+
+uint64_t HashNode(const Node& n, NodeKind kind, PredicateId pred, VarId var,
+                  const std::vector<Term>& terms, Formula c0, Formula c1) {
+  (void)n;
+  size_t seed = static_cast<size_t>(kind) * 0x9e3779b97f4a7c15ULL + 1;
+  HashCombine(&seed, static_cast<size_t>(pred));
+  HashCombine(&seed, static_cast<size_t>(var));
+  for (const Term& t : terms) {
+    HashCombine(&seed, static_cast<size_t>(t.kind));
+    HashCombine(&seed, static_cast<size_t>(t.id));
+  }
+  HashCombine(&seed, reinterpret_cast<size_t>(c0));
+  HashCombine(&seed, reinterpret_cast<size_t>(c1));
+  return seed;
+}
+
+// Sorted union of free-variable lists.
+std::vector<VarId> UnionVars(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+bool FormulaFactory::NodeKeyEq::operator()(const Node* a, const Node* b) const {
+  return a->kind() == b->kind() &&
+         (a->kind() != NodeKind::kAtom || a->predicate() == b->predicate()) &&
+         a->terms() == b->terms() && a->child(0) == b->child(0) &&
+         a->child(1) == b->child(1) &&
+         (!IsQuantifier(a->kind()) || a->var() == b->var());
+}
+
+Formula FormulaFactory::Intern(Node&& proto) {
+  proto.hash_ = HashNode(proto, proto.kind_, proto.predicate_, proto.var_, proto.terms_,
+                         proto.children_[0], proto.children_[1]);
+  auto it = cache_.find(&proto);
+  if (it != cache_.end()) return it->second;
+
+  // Compute cached metadata.
+  uint64_t size = 1;
+  bool fut = IsFutureConnective(proto.kind_);
+  bool past = IsPastConnective(proto.kind_);
+  bool quant = IsQuantifier(proto.kind_);
+  std::vector<VarId> fv;
+  for (int i = 0; i < 2; ++i) {
+    Formula c = proto.children_[i];
+    if (c == nullptr) continue;
+    size += c->size();
+    fut = fut || c->has_future();
+    past = past || c->has_past();
+    quant = quant || c->has_quantifier();
+    fv = UnionVars(fv, c->free_vars());
+  }
+  for (const Term& t : proto.terms_) {
+    if (t.is_variable()) {
+      auto pos = std::lower_bound(fv.begin(), fv.end(), t.id);
+      if (pos == fv.end() || *pos != t.id) fv.insert(pos, t.id);
+    }
+  }
+  if (quant && IsQuantifier(proto.kind_)) {
+    auto pos = std::lower_bound(fv.begin(), fv.end(), proto.var_);
+    if (pos != fv.end() && *pos == proto.var_) fv.erase(pos);
+  }
+  proto.size_ = size;
+  proto.has_future_ = fut;
+  proto.has_past_ = past;
+  proto.has_quantifier_ = quant;
+  proto.free_vars_ = std::move(fv);
+
+  nodes_.push_back(std::move(proto));
+  Formula f = &nodes_.back();
+  cache_.emplace(f, f);
+  return f;
+}
+
+Formula FormulaFactory::True() {
+  if (true_ == nullptr) {
+    Node n;
+    n.kind_ = NodeKind::kTrue;
+    true_ = Intern(std::move(n));
+  }
+  return true_;
+}
+
+Formula FormulaFactory::False() {
+  if (false_ == nullptr) {
+    Node n;
+    n.kind_ = NodeKind::kFalse;
+    false_ = Intern(std::move(n));
+  }
+  return false_;
+}
+
+Formula FormulaFactory::Equals(Term t1, Term t2) {
+  if (t1 == t2) return True();
+  Node n;
+  n.kind_ = NodeKind::kEquals;
+  n.terms_ = {t1, t2};
+  return Intern(std::move(n));
+}
+
+Result<Formula> FormulaFactory::Atom(PredicateId p, std::vector<Term> terms) {
+  if (p >= vocab_->num_predicates()) {
+    return Status::OutOfRange("predicate id out of range");
+  }
+  const PredicateInfo& info = vocab_->predicate(p);
+  if (info.arity != terms.size()) {
+    return Status::InvalidArgument("predicate " + info.name + " expects " +
+                                   std::to_string(info.arity) + " arguments, got " +
+                                   std::to_string(terms.size()));
+  }
+  Node n;
+  n.kind_ = NodeKind::kAtom;
+  n.predicate_ = p;
+  n.terms_ = std::move(terms);
+  return Intern(std::move(n));
+}
+
+Formula FormulaFactory::MakeUnary(NodeKind k, Formula a) {
+  Node n;
+  n.kind_ = k;
+  n.children_[0] = a;
+  return Intern(std::move(n));
+}
+
+Formula FormulaFactory::MakeBinary(NodeKind k, Formula a, Formula b) {
+  Node n;
+  n.kind_ = k;
+  n.children_[0] = a;
+  n.children_[1] = b;
+  return Intern(std::move(n));
+}
+
+Formula FormulaFactory::MakeQuantifier(NodeKind k, VarId v, Formula a) {
+  Node n;
+  n.kind_ = k;
+  n.var_ = v;
+  n.children_[0] = a;
+  return Intern(std::move(n));
+}
+
+Formula FormulaFactory::Not(Formula a) {
+  if (a->kind() == NodeKind::kTrue) return False();
+  if (a->kind() == NodeKind::kFalse) return True();
+  if (a->kind() == NodeKind::kNot) return a->child(0);
+  return MakeUnary(NodeKind::kNot, a);
+}
+
+Formula FormulaFactory::And(Formula a, Formula b) {
+  if (a->kind() == NodeKind::kFalse || b->kind() == NodeKind::kFalse) return False();
+  if (a->kind() == NodeKind::kTrue) return b;
+  if (b->kind() == NodeKind::kTrue) return a;
+  if (a == b) return a;
+  return MakeBinary(NodeKind::kAnd, a, b);
+}
+
+Formula FormulaFactory::Or(Formula a, Formula b) {
+  if (a->kind() == NodeKind::kTrue || b->kind() == NodeKind::kTrue) return True();
+  if (a->kind() == NodeKind::kFalse) return b;
+  if (b->kind() == NodeKind::kFalse) return a;
+  if (a == b) return a;
+  return MakeBinary(NodeKind::kOr, a, b);
+}
+
+Formula FormulaFactory::Implies(Formula a, Formula b) {
+  if (a->kind() == NodeKind::kFalse || b->kind() == NodeKind::kTrue) return True();
+  if (a->kind() == NodeKind::kTrue) return b;
+  if (b->kind() == NodeKind::kFalse) return Not(a);
+  if (a == b) return True();
+  return MakeBinary(NodeKind::kImplies, a, b);
+}
+
+Formula FormulaFactory::AndAll(const std::vector<Formula>& fs) {
+  Formula acc = True();
+  for (Formula f : fs) acc = And(acc, f);
+  return acc;
+}
+
+Formula FormulaFactory::OrAll(const std::vector<Formula>& fs) {
+  Formula acc = False();
+  for (Formula f : fs) acc = Or(acc, f);
+  return acc;
+}
+
+Formula FormulaFactory::Exists(VarId v, Formula a) {
+  if (a->kind() == NodeKind::kTrue || a->kind() == NodeKind::kFalse) return a;
+  return MakeQuantifier(NodeKind::kExists, v, a);
+}
+
+Formula FormulaFactory::Forall(VarId v, Formula a) {
+  if (a->kind() == NodeKind::kTrue || a->kind() == NodeKind::kFalse) return a;
+  return MakeQuantifier(NodeKind::kForall, v, a);
+}
+
+Formula FormulaFactory::Next(Formula a) {
+  if (a->kind() == NodeKind::kTrue || a->kind() == NodeKind::kFalse) return a;
+  return MakeUnary(NodeKind::kNext, a);
+}
+
+Formula FormulaFactory::Until(Formula a, Formula b) {
+  if (b->kind() == NodeKind::kTrue) return True();
+  if (b->kind() == NodeKind::kFalse) return False();
+  // True until B == Eventually B kept distinct only when built via Eventually().
+  return MakeBinary(NodeKind::kUntil, a, b);
+}
+
+Formula FormulaFactory::Prev(Formula a) {
+  // Note: Prev False == False, but Prev True != True (false at instant 0), so
+  // only the False case folds.
+  if (a->kind() == NodeKind::kFalse) return a;
+  return MakeUnary(NodeKind::kPrev, a);
+}
+
+Formula FormulaFactory::Since(Formula a, Formula b) {
+  if (b->kind() == NodeKind::kFalse) return False();
+  // A since True == True (witness s = t).
+  if (b->kind() == NodeKind::kTrue) return True();
+  return MakeBinary(NodeKind::kSince, a, b);
+}
+
+Formula FormulaFactory::Eventually(Formula a) {
+  if (a->kind() == NodeKind::kTrue || a->kind() == NodeKind::kFalse) return a;
+  return MakeUnary(NodeKind::kEventually, a);
+}
+
+Formula FormulaFactory::Always(Formula a) {
+  if (a->kind() == NodeKind::kTrue || a->kind() == NodeKind::kFalse) return a;
+  return MakeUnary(NodeKind::kAlways, a);
+}
+
+Formula FormulaFactory::Once(Formula a) {
+  if (a->kind() == NodeKind::kTrue || a->kind() == NodeKind::kFalse) return a;
+  return MakeUnary(NodeKind::kOnce, a);
+}
+
+Formula FormulaFactory::Historically(Formula a) {
+  if (a->kind() == NodeKind::kTrue || a->kind() == NodeKind::kFalse) return a;
+  return MakeUnary(NodeKind::kHistorically, a);
+}
+
+}  // namespace fotl
+}  // namespace tic

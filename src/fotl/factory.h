@@ -1,0 +1,99 @@
+#ifndef TIC_FOTL_FACTORY_H_
+#define TIC_FOTL_FACTORY_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "db/vocabulary.h"
+#include "fotl/ast.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief Owning arena + hash-consing cache for FOTL formulas over one
+/// vocabulary.
+///
+/// All construction goes through this factory; structurally equal formulas
+/// share one node, so Formula (a pointer) compares by structure in O(1) and
+/// memory stays proportional to the number of *distinct* subformulas — vital
+/// for the grounding of Theorem 4.1 which creates heavily shared instances.
+///
+/// Builders apply only trivially sound rewrites (constant folding with
+/// True/False, double negation, idempotent And/Or); they never change the
+/// quantifier or tense structure of non-constant operands, so classification
+/// results are unaffected.
+class FormulaFactory {
+ public:
+  explicit FormulaFactory(VocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+
+  const VocabularyPtr& vocabulary() const { return vocab_; }
+
+  /// Interns a variable name.
+  VarId InternVar(std::string_view name) { return vars_.Intern(name); }
+  const std::string& VarName(VarId v) const { return vars_.Name(v); }
+  size_t num_vars() const { return vars_.size(); }
+
+  Formula True();
+  Formula False();
+
+  /// t1 = t2. Folds trivially equal terms to True.
+  Formula Equals(Term t1, Term t2);
+
+  /// p(terms...). Fails if the arity does not match the vocabulary.
+  Result<Formula> Atom(PredicateId p, std::vector<Term> terms);
+
+  Formula Not(Formula a);
+  Formula And(Formula a, Formula b);
+  Formula Or(Formula a, Formula b);
+  Formula Implies(Formula a, Formula b);
+  /// Conjunction of a list (True if empty), folded left.
+  Formula AndAll(const std::vector<Formula>& fs);
+  /// Disjunction of a list (False if empty), folded left.
+  Formula OrAll(const std::vector<Formula>& fs);
+
+  Formula Exists(VarId v, Formula a);
+  Formula Forall(VarId v, Formula a);
+
+  Formula Next(Formula a);
+  Formula Until(Formula a, Formula b);
+  Formula Prev(Formula a);
+  Formula Since(Formula a, Formula b);
+  Formula Eventually(Formula a);
+  Formula Always(Formula a);
+  Formula Once(Formula a);
+  Formula Historically(Formula a);
+
+  /// Number of distinct nodes created so far.
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  Formula Intern(Node&& proto);
+  Formula MakeUnary(NodeKind k, Formula a);
+  Formula MakeBinary(NodeKind k, Formula a, Formula b);
+  Formula MakeQuantifier(NodeKind k, VarId v, Formula a);
+
+  struct NodeKeyHash {
+    size_t operator()(const Node* n) const { return n->hash(); }
+  };
+  struct NodeKeyEq {
+    bool operator()(const Node* a, const Node* b) const;
+  };
+
+  VocabularyPtr vocab_;
+  StringInterner vars_;
+  std::deque<Node> nodes_;  // stable addresses
+  std::unordered_map<const Node*, Formula, NodeKeyHash, NodeKeyEq> cache_;
+  Formula true_ = nullptr;
+  Formula false_ = nullptr;
+};
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_FACTORY_H_

@@ -1,0 +1,59 @@
+#include "fotl/normalize.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "fotl/classify.h"
+#include "fotl/transform.h"
+
+namespace tic {
+namespace fotl {
+
+Result<Formula> MergeUniversal(FormulaFactory* factory,
+                               const std::vector<Formula>& conjuncts) {
+  if (conjuncts.empty()) return factory->True();
+
+  // Widest prefix determines the shared one.
+  size_t width = 0;
+  for (Formula f : conjuncts) {
+    Classification c = Classify(f);
+    if (!c.universal) {
+      return Status::NotSupported(
+          "MergeUniversal requires universal conjuncts (forall* tense(Sigma_0))");
+    }
+    if (!c.closed) {
+      return Status::InvalidArgument("MergeUniversal requires sentences");
+    }
+    width = std::max(width, c.external_universals.size());
+  }
+
+  // Fresh shared prefix variables: names like "$u0" cannot collide with
+  // parser-produced variables ('$' is not an identifier character).
+  std::vector<VarId> shared;
+  shared.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    shared.push_back(factory->InternVar("$u" + std::to_string(i)));
+  }
+
+  Formula merged_body = factory->True();
+  for (Formula f : conjuncts) {
+    std::vector<VarId> prefix;
+    Formula body = nullptr;
+    StripUniversalPrefix(f, &prefix, &body);
+    std::unordered_map<VarId, Term> rename;
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      rename.emplace(prefix[i], Term::Var(shared[i]));
+    }
+    TIC_ASSIGN_OR_RETURN(Formula renamed, SubstituteVars(factory, body, rename));
+    merged_body = factory->And(merged_body, renamed);
+  }
+
+  Formula out = merged_body;
+  for (auto it = shared.rbegin(); it != shared.rend(); ++it) {
+    out = factory->Forall(*it, out);
+  }
+  return out;
+}
+
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,32 @@
+#ifndef TIC_FOTL_NORMALIZE_H_
+#define TIC_FOTL_NORMALIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief Merges several universal sentences into one:
+/// `forall x̄ . psi1  &  forall ȳ . psi2  ==  forall z̄ . (psi1' & psi2')`
+/// where z̄ is a fresh prefix of length max(|x̄|, |ȳ|) and each psi_i has its
+/// prefix variables renamed onto z̄.
+///
+/// This keeps conjunctions of universal constraints inside the Theorem 4.2
+/// fragment: the naive `And(forall..., forall...)` has quantifiers below a
+/// boolean connective and is rejected by the checker, while the merged form
+/// is again `forall* tense(Sigma_0)`. Sharing one prefix is sound because the
+/// conjuncts are independently closed: forall distributes over conjunction,
+/// and padding a prefix with unused variables is vacuous.
+///
+/// Every input must itself be universal (biquantified, no internal
+/// quantifiers); otherwise NotSupported.
+Result<Formula> MergeUniversal(FormulaFactory* factory,
+                               const std::vector<Formula>& conjuncts);
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_NORMALIZE_H_

@@ -1,0 +1,336 @@
+#include "fotl/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace tic {
+namespace fotl {
+
+namespace {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kEq,
+  kNeq,
+  kBang,
+  kAmp,
+  kBar,
+  kArrow,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view in) : in_(in) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < in_.size()) {
+      char c = in_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < in_.size() && (std::isalnum(static_cast<unsigned char>(in_[j])) ||
+                                  in_[j] == '_' || in_[j] == '\'')) {
+          ++j;
+        }
+        out.push_back({Tok::kIdent, std::string(in_.substr(i, j - i)), start});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::ParseError("numeric literals are not terms; declare a constant (at offset " +
+                                  std::to_string(start) + ")");
+      }
+      switch (c) {
+        case '(':
+          out.push_back({Tok::kLParen, "(", start});
+          ++i;
+          break;
+        case ')':
+          out.push_back({Tok::kRParen, ")", start});
+          ++i;
+          break;
+        case ',':
+          out.push_back({Tok::kComma, ",", start});
+          ++i;
+          break;
+        case '.':
+          out.push_back({Tok::kDot, ".", start});
+          ++i;
+          break;
+        case '=':
+          out.push_back({Tok::kEq, "=", start});
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < in_.size() && in_[i + 1] == '=') {
+            out.push_back({Tok::kNeq, "!=", start});
+            i += 2;
+          } else {
+            out.push_back({Tok::kBang, "!", start});
+            ++i;
+          }
+          break;
+        case '&':
+          out.push_back({Tok::kAmp, "&", start});
+          ++i;
+          break;
+        case '|':
+          out.push_back({Tok::kBar, "|", start});
+          ++i;
+          break;
+        case '-':
+          if (i + 1 < in_.size() && in_[i + 1] == '>') {
+            out.push_back({Tok::kArrow, "->", start});
+            i += 2;
+            break;
+          }
+          [[fallthrough]];
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(start));
+      }
+    }
+    out.push_back({Tok::kEnd, "", in_.size()});
+    return out;
+  }
+
+ private:
+  std::string_view in_;
+};
+
+bool IsKeyword(const std::string& s) {
+  static const char* kKeywords[] = {
+      "true",   "false",  "forall", "exists",     "until", "since",
+      "not",    "and",    "or",     "implies",    "next",  "eventually",
+      "always", "prev",   "once",   "historically",
+      "X",      "F",      "G",      "Y",          "O",     "H"};
+  for (const char* k : kKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  Parser(FormulaFactory* fac, std::vector<Token> toks)
+      : fac_(fac), toks_(std::move(toks)) {}
+
+  Result<Formula> Run() {
+    TIC_ASSIGN_OR_RETURN(Formula f, ParseFormula());
+    if (Peek().kind != Tok::kEnd) {
+      return Err("trailing input after formula");
+    }
+    return f;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  Token Take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool Accept(Tok k) {
+    if (Peek().kind == k) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptIdent(const char* word) {
+    if (Peek().kind == Tok::kIdent && Peek().text == word) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (near offset " + std::to_string(Peek().pos) + ")");
+  }
+
+  // formula := implies
+  Result<Formula> ParseFormula() { return ParseImplies(); }
+
+  // implies := or ( ('->' | 'implies') implies )?
+  Result<Formula> ParseImplies() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseOr());
+    if (Accept(Tok::kArrow) || AcceptIdent("implies")) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseImplies());
+      return fac_->Implies(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  // or := and ( ('|' | 'or') and )*
+  Result<Formula> ParseOr() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseAnd());
+    while (Peek().kind == Tok::kBar ||
+           (Peek().kind == Tok::kIdent && Peek().text == "or")) {
+      Take();
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseAnd());
+      lhs = fac_->Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  // and := until ( ('&' | 'and') until )*
+  Result<Formula> ParseAnd() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseUntil());
+    while (Peek().kind == Tok::kAmp ||
+           (Peek().kind == Tok::kIdent && Peek().text == "and")) {
+      Take();
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseUntil());
+      lhs = fac_->And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  // until := unary ( ('until'|'since') until )?   right-assoc
+  Result<Formula> ParseUntil() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseUnary());
+    if (AcceptIdent("until")) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseUntil());
+      return fac_->Until(lhs, rhs);
+    }
+    if (AcceptIdent("since")) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseUntil());
+      return fac_->Since(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseUnary() {
+    if (Accept(Tok::kBang) || AcceptIdent("not")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Not(a);
+    }
+    if (AcceptIdent("X") || AcceptIdent("next")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Next(a);
+    }
+    if (AcceptIdent("F") || AcceptIdent("eventually")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Eventually(a);
+    }
+    if (AcceptIdent("G") || AcceptIdent("always")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Always(a);
+    }
+    if (AcceptIdent("Y") || AcceptIdent("prev")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Prev(a);
+    }
+    if (AcceptIdent("O") || AcceptIdent("once")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Once(a);
+    }
+    if (AcceptIdent("H") || AcceptIdent("historically")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Historically(a);
+    }
+    if (Peek().kind == Tok::kIdent &&
+        (Peek().text == "forall" || Peek().text == "exists")) {
+      return ParseQuantifier();
+    }
+    return ParsePrimary();
+  }
+
+  Result<Formula> ParseQuantifier() {
+    bool is_forall = Take().text == "forall";
+    std::vector<VarId> vars;
+    while (Peek().kind == Tok::kIdent && !IsKeyword(Peek().text)) {
+      vars.push_back(fac_->InternVar(Take().text));
+    }
+    if (vars.empty()) return Err("quantifier needs at least one variable");
+    if (!Accept(Tok::kDot)) return Err("expected '.' after quantified variables");
+    TIC_ASSIGN_OR_RETURN(Formula body, ParseFormula());
+    for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+      body = is_forall ? fac_->Forall(*it, body) : fac_->Exists(*it, body);
+    }
+    return body;
+  }
+
+  Result<Term> ParseTerm() {
+    if (Peek().kind != Tok::kIdent || IsKeyword(Peek().text)) {
+      return Status::ParseError("expected a term (variable or constant) near offset " +
+                                std::to_string(Peek().pos));
+    }
+    std::string name = Take().text;
+    auto c = fac_->vocabulary()->FindConstant(name);
+    if (c.ok()) return Term::Const(*c);
+    return Term::Var(fac_->InternVar(name));
+  }
+
+  Result<Formula> ParsePrimary() {
+    if (AcceptIdent("true")) return fac_->True();
+    if (AcceptIdent("false")) return fac_->False();
+    if (Accept(Tok::kLParen)) {
+      TIC_ASSIGN_OR_RETURN(Formula f, ParseFormula());
+      if (!Accept(Tok::kRParen)) return Err("expected ')'");
+      return f;
+    }
+    if (Peek().kind != Tok::kIdent || IsKeyword(Peek().text)) {
+      return Err("expected an atom");
+    }
+    // Predicate application?
+    if (Peek(1).kind == Tok::kLParen) {
+      std::string name = Take().text;
+      TIC_ASSIGN_OR_RETURN(PredicateId p, fac_->vocabulary()->FindPredicate(name));
+      Take();  // '('
+      std::vector<Term> args;
+      if (Peek().kind != Tok::kRParen) {
+        while (true) {
+          TIC_ASSIGN_OR_RETURN(Term t, ParseTerm());
+          args.push_back(t);
+          if (!Accept(Tok::kComma)) break;
+        }
+      }
+      if (!Accept(Tok::kRParen)) return Err("expected ')' after atom arguments");
+      return fac_->Atom(p, std::move(args));
+    }
+    // Equality / inequality.
+    TIC_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (Accept(Tok::kEq)) {
+      TIC_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      return fac_->Equals(lhs, rhs);
+    }
+    if (Accept(Tok::kNeq)) {
+      TIC_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      return fac_->Not(fac_->Equals(lhs, rhs));
+    }
+    return Err("expected '=' or '!=' or a predicate application");
+  }
+
+  FormulaFactory* fac_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> Parse(FormulaFactory* factory, std::string_view text) {
+  Lexer lexer(text);
+  TIC_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Run());
+  Parser parser(factory, std::move(toks));
+  return parser.Run();
+}
+
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,32 @@
+#ifndef TIC_FOTL_PARSER_H_
+#define TIC_FOTL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief Parses the library's concrete FOTL syntax.
+///
+/// Grammar (precedence low to high): `->` (right-assoc), `|`, `&`,
+/// `until`/`since` (right-assoc), prefix unaries `! X F G Y O H` (with word
+/// aliases `not next eventually always prev once historically`), then atoms.
+/// Quantifiers `forall x y . A` / `exists x . A` extend maximally to the right.
+/// Atoms: `p(t1, ..., tr)`, `t1 = t2`, `t1 != t2`, `true`, `false`.
+///
+/// An identifier in term position denotes a declared constant of the
+/// vocabulary if one exists under that name, otherwise a variable.
+///
+/// Examples from the paper (Section 2):
+///   `forall x . Sub(x) -> X G !Sub(x)`
+///   `forall x y . !(x != y & Sub(x) & (!Fill(x) until
+///        (Sub(y) & (!Fill(x) until (Fill(y) & !Fill(x))))))`
+Result<Formula> Parse(FormulaFactory* factory, std::string_view text);
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_PARSER_H_

@@ -1,0 +1,154 @@
+#include "fotl/printer.h"
+
+namespace tic {
+namespace fotl {
+
+namespace {
+
+// Binding strength: higher binds tighter. Parenthesize a child whenever its
+// precedence is lower than (or, for non-associative cases, equal to) the
+// parent's requirement.
+int Precedence(NodeKind k) {
+  switch (k) {
+    case NodeKind::kImplies:
+      return 1;
+    case NodeKind::kOr:
+      return 2;
+    case NodeKind::kAnd:
+      return 3;
+    case NodeKind::kUntil:
+    case NodeKind::kSince:
+      return 4;
+    case NodeKind::kNot:
+    case NodeKind::kNext:
+    case NodeKind::kPrev:
+    case NodeKind::kEventually:
+    case NodeKind::kAlways:
+    case NodeKind::kOnce:
+    case NodeKind::kHistorically:
+      return 5;
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return 0;  // quantifiers extend as far right as possible
+    default:
+      return 6;  // atoms and constants never need parens
+  }
+}
+
+std::string TermToString(const FormulaFactory& fac, const Term& t) {
+  if (t.is_variable()) return fac.VarName(t.id);
+  return fac.vocabulary()->constant_name(t.id);
+}
+
+void Render(const FormulaFactory& fac, Formula f, int min_prec, std::string* out) {
+  int prec = Precedence(f->kind());
+  bool parens = prec < min_prec;
+  if (parens) *out += "(";
+  switch (f->kind()) {
+    case NodeKind::kTrue:
+      *out += "true";
+      break;
+    case NodeKind::kFalse:
+      *out += "false";
+      break;
+    case NodeKind::kEquals:
+      *out += TermToString(fac, f->terms()[0]);
+      *out += " = ";
+      *out += TermToString(fac, f->terms()[1]);
+      break;
+    case NodeKind::kAtom: {
+      *out += fac.vocabulary()->predicate(f->predicate()).name;
+      *out += "(";
+      for (size_t i = 0; i < f->terms().size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += TermToString(fac, f->terms()[i]);
+      }
+      *out += ")";
+      break;
+    }
+    case NodeKind::kNot:
+      *out += "!";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case NodeKind::kNext:
+      *out += "X ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case NodeKind::kPrev:
+      *out += "Y ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case NodeKind::kEventually:
+      *out += "F ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case NodeKind::kAlways:
+      *out += "G ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case NodeKind::kOnce:
+      *out += "O ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case NodeKind::kHistorically:
+      *out += "H ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case NodeKind::kAnd:
+      Render(fac, f->lhs(), 3, out);
+      *out += " & ";
+      Render(fac, f->rhs(), 4, out);
+      break;
+    case NodeKind::kOr:
+      Render(fac, f->lhs(), 2, out);
+      *out += " | ";
+      Render(fac, f->rhs(), 3, out);
+      break;
+    case NodeKind::kImplies:
+      // Right-associative.
+      Render(fac, f->lhs(), 2, out);
+      *out += " -> ";
+      Render(fac, f->rhs(), 1, out);
+      break;
+    case NodeKind::kUntil:
+      // Right-associative.
+      Render(fac, f->lhs(), 5, out);
+      *out += " until ";
+      Render(fac, f->rhs(), 4, out);
+      break;
+    case NodeKind::kSince:
+      Render(fac, f->lhs(), 5, out);
+      *out += " since ";
+      Render(fac, f->rhs(), 4, out);
+      break;
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      *out += f->kind() == NodeKind::kExists ? "exists " : "forall ";
+      // Coalesce runs of the same quantifier.
+      Formula body = f;
+      NodeKind q = f->kind();
+      bool first = true;
+      while (body->kind() == q) {
+        if (!first) *out += " ";
+        *out += fac.VarName(body->var());
+        first = false;
+        body = body->child(0);
+      }
+      *out += " . ";
+      Render(fac, body, 0, out);
+      break;
+    }
+  }
+  if (parens) *out += ")";
+}
+
+}  // namespace
+
+std::string ToString(const FormulaFactory& factory, Formula f) {
+  std::string out;
+  Render(factory, f, 0, &out);
+  return out;
+}
+
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,18 @@
+#ifndef TIC_FOTL_PRINTER_H_
+#define TIC_FOTL_PRINTER_H_
+
+#include <string>
+
+#include "fotl/factory.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief Renders a formula in the library's concrete syntax (parseable back by
+/// Parser): `forall x . (Sub(x) -> X G !Sub(x))`.
+std::string ToString(const FormulaFactory& factory, Formula f);
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_PRINTER_H_

@@ -1,0 +1,362 @@
+#include "fotl/transform.h"
+
+#include <vector>
+
+namespace tic {
+namespace fotl {
+
+namespace {
+
+// Generic bottom-up rebuild. `leaf` handles kAtom/kEquals/kTrue/kFalse nodes;
+// connectives and quantifiers are rebuilt through the factory (so builder
+// simplifications re-apply). Memoized per call over the shared DAG.
+class Rebuilder {
+ public:
+  Rebuilder(FormulaFactory* fac, std::function<Result<Formula>(Formula)> leaf)
+      : fac_(fac), leaf_(std::move(leaf)) {}
+
+  Result<Formula> Run(Formula f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    TIC_ASSIGN_OR_RETURN(Formula out, Rebuild(f));
+    memo_.emplace(f, out);
+    return out;
+  }
+
+ private:
+  Result<Formula> Rebuild(Formula f) {
+    switch (f->kind()) {
+      case NodeKind::kTrue:
+      case NodeKind::kFalse:
+      case NodeKind::kEquals:
+      case NodeKind::kAtom:
+        return leaf_(f);
+      case NodeKind::kNot: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Not(a);
+      }
+      case NodeKind::kNext: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Next(a);
+      }
+      case NodeKind::kPrev: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Prev(a);
+      }
+      case NodeKind::kEventually: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Eventually(a);
+      }
+      case NodeKind::kAlways: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Always(a);
+      }
+      case NodeKind::kOnce: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Once(a);
+      }
+      case NodeKind::kHistorically: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Historically(a);
+      }
+      case NodeKind::kAnd: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->And(a, b);
+      }
+      case NodeKind::kOr: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->Or(a, b);
+      }
+      case NodeKind::kImplies: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->Implies(a, b);
+      }
+      case NodeKind::kUntil: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->Until(a, b);
+      }
+      case NodeKind::kSince: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->Since(a, b);
+      }
+      case NodeKind::kExists: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Exists(f->var(), a);
+      }
+      case NodeKind::kForall: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Forall(f->var(), a);
+      }
+    }
+    return Status::Internal("unhandled node kind in Rebuilder");
+  }
+
+  FormulaFactory* fac_;
+  std::function<Result<Formula>(Formula)> leaf_;
+  std::unordered_map<Formula, Formula> memo_;
+};
+
+Formula DesugarImpl(FormulaFactory* fac, Formula f,
+                    std::unordered_map<Formula, Formula>* memo) {
+  auto it = memo->find(f);
+  if (it != memo->end()) return it->second;
+  Formula out = nullptr;
+  Formula a = f->child(0) ? DesugarImpl(fac, f->child(0), memo) : nullptr;
+  Formula b = f->child(1) ? DesugarImpl(fac, f->child(1), memo) : nullptr;
+  switch (f->kind()) {
+    case NodeKind::kEventually:
+      out = fac->Until(fac->True(), a);
+      break;
+    case NodeKind::kAlways:
+      out = fac->Not(fac->Until(fac->True(), fac->Not(a)));
+      break;
+    case NodeKind::kOnce:
+      out = fac->Since(fac->True(), a);
+      break;
+    case NodeKind::kHistorically:
+      out = fac->Not(fac->Since(fac->True(), fac->Not(a)));
+      break;
+    case NodeKind::kNot:
+      out = fac->Not(a);
+      break;
+    case NodeKind::kNext:
+      out = fac->Next(a);
+      break;
+    case NodeKind::kPrev:
+      out = fac->Prev(a);
+      break;
+    case NodeKind::kAnd:
+      out = fac->And(a, b);
+      break;
+    case NodeKind::kOr:
+      out = fac->Or(a, b);
+      break;
+    case NodeKind::kImplies:
+      out = fac->Implies(a, b);
+      break;
+    case NodeKind::kUntil:
+      out = fac->Until(a, b);
+      break;
+    case NodeKind::kSince:
+      out = fac->Since(a, b);
+      break;
+    case NodeKind::kExists:
+      out = fac->Exists(f->var(), a);
+      break;
+    case NodeKind::kForall:
+      out = fac->Forall(f->var(), a);
+      break;
+    default:
+      out = f;  // leaves
+      break;
+  }
+  memo->emplace(f, out);
+  return out;
+}
+
+}  // namespace
+
+Formula Desugar(FormulaFactory* factory, Formula f) {
+  std::unordered_map<Formula, Formula> memo;
+  return DesugarImpl(factory, f, &memo);
+}
+
+Result<Formula> SubstituteVars(FormulaFactory* factory, Formula f,
+                               const std::unordered_map<VarId, Term>& subst) {
+  // Capture check: replacement variables must not be bound anywhere in f.
+  // (Our callers substitute constants or globally fresh variables.)
+  std::function<Result<Formula>(Formula, std::unordered_map<VarId, Term>)> go =
+      [&](Formula g, std::unordered_map<VarId, Term> active) -> Result<Formula> {
+    if (IsQuantifier(g->kind())) {
+      active.erase(g->var());  // bound occurrences are untouched
+      for (const auto& [from, to] : active) {
+        (void)from;
+        if (to.is_variable() && to.id == g->var()) {
+          return Status::InvalidArgument(
+              "substitution would capture variable '" + factory->VarName(g->var()) +
+              "'");
+        }
+      }
+      TIC_ASSIGN_OR_RETURN(Formula body, go(g->child(0), active));
+      return g->kind() == NodeKind::kExists ? factory->Exists(g->var(), body)
+                                            : factory->Forall(g->var(), body);
+    }
+    Rebuilder rebuild(factory, [&](Formula leaf) -> Result<Formula> {
+      switch (leaf->kind()) {
+        case NodeKind::kTrue:
+        case NodeKind::kFalse:
+          return leaf;
+        case NodeKind::kEquals:
+        case NodeKind::kAtom: {
+          std::vector<Term> terms = leaf->terms();
+          bool changed = false;
+          for (Term& t : terms) {
+            if (t.is_variable()) {
+              auto it = active.find(t.id);
+              if (it != active.end()) {
+                t = it->second;
+                changed = true;
+              }
+            }
+          }
+          if (!changed) return leaf;
+          if (leaf->kind() == NodeKind::kEquals) {
+            return factory->Equals(terms[0], terms[1]);
+          }
+          return factory->Atom(leaf->predicate(), std::move(terms));
+        }
+        default:
+          return Status::Internal("non-leaf in leaf handler");
+      }
+    });
+    // Rebuilder cannot recurse back into `go` for nested quantifiers, so only
+    // use it on quantifier-free subtrees; otherwise recurse manually.
+    if (!g->has_quantifier()) return rebuild.Run(g);
+    // Manual recursion for mixed nodes.
+    Formula c0 = g->child(0);
+    Formula c1 = g->child(1);
+    Formula r0 = nullptr, r1 = nullptr;
+    if (c0 != nullptr) {
+      TIC_ASSIGN_OR_RETURN(r0, go(c0, active));
+    }
+    if (c1 != nullptr) {
+      TIC_ASSIGN_OR_RETURN(r1, go(c1, active));
+    }
+    switch (g->kind()) {
+      case NodeKind::kNot:
+        return factory->Not(r0);
+      case NodeKind::kNext:
+        return factory->Next(r0);
+      case NodeKind::kPrev:
+        return factory->Prev(r0);
+      case NodeKind::kEventually:
+        return factory->Eventually(r0);
+      case NodeKind::kAlways:
+        return factory->Always(r0);
+      case NodeKind::kOnce:
+        return factory->Once(r0);
+      case NodeKind::kHistorically:
+        return factory->Historically(r0);
+      case NodeKind::kAnd:
+        return factory->And(r0, r1);
+      case NodeKind::kOr:
+        return factory->Or(r0, r1);
+      case NodeKind::kImplies:
+        return factory->Implies(r0, r1);
+      case NodeKind::kUntil:
+        return factory->Until(r0, r1);
+      case NodeKind::kSince:
+        return factory->Since(r0, r1);
+      default:
+        return Status::Internal("unexpected node kind in substitution");
+    }
+  };
+  return go(f, subst);
+}
+
+Result<Formula> SubstituteVar(FormulaFactory* factory, Formula f, VarId var,
+                              Term replacement) {
+  std::unordered_map<VarId, Term> subst{{var, replacement}};
+  return SubstituteVars(factory, f, subst);
+}
+
+Result<Formula> RewriteAtoms(FormulaFactory* factory, Formula f,
+                             const std::function<Result<Formula>(Formula)>& fn) {
+  Rebuilder rebuild(factory, [&](Formula leaf) -> Result<Formula> {
+    if (leaf->kind() == NodeKind::kAtom) return fn(leaf);
+    return leaf;
+  });
+  return rebuild.Run(f);
+}
+
+Result<Formula> TransferFormula(const FormulaFactory& from, Formula f,
+                                FormulaFactory* to) {
+  const Vocabulary& target = *to->vocabulary();
+  std::function<Result<Term>(const Term&)> term =
+      [&](const Term& t) -> Result<Term> {
+    if (t.is_variable()) return Term::Var(to->InternVar(from.VarName(t.id)));
+    TIC_ASSIGN_OR_RETURN(ConstantId c,
+                         target.FindConstant(from.vocabulary()->constant_name(t.id)));
+    return Term::Const(c);
+  };
+  std::function<Result<Formula>(Formula)> go = [&](Formula g) -> Result<Formula> {
+    switch (g->kind()) {
+      case NodeKind::kTrue:
+        return to->True();
+      case NodeKind::kFalse:
+        return to->False();
+      case NodeKind::kEquals: {
+        TIC_ASSIGN_OR_RETURN(Term a, term(g->terms()[0]));
+        TIC_ASSIGN_OR_RETURN(Term b, term(g->terms()[1]));
+        return to->Equals(a, b);
+      }
+      case NodeKind::kAtom: {
+        TIC_ASSIGN_OR_RETURN(
+            PredicateId p,
+            target.FindPredicate(from.vocabulary()->predicate(g->predicate()).name));
+        std::vector<Term> args;
+        args.reserve(g->terms().size());
+        for (const Term& t : g->terms()) {
+          TIC_ASSIGN_OR_RETURN(Term mapped, term(t));
+          args.push_back(mapped);
+        }
+        return to->Atom(p, std::move(args));
+      }
+      case NodeKind::kExists:
+      case NodeKind::kForall: {
+        TIC_ASSIGN_OR_RETURN(Formula body, go(g->child(0)));
+        VarId v = to->InternVar(from.VarName(g->var()));
+        return g->kind() == NodeKind::kExists ? to->Exists(v, body)
+                                              : to->Forall(v, body);
+      }
+      default: {
+        Formula c0 = g->child(0);
+        Formula c1 = g->child(1);
+        Formula r0 = nullptr, r1 = nullptr;
+        if (c0 != nullptr) {
+          TIC_ASSIGN_OR_RETURN(r0, go(c0));
+        }
+        if (c1 != nullptr) {
+          TIC_ASSIGN_OR_RETURN(r1, go(c1));
+        }
+        switch (g->kind()) {
+          case NodeKind::kNot:
+            return to->Not(r0);
+          case NodeKind::kNext:
+            return to->Next(r0);
+          case NodeKind::kPrev:
+            return to->Prev(r0);
+          case NodeKind::kEventually:
+            return to->Eventually(r0);
+          case NodeKind::kAlways:
+            return to->Always(r0);
+          case NodeKind::kOnce:
+            return to->Once(r0);
+          case NodeKind::kHistorically:
+            return to->Historically(r0);
+          case NodeKind::kAnd:
+            return to->And(r0, r1);
+          case NodeKind::kOr:
+            return to->Or(r0, r1);
+          case NodeKind::kImplies:
+            return to->Implies(r0, r1);
+          case NodeKind::kUntil:
+            return to->Until(r0, r1);
+          case NodeKind::kSince:
+            return to->Since(r0, r1);
+          default:
+            return Status::Internal("unhandled kind in TransferFormula");
+        }
+      }
+    }
+  };
+  return go(f);
+}
+
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,43 @@
+#ifndef TIC_FOTL_TRANSFORM_H_
+#define TIC_FOTL_TRANSFORM_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace fotl {
+
+/// \brief Rewrites the derived temporal connectives into the base language:
+/// `F A == true until A`, `G A == !(true until !A)`, `O A == true since A`,
+/// `H A == !(true since !A)` (the definitions of Section 2).
+Formula Desugar(FormulaFactory* factory, Formula f);
+
+/// \brief Capture-avoiding substitution of `replacement` for free occurrences
+/// of variable `var`. Fails with InvalidArgument if `replacement` is a variable
+/// that would be captured by a quantifier of `f`.
+Result<Formula> SubstituteVar(FormulaFactory* factory, Formula f, VarId var,
+                              Term replacement);
+
+/// \brief Simultaneous substitution of terms for several variables.
+Result<Formula> SubstituteVars(FormulaFactory* factory, Formula f,
+                               const std::unordered_map<VarId, Term>& subst);
+
+/// \brief Rebuilds `f`, replacing every atom `p(...)` by `fn(atom)`. All other
+/// structure is preserved. Used by the W-ordering transformation of Section 3
+/// (<=, succ, Zero atoms become temporal formulas over W).
+Result<Formula> RewriteAtoms(FormulaFactory* factory, Formula f,
+                             const std::function<Result<Formula>(Formula)>& fn);
+
+/// \brief Structurally copies a formula from one factory into another.
+/// Variables are re-interned by name; predicate/constant ids are mapped by
+/// name through the target vocabulary (which must declare them all).
+Result<Formula> TransferFormula(const FormulaFactory& from, Formula f,
+                                FormulaFactory* to);
+
+}  // namespace fotl
+}  // namespace tic
+
+#endif  // TIC_FOTL_TRANSFORM_H_

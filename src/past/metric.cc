@@ -1,0 +1,32 @@
+#include "past/metric.h"
+
+namespace tic {
+namespace past {
+
+fotl::Formula WeakPrev(fotl::FormulaFactory* factory, fotl::Formula a) {
+  // !Y true  holds exactly at instant 0; YW A == Y A | !Y true.
+  fotl::Formula at_origin = factory->Not(factory->Prev(factory->True()));
+  return factory->Or(factory->Prev(a), at_origin);
+}
+
+fotl::Formula OnceWithin(fotl::FormulaFactory* factory, size_t k, fotl::Formula a) {
+  fotl::Formula acc = a;
+  for (size_t i = 0; i < k; ++i) acc = factory->Or(a, factory->Prev(acc));
+  return acc;
+}
+
+fotl::Formula HistoricallyWithin(fotl::FormulaFactory* factory, size_t k,
+                                 fotl::Formula a) {
+  fotl::Formula acc = a;
+  for (size_t i = 0; i < k; ++i) acc = factory->And(a, WeakPrev(factory, acc));
+  return acc;
+}
+
+fotl::Formula PrevK(fotl::FormulaFactory* factory, size_t k, fotl::Formula a) {
+  fotl::Formula acc = a;
+  for (size_t i = 0; i < k; ++i) acc = factory->Prev(acc);
+  return acc;
+}
+
+}  // namespace past
+}  // namespace tic

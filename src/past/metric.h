@@ -1,0 +1,37 @@
+#ifndef TIC_PAST_METRIC_H_
+#define TIC_PAST_METRIC_H_
+
+#include <cstddef>
+
+#include "fotl/factory.h"
+
+namespace tic {
+namespace past {
+
+/// \brief Bounded-past ("metric") operator builders, after the Past Metric
+/// FOTL extension the paper cites for real-time constraints (Section 5,
+/// Chomicki'92). Discrete time: each builder expands into an ordinary past
+/// formula of size O(k), so every metric constraint stays inside the
+/// PastMonitor fragment.
+
+/// `Once within the last k instants` (inclusive of now):
+/// O_{<=k} A == A | Y (A | Y (... ))  with k nested Y's.
+fotl::Formula OnceWithin(fotl::FormulaFactory* factory, size_t k, fotl::Formula a);
+
+/// `Continuously for the last k instants` (inclusive of now; instants before
+/// time 0 count as satisfied, matching H's behaviour at the history start):
+/// H_{<=k} A == A & YW (A & YW (...)) where YW is the weak previous
+/// (true at instant 0).
+fotl::Formula HistoricallyWithin(fotl::FormulaFactory* factory, size_t k,
+                                 fotl::Formula a);
+
+/// `Exactly k instants ago` (false if the history is shorter): Y^k A.
+fotl::Formula PrevK(fotl::FormulaFactory* factory, size_t k, fotl::Formula a);
+
+/// Weak previous: true at instant 0, otherwise Y A. (Y A is false at 0.)
+fotl::Formula WeakPrev(fotl::FormulaFactory* factory, fotl::Formula a);
+
+}  // namespace past
+}  // namespace tic
+
+#endif  // TIC_PAST_METRIC_H_

@@ -1,0 +1,331 @@
+#include "past/past_monitor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fotl/classify.h"
+
+namespace tic {
+namespace past {
+
+namespace {
+
+using fotl::NodeKind;
+
+void CollectTemporalPostOrder(fotl::Formula f, std::vector<fotl::Formula>* out,
+                              std::unordered_set<fotl::Formula>* seen) {
+  if (!seen->insert(f).second) return;
+  if (f->child(0) != nullptr) CollectTemporalPostOrder(f->child(0), out, seen);
+  if (f->child(1) != nullptr) CollectTemporalPostOrder(f->child(1), out, seen);
+  if (fotl::IsPastConnective(f->kind())) out->push_back(f);
+}
+
+bool HasBuiltin(const Vocabulary& vocab, fotl::Formula f) {
+  if (f->kind() == NodeKind::kAtom &&
+      vocab.predicate(f->predicate()).builtin != Builtin::kNone) {
+    return true;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (f->child(i) != nullptr && HasBuiltin(vocab, f->child(i))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PastMonitor::PastMonitor(std::shared_ptr<fotl::FormulaFactory> factory,
+                         History history)
+    : ffac_(std::move(factory)), history_(std::move(history)) {}
+
+Result<std::unique_ptr<PastMonitor>> PastMonitor::Create(
+    std::shared_ptr<fotl::FormulaFactory> factory, fotl::Formula constraint,
+    std::vector<Value> constant_interp) {
+  if (!constraint->is_closed()) {
+    return Status::InvalidArgument("constraint must be a sentence");
+  }
+  std::vector<fotl::VarId> external;
+  fotl::Formula body = nullptr;
+  fotl::StripUniversalPrefix(constraint, &external, &body);
+  if (body->kind() != NodeKind::kAlways || body->child(0)->has_future()) {
+    return Status::NotSupported(
+        "PastMonitor handles constraints of the form forall* G A with A a "
+        "past formula (Proposition 2.1)");
+  }
+  if (HasBuiltin(*factory->vocabulary(), constraint)) {
+    return Status::NotSupported("extended-vocabulary builtins are unsupported");
+  }
+  TIC_ASSIGN_OR_RETURN(
+      History h, History::Create(factory->vocabulary(), std::move(constant_interp)));
+  std::unique_ptr<PastMonitor> m(new PastMonitor(std::move(factory), std::move(h)));
+  m->external_ = external;
+  m->matrix_ = body->child(0);
+  m->num_z_ =
+      external.size() + fotl::CountDistinctBoundVars(m->matrix_);
+  if (m->num_z_ == 0) m->num_z_ = 1;
+
+  // One table per past-temporal subformula, children first.
+  std::vector<fotl::Formula> temporal;
+  std::unordered_set<fotl::Formula> seen;
+  CollectTemporalPostOrder(m->matrix_, &temporal, &seen);
+  for (fotl::Formula node : temporal) {
+    Table t;
+    t.node = node;
+    t.source = node->kind() == NodeKind::kPrev ? node->child(0) : node;
+    t.vars = node->free_vars();
+    m->table_of_.emplace(node, m->tables_.size());
+    m->tables_.push_back(std::move(t));
+  }
+
+  // Initial domain: constants plus the fresh-element stand-ins (negative codes).
+  m->known_relevant_ = m->history_.RelevantSet();
+  m->domain_ = m->known_relevant_;
+  for (size_t i = 0; i < m->num_z_; ++i) {
+    m->domain_.push_back(-static_cast<Value>(i) - 1);
+  }
+  return m;
+}
+
+Tuple PastMonitor::Project(const Table& table,
+                           const std::unordered_map<fotl::VarId, Value>& env) const {
+  Tuple t;
+  t.reserve(table.vars.size());
+  for (fotl::VarId v : table.vars) t.push_back(env.at(v));
+  return t;
+}
+
+bool PastMonitor::PrevValue(const Table& table, const Tuple& tuple) const {
+  auto it = table.prev.find(tuple);
+  if (it != table.prev.end()) return it->second;
+  // Tuple mentions elements that only became relevant this instant: before
+  // now they were indistinguishable from the fresh-element stand-ins, so
+  // canonicalize each such element to a distinct unused stand-in and retry.
+  Tuple canon = tuple;
+  std::unordered_map<Value, Value> map;
+  std::unordered_set<Value> used(tuple.begin(), tuple.end());
+  Value next_z = -1;
+  for (Value& v : canon) {
+    if (v < 0) continue;
+    if (std::binary_search(known_relevant_.begin(), known_relevant_.end(), v)) {
+      continue;
+    }
+    auto mapped = map.find(v);
+    if (mapped != map.end()) {
+      v = mapped->second;
+      continue;
+    }
+    while (used.count(next_z) > 0) --next_z;
+    used.insert(next_z);
+    map.emplace(v, next_z);
+    v = next_z;
+  }
+  auto it2 = table.prev.find(canon);
+  return it2 != table.prev.end() && it2->second;
+}
+
+Result<bool> PastMonitor::EvalNow(
+    fotl::Formula f, const std::unordered_map<fotl::VarId, Value>& env) {
+  switch (f->kind()) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kFalse:
+      return false;
+    case NodeKind::kEquals: {
+      auto resolve = [&](const fotl::Term& t) -> Value {
+        return t.is_constant() ? history_.ConstantValue(t.id) : env.at(t.id);
+      };
+      return resolve(f->terms()[0]) == resolve(f->terms()[1]);
+    }
+    case NodeKind::kAtom: {
+      Tuple args;
+      args.reserve(f->terms().size());
+      bool has_z = false;
+      for (const fotl::Term& t : f->terms()) {
+        Value v = t.is_constant() ? history_.ConstantValue(t.id) : env.at(t.id);
+        has_z = has_z || v < 0;
+        args.push_back(v);
+      }
+      if (has_z) return false;  // stand-ins are in no relation
+      return history_.state(history_.length() - 1).Holds(f->predicate(), args);
+    }
+    case NodeKind::kNot: {
+      TIC_ASSIGN_OR_RETURN(bool a, EvalNow(f->child(0), env));
+      return !a;
+    }
+    case NodeKind::kAnd: {
+      TIC_ASSIGN_OR_RETURN(bool a, EvalNow(f->lhs(), env));
+      if (!a) return false;
+      return EvalNow(f->rhs(), env);
+    }
+    case NodeKind::kOr: {
+      TIC_ASSIGN_OR_RETURN(bool a, EvalNow(f->lhs(), env));
+      if (a) return true;
+      return EvalNow(f->rhs(), env);
+    }
+    case NodeKind::kImplies: {
+      TIC_ASSIGN_OR_RETURN(bool a, EvalNow(f->lhs(), env));
+      if (!a) return true;
+      return EvalNow(f->rhs(), env);
+    }
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      bool is_exists = f->kind() == NodeKind::kExists;
+      auto env2 = env;
+      for (Value d : domain_) {
+        env2[f->var()] = d;
+        TIC_ASSIGN_OR_RETURN(bool a, EvalNow(f->child(0), env2));
+        if (is_exists && a) return true;
+        if (!is_exists && !a) return false;
+      }
+      return !is_exists;
+    }
+    case NodeKind::kPrev:
+    case NodeKind::kSince:
+    case NodeKind::kOnce:
+    case NodeKind::kHistorically: {
+      const Table& table = tables_[table_of_.at(f)];
+      auto it = table.curr.find(Project(table, env));
+      if (it == table.curr.end()) {
+        return Status::Internal("auxiliary table missing a current entry");
+      }
+      return it->second;
+    }
+    default:
+      return Status::NotSupported("future connective inside a past matrix");
+  }
+}
+
+Result<PastVerdict> PastMonitor::ApplyTransaction(const Transaction& txn) {
+  TIC_RETURN_NOT_OK(tic::ApplyTransaction(&history_, txn));
+  size_t t = history_.length() - 1;
+  PastVerdict verdict;
+  verdict.time = t;
+  verdict.first_violation = last_verdict_.first_violation;
+
+  // Extend the domain with elements that just became relevant. known_relevant_
+  // still describes the previous instant until the end of this round (the
+  // canonicalization in PrevValue depends on that).
+  std::unordered_set<Value> active;
+  history_.state(t).CollectActiveDomain(&active);
+  std::vector<Value> fresh;
+  for (Value v : active) {
+    if (!std::binary_search(known_relevant_.begin(), known_relevant_.end(), v)) {
+      fresh.push_back(v);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  for (Value v : fresh) domain_.push_back(v);
+
+  // Recompute every auxiliary table at the new instant, children first.
+  for (Table& table : tables_) {
+    table.curr.clear();
+    size_t arity = table.vars.size();
+    std::vector<size_t> idx(arity, 0);
+    std::unordered_map<fotl::VarId, Value> env;
+    while (true) {
+      for (size_t i = 0; i < arity; ++i) env[table.vars[i]] = domain_[idx[i]];
+      Tuple key = Project(table, env);
+      bool value = false;
+      switch (table.node->kind()) {
+        case NodeKind::kPrev:
+          value = first_instant_ ? false : PrevValue(table, key);
+          break;
+        case NodeKind::kSince: {
+          TIC_ASSIGN_OR_RETURN(bool b, EvalNow(table.node->rhs(), env));
+          if (b) {
+            value = true;
+          } else {
+            TIC_ASSIGN_OR_RETURN(bool a, EvalNow(table.node->lhs(), env));
+            value = a && !first_instant_ && PrevValue(table, key);
+          }
+          break;
+        }
+        case NodeKind::kOnce: {
+          TIC_ASSIGN_OR_RETURN(bool a, EvalNow(table.node->child(0), env));
+          value = a || (!first_instant_ && PrevValue(table, key));
+          break;
+        }
+        case NodeKind::kHistorically: {
+          TIC_ASSIGN_OR_RETURN(bool a, EvalNow(table.node->child(0), env));
+          value = a && (first_instant_ || PrevValue(table, key));
+          break;
+        }
+        default:
+          return Status::Internal("non-past node in auxiliary tables");
+      }
+      table.curr.emplace(std::move(key), value);
+
+      size_t d = 0;
+      while (d < arity && ++idx[d] == domain_.size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == arity) break;
+    }
+  }
+
+  // Check A(theta) at the new instant for every external substitution.
+  bool ok = true;
+  {
+    size_t m = external_.size();
+    std::vector<size_t> idx(m, 0);
+    std::unordered_map<fotl::VarId, Value> env;
+    while (ok) {
+      for (size_t i = 0; i < m; ++i) env[external_[i]] = domain_[idx[i]];
+      TIC_ASSIGN_OR_RETURN(bool holds, EvalNow(matrix_, env));
+      if (!holds) ok = false;
+      size_t d = 0;
+      while (d < m && ++idx[d] == domain_.size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == m) break;
+    }
+  }
+  verdict.satisfied = ok;
+  if (!ok && !verdict.first_violation.has_value()) verdict.first_violation = t;
+
+  // Roll tables forward: the next instant's "previous" column is the current
+  // value of the source formula (the child for Prev, the node itself else).
+  for (Table& table : tables_) {
+    if (table.node->kind() == NodeKind::kPrev) {
+      table.prev.clear();
+      size_t arity = table.vars.size();
+      std::vector<size_t> idx(arity, 0);
+      std::unordered_map<fotl::VarId, Value> env;
+      while (true) {
+        for (size_t i = 0; i < arity; ++i) env[table.vars[i]] = domain_[idx[i]];
+        Tuple key = Project(table, env);
+        TIC_ASSIGN_OR_RETURN(bool v, EvalNow(table.source, env));
+        table.prev.emplace(std::move(key), v);
+        size_t d = 0;
+        while (d < arity && ++idx[d] == domain_.size()) {
+          idx[d] = 0;
+          ++d;
+        }
+        if (d == arity) break;
+      }
+    } else {
+      table.prev = table.curr;
+    }
+  }
+
+  // Now the new elements are officially relevant.
+  if (!fresh.empty()) {
+    std::vector<Value> merged;
+    std::merge(known_relevant_.begin(), known_relevant_.end(), fresh.begin(),
+               fresh.end(), std::back_inserter(merged));
+    known_relevant_ = std::move(merged);
+  }
+  first_instant_ = false;
+  last_verdict_ = verdict;
+  return verdict;
+}
+
+size_t PastMonitor::AuxiliaryStateSize() const {
+  size_t n = 0;
+  for (const Table& table : tables_) n += table.prev.size();
+  return n;
+}
+
+}  // namespace past
+}  // namespace tic

@@ -1,0 +1,99 @@
+#ifndef TIC_PAST_PAST_MONITOR_H_
+#define TIC_PAST_PAST_MONITOR_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/update.h"
+#include "fotl/evaluator.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace past {
+
+/// \brief Verdict after one transaction.
+struct PastVerdict {
+  size_t time = 0;
+  /// A(theta) held at the new instant for every substitution — the G-past
+  /// constraint is still satisfied by the history.
+  bool satisfied = false;
+  /// Instant of the first violation, once one occurred (violations of
+  /// G-constraints are permanent).
+  std::optional<size_t> first_violation;
+};
+
+/// \brief History-less monitor for constraints of the form
+/// `forall x1 ... xm . G A` with A a *past* formula — the Past FOTL baseline
+/// of Chomicki [3] cited in Sections 1, 5 and 6, and the shape of
+/// Proposition 2.1 (always a safety property).
+///
+/// Unlike the potential-satisfaction checker (Theorem 4.2), this implements
+/// the weaker classical notion: report a violation as soon as A fails at some
+/// instant <= now. It is "history-less": per update it touches only
+/// constant-size-per-element auxiliary tables (one per temporal subformula of
+/// A, keyed by valuations over the relevant set plus fresh-element
+/// stand-ins), never the stored history — so the per-update cost is
+/// independent of the history length (Experiment E6/E10).
+class PastMonitor {
+ public:
+  static Result<std::unique_ptr<PastMonitor>> Create(
+      std::shared_ptr<fotl::FormulaFactory> factory, fotl::Formula constraint,
+      std::vector<Value> constant_interp = {});
+
+  /// Applies `txn` (appending one state) and evaluates A at the new instant.
+  Result<PastVerdict> ApplyTransaction(const Transaction& txn);
+
+  const History& history() const { return history_; }
+  const PastVerdict& last_verdict() const { return last_verdict_; }
+
+  /// Total auxiliary-table entries — the "history-less" state size, which
+  /// depends on |R_D| but not on the history length.
+  size_t AuxiliaryStateSize() const;
+
+ private:
+  PastMonitor(std::shared_ptr<fotl::FormulaFactory> factory, History history);
+
+  // One auxiliary table per temporal subformula (and per Prev-child), holding
+  // the previous instant's truth values per projected valuation.
+  struct Table {
+    fotl::Formula node = nullptr;   // the temporal subformula
+    fotl::Formula source = nullptr; // formula whose *current* value feeds the
+                                    // next instant (child for Prev, self else)
+    std::vector<fotl::VarId> vars;  // free vars, sorted
+    std::unordered_map<Tuple, bool, TupleHash> prev;
+    std::unordered_map<Tuple, bool, TupleHash> curr;
+  };
+
+  // Evaluates `f` at the current instant under `env`, reading temporal
+  // subformulas from the freshly computed `curr` columns.
+  Result<bool> EvalNow(fotl::Formula f,
+                       const std::unordered_map<fotl::VarId, Value>& env);
+
+  Tuple Project(const Table& table,
+                const std::unordered_map<fotl::VarId, Value>& env) const;
+
+  // Previous-instant value for `table` under a tuple possibly containing
+  // elements that only became relevant this instant (canonicalized to
+  // fresh-element stand-ins).
+  bool PrevValue(const Table& table, const Tuple& tuple) const;
+
+  std::shared_ptr<fotl::FormulaFactory> ffac_;
+  fotl::Formula matrix_ = nullptr;        // A
+  std::vector<fotl::VarId> external_;     // x1..xm
+  size_t num_z_ = 0;                      // fresh-element stand-ins
+  History history_;
+  std::vector<Value> known_relevant_;     // sorted, before the current instant
+  std::vector<Value> domain_;             // current M_t (relevant + z codes)
+  std::vector<Table> tables_;             // post-order
+  std::unordered_map<fotl::Formula, size_t> table_of_;
+  PastVerdict last_verdict_;
+  bool first_instant_ = true;
+};
+
+}  // namespace past
+}  // namespace tic
+
+#endif  // TIC_PAST_PAST_MONITOR_H_

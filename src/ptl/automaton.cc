@@ -1,0 +1,205 @@
+#include "ptl/automaton.h"
+
+#include <unordered_map>
+
+#include "ptl/tableau_internal.h"
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+using internal::Expander;
+using internal::SeedOf;
+using internal::StateSet;
+using internal::StateSetHash;
+
+Formula ObligationGoal(Formula f) {
+  if (f->kind() == Kind::kUntil) return f->rhs();
+  if (f->kind() == Kind::kEventually) return f->child(0);
+  return nullptr;
+}
+
+// Plain iterative Tarjan over an adjacency list.
+std::vector<uint32_t> Sccs(const std::vector<std::vector<uint32_t>>& edges,
+                           size_t* num_sccs) {
+  size_t n = edges.size();
+  std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0), scc_of(n, UINT32_MAX);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+  uint32_t next_scc = 0;
+  struct Frame {
+    uint32_t v;
+    size_t edge;
+  };
+  for (uint32_t start = 0; start < n; ++start) {
+    if (index[start] != UINT32_MAX) continue;
+    std::vector<Frame> call{{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!call.empty()) {
+      Frame& fr = call.back();
+      if (fr.edge < edges[fr.v].size()) {
+        uint32_t w = edges[fr.v][fr.edge++];
+        if (index[w] == UINT32_MAX) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[fr.v] = std::min(low[fr.v], index[w]);
+        }
+      } else {
+        uint32_t v = fr.v;
+        call.pop_back();
+        if (!call.empty()) {
+          low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+        if (low[v] == index[v]) {
+          while (true) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_of[w] = next_scc;
+            if (w == v) break;
+          }
+          ++next_scc;
+        }
+      }
+    }
+  }
+  *num_sccs = next_scc;
+  return scc_of;
+}
+
+}  // namespace
+
+Result<TableauAutomaton> BuildTableauAutomaton(Factory* factory, Formula f,
+                                               const TableauOptions& options) {
+  TableauAutomaton out;
+  Formula nnf = ToNnf(factory, f);
+  if (nnf->kind() == Kind::kFalse) return out;  // empty automaton, unsat
+
+  TableauStats stats;
+  Expander expander(factory, options, &stats);
+
+  std::vector<StateSet> states;
+  std::vector<std::vector<uint32_t>> edges;
+  std::unordered_map<StateSet, uint32_t, StateSetHash> ids;
+  std::vector<bool> initial;
+
+  auto intern = [&](StateSet&& s) -> Result<uint32_t> {
+    auto it = ids.find(s);
+    if (it != ids.end()) return it->second;
+    if (states.size() >= options.max_states) {
+      return Status::ResourceExhausted("automaton exceeded max_states");
+    }
+    uint32_t id = static_cast<uint32_t>(states.size());
+    ids.emplace(s, id);
+    states.push_back(std::move(s));
+    edges.emplace_back();
+    initial.push_back(false);
+    return id;
+  };
+
+  for (StateSet& s : expander.Expand({nnf})) {
+    TIC_ASSIGN_OR_RETURN(uint32_t id, intern(std::move(s)));
+    initial[id] = true;
+  }
+  TIC_RETURN_NOT_OK(expander.status());
+  for (size_t head = 0; head < states.size(); ++head) {
+    for (StateSet& s : expander.Expand(SeedOf(states[head]))) {
+      TIC_ASSIGN_OR_RETURN(uint32_t id, intern(std::move(s)));
+      edges[head].push_back(id);
+    }
+    TIC_RETURN_NOT_OK(expander.status());
+  }
+
+  size_t num_sccs = 0;
+  out.scc_of = Sccs(edges, &num_sccs);
+  out.scc_self_fulfilling.assign(num_sccs, false);
+
+  // Self-fulfilling test per SCC (and non-triviality).
+  std::vector<std::vector<uint32_t>> members(num_sccs);
+  for (uint32_t v = 0; v < states.size(); ++v) {
+    members[out.scc_of[v]].push_back(v);
+  }
+  for (size_t c = 0; c < num_sccs; ++c) {
+    bool nontrivial = members[c].size() > 1;
+    if (!nontrivial) {
+      uint32_t v = members[c][0];
+      for (uint32_t w : edges[v]) nontrivial = nontrivial || w == v;
+    }
+    if (!nontrivial) continue;
+    bool fulfilled = true;
+    for (uint32_t v : members[c]) {
+      for (Formula g : states[v]) {
+        Formula goal = ObligationGoal(g);
+        if (goal == nullptr) continue;
+        bool found = false;
+        for (uint32_t w : members[c]) {
+          found = found || std::binary_search(states[w].begin(), states[w].end(), goal);
+          if (found) break;
+        }
+        if (!found) {
+          fulfilled = false;
+          break;
+        }
+      }
+      if (!fulfilled) break;
+    }
+    out.scc_self_fulfilling[c] = fulfilled;
+    out.satisfiable = out.satisfiable || fulfilled;
+  }
+
+  // Render the states.
+  out.states.reserve(states.size());
+  for (uint32_t v = 0; v < states.size(); ++v) {
+    TableauAutomaton::State st;
+    st.initial = initial[v];
+    for (Formula g : states[v]) {
+      st.formulas.push_back(ToString(*factory, g));
+      if (g->kind() == Kind::kAtom) {
+        st.true_letters.push_back(factory->vocabulary()->Name(g->atom()));
+      }
+      Formula goal = ObligationGoal(g);
+      if (goal != nullptr) st.obligations.push_back(ToString(*factory, goal));
+    }
+    out.states.push_back(std::move(st));
+  }
+  out.edges = std::move(edges);
+  return out;
+}
+
+std::string ToDot(const TableauAutomaton& automaton) {
+  std::string dot = "digraph tableau {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (size_t v = 0; v < automaton.states.size(); ++v) {
+    const auto& st = automaton.states[v];
+    std::string label;
+    if (st.true_letters.empty()) {
+      label = "{}";
+    } else {
+      for (size_t i = 0; i < st.true_letters.size(); ++i) {
+        if (i > 0) label += ",";
+        label += st.true_letters[i];
+      }
+    }
+    bool accepting = automaton.scc_self_fulfilling[automaton.scc_of[v]];
+    dot += "  s" + std::to_string(v) + " [label=\"" + label + "\"";
+    if (accepting) dot += ", shape=doublecircle";
+    if (st.initial) dot += ", penwidth=3";
+    dot += "];\n";
+  }
+  for (size_t v = 0; v < automaton.edges.size(); ++v) {
+    for (uint32_t w : automaton.edges[v]) {
+      dot += "  s" + std::to_string(v) + " -> s" + std::to_string(w) + ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace ptl
+}  // namespace tic

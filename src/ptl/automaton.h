@@ -1,0 +1,52 @@
+#ifndef TIC_PTL_AUTOMATON_H_
+#define TIC_PTL_AUTOMATON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ptl/formula.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief An inspectable snapshot of the tableau graph for a formula — the
+/// (generalized-Büchi-like) automaton that phase 2 of Lemma 4.2 searches.
+/// Intended for debugging, teaching, and visualization; the satisfiability
+/// API itself (CheckSat) never materializes this structure on the safety
+/// fast path.
+struct TableauAutomaton {
+  struct State {
+    /// The formulas asserted by the state, pretty-printed.
+    std::vector<std::string> formulas;
+    /// Letters assigned true by this state.
+    std::vector<std::string> true_letters;
+    bool initial = false;
+    /// Unfulfilled-eventuality goals this state carries (Until/F goals).
+    std::vector<std::string> obligations;
+  };
+  std::vector<State> states;
+  /// Adjacency: edges[i] lists successor state indices of state i.
+  std::vector<std::vector<uint32_t>> edges;
+  /// Strongly connected component id per state, and which components are
+  /// self-fulfilling (every obligation's goal appears inside).
+  std::vector<uint32_t> scc_of;
+  std::vector<bool> scc_self_fulfilling;
+  bool satisfiable = false;
+};
+
+/// \brief Builds the full reachable tableau graph for `f` (after NNF).
+/// Honors the resource limits in `options`; ablation switches are ignored
+/// (the full graph is always built here).
+Result<TableauAutomaton> BuildTableauAutomaton(Factory* factory, Formula f,
+                                               const TableauOptions& options = {});
+
+/// \brief Renders the automaton in Graphviz DOT: doubled circles for states in
+/// self-fulfilling SCCs, bold border for initial states, letters as labels.
+std::string ToDot(const TableauAutomaton& automaton);
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_AUTOMATON_H_

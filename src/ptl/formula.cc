@@ -1,0 +1,215 @@
+#include "ptl/formula.h"
+
+#include "common/hash.h"
+
+namespace tic {
+namespace ptl {
+
+Formula Factory::Intern(Kind k, PropId atom, Formula c0, Formula c1) {
+  Node proto;
+  proto.kind_ = k;
+  proto.atom_ = atom;
+  proto.children_[0] = c0;
+  proto.children_[1] = c1;
+  size_t seed = static_cast<size_t>(k) * 0x9e3779b97f4a7c15ULL + 3;
+  HashCombine(&seed, atom);
+  HashCombine(&seed, reinterpret_cast<size_t>(c0));
+  HashCombine(&seed, reinterpret_cast<size_t>(c1));
+  proto.hash_ = seed;
+  auto it = cache_.find(&proto);
+  if (it != cache_.end()) return it->second;
+  proto.size_ = 1 + (c0 ? c0->size() : 0) + (c1 ? c1->size() : 0);
+  nodes_.push_back(proto);
+  Formula f = &nodes_.back();
+  cache_.emplace(f, f);
+  return f;
+}
+
+Formula Factory::True() {
+  if (!true_) true_ = Intern(Kind::kTrue, 0, nullptr, nullptr);
+  return true_;
+}
+
+Formula Factory::False() {
+  if (!false_) false_ = Intern(Kind::kFalse, 0, nullptr, nullptr);
+  return false_;
+}
+
+Formula Factory::Atom(PropId p) { return Intern(Kind::kAtom, p, nullptr, nullptr); }
+
+Formula Factory::Not(Formula a) {
+  if (a->kind() == Kind::kTrue) return False();
+  if (a->kind() == Kind::kFalse) return True();
+  if (a->kind() == Kind::kNot) return a->child(0);
+  return Intern(Kind::kNot, 0, a, nullptr);
+}
+
+Formula Factory::And(Formula a, Formula b) {
+  if (a->kind() == Kind::kFalse || b->kind() == Kind::kFalse) return False();
+  if (a->kind() == Kind::kTrue) return b;
+  if (b->kind() == Kind::kTrue) return a;
+  if (a == b) return a;
+  // Shallow absorption, x & (x & y) == x & y: keeps the Lemma 4.2 progression
+  // residuals from growing one conjunct per step on looping obligations.
+  if (b->kind() == Kind::kAnd && (b->lhs() == a || b->rhs() == a)) return b;
+  if (a->kind() == Kind::kAnd && (a->lhs() == b || a->rhs() == b)) return a;
+  // Canonical operand order improves sharing (And is commutative).
+  if (b < a) std::swap(a, b);
+  return Intern(Kind::kAnd, 0, a, b);
+}
+
+Formula Factory::Or(Formula a, Formula b) {
+  if (a->kind() == Kind::kTrue || b->kind() == Kind::kTrue) return True();
+  if (a->kind() == Kind::kFalse) return b;
+  if (b->kind() == Kind::kFalse) return a;
+  if (a == b) return a;
+  // Shallow absorption, x | (x | y) == x | y.
+  if (b->kind() == Kind::kOr && (b->lhs() == a || b->rhs() == a)) return b;
+  if (a->kind() == Kind::kOr && (a->lhs() == b || a->rhs() == b)) return a;
+  if (b < a) std::swap(a, b);
+  return Intern(Kind::kOr, 0, a, b);
+}
+
+Formula Factory::Implies(Formula a, Formula b) {
+  if (a->kind() == Kind::kFalse || b->kind() == Kind::kTrue) return True();
+  if (a->kind() == Kind::kTrue) return b;
+  if (b->kind() == Kind::kFalse) return Not(a);
+  if (a == b) return True();
+  return Intern(Kind::kImplies, 0, a, b);
+}
+
+Formula Factory::AndAll(const std::vector<Formula>& fs) {
+  Formula acc = True();
+  for (Formula f : fs) acc = And(acc, f);
+  return acc;
+}
+
+Formula Factory::OrAll(const std::vector<Formula>& fs) {
+  Formula acc = False();
+  for (Formula f : fs) acc = Or(acc, f);
+  return acc;
+}
+
+Formula Factory::Next(Formula a) {
+  if (a->kind() == Kind::kTrue || a->kind() == Kind::kFalse) return a;
+  return Intern(Kind::kNext, 0, a, nullptr);
+}
+
+Formula Factory::Until(Formula a, Formula b) {
+  if (b->kind() == Kind::kTrue || b->kind() == Kind::kFalse) return b;
+  if (a->kind() == Kind::kFalse) return b;  // false U b == b
+  if (a->kind() == Kind::kTrue) return Eventually(b);
+  return Intern(Kind::kUntil, 0, a, b);
+}
+
+Formula Factory::Release(Formula a, Formula b) {
+  if (b->kind() == Kind::kTrue || b->kind() == Kind::kFalse) return b;
+  if (a->kind() == Kind::kTrue) return b;  // true R b == b
+  if (a->kind() == Kind::kFalse) return Always(b);
+  return Intern(Kind::kRelease, 0, a, b);
+}
+
+Formula Factory::Eventually(Formula a) {
+  if (a->kind() == Kind::kTrue || a->kind() == Kind::kFalse) return a;
+  if (a->kind() == Kind::kEventually) return a;
+  return Intern(Kind::kEventually, 0, a, nullptr);
+}
+
+Formula Factory::Always(Formula a) {
+  if (a->kind() == Kind::kTrue || a->kind() == Kind::kFalse) return a;
+  if (a->kind() == Kind::kAlways) return a;
+  return Intern(Kind::kAlways, 0, a, nullptr);
+}
+
+namespace {
+
+int Precedence(Kind k) {
+  switch (k) {
+    case Kind::kImplies:
+      return 1;
+    case Kind::kOr:
+      return 2;
+    case Kind::kAnd:
+      return 3;
+    case Kind::kUntil:
+    case Kind::kRelease:
+      return 4;
+    case Kind::kNot:
+    case Kind::kNext:
+    case Kind::kEventually:
+    case Kind::kAlways:
+      return 5;
+    default:
+      return 6;
+  }
+}
+
+void Render(const Factory& fac, Formula f, int min_prec, std::string* out) {
+  int prec = Precedence(f->kind());
+  bool parens = prec < min_prec;
+  if (parens) *out += "(";
+  switch (f->kind()) {
+    case Kind::kTrue:
+      *out += "true";
+      break;
+    case Kind::kFalse:
+      *out += "false";
+      break;
+    case Kind::kAtom:
+      *out += fac.vocabulary()->Name(f->atom());
+      break;
+    case Kind::kNot:
+      *out += "!";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case Kind::kNext:
+      *out += "X ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case Kind::kEventually:
+      *out += "F ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case Kind::kAlways:
+      *out += "G ";
+      Render(fac, f->child(0), 5, out);
+      break;
+    case Kind::kAnd:
+      Render(fac, f->lhs(), 3, out);
+      *out += " & ";
+      Render(fac, f->rhs(), 4, out);
+      break;
+    case Kind::kOr:
+      Render(fac, f->lhs(), 2, out);
+      *out += " | ";
+      Render(fac, f->rhs(), 3, out);
+      break;
+    case Kind::kImplies:
+      Render(fac, f->lhs(), 2, out);
+      *out += " -> ";
+      Render(fac, f->rhs(), 1, out);
+      break;
+    case Kind::kUntil:
+      Render(fac, f->lhs(), 5, out);
+      *out += " U ";
+      Render(fac, f->rhs(), 4, out);
+      break;
+    case Kind::kRelease:
+      Render(fac, f->lhs(), 5, out);
+      *out += " R ";
+      Render(fac, f->rhs(), 4, out);
+      break;
+  }
+  if (parens) *out += ")";
+}
+
+}  // namespace
+
+std::string ToString(const Factory& factory, Formula f) {
+  std::string out;
+  Render(factory, f, 0, &out);
+  return out;
+}
+
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,149 @@
+#ifndef TIC_PTL_FORMULA_H_
+#define TIC_PTL_FORMULA_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief Index of a propositional letter within a PropVocabulary.
+using PropId = uint32_t;
+
+/// \brief The set of propositional letters of a propositional-TL language
+/// (Section 2, "Propositional temporal logic"). For grounded formulas the
+/// letters carry names like "p(3,z1)" chosen by the grounder (Theorem 4.1
+/// deliberately uses well-formed first-order atoms as letter names).
+class PropVocabulary {
+ public:
+  PropId Intern(std::string_view name) { return interner_.Intern(name); }
+  bool Lookup(std::string_view name, PropId* out) const {
+    return interner_.Lookup(name, out);
+  }
+  const std::string& Name(PropId p) const { return interner_.Name(p); }
+  size_t size() const { return interner_.size(); }
+
+ private:
+  StringInterner interner_;
+};
+
+using PropVocabularyPtr = std::shared_ptr<PropVocabulary>;
+
+/// \brief Connectives of (future) propositional temporal logic, plus Release —
+/// the dual of Until — which negation normal form requires.
+enum class Kind : uint8_t {
+  kTrue,
+  kFalse,
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kNext,
+  kUntil,
+  kRelease,     ///< A R B == !( !A until !B )
+  kEventually,  ///< F A == true until A
+  kAlways,      ///< G A == false R A
+};
+
+inline bool IsBinary(Kind k) {
+  return k == Kind::kAnd || k == Kind::kOr || k == Kind::kImplies ||
+         k == Kind::kUntil || k == Kind::kRelease;
+}
+
+class Node;
+/// \brief Hash-consed formula handle; pointer equality == structural equality
+/// within one Factory.
+using Formula = const Node*;
+
+/// \brief Immutable propositional-TL node; create via Factory.
+class Node {
+ public:
+  Kind kind() const { return kind_; }
+  PropId atom() const { return atom_; }
+  Formula child(size_t i) const { return children_[i]; }
+  Formula lhs() const { return children_[0]; }
+  Formula rhs() const { return children_[1]; }
+  /// Tree size |psi| — the complexity parameter of Lemma 4.2.
+  uint64_t size() const { return size_; }
+  uint64_t hash() const { return hash_; }
+  /// True when the node is a literal / Next-formula (tableau-elementary).
+  bool IsLiteral() const {
+    return kind_ == Kind::kAtom ||
+           (kind_ == Kind::kNot && children_[0]->kind() == Kind::kAtom);
+  }
+
+ private:
+  friend class Factory;
+  Node() = default;
+  Kind kind_ = Kind::kTrue;
+  PropId atom_ = 0;
+  Formula children_[2] = {nullptr, nullptr};
+  uint64_t size_ = 1;
+  uint64_t hash_ = 0;
+};
+
+/// \brief Owning arena + hash-consing cache for propositional-TL formulas.
+///
+/// Builders constant-fold with True/False and collapse idempotent And/Or —
+/// essential for keeping the Lemma 4.2 rewriting (formula progression)
+/// residuals small, as the paper's "and the resulting formula simplified"
+/// step prescribes.
+class Factory {
+ public:
+  explicit Factory(PropVocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+
+  const PropVocabularyPtr& vocabulary() const { return vocab_; }
+
+  Formula True();
+  Formula False();
+  Formula Atom(PropId p);
+  Formula Not(Formula a);
+  Formula And(Formula a, Formula b);
+  Formula Or(Formula a, Formula b);
+  Formula Implies(Formula a, Formula b);
+  Formula AndAll(const std::vector<Formula>& fs);
+  Formula OrAll(const std::vector<Formula>& fs);
+  Formula Next(Formula a);
+  Formula Until(Formula a, Formula b);
+  Formula Release(Formula a, Formula b);
+  Formula Eventually(Formula a);
+  Formula Always(Formula a);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  Formula Intern(Kind k, PropId atom, Formula c0, Formula c1);
+
+  struct KeyHash {
+    size_t operator()(const Node* n) const { return n->hash(); }
+  };
+  struct KeyEq {
+    bool operator()(const Node* a, const Node* b) const {
+      return a->kind() == b->kind() && a->atom() == b->atom() &&
+             a->child(0) == b->child(0) && a->child(1) == b->child(1);
+    }
+  };
+
+  PropVocabularyPtr vocab_;
+  std::deque<Node> nodes_;
+  std::unordered_map<const Node*, Formula, KeyHash, KeyEq> cache_;
+  Formula true_ = nullptr;
+  Formula false_ = nullptr;
+};
+
+/// \brief Renders a formula: `(p U q) & G !r`.
+std::string ToString(const Factory& factory, Formula f);
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_FORMULA_H_

@@ -1,0 +1,114 @@
+#include "ptl/nnf.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+struct Key {
+  Formula f;
+  bool neg;
+  bool operator==(const Key& o) const { return f == o.f && neg == o.neg; }
+};
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    size_t seed = reinterpret_cast<size_t>(k.f);
+    HashCombine(&seed, k.neg ? 1u : 0u);
+    return seed;
+  }
+};
+
+class NnfBuilder {
+ public:
+  explicit NnfBuilder(Factory* fac) : fac_(fac) {}
+
+  Formula Run(Formula f, bool neg) {
+    Key key{f, neg};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Formula out = Build(f, neg);
+    memo_.emplace(key, out);
+    return out;
+  }
+
+ private:
+  Formula Build(Formula f, bool neg) {
+    switch (f->kind()) {
+      case Kind::kTrue:
+        return neg ? fac_->False() : fac_->True();
+      case Kind::kFalse:
+        return neg ? fac_->True() : fac_->False();
+      case Kind::kAtom:
+        return neg ? fac_->Not(f) : f;
+      case Kind::kNot:
+        return Run(f->child(0), !neg);
+      case Kind::kAnd:
+        return neg ? fac_->Or(Run(f->lhs(), true), Run(f->rhs(), true))
+                   : fac_->And(Run(f->lhs(), false), Run(f->rhs(), false));
+      case Kind::kOr:
+        return neg ? fac_->And(Run(f->lhs(), true), Run(f->rhs(), true))
+                   : fac_->Or(Run(f->lhs(), false), Run(f->rhs(), false));
+      case Kind::kImplies:
+        // A -> B == !A | B.
+        return neg ? fac_->And(Run(f->lhs(), false), Run(f->rhs(), true))
+                   : fac_->Or(Run(f->lhs(), true), Run(f->rhs(), false));
+      case Kind::kNext:
+        return fac_->Next(Run(f->child(0), neg));
+      case Kind::kUntil:
+        return neg ? fac_->Release(Run(f->lhs(), true), Run(f->rhs(), true))
+                   : fac_->Until(Run(f->lhs(), false), Run(f->rhs(), false));
+      case Kind::kRelease:
+        return neg ? fac_->Until(Run(f->lhs(), true), Run(f->rhs(), true))
+                   : fac_->Release(Run(f->lhs(), false), Run(f->rhs(), false));
+      case Kind::kEventually:
+        // F A == true U A;  !F A == G !A == false R !A.
+        return neg ? fac_->Release(fac_->False(), Run(f->child(0), true))
+                   : fac_->Until(fac_->True(), Run(f->child(0), false));
+      case Kind::kAlways:
+        return neg ? fac_->Until(fac_->True(), Run(f->child(0), true))
+                   : fac_->Release(fac_->False(), Run(f->child(0), false));
+    }
+    return f;
+  }
+
+  Factory* fac_;
+  std::unordered_map<Key, Formula, KeyHash> memo_;
+};
+
+}  // namespace
+
+Formula ToNnf(Factory* factory, Formula f) {
+  NnfBuilder builder(factory);
+  return builder.Run(f, false);
+}
+
+bool IsNnf(Formula f) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+      return true;
+    case Kind::kNot:
+      return f->child(0)->kind() == Kind::kAtom;
+    case Kind::kImplies:
+      return false;
+    case Kind::kEventually:
+    case Kind::kAlways:
+      return IsNnf(f->child(0));
+    case Kind::kNext:
+      return IsNnf(f->child(0));
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kUntil:
+    case Kind::kRelease:
+      return IsNnf(f->lhs()) && IsNnf(f->rhs());
+  }
+  return false;
+}
+
+}  // namespace ptl
+}  // namespace tic

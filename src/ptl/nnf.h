@@ -1,0 +1,25 @@
+#ifndef TIC_PTL_NNF_H_
+#define TIC_PTL_NNF_H_
+
+#include "ptl/formula.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief Negation normal form: negation only on atoms, Implies eliminated,
+/// Eventually/Always rewritten to Until/Release. The tableau operates on NNF.
+///
+/// Equivalences used: !(A & B) == !A | !B, !(A | B) == !A & !B,
+/// !X A == X !A, !(A U B) == !A R !B, !(A R B) == !A U !B,
+/// F A == true U A, G A == false R A.
+Formula ToNnf(Factory* factory, Formula f);
+
+/// \brief True if `f` is already in NNF: negations on atoms only and no
+/// Implies. Positive Eventually/Always are accepted (the factory folds
+/// `true U A` / `false R A` back to them, and the tableau handles both).
+bool IsNnf(Formula f);
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_NNF_H_

@@ -1,0 +1,198 @@
+#include "ptl/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+struct Token {
+  enum class Kind { kEnd, kIdent, kLParen, kRParen, kBang, kAmp, kBar, kArrow };
+  Kind kind;
+  std::string text;
+  size_t pos;
+};
+
+Result<std::vector<Token>> Lex(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < in.size() && (std::isalnum(static_cast<unsigned char>(in[j])) ||
+                               in[j] == '_')) {
+        ++j;
+      }
+      out.push_back({Token::Kind::kIdent, std::string(in.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        out.push_back({Token::Kind::kLParen, "(", start});
+        ++i;
+        break;
+      case ')':
+        out.push_back({Token::Kind::kRParen, ")", start});
+        ++i;
+        break;
+      case '!':
+        out.push_back({Token::Kind::kBang, "!", start});
+        ++i;
+        break;
+      case '&':
+        out.push_back({Token::Kind::kAmp, "&", start});
+        ++i;
+        break;
+      case '|':
+        out.push_back({Token::Kind::kBar, "|", start});
+        ++i;
+        break;
+      case '-':
+        if (i + 1 < in.size() && in[i + 1] == '>') {
+          out.push_back({Token::Kind::kArrow, "->", start});
+          i += 2;
+          break;
+        }
+        [[fallthrough]];
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  out.push_back({Token::Kind::kEnd, "", in.size()});
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(Factory* fac, std::vector<Token> toks) : fac_(fac), toks_(std::move(toks)) {}
+
+  Result<Formula> Run() {
+    TIC_ASSIGN_OR_RETURN(Formula f, ParseImplies());
+    if (Peek().kind != Token::Kind::kEnd) return Err("trailing input");
+    return f;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  Token Take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool Accept(Token::Kind k) {
+    if (Peek().kind == k) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptWord(const char* w) {
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == w) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (near offset " + std::to_string(Peek().pos) +
+                              ")");
+  }
+
+  Result<Formula> ParseImplies() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseOr());
+    if (Accept(Token::Kind::kArrow)) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseImplies());
+      return fac_->Implies(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseOr() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseAnd());
+    while (Accept(Token::Kind::kBar)) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseAnd());
+      lhs = fac_->Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseAnd() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseBinaryTemporal());
+    while (Accept(Token::Kind::kAmp)) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseBinaryTemporal());
+      lhs = fac_->And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseBinaryTemporal() {
+    TIC_ASSIGN_OR_RETURN(Formula lhs, ParseUnary());
+    if (AcceptWord("U")) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseBinaryTemporal());
+      return fac_->Until(lhs, rhs);
+    }
+    if (AcceptWord("R")) {
+      TIC_ASSIGN_OR_RETURN(Formula rhs, ParseBinaryTemporal());
+      return fac_->Release(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseUnary() {
+    if (Accept(Token::Kind::kBang)) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Not(a);
+    }
+    if (AcceptWord("X")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Next(a);
+    }
+    if (AcceptWord("F")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Eventually(a);
+    }
+    if (AcceptWord("G")) {
+      TIC_ASSIGN_OR_RETURN(Formula a, ParseUnary());
+      return fac_->Always(a);
+    }
+    return ParsePrimary();
+  }
+
+  Result<Formula> ParsePrimary() {
+    if (AcceptWord("true")) return fac_->True();
+    if (AcceptWord("false")) return fac_->False();
+    if (Accept(Token::Kind::kLParen)) {
+      TIC_ASSIGN_OR_RETURN(Formula f, ParseImplies());
+      if (!Accept(Token::Kind::kRParen)) return Err("expected ')'");
+      return f;
+    }
+    if (Peek().kind != Token::Kind::kIdent) return Err("expected an atom");
+    std::string name = Take().text;
+    if (name == "U" || name == "R" || name == "X" || name == "F" || name == "G") {
+      return Status::ParseError("'" + name + "' is an operator, not an atom");
+    }
+    return fac_->Atom(fac_->vocabulary()->Intern(name));
+  }
+
+  Factory* fac_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> Parse(Factory* factory, std::string_view text) {
+  TIC_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  Parser p(factory, std::move(toks));
+  return p.Run();
+}
+
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,23 @@
+#ifndef TIC_PTL_PARSER_H_
+#define TIC_PTL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "ptl/formula.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief Parses propositional temporal logic in the printer's syntax:
+/// precedence (low to high) `->` (right-assoc), `|`, `&`, `U`/`R`
+/// (right-assoc), prefix `! X F G`, atoms/parentheses/`true`/`false`.
+/// Identifiers are interned into the factory's vocabulary on sight.
+///
+/// Examples: `G (p -> X q)`, `p U q & !r`, `(a R b) | F c`.
+Result<Formula> Parse(Factory* factory, std::string_view text);
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_PARSER_H_

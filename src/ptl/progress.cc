@@ -1,0 +1,103 @@
+#include "ptl/progress.h"
+
+#include <unordered_map>
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+class Progressor {
+ public:
+  Progressor(Factory* fac, const PropState* state) : fac_(fac), state_(state) {}
+
+  Result<Formula> Run(Formula f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    TIC_ASSIGN_OR_RETURN(Formula out, Compute(f));
+    memo_.emplace(f, out);
+    return out;
+  }
+
+ private:
+  Result<Formula> Compute(Formula f) {
+    switch (f->kind()) {
+      case Kind::kTrue:
+        return fac_->True();
+      case Kind::kFalse:
+        return fac_->False();
+      case Kind::kAtom:
+        return state_->Get(f->atom()) ? fac_->True() : fac_->False();
+      case Kind::kNot: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        return fac_->Not(a);
+      }
+      case Kind::kAnd: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        if (a->kind() == Kind::kFalse) return a;
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->And(a, b);
+      }
+      case Kind::kOr: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        if (a->kind() == Kind::kTrue) return a;
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->Or(a, b);
+      }
+      case Kind::kImplies: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        if (a->kind() == Kind::kFalse) return fac_->True();
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        return fac_->Implies(a, b);
+      }
+      case Kind::kNext:
+        return f->child(0);
+      case Kind::kUntil: {
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        if (b->kind() == Kind::kTrue) return b;
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        return fac_->Or(b, fac_->And(a, f));
+      }
+      case Kind::kRelease: {
+        TIC_ASSIGN_OR_RETURN(Formula b, Run(f->rhs()));
+        if (b->kind() == Kind::kFalse) return b;
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->lhs()));
+        return fac_->And(b, fac_->Or(a, f));
+      }
+      case Kind::kEventually: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        if (a->kind() == Kind::kTrue) return a;
+        return fac_->Or(a, f);
+      }
+      case Kind::kAlways: {
+        TIC_ASSIGN_OR_RETURN(Formula a, Run(f->child(0)));
+        if (a->kind() == Kind::kFalse) return a;
+        return fac_->And(a, f);
+      }
+    }
+    return Status::Internal("unhandled kind in Progressor");
+  }
+
+  Factory* fac_;
+  const PropState* state_;
+  std::unordered_map<Formula, Formula> memo_;
+};
+
+}  // namespace
+
+Result<Formula> Progress(Factory* factory, Formula f, const PropState& state) {
+  Progressor p(factory, &state);
+  return p.Run(f);
+}
+
+Result<Formula> ProgressThroughWord(Factory* factory, Formula f, const Word& prefix) {
+  Formula cur = f;
+  for (const PropState& s : prefix) {
+    TIC_ASSIGN_OR_RETURN(cur, Progress(factory, cur, s));
+    if (cur->kind() == Kind::kFalse) break;  // permanent violation (safety)
+  }
+  return cur;
+}
+
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,33 @@
+#ifndef TIC_PTL_PROGRESS_H_
+#define TIC_PTL_PROGRESS_H_
+
+#include "common/result.h"
+#include "ptl/formula.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief Phase 1 of the Lemma 4.2 decision procedure: the deterministic
+/// Sistla–Wolfson state-indexed rewriting, implemented as one-step formula
+/// progression with constant folding.
+///
+/// `Progress(f, w0)` returns a formula psi' such that for every infinite word
+/// starting with state w0: (w0 w1 w2 ...) |= f  iff  (w1 w2 ...) |= psi'.
+/// Rules (matching the paper's rewriting):
+///   p          ->  true/false per w0            X A       ->  A
+///   A U B      ->  B' | (A' & (A U B))          A R B     ->  B' & (A' | (A R B))
+///   F A        ->  A' | F A                     G A       ->  A' & G A
+/// where A' = Progress(A, w0); boolean connectives are rewritten
+/// component-wise and folded. Each step costs O(|f|) on the hash-consed DAG,
+/// so consuming a prefix of length t costs O(t * |f|) as Lemma 4.2 states.
+Result<Formula> Progress(Factory* factory, Formula f, const PropState& state);
+
+/// \brief Progresses `f` through all states of the prefix in order, producing
+/// the residual formula tested for satisfiability in phase 2.
+Result<Formula> ProgressThroughWord(Factory* factory, Formula f, const Word& prefix);
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_PROGRESS_H_

@@ -1,0 +1,37 @@
+#ifndef TIC_PTL_SAFETY_H_
+#define TIC_PTL_SAFETY_H_
+
+#include "common/result.h"
+#include "ptl/formula.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief Sound syntactic safety test in the spirit of Sistla's
+/// characterization (cited in Sections 2 and 6): a formula whose negation
+/// normal form contains no Until and no Eventually — i.e., is built from
+/// literals with And/Or/Next/Release/Always — defines a safety property.
+///
+/// This is sufficient but not complete (recognizing propositional safety
+/// exactly is decidable but expensive; Section 6 conjectures the syntactic
+/// route generalizes to universal biquantified formulas, which is exactly how
+/// the checker uses this test after grounding).
+bool IsSyntacticallySafe(Factory* factory, Formula f);
+
+/// \brief Sound syntactic *liveness*-shape test: NNF built from True plus
+/// Until/Eventually/Next over liveness shapes; used in tests to demonstrate
+/// the safety/liveness dichotomy of Section 2.
+bool IsSyntacticallyCoSafe(Factory* factory, Formula f);
+
+/// \brief Semantic safety check over a bounded horizon, used by tests as an
+/// oracle on small formulas: verifies that every "bad" word (one that cannot
+/// be extended to a model) has an irredeemable finite prefix of length <=
+/// `horizon` over the letters of `props`. Exponential in horizon*|props|;
+/// keep both tiny.
+Result<bool> BoundedSafetyCheck(Factory* factory, Formula f,
+                                const std::vector<PropId>& props, size_t horizon);
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_SAFETY_H_

@@ -1,0 +1,409 @@
+#include "ptl/tableau.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "ptl/nnf.h"
+#include "ptl/safety.h"
+#include "ptl/tableau_internal.h"
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+using internal::AssignmentOf;
+using internal::Expander;
+using internal::SeedOf;
+using internal::StateSet;
+using internal::StateSetHash;
+
+// Fast path for *syntactically safe* formulas (no Until/Eventually in NNF):
+// every state's obligations are invariants, so the formula is satisfiable iff
+// the tableau graph contains any infinite path — found by a lazy depth-first
+// search that stops at the first cycle, without materializing the branch tree.
+class SafetySearch {
+ public:
+  SafetySearch(Factory* fac, const TableauOptions& options, TableauStats* stats)
+      : options_(options), stats_(stats), expander_(fac, options, stats) {}
+
+  // On success fills `witness` with the lasso induced by the DFS path.
+  Result<bool> Run(Formula root_nnf, UltimatelyPeriodicWord* witness) {
+    bool found = false;
+    bool keep_going = expander_.ExpandEach({root_nnf}, [&](StateSet&& s) {
+      Result<bool> r = Dfs(std::move(s));
+      if (!r.ok()) {
+        status_ = r.status();
+        return false;
+      }
+      found = *r;
+      return !found;
+    });
+    (void)keep_going;
+    TIC_RETURN_NOT_OK(expander_.status());
+    TIC_RETURN_NOT_OK(status_);
+    if (found) {
+      witness->prefix.clear();
+      witness->loop.clear();
+      for (size_t i = 0; i < loop_start_; ++i) {
+        witness->prefix.push_back(AssignmentOf(path_[i]));
+      }
+      for (size_t i = loop_start_; i < path_.size(); ++i) {
+        witness->loop.push_back(AssignmentOf(path_[i]));
+      }
+    }
+    return found;
+  }
+
+ private:
+  Result<bool> Dfs(StateSet s) {
+    auto on_path = on_path_.find(s);
+    if (on_path != on_path_.end()) {
+      loop_start_ = on_path->second;  // cycle: an infinite path exists
+      return true;
+    }
+    if (failed_.count(s) > 0) return false;
+    if (++stats_->num_states > options_.max_states) {
+      return Status::ResourceExhausted("safety search exceeded max_states = " +
+                                       std::to_string(options_.max_states));
+    }
+    if (path_.size() > 100000) {
+      // Guard the native call stack (Dfs recurses once per path state).
+      return Status::ResourceExhausted("safety search path exceeded 100000 states");
+    }
+    size_t index = path_.size();
+    on_path_.emplace(s, index);
+    path_.push_back(s);
+    std::vector<Formula> seed = SeedOf(path_[index]);
+
+    bool found = false;
+    expander_.ExpandEach(seed, [&](StateSet&& succ) {
+      ++stats_->num_edges;
+      Result<bool> r = Dfs(std::move(succ));
+      if (!r.ok()) {
+        status_ = r.status();
+        return false;
+      }
+      found = *r;
+      return !found;
+    });
+    TIC_RETURN_NOT_OK(expander_.status());
+    TIC_RETURN_NOT_OK(status_);
+    if (found) return true;  // keep the path intact for witness extraction
+    path_.pop_back();
+    on_path_.erase(s);
+    failed_.insert(std::move(s));
+    return false;
+  }
+
+  TableauOptions options_;
+  TableauStats* stats_;
+  Expander expander_;
+  Status status_;
+  std::vector<StateSet> path_;
+  std::unordered_map<StateSet, size_t, StateSetHash> on_path_;
+  std::unordered_set<StateSet, StateSetHash> failed_;
+  size_t loop_start_ = 0;
+};
+
+// The full reachable tableau graph plus SCC-based model search (general case
+// with eventualities, Lichtenstein–Pnueli acceptance).
+class TableauGraph {
+ public:
+  TableauGraph(Factory* fac, const TableauOptions& options)
+      : options_(options), expander_(fac, options, &stats_) {}
+
+  Status Build(Formula root_nnf) {
+    std::vector<StateSet> initials = expander_.Expand({root_nnf});
+    TIC_RETURN_NOT_OK(expander_.status());
+    for (StateSet& s : initials) {
+      TIC_ASSIGN_OR_RETURN(uint32_t id, InternState(std::move(s)));
+      initial_ids_.push_back(id);
+    }
+    // BFS over the transition relation.
+    size_t head = 0;
+    while (head < states_.size()) {
+      uint32_t id = static_cast<uint32_t>(head++);
+      std::vector<StateSet> succs = expander_.Expand(SeedOf(states_[id]));
+      TIC_RETURN_NOT_OK(expander_.status());
+      for (StateSet& s : succs) {
+        TIC_ASSIGN_OR_RETURN(uint32_t sid, InternState(std::move(s)));
+        edges_[id].push_back(sid);
+        ++stats_.num_edges;
+      }
+    }
+    stats_.num_states = states_.size();
+    return Status::OK();
+  }
+
+  // Finds a reachable self-fulfilling SCC; fills `witness` when found.
+  bool FindModel(UltimatelyPeriodicWord* witness) {
+    ComputeSccs();
+    for (size_t c = 0; c < scc_members_.size(); ++c) {
+      if (!SccIsNontrivial(c)) continue;
+      if (!SccIsSelfFulfilling(c)) continue;
+      BuildWitness(c, witness);
+      return true;
+    }
+    return false;
+  }
+
+  const TableauStats& stats() const { return stats_; }
+
+ private:
+  Result<uint32_t> InternState(StateSet&& s) {
+    auto it = state_ids_.find(s);
+    if (it != state_ids_.end()) return it->second;
+    if (states_.size() >= options_.max_states) {
+      return Status::ResourceExhausted("tableau exceeded max_states = " +
+                                       std::to_string(options_.max_states));
+    }
+    uint32_t id = static_cast<uint32_t>(states_.size());
+    state_ids_.emplace(s, id);
+    states_.push_back(std::move(s));
+    edges_.emplace_back();
+    return id;
+  }
+
+  // Iterative Tarjan.
+  void ComputeSccs() {
+    size_t n = states_.size();
+    std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<uint32_t> stack;
+    scc_of_.assign(n, UINT32_MAX);
+    uint32_t next_index = 0;
+
+    struct Frame {
+      uint32_t v;
+      size_t edge;
+    };
+    for (uint32_t start = 0; start < n; ++start) {
+      if (index[start] != UINT32_MAX) continue;
+      std::vector<Frame> call_stack{{start, 0}};
+      index[start] = low[start] = next_index++;
+      stack.push_back(start);
+      on_stack[start] = true;
+      while (!call_stack.empty()) {
+        Frame& fr = call_stack.back();
+        if (fr.edge < edges_[fr.v].size()) {
+          uint32_t w = edges_[fr.v][fr.edge++];
+          if (index[w] == UINT32_MAX) {
+            index[w] = low[w] = next_index++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            call_stack.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[fr.v] = std::min(low[fr.v], index[w]);
+          }
+        } else {
+          uint32_t v = fr.v;
+          call_stack.pop_back();
+          if (!call_stack.empty()) {
+            uint32_t parent = call_stack.back().v;
+            low[parent] = std::min(low[parent], low[v]);
+          }
+          if (low[v] == index[v]) {
+            uint32_t c = static_cast<uint32_t>(scc_members_.size());
+            scc_members_.emplace_back();
+            while (true) {
+              uint32_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              scc_of_[w] = c;
+              scc_members_[c].push_back(w);
+              if (w == v) break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bool SccIsNontrivial(size_t c) const {
+    const auto& members = scc_members_[c];
+    if (members.size() > 1) return true;
+    uint32_t v = members[0];
+    for (uint32_t w : edges_[v]) {
+      if (w == v) return true;
+    }
+    return false;
+  }
+
+  // Goal of an eventuality obligation: B for A U B, A for F A.
+  static Formula ObligationGoal(Formula f) {
+    if (f->kind() == Kind::kUntil) return f->rhs();
+    if (f->kind() == Kind::kEventually) return f->child(0);
+    return nullptr;
+  }
+
+  bool StateContains(uint32_t v, Formula f) const {
+    const StateSet& s = states_[v];
+    return std::binary_search(s.begin(), s.end(), f);
+  }
+
+  bool SccIsSelfFulfilling(size_t c) const {
+    const auto& members = scc_members_[c];
+    for (uint32_t v : members) {
+      for (Formula f : states_[v]) {
+        Formula goal = ObligationGoal(f);
+        if (goal == nullptr) continue;
+        bool fulfilled = false;
+        for (uint32_t w : members) {
+          if (StateContains(w, goal)) {
+            fulfilled = true;
+            break;
+          }
+        }
+        if (!fulfilled) return false;
+      }
+    }
+    return true;
+  }
+
+  // BFS path from any node in `sources` to a node satisfying `pred`, optionally
+  // restricted to one SCC. Returns the node sequence including both endpoints,
+  // or empty if unreachable.
+  template <typename Pred>
+  std::vector<uint32_t> Bfs(const std::vector<uint32_t>& sources, Pred pred,
+                            int restrict_scc, bool require_step) const {
+    std::vector<int64_t> parent(states_.size(), -2);  // -2 unvisited
+    std::deque<uint32_t> queue;
+    if (!require_step) {
+      for (uint32_t s : sources) {
+        if (pred(s)) return {s};
+      }
+    }
+    for (uint32_t s : sources) {
+      if (parent[s] == -2) {
+        parent[s] = -1;
+        queue.push_back(s);
+      }
+    }
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop_front();
+      for (uint32_t w : edges_[v]) {
+        if (restrict_scc >= 0 && scc_of_[w] != static_cast<uint32_t>(restrict_scc)) {
+          continue;
+        }
+        if (pred(w)) {
+          std::vector<uint32_t> path{w, v};
+          int64_t p = parent[v];
+          while (p >= 0) {
+            path.push_back(static_cast<uint32_t>(p));
+            p = parent[static_cast<uint32_t>(p)];
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        if (parent[w] == -2) {
+          parent[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+    return {};
+  }
+
+  void BuildWitness(size_t c, UltimatelyPeriodicWord* witness) {
+    // Stem: path from an initial state to some member r of the SCC.
+    std::vector<uint32_t> stem =
+        Bfs(initial_ids_, [&](uint32_t v) { return scc_of_[v] == c; }, -1, false);
+    uint32_t r = stem.back();
+
+    // Gather the distinct obligation goals of the SCC.
+    std::vector<Formula> goals;
+    for (uint32_t v : scc_members_[c]) {
+      for (Formula f : states_[v]) {
+        Formula g = ObligationGoal(f);
+        if (g != nullptr && std::find(goals.begin(), goals.end(), g) == goals.end()) {
+          goals.push_back(g);
+        }
+      }
+    }
+
+    // Cycle within the SCC from r visiting a state containing each goal, then
+    // back to r; the SCC is strongly connected, so each hop exists.
+    std::vector<uint32_t> cycle{r};
+    uint32_t cur = r;
+    for (Formula g : goals) {
+      std::vector<uint32_t> hop = Bfs(
+          {cur}, [&](uint32_t v) { return StateContains(v, g); },
+          static_cast<int>(c), false);
+      for (size_t i = 1; i < hop.size(); ++i) cycle.push_back(hop[i]);
+      if (!hop.empty()) cur = hop.back();
+    }
+    std::vector<uint32_t> back =
+        Bfs({cur}, [&](uint32_t v) { return v == r; }, static_cast<int>(c), true);
+    for (size_t i = 1; i + 1 < back.size(); ++i) cycle.push_back(back[i]);
+    // `back` ends at r; excluding the final r keeps the loop half-open.
+
+    witness->prefix.clear();
+    witness->loop.clear();
+    for (size_t i = 0; i + 1 < stem.size(); ++i) {
+      witness->prefix.push_back(AssignmentOf(states_[stem[i]]));
+    }
+    for (uint32_t v : cycle) witness->loop.push_back(AssignmentOf(states_[v]));
+  }
+
+  TableauOptions options_;
+  TableauStats stats_;
+  Expander expander_;
+  std::vector<StateSet> states_;
+  std::vector<std::vector<uint32_t>> edges_;
+  std::unordered_map<StateSet, uint32_t, StateSetHash> state_ids_;
+  std::vector<uint32_t> initial_ids_;
+  std::vector<uint32_t> scc_of_;
+  std::vector<std::vector<uint32_t>> scc_members_;
+};
+
+}  // namespace
+
+Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& options) {
+  SatResult result;
+  Formula nnf = ToNnf(factory, f);
+  if (nnf->kind() == Kind::kFalse) {
+    result.satisfiable = false;
+    return result;
+  }
+
+  UltimatelyPeriodicWord witness;
+  if (options.use_safety_fast_path && IsSyntacticallySafe(factory, nnf)) {
+    // Safety fast path: any infinite tableau path is a model; lazy DFS with
+    // early exit instead of materializing the whole graph.
+    SafetySearch search(factory, options, &result.stats);
+    TIC_ASSIGN_OR_RETURN(bool sat, search.Run(nnf, &witness));
+    result.satisfiable = sat;
+  } else {
+    TableauGraph graph(factory, options);
+    TIC_RETURN_NOT_OK(graph.Build(nnf));
+    result.satisfiable = graph.FindModel(&witness);
+    result.stats = graph.stats();
+  }
+  if (result.satisfiable) {
+    if (witness.loop.empty()) witness.loop.push_back(PropState());
+    result.witness = std::move(witness);
+  }
+  return result;
+}
+
+Result<bool> CheckValid(Factory* factory, Formula f, const TableauOptions& options) {
+  TIC_ASSIGN_OR_RETURN(SatResult neg, CheckSat(factory, factory->Not(f), options));
+  return !neg.satisfiable;
+}
+
+Result<bool> CheckEquivalent(Factory* factory, Formula a, Formula b,
+                             const TableauOptions& options) {
+  Formula iff = factory->And(factory->Implies(a, b), factory->Implies(b, a));
+  return CheckValid(factory, iff, options);
+}
+
+}  // namespace ptl
+}  // namespace tic

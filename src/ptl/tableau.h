@@ -1,0 +1,73 @@
+#ifndef TIC_PTL_TABLEAU_H_
+#define TIC_PTL_TABLEAU_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/result.h"
+#include "ptl/formula.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief Resource limits for the satisfiability search. The worst case is
+/// 2^O(|psi|) states (Sistla–Clarke); the budget turns a blow-up into a
+/// ResourceExhausted error instead of an out-of-memory condition.
+struct TableauOptions {
+  size_t max_states = 1u << 22;
+  /// Cap on expansion-rule applications (the branch tree explored inside
+  /// Expand calls can dwarf the number of distinct states).
+  size_t max_expansions = 1u << 24;
+
+  /// \name Ablation switches (benchmarked in bench_ablation; keep defaults).
+  /// @{
+  /// Use the lazy cycle-searching DFS on syntactically safe formulas instead
+  /// of materializing the full tableau graph.
+  bool use_safety_fast_path = true;
+  /// Skip a disjunct/goal branch when it is already asserted in the state.
+  bool use_subsumption = true;
+  /// Process non-branching rules before disjunctive ones so unit information
+  /// can prune branches.
+  bool defer_branching = true;
+  /// @}
+};
+
+/// \brief Size counters reported back to benchmarks (Experiment E4).
+struct TableauStats {
+  size_t num_states = 0;
+  size_t num_edges = 0;
+  size_t num_expansions = 0;
+};
+
+/// \brief Outcome of a satisfiability check.
+struct SatResult {
+  bool satisfiable = false;
+  /// A lasso model when satisfiable: the Sistla–Clarke small-model witness.
+  /// Letters not mentioned positively by the tableau state are set to false.
+  std::optional<UltimatelyPeriodicWord> witness;
+  TableauStats stats;
+};
+
+/// \brief Decides satisfiability of a (future) propositional-TL formula.
+///
+/// Phase 2 of Lemma 4.2. The formula is first put into negation normal form;
+/// then a tableau graph is built *on the fly* (only states reachable from the
+/// initial cover are materialized, rather than all subsets of the closure),
+/// and Tarjan SCC analysis searches for a reachable self-fulfilling component:
+/// one where every Until/Eventually obligation appearing in a member state has
+/// its goal formula present in some member state (Lichtenstein–Pnueli).
+/// Worst-case time stays 2^O(|f|) as the paper states.
+Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& options = {});
+
+/// \brief Validity of `f` == unsatisfiability of `!f`.
+Result<bool> CheckValid(Factory* factory, Formula f, const TableauOptions& options = {});
+
+/// \brief Equivalence of two formulas: `(a <-> b)` valid.
+Result<bool> CheckEquivalent(Factory* factory, Formula a, Formula b,
+                             const TableauOptions& options = {});
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_TABLEAU_H_

@@ -1,0 +1,269 @@
+#ifndef TIC_PTL_TABLEAU_INTERNAL_H_
+#define TIC_PTL_TABLEAU_INTERNAL_H_
+
+// Internal building blocks of the tableau decision procedure, shared between
+// the satisfiability engine (tableau.cc) and the inspection/visualization API
+// (automaton.cc). Not part of the public surface.
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "ptl/formula.h"
+#include "ptl/nnf.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace internal {
+
+// A tableau state: the canonical (sorted) set of formulas asserted to hold now.
+using StateSet = std::vector<Formula>;
+
+struct StateSetHash {
+  size_t operator()(const StateSet& s) const {
+    size_t seed = s.size();
+    for (Formula f : s) HashCombine(&seed, reinterpret_cast<size_t>(f));
+    return seed;
+  }
+};
+
+// The propositional assignment a state induces: positive atoms true, all other
+// letters false.
+inline PropState AssignmentOf(const StateSet& s) {
+  PropState st;
+  for (Formula f : s) {
+    if (f->kind() == Kind::kAtom) st.Set(f->atom(), true);
+  }
+  return st;
+}
+
+// The next-time obligations of a fully expanded state.
+inline std::vector<Formula> SeedOf(const StateSet& s) {
+  std::vector<Formula> seed;
+  for (Formula f : s) {
+    if (f->kind() == Kind::kNext) seed.push_back(f->child(0));
+  }
+  return seed;
+}
+
+// Expands a seed set of formulas into the fully-expanded, locally consistent
+// tableau states, applying the alpha/beta rules:
+//   A & B   -> {A, B}
+//   A | B   -> {A} or {B}
+//   A U B   -> {B} or {A, X(A U B)}
+//   A R B   -> {B, A} or {B, X(A R B)}
+//   F A     -> {A} or {X(F A)}
+//   G A     -> {A, X(G A)}
+// Literals clash-check against the set; X-formulas are elementary. States are
+// *enumerated lazily* through a sink callback (return false to stop early) —
+// essential for the safety fast path, which needs one path, not the whole
+// branch tree.
+class Expander {
+ public:
+  Expander(Factory* fac, const TableauOptions& options, TableauStats* stats)
+      : fac_(fac), options_(options), stats_(stats) {}
+
+  using Sink = std::function<bool(StateSet&&)>;
+
+  /// Non-OK when an enumeration aborted on a resource budget.
+  const Status& status() const { return status_; }
+
+  // Returns false if the sink stopped the enumeration.
+  bool ExpandEach(const std::vector<Formula>& seed, const Sink& sink) {
+    std::unordered_set<StateSet, StateSetHash> seen;
+    Sink dedup = [&](StateSet&& s) {
+      if (!seen.insert(s).second) return true;
+      return sink(std::move(s));
+    };
+    return Rec(seed, std::set<Formula>(), dedup);
+  }
+
+  std::vector<StateSet> Expand(const std::vector<Formula>& seed) {
+    std::vector<StateSet> out;
+    ExpandEach(seed, [&](StateSet&& s) {
+      out.push_back(std::move(s));
+      return true;
+    });
+    return out;
+  }
+
+ private:
+  static bool IsBranching(Formula f) {
+    switch (f->kind()) {
+      case Kind::kOr:
+      case Kind::kUntil:
+      case Kind::kRelease:
+      case Kind::kEventually:
+      case Kind::kImplies:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // True if some disjunct in the flattened Or-tree of `f` is already in
+  // `done` (iterative, no allocation in the common case).
+  static bool OrSubsumed(Formula f, const std::set<Formula>& done) {
+    std::vector<Formula> stack{f->lhs(), f->rhs()};
+    while (!stack.empty()) {
+      Formula g = stack.back();
+      stack.pop_back();
+      if (g->kind() == Kind::kOr) {
+        stack.push_back(g->lhs());
+        stack.push_back(g->rhs());
+        continue;
+      }
+      if (done.count(g) > 0) return true;
+    }
+    return false;
+  }
+
+  // Pops a non-branching formula when one exists (deferring disjunctive rules
+  // until all unit information is in `done` lets the subsumption checks below
+  // prune most branches — crucial for the literal-mode Axiom_D, whose diagram
+  // literals pin every equality letter).
+  Formula PopPreferred(std::vector<Formula>* todo) const {
+    if (!options_.defer_branching) {
+      Formula f = todo->back();
+      todo->pop_back();
+      return f;
+    }
+    for (size_t i = todo->size(); i-- > 0;) {
+      if (!IsBranching((*todo)[i])) {
+        Formula f = (*todo)[i];
+        todo->erase(todo->begin() + static_cast<ptrdiff_t>(i));
+        return f;
+      }
+    }
+    Formula f = todo->back();
+    todo->pop_back();
+    return f;
+  }
+
+  // `todo` holds formulas still to process; `done` holds everything already
+  // asserted. Returns false iff the sink stopped the enumeration.
+  bool Rec(std::vector<Formula> todo, std::set<Formula> done, const Sink& sink) {
+    if (++stats_->num_expansions > options_.max_expansions) {
+      status_ = Status::ResourceExhausted(
+          "tableau exceeded max_expansions = " +
+          std::to_string(options_.max_expansions));
+      return false;
+    }
+    while (!todo.empty()) {
+      Formula f = PopPreferred(&todo);
+      if (done.count(f) > 0) continue;
+      switch (f->kind()) {
+        case Kind::kTrue:
+          continue;
+        case Kind::kFalse:
+          return true;  // inconsistent branch: nothing emitted
+        case Kind::kAtom: {
+          if (done.count(fac_->Not(f)) > 0) return true;  // clash
+          done.insert(f);
+          continue;
+        }
+        case Kind::kNot: {
+          // NNF: child is an atom.
+          if (done.count(f->child(0)) > 0) return true;  // clash
+          done.insert(f);
+          continue;
+        }
+        case Kind::kNext:
+          done.insert(f);
+          continue;
+        case Kind::kAnd:
+          done.insert(f);
+          todo.push_back(f->lhs());
+          todo.push_back(f->rhs());
+          continue;
+        case Kind::kOr: {
+          done.insert(f);
+          // Subsumption: if ANY disjunct of the flattened Or-tree is already
+          // asserted, the disjunction holds without branching. Checking deep
+          // disjuncts matters: NNF'd rule implications are right-nested Ors
+          // whose satisfied leaf may sit several levels down, and spawning the
+          // alternative branches anyway multiplies states exponentially.
+          if (options_.use_subsumption && OrSubsumed(f, done)) continue;
+          std::vector<Formula> todo2 = todo;
+          todo2.push_back(f->lhs());
+          if (!Rec(std::move(todo2), done, sink)) return false;
+          todo.push_back(f->rhs());
+          continue;
+        }
+        case Kind::kUntil: {
+          done.insert(f);
+          // Subsumption: goal already asserted — fulfilled right now.
+          if (options_.use_subsumption && done.count(f->rhs()) > 0) continue;
+          std::vector<Formula> todo2 = todo;
+          todo2.push_back(f->rhs());
+          if (!Rec(std::move(todo2), done, sink)) return false;
+          todo.push_back(f->lhs());
+          todo.push_back(fac_->Next(f));
+          continue;
+        }
+        case Kind::kRelease: {
+          done.insert(f);
+          if (options_.use_subsumption && done.count(f->lhs()) > 0) {
+            // Releasing side already asserted: B alone discharges A R B now.
+            todo.push_back(f->rhs());
+            continue;
+          }
+          std::vector<Formula> todo2 = todo;
+          todo2.push_back(f->rhs());
+          todo2.push_back(f->lhs());
+          if (!Rec(std::move(todo2), done, sink)) return false;
+          todo.push_back(f->rhs());
+          todo.push_back(fac_->Next(f));
+          continue;
+        }
+        case Kind::kEventually: {
+          done.insert(f);
+          if (options_.use_subsumption && done.count(f->child(0)) > 0) {
+            continue;  // fulfilled right now
+          }
+          std::vector<Formula> todo2 = todo;
+          todo2.push_back(f->child(0));
+          if (!Rec(std::move(todo2), done, sink)) return false;
+          todo.push_back(fac_->Next(f));
+          continue;
+        }
+        case Kind::kAlways:
+          done.insert(f);
+          todo.push_back(f->child(0));
+          todo.push_back(fac_->Next(f));
+          continue;
+        case Kind::kImplies: {
+          // Defensive (NNF removes Implies): A -> B == !A | B with !A in NNF.
+          done.insert(f);
+          if (options_.use_subsumption && done.count(f->rhs()) > 0) continue;
+          std::vector<Formula> todo2 = todo;
+          todo2.push_back(ToNnf(fac_, fac_->Not(f->lhs())));
+          if (!Rec(std::move(todo2), done, sink)) return false;
+          todo.push_back(f->rhs());
+          continue;
+        }
+      }
+    }
+    StateSet out(done.begin(), done.end());
+    std::sort(out.begin(), out.end());
+    return sink(std::move(out));
+  }
+
+  Factory* fac_;
+  TableauOptions options_;
+  TableauStats* stats_;
+  Status status_;
+};
+
+
+}  // namespace internal
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_TABLEAU_INTERNAL_H_

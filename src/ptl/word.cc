@@ -1,0 +1,128 @@
+#include "ptl/word.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+struct Key {
+  Formula f;
+  size_t pos;
+  bool operator==(const Key& o) const { return f == o.f && pos == o.pos; }
+};
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    size_t seed = reinterpret_cast<size_t>(k.f);
+    HashCombine(&seed, k.pos);
+    return seed;
+  }
+};
+
+class WordEvaluator {
+ public:
+  explicit WordEvaluator(const UltimatelyPeriodicWord* w) : w_(w) {}
+
+  Result<bool> Eval(Formula f, size_t pos) {
+    Key key{f, pos};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    TIC_ASSIGN_OR_RETURN(bool out, Compute(f, pos));
+    memo_.emplace(key, out);
+    return out;
+  }
+
+ private:
+  size_t NextPos(size_t pos) const {
+    size_t n = pos + 1;
+    return n < w_->NumPositions() ? n : w_->prefix.size();
+  }
+
+  Result<bool> Compute(Formula f, size_t pos) {
+    switch (f->kind()) {
+      case Kind::kTrue:
+        return true;
+      case Kind::kFalse:
+        return false;
+      case Kind::kAtom:
+        return w_->StateAt(pos).Get(f->atom());
+      case Kind::kNot: {
+        TIC_ASSIGN_OR_RETURN(bool a, Eval(f->child(0), pos));
+        return !a;
+      }
+      case Kind::kAnd: {
+        TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), pos));
+        if (!a) return false;
+        return Eval(f->rhs(), pos);
+      }
+      case Kind::kOr: {
+        TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), pos));
+        if (a) return true;
+        return Eval(f->rhs(), pos);
+      }
+      case Kind::kImplies: {
+        TIC_ASSIGN_OR_RETURN(bool a, Eval(f->lhs(), pos));
+        if (!a) return true;
+        return Eval(f->rhs(), pos);
+      }
+      case Kind::kNext:
+        return Eval(f->child(0), NextPos(pos));
+      case Kind::kUntil:
+      case Kind::kEventually: {
+        bool is_until = f->kind() == Kind::kUntil;
+        Formula hold = is_until ? f->lhs() : nullptr;
+        Formula goal = is_until ? f->rhs() : f->child(0);
+        size_t cur = pos;
+        for (size_t step = 0; step <= w_->NumPositions(); ++step) {
+          TIC_ASSIGN_OR_RETURN(bool g, Eval(goal, cur));
+          if (g) return true;
+          if (hold != nullptr) {
+            TIC_ASSIGN_OR_RETURN(bool h, Eval(hold, cur));
+            if (!h) return false;
+          }
+          cur = NextPos(cur);
+        }
+        return false;
+      }
+      case Kind::kRelease:
+      case Kind::kAlways: {
+        // A R B: B holds up to and including the first A-position (if any).
+        bool is_release = f->kind() == Kind::kRelease;
+        Formula release = is_release ? f->lhs() : nullptr;
+        Formula inv = is_release ? f->rhs() : f->child(0);
+        size_t cur = pos;
+        for (size_t step = 0; step <= w_->NumPositions(); ++step) {
+          TIC_ASSIGN_OR_RETURN(bool b, Eval(inv, cur));
+          if (!b) return false;
+          if (release != nullptr) {
+            TIC_ASSIGN_OR_RETURN(bool a, Eval(release, cur));
+            if (a) return true;
+          }
+          cur = NextPos(cur);
+        }
+        return true;
+      }
+    }
+    return Status::Internal("unhandled kind in WordEvaluator");
+  }
+
+  const UltimatelyPeriodicWord* w_;
+  std::unordered_map<Key, bool, KeyHash> memo_;
+};
+
+}  // namespace
+
+Result<bool> Evaluate(const UltimatelyPeriodicWord& word, Formula f, size_t pos) {
+  if (word.loop.empty()) return Status::InvalidArgument("word loop must be non-empty");
+  if (pos >= word.NumPositions()) {
+    return Status::OutOfRange("position beyond prefix+loop representation");
+  }
+  WordEvaluator ev(&word);
+  return ev.Eval(f, pos);
+}
+
+}  // namespace ptl
+}  // namespace tic

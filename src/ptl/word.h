@@ -1,0 +1,61 @@
+#ifndef TIC_PTL_WORD_H_
+#define TIC_PTL_WORD_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "ptl/formula.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief One propositional state: the set of letters that are true.
+class PropState {
+ public:
+  PropState() = default;
+  explicit PropState(std::unordered_set<PropId> trues) : trues_(std::move(trues)) {}
+
+  bool Get(PropId p) const { return trues_.count(p) > 0; }
+  void Set(PropId p, bool value) {
+    if (value) {
+      trues_.insert(p);
+    } else {
+      trues_.erase(p);
+    }
+  }
+  const std::unordered_set<PropId>& trues() const { return trues_; }
+  bool operator==(const PropState& o) const { return trues_ == o.trues_; }
+
+ private:
+  std::unordered_set<PropId> trues_;
+};
+
+/// \brief A finite sequence of propositional states — the paper's
+/// w_D = (w_0, ..., w_t).
+using Word = std::vector<PropState>;
+
+/// \brief An infinite propositional sequence with finite representation:
+/// prefix followed by loop repeated forever (a "lasso"). The tableau's
+/// satisfiability witnesses take this shape (Sistla–Clarke small models).
+struct UltimatelyPeriodicWord {
+  Word prefix;
+  Word loop;  ///< must be non-empty
+
+  const PropState& StateAt(size_t t) const {
+    if (t < prefix.size()) return prefix[t];
+    return loop[(t - prefix.size()) % loop.size()];
+  }
+  size_t NumPositions() const { return prefix.size() + loop.size(); }
+};
+
+/// \brief Evaluates a (future) propositional-TL formula on an ultimately
+/// periodic word at position `pos` (normalized: pos < prefix+loop).
+/// Used by tests to independently confirm tableau witnesses, and by the
+/// checker's internal audits.
+Result<bool> Evaluate(const UltimatelyPeriodicWord& word, Formula f, size_t pos = 0);
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_WORD_H_

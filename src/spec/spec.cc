@@ -1,0 +1,307 @@
+#include "spec/spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "checker/monitor.h"
+#include "checker/trigger.h"
+#include "fotl/parser.h"
+#include "past/past_monitor.h"
+
+namespace tic {
+namespace spec {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Splits "head rest" at the first whitespace run.
+void SplitHead(const std::string& line, std::string* head, std::string* rest) {
+  size_t sp = line.find_first_of(" \t");
+  if (sp == std::string::npos) {
+    *head = line;
+    rest->clear();
+    return;
+  }
+  *head = line.substr(0, sp);
+  *rest = Trim(line.substr(sp + 1));
+}
+
+// "name : formula" -> (name, formula text).
+Status SplitNamed(const std::string& rest, size_t line_no, std::string* name,
+                  std::string* formula) {
+  size_t colon = rest.find(':');
+  if (colon == std::string::npos) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": expected 'name : formula'");
+  }
+  *name = Trim(rest.substr(0, colon));
+  *formula = Trim(rest.substr(colon + 1));
+  if (name->empty() || formula->empty()) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": empty name or formula");
+  }
+  return Status::OK();
+}
+
+
+// Exception-free integer parsing.
+bool ParseInt(const std::string& s, Value* out) {
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(b, e, *out);
+  return ec == std::errc() && ptr == e;
+}
+
+// Parses "+Pred(a, b)" / "-Pred(c)" tokens of a `step` line.
+Result<UpdateOp> ParseOp(const std::string& token, const Vocabulary& vocab,
+                         const std::vector<Value>& constant_interp, size_t line_no) {
+  if (token.size() < 2 || (token[0] != '+' && token[0] != '-')) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": update must start with + or -: " + token);
+  }
+  bool insert = token[0] == '+';
+  size_t lp = token.find('(');
+  size_t rp = token.rfind(')');
+  if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": malformed update: " + token);
+  }
+  std::string pred_name = Trim(token.substr(1, lp - 1));
+  TIC_ASSIGN_OR_RETURN(PredicateId pred, vocab.FindPredicate(pred_name));
+
+  Tuple args;
+  std::string arg;
+  std::stringstream argstream(token.substr(lp + 1, rp - lp - 1));
+  while (std::getline(argstream, arg, ',')) {
+    arg = Trim(arg);
+    if (arg.empty()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": empty argument in " + token);
+    }
+    if (std::isdigit(static_cast<unsigned char>(arg[0])) || arg[0] == '-') {
+      Value v = 0;
+      if (!ParseInt(arg, &v)) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad integer '" + arg + "'");
+      }
+      args.push_back(v);
+    } else {
+      TIC_ASSIGN_OR_RETURN(ConstantId c, vocab.FindConstant(arg));
+      args.push_back(constant_interp[c]);
+    }
+  }
+  if (args.size() != vocab.predicate(pred).arity) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": " + pred_name +
+                              " expects " + std::to_string(vocab.predicate(pred).arity) +
+                              " arguments");
+  }
+  return insert ? UpdateOp::Insert(pred, std::move(args))
+                : UpdateOp::Delete(pred, std::move(args));
+}
+
+}  // namespace
+
+Result<Specification> ParseSpecification(std::string_view text) {
+  Specification spec;
+  auto vocab = std::make_shared<Vocabulary>();
+
+  struct PendingConstraint {
+    ConstraintDecl::Engine engine;
+    std::string name;
+    std::string formula_text;
+    size_t line_no;
+  };
+  std::vector<PendingConstraint> pending;
+  std::vector<std::pair<std::string, size_t>> pending_steps;
+
+  std::stringstream in{std::string(text)};
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = Trim(raw);
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    std::string head, rest;
+    SplitHead(line, &head, &rest);
+    if (head == "predicate") {
+      size_t slash = rest.find('/');
+      if (slash == std::string::npos) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected 'predicate Name/arity'");
+      }
+      std::string name = Trim(rest.substr(0, slash));
+      Value arity_value = 0;
+      if (!ParseInt(Trim(rest.substr(slash + 1)), &arity_value) ||
+          arity_value <= 0) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": bad arity");
+      }
+      uint32_t arity = static_cast<uint32_t>(arity_value);
+      TIC_RETURN_NOT_OK(vocab->AddPredicate(name, arity).status());
+    } else if (head == "constant") {
+      size_t eq = rest.find('=');
+      if (eq == std::string::npos) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected 'constant name = value'");
+      }
+      std::string name = Trim(rest.substr(0, eq));
+      Value value = 0;
+      if (!ParseInt(Trim(rest.substr(eq + 1)), &value)) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": bad value");
+      }
+      TIC_RETURN_NOT_OK(vocab->AddConstant(name).status());
+      spec.constant_interpretation.push_back(value);
+    } else if (head == "constraint" || head == "past" || head == "trigger") {
+      PendingConstraint pc;
+      pc.engine = head == "constraint" ? ConstraintDecl::Engine::kUniversal
+                  : head == "past"     ? ConstraintDecl::Engine::kPast
+                                       : ConstraintDecl::Engine::kTrigger;
+      pc.line_no = line_no;
+      TIC_RETURN_NOT_OK(SplitNamed(rest, line_no, &pc.name, &pc.formula_text));
+      pending.push_back(std::move(pc));
+    } else if (head == "step") {
+      pending_steps.emplace_back(rest, line_no);
+    } else {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unknown directive '" + head + "'");
+    }
+  }
+
+  spec.vocabulary = vocab;
+  spec.factory = std::make_shared<fotl::FormulaFactory>(spec.vocabulary);
+
+  for (const PendingConstraint& pc : pending) {
+    auto f = fotl::Parse(spec.factory.get(), pc.formula_text);
+    if (!f.ok()) {
+      return Status::ParseError("line " + std::to_string(pc.line_no) + " (" +
+                                pc.name + "): " + f.status().message());
+    }
+    spec.constraints.push_back(ConstraintDecl{pc.engine, pc.name, *f});
+  }
+  for (const auto& [line, no] : pending_steps) {
+    Transaction txn;
+    // Tokens run from a '+'/'-' to the matching ')': argument lists may
+    // contain spaces ("+Owns(1, 2)"), so plain whitespace splitting is wrong.
+    size_t i = 0;
+    while (i < line.size()) {
+      if (std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+        continue;
+      }
+      size_t close = line.find(')', i);
+      if (close == std::string::npos) {
+        return Status::ParseError("line " + std::to_string(no) +
+                                  ": unterminated update in step");
+      }
+      std::string token = Trim(line.substr(i, close - i + 1));
+      TIC_ASSIGN_OR_RETURN(UpdateOp op,
+                           ParseOp(token, *spec.vocabulary,
+                                   spec.constant_interpretation, no));
+      txn.push_back(std::move(op));
+      i = close + 1;
+    }
+    spec.steps.push_back(std::move(txn));
+  }
+  return spec;
+}
+
+Result<ReplayResult> Replay(const Specification& spec) {
+  ReplayResult out;
+
+  struct Engines {
+    std::vector<std::pair<std::string, std::unique_ptr<checker::Monitor>>> universal;
+    std::vector<std::pair<std::string, std::unique_ptr<past::PastMonitor>>> past;
+    std::unique_ptr<checker::TriggerManager> triggers;
+  } engines;
+
+  for (const ConstraintDecl& decl : spec.constraints) {
+    switch (decl.engine) {
+      case ConstraintDecl::Engine::kUniversal: {
+        TIC_ASSIGN_OR_RETURN(
+            auto m, checker::Monitor::Create(spec.factory, decl.formula,
+                                             spec.constant_interpretation));
+        engines.universal.emplace_back(decl.name, std::move(m));
+        break;
+      }
+      case ConstraintDecl::Engine::kPast: {
+        TIC_ASSIGN_OR_RETURN(
+            auto m, past::PastMonitor::Create(spec.factory, decl.formula,
+                                              spec.constant_interpretation));
+        engines.past.emplace_back(decl.name, std::move(m));
+        break;
+      }
+      case ConstraintDecl::Engine::kTrigger: {
+        if (engines.triggers == nullptr) {
+          TIC_ASSIGN_OR_RETURN(
+              engines.triggers,
+              checker::TriggerManager::Create(spec.factory,
+                                              spec.constant_interpretation));
+        }
+        TIC_RETURN_NOT_OK(engines.triggers->AddTrigger(decl.name, decl.formula));
+        break;
+      }
+    }
+  }
+
+  for (size_t t = 0; t < spec.steps.size(); ++t) {
+    const Transaction& txn = spec.steps[t];
+    for (auto& [name, monitor] : engines.universal) {
+      TIC_ASSIGN_OR_RETURN(checker::MonitorVerdict v,
+                           monitor->ApplyTransaction(txn));
+      ReplayEvent ev;
+      ev.time = t;
+      ev.constraint = name;
+      ev.is_violation = !v.potentially_satisfied;
+      ev.verdict = v.permanently_violated    ? "PERMANENTLY VIOLATED"
+                   : v.potentially_satisfied ? "ok"
+                                             : "violated";
+      out.any_violation = out.any_violation || ev.is_violation;
+      out.events.push_back(std::move(ev));
+    }
+    for (auto& [name, monitor] : engines.past) {
+      TIC_ASSIGN_OR_RETURN(past::PastVerdict v, monitor->ApplyTransaction(txn));
+      ReplayEvent ev;
+      ev.time = t;
+      ev.constraint = name;
+      ev.is_violation = !v.satisfied;
+      ev.verdict = v.satisfied ? "ok" : "violated";
+      out.any_violation = out.any_violation || ev.is_violation;
+      out.events.push_back(std::move(ev));
+    }
+    if (engines.triggers != nullptr) {
+      TIC_ASSIGN_OR_RETURN(std::vector<checker::TriggerFiring> firings,
+                           engines.triggers->OnTransaction(txn));
+      for (const checker::TriggerFiring& f : firings) {
+        ReplayEvent ev;
+        ev.time = t;
+        ev.constraint = f.trigger;
+        ev.is_violation = true;
+        std::string theta = "fired theta={";
+        bool first = true;
+        for (const auto& [var, val] : f.substitution) {
+          if (!first) theta += ", ";
+          theta += spec.factory->VarName(var) + "=" + std::to_string(val);
+          first = false;
+        }
+        theta += "}";
+        ev.verdict = std::move(theta);
+        out.any_violation = true;
+        out.events.push_back(std::move(ev));
+      }
+    }
+    ++out.states_applied;
+  }
+  return out;
+}
+
+}  // namespace spec
+}  // namespace tic

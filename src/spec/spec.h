@@ -1,0 +1,79 @@
+#ifndef TIC_SPEC_SPEC_H_
+#define TIC_SPEC_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "db/update.h"
+#include "fotl/factory.h"
+
+namespace tic {
+namespace spec {
+
+/// \brief A declarative specification of a monitored database: vocabulary,
+/// constraints, triggers, and (optionally) a scripted transaction stream.
+///
+/// Text format, one directive per line ('#' starts a comment):
+///
+///   predicate Sub/1
+///   predicate Owns/2
+///   constant  admin = 42
+///
+///   constraint submit_once : forall x . G (Sub(x) -> X G !Sub(x))
+///   past      audit        : forall x . G (Fill(x) -> O Sub(x))
+///   trigger   dup_alert    : F (Sub(x) & X F Sub(x))
+///
+///   # transactions: +Pred(a, b) inserts, -Pred(a, b) deletes; one line per
+///   # database state. Arguments are integers or declared constants.
+///   step +Sub(1)
+///   step +Sub(2) -Sub(1)
+///   step -Sub(2)
+///
+/// `constraint` declares a universal future constraint checked for potential
+/// satisfaction (Theorem 4.2); `past` declares a G-past constraint for the
+/// history-less baseline; `trigger` declares a Condition-Action trigger via
+/// the duality.
+struct ConstraintDecl {
+  enum class Engine { kUniversal, kPast, kTrigger };
+  Engine engine;
+  std::string name;
+  fotl::Formula formula = nullptr;
+};
+
+struct Specification {
+  VocabularyPtr vocabulary;
+  std::shared_ptr<fotl::FormulaFactory> factory;
+  std::vector<Value> constant_interpretation;
+  std::vector<ConstraintDecl> constraints;
+  std::vector<Transaction> steps;
+};
+
+/// \brief Parses the specification text format above.
+Result<Specification> ParseSpecification(std::string_view text);
+
+/// \brief One line of replay output (per state, per declared constraint).
+struct ReplayEvent {
+  size_t time = 0;
+  std::string constraint;
+  /// "ok", "violated", "PERMANENTLY VIOLATED", or "fired theta={...}".
+  std::string verdict;
+  bool is_violation = false;
+};
+
+struct ReplayResult {
+  std::vector<ReplayEvent> events;
+  size_t states_applied = 0;
+  bool any_violation = false;
+};
+
+/// \brief Runs the scripted steps through all declared engines (universal
+/// monitors, past monitors, trigger manager) and collects the verdicts.
+Result<ReplayResult> Replay(const Specification& spec);
+
+}  // namespace spec
+}  // namespace tic
+
+#endif  // TIC_SPEC_SPEC_H_

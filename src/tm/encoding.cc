@@ -1,0 +1,159 @@
+#include "tm/encoding.h"
+
+namespace tic {
+namespace tm {
+
+Result<TmEncoding> TmEncoding::Create(const TuringMachine* machine, bool with_w) {
+  TmEncoding enc;
+  enc.machine_ = machine;
+  enc.with_w_ = with_w;
+  auto vocab = std::make_shared<Vocabulary>();
+  for (uint32_t q = 0; q < machine->num_states(); ++q) {
+    TIC_ASSIGN_OR_RETURN(PredicateId p,
+                         vocab->AddPredicate("P_" + machine->state_name(q), 1));
+    enc.state_preds_.push_back(p);
+  }
+  for (char sym : machine->alphabet()) {
+    if (sym == TuringMachine::kBlank) continue;
+    TIC_ASSIGN_OR_RETURN(PredicateId p,
+                         vocab->AddPredicate(std::string("P_") + sym, 1));
+    enc.symbol_preds_.emplace(sym, p);
+  }
+  TIC_ASSIGN_OR_RETURN(enc.leq_, vocab->AddBuiltin("leq", Builtin::kLessEq));
+  TIC_ASSIGN_OR_RETURN(enc.succ_, vocab->AddBuiltin("succ", Builtin::kSucc));
+  TIC_ASSIGN_OR_RETURN(enc.zero_, vocab->AddBuiltin("Zero", Builtin::kZero));
+  if (with_w) {
+    TIC_ASSIGN_OR_RETURN(enc.w_pred_, vocab->AddPredicate("W", 1));
+  }
+  enc.vocab_ = std::move(vocab);
+  return enc;
+}
+
+Result<TmEncoding> TmEncoding::CreateBounded(const TuringMachine* machine) {
+  TmEncoding enc;
+  enc.machine_ = machine;
+  enc.bounded_ = true;
+  auto vocab = std::make_shared<Vocabulary>();
+  for (uint32_t q = 0; q < machine->num_states(); ++q) {
+    TIC_ASSIGN_OR_RETURN(PredicateId p,
+                         vocab->AddPredicate("P_" + machine->state_name(q), 1));
+    enc.state_preds_.push_back(p);
+  }
+  for (char sym : machine->alphabet()) {
+    if (sym == TuringMachine::kBlank) continue;
+    TIC_ASSIGN_OR_RETURN(PredicateId p,
+                         vocab->AddPredicate(std::string("P_") + sym, 1));
+    enc.symbol_preds_.emplace(sym, p);
+  }
+  TIC_ASSIGN_OR_RETURN(enc.succ_, vocab->AddPredicate("Succ", 2));
+  TIC_ASSIGN_OR_RETURN(enc.zero_, vocab->AddPredicate("First", 1));
+  TIC_ASSIGN_OR_RETURN(enc.last_, vocab->AddPredicate("Last", 1));
+  enc.vocab_ = std::move(vocab);
+  return enc;
+}
+
+Result<PredicateId> TmEncoding::symbol_pred(char sym) const {
+  auto it = symbol_preds_.find(sym);
+  if (it == symbol_preds_.end()) {
+    return Status::NotFound(std::string("no predicate for symbol '") + sym + "'");
+  }
+  return it->second;
+}
+
+Result<DatabaseState> TmEncoding::EncodeConfiguration(const Configuration& c,
+                                                      Value w_position) const {
+  DatabaseState state(vocab_);
+  // Configuration word: cells 0..head-1, then the state symbol, then the
+  // scanned cell and the rest of the tape.
+  size_t cells = std::max(c.tape.size(), c.head);
+  for (size_t i = 0; i < cells + 1; ++i) {
+    Value pos = static_cast<Value>(i);
+    char sym;
+    if (i < c.head) {
+      sym = i < c.tape.size() ? c.tape[i] : TuringMachine::kBlank;
+    } else if (i == c.head) {
+      TIC_RETURN_NOT_OK(state.Insert(state_preds_[c.state], {pos}));
+      continue;
+    } else {
+      size_t cell = i - 1;  // shifted one right of the state symbol
+      sym = cell < c.tape.size() ? c.tape[cell] : TuringMachine::kBlank;
+    }
+    if (sym == TuringMachine::kBlank) continue;
+    TIC_ASSIGN_OR_RETURN(PredicateId p, symbol_pred(sym));
+    TIC_RETURN_NOT_OK(state.Insert(p, {pos}));
+  }
+  if (with_w_ && w_position >= 0) {
+    TIC_RETURN_NOT_OK(state.Insert(w_pred_, {w_position}));
+  }
+  return state;
+}
+
+Result<Configuration> TmEncoding::DecodeState(const DatabaseState& s,
+                                              size_t limit) const {
+  Configuration c;
+  bool state_seen = false;
+  std::vector<char> word(limit, TuringMachine::kBlank);
+  for (uint32_t q = 0; q < machine_->num_states(); ++q) {
+    for (const Tuple& t : s.relation(state_preds_[q])) {
+      if (t[0] < 0 || static_cast<size_t>(t[0]) >= limit) {
+        return Status::OutOfRange("state symbol beyond decode limit");
+      }
+      if (state_seen) return Status::InvalidArgument("two state symbols in state");
+      state_seen = true;
+      c.state = q;
+      c.head = static_cast<size_t>(t[0]);
+      word[t[0]] = '\0';  // marker
+    }
+  }
+  if (!state_seen) return Status::InvalidArgument("no state symbol in database state");
+  for (const auto& [sym, pred] : symbol_preds_) {
+    for (const Tuple& t : s.relation(pred)) {
+      if (t[0] < 0 || static_cast<size_t>(t[0]) >= limit) {
+        return Status::OutOfRange("tape symbol beyond decode limit");
+      }
+      if (word[t[0]] != TuringMachine::kBlank) {
+        return Status::InvalidArgument("two symbols at one position");
+      }
+      word[t[0]] = sym;
+    }
+  }
+  // Rebuild the tape: word positions before the head copy over; positions
+  // after the state symbol shift one left.
+  c.tape.clear();
+  for (size_t i = 0; i < limit; ++i) {
+    if (i == c.head) continue;
+    size_t cell = i < c.head ? i : i - 1;
+    if (c.tape.size() <= cell) c.tape.resize(cell + 1, TuringMachine::kBlank);
+    if (word[i] != '\0') c.tape[cell] = word[i];
+  }
+  while (!c.tape.empty() && c.tape.back() == TuringMachine::kBlank) c.tape.pop_back();
+  return c;
+}
+
+Result<History> TmEncoding::EncodeComputation(const std::string& input,
+                                              size_t num_states) const {
+  Simulator sim(machine_);
+  TIC_ASSIGN_OR_RETURN(Configuration c, sim.Initial(input));
+  TIC_ASSIGN_OR_RETURN(History h, History::Create(vocab_));
+  for (size_t t = 0; t < num_states; ++t) {
+    TIC_ASSIGN_OR_RETURN(
+        DatabaseState s,
+        EncodeConfiguration(c, with_w_ ? static_cast<Value>(t) : Value{-1}));
+    TIC_RETURN_NOT_OK(h.AppendState(std::move(s)));
+    if (t + 1 < num_states) {
+      StepOutcome out = sim.Step(&c);
+      if (out == StepOutcome::kHalt) {
+        return Status::InvalidArgument("machine halted before step " +
+                                       std::to_string(t + 1));
+      }
+      if (out == StepOutcome::kLeftCrash) {
+        return Status::InvalidArgument("machine fell off the tape at step " +
+                                       std::to_string(t + 1));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace tm
+}  // namespace tic

@@ -1,0 +1,85 @@
+#ifndef TIC_TM_ENCODING_H_
+#define TIC_TM_ENCODING_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/history.h"
+#include "tm/simulator.h"
+
+namespace tic {
+namespace tm {
+
+/// \brief The Section 3 / Appendix encoding of machine configurations as
+/// database states over a monadic vocabulary.
+///
+/// The vocabulary has one monadic predicate P_q per state q and one monadic
+/// predicate P_s per tape symbol s except the blank (P_B is the abbreviation
+/// "no predicate true here"), plus the extended-vocabulary builtins <=, succ,
+/// Zero. A database state encodes the configuration word c_0 c_1 ... (state
+/// symbol inserted before the scanned cell): predicate P_z true of i iff
+/// c_i = z.
+class TmEncoding {
+ public:
+  /// `machine` must outlive the encoding. When `with_w` is set, the vocabulary
+  /// additionally carries the fresh monadic predicate W of the phi-tilde
+  /// construction (and EncodeComputation marks W(t) in state t).
+  static Result<TmEncoding> Create(const TuringMachine* machine, bool with_w = false);
+
+  /// Ordinary-vocabulary variant for the Section 6 bounded-space construction:
+  /// instead of the <= / succ / Zero builtins, the vocabulary carries ordinary
+  /// database relations Succ/2, First/1 and Last/1 whose interpretation D0
+  /// supplies and the formula holds rigid. No leq is available.
+  static Result<TmEncoding> CreateBounded(const TuringMachine* machine);
+
+  const VocabularyPtr& vocabulary() const { return vocab_; }
+  const TuringMachine& machine() const { return *machine_; }
+  bool with_w() const { return with_w_; }
+
+  PredicateId state_pred(uint32_t q) const { return state_preds_[q]; }
+  /// \pre sym in alphabet, sym != 'B'
+  Result<PredicateId> symbol_pred(char sym) const;
+  PredicateId leq() const { return leq_; }
+  PredicateId succ() const { return succ_; }
+  PredicateId zero() const { return zero_; }
+  /// \pre with_w()
+  PredicateId w_pred() const { return w_pred_; }
+  /// \pre bounded()
+  PredicateId last_pred() const { return last_; }
+  bool bounded() const { return bounded_; }
+
+  /// Encodes one configuration as a database state; when with_w, `w_position`
+  /// (if non-negative) is the element satisfying W in this state.
+  Result<DatabaseState> EncodeConfiguration(const Configuration& c,
+                                            Value w_position = -1) const;
+
+  /// Decodes a database state back into a configuration (inverse of
+  /// EncodeConfiguration); positions are scanned up to `limit`.
+  Result<Configuration> DecodeState(const DatabaseState& s, size_t limit) const;
+
+  /// Encodes the first `num_states` configurations of the computation on
+  /// `input` as a finite history (with_w: state t additionally marks W(t)).
+  /// Fails if the machine halts or crashes before producing enough
+  /// configurations.
+  Result<History> EncodeComputation(const std::string& input,
+                                    size_t num_states) const;
+
+ private:
+  TmEncoding() = default;
+
+  const TuringMachine* machine_ = nullptr;
+  VocabularyPtr vocab_;
+  bool with_w_ = false;
+  std::vector<PredicateId> state_preds_;
+  std::unordered_map<char, PredicateId> symbol_preds_;
+  PredicateId leq_ = 0, succ_ = 0, zero_ = 0, w_pred_ = 0, last_ = 0;
+  bool bounded_ = false;
+};
+
+}  // namespace tm
+}  // namespace tic
+
+#endif  // TIC_TM_ENCODING_H_

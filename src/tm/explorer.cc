@@ -1,0 +1,51 @@
+#include "tm/explorer.h"
+
+namespace tic {
+namespace tm {
+
+Result<ExploreResult> ExploreRepeating(const TuringMachine& machine,
+                                       const std::string& input, size_t max_steps) {
+  Simulator sim(&machine);
+  TIC_ASSIGN_OR_RETURN(Configuration c, sim.Initial(input));
+  Simulator::RunStats stats = sim.Run(&c, max_steps);
+  ExploreResult out;
+  out.steps = stats.steps;
+  out.origin_visits = stats.origin_visits;
+  out.verdict = stats.last;
+  return out;
+}
+
+Result<bool> ReachesOriginVisits(const TuringMachine& machine,
+                                 const std::string& input, size_t n,
+                                 size_t max_steps) {
+  Simulator sim(&machine);
+  TIC_ASSIGN_OR_RETURN(Configuration c, sim.Initial(input));
+  size_t visits = c.head == 0 ? 1 : 0;
+  if (visits >= n) return true;
+  for (size_t i = 0; i < max_steps; ++i) {
+    StepOutcome out = sim.Step(&c);
+    if (out != StepOutcome::kContinue) return false;  // finite computation
+    if (c.head == 0 && ++visits >= n) return true;
+  }
+  return Status::ResourceExhausted(
+      "undecided within " + std::to_string(max_steps) +
+      " steps (the repeating-behaviour problem is Sigma^0_2-complete)");
+}
+
+const DovetailingMachine::Progress& DovetailingMachine::Run(uint64_t budget) {
+  for (uint64_t i = 0; i < budget; ++i) {
+    ++progress_.probes;
+    if (relation_(input_, progress_.current_v, progress_.next_u)) {
+      // Witness found for current_v: M_R returns to the origin and moves on.
+      ++progress_.origin_visits;
+      ++progress_.current_v;
+      progress_.next_u = 0;
+    } else {
+      ++progress_.next_u;
+    }
+  }
+  return progress_;
+}
+
+}  // namespace tm
+}  // namespace tic

@@ -1,0 +1,82 @@
+#ifndef TIC_TM_EXPLORER_H_
+#define TIC_TM_EXPLORER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "tm/simulator.h"
+
+namespace tic {
+namespace tm {
+
+/// \brief Result of a bounded exploration of the repeating-behaviour question.
+///
+/// "Does input w induce a repeating behaviour of M?" is Sigma^0_2-complete in
+/// general (Lemma 3.1), so no bounded procedure can decide it; this explorer
+/// reports what is knowable within a step budget. This is exactly the
+/// semi-decision structure that Theorem 3.1's "for each n there is a
+/// prolongation with >= n origin visits" formulation describes.
+struct ExploreResult {
+  size_t steps = 0;
+  size_t origin_visits = 0;
+  /// kHalt / kLeftCrash: refuted — the computation is finite, the behaviour is
+  /// definitely NOT repeating. kContinue: budget exhausted, undecided (the
+  /// visits count is a lower bound).
+  StepOutcome verdict = StepOutcome::kContinue;
+};
+
+/// \brief Runs M on `input` for up to `max_steps` moves, counting origin
+/// visits. Because M is deterministic, this simultaneously answers the
+/// extension question for the encoded history prefix (Theorem 3.1 proof): the
+/// one-state history encoding q0 w extends to >= n origin visits iff the run
+/// reaches n visits.
+Result<ExploreResult> ExploreRepeating(const TuringMachine& machine,
+                                       const std::string& input, size_t max_steps);
+
+/// \brief Semi-decides "the computation of M on `input` visits the origin at
+/// least `n` times" within `max_steps` moves: returns true/false when
+/// determined, ResourceExhausted when the budget runs out first.
+Result<bool> ReachesOriginVisits(const TuringMachine& machine,
+                                 const std::string& input, size_t n,
+                                 size_t max_steps);
+
+/// \brief The Lemma 3.1 construction, at the observable-behaviour level: the
+/// machine M_R built from a decidable relation R(w, v, u) whose input w
+/// induces repeating behaviour iff forall v exists u R(w, v, u).
+///
+/// M_R walks v = 0, 1, 2, ... and, for each v, dovetails over candidate pairs
+/// (u, m) — simulating m steps of the R-decider on (w, v, u) — visiting the
+/// origin once a witness u is found, then moving to v+1. If some v has no
+/// witness, M_R works on that v forever and never returns to the origin.
+/// We expose the probe/visit structure abstractly; one abstract step = one
+/// dovetail probe.
+class DovetailingMachine {
+ public:
+  using Relation = std::function<bool(const std::string& w, uint64_t v, uint64_t u)>;
+
+  DovetailingMachine(Relation relation, std::string input)
+      : relation_(std::move(relation)), input_(std::move(input)) {}
+
+  struct Progress {
+    uint64_t probes = 0;         ///< abstract steps consumed so far (cumulative)
+    uint64_t origin_visits = 0;  ///< v-values completed so far (cumulative)
+    uint64_t current_v = 0;      ///< the v currently being searched
+    uint64_t next_u = 0;         ///< next u candidate for current_v
+  };
+
+  /// Runs `budget` more probes; state persists across calls.
+  const Progress& Run(uint64_t budget);
+
+  const Progress& progress() const { return progress_; }
+
+ private:
+  Relation relation_;
+  std::string input_;
+  Progress progress_;
+};
+
+}  // namespace tm
+}  // namespace tic
+
+#endif  // TIC_TM_EXPLORER_H_

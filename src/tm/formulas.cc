@@ -1,0 +1,442 @@
+#include "tm/formulas.h"
+
+#include <functional>
+#include <vector>
+
+namespace tic {
+namespace tm {
+
+namespace {
+
+using fotl::Formula;
+using fotl::FormulaFactory;
+using fotl::Term;
+
+// How the rigid arithmetic atoms are expressed: as extended-vocabulary
+// builtins (phi, Proposition 3.1) or as temporal W-formulas (phi-tilde,
+// Section 3's "Formula phi~").
+class RigidOps {
+ public:
+  virtual ~RigidOps() = default;
+  virtual Result<Formula> Leq(Term a, Term b) = 0;
+  virtual Result<Formula> Succ(Term a, Term b) = 0;
+  virtual Result<Formula> Zero(Term a) = 0;
+};
+
+class BuiltinOps : public RigidOps {
+ public:
+  BuiltinOps(FormulaFactory* fac, const TmEncoding& enc) : fac_(fac), enc_(enc) {}
+  Result<Formula> Leq(Term a, Term b) override {
+    return fac_->Atom(enc_.leq(), {a, b});
+  }
+  Result<Formula> Succ(Term a, Term b) override {
+    return fac_->Atom(enc_.succ(), {a, b});
+  }
+  Result<Formula> Zero(Term a) override { return fac_->Atom(enc_.zero(), {a}); }
+
+ private:
+  FormulaFactory* fac_;
+  const TmEncoding& enc_;
+};
+
+// Ordinary-vocabulary variant (Section 6's bounded construction): the
+// successor/origin live in database relations held rigid by the formula.
+class DbOps : public RigidOps {
+ public:
+  DbOps(FormulaFactory* fac, const TmEncoding& enc) : fac_(fac), enc_(enc) {}
+  Result<Formula> Leq(Term, Term) override {
+    return Status::NotSupported("the bounded construction has no ordering atom");
+  }
+  Result<Formula> Succ(Term a, Term b) override {
+    return fac_->Atom(enc_.succ(), {a, b});
+  }
+  Result<Formula> Zero(Term a) override { return fac_->Atom(enc_.zero(), {a}); }
+
+ private:
+  FormulaFactory* fac_;
+  const TmEncoding& enc_;
+};
+
+// x <=_W y == F(W(x) & F W(y));  S_W(x,y) == F(W(x) & X W(y));  Z_W(x) == W(x).
+class WOps : public RigidOps {
+ public:
+  WOps(FormulaFactory* fac, const TmEncoding& enc) : fac_(fac), enc_(enc) {}
+  Result<Formula> W(Term a) { return fac_->Atom(enc_.w_pred(), {a}); }
+  Result<Formula> Leq(Term a, Term b) override {
+    TIC_ASSIGN_OR_RETURN(Formula wa, W(a));
+    TIC_ASSIGN_OR_RETURN(Formula wb, W(b));
+    return fac_->Eventually(fac_->And(wa, fac_->Eventually(wb)));
+  }
+  Result<Formula> Succ(Term a, Term b) override {
+    TIC_ASSIGN_OR_RETURN(Formula wa, W(a));
+    TIC_ASSIGN_OR_RETURN(Formula wb, W(b));
+    return fac_->Eventually(fac_->And(wa, fac_->Next(wb)));
+  }
+  Result<Formula> Zero(Term a) override { return W(a); }
+
+ private:
+  FormulaFactory* fac_;
+  const TmEncoding& enc_;
+};
+
+// Builds the quantifier-free matrices psi1..psi4 of the appendix construction.
+class PhiBuilder {
+ public:
+  PhiBuilder(FormulaFactory* fac, const TmEncoding& enc, RigidOps* ops)
+      : fac_(fac), enc_(enc), ops_(ops) {
+    x_ = Term::Var(fac_->InternVar("x"));
+    y_ = Term::Var(fac_->InternVar("y"));
+    z_ = Term::Var(fac_->InternVar("z"));
+  }
+
+  Term x() const { return x_; }
+  Term y() const { return y_; }
+  Term z() const { return z_; }
+
+  // All monadic letters P_z, z in Q u (Sigma \ {B}).
+  std::vector<PredicateId> Letters() const {
+    std::vector<PredicateId> ps;
+    for (uint32_t q = 0; q < enc_.machine().num_states(); ++q) {
+      ps.push_back(enc_.state_pred(q));
+    }
+    for (char s : enc_.machine().alphabet()) {
+      if (s == TuringMachine::kBlank) continue;
+      ps.push_back(*enc_.symbol_pred(s));
+    }
+    return ps;
+  }
+
+  Result<Formula> P(PredicateId p, Term t) { return fac_->Atom(p, {t}); }
+
+  // P_B(t): the abbreviation "no letter true of t".
+  Result<Formula> Blank(Term t) {
+    std::vector<Formula> negs;
+    for (PredicateId p : Letters()) {
+      TIC_ASSIGN_OR_RETURN(Formula a, P(p, t));
+      negs.push_back(fac_->Not(a));
+    }
+    return fac_->AndAll(negs);
+  }
+
+  // Sym_s(t): P_s(t) for a real symbol, the blank abbreviation for B.
+  Result<Formula> Sym(char s, Term t) {
+    if (s == TuringMachine::kBlank) return Blank(t);
+    TIC_ASSIGN_OR_RETURN(PredicateId p, enc_.symbol_pred(s));
+    return P(p, t);
+  }
+
+  // Exact content: the position holds letter `keep` and nothing else. Under
+  // the uniqueness group this is equivalent to asserting `keep` alone, but
+  // stating the negatives explicitly makes every write/copy rule pin the full
+  // next-state content — which keeps the tableau of the grounded formula
+  // deterministic along forced computations (no free uniqueness branching).
+  Result<Formula> ExactLetter(PredicateId keep, Term t) {
+    std::vector<Formula> cs;
+    TIC_ASSIGN_OR_RETURN(Formula kept, P(keep, t));
+    cs.push_back(kept);
+    for (PredicateId p : Letters()) {
+      if (p == keep) continue;
+      TIC_ASSIGN_OR_RETURN(Formula a, P(p, t));
+      cs.push_back(fac_->Not(a));
+    }
+    return fac_->AndAll(cs);
+  }
+
+  Result<Formula> ExactSym(char s, Term t) {
+    if (s == TuringMachine::kBlank) return Blank(t);
+    TIC_ASSIGN_OR_RETURN(PredicateId p, enc_.symbol_pred(s));
+    return ExactLetter(p, t);
+  }
+
+  Result<Formula> ExactState(uint32_t q, Term t) {
+    return ExactLetter(enc_.state_pred(q), t);
+  }
+
+  // \/_{q in Q} P_q(t).
+  Result<Formula> AnyState(Term t) {
+    std::vector<Formula> ds;
+    for (uint32_t q = 0; q < enc_.machine().num_states(); ++q) {
+      TIC_ASSIGN_OR_RETURN(Formula a, P(enc_.state_pred(q), t));
+      ds.push_back(a);
+    }
+    return fac_->OrAll(ds);
+  }
+
+  Result<Formula> NoState(Term t) {
+    TIC_ASSIGN_OR_RETURN(Formula any, AnyState(t));
+    return fac_->Not(any);
+  }
+
+  // /\_{s in Sigma} (Sym_s(t) -> X ExactSym_s(t2)): position t2's next content
+  // is exactly position t's current content.
+  Result<Formula> CopySymbolsTo(Term t, Term t2) {
+    std::vector<Formula> cs;
+    for (char s : enc_.machine().alphabet()) {
+      TIC_ASSIGN_OR_RETURN(Formula now, Sym(s, t));
+      TIC_ASSIGN_OR_RETURN(Formula next_val, ExactSym(s, t2));
+      cs.push_back(fac_->Implies(now, fac_->Next(next_val)));
+    }
+    return fac_->AndAll(cs);
+  }
+
+  // Group 1: always, at most one letter per position.
+  Result<Formula> Uniqueness() {
+    std::vector<PredicateId> ps = Letters();
+    std::vector<Formula> cs;
+    for (size_t i = 0; i < ps.size(); ++i) {
+      for (size_t j = i + 1; j < ps.size(); ++j) {
+        TIC_ASSIGN_OR_RETURN(Formula a, P(ps[i], x_));
+        TIC_ASSIGN_OR_RETURN(Formula b, P(ps[j], x_));
+        cs.push_back(fac_->Not(fac_->And(a, b)));
+      }
+    }
+    return fac_->Always(fac_->AndAll(cs));
+  }
+
+  // Group 2: the first database state encodes q0 w B^omega with w over {0,1}.
+  Result<Formula> Initial() {
+    TIC_ASSIGN_OR_RETURN(Formula zero_x, ops_->Zero(x_));
+    TIC_ASSIGN_OR_RETURN(Formula q0_x, P(enc_.state_pred(0), x_));
+    TIC_ASSIGN_OR_RETURN(Formula leq_xy, ops_->Leq(x_, y_));
+    TIC_ASSIGN_OR_RETURN(Formula blank_y, Blank(y_));
+    TIC_ASSIGN_OR_RETURN(Formula s0y, Sym('0', y_));
+    TIC_ASSIGN_OR_RETURN(Formula s1y, Sym('1', y_));
+    TIC_ASSIGN_OR_RETURN(Formula s0x, Sym('0', x_));
+    TIC_ASSIGN_OR_RETURN(Formula s1x, Sym('1', x_));
+    Formula head0 = fac_->Implies(zero_x, q0_x);
+    Formula input = fac_->Implies(
+        fac_->And(fac_->And(fac_->Not(zero_x), leq_xy), fac_->Not(blank_y)),
+        fac_->And(fac_->Or(s0y, s1y), fac_->Or(s0x, s1x)));
+    return fac_->And(head0, input);
+  }
+
+  // Group 3: successor-configuration rules (see TmFormulas doc comment).
+  Result<Formula> TransitionRules() {
+    std::vector<Formula> rules;
+    TIC_ASSIGN_OR_RETURN(Formula succ_xy, ops_->Succ(x_, y_));
+    TIC_ASSIGN_OR_RETURN(Formula succ_yz, ops_->Succ(y_, z_));
+    TIC_ASSIGN_OR_RETURN(Formula zero_x, ops_->Zero(x_));
+    TIC_ASSIGN_OR_RETURN(Formula nostate_x, NoState(x_));
+    TIC_ASSIGN_OR_RETURN(Formula nostate_y, NoState(y_));
+    TIC_ASSIGN_OR_RETURN(Formula nostate_z, NoState(z_));
+    TIC_ASSIGN_OR_RETURN(Formula copy_yy, CopySymbolsTo(y_, y_));
+    TIC_ASSIGN_OR_RETURN(Formula copy_xx, CopySymbolsTo(x_, x_));
+    TIC_ASSIGN_OR_RETURN(Formula copy_xy, CopySymbolsTo(x_, y_));
+
+    // Frame: a state-free window keeps its middle (logically equivalent to the
+    // paper's /\_{a,b,c in Sigma} enumeration, factored through CopySymbolsTo).
+    rules.push_back(fac_->Implies(
+        fac_->AndAll({succ_xy, succ_yz, nostate_x, nostate_y, nostate_z}), copy_yy));
+    // Origin frame: position 0 keeps its symbol while no state is at 0 or 1.
+    rules.push_back(fac_->Implies(
+        fac_->AndAll({zero_x, succ_xy, nostate_x, nostate_y}), copy_xx));
+
+    const TuringMachine& m = enc_.machine();
+    for (const auto& [key, tr] : m.transitions()) {
+      auto [q, read] = key;
+      TIC_ASSIGN_OR_RETURN(Formula q_x, P(enc_.state_pred(q), x_));
+      TIC_ASSIGN_OR_RETURN(Formula q_y, P(enc_.state_pred(q), y_));
+      TIC_ASSIGN_OR_RETURN(Formula read_y, Sym(read, y_));
+      TIC_ASSIGN_OR_RETURN(Formula read_z, Sym(read, z_));
+      if (tr.dir == Dir::kRight) {
+        // Head window q sigma -> tau p.
+        TIC_ASSIGN_OR_RETURN(Formula write_x, ExactSym(tr.write, x_));
+        TIC_ASSIGN_OR_RETURN(Formula p_y, ExactState(tr.next_state, y_));
+        rules.push_back(fac_->Implies(
+            fac_->AndAll({q_x, succ_xy, read_y}),
+            fac_->And(fac_->Next(write_x), fac_->Next(p_y))));
+        // The cell left of the head is untouched.
+        rules.push_back(fac_->Implies(
+            fac_->AndAll({succ_xy, succ_yz, nostate_x, q_y, read_z}), copy_xx));
+      } else {
+        // Head window c q sigma -> p c tau.
+        TIC_ASSIGN_OR_RETURN(Formula p_x, ExactState(tr.next_state, x_));
+        TIC_ASSIGN_OR_RETURN(Formula write_z, ExactSym(tr.write, z_));
+        rules.push_back(fac_->Implies(
+            fac_->AndAll({succ_xy, succ_yz, nostate_x, q_y, read_z}),
+            fac_->AndAll({fac_->Next(p_x), copy_xy, fac_->Next(write_z)})));
+        // A left move with the state symbol at the origin falls off the tape:
+        // no successor configuration exists.
+        rules.push_back(fac_->Implies(fac_->AndAll({zero_x, q_x, succ_xy, read_y}),
+                                      fac_->False()));
+      }
+    }
+    // Halting pairs (q, sigma) with no transition: the computation ends, so an
+    // encoding of an infinite (repeating) computation cannot contain them.
+    for (uint32_t q = 0; q < m.num_states(); ++q) {
+      for (char s : m.alphabet()) {
+        Transition tr;
+        if (m.Lookup(q, s, &tr)) continue;
+        TIC_ASSIGN_OR_RETURN(Formula q_x, P(enc_.state_pred(q), x_));
+        TIC_ASSIGN_OR_RETURN(Formula s_y, Sym(s, y_));
+        rules.push_back(
+            fac_->Implies(fac_->AndAll({q_x, succ_xy, s_y}), fac_->False()));
+      }
+    }
+    return fac_->Always(fac_->AndAll(rules));
+  }
+
+  // Group 4: the head returns to the origin infinitely often.
+  Result<Formula> Repeating() {
+    TIC_ASSIGN_OR_RETURN(Formula zero_x, ops_->Zero(x_));
+    TIC_ASSIGN_OR_RETURN(Formula any, AnyState(x_));
+    return fac_->Implies(zero_x, fac_->Always(fac_->Eventually(any)));
+  }
+
+ private:
+  FormulaFactory* fac_;
+  const TmEncoding& enc_;
+  RigidOps* ops_;
+  Term x_, y_, z_;
+};
+
+}  // namespace
+
+Result<TmFormulas> BuildPhi(const TmEncoding& enc) {
+  if (enc.with_w()) {
+    return Status::InvalidArgument("BuildPhi expects an encoding without W");
+  }
+  TmFormulas out;
+  out.factory = std::make_shared<FormulaFactory>(enc.vocabulary());
+  FormulaFactory* fac = out.factory.get();
+  BuiltinOps ops(fac, enc);
+  PhiBuilder b(fac, enc, &ops);
+  TIC_ASSIGN_OR_RETURN(Formula uniq, b.Uniqueness());
+  TIC_ASSIGN_OR_RETURN(Formula init, b.Initial());
+  TIC_ASSIGN_OR_RETURN(Formula trans, b.TransitionRules());
+  TIC_ASSIGN_OR_RETURN(Formula rep, b.Repeating());
+  auto close = [&](Formula body) {
+    return fac->Forall(b.x().id,
+                       fac->Forall(b.y().id, fac->Forall(b.z().id, body)));
+  };
+  out.uniqueness = close(uniq);
+  out.initial = close(init);
+  out.transition = close(trans);
+  out.repeating = close(rep);
+  out.phi = close(fac->AndAll({uniq, init, trans, rep}));
+  return out;
+}
+
+Result<TmTildeFormulas> BuildPhiTilde(const TmEncoding& enc) {
+  if (!enc.with_w()) {
+    return Status::InvalidArgument("BuildPhiTilde expects an encoding with W");
+  }
+  TmTildeFormulas out;
+  out.factory = std::make_shared<FormulaFactory>(enc.vocabulary());
+  FormulaFactory* fac = out.factory.get();
+  WOps ops(fac, enc);
+  PhiBuilder b(fac, enc, &ops);
+
+  Term x = b.x(), y = b.y(), z = b.z();
+  TIC_ASSIGN_OR_RETURN(Formula wx, fac->Atom(enc.w_pred(), {x}));
+  TIC_ASSIGN_OR_RETURN(Formula wy, fac->Atom(enc.w_pred(), {y}));
+  TIC_ASSIGN_OR_RETURN(Formula wz, fac->Atom(enc.w_pred(), {z}));
+
+  // W1: per state, at most one W-element.
+  Formula w1_body =
+      fac->Always(fac->Implies(fac->And(wx, wy), fac->Equals(x, y)));
+  out.w1 = fac->Forall(x.id, fac->Forall(y.id, w1_body));
+  // W2: per state, some W-element — the single internal existential quantifier.
+  Term u = Term::Var(fac->InternVar("u"));
+  TIC_ASSIGN_OR_RETURN(Formula wu, fac->Atom(enc.w_pred(), {u}));
+  out.w2 = fac->Always(fac->Exists(u.id, wu));
+  // W3: each element is W in at most one state.
+  Formula w3_body = fac->Always(
+      fac->Implies(wx, fac->Next(fac->Always(fac->Not(wx)))));
+  out.w3 = fac->Forall(x.id, w3_body);
+
+  // Relativized phi: quantifiers restricted to the W-ordered part.
+  TIC_ASSIGN_OR_RETURN(Formula u1, b.Uniqueness());
+  TIC_ASSIGN_OR_RETURN(Formula u2, b.Initial());
+  TIC_ASSIGN_OR_RETURN(Formula u3, b.TransitionRules());
+  TIC_ASSIGN_OR_RETURN(Formula u4, b.Repeating());
+  Formula psi_w = fac->AndAll({u1, u2, u3, u4});
+  Formula guard = fac->AndAll(
+      {fac->Eventually(wx), fac->Eventually(wy), fac->Eventually(wz)});
+  Formula phi_w_body = fac->Implies(guard, psi_w);
+  out.phi_w = fac->Forall(
+      x.id, fac->Forall(y.id, fac->Forall(z.id, phi_w_body)));
+
+  // phi~ == forall x y z . (W1-body & W3-body & W2 & (guard -> psi_W)),
+  // a forall^3 tense(Sigma_1) sentence over monadic predicates only.
+  Formula tilde_body = fac->AndAll({w1_body, w3_body, out.w2, phi_w_body});
+  out.phi_tilde = fac->Forall(
+      x.id, fac->Forall(y.id, fac->Forall(z.id, tilde_body)));
+  return out;
+}
+
+Result<BoundedTmInstance> BuildBoundedInstance(const TuringMachine& machine,
+                                               const std::string& input,
+                                               size_t region) {
+  if (region < input.size() + 2) {
+    return Status::InvalidArgument(
+        "region must cover the input, the state symbol and one boundary cell");
+  }
+  BoundedTmInstance out;
+  // The formulas and D0 reference only predicate ids of the vocabulary (owned
+  // by the returned factory/history), so the machine copy and encoding may be
+  // locals: nothing in the instance dangles after they are destroyed.
+  auto machine_copy = std::make_shared<TuringMachine>(machine);
+  auto enc_holder = std::make_shared<TmEncoding>(
+      *TmEncoding::CreateBounded(machine_copy.get()));
+  const TmEncoding& enc = *enc_holder;
+  out.vocab = enc.vocabulary();
+  out.factory = std::make_shared<FormulaFactory>(out.vocab);
+  FormulaFactory* fac = out.factory.get();
+
+  DbOps ops(fac, enc);
+  PhiBuilder b(fac, enc, &ops);
+  Term x = b.x(), y = b.y();
+
+  TIC_ASSIGN_OR_RETURN(Formula uniq, b.Uniqueness());
+  TIC_ASSIGN_OR_RETURN(Formula trans, b.TransitionRules());
+
+  // Rigidity: Succ/First/Last never change (the Section 6 sketch's "the
+  // formula can force that this relation remains the same throughout").
+  auto rigid1 = [&](PredicateId p, Term t) -> Result<Formula> {
+    TIC_ASSIGN_OR_RETURN(Formula a, fac->Atom(p, {t}));
+    return fac->Always(fac->And(fac->Implies(a, fac->Next(a)),
+                                fac->Implies(fac->Not(a), fac->Next(fac->Not(a)))));
+  };
+  TIC_ASSIGN_OR_RETURN(Formula succ_xy, fac->Atom(enc.succ(), {x, y}));
+  Formula succ_rigid = fac->Always(
+      fac->And(fac->Implies(succ_xy, fac->Next(succ_xy)),
+               fac->Implies(fac->Not(succ_xy), fac->Next(fac->Not(succ_xy)))));
+  TIC_ASSIGN_OR_RETURN(Formula first_rigid, rigid1(enc.zero(), x));
+  TIC_ASSIGN_OR_RETURN(Formula last_rigid, rigid1(enc.last_pred(), x));
+
+  // Boundary: the head never reaches the Last cell (space bound), and the
+  // Last cell's content is frozen — it is the only region position not
+  // covered by a successor window, so without this its letters would be
+  // unconstrained in every state (and the tableau would branch on them).
+  TIC_ASSIGN_OR_RETURN(Formula last_x, fac->Atom(enc.last_pred(), {x}));
+  TIC_ASSIGN_OR_RETURN(Formula any_state_x, b.AnyState(x));
+  TIC_ASSIGN_OR_RETURN(Formula copy_last, b.CopySymbolsTo(x, x));
+  Formula boundary = fac->Always(
+      fac->Implies(last_x, fac->And(fac->Not(any_state_x), copy_last)));
+
+  Formula body = fac->AndAll(
+      {uniq, trans, succ_rigid, first_rigid, last_rigid, boundary});
+  out.phi = fac->Forall(
+      b.x().id, fac->Forall(b.y().id, fac->Forall(b.z().id, body)));
+
+  // D0: the initial configuration plus the Succ chain and region markers.
+  Simulator sim(machine_copy.get());
+  TIC_ASSIGN_OR_RETURN(Configuration c0, sim.Initial(input));
+  TIC_ASSIGN_OR_RETURN(DatabaseState d0, enc.EncodeConfiguration(c0));
+  for (size_t i = 0; i + 1 < region; ++i) {
+    TIC_RETURN_NOT_OK(d0.Insert(enc.succ(), {static_cast<Value>(i),
+                                             static_cast<Value>(i) + 1}));
+  }
+  TIC_RETURN_NOT_OK(d0.Insert(enc.zero(), {0}));
+  TIC_RETURN_NOT_OK(
+      d0.Insert(enc.last_pred(), {static_cast<Value>(region) - 1}));
+  TIC_ASSIGN_OR_RETURN(out.history, History::Create(out.vocab));
+  TIC_RETURN_NOT_OK(out.history.AppendState(std::move(d0)));
+  out.region = region;
+
+  return out;
+}
+
+}  // namespace tm
+}  // namespace tic

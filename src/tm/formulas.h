@@ -1,0 +1,104 @@
+#ifndef TIC_TM_FORMULAS_H_
+#define TIC_TM_FORMULAS_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "fotl/factory.h"
+#include "tm/encoding.h"
+
+namespace tic {
+namespace tm {
+
+/// \brief The appendix formula phi = forall x y z . psi (Proposition 3.1):
+/// a universal formula over the extended vocabulary (<=, succ, Zero) whose
+/// temporal models are exactly the encodings of repeating computations of the
+/// machine.
+///
+/// The appendix sketches the rule groups; the complete rule set built here is:
+///  1. uniqueness  — at most one of the monadic predicates per position, always;
+///  2. initial     — state 0 encodes an initial configuration q0 w B^omega;
+///  3. transition  — each database state is followed by the successor
+///     configuration word: head-window rules per transition (both move
+///     directions), frame rules for state-free windows, an origin frame rule,
+///     and X false rules excluding halting/left-crashing continuations;
+///  4. repeating   — the origin position carries a state predicate infinitely
+///     often (forall x . Zero(x) -> G F \/_q P_q(x)).
+struct TmFormulas {
+  std::shared_ptr<fotl::FormulaFactory> factory;
+  fotl::Formula uniqueness = nullptr;
+  fotl::Formula initial = nullptr;
+  fotl::Formula transition = nullptr;
+  fotl::Formula repeating = nullptr;
+  /// phi == forall x y z . (psi1 & psi2 & psi3 & psi4), the Proposition 3.1
+  /// form with k = 3 external universal quantifiers.
+  fotl::Formula phi = nullptr;
+};
+
+/// \pre !enc.with_w()
+Result<TmFormulas> BuildPhi(const TmEncoding& enc);
+
+/// \brief The Section 3 phi-tilde construction: eliminates the extended
+/// vocabulary using the fresh monadic predicate W whose temporal occurrence
+/// order defines an omega-ordering of the universe:
+///   x <=_W y   ==  F (W(x) & F W(y))
+///   S_W(x, y)  ==  F (W(x) & X W(y))
+///   Z_W(x)     ==  W(x)
+/// together with W1 (one W-element per state), W2 (some W-element per state —
+/// the single internal existential quantifier), and W3 (each element is W in
+/// at most one state). The result is a forall^3 tense(Sigma_1) sentence over a
+/// purely monadic vocabulary (Theorem 3.2: its extension problem is
+/// Sigma^0_2-complete).
+struct TmTildeFormulas {
+  std::shared_ptr<fotl::FormulaFactory> factory;  ///< over the with_w vocabulary
+  fotl::Formula w1 = nullptr;
+  fotl::Formula w2 = nullptr;  ///< the tense(Sigma_1) conjunct G exists u . W(u)
+  fotl::Formula w3 = nullptr;
+  fotl::Formula phi_w = nullptr;  ///< relativized phi
+  fotl::Formula phi_tilde = nullptr;
+};
+
+/// \pre enc.with_w()
+Result<TmTildeFormulas> BuildPhiTilde(const TmEncoding& enc);
+
+/// \brief The Section 6 lower-bound construction, made runnable: a
+/// *space-bounded* machine encoded entirely over an ordinary database
+/// vocabulary, so the Theorem 4.2 checker applies.
+///
+/// Instead of the builtin succ/Zero, the tape ordering lives in a binary
+/// database relation `Succ` (plus monadic `First`/`Last` markers) that the
+/// initial state D0 provides and the formula holds rigid
+/// ("it is enough that the successor relation will be correctly defined in
+/// D0; the formula can force that this relation remains the same throughout
+/// the other database states"). The constraint is a *universal safety
+/// sentence*: uniqueness + transition forcing + rigidity + a Last-exclusion
+/// rule that forbids the head from reaching the region boundary.
+///
+/// Consequence (the paper's point): the single-state history (D0) is
+/// potentially satisfied iff the machine runs forever within the region —
+/// so the checker's running time must track the machine's, and |R_D| (the
+/// region size) cannot leave the exponent. Conversely, when the answer is
+/// YES the checker's witness lasso IS the machine's eventual cycle: the
+/// decision procedure synthesizes the computation.
+struct BoundedTmInstance {
+  VocabularyPtr vocab;
+  std::shared_ptr<fotl::FormulaFactory> factory;
+  fotl::Formula phi = nullptr;  ///< universal safety sentence (k = 3, l = 2)
+  History history;              ///< the single-state history (D0)
+  size_t region = 0;            ///< number of word positions 0..region-1
+
+  BoundedTmInstance() : history(*History::Create(std::make_shared<Vocabulary>())) {}
+};
+
+/// \brief Builds the bounded instance for `machine` on `input`, with a tape
+/// region of `region` word positions (must fit the input plus the state
+/// symbol). The machine must stay strictly left of position region-1 forever
+/// for the instance to be potentially satisfiable.
+Result<BoundedTmInstance> BuildBoundedInstance(const TuringMachine& machine,
+                                               const std::string& input,
+                                               size_t region);
+
+}  // namespace tm
+}  // namespace tic
+
+#endif  // TIC_TM_FORMULAS_H_

@@ -1,0 +1,91 @@
+#include "tm/machine.h"
+
+namespace tic {
+namespace tm {
+
+Result<TuringMachine> TuringMachine::Create(std::vector<std::string> state_names,
+                                            std::vector<char> alphabet) {
+  if (state_names.empty()) {
+    return Status::InvalidArgument("a machine needs at least the initial state");
+  }
+  bool has0 = false, has1 = false, hasB = false;
+  for (char c : alphabet) {
+    has0 = has0 || c == '0';
+    has1 = has1 || c == '1';
+    hasB = hasB || c == kBlank;
+  }
+  if (!has0 || !has1 || !hasB) {
+    return Status::InvalidArgument("alphabet must contain '0', '1' and 'B'");
+  }
+  return TuringMachine(std::move(state_names), std::move(alphabet));
+}
+
+Status TuringMachine::AddTransition(uint32_t state, char read, uint32_t next_state,
+                                    char write, Dir dir) {
+  if (state >= state_names_.size() || next_state >= state_names_.size()) {
+    return Status::OutOfRange("state index out of range");
+  }
+  if (!HasSymbol(read) || !HasSymbol(write)) {
+    return Status::InvalidArgument("symbol not in alphabet");
+  }
+  auto [it, inserted] = delta_.emplace(std::make_pair(state, read),
+                                       Transition{next_state, write, dir});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate transition (machine must be deterministic)");
+  }
+  return Status::OK();
+}
+
+Result<TuringMachine> MakeImmediateHaltMachine() {
+  return TuringMachine::Create({"q0"}, {'0', '1', 'B'});
+}
+
+Result<TuringMachine> MakeRightWalkerMachine() {
+  TIC_ASSIGN_OR_RETURN(TuringMachine m,
+                       TuringMachine::Create({"q0"}, {'0', '1', 'B'}));
+  TIC_RETURN_NOT_OK(m.AddTransition(0, '0', 0, '0', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(0, '1', 0, '1', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(0, 'B', 0, 'B', Dir::kRight));
+  return m;
+}
+
+Result<TuringMachine> MakeShuttleMachine() {
+  // q0 marks the origin with 'M'; qR walks right to the first blank; qL walks
+  // back to the mark (an origin visit), then repeats.
+  TIC_ASSIGN_OR_RETURN(
+      TuringMachine m, TuringMachine::Create({"q0", "qR", "qL"}, {'0', '1', 'B', 'M'}));
+  const uint32_t q0 = 0, qR = 1, qL = 2;
+  TIC_RETURN_NOT_OK(m.AddTransition(q0, '0', qR, 'M', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(q0, '1', qR, 'M', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(q0, 'B', qR, 'M', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(qR, '0', qR, '0', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(qR, '1', qR, '1', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(qR, 'B', qL, 'B', Dir::kLeft));
+  TIC_RETURN_NOT_OK(m.AddTransition(qL, '0', qL, '0', Dir::kLeft));
+  TIC_RETURN_NOT_OK(m.AddTransition(qL, '1', qL, '1', Dir::kLeft));
+  TIC_RETURN_NOT_OK(m.AddTransition(qL, 'M', qR, 'M', Dir::kRight));
+  return m;
+}
+
+Result<TuringMachine> MakeBinaryCounterMachine() {
+  // Cell 0 holds the mark; cells 1.. hold a binary counter, least significant
+  // bit first. `inc` propagates the carry right; `ret` returns to the mark.
+  TIC_ASSIGN_OR_RETURN(
+      TuringMachine m,
+      TuringMachine::Create({"q0", "inc", "ret"}, {'0', '1', 'B', 'M'}));
+  const uint32_t q0 = 0, inc = 1, ret = 2;
+  TIC_RETURN_NOT_OK(m.AddTransition(q0, '0', inc, 'M', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(q0, '1', inc, 'M', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(q0, 'B', inc, 'M', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(inc, '1', inc, '0', Dir::kRight));
+  TIC_RETURN_NOT_OK(m.AddTransition(inc, '0', ret, '1', Dir::kLeft));
+  TIC_RETURN_NOT_OK(m.AddTransition(inc, 'B', ret, '1', Dir::kLeft));
+  TIC_RETURN_NOT_OK(m.AddTransition(ret, '0', ret, '0', Dir::kLeft));
+  TIC_RETURN_NOT_OK(m.AddTransition(ret, '1', ret, '1', Dir::kLeft));
+  TIC_RETURN_NOT_OK(m.AddTransition(ret, 'M', inc, 'M', Dir::kRight));
+  return m;
+}
+
+}  // namespace tm
+}  // namespace tic

@@ -1,0 +1,99 @@
+#ifndef TIC_TM_MACHINE_H_
+#define TIC_TM_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tic {
+namespace tm {
+
+/// \brief Head movement direction.
+enum class Dir : uint8_t { kLeft, kRight };
+
+/// \brief One transition: in state `state` scanning `read`, write `write`,
+/// switch to `next_state`, move `dir`.
+struct Transition {
+  uint32_t next_state;
+  char write;
+  Dir dir;
+};
+
+/// \brief A deterministic single-tape Turing machine with a tape infinite to
+/// the right (Section 3): alphabet includes the input alphabet {0,1} and the
+/// blank 'B'; state 0 is initial. Missing transitions mean the machine halts.
+class TuringMachine {
+ public:
+  /// \param state_names human-readable state names (index 0 = initial q0)
+  /// \param alphabet must contain '0', '1', 'B'
+  static Result<TuringMachine> Create(std::vector<std::string> state_names,
+                                      std::vector<char> alphabet);
+
+  size_t num_states() const { return state_names_.size(); }
+  const std::string& state_name(uint32_t q) const { return state_names_[q]; }
+  const std::vector<char>& alphabet() const { return alphabet_; }
+  static constexpr char kBlank = 'B';
+
+  /// Adds delta(state, read) = (next_state, write, dir). Fails on duplicates,
+  /// out-of-range states, or symbols not in the alphabet.
+  Status AddTransition(uint32_t state, char read, uint32_t next_state, char write,
+                       Dir dir);
+
+  /// Looks up delta(state, read); false when the machine halts there.
+  bool Lookup(uint32_t state, char read, Transition* out) const {
+    auto it = delta_.find({state, read});
+    if (it == delta_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// All transitions, for the Section 3 formula builder.
+  const std::map<std::pair<uint32_t, char>, Transition>& transitions() const {
+    return delta_;
+  }
+
+  bool HasSymbol(char c) const {
+    for (char a : alphabet_) {
+      if (a == c) return true;
+    }
+    return false;
+  }
+
+ private:
+  TuringMachine(std::vector<std::string> state_names, std::vector<char> alphabet)
+      : state_names_(std::move(state_names)), alphabet_(std::move(alphabet)) {}
+
+  std::vector<std::string> state_names_;
+  std::vector<char> alphabet_;
+  std::map<std::pair<uint32_t, char>, Transition> delta_;
+};
+
+/// \name A small library of machines with the three qualitatively different
+/// behaviours that the Section 3 reduction distinguishes.
+/// @{
+
+/// Halts immediately on any input (computation finite => not repeating).
+Result<TuringMachine> MakeImmediateHaltMachine();
+
+/// Walks right forever without ever returning to the origin
+/// (computation infinite but not repeating).
+Result<TuringMachine> MakeRightWalkerMachine();
+
+/// Shuttles between the origin and the end of the input forever
+/// (repeating behaviour with a bounded tape).
+Result<TuringMachine> MakeShuttleMachine();
+
+/// Repeatedly increments a binary counter written on the tape, returning to
+/// the origin after each increment (repeating behaviour with an unboundedly
+/// growing tape) — the interesting witness for Lemma 3.1-style machines.
+Result<TuringMachine> MakeBinaryCounterMachine();
+
+/// @}
+
+}  // namespace tm
+}  // namespace tic
+
+#endif  // TIC_TM_MACHINE_H_

@@ -1,0 +1,60 @@
+#include "tm/simulator.h"
+
+namespace tic {
+namespace tm {
+
+std::string Configuration::AsConfigurationWord(const TuringMachine& m) const {
+  std::string out;
+  size_t len = std::max(tape.size(), head + 1);
+  for (size_t i = 0; i <= len; ++i) {
+    if (i == head) out += "[" + m.state_name(state) + "]";
+    out += i < tape.size() ? tape[i] : TuringMachine::kBlank;
+  }
+  return out;
+}
+
+Result<Configuration> Simulator::Initial(const std::string& input) const {
+  Configuration c;
+  c.state = 0;
+  c.head = 0;
+  c.tape.reserve(input.size());
+  for (char ch : input) {
+    if (ch != '0' && ch != '1') {
+      return Status::InvalidArgument("input must be over {0,1}");
+    }
+    c.tape.push_back(ch);
+  }
+  return c;
+}
+
+StepOutcome Simulator::Step(Configuration* c) const {
+  Transition tr;
+  if (!machine_->Lookup(c->state, c->Read(), &tr)) return StepOutcome::kHalt;
+  if (tr.dir == Dir::kLeft && c->head == 0) return StepOutcome::kLeftCrash;
+  if (c->head >= c->tape.size()) {
+    c->tape.resize(c->head + 1, TuringMachine::kBlank);
+  }
+  c->tape[c->head] = tr.write;
+  c->state = tr.next_state;
+  c->head += tr.dir == Dir::kRight ? 1 : -1;
+  return StepOutcome::kContinue;
+}
+
+Simulator::RunStats Simulator::Run(Configuration* c, size_t max_steps) const {
+  RunStats stats;
+  if (c->head == 0) ++stats.origin_visits;
+  for (size_t i = 0; i < max_steps; ++i) {
+    StepOutcome out = Step(c);
+    if (out != StepOutcome::kContinue) {
+      stats.last = out;
+      return stats;
+    }
+    ++stats.steps;
+    if (c->head == 0) ++stats.origin_visits;
+  }
+  stats.last = StepOutcome::kContinue;
+  return stats;
+}
+
+}  // namespace tm
+}  // namespace tic

@@ -1,0 +1,67 @@
+#ifndef TIC_TM_SIMULATOR_H_
+#define TIC_TM_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tm/machine.h"
+
+namespace tic {
+namespace tm {
+
+/// \brief A machine configuration: finite explicit tape (blanks beyond),
+/// head position and control state. The paper presents configurations as the
+/// infinite word alpha q beta B^omega with the state symbol immediately before
+/// the scanned cell; AsConfigurationWord renders that form.
+struct Configuration {
+  std::vector<char> tape;
+  size_t head = 0;
+  uint32_t state = 0;
+
+  char Read() const { return head < tape.size() ? tape[head] : TuringMachine::kBlank; }
+
+  /// The paper's configuration word c_0 c_1 ... : symbols with the state
+  /// inserted before the scanned cell. Length = max(tape, head)+1 plus one.
+  std::string AsConfigurationWord(const TuringMachine& m) const;
+};
+
+/// \brief Outcome of one step.
+enum class StepOutcome {
+  kContinue,
+  kHalt,       ///< no transition defined
+  kLeftCrash,  ///< attempted to move left of the origin
+};
+
+/// \brief Deterministic simulator over one TuringMachine.
+class Simulator {
+ public:
+  explicit Simulator(const TuringMachine* machine) : machine_(machine) {}
+
+  /// Initial configuration q0 w B^omega for input w over {0,1}.
+  Result<Configuration> Initial(const std::string& input) const;
+
+  /// Executes one move; mutates `c` only on kContinue.
+  StepOutcome Step(Configuration* c) const;
+
+  struct RunStats {
+    size_t steps = 0;
+    /// Number of configurations (including the initial one) with the head on
+    /// the leftmost cell — the quantity of the repeating-behaviour problem.
+    size_t origin_visits = 0;
+    StepOutcome last = StepOutcome::kContinue;  ///< kContinue == budget exhausted
+  };
+
+  /// Runs up to `max_steps` moves, counting origin visits.
+  RunStats Run(Configuration* c, size_t max_steps) const;
+
+  const TuringMachine& machine() const { return *machine_; }
+
+ private:
+  const TuringMachine* machine_;
+};
+
+}  // namespace tm
+}  // namespace tic
+
+#endif  // TIC_TM_SIMULATOR_H_

@@ -1,0 +1,100 @@
+// Tests for the constraint analyzer: fragment classification + engine
+// recommendation — the practical summary of the paper's decidability map.
+
+#include <gtest/gtest.h>
+
+#include "checker/analysis.h"
+#include "fotl/parser.h"
+#include "tm/formulas.h"
+
+namespace tic {
+namespace checker {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    fill_ = *v->AddPredicate("Fill", 1);
+    rel_ = *v->AddPredicate("Rel", 2);
+    vocab_ = v;
+    fac_ = std::make_shared<fotl::FormulaFactory>(vocab_);
+  }
+
+  ConstraintReport Analyze(const std::string& text) {
+    auto f = fotl::Parse(fac_.get(), text);
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    return AnalyzeConstraint(*fac_, *f);
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_, fill_, rel_;
+  std::shared_ptr<fotl::FormulaFactory> fac_;
+};
+
+TEST_F(AnalysisTest, UniversalSafety) {
+  ConstraintReport r = Analyze("forall x . G (Sub(x) -> X G !Sub(x))");
+  EXPECT_EQ(r.checkability, Checkability::kUniversalSafety);
+  EXPECT_TRUE(r.syntactically_safe);
+  EXPECT_TRUE(r.classification.universal);
+  EXPECT_NE(r.explanation.find("Theorem 4.2"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, UniversalNonSafety) {
+  ConstraintReport r = Analyze("forall x . G (Sub(x) -> F Fill(x))");
+  EXPECT_EQ(r.checkability, Checkability::kUniversalNonSafety);
+  EXPECT_FALSE(r.syntactically_safe);
+  EXPECT_TRUE(r.classification.universal);
+}
+
+TEST_F(AnalysisTest, UndecidableFragment) {
+  ConstraintReport r = Analyze("forall x . G (Sub(x) -> (exists y . Rel(x, y)))");
+  EXPECT_EQ(r.checkability, Checkability::kUndecidableFragment);
+  EXPECT_EQ(r.classification.num_internal_quantifiers, 1u);
+  EXPECT_NE(r.explanation.find("Sigma^0_2"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, PastAlways) {
+  ConstraintReport r = Analyze("G ((exists x . Fill(x)) -> (exists y . O Sub(y)))");
+  EXPECT_EQ(r.checkability, Checkability::kPastAlways);
+  EXPECT_TRUE(r.classification.is_always_past);
+}
+
+TEST_F(AnalysisTest, Unsupported) {
+  // Mixed tenses outside G-past shape.
+  ConstraintReport r = Analyze("forall x . (O Sub(x)) -> F Fill(x)");
+  EXPECT_EQ(r.checkability, Checkability::kUnsupported);
+  // Existential prefix with a temporal operator in its scope: the quantifier
+  // is not internal (its scope is temporal) and not an external universal, so
+  // the formula is not biquantified at all.
+  ConstraintReport r2 = Analyze("exists x . G Sub(x)");
+  EXPECT_EQ(r2.checkability, Checkability::kUnsupported);
+  // Temporal operator inside a quantifier.
+  ConstraintReport r3 = Analyze("forall x . exists y . F Rel(x, y)");
+  EXPECT_EQ(r3.checkability, Checkability::kUnsupported);
+}
+
+TEST_F(AnalysisTest, PaperFormulasClassifyAsExpected) {
+  // The Section 3 phi-tilde lands in the undecidable fragment.
+  tm::TuringMachine machine = *tm::MakeShuttleMachine();
+  tm::TmEncoding enc = *tm::TmEncoding::Create(&machine, /*with_w=*/true);
+  tm::TmTildeFormulas tilde = *tm::BuildPhiTilde(enc);
+  ConstraintReport r = AnalyzeConstraint(*tilde.factory, tilde.phi_tilde);
+  EXPECT_EQ(r.checkability, Checkability::kUndecidableFragment);
+
+  // Its W1 conjunct alone is universal safety.
+  ConstraintReport rw1 = AnalyzeConstraint(*tilde.factory, tilde.w1);
+  EXPECT_EQ(rw1.checkability, Checkability::kUniversalSafety);
+}
+
+TEST_F(AnalysisTest, NamesAreStable) {
+  EXPECT_STREQ(CheckabilityToString(Checkability::kUniversalSafety),
+               "universal-safety (Theorem 4.2)");
+  EXPECT_STREQ(CheckabilityToString(Checkability::kUndecidableFragment),
+               "undecidable fragment (Theorem 3.2)");
+}
+
+}  // namespace
+}  // namespace checker
+}  // namespace tic

@@ -1,0 +1,214 @@
+// Tests for the Theorem 4.1 grounding: the propositional language L_D, the
+// formula phi_D, the word w_D, Axiom_D fidelity, size accounting, and the
+// decoding tables.
+
+#include <gtest/gtest.h>
+
+#include "checker/grounding.h"
+#include "fotl/parser.h"
+#include "ptl/progress.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace checker {
+namespace {
+
+class GroundingTest : public ::testing::Test {
+ protected:
+  GroundingTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    rel_ = *v->AddPredicate("Rel", 2);
+    c_ = *v->AddConstant("c");
+    vocab_ = v;
+    fac_ = std::make_unique<fotl::FormulaFactory>(vocab_);
+    history_ = std::make_unique<History>(*History::Create(vocab_, {5}));
+  }
+
+  fotl::Formula Parse_(const std::string& s) { return *fotl::Parse(fac_.get(), s); }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_, rel_;
+  ConstantId c_;
+  std::unique_ptr<fotl::FormulaFactory> fac_;
+  std::unique_ptr<History> history_;
+};
+
+TEST_F(GroundingTest, GroundElemCoding) {
+  GroundElem r = GroundElem::Relevant(7);
+  EXPECT_FALSE(r.is_z());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.ToString(), "7");
+  GroundElem z = GroundElem::Z(2);
+  EXPECT_TRUE(z.is_z());
+  EXPECT_EQ(z.z_index(), 2u);
+  EXPECT_EQ(z.ToString(), "z3");
+}
+
+TEST_F(GroundingTest, InstanceCountIsMToTheK) {
+  DatabaseState* s = history_->AppendEmptyState();
+  ASSERT_TRUE(s->Insert(sub_, {1}).ok());
+  ASSERT_TRUE(s->Insert(sub_, {2}).ok());
+  // R_D = {1, 2, 5(constant)}; k = 2 -> |M| = 5, instances = 25.
+  auto g = GroundUniversal(*fac_, Parse_("forall x y . Sub(x) -> X !Sub(y)"),
+                           *history_);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->stats.relevant_size, 3u);
+  EXPECT_EQ(g->stats.num_external_vars, 2u);
+  EXPECT_EQ(g->stats.num_instances, 25u);
+  EXPECT_EQ(g->num_z, 2u);
+  EXPECT_EQ(g->relevant, (std::vector<Value>{1, 2, 5}));
+}
+
+TEST_F(GroundingTest, WordReflectsHistory) {
+  DatabaseState* s0 = history_->AppendEmptyState();
+  ASSERT_TRUE(s0->Insert(sub_, {1}).ok());
+  DatabaseState* s1 = history_->AppendEmptyState();
+  ASSERT_TRUE(s1->Insert(sub_, {2}).ok());
+  auto g = GroundUniversal(*fac_, Parse_("forall x . Sub(x) -> X G !Sub(x)"),
+                           *history_);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->word.size(), 2u);
+  ptl::PropId sub1, sub2;
+  ASSERT_TRUE(g->prop_vocab->Lookup("Sub(1)", &sub1));
+  ASSERT_TRUE(g->prop_vocab->Lookup("Sub(2)", &sub2));
+  EXPECT_TRUE(g->word[0].Get(sub1));
+  EXPECT_FALSE(g->word[0].Get(sub2));
+  EXPECT_FALSE(g->word[1].Get(sub1));
+  EXPECT_TRUE(g->word[1].Get(sub2));
+}
+
+TEST_F(GroundingTest, SimplifiedModeFoldsEqualitiesAndZAtoms) {
+  history_->AppendEmptyState();
+  // forall x y . x = y -> (Sub(x) -> Sub(y)) is a tautology after folding:
+  // instances with x == y fold the implication to true; x != y folds x = y to
+  // false. phi_D should be the constant true.
+  auto g = GroundUniversal(
+      *fac_, Parse_("forall x y . x = y -> (Sub(x) -> Sub(y))"), *history_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->phi_d->kind(), ptl::Kind::kTrue);
+}
+
+TEST_F(GroundingTest, ConstantsResolveToTheirInterpretation) {
+  DatabaseState* s = history_->AppendEmptyState();
+  ASSERT_TRUE(s->Insert(sub_, {5}).ok());  // the constant's element
+  auto g = GroundUniversal(*fac_, Parse_("forall x . Sub(c) -> X !Sub(x)"),
+                           *history_);
+  ASSERT_TRUE(g.ok());
+  ptl::PropId sub5;
+  ASSERT_TRUE(g->prop_vocab->Lookup("Sub(5)", &sub5));
+  EXPECT_TRUE(g->word[0].Get(sub5));
+}
+
+TEST_F(GroundingTest, DecodingTableOnlyNamesRelevantTuples) {
+  DatabaseState* s = history_->AppendEmptyState();
+  ASSERT_TRUE(s->Insert(rel_, {1, 2}).ok());
+  auto g = GroundUniversal(
+      *fac_, Parse_("forall x y . Rel(x, y) -> X !Rel(y, x)"), *history_);
+  ASSERT_TRUE(g.ok());
+  for (const auto& [letter, atom] : g->letter_to_atom) {
+    (void)letter;
+    for (Value v : atom.args) EXPECT_GE(v, 0);
+  }
+  // Decode a propositional state back to a database state.
+  ptl::PropId rel21;
+  ASSERT_TRUE(g->prop_vocab->Lookup("Rel(2,1)", &rel21));
+  ptl::PropState w;
+  w.Set(rel21, true);
+  auto decoded = DecodePropState(*g, vocab_, w);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->Holds(rel_, {2, 1}));
+  EXPECT_FALSE(decoded->Holds(rel_, {1, 2}));
+}
+
+TEST_F(GroundingTest, LiteralModeEmitsAxiomD) {
+  DatabaseState* s = history_->AppendEmptyState();
+  ASSERT_TRUE(s->Insert(sub_, {1}).ok());
+  GroundingOptions lit;
+  lit.mode = GroundingMode::kLiteral;
+  fotl::Formula phi = Parse_("forall x . Sub(x) -> X G !Sub(x)");
+  auto g = GroundUniversal(*fac_, phi, *history_, {}, lit);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  auto g_simple = GroundUniversal(*fac_, phi, *history_);
+  ASSERT_TRUE(g_simple.ok());
+  // Axiom_D makes the literal formula strictly bigger and introduces equality
+  // letters eq(a,b).
+  EXPECT_GT(g->stats.phi_d_size, g_simple->stats.phi_d_size);
+  ptl::PropId eq;
+  EXPECT_TRUE(g->prop_vocab->Lookup("eq(1,1)", &eq));
+  EXPECT_TRUE(g->word[0].Get(eq));  // reflexivity holds in w_D
+  ptl::PropId eq_z;
+  EXPECT_TRUE(g->prop_vocab->Lookup("eq(z1,z1)", &eq_z));
+  EXPECT_TRUE(g->word[0].Get(eq_z));
+}
+
+TEST_F(GroundingTest, RejectsNonUniversal) {
+  history_->AppendEmptyState();
+  auto g1 = GroundUniversal(
+      *fac_, Parse_("forall x . G (exists y . Rel(x, y))"), *history_);
+  EXPECT_TRUE(g1.status().IsNotSupported());
+  auto g2 = GroundUniversal(*fac_, Parse_("exists x . G Sub(x)"), *history_);
+  EXPECT_TRUE(g2.status().IsNotSupported());
+  // Past operators are not biquantified.
+  auto g3 =
+      GroundUniversal(*fac_, Parse_("forall x . G (Sub(x) -> O Sub(x))"), *history_);
+  EXPECT_TRUE(g3.status().IsNotSupported());
+}
+
+TEST_F(GroundingTest, RejectsBuiltins) {
+  auto v2 = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(v2->AddPredicate("p", 1).ok());
+  ASSERT_TRUE(v2->AddBuiltin("leq", Builtin::kLessEq).ok());
+  fotl::FormulaFactory fac2(v2);
+  History h2 = *History::Create(v2);
+  h2.AppendEmptyState();
+  auto f = fotl::Parse(&fac2, "forall x y . leq(x, y) -> p(x)");
+  ASSERT_TRUE(f.ok());
+  auto g = GroundUniversal(fac2, *f, h2);
+  EXPECT_TRUE(g.status().IsNotSupported());
+}
+
+TEST_F(GroundingTest, InstanceBudgetEnforced) {
+  DatabaseState* s = history_->AppendEmptyState();
+  for (Value v = 0; v < 20; ++v) ASSERT_TRUE(s->Insert(sub_, {v}).ok());
+  GroundingOptions opts;
+  opts.max_instances = 100;  // |M|^3 = 24^3 >> 100
+  auto g = GroundUniversal(
+      *fac_, Parse_("forall x y z . Sub(x) -> X (!Sub(y) | !Sub(z))"),
+      *history_, {}, opts);
+  EXPECT_TRUE(g.status().IsResourceExhausted());
+}
+
+TEST_F(GroundingTest, BindingValuesJoinTheRelevantSet) {
+  history_->AppendEmptyState();
+  fotl::Formula cond = Parse_("Sub(v) -> X !Sub(v)");
+  fotl::VarId v = fac_->InternVar("v");
+  auto g = GroundUniversal(*fac_, cond, *history_, {{v, 99}});
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(std::binary_search(g->relevant.begin(), g->relevant.end(), 99));
+  ptl::PropId sub99;
+  EXPECT_TRUE(g->prop_vocab->Lookup("Sub(99)", &sub99));
+}
+
+TEST_F(GroundingTest, SizeBoundHolds) {
+  // |phi_D| = O((|phi| * |R_D|)^max(k, l)) — check the concrete bound on a
+  // family of growing domains.
+  fotl::Formula phi = Parse_("forall x . Sub(x) -> X G !Sub(x)");
+  uint64_t phi_size = phi->size();
+  for (int n : {1, 4, 8}) {
+    History h = *History::Create(vocab_, {5});
+    DatabaseState* s = h.AppendEmptyState();
+    for (Value v = 0; v < n; ++v) ASSERT_TRUE(s->Insert(sub_, {v}).ok());
+    auto g = GroundUniversal(*fac_, phi, h);
+    ASSERT_TRUE(g.ok());
+    uint64_t bound = (phi_size * g->stats.relevant_size + phi_size) *
+                     (g->stats.relevant_size + 1);  // generous constant
+    EXPECT_LE(g->stats.phi_d_size, bound * 4);
+    // Hash-consing: distinct DAG nodes grow far slower than the tree size.
+    EXPECT_LE(g->stats.phi_d_dag_nodes, g->stats.phi_d_size);
+  }
+}
+
+}  // namespace
+}  // namespace checker
+}  // namespace tic

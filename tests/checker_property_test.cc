@@ -1,0 +1,216 @@
+// Property tests for the Theorem 4.2 pipeline against a brute-force oracle:
+// on tiny vocabularies we can enumerate EVERY ultimately periodic extension
+// (prefix <= P, loop <= L, states over subsets of the relevant tuples) and
+// decide potential satisfaction exhaustively. The checker must agree exactly:
+// sound (YES => witness verifies) and complete (oracle-YES => checker-YES)
+// over the enumerated space — plus literal/simplified grounding agreement and
+// monitor/batch agreement on random update streams.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "checker/extension.h"
+#include "checker/monitor.h"
+#include "fotl/evaluator.h"
+#include "fotl/parser.h"
+
+namespace tic {
+namespace checker {
+namespace {
+
+class OracleTest : public ::testing::TestWithParam<int> {
+ protected:
+  OracleTest() {
+    auto v = std::make_shared<Vocabulary>();
+    p_ = *v->AddPredicate("p", 1);
+    q_ = *v->AddPredicate("q", 1);
+    vocab_ = v;
+    fac_ = std::make_shared<fotl::FormulaFactory>(vocab_);
+  }
+
+  // All database states whose tuples are subsets of {p(1), p(2), q(1), q(2)}.
+  std::vector<DatabaseState> AllStates() {
+    std::vector<DatabaseState> out;
+    for (int mask = 0; mask < 16; ++mask) {
+      DatabaseState s(vocab_);
+      if (mask & 1) (void)s.Insert(p_, {1});
+      if (mask & 2) (void)s.Insert(p_, {2});
+      if (mask & 4) (void)s.Insert(q_, {1});
+      if (mask & 8) (void)s.Insert(q_, {2});
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  // Brute-force oracle: does `history` extend to a model of `phi` among all
+  // lassos (history + extension-prefix <= 2 + loop <= 2) over AllStates()?
+  // Complete for the constraints below: they are safety formulas whose
+  // satisfying evolutions, when one exists, can always be completed with
+  // the right 1-2 state pattern (we also add the all-empty loop).
+  bool OracleExtendable(const History& history, fotl::Formula phi) {
+    std::vector<DatabaseState> all = AllStates();
+    std::vector<DatabaseState> base;
+    for (size_t t = 0; t < history.length(); ++t) base.push_back(history.state(t));
+
+    // Enumerate extension shapes: extra prefix states 0..2, loop length 1..2.
+    for (int extra = 0; extra <= 2; ++extra) {
+      std::vector<size_t> pidx(static_cast<size_t>(extra), 0);
+      while (true) {
+        for (int loop_len = 1; loop_len <= 2; ++loop_len) {
+          std::vector<size_t> lidx(static_cast<size_t>(loop_len), 0);
+          while (true) {
+            std::vector<DatabaseState> prefix = base;
+            for (size_t i : pidx) prefix.push_back(all[i]);
+            std::vector<DatabaseState> loop;
+            for (size_t i : lidx) loop.push_back(all[i]);
+            UltimatelyPeriodicDb db(vocab_, {}, prefix, loop);
+            auto holds = fotl::EvaluateFuture(db, phi);
+            EXPECT_TRUE(holds.ok()) << holds.status().ToString();
+            if (holds.ok() && *holds) return true;
+
+            size_t d = 0;
+            while (d < lidx.size() && ++lidx[d] == all.size()) {
+              lidx[d] = 0;
+              ++d;
+            }
+            if (d == lidx.size()) break;
+          }
+        }
+        size_t d = 0;
+        while (d < pidx.size() && ++pidx[d] == all.size()) {
+          pidx[d] = 0;
+          ++d;
+        }
+        if (d == pidx.size()) break;
+      }
+    }
+    return false;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId p_, q_;
+  std::shared_ptr<fotl::FormulaFactory> fac_;
+};
+
+TEST_P(OracleTest, CheckerMatchesBruteForce) {
+  std::mt19937 rng(7000 + GetParam());
+  std::vector<std::string> constraints = {
+      "forall x . G (p(x) -> X G !p(x))",
+      "forall x . G (p(x) -> X q(x))",
+      "forall x . G !(p(x) & q(x))",
+      "forall x . G (q(x) -> p(x) | X p(x))",
+  };
+  const std::string& text = constraints[GetParam() % constraints.size()];
+  auto phi = fotl::Parse(fac_.get(), text);
+  ASSERT_TRUE(phi.ok());
+
+  // Random history of 1..3 states over elements {1, 2}.
+  History h = *History::Create(vocab_);
+  size_t len = 1 + rng() % 3;
+  for (size_t t = 0; t < len; ++t) {
+    DatabaseState* s = h.AppendEmptyState();
+    if (rng() % 2) (void)s->Insert(p_, {1});
+    if (rng() % 2) (void)s->Insert(p_, {2});
+    if (rng() % 2) (void)s->Insert(q_, {1});
+    if (rng() % 2) (void)s->Insert(q_, {2});
+  }
+
+  auto res = CheckPotentialSatisfaction(*fac_, *phi, h);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  bool oracle = OracleExtendable(h, *phi);
+  EXPECT_EQ(res->potentially_satisfied, oracle) << text << " len=" << len;
+
+  // Soundness side: the checker's own witness must verify.
+  if (res->potentially_satisfied) {
+    ASSERT_TRUE(res->witness.has_value());
+    auto holds = fotl::EvaluateFuture(*res->witness, *phi);
+    ASSERT_TRUE(holds.ok());
+    EXPECT_TRUE(*holds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest, ::testing::Range(0, 24));
+
+class GroundingAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroundingAgreementTest, LiteralAndSimplifiedAgreeOnRandomHistories) {
+  auto vocab = std::make_shared<Vocabulary>();
+  PredicateId p = *vocab->AddPredicate("p", 1);
+  PredicateId q = *vocab->AddPredicate("q", 1);
+  auto fac = std::make_shared<fotl::FormulaFactory>(vocab);
+  std::vector<std::string> constraints = {
+      "forall x . G (p(x) -> X G !p(x))",
+      "forall x . G (p(x) -> X q(x))",
+      "forall x y . G ((p(x) & p(y)) -> x = y)",
+  };
+  std::mt19937 rng(9000 + GetParam());
+  auto phi = fotl::Parse(fac.get(), constraints[GetParam() % constraints.size()]);
+  ASSERT_TRUE(phi.ok());
+
+  History h = *History::Create(vocab);
+  size_t len = 1 + rng() % 3;
+  for (size_t t = 0; t < len; ++t) {
+    DatabaseState* s = h.AppendEmptyState();
+    if (rng() % 2) (void)s->Insert(p, {1});
+    if (rng() % 3 == 0) (void)s->Insert(p, {2});
+    if (rng() % 2) (void)s->Insert(q, {1});
+  }
+
+  CheckOptions lit;
+  lit.grounding.mode = GroundingMode::kLiteral;
+  auto a = CheckPotentialSatisfaction(*fac, *phi, h);
+  auto b = CheckPotentialSatisfaction(*fac, *phi, h, {}, lit);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->potentially_satisfied, b->potentially_satisfied);
+  EXPECT_EQ(a->permanently_violated, b->permanently_violated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroundingAgreementTest, ::testing::Range(0, 18));
+
+class MonitorAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonitorAgreementTest, MonitorMatchesBatchWithDeletes) {
+  auto vocab = std::make_shared<Vocabulary>();
+  PredicateId p = *vocab->AddPredicate("p", 1);
+  PredicateId q = *vocab->AddPredicate("q", 1);
+  auto fac = std::make_shared<fotl::FormulaFactory>(vocab);
+  auto phi = fotl::Parse(fac.get(), "forall x . G (p(x) -> X q(x))");
+  ASSERT_TRUE(phi.ok());
+
+  std::mt19937 rng(4200 + GetParam());
+  auto monitor = *Monitor::Create(fac, *phi);
+  History reference = *History::Create(vocab);
+  for (int step = 0; step < 7; ++step) {
+    Transaction txn;
+    Value e = 1 + rng() % 3;
+    switch (rng() % 4) {
+      case 0:
+        txn.push_back(UpdateOp::Insert(p, {e}));
+        break;
+      case 1:
+        txn.push_back(UpdateOp::Insert(q, {e}));
+        break;
+      case 2:
+        txn.push_back(UpdateOp::Delete(p, {e}));
+        break;
+      default:
+        txn.push_back(UpdateOp::Delete(q, {e}));
+        break;
+    }
+    auto verdict = monitor->ApplyTransaction(txn);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    ASSERT_TRUE(ApplyTransaction(&reference, txn).ok());
+    auto batch = CheckPotentialSatisfaction(*fac, *phi, reference);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(verdict->potentially_satisfied, batch->potentially_satisfied)
+        << "seed " << GetParam() << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorAgreementTest, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace checker
+}  // namespace tic

@@ -1,0 +1,149 @@
+// Tests for temporal Condition-Action triggers via the Section 2 duality:
+// a trigger fires for theta iff !C(theta) is not potentially satisfied.
+
+#include <gtest/gtest.h>
+
+#include "checker/trigger.h"
+#include "fotl/parser.h"
+
+namespace tic {
+namespace checker {
+namespace {
+
+class TriggerTest : public ::testing::Test {
+ protected:
+  TriggerTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    fill_ = *v->AddPredicate("Fill", 1);
+    vocab_ = v;
+    fac_ = std::make_shared<fotl::FormulaFactory>(vocab_);
+  }
+
+  fotl::Formula Parse_(const std::string& s) { return *fotl::Parse(fac_.get(), s); }
+
+  Transaction Txn(std::vector<Value> subs, std::vector<Value> fills,
+                  std::vector<Value> unsubs = {}) {
+    Transaction t;
+    for (Value v : subs) t.push_back(UpdateOp::Insert(sub_, {v}));
+    for (Value v : fills) t.push_back(UpdateOp::Insert(fill_, {v}));
+    for (Value v : unsubs) t.push_back(UpdateOp::Delete(sub_, {v}));
+    return t;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_, fill_;
+  std::shared_ptr<fotl::FormulaFactory> fac_;
+};
+
+TEST_F(TriggerTest, ValidatesConditionFragment) {
+  auto mgr = *TriggerManager::Create(fac_);
+  // C quantifier-free with a free parameter: fine.
+  EXPECT_TRUE(mgr->AddTrigger("dup", Parse_("Sub(x) & Y O Sub(x)")).IsNotSupported())
+      << "past operators are outside the biquantified fragment";
+  EXPECT_TRUE(mgr->AddTrigger("dup", Parse_("Sub(x) & F Sub(x)")).ok());
+  // Existential prefix dualizes to a universal check: fine.
+  EXPECT_TRUE(mgr->AddTrigger("any", Parse_("exists x . Sub(x) & F Fill(x)")).ok());
+  // forall inside a trigger condition dualizes to an existential check: not
+  // supported.
+  EXPECT_TRUE(
+      mgr->AddTrigger("bad", Parse_("forall x . Sub(x)")).IsNotSupported());
+  // Internal quantifier under a temporal operator: undecidable fragment.
+  EXPECT_TRUE(
+      mgr->AddTrigger("bad2", Parse_("exists x . F (exists y . Sub(y) & Fill(x))"))
+          .IsNotSupported());
+}
+
+TEST_F(TriggerTest, FiresExactlyWhenConditionIsUnavoidable) {
+  auto mgr = *TriggerManager::Create(fac_);
+  // Condition: "order x was submitted twice (in different states)". The
+  // existential reading: Sub(x) held, then later Sub(x) held again.
+  // C(x) = F (Sub(x) & X F Sub(x)). !C is universal.
+  ASSERT_TRUE(mgr->AddTrigger("resubmitted", Parse_("F (Sub(x) & X F Sub(x))")).ok());
+
+  auto f0 = mgr->OnTransaction(Txn({7}, {}));
+  ASSERT_TRUE(f0.ok()) << f0.status().ToString();
+  EXPECT_TRUE(f0->empty());  // a second submission is avoidable so far
+
+  // Transactions copy the previous state, so withdraw Sub(7) explicitly.
+  auto f1 = mgr->OnTransaction(Txn({}, {}, {7}));
+  ASSERT_TRUE(f1.ok());
+  EXPECT_TRUE(f1->empty());
+
+  auto f2 = mgr->OnTransaction(Txn({7}, {}));
+  ASSERT_TRUE(f2.ok());
+  // Now every extension contains the double submission: fires for theta x=7.
+  ASSERT_EQ(f2->size(), 1u);
+  EXPECT_EQ((*f2)[0].trigger, "resubmitted");
+  EXPECT_EQ((*f2)[0].time, 2u);
+  fotl::VarId x = fac_->InternVar("x");
+  EXPECT_EQ((*f2)[0].substitution.at(x), 7);
+}
+
+TEST_F(TriggerTest, ParameterlessExistentialTrigger) {
+  auto mgr = *TriggerManager::Create(fac_);
+  // "Some order was submitted and later filled" — closed condition; with the
+  // history ending in a state where both happened, it fires with theta = {}.
+  ASSERT_TRUE(
+      mgr->AddTrigger("served", Parse_("exists x . Sub(x) & F Fill(x)")).ok());
+  auto f0 = mgr->OnTransaction(Txn({3}, {}));
+  ASSERT_TRUE(f0.ok());
+  EXPECT_TRUE(f0->empty());  // Fill(3) could still never happen
+  auto f1 = mgr->OnTransaction(Txn({}, {3}));
+  ASSERT_TRUE(f1.ok());
+  ASSERT_EQ(f1->size(), 1u);
+  EXPECT_TRUE((*f1)[0].substitution.empty());
+}
+
+TEST_F(TriggerTest, ActionsAreInvoked) {
+  auto mgr = *TriggerManager::Create(fac_);
+  std::vector<std::string> log;
+  ASSERT_TRUE(mgr->AddTrigger("now", Parse_("Sub(x)"),
+                              [&](const TriggerFiring& f) {
+                                log.push_back(f.trigger + "@" +
+                                              std::to_string(f.time));
+                              })
+                  .ok());
+  auto f = mgr->OnTransaction(Txn({1, 2}, {}));
+  ASSERT_TRUE(f.ok());
+  // Sub(x) is true *now* for x in {1,2}: !Sub(x) is not potentially satisfied
+  // (the current state already refutes it) -> fires per substitution.
+  EXPECT_EQ(f->size(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST_F(TriggerTest, SubstitutionsRangeOverRelevantSet) {
+  auto mgr = *TriggerManager::Create(fac_);
+  ASSERT_TRUE(mgr->AddTrigger("notsub", Parse_("!Sub(x)")).ok());
+  auto f = mgr->OnTransaction(Txn({1}, {2}));
+  ASSERT_TRUE(f.ok());
+  // Relevant = {1, 2}; !Sub(x) holds now (unavoidably) only for x=2.
+  ASSERT_EQ(f->size(), 1u);
+  fotl::VarId x = fac_->InternVar("x");
+  EXPECT_EQ((*f)[0].substitution.at(x), 2);
+}
+
+TEST_F(TriggerTest, MultipleTriggersEvaluateIndependently) {
+  auto mgr = *TriggerManager::Create(fac_);
+  ASSERT_TRUE(mgr->AddTrigger("a", Parse_("Sub(x)")).ok());
+  ASSERT_TRUE(mgr->AddTrigger("b", Parse_("Fill(x)")).ok());
+  auto f = mgr->OnTransaction(Txn({1}, {1}));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), 2u);
+}
+
+TEST_F(TriggerTest, EvaluateWithoutTransaction) {
+  auto mgr = *TriggerManager::Create(fac_);
+  ASSERT_TRUE(mgr->AddTrigger("now", Parse_("Sub(x)")).ok());
+  auto none = mgr->EvaluateTriggers();
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());  // empty history: nothing fires
+  ASSERT_TRUE(mgr->OnTransaction(Txn({5}, {})).ok());
+  auto again = mgr->EvaluateTriggers();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 1u);
+}
+
+}  // namespace
+}  // namespace checker
+}  // namespace tic

@@ -1,0 +1,133 @@
+// Tests for the common layer: Status, Result, StringInterner, hashing.
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tic {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, AllFactories) {
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto f = [](bool fail) -> Status {
+    TIC_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+    return Status::NotFound("outer");
+  };
+  EXPECT_TRUE(f(true).IsInternal());
+  EXPECT_TRUE(f(false).IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("x");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    TIC_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(InternerTest, AssignsDenseIds) {
+  StringInterner in;
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.Intern("b"), 1u);
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.Name(1), "b");
+}
+
+TEST(InternerTest, LookupDoesNotIntern) {
+  StringInterner in;
+  SymbolId id = 0;
+  EXPECT_FALSE(in.Lookup("ghost", &id));
+  EXPECT_EQ(in.size(), 0u);
+  in.Intern("ghost");
+  EXPECT_TRUE(in.Lookup("ghost", &id));
+  EXPECT_EQ(id, 0u);
+}
+
+TEST(InternerTest, ManySymbolsStayStable) {
+  StringInterner in;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.Intern("sym" + std::to_string(i)), static_cast<SymbolId>(i));
+  }
+  EXPECT_EQ(in.Name(437), "sym437");
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  size_t a = 0, b = 0;
+  HashCombine(&a, 1);
+  HashCombine(&a, 2);
+  HashCombine(&b, 2);
+  HashCombine(&b, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashTest, HashAllMatchesManualCombine) {
+  size_t manual = 0;
+  HashCombine(&manual, std::hash<int>{}(3));
+  HashCombine(&manual, std::hash<int>{}(9));
+  EXPECT_EQ(manual, HashAll(3, 9));
+}
+
+}  // namespace
+}  // namespace tic

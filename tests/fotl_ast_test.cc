@@ -1,0 +1,149 @@
+// Tests for the FOTL AST factory: hash-consing, builder simplifications,
+// cached metadata (size, free variables, tense flags).
+
+#include <gtest/gtest.h>
+
+#include "fotl/factory.h"
+#include "fotl/printer.h"
+
+namespace tic {
+namespace fotl {
+namespace {
+
+class AstTest : public ::testing::Test {
+ protected:
+  AstTest() {
+    auto v = std::make_shared<Vocabulary>();
+    p_ = *v->AddPredicate("p", 1);
+    r_ = *v->AddPredicate("r", 2);
+    c_ = *v->AddConstant("c");
+    vocab_ = v;
+    fac_ = std::make_unique<FormulaFactory>(vocab_);
+    x_ = fac_->InternVar("x");
+    y_ = fac_->InternVar("y");
+  }
+
+  Formula P(VarId v) { return *fac_->Atom(p_, {Term::Var(v)}); }
+
+  VocabularyPtr vocab_;
+  PredicateId p_, r_;
+  ConstantId c_;
+  std::unique_ptr<FormulaFactory> fac_;
+  VarId x_, y_;
+};
+
+TEST_F(AstTest, HashConsing) {
+  EXPECT_EQ(P(x_), P(x_));
+  EXPECT_NE(P(x_), P(y_));
+  EXPECT_EQ(fac_->And(P(x_), P(y_)), fac_->And(P(x_), P(y_)));
+  EXPECT_EQ(fac_->Until(P(x_), P(y_)), fac_->Until(P(x_), P(y_)));
+  EXPECT_NE(fac_->Until(P(x_), P(y_)), fac_->Since(P(x_), P(y_)));
+  EXPECT_EQ(fac_->Forall(x_, P(x_)), fac_->Forall(x_, P(x_)));
+  EXPECT_NE(fac_->Forall(x_, P(x_)), fac_->Exists(x_, P(x_)));
+}
+
+TEST_F(AstTest, ConstantFolding) {
+  Formula t = fac_->True();
+  Formula f = fac_->False();
+  EXPECT_EQ(fac_->Not(t), f);
+  EXPECT_EQ(fac_->Not(fac_->Not(P(x_))), P(x_));
+  EXPECT_EQ(fac_->And(t, P(x_)), P(x_));
+  EXPECT_EQ(fac_->And(f, P(x_)), f);
+  EXPECT_EQ(fac_->Or(f, P(x_)), P(x_));
+  EXPECT_EQ(fac_->Or(t, P(x_)), t);
+  EXPECT_EQ(fac_->Implies(f, P(x_)), t);
+  EXPECT_EQ(fac_->Implies(P(x_), P(x_)), t);
+  EXPECT_EQ(fac_->Implies(P(x_), f), fac_->Not(P(x_)));
+  EXPECT_EQ(fac_->And(P(x_), P(x_)), P(x_));
+  EXPECT_EQ(fac_->Next(t), t);
+  EXPECT_EQ(fac_->Until(P(x_), t), t);
+  EXPECT_EQ(fac_->Until(P(x_), f), f);
+  EXPECT_EQ(fac_->Since(P(x_), t), t);
+  EXPECT_EQ(fac_->Since(P(x_), f), f);
+  // Prev True is NOT true (false at instant 0) and must not fold.
+  EXPECT_EQ(fac_->Prev(t)->kind(), NodeKind::kPrev);
+  EXPECT_EQ(fac_->Prev(f), f);
+  EXPECT_EQ(fac_->Forall(x_, t), t);
+  EXPECT_EQ(fac_->Exists(x_, f), f);
+}
+
+TEST_F(AstTest, EqualsFoldsIdenticalTerms) {
+  EXPECT_EQ(fac_->Equals(Term::Var(x_), Term::Var(x_)), fac_->True());
+  EXPECT_EQ(fac_->Equals(Term::Const(c_), Term::Const(c_)), fac_->True());
+  EXPECT_EQ(fac_->Equals(Term::Var(x_), Term::Var(y_))->kind(), NodeKind::kEquals);
+  // x = c does not fold (depends on the interpretation).
+  EXPECT_EQ(fac_->Equals(Term::Var(x_), Term::Const(c_))->kind(), NodeKind::kEquals);
+}
+
+TEST_F(AstTest, AtomArityChecked) {
+  EXPECT_TRUE(fac_->Atom(p_, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(fac_->Atom(p_, {Term::Var(x_), Term::Var(y_)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(fac_->Atom(999, {Term::Var(x_)}).status().IsOutOfRange());
+}
+
+TEST_F(AstTest, FreeVariables) {
+  Formula rxy = *fac_->Atom(r_, {Term::Var(x_), Term::Var(y_)});
+  EXPECT_EQ(rxy->free_vars().size(), 2u);
+  Formula all_x = fac_->Forall(x_, rxy);
+  EXPECT_EQ(all_x->free_vars(), std::vector<VarId>{y_});
+  Formula closed = fac_->Exists(y_, all_x);
+  EXPECT_TRUE(closed->is_closed());
+  // Constants contribute no free variables.
+  Formula pc = *fac_->Atom(p_, {Term::Const(c_)});
+  EXPECT_TRUE(pc->is_closed());
+}
+
+TEST_F(AstTest, TenseFlags) {
+  Formula a = P(x_);
+  EXPECT_FALSE(a->has_temporal());
+  EXPECT_TRUE(a->is_pure_first_order());
+  Formula fut = fac_->Until(a, P(y_));
+  EXPECT_TRUE(fut->has_future());
+  EXPECT_FALSE(fut->has_past());
+  Formula past = fac_->Since(a, P(y_));
+  EXPECT_TRUE(past->has_past());
+  EXPECT_FALSE(past->has_future());
+  Formula mixed = fac_->And(fut, past);
+  EXPECT_TRUE(mixed->has_future());
+  EXPECT_TRUE(mixed->has_past());
+  EXPECT_TRUE(fac_->Eventually(a)->has_future());
+  EXPECT_TRUE(fac_->Once(a)->has_past());
+  EXPECT_TRUE(fac_->Historically(a)->has_past());
+  EXPECT_TRUE(fac_->Prev(a)->has_past());
+}
+
+TEST_F(AstTest, QuantifierFlag) {
+  EXPECT_FALSE(P(x_)->has_quantifier());
+  EXPECT_TRUE(fac_->Forall(x_, P(x_))->has_quantifier());
+  EXPECT_TRUE(fac_->Always(fac_->Exists(x_, P(x_)))->has_quantifier());
+}
+
+TEST_F(AstTest, SizeIsTreeSize) {
+  Formula a = P(x_);
+  EXPECT_EQ(a->size(), 1u);
+  Formula f = fac_->Until(a, fac_->Not(P(y_)));
+  EXPECT_EQ(f->size(), 4u);  // Until + p(x) + Not + p(y)
+  // Sharing does not shrink the tree-size measure.
+  Formula g = fac_->And(f, fac_->Or(f, a));
+  EXPECT_EQ(g->size(), 1 + f->size() + 1 + f->size() + 1);
+}
+
+TEST_F(AstTest, AndAllOrAll) {
+  EXPECT_EQ(fac_->AndAll({}), fac_->True());
+  EXPECT_EQ(fac_->OrAll({}), fac_->False());
+  EXPECT_EQ(fac_->AndAll({P(x_)}), P(x_));
+  Formula both = fac_->AndAll({P(x_), P(y_)});
+  EXPECT_EQ(both->kind(), NodeKind::kAnd);
+}
+
+TEST_F(AstTest, VariableInterning) {
+  EXPECT_EQ(fac_->InternVar("x"), x_);
+  EXPECT_EQ(fac_->VarName(y_), "y");
+  EXPECT_EQ(fac_->num_vars(), 2u);
+}
+
+}  // namespace
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,148 @@
+// Classification tests for the paper's formula hierarchy (Section 2):
+// biquantified, universal, internal quantifier counting, and the shapes used
+// by Propositions 2.1 and 3.1.
+
+#include <gtest/gtest.h>
+
+#include "fotl/classify.h"
+#include "fotl/parser.h"
+
+namespace tic {
+namespace fotl {
+namespace {
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  ClassifyTest() {
+    auto vocab = std::make_shared<Vocabulary>();
+    EXPECT_TRUE(vocab->AddPredicate("p", 1).ok());
+    EXPECT_TRUE(vocab->AddPredicate("q", 1).ok());
+    EXPECT_TRUE(vocab->AddPredicate("r", 2).ok());
+    vocab_ = vocab;
+    fac_ = std::make_unique<FormulaFactory>(vocab_);
+  }
+
+  Classification Of(const std::string& text) {
+    auto res = Parse(fac_.get(), text);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return Classify(*res);
+  }
+
+  VocabularyPtr vocab_;
+  std::unique_ptr<FormulaFactory> fac_;
+};
+
+TEST_F(ClassifyTest, PureFirstOrder) {
+  Classification c = Of("forall x . p(x) -> q(x)");
+  EXPECT_TRUE(c.pure_first_order);
+  EXPECT_TRUE(c.closed);
+  EXPECT_TRUE(c.biquantified);
+  EXPECT_TRUE(c.universal);
+  EXPECT_EQ(c.external_universals.size(), 1u);
+  EXPECT_EQ(c.num_internal_quantifiers, 0u);
+}
+
+TEST_F(ClassifyTest, PaperSubmitOnceIsUniversal) {
+  Classification c = Of("forall x . p(x) -> X G !p(x)");
+  EXPECT_TRUE(c.biquantified);
+  EXPECT_TRUE(c.universal);
+  EXPECT_TRUE(c.future_only);
+  EXPECT_FALSE(c.pure_first_order);
+}
+
+TEST_F(ClassifyTest, PaperFifoIsUniversal) {
+  Classification c = Of(
+      "forall x y . !(x != y & p(x) & ((!q(x)) until "
+      "(p(y) & ((!q(x)) until (q(y) & !q(x))))))");
+  EXPECT_TRUE(c.universal);
+  EXPECT_EQ(c.external_universals.size(), 2u);
+}
+
+TEST_F(ClassifyTest, InternalExistentialMakesItSigma1) {
+  // forall x . G (p(x) -> exists y . r(x, y)): one internal quantifier, pure
+  // FO inside, so forall tense(Sigma_1) — the undecidable fragment.
+  Classification c = Of("forall x . G (p(x) -> exists y . r(x, y))");
+  EXPECT_TRUE(c.biquantified);
+  EXPECT_FALSE(c.universal);
+  EXPECT_EQ(c.num_internal_quantifiers, 1u);
+  EXPECT_TRUE(c.internal_blocks_prenex1);
+}
+
+TEST_F(ClassifyTest, InternalUniversalCountsToo) {
+  Classification c = Of("forall x . G (forall y . r(x, y) -> p(x))");
+  EXPECT_TRUE(c.biquantified);
+  EXPECT_FALSE(c.universal);
+  EXPECT_EQ(c.num_internal_quantifiers, 1u);
+}
+
+TEST_F(ClassifyTest, TemporalInsideQuantifierBreaksBiquantification) {
+  // exists y inside G with a temporal operator in its scope.
+  Classification c = Of("forall x . G (exists y . F r(x, y))");
+  EXPECT_FALSE(c.biquantified);
+  EXPECT_FALSE(c.universal);
+}
+
+TEST_F(ClassifyTest, PastOperatorsBreakBiquantification) {
+  Classification c = Of("forall x . G (p(x) -> O q(x))");
+  EXPECT_FALSE(c.future_only);
+  EXPECT_FALSE(c.biquantified);
+}
+
+TEST_F(ClassifyTest, LeadingExistentialIsNotUniversalPrefix) {
+  Classification c = Of("exists x . G p(x)");
+  EXPECT_TRUE(c.external_universals.empty());
+  EXPECT_FALSE(c.universal);  // the internal quantifier is the exists itself
+  EXPECT_EQ(c.num_internal_quantifiers, 1u);
+}
+
+TEST_F(ClassifyTest, AlternatingPrefixSplitsAtFirstExistential) {
+  Classification c = Of("forall x . exists y . G r(x, y)");
+  EXPECT_EQ(c.external_universals.size(), 1u);
+  EXPECT_EQ(c.num_internal_quantifiers, 1u);
+}
+
+TEST_F(ClassifyTest, NestedInternalBlockNotPrenex1) {
+  // Internal block exists y . (p(y) & forall z' . r(y, z')): two quantifiers,
+  // mixed, not a single prenex block.
+  Classification c =
+      Of("forall x . G (exists y . p(y) & (forall w . r(y, w)))");
+  EXPECT_TRUE(c.biquantified);
+  EXPECT_EQ(c.num_internal_quantifiers, 2u);
+  EXPECT_FALSE(c.internal_blocks_prenex1);
+}
+
+TEST_F(ClassifyTest, AlwaysPastShape) {
+  Classification c = Of("G (p(x) -> O q(x))");
+  EXPECT_TRUE(c.is_always_past);
+  Classification c2 = Of("G (p(x) -> F q(x))");
+  EXPECT_FALSE(c2.is_always_past);
+  Classification c3 = Of("G (Y p(x) since q(x))");
+  EXPECT_TRUE(c3.is_always_past);
+}
+
+TEST_F(ClassifyTest, PastOnlyFlag) {
+  Classification c = Of("H p(x) & (p(x) since q(x))");
+  EXPECT_TRUE(c.past_only);
+  EXPECT_FALSE(c.future_only);
+}
+
+TEST_F(ClassifyTest, StripUniversalPrefix) {
+  auto res = Parse(fac_.get(), "forall x y . r(x, y)");
+  ASSERT_TRUE(res.ok());
+  std::vector<VarId> vars;
+  Formula body = nullptr;
+  StripUniversalPrefix(*res, &vars, &body);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_EQ(body->kind(), NodeKind::kAtom);
+}
+
+TEST_F(ClassifyTest, FreeVariablesBlockClosedness) {
+  Classification c = Of("p(x) -> X G !p(x)");
+  EXPECT_FALSE(c.closed);
+  EXPECT_TRUE(c.biquantified);  // k = 0 external quantifiers is allowed
+  EXPECT_TRUE(c.universal);
+}
+
+}  // namespace
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,229 @@
+// Tests for direct FOTL evaluation: the future fragment on ultimately
+// periodic databases and the past fragment on finite histories.
+
+#include <gtest/gtest.h>
+
+#include "fotl/evaluator.h"
+#include "fotl/parser.h"
+
+namespace tic {
+namespace fotl {
+namespace {
+
+class FutureEvalTest : public ::testing::Test {
+ protected:
+  FutureEvalTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    fill_ = *v->AddPredicate("Fill", 1);
+    vocab_ = v;
+    fac_ = std::make_unique<FormulaFactory>(vocab_);
+  }
+
+  Formula Parse_(const std::string& s) { return *Parse(fac_.get(), s); }
+
+  DatabaseState State(std::vector<Value> subs, std::vector<Value> fills) {
+    DatabaseState s(vocab_);
+    for (Value v : subs) EXPECT_TRUE(s.Insert(sub_, {v}).ok());
+    for (Value v : fills) EXPECT_TRUE(s.Insert(fill_, {v}).ok());
+    return s;
+  }
+
+  bool Eval(const UltimatelyPeriodicDb& db, const std::string& text) {
+    auto res = EvaluateFuture(db, Parse_(text));
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() && *res;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_, fill_;
+  std::unique_ptr<FormulaFactory> fac_;
+};
+
+TEST_F(FutureEvalTest, AtomsAndBooleans) {
+  UltimatelyPeriodicDb db(vocab_, {}, {State({1}, {})}, {State({}, {})});
+  // No closed atoms without constants; use quantifiers.
+  EXPECT_TRUE(Eval(db, "exists x . Sub(x)"));
+  EXPECT_FALSE(Eval(db, "exists x . Fill(x)"));
+  EXPECT_TRUE(Eval(db, "forall x . Fill(x) -> Sub(x)"));
+  EXPECT_FALSE(Eval(db, "forall x . Sub(x)"));
+}
+
+TEST_F(FutureEvalTest, NextMovesOneState) {
+  UltimatelyPeriodicDb db(vocab_, {}, {State({1}, {}), State({}, {1})},
+                          {State({}, {})});
+  EXPECT_TRUE(Eval(db, "exists x . Sub(x) & X Fill(x)"));
+  EXPECT_FALSE(Eval(db, "exists x . X Sub(x)"));
+}
+
+TEST_F(FutureEvalTest, UntilOnThePrefix) {
+  UltimatelyPeriodicDb db(vocab_, {},
+                          {State({1}, {}), State({1}, {}), State({}, {1})},
+                          {State({}, {})});
+  EXPECT_TRUE(Eval(db, "exists x . Sub(x) until Fill(x)"));
+  EXPECT_TRUE(Eval(db, "exists x . F Fill(x)"));
+  EXPECT_FALSE(Eval(db, "exists x . G Sub(x)"));
+}
+
+TEST_F(FutureEvalTest, UntilMustHoldAcrossTheLoop) {
+  // Sub(1) holds in the loop forever, Fill never: Sub U Fill is false, G Sub
+  // is true from the loop on.
+  UltimatelyPeriodicDb db(vocab_, {}, {}, {State({1}, {})});
+  EXPECT_FALSE(Eval(db, "exists x . Sub(x) until Fill(x)"));
+  EXPECT_TRUE(Eval(db, "exists x . G Sub(x)"));
+  EXPECT_TRUE(Eval(db, "forall x . Sub(x) -> G Sub(x)"));
+}
+
+TEST_F(FutureEvalTest, AlternatingLoop) {
+  // Loop: Sub(1) / Fill(1) alternating: G F of both.
+  UltimatelyPeriodicDb db(vocab_, {}, {}, {State({1}, {}), State({}, {1})});
+  EXPECT_TRUE(Eval(db, "exists x . G (F Sub(x) & F Fill(x))"));
+  EXPECT_FALSE(Eval(db, "exists x . F G Sub(x)"));
+}
+
+TEST_F(FutureEvalTest, SubmitOnceSemantics) {
+  UltimatelyPeriodicDb good(vocab_, {}, {State({1}, {}), State({2}, {})},
+                            {State({}, {})});
+  EXPECT_TRUE(Eval(good, "forall x . Sub(x) -> X G !Sub(x)"));
+  UltimatelyPeriodicDb bad(vocab_, {}, {State({1}, {}), State({1}, {})},
+                           {State({}, {})});
+  EXPECT_FALSE(Eval(bad, "forall x . Sub(x) -> X G !Sub(x)"));
+  // Resubmission inside the loop is also caught.
+  UltimatelyPeriodicDb loop_bad(vocab_, {}, {}, {State({1}, {}), State({}, {})});
+  EXPECT_FALSE(Eval(loop_bad, "forall x . Sub(x) -> X G !Sub(x)"));
+}
+
+TEST_F(FutureEvalTest, FreshElementsWitnessUniversalFailure) {
+  // forall x . Sub(x) is false because irrelevant elements are never in Sub;
+  // the automatically added fresh elements witness that.
+  UltimatelyPeriodicDb db(vocab_, {}, {}, {State({1, 2, 3}, {})});
+  EXPECT_FALSE(Eval(db, "forall x . Sub(x)"));
+  EXPECT_TRUE(Eval(db, "exists x . !Sub(x)"));
+}
+
+TEST_F(FutureEvalTest, PastOperatorsRejected) {
+  UltimatelyPeriodicDb db(vocab_, {}, {}, {State({}, {})});
+  auto res = EvaluateFuture(db, Parse_("forall x . G (Sub(x) -> O Fill(x))"));
+  EXPECT_TRUE(res.status().IsNotSupported());
+}
+
+TEST_F(FutureEvalTest, OpenFormulaRejected) {
+  UltimatelyPeriodicDb db(vocab_, {}, {}, {State({}, {})});
+  auto res = EvaluateFuture(db, Parse_("Sub(x)"));
+  EXPECT_TRUE(res.status().IsInvalidArgument());
+}
+
+class PastEvalTest : public ::testing::Test {
+ protected:
+  PastEvalTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    fill_ = *v->AddPredicate("Fill", 1);
+    vocab_ = v;
+    fac_ = std::make_unique<FormulaFactory>(vocab_);
+    history_ = std::make_unique<History>(*History::Create(vocab_));
+  }
+
+  Formula Parse_(const std::string& s) { return *Parse(fac_.get(), s); }
+
+  void Step(std::vector<Value> subs, std::vector<Value> fills) {
+    DatabaseState* s = history_->AppendEmptyState();
+    for (Value v : subs) ASSERT_TRUE(s->Insert(sub_, {v}).ok());
+    for (Value v : fills) ASSERT_TRUE(s->Insert(fill_, {v}).ok());
+  }
+
+  bool EvalAt(const std::string& text, size_t t) {
+    std::vector<Value> domain = history_->RelevantSet();
+    domain.push_back(-1);  // a fresh stand-in
+    FiniteHistoryEvaluator ev(history_.get(), domain);
+    auto res = ev.EvaluateAt(Parse_(text), Valuation{}, t);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() && *res;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_, fill_;
+  std::unique_ptr<FormulaFactory> fac_;
+  std::unique_ptr<History> history_;
+};
+
+TEST_F(PastEvalTest, PrevAndOnce) {
+  Step({1}, {});
+  Step({}, {1});
+  Step({}, {});
+  EXPECT_TRUE(EvalAt("exists x . Y Fill(x)", 2));
+  EXPECT_FALSE(EvalAt("exists x . Y Fill(x)", 1));
+  EXPECT_TRUE(EvalAt("exists x . O Sub(x)", 2));
+  EXPECT_FALSE(EvalAt("exists x . O Fill(x)", 0));
+  // Y at the first instant is always false.
+  EXPECT_FALSE(EvalAt("exists x . Y Sub(x)", 0));
+}
+
+TEST_F(PastEvalTest, SinceSemantics) {
+  // Fill(1) at t=1; Sub(1) from t=1 onward. "Sub since Fill" at t=2: Fill at
+  // s=1, Sub at u=2 (and only u in (1,2]) -> true.
+  Step({}, {});
+  Step({1}, {1});
+  Step({1}, {});
+  EXPECT_TRUE(EvalAt("exists x . Sub(x) since Fill(x)", 2));
+  // At t=0 neither holds.
+  EXPECT_FALSE(EvalAt("exists x . Sub(x) since Fill(x)", 0));
+}
+
+TEST_F(PastEvalTest, SinceRequiresUninterruptedLhs) {
+  Step({}, {1});   // Fill(1)
+  Step({}, {});    // gap: Sub(1) does not hold here
+  Step({1}, {});
+  EXPECT_FALSE(EvalAt("exists x . Sub(x) since Fill(x)", 2));
+}
+
+TEST_F(PastEvalTest, HistoricallyAndDuality) {
+  Step({1}, {});
+  Step({1}, {});
+  EXPECT_TRUE(EvalAt("exists x . H Sub(x)", 1));
+  Step({}, {});
+  EXPECT_FALSE(EvalAt("exists x . H Sub(x)", 2));
+  // H A == !O !A, checked pointwise on this history.
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(EvalAt("forall x . H Sub(x)", t), EvalAt("forall x .!(O !Sub(x))", t));
+  }
+}
+
+TEST_F(PastEvalTest, FutureOperatorsRejected) {
+  Step({}, {});
+  std::vector<Value> domain = {0};
+  FiniteHistoryEvaluator ev(history_.get(), domain);
+  auto res = ev.EvaluateAt(Parse_("exists x . F Sub(x)"), Valuation{}, 0);
+  EXPECT_TRUE(res.status().IsNotSupported());
+}
+
+TEST_F(PastEvalTest, OutOfRangeInstant) {
+  Step({}, {});
+  std::vector<Value> domain = {0};
+  FiniteHistoryEvaluator ev(history_.get(), domain);
+  auto res = ev.EvaluateAt(Parse_("exists x . Sub(x)"), Valuation{}, 5);
+  EXPECT_TRUE(res.status().IsOutOfRange());
+}
+
+TEST(BuiltinEvalTest, RigidRelations) {
+  EXPECT_TRUE(EvaluateBuiltin(Builtin::kLessEq, {2, 5}));
+  EXPECT_TRUE(EvaluateBuiltin(Builtin::kLessEq, {5, 5}));
+  EXPECT_FALSE(EvaluateBuiltin(Builtin::kLessEq, {6, 5}));
+  EXPECT_TRUE(EvaluateBuiltin(Builtin::kSucc, {4, 5}));
+  EXPECT_FALSE(EvaluateBuiltin(Builtin::kSucc, {5, 4}));
+  EXPECT_TRUE(EvaluateBuiltin(Builtin::kZero, {0}));
+  EXPECT_FALSE(EvaluateBuiltin(Builtin::kZero, {3}));
+}
+
+TEST(BoundVarsTest, CountsDistinctBoundVariables) {
+  auto v = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(v->AddPredicate("p", 1).ok());
+  FormulaFactory fac(v);
+  auto f = Parse(&fac, "forall x . (exists y . p(y)) & (forall y . p(y))");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(CountDistinctBoundVars(*f), 2u);  // x and y
+}
+
+}  // namespace
+}  // namespace fotl
+}  // namespace tic

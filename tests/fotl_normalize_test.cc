@@ -1,0 +1,138 @@
+// Tests for MergeUniversal: conjunctions of universal sentences normalized
+// back into the Theorem 4.2 fragment, verified end-to-end through the checker.
+
+#include <gtest/gtest.h>
+
+#include "checker/extension.h"
+#include "fotl/classify.h"
+#include "fotl/normalize.h"
+#include "fotl/parser.h"
+#include "fotl/printer.h"
+
+namespace tic {
+namespace fotl {
+namespace {
+
+class NormalizeTest : public ::testing::Test {
+ protected:
+  NormalizeTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    fill_ = *v->AddPredicate("Fill", 1);
+    vocab_ = v;
+    fac_ = std::make_shared<FormulaFactory>(vocab_);
+    submit_once_ = *Parse(fac_.get(), "forall x . G (Sub(x) -> X G !Sub(x))");
+    fifo_ = *Parse(fac_.get(),
+                   "forall x y . G !(x != y & Sub(x) & ((!Fill(x)) until "
+                   "(Sub(y) & ((!Fill(x)) until (Fill(y) & !Fill(x))))))");
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_, fill_;
+  std::shared_ptr<FormulaFactory> fac_;
+  Formula submit_once_ = nullptr;
+  Formula fifo_ = nullptr;
+};
+
+TEST_F(NormalizeTest, EmptyAndSingleton) {
+  auto empty = MergeUniversal(fac_.get(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, fac_->True());
+
+  auto single = MergeUniversal(fac_.get(), {submit_once_});
+  ASSERT_TRUE(single.ok());
+  Classification c = Classify(*single);
+  EXPECT_TRUE(c.universal);
+  EXPECT_EQ(c.external_universals.size(), 1u);
+}
+
+TEST_F(NormalizeTest, MergedConjunctionIsUniversal) {
+  auto merged = MergeUniversal(fac_.get(), {submit_once_, fifo_});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  Classification c = Classify(*merged);
+  EXPECT_TRUE(c.universal);
+  EXPECT_TRUE(c.closed);
+  EXPECT_EQ(c.external_universals.size(), 2u);  // max(1, 2)
+}
+
+TEST_F(NormalizeTest, MergedConstraintChecksBothPolicies) {
+  auto merged = *MergeUniversal(fac_.get(), {submit_once_, fifo_});
+
+  // History violating only submit-once.
+  History h1 = *History::Create(vocab_);
+  (void)h1.AppendEmptyState()->Insert(sub_, {1});
+  (void)h1.AppendEmptyState()->Insert(sub_, {1});
+  auto r1 = checker::CheckPotentialSatisfaction(*fac_, merged, h1);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(r1->potentially_satisfied);
+
+  // History violating only FIFO.
+  History h2 = *History::Create(vocab_);
+  (void)h2.AppendEmptyState()->Insert(sub_, {1});
+  (void)h2.AppendEmptyState()->Insert(sub_, {2});
+  (void)h2.AppendEmptyState()->Insert(fill_, {2});
+  auto r2 = checker::CheckPotentialSatisfaction(*fac_, merged, h2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->potentially_satisfied);
+
+  // Clean history: both hold.
+  History h3 = *History::Create(vocab_);
+  (void)h3.AppendEmptyState()->Insert(sub_, {1});
+  (void)h3.AppendEmptyState()->Insert(fill_, {1});
+  auto r3 = checker::CheckPotentialSatisfaction(*fac_, merged, h3);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->potentially_satisfied);
+}
+
+TEST_F(NormalizeTest, AgreesWithSeparateChecks) {
+  auto merged = *MergeUniversal(fac_.get(), {submit_once_, fifo_});
+  // Over a few histories: merged verdict == (submit_once && fifo).
+  for (int variant = 0; variant < 4; ++variant) {
+    History h = *History::Create(vocab_);
+    (void)h.AppendEmptyState()->Insert(sub_, {1});
+    DatabaseState* s1 = h.AppendEmptyState();
+    if (variant & 1) (void)s1->Insert(sub_, {1});  // resubmit
+    if (variant & 2) {
+      (void)s1->Insert(sub_, {2});
+      (void)h.AppendEmptyState()->Insert(fill_, {2});  // out-of-order fill
+    }
+    auto rm = checker::CheckPotentialSatisfaction(*fac_, merged, h);
+    auto ra = checker::CheckPotentialSatisfaction(*fac_, submit_once_, h);
+    auto rb = checker::CheckPotentialSatisfaction(*fac_, fifo_, h);
+    ASSERT_TRUE(rm.ok() && ra.ok() && rb.ok());
+    EXPECT_EQ(rm->potentially_satisfied,
+              ra->potentially_satisfied && rb->potentially_satisfied)
+        << "variant " << variant;
+  }
+}
+
+TEST_F(NormalizeTest, RejectsNonUniversal) {
+  Formula existential = *Parse(fac_.get(), "exists x . G Sub(x)");
+  auto r = MergeUniversal(fac_.get(), {submit_once_, existential});
+  EXPECT_TRUE(r.status().IsNotSupported());
+
+  Formula open = *Parse(fac_.get(), "Sub(x)");
+  auto r2 = MergeUniversal(fac_.get(), {open});
+  EXPECT_TRUE(r2.status().IsInvalidArgument());
+}
+
+TEST_F(NormalizeTest, SharedVariableNamesDoNotCollide) {
+  // Both constraints use "x" as their prefix variable; renaming must keep the
+  // conjuncts independent.
+  Formula a = *Parse(fac_.get(), "forall x . G !Sub(x)");
+  Formula b = *Parse(fac_.get(), "forall x . G !Fill(x)");
+  auto merged = MergeUniversal(fac_.get(), {a, b});
+  ASSERT_TRUE(merged.ok());
+  // One shared variable: forall $u0 . G !Sub($u0) & G !Fill($u0).
+  Classification c = Classify(*merged);
+  EXPECT_EQ(c.external_universals.size(), 1u);
+  History h = *History::Create(vocab_);
+  (void)h.AppendEmptyState()->Insert(sub_, {5});
+  auto r = checker::CheckPotentialSatisfaction(*fac_, *merged, h);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->potentially_satisfied);  // Sub(5) already violates G !Sub
+}
+
+}  // namespace
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,168 @@
+// Parser and printer tests: round trips, precedence, errors, and the paper's
+// example constraints.
+
+#include <gtest/gtest.h>
+
+#include "fotl/parser.h"
+#include "fotl/printer.h"
+
+namespace tic {
+namespace fotl {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    auto vocab = std::make_shared<Vocabulary>();
+    EXPECT_TRUE(vocab->AddPredicate("Sub", 1).ok());
+    EXPECT_TRUE(vocab->AddPredicate("Fill", 1).ok());
+    EXPECT_TRUE(vocab->AddPredicate("R", 2).ok());
+    EXPECT_TRUE(vocab->AddConstant("alice").ok());
+    vocab_ = vocab;
+    fac_ = std::make_unique<FormulaFactory>(vocab_);
+  }
+
+  Formula MustParse(const std::string& text) {
+    auto res = Parse(fac_.get(), text);
+    EXPECT_TRUE(res.ok()) << text << " -> " << res.status().ToString();
+    return res.ok() ? *res : fac_->True();
+  }
+
+  void ExpectRoundTrip(const std::string& text) {
+    Formula f = MustParse(text);
+    std::string printed = ToString(*fac_, f);
+    Formula g = MustParse(printed);
+    EXPECT_EQ(f, g) << text << " printed as " << printed;
+  }
+
+  VocabularyPtr vocab_;
+  std::unique_ptr<FormulaFactory> fac_;
+};
+
+TEST_F(ParserTest, Atoms) {
+  Formula f = MustParse("Sub(x)");
+  EXPECT_EQ(f->kind(), NodeKind::kAtom);
+  EXPECT_EQ(f->terms().size(), 1u);
+  EXPECT_TRUE(f->terms()[0].is_variable());
+
+  Formula g = MustParse("Sub(alice)");
+  EXPECT_TRUE(g->terms()[0].is_constant());
+}
+
+TEST_F(ParserTest, EqualityAndInequality) {
+  Formula f = MustParse("x = y");
+  EXPECT_EQ(f->kind(), NodeKind::kEquals);
+  Formula g = MustParse("x != y");
+  EXPECT_EQ(g->kind(), NodeKind::kNot);
+  EXPECT_EQ(g->child(0)->kind(), NodeKind::kEquals);
+  // x = x folds to true.
+  EXPECT_EQ(MustParse("x = x")->kind(), NodeKind::kTrue);
+}
+
+TEST_F(ParserTest, PrecedenceImpliesIsLowest) {
+  // a & b -> c | d  ==  (a & b) -> (c | d)
+  Formula f = MustParse("Sub(x) & Fill(x) -> Sub(y) | Fill(y)");
+  EXPECT_EQ(f->kind(), NodeKind::kImplies);
+  EXPECT_EQ(f->lhs()->kind(), NodeKind::kAnd);
+  EXPECT_EQ(f->rhs()->kind(), NodeKind::kOr);
+}
+
+TEST_F(ParserTest, UntilBindsTighterThanAnd) {
+  Formula f = MustParse("Sub(x) until Fill(x) & Sub(y)");
+  EXPECT_EQ(f->kind(), NodeKind::kAnd);
+  EXPECT_EQ(f->lhs()->kind(), NodeKind::kUntil);
+}
+
+TEST_F(ParserTest, UntilIsRightAssociative) {
+  Formula f = MustParse("Sub(x) until Fill(x) until Sub(y)");
+  EXPECT_EQ(f->kind(), NodeKind::kUntil);
+  EXPECT_EQ(f->rhs()->kind(), NodeKind::kUntil);
+}
+
+TEST_F(ParserTest, UnaryOperatorsAndAliases) {
+  EXPECT_EQ(MustParse("X Sub(x)"), MustParse("next Sub(x)"));
+  EXPECT_EQ(MustParse("F Sub(x)"), MustParse("eventually Sub(x)"));
+  EXPECT_EQ(MustParse("G Sub(x)"), MustParse("always Sub(x)"));
+  EXPECT_EQ(MustParse("Y Sub(x)"), MustParse("prev Sub(x)"));
+  EXPECT_EQ(MustParse("O Sub(x)"), MustParse("once Sub(x)"));
+  EXPECT_EQ(MustParse("H Sub(x)"), MustParse("historically Sub(x)"));
+  EXPECT_EQ(MustParse("!Sub(x)"), MustParse("not Sub(x)"));
+  EXPECT_EQ(MustParse("Sub(x) & Fill(x)"), MustParse("Sub(x) and Fill(x)"));
+  EXPECT_EQ(MustParse("Sub(x) | Fill(x)"), MustParse("Sub(x) or Fill(x)"));
+  EXPECT_EQ(MustParse("Sub(x) -> Fill(x)"), MustParse("Sub(x) implies Fill(x)"));
+}
+
+TEST_F(ParserTest, QuantifierSpansRight) {
+  Formula f = MustParse("forall x . Sub(x) -> Fill(x)");
+  EXPECT_EQ(f->kind(), NodeKind::kForall);
+  EXPECT_EQ(f->child(0)->kind(), NodeKind::kImplies);
+}
+
+TEST_F(ParserTest, MultiVariableQuantifier) {
+  Formula f = MustParse("forall x y . R(x, y)");
+  EXPECT_EQ(f->kind(), NodeKind::kForall);
+  EXPECT_EQ(f->child(0)->kind(), NodeKind::kForall);
+  EXPECT_EQ(f, MustParse("forall x . forall y . R(x, y)"));
+}
+
+TEST_F(ParserTest, PaperExampleSubmitOnce) {
+  Formula f = MustParse("forall x . Sub(x) -> X G !Sub(x)");
+  EXPECT_TRUE(f->is_closed());
+  EXPECT_TRUE(f->has_future());
+  EXPECT_FALSE(f->has_past());
+}
+
+TEST_F(ParserTest, PaperExampleFifo) {
+  Formula f = MustParse(
+      "forall x y . !(x != y & Sub(x) & ((!Fill(x)) until "
+      "(Sub(y) & ((!Fill(x)) until (Fill(y) & !Fill(x))))))");
+  EXPECT_TRUE(f->is_closed());
+  EXPECT_EQ(f->kind(), NodeKind::kForall);
+}
+
+TEST_F(ParserTest, RoundTrips) {
+  ExpectRoundTrip("forall x . Sub(x) -> X G !Sub(x)");
+  ExpectRoundTrip("exists x . Sub(x) & F Fill(x)");
+  ExpectRoundTrip("forall x y . !(x != y & Sub(x) & ((!Fill(x)) until "
+                  "(Sub(y) & ((!Fill(x)) until (Fill(y) & !Fill(x))))))");
+  ExpectRoundTrip("Sub(alice) | (Sub(x) until Fill(x))");
+  ExpectRoundTrip("G (Sub(x) -> O Sub(x))");
+  ExpectRoundTrip("R(x, alice) & x = y | x != y");
+  ExpectRoundTrip("H (Y Sub(x) since Fill(x))");
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_TRUE(Parse(fac_.get(), "").status().IsParseError());
+  EXPECT_TRUE(Parse(fac_.get(), "Sub(x").status().IsParseError());
+  EXPECT_TRUE(Parse(fac_.get(), "Sub(x))").status().IsParseError());
+  EXPECT_TRUE(Parse(fac_.get(), "Unknown(x)").status().IsNotFound());
+  EXPECT_TRUE(Parse(fac_.get(), "forall . Sub(x)").status().IsParseError());
+  EXPECT_TRUE(Parse(fac_.get(), "Sub(x) &").status().IsParseError());
+  EXPECT_TRUE(Parse(fac_.get(), "Sub(1)").status().IsParseError());  // no numerals
+  // Arity mismatch.
+  EXPECT_TRUE(Parse(fac_.get(), "Sub(x, y)").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse(fac_.get(), "R(x)").status().IsInvalidArgument());
+}
+
+TEST_F(ParserTest, HashConsingSharesEqualSubformulas) {
+  Formula a = MustParse("Sub(x) & Fill(x)");
+  Formula b = MustParse("Sub(x) & Fill(x)");
+  EXPECT_EQ(a, b);
+  size_t before = fac_->num_nodes();
+  MustParse("Sub(x) & Fill(x)");
+  EXPECT_EQ(fac_->num_nodes(), before);
+}
+
+TEST_F(ParserTest, SizeAccountsTreeNodes) {
+  Formula atom = MustParse("Sub(x)");
+  EXPECT_EQ(atom->size(), 1u);
+  Formula f = MustParse("Sub(x) & Sub(x)");
+  // And() folds idempotent conjunction: a & a == a.
+  EXPECT_EQ(f, atom);
+  Formula g = MustParse("Sub(x) & Fill(x)");
+  EXPECT_EQ(g->size(), 3u);
+}
+
+}  // namespace
+}  // namespace fotl
+}  // namespace tic

@@ -1,0 +1,156 @@
+// Tests for FOTL transformations: desugaring, substitution, atom rewriting,
+// cross-factory transfer.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "fotl/parser.h"
+#include "fotl/printer.h"
+#include "fotl/transform.h"
+
+namespace tic {
+namespace fotl {
+namespace {
+
+class TransformTest : public ::testing::Test {
+ protected:
+  TransformTest() {
+    auto v = std::make_shared<Vocabulary>();
+    p_ = *v->AddPredicate("p", 1);
+    r_ = *v->AddPredicate("r", 2);
+    c_ = *v->AddConstant("c");
+    vocab_ = v;
+    fac_ = std::make_unique<FormulaFactory>(vocab_);
+  }
+
+  Formula Parse_(const std::string& s) {
+    auto res = Parse(fac_.get(), s);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return *res;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId p_, r_;
+  ConstantId c_;
+  std::unique_ptr<FormulaFactory> fac_;
+};
+
+TEST_F(TransformTest, DesugarEventually) {
+  Formula f = Desugar(fac_.get(), Parse_("F p(x)"));
+  // F A == true until A.
+  EXPECT_EQ(f->kind(), NodeKind::kUntil);
+  EXPECT_EQ(f->lhs()->kind(), NodeKind::kTrue);
+}
+
+TEST_F(TransformTest, DesugarAlways) {
+  Formula f = Desugar(fac_.get(), Parse_("G p(x)"));
+  // G A == !(true until !A).
+  EXPECT_EQ(f->kind(), NodeKind::kNot);
+  EXPECT_EQ(f->child(0)->kind(), NodeKind::kUntil);
+}
+
+TEST_F(TransformTest, DesugarPastPair) {
+  Formula once = Desugar(fac_.get(), Parse_("O p(x)"));
+  EXPECT_EQ(once->kind(), NodeKind::kSince);
+  EXPECT_EQ(once->lhs()->kind(), NodeKind::kTrue);
+  Formula hist = Desugar(fac_.get(), Parse_("H p(x)"));
+  EXPECT_EQ(hist->kind(), NodeKind::kNot);
+  EXPECT_EQ(hist->child(0)->kind(), NodeKind::kSince);
+}
+
+TEST_F(TransformTest, DesugarIsDeepAndIdempotent) {
+  Formula f = Parse_("forall x . G (p(x) -> F r(x, y))");
+  Formula d = Desugar(fac_.get(), f);
+  EXPECT_FALSE(d == f);
+  std::function<bool(Formula)> no_sugar = [&](Formula g) {
+    if (g->kind() == NodeKind::kEventually || g->kind() == NodeKind::kAlways ||
+        g->kind() == NodeKind::kOnce || g->kind() == NodeKind::kHistorically) {
+      return false;
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (g->child(i) != nullptr && !no_sugar(g->child(i))) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(no_sugar(d));
+  EXPECT_EQ(Desugar(fac_.get(), d), d);
+}
+
+TEST_F(TransformTest, SubstituteVarByConstant) {
+  Formula f = Parse_("p(x) & r(x, y)");
+  VarId x = fac_->InternVar("x");
+  auto g = SubstituteVar(fac_.get(), f, x, Term::Const(c_));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ToString(*fac_, *g), "p(c) & r(c, y)");
+}
+
+TEST_F(TransformTest, SubstituteLeavesBoundOccurrences) {
+  Formula f = Parse_("p(x) & (forall x . r(x, y))");
+  VarId x = fac_->InternVar("x");
+  auto g = SubstituteVar(fac_.get(), f, x, Term::Const(c_));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ToString(*fac_, *g), "p(c) & (forall x . r(x, y))");
+}
+
+TEST_F(TransformTest, SubstituteDetectsCapture) {
+  Formula f = Parse_("forall y . r(x, y)");
+  VarId x = fac_->InternVar("x");
+  VarId y = fac_->InternVar("y");
+  auto g = SubstituteVar(fac_.get(), f, x, Term::Var(y));
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST_F(TransformTest, SimultaneousSubstitution) {
+  Formula f = Parse_("r(x, y)");
+  VarId x = fac_->InternVar("x");
+  VarId y = fac_->InternVar("y");
+  // Swap x and y simultaneously via fresh intermediates is unnecessary: the
+  // substitution is simultaneous by definition.
+  std::unordered_map<VarId, Term> swap{{x, Term::Var(y)}, {y, Term::Var(x)}};
+  auto g = SubstituteVars(fac_.get(), f, swap);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ToString(*fac_, *g), "r(y, x)");
+}
+
+TEST_F(TransformTest, SubstituteThroughTemporal) {
+  Formula f = Parse_("p(x) until (G r(x, y))");
+  VarId x = fac_->InternVar("x");
+  auto g = SubstituteVar(fac_.get(), f, x, Term::Const(c_));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ToString(*fac_, *g), "p(c) until G r(c, y)");
+}
+
+TEST_F(TransformTest, RewriteAtoms) {
+  Formula f = Parse_("p(x) & G r(x, y)");
+  auto g = RewriteAtoms(fac_.get(), f, [&](Formula atom) -> Result<Formula> {
+    if (atom->predicate() == p_) return fac_->Not(atom);
+    return atom;
+  });
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ToString(*fac_, *g), "!p(x) & G r(x, y)");
+}
+
+TEST_F(TransformTest, TransferFormulaAcrossFactories) {
+  Formula f = Parse_("forall x . p(x) -> (r(x, c) until p(c))");
+  // Target vocabulary declares the same names (different ids order).
+  auto v2 = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(v2->AddPredicate("r", 2).ok());
+  ASSERT_TRUE(v2->AddPredicate("p", 1).ok());
+  ASSERT_TRUE(v2->AddConstant("c").ok());
+  FormulaFactory fac2(v2);
+  auto g = TransferFormula(*fac_, f, &fac2);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(ToString(fac2, *g), ToString(*fac_, f));
+}
+
+TEST_F(TransformTest, TransferFailsOnMissingSymbol) {
+  Formula f = Parse_("p(x)");
+  auto v2 = std::make_shared<Vocabulary>();
+  FormulaFactory fac2(v2);
+  EXPECT_TRUE(TransferFormula(*fac_, f, &fac2).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace fotl
+}  // namespace tic

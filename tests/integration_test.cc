@@ -1,0 +1,200 @@
+// Cross-module integration tests: monitor vs triggers vs past baseline on one
+// update stream, witness replay, and the checker applied to the Section 3
+// W-axioms on encoded Turing-machine computations.
+
+#include <gtest/gtest.h>
+
+#include "checker/extension.h"
+#include "checker/monitor.h"
+#include "checker/trigger.h"
+#include "fotl/parser.h"
+#include "past/past_monitor.h"
+#include "tm/encoding.h"
+#include "tm/formulas.h"
+
+namespace tic {
+namespace {
+
+class OrdersWorkflowTest : public ::testing::Test {
+ protected:
+  OrdersWorkflowTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    fill_ = *v->AddPredicate("Fill", 1);
+    vocab_ = v;
+    fac_ = std::make_shared<fotl::FormulaFactory>(vocab_);
+  }
+
+  fotl::Formula Parse_(const std::string& s) { return *fotl::Parse(fac_.get(), s); }
+
+  Transaction Txn(std::vector<Value> subs, std::vector<Value> fills,
+                  std::vector<Value> unsubs = {}) {
+    Transaction t;
+    for (Value v : subs) t.push_back(UpdateOp::Insert(sub_, {v}));
+    for (Value v : fills) t.push_back(UpdateOp::Insert(fill_, {v}));
+    for (Value v : unsubs) t.push_back(UpdateOp::Delete(sub_, {v}));
+    return t;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_, fill_;
+  std::shared_ptr<fotl::FormulaFactory> fac_;
+};
+
+TEST_F(OrdersWorkflowTest, MonitorTriggerAndPastBaselineAgree) {
+  // The same policy in three guises:
+  //  - future universal constraint, monitored for potential satisfaction;
+  //  - the dual trigger ("fire when a double submission is unavoidable");
+  //  - the past formulation, monitored history-lessly.
+  fotl::Formula future = Parse_("forall x . G (Sub(x) -> X G !Sub(x))");
+  fotl::Formula trig_cond = Parse_("F (Sub(x) & X F Sub(x))");
+  fotl::Formula past = Parse_("forall x . G (Sub(x) -> !(Y O Sub(x)))");
+
+  auto monitor = *checker::Monitor::Create(fac_, future);
+  auto triggers = *checker::TriggerManager::Create(fac_);
+  ASSERT_TRUE(triggers->AddTrigger("dup", trig_cond).ok());
+  auto past_monitor = *past::PastMonitor::Create(fac_, past);
+
+  std::vector<Transaction> stream = {
+      Txn({1}, {}),       // t0: submit 1
+      Txn({2}, {}, {1}),  // t1: submit 2, retract 1
+      Txn({}, {2}, {2}),  // t2: fill 2, retract it
+      Txn({1}, {}),       // t3: resubmit 1 — violation!
+      Txn({3}, {}, {1}),  // t4: violation is permanent
+  };
+  for (size_t t = 0; t < stream.size(); ++t) {
+    auto mv = monitor->ApplyTransaction(stream[t]);
+    ASSERT_TRUE(mv.ok()) << mv.status().ToString();
+    auto firings = triggers->OnTransaction(stream[t]);
+    ASSERT_TRUE(firings.ok()) << firings.status().ToString();
+    auto pv = past_monitor->ApplyTransaction(stream[t]);
+    ASSERT_TRUE(pv.ok()) << pv.status().ToString();
+
+    bool violated_now = t >= 3;
+    EXPECT_EQ(mv->permanently_violated, violated_now) << "t=" << t;
+    EXPECT_EQ(!firings->empty(), violated_now) << "t=" << t;
+    // The past monitor reports per-instant satisfaction; its first violation
+    // must coincide with the monitor's first violation.
+    if (t < 3) {
+      EXPECT_TRUE(pv->satisfied);
+      EXPECT_FALSE(pv->first_violation.has_value());
+    } else {
+      EXPECT_EQ(pv->first_violation, std::optional<size_t>(3));
+    }
+  }
+  // The trigger names the culprit substitution.
+  auto final_firings = triggers->EvaluateTriggers();
+  ASSERT_TRUE(final_firings.ok());
+  ASSERT_FALSE(final_firings->empty());
+  fotl::VarId x = fac_->InternVar("x");
+  EXPECT_EQ((*final_firings)[0].substitution.at(x), 1);
+}
+
+TEST_F(OrdersWorkflowTest, WitnessReplayStaysSatisfied) {
+  // Take the checker's witness for a pending-FIFO history, extend the history
+  // along the witness, and re-check at every prefix: potential satisfaction
+  // must persist (the witness is a genuine model).
+  fotl::Formula fifo = Parse_(
+      "forall x y . G !(x != y & Sub(x) & ((!Fill(x)) until "
+      "(Sub(y) & ((!Fill(x)) until (Fill(y) & !Fill(x))))))");
+  History h = *History::Create(vocab_);
+  DatabaseState* s0 = h.AppendEmptyState();
+  ASSERT_TRUE(s0->Insert(sub_, {1}).ok());
+  DatabaseState* s1 = h.AppendEmptyState();
+  ASSERT_TRUE(s1->Insert(sub_, {2}).ok());
+
+  auto check = checker::CheckPotentialSatisfaction(*fac_, fifo, h);
+  ASSERT_TRUE(check.ok());
+  ASSERT_TRUE(check->potentially_satisfied);
+  ASSERT_TRUE(check->witness.has_value());
+  const UltimatelyPeriodicDb& w = *check->witness;
+
+  for (size_t extend = h.length(); extend < w.prefix_length() + 2 * w.loop_length();
+       ++extend) {
+    History longer = *w.TakePrefix(extend + 1);
+    auto re = checker::CheckPotentialSatisfaction(*fac_, fifo, longer);
+    ASSERT_TRUE(re.ok()) << re.status().ToString();
+    EXPECT_TRUE(re->potentially_satisfied) << "prefix length " << extend + 1;
+  }
+}
+
+TEST_F(OrdersWorkflowTest, EagerBeatsLazyOnContradictoryObligations) {
+  // A constraint whose violation the progression phase alone cannot see: a
+  // submission demands both X Fill(x) and X !Fill(x). The residual after the
+  // submission contains the contradictory pair as *next-state* obligations —
+  // propositionally unsatisfiable, but not syntactically `false`. The eager
+  // monitor (Theorem 4.2: satisfiability check per update) flags it at the
+  // earliest time; the lazy Lipeck–Saake-style monitor only notices one state
+  // later, when progression assigns Fill a truth value — Section 5's "weaker
+  // notion ... violations are always detected but not necessarily at the
+  // earliest possible time".
+  fotl::Formula contradictory =
+      Parse_("forall x . G (Sub(x) -> (X Fill(x)) & (X !Fill(x)))");
+  auto eager = *checker::Monitor::Create(fac_, contradictory, {}, {},
+                                         checker::MonitorMode::kEager);
+  auto lazy = *checker::Monitor::Create(fac_, contradictory, {}, {},
+                                        checker::MonitorMode::kLazy);
+
+  auto ve0 = *eager->ApplyTransaction(Txn({1}, {}));
+  auto vl0 = *lazy->ApplyTransaction(Txn({1}, {}));
+  EXPECT_FALSE(ve0.potentially_satisfied);  // eager: earliest detection
+  EXPECT_TRUE(vl0.potentially_satisfied);   // lazy: still hopeful
+  EXPECT_FALSE(vl0.permanently_violated);
+
+  auto ve1 = *eager->ApplyTransaction(Txn({}, {}, {1}));
+  auto vl1 = *lazy->ApplyTransaction(Txn({}, {}, {1}));
+  EXPECT_TRUE(ve1.permanently_violated);
+  EXPECT_TRUE(vl1.permanently_violated);  // lazy catches up, one state late
+}
+
+class TmCheckerBridgeTest : public ::testing::Test {};
+
+TEST_F(TmCheckerBridgeTest, WAxiomsCheckableOnEncodedComputations) {
+  // The W1/W3 axioms of the phi-tilde construction are *universal safety
+  // sentences over an ordinary vocabulary*, so the Theorem 4.2 checker applies
+  // to them directly — bridging the Section 3 machinery with the Section 4
+  // algorithm.
+  tm::TuringMachine machine = *tm::MakeShuttleMachine();
+  tm::TmEncoding enc = *tm::TmEncoding::Create(&machine, /*with_w=*/true);
+  tm::TmTildeFormulas tilde = *tm::BuildPhiTilde(enc);
+  auto h = enc.EncodeComputation("01", 6);
+  ASSERT_TRUE(h.ok());
+
+  auto w1 = checker::CheckPotentialSatisfaction(*tilde.factory, tilde.w1, *h);
+  ASSERT_TRUE(w1.ok()) << w1.status().ToString();
+  EXPECT_TRUE(w1->potentially_satisfied);
+  auto w3 = checker::CheckPotentialSatisfaction(*tilde.factory, tilde.w3, *h);
+  ASSERT_TRUE(w3.ok()) << w3.status().ToString();
+  EXPECT_TRUE(w3->potentially_satisfied);
+
+  // Corrupt the history: mark W(0) twice (states 0 and 2) — W3 is violated
+  // permanently; W1 still holds (one mark per state).
+  DatabaseState extra = h->state(2);
+  ASSERT_TRUE(extra.Erase(enc.w_pred(), {2}).ok());
+  ASSERT_TRUE(extra.Insert(enc.w_pred(), {0}).ok());
+  History bad2 = *History::Create(enc.vocabulary());
+  ASSERT_TRUE(bad2.AppendState(h->state(0)).ok());
+  ASSERT_TRUE(bad2.AppendState(h->state(1)).ok());
+  ASSERT_TRUE(bad2.AppendState(extra).ok());
+
+  auto w3_bad = checker::CheckPotentialSatisfaction(*tilde.factory, tilde.w3, bad2);
+  ASSERT_TRUE(w3_bad.ok()) << w3_bad.status().ToString();
+  EXPECT_FALSE(w3_bad->potentially_satisfied);
+  EXPECT_TRUE(w3_bad->permanently_violated);
+  auto w1_bad = checker::CheckPotentialSatisfaction(*tilde.factory, tilde.w1, bad2);
+  ASSERT_TRUE(w1_bad.ok());
+  EXPECT_TRUE(w1_bad->potentially_satisfied);
+
+  // Two W marks in one state violate W1.
+  DatabaseState twice = h->state(1);
+  ASSERT_TRUE(twice.Insert(enc.w_pred(), {7}).ok());
+  History bad3 = *History::Create(enc.vocabulary());
+  ASSERT_TRUE(bad3.AppendState(h->state(0)).ok());
+  ASSERT_TRUE(bad3.AppendState(twice).ok());
+  auto w1_bad2 = checker::CheckPotentialSatisfaction(*tilde.factory, tilde.w1, bad3);
+  ASSERT_TRUE(w1_bad2.ok());
+  EXPECT_FALSE(w1_bad2->potentially_satisfied);
+}
+
+}  // namespace
+}  // namespace tic

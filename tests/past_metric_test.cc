@@ -1,0 +1,124 @@
+// Tests for the bounded-past (metric) operator builders and their use through
+// the history-less monitor — the Past Metric FOTL extension cited in
+// Section 5 for real-time constraints.
+
+#include <gtest/gtest.h>
+
+#include "fotl/evaluator.h"
+#include "fotl/parser.h"
+#include "past/metric.h"
+#include "past/past_monitor.h"
+
+namespace tic {
+namespace past {
+namespace {
+
+class MetricTest : public ::testing::Test {
+ protected:
+  MetricTest() {
+    auto v = std::make_shared<Vocabulary>();
+    p_ = *v->AddPredicate("p", 1);
+    q_ = *v->AddPredicate("q", 1);
+    vocab_ = v;
+    fac_ = std::make_shared<fotl::FormulaFactory>(vocab_);
+    x_ = fac_->InternVar("x");
+    px_ = *fac_->Atom(p_, {fotl::Term::Var(x_)});
+    qx_ = *fac_->Atom(q_, {fotl::Term::Var(x_)});
+  }
+
+  // Evaluates `f` with x -> 1 at instant t of a history whose states make p(1)
+  // true exactly at the instants in `p_times`.
+  bool EvalAt(fotl::Formula f, std::vector<size_t> p_times, size_t len, size_t t) {
+    History h = *History::Create(vocab_);
+    for (size_t i = 0; i < len; ++i) {
+      DatabaseState* s = h.AppendEmptyState();
+      for (size_t pt : p_times) {
+        if (pt == i) {
+          EXPECT_TRUE(s->Insert(p_, {1}).ok());
+        }
+      }
+    }
+    fotl::FiniteHistoryEvaluator ev(&h, {1, -1});
+    auto res = ev.EvaluateAt(f, {{x_, 1}}, t);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() && *res;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId p_, q_;
+  std::shared_ptr<fotl::FormulaFactory> fac_;
+  fotl::VarId x_ = 0;
+  fotl::Formula px_ = nullptr;
+  fotl::Formula qx_ = nullptr;
+};
+
+TEST_F(MetricTest, OnceWithinWindow) {
+  fotl::Formula within2 = OnceWithin(fac_.get(), 2, px_);
+  // p(1) at instant 3; window of 2 looking back from t.
+  EXPECT_FALSE(EvalAt(within2, {3}, 8, 2));
+  EXPECT_TRUE(EvalAt(within2, {3}, 8, 3));
+  EXPECT_TRUE(EvalAt(within2, {3}, 8, 4));
+  EXPECT_TRUE(EvalAt(within2, {3}, 8, 5));
+  EXPECT_FALSE(EvalAt(within2, {3}, 8, 6));  // outside the window
+}
+
+TEST_F(MetricTest, OnceWithinZeroIsNow) {
+  fotl::Formula now = OnceWithin(fac_.get(), 0, px_);
+  EXPECT_EQ(now, px_);
+}
+
+TEST_F(MetricTest, HistoricallyWithinWindow) {
+  fotl::Formula hold2 = HistoricallyWithin(fac_.get(), 2, px_);
+  // p(1) at instants 2,3,4 only.
+  EXPECT_TRUE(EvalAt(hold2, {2, 3, 4}, 8, 4));   // 2,3,4 all p
+  EXPECT_FALSE(EvalAt(hold2, {2, 3, 4}, 8, 5));  // 5 itself fails
+  EXPECT_FALSE(EvalAt(hold2, {2, 3, 4}, 8, 3));  // 1 fails within window? 1,2,3: 1 no
+}
+
+TEST_F(MetricTest, HistoricallyWithinClipsAtOrigin) {
+  // Window larger than the history so far: instants before 0 count as held.
+  fotl::Formula hold3 = HistoricallyWithin(fac_.get(), 3, px_);
+  EXPECT_TRUE(EvalAt(hold3, {0, 1}, 8, 1));   // only instants 0,1 exist
+  EXPECT_FALSE(EvalAt(hold3, {1}, 8, 1));     // 0 fails
+}
+
+TEST_F(MetricTest, PrevK) {
+  fotl::Formula back3 = PrevK(fac_.get(), 3, px_);
+  EXPECT_TRUE(EvalAt(back3, {2}, 8, 5));
+  EXPECT_FALSE(EvalAt(back3, {2}, 8, 4));
+  // Falls off the history start.
+  EXPECT_FALSE(EvalAt(back3, {2}, 8, 2));
+}
+
+TEST_F(MetricTest, WeakPrevAtOrigin) {
+  fotl::Formula wp = WeakPrev(fac_.get(), px_);
+  EXPECT_TRUE(EvalAt(wp, {}, 4, 0));    // vacuously true at instant 0
+  EXPECT_FALSE(EvalAt(wp, {}, 4, 1));
+  EXPECT_TRUE(EvalAt(wp, {0}, 4, 1));
+}
+
+TEST_F(MetricTest, MetricConstraintThroughMonitor) {
+  // Real-time policy: every q must have been preceded by a p within the last
+  // 2 instants: forall x . G (q(x) -> O_{<=2} p(x)).
+  fotl::Formula body = fac_->Implies(qx_, OnceWithin(fac_.get(), 2, px_));
+  fotl::Formula constraint = fac_->Forall(x_, fac_->Always(body));
+  auto monitor = PastMonitor::Create(fac_, constraint);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+
+  auto step = [&](bool p, bool q) {
+    Transaction t;
+    t.push_back(p ? UpdateOp::Insert(p_, {1}) : UpdateOp::Delete(p_, {1}));
+    t.push_back(q ? UpdateOp::Insert(q_, {1}) : UpdateOp::Delete(q_, {1}));
+    auto v = (*monitor)->ApplyTransaction(t);
+    EXPECT_TRUE(v.ok());
+    return v->satisfied;
+  };
+  EXPECT_TRUE(step(true, false));    // t0: p
+  EXPECT_TRUE(step(false, true));    // t1: q, p was 1 ago -> ok
+  EXPECT_TRUE(step(false, true));    // t2: q, p was 2 ago -> ok
+  EXPECT_FALSE(step(false, true));   // t3: q, p was 3 ago -> VIOLATION
+}
+
+}  // namespace
+}  // namespace past
+}  // namespace tic

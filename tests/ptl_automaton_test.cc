@@ -1,0 +1,98 @@
+// Tests for the tableau automaton inspection/visualization API.
+
+#include <gtest/gtest.h>
+
+#include "ptl/automaton.h"
+#include "ptl/parser.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class AutomatonTest : public ::testing::Test {
+ protected:
+  AutomatonTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {}
+
+  TableauAutomaton Build(const std::string& text) {
+    auto f = Parse(&fac_, text);
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    auto a = BuildTableauAutomaton(&fac_, *f);
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return a.ok() ? *a : TableauAutomaton{};
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+};
+
+TEST_F(AutomatonTest, UnsatFormulaGivesNoAcceptingScc) {
+  TableauAutomaton a = Build("p & !p");
+  EXPECT_FALSE(a.satisfiable);
+  EXPECT_TRUE(a.states.empty());
+}
+
+TEST_F(AutomatonTest, GpAutomatonShape) {
+  TableauAutomaton a = Build("G p");
+  EXPECT_TRUE(a.satisfiable);
+  // One state {p, G p, X G p} with a self loop.
+  ASSERT_EQ(a.states.size(), 1u);
+  EXPECT_TRUE(a.states[0].initial);
+  EXPECT_EQ(a.states[0].true_letters, std::vector<std::string>{"p"});
+  ASSERT_EQ(a.edges[0].size(), 1u);
+  EXPECT_EQ(a.edges[0][0], 0u);
+  EXPECT_TRUE(a.scc_self_fulfilling[a.scc_of[0]]);
+}
+
+TEST_F(AutomatonTest, UntilCarriesObligations) {
+  TableauAutomaton a = Build("p U q");
+  EXPECT_TRUE(a.satisfiable);
+  bool some_obligation = false;
+  bool some_fulfilling_state = false;
+  for (size_t v = 0; v < a.states.size(); ++v) {
+    if (!a.states[v].obligations.empty()) {
+      some_obligation = true;
+      EXPECT_EQ(a.states[v].obligations[0], "q");
+    }
+    some_fulfilling_state =
+        some_fulfilling_state || a.scc_self_fulfilling[a.scc_of[v]];
+  }
+  EXPECT_TRUE(some_obligation);
+  EXPECT_TRUE(some_fulfilling_state);
+}
+
+TEST_F(AutomatonTest, SatisfiabilityMatchesCheckSat) {
+  for (const char* text :
+       {"G p", "p U q", "G F p", "(p U q) & G !q", "F p & G !p", "G (p -> X !p)",
+        "p R q", "!(p U q) & F q"}) {
+    auto f = Parse(&fac_, text);
+    ASSERT_TRUE(f.ok());
+    TableauAutomaton a = Build(text);
+    auto sat = CheckSat(&fac_, *f);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_EQ(a.satisfiable, sat->satisfiable) << text;
+  }
+}
+
+TEST_F(AutomatonTest, DotOutputIsWellFormed) {
+  TableauAutomaton a = Build("p U q");
+  std::string dot = ToDot(a);
+  EXPECT_NE(dot.find("digraph tableau {"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // accepting states
+  EXPECT_NE(dot.find("penwidth=3"), std::string::npos);    // initial states
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST_F(AutomatonTest, BudgetIsHonored) {
+  TableauOptions opts;
+  opts.max_states = 2;
+  auto f = Parse(&fac_, "(p U q) & (q U r) & (r U p)");
+  ASSERT_TRUE(f.ok());
+  auto a = BuildTableauAutomaton(&fac_, *f, opts);
+  EXPECT_TRUE(a.status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,113 @@
+// Tests for the propositional-TL factory, NNF transformation, and printer.
+
+#include <gtest/gtest.h>
+
+#include "ptl/formula.h"
+#include "ptl/nnf.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class PtlFormulaTest : public ::testing::Test {
+ protected:
+  PtlFormulaTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_ = fac_.Atom(vocab_->Intern("p"));
+    q_ = fac_.Atom(vocab_->Intern("q"));
+  }
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  Formula p_, q_;
+};
+
+TEST_F(PtlFormulaTest, HashConsingAndCommutativeCanonicalization) {
+  EXPECT_EQ(fac_.And(p_, q_), fac_.And(q_, p_));
+  EXPECT_EQ(fac_.Or(p_, q_), fac_.Or(q_, p_));
+  EXPECT_NE(fac_.Until(p_, q_), fac_.Until(q_, p_));
+  EXPECT_EQ(fac_.Next(p_), fac_.Next(p_));
+}
+
+TEST_F(PtlFormulaTest, Folding) {
+  EXPECT_EQ(fac_.And(fac_.True(), p_), p_);
+  EXPECT_EQ(fac_.And(fac_.False(), p_), fac_.False());
+  EXPECT_EQ(fac_.Or(fac_.False(), p_), p_);
+  EXPECT_EQ(fac_.Not(fac_.Not(p_)), p_);
+  EXPECT_EQ(fac_.Until(fac_.False(), p_), p_);
+  EXPECT_EQ(fac_.Until(p_, fac_.True()), fac_.True());
+  EXPECT_EQ(fac_.Release(fac_.True(), p_), p_);
+  EXPECT_EQ(fac_.Until(fac_.True(), p_), fac_.Eventually(p_));
+  EXPECT_EQ(fac_.Release(fac_.False(), p_), fac_.Always(p_));
+  EXPECT_EQ(fac_.Eventually(fac_.Eventually(p_)), fac_.Eventually(p_));
+  EXPECT_EQ(fac_.Always(fac_.Always(p_)), fac_.Always(p_));
+  EXPECT_EQ(fac_.Next(fac_.True()), fac_.True());
+}
+
+TEST_F(PtlFormulaTest, Size) {
+  EXPECT_EQ(p_->size(), 1u);
+  EXPECT_EQ(fac_.Until(p_, q_)->size(), 3u);
+  EXPECT_EQ(fac_.Not(fac_.Next(p_))->size(), 3u);
+}
+
+TEST_F(PtlFormulaTest, IsLiteral) {
+  EXPECT_TRUE(p_->IsLiteral());
+  EXPECT_TRUE(fac_.Not(p_)->IsLiteral());
+  EXPECT_FALSE(fac_.Next(p_)->IsLiteral());
+  EXPECT_FALSE(fac_.And(p_, q_)->IsLiteral());
+}
+
+TEST_F(PtlFormulaTest, ToStringRendering) {
+  EXPECT_EQ(ToString(fac_, fac_.Until(p_, q_)), "p U q");
+  EXPECT_EQ(ToString(fac_, fac_.Not(fac_.And(p_, q_))), "!(p & q)");
+  EXPECT_EQ(ToString(fac_, fac_.Always(fac_.Eventually(p_))), "G F p");
+  EXPECT_EQ(ToString(fac_, fac_.Implies(p_, fac_.Next(q_))), "p -> X q");
+}
+
+TEST_F(PtlFormulaTest, NnfRemovesSugar) {
+  Formula f = fac_.Not(fac_.Until(p_, q_));
+  Formula n = ToNnf(&fac_, f);
+  EXPECT_TRUE(IsNnf(n));
+  EXPECT_EQ(n, fac_.Release(fac_.Not(p_), fac_.Not(q_)));
+
+  Formula g = fac_.Not(fac_.Implies(p_, fac_.Eventually(q_)));
+  Formula gn = ToNnf(&fac_, g);
+  EXPECT_TRUE(IsNnf(gn));
+  // !(p -> F q) == p & G !q.
+  EXPECT_EQ(gn, fac_.And(p_, fac_.Release(fac_.False(), fac_.Not(q_))));
+}
+
+TEST_F(PtlFormulaTest, NnfPushesThroughNext) {
+  Formula f = fac_.Not(fac_.Next(fac_.And(p_, q_)));
+  Formula n = ToNnf(&fac_, f);
+  EXPECT_TRUE(IsNnf(n));
+  EXPECT_EQ(n, fac_.Next(fac_.Or(fac_.Not(p_), fac_.Not(q_))));
+}
+
+TEST_F(PtlFormulaTest, NnfFixedPoint) {
+  Formula f = fac_.Not(fac_.Always(fac_.Implies(p_, fac_.Until(p_, q_))));
+  Formula n1 = ToNnf(&fac_, f);
+  Formula n2 = ToNnf(&fac_, n1);
+  EXPECT_TRUE(IsNnf(n1));
+  EXPECT_EQ(n1, n2);
+}
+
+TEST_F(PtlFormulaTest, IsNnfDetectsViolations) {
+  EXPECT_FALSE(IsNnf(fac_.Not(fac_.And(p_, q_))));
+  EXPECT_FALSE(IsNnf(fac_.Implies(p_, q_)));
+  // Positive F/G are acceptable NNF (the factory folds true U A / false R A
+  // back to them); negations below them are not.
+  EXPECT_TRUE(IsNnf(fac_.Eventually(p_)));
+  EXPECT_FALSE(IsNnf(fac_.Eventually(fac_.Not(fac_.Next(p_)))));
+  EXPECT_TRUE(IsNnf(fac_.Release(fac_.Not(p_), q_)));
+}
+
+TEST_F(PtlFormulaTest, VocabularyNames) {
+  EXPECT_EQ(vocab_->Name(p_->atom()), "p");
+  PropId out = 0;
+  EXPECT_TRUE(vocab_->Lookup("q", &out));
+  EXPECT_EQ(out, q_->atom());
+  EXPECT_FALSE(vocab_->Lookup("zzz", &out));
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,159 @@
+// A battery of classical propositional-TL identities decided by the tableau's
+// CheckEquivalent — a strong cross-check of the NNF transformation, the
+// expansion rules, and the acceptance condition, and a regression net for the
+// solver. Each identity is a parameterized case (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ptl/parser.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+struct IdentityCase {
+  const char* lhs;
+  const char* rhs;
+  bool equivalent;  // expected verdict
+};
+
+std::ostream& operator<<(std::ostream& os, const IdentityCase& c) {
+  return os << "'" << c.lhs << "' " << (c.equivalent ? "==" : "!=") << " '" << c.rhs
+            << "'";
+}
+
+class IdentityTest : public ::testing::TestWithParam<IdentityCase> {};
+
+TEST_P(IdentityTest, EquivalenceVerdict) {
+  const IdentityCase& c = GetParam();
+  auto vocab = std::make_shared<PropVocabulary>();
+  Factory fac(vocab);
+  auto lhs = Parse(&fac, c.lhs);
+  ASSERT_TRUE(lhs.ok()) << lhs.status().ToString();
+  auto rhs = Parse(&fac, c.rhs);
+  ASSERT_TRUE(rhs.ok()) << rhs.status().ToString();
+  auto eq = CheckEquivalent(&fac, *lhs, *rhs);
+  ASSERT_TRUE(eq.ok()) << eq.status().ToString();
+  EXPECT_EQ(*eq, c.equivalent) << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExpansionLaws, IdentityTest,
+    ::testing::Values(
+        IdentityCase{"p U q", "q | (p & X (p U q))", true},
+        IdentityCase{"p R q", "q & (p | X (p R q))", true},
+        IdentityCase{"F p", "p | X F p", true},
+        IdentityCase{"G p", "p & X G p", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Dualities, IdentityTest,
+    ::testing::Values(
+        IdentityCase{"!(p U q)", "!p R !q", true},
+        IdentityCase{"!(p R q)", "!p U !q", true},
+        IdentityCase{"!F p", "G !p", true},
+        IdentityCase{"!G p", "F !p", true},
+        IdentityCase{"!X p", "X !p", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Idempotence, IdentityTest,
+    ::testing::Values(
+        IdentityCase{"F F p", "F p", true},
+        IdentityCase{"G G p", "G p", true},
+        IdentityCase{"p U (p U q)", "p U q", true},
+        IdentityCase{"(p U q) U q", "p U q", true},
+        IdentityCase{"G F G F p", "G F p", true},
+        IdentityCase{"F G F p", "G F p", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Distribution, IdentityTest,
+    ::testing::Values(
+        IdentityCase{"X (p & q)", "X p & X q", true},
+        IdentityCase{"X (p | q)", "X p | X q", true},
+        IdentityCase{"X (p U q)", "X p U X q", true},
+        IdentityCase{"F (p | q)", "F p | F q", true},
+        IdentityCase{"G (p & q)", "G p & G q", true},
+        IdentityCase{"(p & q) U r", "(p U r) & (q U r)", true},
+        IdentityCase{"p U (q | r)", "(p U q) | (p U r)", true},
+        // The false distributions.
+        IdentityCase{"F (p & q)", "F p & F q", false},
+        IdentityCase{"G (p | q)", "G p | G q", false},
+        IdentityCase{"(p | q) U r", "(p U r) | (q U r)", false},
+        IdentityCase{"p U (q & r)", "(p U q) & (p U r)", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Absorption, IdentityTest,
+    ::testing::Values(
+        IdentityCase{"p & (p | q)", "p", true},
+        IdentityCase{"p | (p & q)", "p", true},
+        IdentityCase{"F G F p", "G F p", true},
+        IdentityCase{"G F G p", "F G p", true},
+        IdentityCase{"p U (p U q)", "(p U q) U q", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    StrengthOrdering, IdentityTest,
+    ::testing::Values(
+        // G p implies p but not conversely, etc. — inequivalences.
+        IdentityCase{"G p", "p", false},
+        IdentityCase{"F p", "p", false},
+        IdentityCase{"p U q", "F q", false},
+        IdentityCase{"p R q", "G q", false},
+        IdentityCase{"X p", "p", false},
+        IdentityCase{"G F p", "F G p", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Constants, IdentityTest,
+    ::testing::Values(
+        IdentityCase{"true U p", "F p", true},
+        IdentityCase{"false R p", "G p", true},
+        IdentityCase{"false U p", "p", true},
+        IdentityCase{"true R p", "p", true},
+        IdentityCase{"p U false", "false", true},
+        IdentityCase{"p R true", "true", true},
+        IdentityCase{"G true", "true", true},
+        IdentityCase{"F false", "false", true}));
+
+// Implication-level facts decided through validity.
+struct ValidityCase {
+  const char* text;
+  bool valid;
+};
+
+class ValidityTest : public ::testing::TestWithParam<ValidityCase> {};
+
+TEST_P(ValidityTest, Verdict) {
+  const ValidityCase& c = GetParam();
+  auto vocab = std::make_shared<PropVocabulary>();
+  Factory fac(vocab);
+  auto f = Parse(&fac, c.text);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  auto v = CheckValid(&fac, *f);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, c.valid) << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Theorems, ValidityTest,
+    ::testing::Values(
+        ValidityCase{"G p -> p", true},
+        ValidityCase{"p -> F p", true},
+        ValidityCase{"G p -> F p", true},
+        ValidityCase{"(p U q) -> F q", true},
+        ValidityCase{"G p -> (q R p)", true},
+        ValidityCase{"G (p -> q) -> (G p -> G q)", true},  // K axiom for G
+        ValidityCase{"G (p -> q) -> (F p -> F q)", true},
+        ValidityCase{"G (p -> X p) -> (p -> G p)", true},  // induction
+        ValidityCase{"X (p -> q) -> (X p -> X q)", true},
+        ValidityCase{"F G p -> G F p", true},
+        // Non-theorems.
+        ValidityCase{"F p -> p", false},
+        ValidityCase{"G F p -> F G p", false},
+        ValidityCase{"F q -> (p U q)", false},
+        ValidityCase{"(p -> G p)", false},
+        ValidityCase{"F p & F q -> F (p & q)", false}));
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

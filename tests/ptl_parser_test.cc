@@ -1,0 +1,98 @@
+// Tests for the propositional-TL text parser: round trips with the printer,
+// precedence, operator keywords, and errors.
+
+#include <gtest/gtest.h>
+
+#include "ptl/parser.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class PtlParserTest : public ::testing::Test {
+ protected:
+  PtlParserTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {}
+
+  Formula MustParse(const std::string& text) {
+    auto res = Parse(&fac_, text);
+    EXPECT_TRUE(res.ok()) << text << " -> " << res.status().ToString();
+    return res.ok() ? *res : fac_.True();
+  }
+
+  void ExpectRoundTrip(const std::string& text) {
+    Formula f = MustParse(text);
+    std::string printed = ToString(fac_, f);
+    Formula g = MustParse(printed);
+    EXPECT_EQ(f, g) << text << " printed as " << printed;
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+};
+
+TEST_F(PtlParserTest, AtomsAndConstants) {
+  Formula p = MustParse("p");
+  EXPECT_EQ(p->kind(), Kind::kAtom);
+  EXPECT_EQ(vocab_->Name(p->atom()), "p");
+  EXPECT_EQ(MustParse("true"), fac_.True());
+  EXPECT_EQ(MustParse("false"), fac_.False());
+  // Same name -> same letter.
+  EXPECT_EQ(MustParse("p"), p);
+}
+
+TEST_F(PtlParserTest, Precedence) {
+  // -> lowest; | then &; U/R bind tighter than &; unaries tightest.
+  Formula f = MustParse("p & q -> r | s");
+  EXPECT_EQ(f->kind(), Kind::kImplies);
+  EXPECT_EQ(f->lhs()->kind(), Kind::kAnd);
+  EXPECT_EQ(f->rhs()->kind(), Kind::kOr);
+
+  Formula g = MustParse("p U q & r");
+  EXPECT_EQ(g->kind(), Kind::kAnd);
+  // And() canonicalizes operand order; the Until must be one of the two sides.
+  EXPECT_TRUE(g->lhs()->kind() == Kind::kUntil || g->rhs()->kind() == Kind::kUntil);
+
+  Formula h = MustParse("!p U q");
+  EXPECT_EQ(h->kind(), Kind::kUntil);
+  EXPECT_EQ(h->lhs()->kind(), Kind::kNot);
+}
+
+TEST_F(PtlParserTest, RightAssociativity) {
+  EXPECT_EQ(MustParse("p U q U r"), MustParse("p U (q U r)"));
+  EXPECT_EQ(MustParse("p -> q -> r"), MustParse("p -> (q -> r)"));
+  EXPECT_EQ(MustParse("p R q R r"), MustParse("p R (q R r)"));
+}
+
+TEST_F(PtlParserTest, UnaryChains) {
+  Formula f = MustParse("G F p");
+  EXPECT_EQ(f->kind(), Kind::kAlways);
+  EXPECT_EQ(f->child(0)->kind(), Kind::kEventually);
+  EXPECT_EQ(MustParse("X X p"), fac_.Next(fac_.Next(MustParse("p"))));
+  EXPECT_EQ(MustParse("!!p"), MustParse("p"));  // factory folds
+}
+
+TEST_F(PtlParserTest, RoundTrips) {
+  ExpectRoundTrip("G (p -> X q)");
+  ExpectRoundTrip("(p U q) & (r R s)");
+  ExpectRoundTrip("F (a & !b) | G c");
+  ExpectRoundTrip("p -> q -> r");
+  ExpectRoundTrip("!(p & q) U (r | false)");
+}
+
+TEST_F(PtlParserTest, Errors) {
+  EXPECT_TRUE(Parse(&fac_, "").status().IsParseError());
+  EXPECT_TRUE(Parse(&fac_, "(p").status().IsParseError());
+  EXPECT_TRUE(Parse(&fac_, "p q").status().IsParseError());
+  EXPECT_TRUE(Parse(&fac_, "p &").status().IsParseError());
+  EXPECT_TRUE(Parse(&fac_, "U p").status().IsParseError());
+  EXPECT_TRUE(Parse(&fac_, "p # q").status().IsParseError());
+}
+
+TEST_F(PtlParserTest, OperatorNamesAreReserved) {
+  EXPECT_TRUE(Parse(&fac_, "X").status().IsParseError());
+  EXPECT_TRUE(Parse(&fac_, "p U U").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

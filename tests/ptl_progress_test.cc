@@ -1,0 +1,210 @@
+// Tests for the Lemma 4.2 phase-1 rewriting (formula progression), including
+// the fundamental progression property checked against direct evaluation on
+// random words.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ptl/progress.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class ProgressTest : public ::testing::Test {
+ protected:
+  ProgressTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_id_ = vocab_->Intern("p");
+    q_id_ = vocab_->Intern("q");
+    p_ = fac_.Atom(p_id_);
+    q_ = fac_.Atom(q_id_);
+  }
+
+  PropState S(bool p, bool q) {
+    PropState s;
+    s.Set(p_id_, p);
+    s.Set(q_id_, q);
+    return s;
+  }
+
+  Formula Prog(Formula f, const PropState& s) {
+    auto res = Progress(&fac_, f, s);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return *res;
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  PropId p_id_, q_id_;
+  Formula p_, q_;
+};
+
+TEST_F(ProgressTest, AtomsBecomeConstants) {
+  EXPECT_EQ(Prog(p_, S(true, false)), fac_.True());
+  EXPECT_EQ(Prog(p_, S(false, false)), fac_.False());
+  EXPECT_EQ(Prog(fac_.Not(p_), S(false, false)), fac_.True());
+}
+
+TEST_F(ProgressTest, NextDropsOneLayer) {
+  Formula f = fac_.Next(fac_.Until(p_, q_));
+  EXPECT_EQ(Prog(f, S(false, false)), fac_.Until(p_, q_));
+}
+
+TEST_F(ProgressTest, UntilUnfolds) {
+  Formula u = fac_.Until(p_, q_);
+  // q true now: satisfied.
+  EXPECT_EQ(Prog(u, S(false, true)), fac_.True());
+  // p true, q false: obligation persists.
+  EXPECT_EQ(Prog(u, S(true, false)), u);
+  // neither: violated.
+  EXPECT_EQ(Prog(u, S(false, false)), fac_.False());
+}
+
+TEST_F(ProgressTest, AlwaysPersistsOrDies) {
+  Formula g = fac_.Always(p_);
+  EXPECT_EQ(Prog(g, S(true, false)), g);
+  EXPECT_EQ(Prog(g, S(false, false)), fac_.False());
+}
+
+TEST_F(ProgressTest, EventuallyPersistsOrSucceeds) {
+  Formula f = fac_.Eventually(p_);
+  EXPECT_EQ(Prog(f, S(true, false)), fac_.True());
+  EXPECT_EQ(Prog(f, S(false, false)), f);
+}
+
+TEST_F(ProgressTest, ReleaseUnfolds) {
+  Formula r = fac_.Release(p_, q_);
+  // q false now: violated.
+  EXPECT_EQ(Prog(r, S(true, false)), fac_.False());
+  // q true, p true: released.
+  EXPECT_EQ(Prog(r, S(true, true)), fac_.True());
+  // q true, p false: obligation persists.
+  EXPECT_EQ(Prog(r, S(false, true)), r);
+}
+
+TEST_F(ProgressTest, ProgressThroughWordShortCircuitsOnFalse) {
+  Formula g = fac_.Always(p_);
+  Word w{S(true, false), S(false, false), S(true, false)};
+  auto res = ProgressThroughWord(&fac_, g, w);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, fac_.False());
+}
+
+TEST_F(ProgressTest, SubmitOnceShapedFormula) {
+  // G (p -> X G !p): after p, !p must hold forever.
+  Formula f = fac_.Always(fac_.Implies(p_, fac_.Next(fac_.Always(fac_.Not(p_)))));
+  Formula r1 = Prog(f, S(true, false));
+  // Residual: G !p & G(p -> X G !p): satisfiable but p banned.
+  Formula r2 = Prog(r1, S(false, false));
+  EXPECT_NE(r2, fac_.False());
+  Formula r3 = Prog(r2, S(true, false));  // p resubmitted
+  EXPECT_EQ(r3, fac_.False());
+}
+
+// ---------------------------------------------------------------------------
+// The progression property (the correctness content of the Sistla–Wolfson
+// rewriting): for every formula f and infinite word w,
+//     w |= f  iff  w[1..] |= Progress(f, w[0]).
+// Checked on random formulas over random ultimately periodic words.
+// ---------------------------------------------------------------------------
+
+class ProgressionPropertyTest : public ::testing::TestWithParam<int> {};
+
+Formula RandomFormula(Factory* fac, std::mt19937* rng, const std::vector<Formula>& atoms,
+                      int depth) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 9);
+  switch (pick(*rng)) {
+    case 0:
+      return atoms[(*rng)() % atoms.size()];
+    case 1:
+      return fac->Not(atoms[(*rng)() % atoms.size()]);
+    case 2:
+      return fac->Not(RandomFormula(fac, rng, atoms, depth - 1));
+    case 3:
+      return fac->And(RandomFormula(fac, rng, atoms, depth - 1),
+                      RandomFormula(fac, rng, atoms, depth - 1));
+    case 4:
+      return fac->Or(RandomFormula(fac, rng, atoms, depth - 1),
+                     RandomFormula(fac, rng, atoms, depth - 1));
+    case 5:
+      return fac->Next(RandomFormula(fac, rng, atoms, depth - 1));
+    case 6:
+      return fac->Until(RandomFormula(fac, rng, atoms, depth - 1),
+                        RandomFormula(fac, rng, atoms, depth - 1));
+    case 7:
+      return fac->Release(RandomFormula(fac, rng, atoms, depth - 1),
+                          RandomFormula(fac, rng, atoms, depth - 1));
+    case 8:
+      return fac->Eventually(RandomFormula(fac, rng, atoms, depth - 1));
+    default:
+      return fac->Always(RandomFormula(fac, rng, atoms, depth - 1));
+  }
+}
+
+TEST_P(ProgressionPropertyTest, ProgressionMatchesEvaluation) {
+  auto vocab = std::make_shared<PropVocabulary>();
+  Factory fac(vocab);
+  PropId a_id = vocab->Intern("a");
+  PropId b_id = vocab->Intern("b");
+  std::vector<Formula> atoms = {fac.Atom(a_id), fac.Atom(b_id)};
+  std::mt19937 rng(1000 + GetParam());
+
+  Formula f = RandomFormula(&fac, &rng, atoms, 4);
+
+  // Random lasso word.
+  auto random_state = [&]() {
+    PropState s;
+    s.Set(a_id, rng() % 2 == 0);
+    s.Set(b_id, rng() % 2 == 0);
+    return s;
+  };
+  UltimatelyPeriodicWord w;
+  size_t stem = rng() % 3, loop = 1 + rng() % 3;
+  for (size_t i = 0; i < stem; ++i) w.prefix.push_back(random_state());
+  for (size_t i = 0; i < loop; ++i) w.loop.push_back(random_state());
+
+  // w |= f  iff  (w shifted by one) |= Progress(f, w[0]).
+  auto lhs = Evaluate(w, f, 0);
+  ASSERT_TRUE(lhs.ok());
+  auto prog = Progress(&fac, f, w.StateAt(0));
+  ASSERT_TRUE(prog.ok());
+  // Build the shifted word.
+  UltimatelyPeriodicWord w1;
+  if (!w.prefix.empty()) {
+    w1.prefix.assign(w.prefix.begin() + 1, w.prefix.end());
+    w1.loop = w.loop;
+  } else {
+    // Rotate the loop by one.
+    for (size_t i = 0; i < w.loop.size(); ++i) {
+      w1.loop.push_back(w.loop[(i + 1) % w.loop.size()]);
+    }
+  }
+  auto rhs = Evaluate(w1, *prog, 0);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_EQ(*lhs, *rhs) << ToString(fac, f);
+
+  // Multi-step: progressing through the whole stem plus one full loop leaves a
+  // residual whose truth on the loop equals the original truth.
+  Word consumed;
+  for (size_t i = 0; i < w.prefix.size() + w.loop.size(); ++i) {
+    consumed.push_back(w.StateAt(i));
+  }
+  auto residual = ProgressThroughWord(&fac, f, consumed);
+  ASSERT_TRUE(residual.ok());
+  UltimatelyPeriodicWord tail;  // the word from position stem+loop on
+  for (size_t i = 0; i < w.loop.size(); ++i) {
+    tail.loop.push_back(w.StateAt(w.prefix.size() + (0 + i) % w.loop.size()));
+  }
+  auto tail_eval = Evaluate(tail, *residual, 0);
+  ASSERT_TRUE(tail_eval.ok());
+  EXPECT_EQ(*lhs, *tail_eval);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgressionPropertyTest, ::testing::Range(0, 80));
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,117 @@
+// Tests for the safety analysis: Sistla-style syntactic recognition plus the
+// bounded semantic oracle, demonstrating the Section 2 safety/liveness
+// dichotomy at the propositional level.
+
+#include <gtest/gtest.h>
+
+#include "ptl/safety.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class SafetyTest : public ::testing::Test {
+ protected:
+  SafetyTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_id_ = vocab_->Intern("p");
+    q_id_ = vocab_->Intern("q");
+    p_ = fac_.Atom(p_id_);
+    q_ = fac_.Atom(q_id_);
+  }
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  PropId p_id_, q_id_;
+  Formula p_, q_;
+};
+
+TEST_F(SafetyTest, SyntacticallySafeShapes) {
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, p_));
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, fac_.Always(p_)));
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, fac_.Next(fac_.Not(p_))));
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, fac_.Release(p_, q_)));
+  // G (p -> X G !p): the submit-once skeleton.
+  EXPECT_TRUE(IsSyntacticallySafe(
+      &fac_, fac_.Always(fac_.Implies(p_, fac_.Next(fac_.Always(fac_.Not(p_)))))));
+}
+
+TEST_F(SafetyTest, EventualitiesAreNotSyntacticallySafe) {
+  EXPECT_FALSE(IsSyntacticallySafe(&fac_, fac_.Eventually(p_)));
+  EXPECT_FALSE(IsSyntacticallySafe(&fac_, fac_.Until(p_, q_)));
+  EXPECT_FALSE(IsSyntacticallySafe(&fac_, fac_.Always(fac_.Eventually(p_))));
+  // Negation flips: !F p == G !p is safe.
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, fac_.Not(fac_.Eventually(p_))));
+  // !(p R q) == !p U !q is not.
+  EXPECT_FALSE(IsSyntacticallySafe(&fac_, fac_.Not(fac_.Release(p_, q_))));
+}
+
+TEST_F(SafetyTest, NegatedUntilInsideAntecedentIsFine) {
+  // G ((p U q) -> r) in NNF: G ((!p R !q) | r): no Until left.
+  Formula r = fac_.Atom(vocab_->Intern("r"));
+  Formula f = fac_.Always(fac_.Implies(fac_.Until(p_, q_), r));
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, f));
+}
+
+TEST_F(SafetyTest, CoSafeShapes) {
+  EXPECT_TRUE(IsSyntacticallyCoSafe(&fac_, fac_.Eventually(p_)));
+  EXPECT_TRUE(IsSyntacticallyCoSafe(&fac_, fac_.Until(p_, q_)));
+  EXPECT_FALSE(IsSyntacticallyCoSafe(&fac_, fac_.Always(p_)));
+  EXPECT_FALSE(IsSyntacticallyCoSafe(&fac_, fac_.Not(fac_.Eventually(p_))));
+  // Finite-horizon facts are both safe and co-safe.
+  Formula finite = fac_.And(p_, fac_.Next(q_));
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, finite));
+  EXPECT_TRUE(IsSyntacticallyCoSafe(&fac_, finite));
+}
+
+TEST_F(SafetyTest, BoundedOracleConfirmsSafety) {
+  std::vector<PropId> props = {p_id_};
+  // G p is a safety property.
+  auto safe = BoundedSafetyCheck(&fac_, fac_.Always(p_), props, 2);
+  ASSERT_TRUE(safe.ok()) << safe.status().ToString();
+  EXPECT_TRUE(*safe);
+  // p & X !p too (finite horizon).
+  auto safe2 =
+      BoundedSafetyCheck(&fac_, fac_.And(p_, fac_.Next(fac_.Not(p_))), props, 2);
+  ASSERT_TRUE(safe2.ok());
+  EXPECT_TRUE(*safe2);
+}
+
+TEST_F(SafetyTest, BoundedOracleRefutesLiveness) {
+  std::vector<PropId> props = {p_id_};
+  // F p is a liveness property: the all-false lasso falsifies it while every
+  // finite prefix is extendable.
+  auto live = BoundedSafetyCheck(&fac_, fac_.Eventually(p_), props, 2);
+  ASSERT_TRUE(live.ok());
+  EXPECT_FALSE(*live);
+  // G F p likewise.
+  auto gfp =
+      BoundedSafetyCheck(&fac_, fac_.Always(fac_.Eventually(p_)), props, 2);
+  ASSERT_TRUE(gfp.ok());
+  EXPECT_FALSE(*gfp);
+}
+
+TEST_F(SafetyTest, SyntacticTestIsSoundButIncomplete) {
+  // (F p) | G true == semantically valid (G true is true), so it defines the
+  // safety property "all words"... the factory folds it to true, so craft a
+  // subtler case: p U q | !q-at-0 ... keep it simple: F q | G !q is
+  // semantically equivalent to true? No: on any word, either q eventually
+  // holds or it never does — it IS valid, hence trivially safe, yet the
+  // syntactic test sees the Until and says "don't know" (returns false).
+  Formula f = fac_.Or(fac_.Eventually(q_), fac_.Always(fac_.Not(q_)));
+  EXPECT_FALSE(IsSyntacticallySafe(&fac_, f));  // incompleteness, documented
+  auto oracle = BoundedSafetyCheck(&fac_, f, {q_id_}, 2);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(*oracle);  // semantically safe (valid)
+}
+
+TEST_F(SafetyTest, OracleRefusesLargeInputs) {
+  std::vector<PropId> many = {p_id_, q_id_, vocab_->Intern("r3"),
+                              vocab_->Intern("r4"), vocab_->Intern("r5")};
+  EXPECT_TRUE(
+      BoundedSafetyCheck(&fac_, p_, many, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      BoundedSafetyCheck(&fac_, p_, {p_id_}, 9).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

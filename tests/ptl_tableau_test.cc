@@ -1,0 +1,235 @@
+// Tests for the PTL satisfiability tableau (Lemma 4.2, phase 2), including
+// the witness-extraction property loop: every SAT verdict must come with a
+// lasso model on which independent evaluation confirms the formula.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ptl/formula.h"
+#include "ptl/nnf.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class TableauTest : public ::testing::Test {
+ protected:
+  TableauTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_ = fac_.Atom(vocab_->Intern("p"));
+    q_ = fac_.Atom(vocab_->Intern("q"));
+    r_ = fac_.Atom(vocab_->Intern("r"));
+  }
+
+  bool Sat(Formula f) {
+    auto res = CheckSat(&fac_, f);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    if (!res.ok()) return false;
+    if (res->satisfiable) {
+      // Witness audit: the extracted lasso must satisfy f.
+      EXPECT_TRUE(res->witness.has_value());
+      auto holds = Evaluate(*res->witness, f, 0);
+      EXPECT_TRUE(holds.ok()) << holds.status().ToString();
+      EXPECT_TRUE(*holds) << "witness does not satisfy " << ToString(fac_, f);
+    }
+    return res->satisfiable;
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  Formula p_, q_, r_;
+};
+
+TEST_F(TableauTest, Constants) {
+  EXPECT_TRUE(Sat(fac_.True()));
+  EXPECT_FALSE(Sat(fac_.False()));
+}
+
+TEST_F(TableauTest, Literals) {
+  EXPECT_TRUE(Sat(p_));
+  EXPECT_TRUE(Sat(fac_.Not(p_)));
+  EXPECT_FALSE(Sat(fac_.And(p_, fac_.Not(p_))));
+  EXPECT_TRUE(Sat(fac_.Or(p_, fac_.Not(p_))));
+}
+
+TEST_F(TableauTest, BasicTemporal) {
+  EXPECT_TRUE(Sat(fac_.Next(p_)));
+  EXPECT_TRUE(Sat(fac_.Always(p_)));
+  EXPECT_TRUE(Sat(fac_.Eventually(p_)));
+  EXPECT_TRUE(Sat(fac_.Until(p_, q_)));
+  EXPECT_TRUE(Sat(fac_.Release(p_, q_)));
+}
+
+TEST_F(TableauTest, ClassicUnsat) {
+  // G p & F !p.
+  EXPECT_FALSE(Sat(fac_.And(fac_.Always(p_), fac_.Eventually(fac_.Not(p_)))));
+  // F p & G !p.
+  EXPECT_FALSE(Sat(fac_.And(fac_.Eventually(p_), fac_.Always(fac_.Not(p_)))));
+  // X p & X !p.
+  EXPECT_FALSE(Sat(fac_.And(fac_.Next(p_), fac_.Next(fac_.Not(p_)))));
+  // (p U q) & G !q.
+  EXPECT_FALSE(Sat(fac_.And(fac_.Until(p_, q_), fac_.Always(fac_.Not(q_)))));
+}
+
+TEST_F(TableauTest, EventualityInsideAlways) {
+  // G F p is satisfiable; G F p & F G !p is not.
+  Formula gfp = fac_.Always(fac_.Eventually(p_));
+  EXPECT_TRUE(Sat(gfp));
+  EXPECT_FALSE(Sat(fac_.And(gfp, fac_.Eventually(fac_.Always(fac_.Not(p_))))));
+}
+
+TEST_F(TableauTest, UntilUnfoldingChain) {
+  // p & X p & X X !p & (p U q) forces q within two steps... actually q can
+  // come at step 0, 1 or 2; all consistent. Make it unsat by banning q.
+  Formula f = fac_.AndAll({p_, fac_.Next(p_), fac_.Next(fac_.Next(fac_.Not(p_))),
+                           fac_.Until(p_, q_), fac_.Always(fac_.Not(q_))});
+  EXPECT_FALSE(Sat(f));
+  Formula g = fac_.AndAll({p_, fac_.Next(p_), fac_.Next(fac_.Next(fac_.Not(p_))),
+                           fac_.Until(p_, q_)});
+  EXPECT_TRUE(Sat(g));
+}
+
+TEST_F(TableauTest, ReleaseSemantics) {
+  // q R p: p holds until (and including when) q releases it.
+  // (q R p) & !p is unsat at the first instant.
+  EXPECT_FALSE(Sat(fac_.And(fac_.Release(q_, p_), fac_.Not(p_))));
+  // (q R p) & G !q forces G p: contradiction with F !p.
+  EXPECT_FALSE(Sat(fac_.AndAll({fac_.Release(q_, p_), fac_.Always(fac_.Not(q_)),
+                                fac_.Eventually(fac_.Not(p_))})));
+}
+
+TEST_F(TableauTest, ValidityAndEquivalence) {
+  // !(p U q)  ==  !p R !q  (the NNF duality).
+  auto eq = CheckEquivalent(&fac_, fac_.Not(fac_.Until(p_, q_)),
+                            fac_.Release(fac_.Not(p_), fac_.Not(q_)));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+  // F p == true U p.
+  auto eq2 = CheckEquivalent(&fac_, fac_.Eventually(p_), fac_.Until(fac_.True(), p_));
+  ASSERT_TRUE(eq2.ok());
+  EXPECT_TRUE(*eq2);
+  // G p == false R p.
+  auto eq3 = CheckEquivalent(&fac_, fac_.Always(p_), fac_.Release(fac_.False(), p_));
+  ASSERT_TRUE(eq3.ok());
+  EXPECT_TRUE(*eq3);
+  // p U q is NOT equivalent to F q.
+  auto eq4 = CheckEquivalent(&fac_, fac_.Until(p_, q_), fac_.Eventually(q_));
+  ASSERT_TRUE(eq4.ok());
+  EXPECT_FALSE(*eq4);
+}
+
+TEST_F(TableauTest, WitnessRespectsStem) {
+  // !p & X p & G (p -> X p): witness must start with !p then p forever.
+  Formula f = fac_.AndAll(
+      {fac_.Not(p_), fac_.Next(p_), fac_.Always(fac_.Implies(p_, fac_.Next(p_)))});
+  auto res = CheckSat(&fac_, f);
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(res->satisfiable);
+  const auto& w = *res->witness;
+  EXPECT_FALSE(w.StateAt(0).Get(p_->atom()));
+  for (size_t t = 1; t < w.NumPositions() + 2; ++t) {
+    EXPECT_TRUE(w.StateAt(t).Get(p_->atom())) << "t=" << t;
+  }
+}
+
+TEST_F(TableauTest, StatsPopulated) {
+  auto res = CheckSat(&fac_, fac_.Until(p_, q_));
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->stats.num_states, 0u);
+  EXPECT_GT(res->stats.num_expansions, 0u);
+}
+
+TEST_F(TableauTest, BudgetExhaustion) {
+  TableauOptions opts;
+  opts.max_states = 1;
+  // Needs more than one tableau state.
+  Formula f = fac_.And(fac_.Until(p_, q_), fac_.Until(q_, r_));
+  auto res = CheckSat(&fac_, f, opts);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsResourceExhausted());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random formulas. For each, (a) SAT answers must be stable
+// under double negation, (b) witnesses must evaluate to true, (c) f | !f must
+// always be satisfiable, and (d) f & !f must never be.
+// ---------------------------------------------------------------------------
+
+class RandomFormulaTest : public ::testing::TestWithParam<int> {};
+
+Formula RandomFormula(Factory* fac, std::mt19937* rng, const std::vector<Formula>& atoms,
+                      int depth) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 9);
+  switch (pick(*rng)) {
+    case 0:
+      return atoms[(*rng)() % atoms.size()];
+    case 1:
+      return fac->Not(atoms[(*rng)() % atoms.size()]);
+    case 2:
+      return fac->Not(RandomFormula(fac, rng, atoms, depth - 1));
+    case 3:
+      return fac->And(RandomFormula(fac, rng, atoms, depth - 1),
+                      RandomFormula(fac, rng, atoms, depth - 1));
+    case 4:
+      return fac->Or(RandomFormula(fac, rng, atoms, depth - 1),
+                     RandomFormula(fac, rng, atoms, depth - 1));
+    case 5:
+      return fac->Next(RandomFormula(fac, rng, atoms, depth - 1));
+    case 6:
+      return fac->Until(RandomFormula(fac, rng, atoms, depth - 1),
+                        RandomFormula(fac, rng, atoms, depth - 1));
+    case 7:
+      return fac->Release(RandomFormula(fac, rng, atoms, depth - 1),
+                          RandomFormula(fac, rng, atoms, depth - 1));
+    case 8:
+      return fac->Eventually(RandomFormula(fac, rng, atoms, depth - 1));
+    default:
+      return fac->Always(RandomFormula(fac, rng, atoms, depth - 1));
+  }
+}
+
+TEST_P(RandomFormulaTest, SatVerdictsAreCoherent) {
+  auto vocab = std::make_shared<PropVocabulary>();
+  Factory fac(vocab);
+  std::vector<Formula> atoms = {fac.Atom(vocab->Intern("a")),
+                                fac.Atom(vocab->Intern("b")),
+                                fac.Atom(vocab->Intern("c"))};
+  std::mt19937 rng(GetParam());
+  Formula f = RandomFormula(&fac, &rng, atoms, 4);
+
+  auto sat_f = CheckSat(&fac, f);
+  ASSERT_TRUE(sat_f.ok()) << sat_f.status().ToString();
+  auto sat_nf = CheckSat(&fac, fac.Not(f));
+  ASSERT_TRUE(sat_nf.ok());
+
+  // Witnesses evaluate true.
+  if (sat_f->satisfiable) {
+    auto holds = Evaluate(*sat_f->witness, f, 0);
+    ASSERT_TRUE(holds.ok());
+    EXPECT_TRUE(*holds) << ToString(fac, f);
+  }
+  if (sat_nf->satisfiable) {
+    auto holds = Evaluate(*sat_nf->witness, fac.Not(f), 0);
+    ASSERT_TRUE(holds.ok());
+    EXPECT_TRUE(*holds);
+  }
+
+  // At least one of f, !f is satisfiable.
+  EXPECT_TRUE(sat_f->satisfiable || sat_nf->satisfiable);
+  // f & !f never is.
+  auto contra = CheckSat(&fac, fac.And(f, fac.Not(f)));
+  ASSERT_TRUE(contra.ok());
+  EXPECT_FALSE(contra->satisfiable);
+  // Double negation stability.
+  auto sat_nnf = CheckSat(&fac, fac.Not(fac.Not(f)));
+  ASSERT_TRUE(sat_nnf.ok());
+  EXPECT_EQ(sat_f->satisfiable, sat_nnf->satisfiable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFormulaTest, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

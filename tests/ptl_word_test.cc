@@ -1,0 +1,116 @@
+// Tests for ultimately periodic propositional words and their evaluator.
+
+#include <gtest/gtest.h>
+
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class WordTest : public ::testing::Test {
+ protected:
+  WordTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_id_ = vocab_->Intern("p");
+    q_id_ = vocab_->Intern("q");
+    p_ = fac_.Atom(p_id_);
+    q_ = fac_.Atom(q_id_);
+  }
+
+  PropState S(bool p, bool q) {
+    PropState s;
+    s.Set(p_id_, p);
+    s.Set(q_id_, q);
+    return s;
+  }
+
+  bool Eval(const UltimatelyPeriodicWord& w, Formula f, size_t pos = 0) {
+    auto res = Evaluate(w, f, pos);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() && *res;
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  PropId p_id_, q_id_;
+  Formula p_, q_;
+};
+
+TEST_F(WordTest, StateIndexing) {
+  UltimatelyPeriodicWord w{{S(true, false)}, {S(false, true), S(false, false)}};
+  EXPECT_TRUE(w.StateAt(0).Get(p_id_));
+  EXPECT_TRUE(w.StateAt(1).Get(q_id_));
+  EXPECT_FALSE(w.StateAt(2).Get(q_id_));
+  EXPECT_TRUE(w.StateAt(3).Get(q_id_));   // loop wraps
+  EXPECT_TRUE(w.StateAt(101).Get(q_id_));
+}
+
+TEST_F(WordTest, Booleans) {
+  UltimatelyPeriodicWord w{{}, {S(true, false)}};
+  EXPECT_TRUE(Eval(w, p_));
+  EXPECT_FALSE(Eval(w, q_));
+  EXPECT_TRUE(Eval(w, fac_.And(p_, fac_.Not(q_))));
+  EXPECT_TRUE(Eval(w, fac_.Implies(q_, p_)));
+  EXPECT_TRUE(Eval(w, fac_.Or(q_, p_)));
+}
+
+TEST_F(WordTest, NextWrapsIntoLoop) {
+  UltimatelyPeriodicWord w{{S(true, false)}, {S(false, true)}};
+  EXPECT_TRUE(Eval(w, fac_.Next(q_)));
+  EXPECT_TRUE(Eval(w, fac_.Next(fac_.Next(q_))));  // loop self-succeeds
+}
+
+TEST_F(WordTest, UntilAcrossPrefixAndLoop) {
+  UltimatelyPeriodicWord w{{S(true, false), S(true, false)}, {S(false, true)}};
+  EXPECT_TRUE(Eval(w, fac_.Until(p_, q_)));
+  // From position 2 (inside loop), p no longer holds but q does immediately.
+  EXPECT_TRUE(Eval(w, fac_.Until(p_, q_), 2));
+}
+
+TEST_F(WordTest, UntilFailsWhenGoalNeverComes) {
+  UltimatelyPeriodicWord w{{}, {S(true, false)}};
+  EXPECT_FALSE(Eval(w, fac_.Until(p_, q_)));
+  EXPECT_FALSE(Eval(w, fac_.Eventually(q_)));
+  EXPECT_TRUE(Eval(w, fac_.Always(p_)));
+}
+
+TEST_F(WordTest, ReleaseSemantics) {
+  // q R p on p-only loop: true (p forever, never released).
+  UltimatelyPeriodicWord w{{}, {S(true, false)}};
+  EXPECT_TRUE(Eval(w, fac_.Release(q_, p_)));
+  // On a word where p stops before q appears: false.
+  UltimatelyPeriodicWord w2{{S(true, false)}, {S(false, false)}};
+  EXPECT_FALSE(Eval(w2, fac_.Release(q_, p_)));
+  // Released at the first state: q & p there, then anything.
+  UltimatelyPeriodicWord w3{{S(true, true)}, {S(false, false)}};
+  EXPECT_TRUE(Eval(w3, fac_.Release(q_, p_)));
+}
+
+TEST_F(WordTest, GFandFG) {
+  UltimatelyPeriodicWord alt{{}, {S(true, false), S(false, false)}};
+  EXPECT_TRUE(Eval(alt, fac_.Always(fac_.Eventually(p_))));
+  EXPECT_FALSE(Eval(alt, fac_.Eventually(fac_.Always(p_))));
+  UltimatelyPeriodicWord stable{{S(false, false)}, {S(true, false)}};
+  EXPECT_TRUE(Eval(stable, fac_.Eventually(fac_.Always(p_))));
+}
+
+TEST_F(WordTest, ErrorCases) {
+  UltimatelyPeriodicWord empty_loop{{S(true, false)}, {}};
+  EXPECT_TRUE(Evaluate(empty_loop, p_).status().IsInvalidArgument());
+  UltimatelyPeriodicWord w{{}, {S(true, false)}};
+  EXPECT_TRUE(Evaluate(w, p_, 5).status().IsOutOfRange());
+}
+
+TEST_F(WordTest, PropStateSetUnset) {
+  PropState s;
+  EXPECT_FALSE(s.Get(p_id_));
+  s.Set(p_id_, true);
+  EXPECT_TRUE(s.Get(p_id_));
+  s.Set(p_id_, false);
+  EXPECT_FALSE(s.Get(p_id_));
+  EXPECT_EQ(s, PropState());
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

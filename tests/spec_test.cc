@@ -1,0 +1,133 @@
+// Tests for the specification format and the replay driver.
+
+#include <gtest/gtest.h>
+
+#include "spec/spec.h"
+
+namespace tic {
+namespace spec {
+namespace {
+
+constexpr char kOrdersSpec[] = R"(
+# order processing
+predicate Sub/1
+predicate Fill/1
+constant  vip = 99
+
+constraint submit_once : forall x . G (Sub(x) -> X G !Sub(x))
+past       audited     : forall x . G (Fill(x) -> O Sub(x))
+trigger    dup_alert   : F (Sub(x) & X F Sub(x))
+
+step +Sub(1)
+step -Sub(1) +Sub(vip)
+step -Sub(vip) +Fill(1)
+step +Sub(1)
+)";
+
+TEST(SpecParseTest, ParsesVocabularyConstraintsAndSteps) {
+  auto spec = ParseSpecification(kOrdersSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->vocabulary->num_predicates(), 2u);
+  EXPECT_EQ(spec->vocabulary->num_constants(), 1u);
+  EXPECT_EQ(spec->constant_interpretation, std::vector<Value>{99});
+  ASSERT_EQ(spec->constraints.size(), 3u);
+  EXPECT_EQ(spec->constraints[0].engine, ConstraintDecl::Engine::kUniversal);
+  EXPECT_EQ(spec->constraints[1].engine, ConstraintDecl::Engine::kPast);
+  EXPECT_EQ(spec->constraints[2].engine, ConstraintDecl::Engine::kTrigger);
+  ASSERT_EQ(spec->steps.size(), 4u);
+  EXPECT_EQ(spec->steps[0].size(), 1u);
+  EXPECT_EQ(spec->steps[1].size(), 2u);
+  // The constant resolved to its interpretation.
+  EXPECT_EQ(spec->steps[1][1].tuple, Tuple{99});
+}
+
+TEST(SpecParseTest, MultiArityArgumentsWithSpaces) {
+  auto spec = ParseSpecification(R"(
+predicate Owns/2
+step +Owns(1, 2) -Owns(3,4)
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->steps.size(), 1u);
+  ASSERT_EQ(spec->steps[0].size(), 2u);
+  EXPECT_EQ(spec->steps[0][0].tuple, (Tuple{1, 2}));
+  EXPECT_EQ(spec->steps[0][1].tuple, (Tuple{3, 4}));
+  EXPECT_EQ(spec->steps[0][1].kind, UpdateOp::Kind::kDelete);
+}
+
+TEST(SpecParseTest, Errors) {
+  EXPECT_TRUE(ParseSpecification("predicate Sub").status().IsParseError());
+  EXPECT_TRUE(ParseSpecification("predicate Sub/zero").status().IsParseError());
+  EXPECT_TRUE(ParseSpecification("constant x").status().IsParseError());
+  EXPECT_TRUE(ParseSpecification("frobnicate all").status().IsParseError());
+  EXPECT_TRUE(ParseSpecification("constraint a forall x . true")
+                  .status()
+                  .IsParseError());  // missing ':'
+  EXPECT_TRUE(ParseSpecification("predicate Sub/1\nstep +Nope(1)")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ParseSpecification("predicate Sub/1\nstep +Sub(1, 2)")
+                  .status()
+                  .IsParseError());  // arity mismatch
+  EXPECT_TRUE(ParseSpecification("predicate Sub/1\nstep Sub(1)")
+                  .status()
+                  .IsParseError());  // missing +/-
+  // Bad constraint formula surfaces with its name.
+  auto bad = ParseSpecification("predicate Sub/1\nconstraint c : Sub(");
+  EXPECT_TRUE(bad.status().IsParseError());
+  EXPECT_NE(bad.status().message().find("(c)"), std::string::npos);
+}
+
+TEST(SpecReplayTest, EndToEndVerdicts) {
+  auto spec = ParseSpecification(kOrdersSpec);
+  ASSERT_TRUE(spec.ok());
+  auto replay = Replay(*spec);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->states_applied, 4u);
+  EXPECT_TRUE(replay->any_violation);
+
+  // Collect verdicts per (constraint, time).
+  auto verdict_at = [&](const std::string& name, size_t t) -> std::string {
+    for (const auto& ev : replay->events) {
+      if (ev.constraint == name && ev.time == t) return ev.verdict;
+    }
+    return "(none)";
+  };
+  EXPECT_EQ(verdict_at("submit_once", 0), "ok");
+  EXPECT_EQ(verdict_at("submit_once", 2), "ok");
+  EXPECT_EQ(verdict_at("submit_once", 3), "PERMANENTLY VIOLATED");
+  EXPECT_EQ(verdict_at("audited", 2), "ok");
+  // Trigger fires only at the resubmission state (theta x=1).
+  EXPECT_EQ(verdict_at("dup_alert", 2), "(none)");
+  EXPECT_NE(verdict_at("dup_alert", 3).find("fired"), std::string::npos);
+  EXPECT_NE(verdict_at("dup_alert", 3).find("x=1"), std::string::npos);
+}
+
+TEST(SpecReplayTest, CleanStreamReportsNoViolation) {
+  auto spec = ParseSpecification(R"(
+predicate Sub/1
+constraint once : forall x . G (Sub(x) -> X G !Sub(x))
+step +Sub(1)
+step -Sub(1) +Sub(2)
+step -Sub(2)
+)");
+  ASSERT_TRUE(spec.ok());
+  auto replay = Replay(*spec);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->any_violation);
+  for (const auto& ev : replay->events) EXPECT_EQ(ev.verdict, "ok");
+}
+
+TEST(SpecReplayTest, UnsupportedConstraintSurfacesAtReplay) {
+  auto spec = ParseSpecification(R"(
+predicate Sub/1
+constraint live : forall x . F Sub(x)
+step +Sub(1)
+)");
+  ASSERT_TRUE(spec.ok());
+  auto replay = Replay(*spec);
+  EXPECT_TRUE(replay.status().IsNotSupported());
+}
+
+}  // namespace
+}  // namespace spec
+}  // namespace tic

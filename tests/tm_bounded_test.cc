@@ -1,0 +1,119 @@
+// Tests for the Section 6 bounded-space construction: a Turing machine
+// encoded as a *universal safety sentence over an ordinary vocabulary*
+// (Succ/First/Last as database relations held rigid), decided by the
+// Theorem 4.2 checker. Potential satisfaction of the single-state history
+// (D0) == the machine runs forever within the region — so the checker
+// effectively simulates the machine, which is the paper's argument for why
+// |R_D| cannot leave the exponent.
+
+#include <gtest/gtest.h>
+
+#include "checker/extension.h"
+#include "fotl/classify.h"
+#include "fotl/evaluator.h"
+#include "tm/formulas.h"
+
+namespace tic {
+namespace tm {
+namespace {
+
+checker::CheckResult Check(const BoundedTmInstance& inst) {
+  auto res = checker::CheckPotentialSatisfaction(*inst.factory, inst.phi,
+                                                 inst.history);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return res.ok() ? *res : checker::CheckResult{};
+}
+
+TEST(BoundedTmTest, InstanceShape) {
+  TuringMachine shuttle = *MakeShuttleMachine();
+  auto inst = BuildBoundedInstance(shuttle, "0", 5);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  fotl::Classification c = fotl::Classify(inst->phi);
+  EXPECT_TRUE(c.universal);  // the Theorem 4.2 fragment
+  EXPECT_TRUE(c.closed);
+  EXPECT_EQ(c.external_universals.size(), 3u);
+  EXPECT_FALSE(inst->vocab->HasBuiltins());  // ordinary vocabulary!
+  EXPECT_EQ(inst->history.length(), 1u);
+  // D0 carries the Succ chain and the region markers.
+  PredicateId succ = *inst->vocab->FindPredicate("Succ");
+  PredicateId first = *inst->vocab->FindPredicate("First");
+  PredicateId last = *inst->vocab->FindPredicate("Last");
+  EXPECT_TRUE(inst->history.state(0).Holds(succ, {0, 1}));
+  EXPECT_TRUE(inst->history.state(0).Holds(succ, {3, 4}));
+  EXPECT_TRUE(inst->history.state(0).Holds(first, {0}));
+  EXPECT_TRUE(inst->history.state(0).Holds(last, {4}));
+}
+
+TEST(BoundedTmTest, RegionMustCoverTheInput) {
+  TuringMachine shuttle = *MakeShuttleMachine();
+  EXPECT_TRUE(BuildBoundedInstance(shuttle, "0101", 4).status().IsInvalidArgument());
+}
+
+TEST(BoundedTmTest, ShuttleWithinRegionIsPotentiallySatisfied) {
+  // The shuttle on "0" cycles within word positions 0..2: it runs forever
+  // inside a 5-cell region, so (D0) extends — and the checker's witness IS
+  // the computation (verified by replaying phi on it).
+  TuringMachine shuttle = *MakeShuttleMachine();
+  auto inst = BuildBoundedInstance(shuttle, "0", 5);
+  ASSERT_TRUE(inst.ok());
+  checker::CheckResult r = Check(*inst);
+  EXPECT_TRUE(r.potentially_satisfied);
+  ASSERT_TRUE(r.witness.has_value());
+
+  // Independent audit: the synthesized evolution satisfies phi.
+  auto holds = fotl::EvaluateFuture(*r.witness, inst->phi);
+  ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+  EXPECT_TRUE(*holds);
+
+  // The witness carries exactly one state symbol per instant (the forced,
+  // deterministic computation), and the head stays off the Last cell.
+  std::vector<PredicateId> state_preds;
+  for (const char* name : {"P_q0", "P_qR", "P_qL"}) {
+    state_preds.push_back(*inst->vocab->FindPredicate(name));
+  }
+  for (size_t t = 0; t < r.witness->prefix_length() + r.witness->loop_length();
+       ++t) {
+    size_t symbols = 0;
+    for (PredicateId p : state_preds) {
+      symbols += r.witness->StateAt(t).relation(p).size();
+      for (const Tuple& tup : r.witness->StateAt(t).relation(p)) {
+        EXPECT_LT(tup[0], 4) << "head reached the boundary at t=" << t;
+      }
+    }
+    EXPECT_EQ(symbols, 1u) << "t=" << t;
+  }
+}
+
+TEST(BoundedTmTest, HaltingMachineIsRejected) {
+  TuringMachine halting = *MakeImmediateHaltMachine();
+  auto inst = BuildBoundedInstance(halting, "0", 5);
+  ASSERT_TRUE(inst.ok());
+  checker::CheckResult r = Check(*inst);
+  EXPECT_FALSE(r.potentially_satisfied);  // the halt rule forbids extension
+}
+
+TEST(BoundedTmTest, RightWalkerHitsTheBoundary) {
+  TuringMachine walker = *MakeRightWalkerMachine();
+  auto inst = BuildBoundedInstance(walker, "0", 5);
+  ASSERT_TRUE(inst.ok());
+  checker::CheckResult r = Check(*inst);
+  // The walker reaches the Last cell after finitely many steps; the boundary
+  // rule then kills every extension.
+  EXPECT_FALSE(r.potentially_satisfied);
+}
+
+TEST(BoundedTmTest, CounterOverflowsSmallRegionButFitsNone) {
+  // The binary counter's tape grows without bound: inside ANY finite region it
+  // eventually reaches the boundary, so the instance is never potentially
+  // satisfiable — but the checker has to simulate ~2^bits steps to see it
+  // (the Section 6 cost argument, in miniature).
+  TuringMachine counter = *MakeBinaryCounterMachine();
+  auto inst = BuildBoundedInstance(counter, "", 5);
+  ASSERT_TRUE(inst.ok());
+  checker::CheckResult r = Check(*inst);
+  EXPECT_FALSE(r.potentially_satisfied);
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace tic

@@ -1,0 +1,141 @@
+// Tests for the Section 3 configuration encoding: database states over the
+// monadic vocabulary, round-tripping, and computation histories.
+
+#include <gtest/gtest.h>
+
+#include "tm/encoding.h"
+
+namespace tic {
+namespace tm {
+namespace {
+
+class EncodingTest : public ::testing::Test {
+ protected:
+  EncodingTest() : machine_(*MakeShuttleMachine()) {}
+  TuringMachine machine_;
+};
+
+TEST_F(EncodingTest, VocabularyShape) {
+  TmEncoding enc = *TmEncoding::Create(&machine_);
+  const Vocabulary& v = *enc.vocabulary();
+  // 3 states + 3 non-blank symbols (0, 1, M) + 3 builtins = 9 predicates.
+  EXPECT_EQ(v.num_predicates(), 9u);
+  EXPECT_TRUE(v.FindPredicate("P_q0").ok());
+  EXPECT_TRUE(v.FindPredicate("P_qR").ok());
+  EXPECT_TRUE(v.FindPredicate("P_0").ok());
+  EXPECT_TRUE(v.FindPredicate("P_M").ok());
+  EXPECT_TRUE(v.FindPredicate("P_B").status().IsNotFound());  // blank: abbreviation
+  EXPECT_TRUE(v.HasBuiltins());
+  EXPECT_TRUE(enc.symbol_pred('B').status().IsNotFound());
+}
+
+TEST_F(EncodingTest, WithWAddsThePredicate) {
+  TmEncoding enc = *TmEncoding::Create(&machine_, /*with_w=*/true);
+  EXPECT_TRUE(enc.with_w());
+  EXPECT_EQ(enc.vocabulary()->predicate(enc.w_pred()).name, "W");
+}
+
+TEST_F(EncodingTest, EncodeInitialConfiguration) {
+  TmEncoding enc = *TmEncoding::Create(&machine_);
+  Simulator sim(&machine_);
+  Configuration c = *sim.Initial("01");
+  auto s = enc.EncodeConfiguration(c);
+  ASSERT_TRUE(s.ok());
+  // Word: q0 0 1 (blanks beyond): P_q0(0), P_0(1), P_1(2).
+  EXPECT_TRUE(s->Holds(enc.state_pred(0), {0}));
+  EXPECT_TRUE(s->Holds(*enc.symbol_pred('0'), {1}));
+  EXPECT_TRUE(s->Holds(*enc.symbol_pred('1'), {2}));
+  EXPECT_EQ(s->TotalTuples(), 3u);  // nothing else
+}
+
+TEST_F(EncodingTest, EncodeMidComputation) {
+  TmEncoding enc = *TmEncoding::Create(&machine_);
+  Simulator sim(&machine_);
+  Configuration c = *sim.Initial("01");
+  ASSERT_EQ(sim.Step(&c), StepOutcome::kContinue);  // wrote M, moved right
+  // Word: M qR 1 : P_M(0), P_qR(1), P_1(2).
+  auto s = enc.EncodeConfiguration(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->Holds(*enc.symbol_pred('M'), {0}));
+  EXPECT_TRUE(s->Holds(enc.state_pred(1), {1}));
+  EXPECT_TRUE(s->Holds(*enc.symbol_pred('1'), {2}));
+}
+
+TEST_F(EncodingTest, RoundTrip) {
+  TmEncoding enc = *TmEncoding::Create(&machine_);
+  Simulator sim(&machine_);
+  Configuration c = *sim.Initial("0110");
+  for (int step = 0; step < 25; ++step) {
+    auto s = enc.EncodeConfiguration(c);
+    ASSERT_TRUE(s.ok());
+    auto back = enc.DecodeState(*s, 64);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->state, c.state) << "step " << step;
+    EXPECT_EQ(back->head, c.head);
+    // Tapes agree up to trailing blanks.
+    std::vector<char> a = c.tape, b = back->tape;
+    while (!a.empty() && a.back() == 'B') a.pop_back();
+    while (!b.empty() && b.back() == 'B') b.pop_back();
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(sim.Step(&c), StepOutcome::kContinue);
+  }
+}
+
+TEST_F(EncodingTest, DecodeRejectsCorruptStates) {
+  TmEncoding enc = *TmEncoding::Create(&machine_);
+  // No state symbol at all.
+  DatabaseState empty(enc.vocabulary());
+  EXPECT_TRUE(enc.DecodeState(empty, 8).status().IsInvalidArgument());
+  // Two state symbols.
+  DatabaseState two(enc.vocabulary());
+  ASSERT_TRUE(two.Insert(enc.state_pred(0), {0}).ok());
+  ASSERT_TRUE(two.Insert(enc.state_pred(1), {3}).ok());
+  EXPECT_TRUE(enc.DecodeState(two, 8).status().IsInvalidArgument());
+  // Two symbols at one position.
+  DatabaseState dup(enc.vocabulary());
+  ASSERT_TRUE(dup.Insert(enc.state_pred(0), {0}).ok());
+  ASSERT_TRUE(dup.Insert(*enc.symbol_pred('0'), {1}).ok());
+  ASSERT_TRUE(dup.Insert(*enc.symbol_pred('1'), {1}).ok());
+  EXPECT_TRUE(enc.DecodeState(dup, 8).status().IsInvalidArgument());
+}
+
+TEST_F(EncodingTest, EncodeComputationHistory) {
+  TmEncoding enc = *TmEncoding::Create(&machine_);
+  auto h = enc.EncodeComputation("01", 10);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->length(), 10u);
+  // State 0 encodes the initial configuration.
+  EXPECT_TRUE(h->state(0).Holds(enc.state_pred(0), {0}));
+  // Each state has exactly one state-predicate tuple.
+  for (size_t t = 0; t < 10; ++t) {
+    size_t state_tuples = 0;
+    for (uint32_t q = 0; q < machine_.num_states(); ++q) {
+      state_tuples += h->state(t).relation(enc.state_pred(q)).size();
+    }
+    EXPECT_EQ(state_tuples, 1u) << "t=" << t;
+  }
+}
+
+TEST_F(EncodingTest, EncodeComputationFailsOnHaltingMachine) {
+  TuringMachine halt = *MakeImmediateHaltMachine();
+  TmEncoding enc = *TmEncoding::Create(&halt);
+  auto h = enc.EncodeComputation("01", 5);
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+  // A single state is fine (the machine halts *after* producing it).
+  auto h1 = enc.EncodeComputation("01", 1);
+  EXPECT_TRUE(h1.ok());
+}
+
+TEST_F(EncodingTest, WithWMarksStateIndex) {
+  TmEncoding enc = *TmEncoding::Create(&machine_, /*with_w=*/true);
+  auto h = enc.EncodeComputation("0", 5);
+  ASSERT_TRUE(h.ok());
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_TRUE(h->state(t).Holds(enc.w_pred(), {static_cast<Value>(t)}));
+    EXPECT_EQ(h->state(t).relation(enc.w_pred()).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace tic

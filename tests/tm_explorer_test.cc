@@ -1,0 +1,123 @@
+// Tests for the bounded repeating-behaviour exploration (the computational
+// content of Theorem 3.1) and the Lemma 3.1 dovetailing schema.
+
+#include <gtest/gtest.h>
+
+#include "tm/explorer.h"
+
+namespace tic {
+namespace tm {
+namespace {
+
+TEST(ExplorerTest, HaltingMachineIsRefuted) {
+  TuringMachine m = *MakeImmediateHaltMachine();
+  auto r = ExploreRepeating(m, "0101", 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verdict, StepOutcome::kHalt);
+  EXPECT_EQ(r->origin_visits, 1u);
+}
+
+TEST(ExplorerTest, ShuttleAccumulatesVisits) {
+  TuringMachine m = *MakeShuttleMachine();
+  auto r = ExploreRepeating(m, "01", 10000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verdict, StepOutcome::kContinue);  // undecided, as it must be
+  EXPECT_GT(r->origin_visits, 1000u);
+}
+
+TEST(ExplorerTest, RightWalkerStaysAtOneVisit) {
+  TuringMachine m = *MakeRightWalkerMachine();
+  auto r = ExploreRepeating(m, "01", 10000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verdict, StepOutcome::kContinue);
+  EXPECT_EQ(r->origin_visits, 1u);
+}
+
+TEST(ExplorerTest, ReachesOriginVisitsSemiDecision) {
+  TuringMachine shuttle = *MakeShuttleMachine();
+  auto yes = ReachesOriginVisits(shuttle, "01", 50, 100000);
+  ASSERT_TRUE(yes.ok()) << yes.status().ToString();
+  EXPECT_TRUE(*yes);
+
+  TuringMachine halting = *MakeImmediateHaltMachine();
+  auto no = ReachesOriginVisits(halting, "01", 2, 100000);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+
+  // Undecidable-within-budget case: the right walker never halts and never
+  // returns; a bounded explorer cannot refute it, only give up.
+  TuringMachine walker = *MakeRightWalkerMachine();
+  auto undecided = ReachesOriginVisits(walker, "01", 2, 1000);
+  EXPECT_TRUE(undecided.status().IsResourceExhausted());
+}
+
+TEST(ExplorerTest, BinaryCounterVisitsGrowWithBudget) {
+  TuringMachine m = *MakeBinaryCounterMachine();
+  auto small = ExploreRepeating(m, "", 1000);
+  auto big = ExploreRepeating(m, "", 100000);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(big->origin_visits, small->origin_visits);
+}
+
+// ---------------------------------------------------------------------------
+// The Lemma 3.1 machine schema: repeating behaviour iff forall v exists u
+// R(w, v, u).
+// ---------------------------------------------------------------------------
+
+TEST(DovetailTest, TotalRelationRepeatsForever) {
+  // R true everywhere: every v gets its witness on the first probe.
+  DovetailingMachine m([](const std::string&, uint64_t, uint64_t) { return true; },
+                       "w");
+  const auto& p = m.Run(1000);
+  EXPECT_EQ(p.origin_visits, 1000u);
+  EXPECT_EQ(p.current_v, 1000u);
+}
+
+TEST(DovetailTest, FailingVStallsForever) {
+  // R(w, v, u) holds iff u == v, except v == 3 has no witness: the machine
+  // completes v = 0, 1, 2 and then searches forever.
+  DovetailingMachine m(
+      [](const std::string&, uint64_t v, uint64_t u) { return v != 3 && u == v; },
+      "w");
+  m.Run(100000);
+  EXPECT_EQ(m.progress().origin_visits, 3u);
+  EXPECT_EQ(m.progress().current_v, 3u);
+  m.Run(100000);  // more budget does not help
+  EXPECT_EQ(m.progress().origin_visits, 3u);
+}
+
+TEST(DovetailTest, SparseWitnessesSlowButComplete) {
+  // Witness for v sits at u = 10 * v: visits accumulate, sublinearly in probes.
+  DovetailingMachine m(
+      [](const std::string&, uint64_t v, uint64_t u) { return u == 10 * v; }, "w");
+  const auto& p = m.Run(10000);
+  EXPECT_GT(p.origin_visits, 40u);
+  EXPECT_LT(p.origin_visits, 10000u);
+}
+
+TEST(DovetailTest, InputDependentBehaviour) {
+  // R(w, v, u) iff u == v + |w|: all inputs repeat, with different probe costs.
+  auto rel = [](const std::string& w, uint64_t v, uint64_t u) {
+    return u == v + w.size();
+  };
+  DovetailingMachine short_input(rel, "0");
+  DovetailingMachine long_input(rel, "000000000000");
+  short_input.Run(5000);
+  long_input.Run(5000);
+  EXPECT_GT(short_input.progress().origin_visits,
+            long_input.progress().origin_visits);
+}
+
+TEST(DovetailTest, ProgressIsCumulativeAcrossRuns) {
+  DovetailingMachine m([](const std::string&, uint64_t, uint64_t) { return true; },
+                       "w");
+  m.Run(10);
+  m.Run(15);
+  EXPECT_EQ(m.progress().probes, 25u);
+  EXPECT_EQ(m.progress().origin_visits, 25u);
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace tic

@@ -1,0 +1,309 @@
+// Tests for the Section 3 / Appendix formula constructions: phi (Proposition
+// 3.1) and phi-tilde (Theorem 3.2). The strongest check: the shuttle machine's
+// computation is ultimately periodic, so we can represent the *infinite*
+// encoded temporal database exactly and evaluate phi on it directly — it must
+// hold on genuine repeating computations and fail on corrupted ones.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "fotl/classify.h"
+#include "fotl/evaluator.h"
+#include "fotl/printer.h"
+#include "tm/formulas.h"
+
+namespace tic {
+namespace tm {
+namespace {
+
+// Runs `machine` on `input` until the configuration (state, head, tape)
+// repeats; returns the encoded lasso database. Only terminates for machines
+// with ultimately periodic computations (e.g. the shuttle).
+Result<UltimatelyPeriodicDb> EncodePeriodicComputation(const TmEncoding& enc,
+                                                       const std::string& input,
+                                                       size_t max_steps) {
+  Simulator sim(&enc.machine());
+  TIC_ASSIGN_OR_RETURN(Configuration c, sim.Initial(input));
+  std::map<std::tuple<uint32_t, size_t, std::vector<char>>, size_t> seen;
+  std::vector<DatabaseState> states;
+  for (size_t step = 0; step <= max_steps; ++step) {
+    std::vector<char> tape = c.tape;
+    while (!tape.empty() && tape.back() == 'B') tape.pop_back();
+    auto key = std::make_tuple(c.state, c.head, tape);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      size_t start = it->second;
+      std::vector<DatabaseState> prefix(states.begin(),
+                                        states.begin() + static_cast<long>(start));
+      std::vector<DatabaseState> loop(states.begin() + static_cast<long>(start),
+                                      states.end());
+      return UltimatelyPeriodicDb(enc.vocabulary(), {}, std::move(prefix),
+                                  std::move(loop));
+    }
+    seen.emplace(std::move(key), step);
+    TIC_ASSIGN_OR_RETURN(DatabaseState s, enc.EncodeConfiguration(c));
+    states.push_back(std::move(s));
+    if (sim.Step(&c) != StepOutcome::kContinue) {
+      return Status::InvalidArgument("computation ended; no lasso");
+    }
+  }
+  return Status::ResourceExhausted("no cycle within budget");
+}
+
+class PhiTest : public ::testing::Test {
+ protected:
+  PhiTest()
+      : machine_(*MakeShuttleMachine()),
+        enc_(*TmEncoding::Create(&machine_)),
+        formulas_(*BuildPhi(enc_)) {}
+
+  // Evaluates a closed future formula on `db` over its relevant positions
+  // plus a few fresh ones.
+  bool Eval(const UltimatelyPeriodicDb& db, fotl::Formula f) {
+    auto res = fotl::EvaluateFuture(db, f);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() && *res;
+  }
+
+  TuringMachine machine_;
+  TmEncoding enc_;
+  TmFormulas formulas_;
+};
+
+TEST_F(PhiTest, PhiIsUniversalWithThreeExternalQuantifiers) {
+  fotl::Classification c = fotl::Classify(formulas_.phi);
+  EXPECT_TRUE(c.closed);
+  EXPECT_TRUE(c.biquantified);
+  EXPECT_TRUE(c.universal);  // Proposition 3.1: forall^3, quantifier-free body
+  EXPECT_EQ(c.external_universals.size(), 3u);
+  EXPECT_TRUE(c.future_only);
+}
+
+TEST_F(PhiTest, GenuineRepeatingComputationSatisfiesPhi) {
+  auto db = EncodePeriodicComputation(enc_, "01", 1000);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(Eval(*db, formulas_.uniqueness));
+  EXPECT_TRUE(Eval(*db, formulas_.initial));
+  EXPECT_TRUE(Eval(*db, formulas_.transition));
+  EXPECT_TRUE(Eval(*db, formulas_.repeating));
+  EXPECT_TRUE(Eval(*db, formulas_.phi));
+}
+
+TEST_F(PhiTest, EmptyInputComputationAlsoSatisfiesPhi) {
+  auto db = EncodePeriodicComputation(enc_, "", 1000);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(Eval(*db, formulas_.phi));
+}
+
+TEST_F(PhiTest, CorruptedSymbolViolatesTransitionRules) {
+  auto db = EncodePeriodicComputation(enc_, "01", 1000);
+  ASSERT_TRUE(db.ok());
+  // Flip a tape symbol in the second loop state: successor relation breaks.
+  std::vector<DatabaseState> prefix, loop;
+  for (size_t t = 0; t < db->prefix_length(); ++t) prefix.push_back(db->StateAt(t));
+  for (size_t t = 0; t < db->loop_length(); ++t) {
+    loop.push_back(db->StateAt(db->prefix_length() + t));
+  }
+  ASSERT_GE(loop.size(), 2u);
+  // In the shuttle run on "01", word position 1 of the second loop state holds
+  // the symbol '1' (the head is at word position 2 there); flip it to '0'.
+  ASSERT_TRUE(loop[1].Holds(*enc_.symbol_pred('1'), {1}));
+  ASSERT_TRUE(loop[1].Erase(*enc_.symbol_pred('1'), {1}).ok());
+  ASSERT_TRUE(loop[1].Insert(*enc_.symbol_pred('0'), {1}).ok());
+  UltimatelyPeriodicDb bad(enc_.vocabulary(), {}, prefix, loop);
+  EXPECT_FALSE(Eval(bad, formulas_.phi));
+  EXPECT_TRUE(Eval(bad, formulas_.uniqueness));  // still one symbol per cell
+}
+
+TEST_F(PhiTest, DoubledSymbolViolatesUniqueness) {
+  auto db = EncodePeriodicComputation(enc_, "01", 1000);
+  ASSERT_TRUE(db.ok());
+  std::vector<DatabaseState> prefix, loop;
+  for (size_t t = 0; t < db->prefix_length(); ++t) prefix.push_back(db->StateAt(t));
+  for (size_t t = 0; t < db->loop_length(); ++t) {
+    loop.push_back(db->StateAt(db->prefix_length() + t));
+  }
+  ASSERT_TRUE(loop[0].Insert(*enc_.symbol_pred('0'), {1}).ok());
+  ASSERT_TRUE(loop[0].Insert(*enc_.symbol_pred('1'), {1}).ok());
+  UltimatelyPeriodicDb bad(enc_.vocabulary(), {}, prefix, loop);
+  EXPECT_FALSE(Eval(bad, formulas_.uniqueness));
+  EXPECT_FALSE(Eval(bad, formulas_.phi));
+}
+
+TEST_F(PhiTest, MidComputationStartViolatesInitialCondition) {
+  // Start the lasso from the configuration *after* one step: position 0 then
+  // holds 'M', not the initial state symbol.
+  Simulator sim(&machine_);
+  Configuration c = *sim.Initial("01");
+  ASSERT_EQ(sim.Step(&c), StepOutcome::kContinue);
+  // Re-encode the shifted computation as a lasso.
+  std::vector<DatabaseState> states;
+  std::map<std::string, size_t> seen;
+  UltimatelyPeriodicDb* found = nullptr;
+  std::unique_ptr<UltimatelyPeriodicDb> bad;
+  for (size_t step = 0; step < 200 && bad == nullptr; ++step) {
+    std::string key = c.AsConfigurationWord(machine_);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      std::vector<DatabaseState> prefix(states.begin(),
+                                        states.begin() + static_cast<long>(it->second));
+      std::vector<DatabaseState> loop(states.begin() + static_cast<long>(it->second),
+                                      states.end());
+      bad = std::make_unique<UltimatelyPeriodicDb>(enc_.vocabulary(),
+                                                   std::vector<Value>{}, prefix, loop);
+      break;
+    }
+    seen.emplace(std::move(key), step);
+    states.push_back(*enc_.EncodeConfiguration(c));
+    ASSERT_EQ(sim.Step(&c), StepOutcome::kContinue);
+  }
+  (void)found;
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(Eval(*bad, formulas_.initial));
+  EXPECT_FALSE(Eval(*bad, formulas_.phi));
+  // But the rest of the groups hold (it is a genuine computation suffix).
+  EXPECT_TRUE(Eval(*bad, formulas_.uniqueness));
+  EXPECT_TRUE(Eval(*bad, formulas_.transition));
+}
+
+TEST_F(PhiTest, HaltingMachineOneStateCannotSatisfyTransitionRules) {
+  TuringMachine halting = *MakeImmediateHaltMachine();
+  TmEncoding enc = *TmEncoding::Create(&halting);
+  TmFormulas f = *BuildPhi(enc);
+  // The lasso repeating the initial configuration forever: the halting rule
+  // (q0 scans '0' with no transition) forces false.
+  Simulator sim(&halting);
+  Configuration c = *sim.Initial("01");
+  DatabaseState s = *enc.EncodeConfiguration(c);
+  UltimatelyPeriodicDb db(enc.vocabulary(), {}, {}, {s});
+  auto res = fotl::EvaluateFuture(db, f.transition);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(*res);
+}
+
+TEST_F(PhiTest, RightWalkerLassoFailsRepetitionGroup) {
+  // A right-walker computation never returns to the origin. Its computation is
+  // not ultimately periodic as a whole, but on the all-blank input the encoded
+  // states shift right forever; fake a lasso where the head is forever away
+  // from position 0 — the `repeating` group must fail while uniqueness holds.
+  TuringMachine walker = *MakeRightWalkerMachine();
+  TmEncoding enc = *TmEncoding::Create(&walker);
+  TmFormulas f = *BuildPhi(enc);
+  // A (non-computation) lasso: state symbol parked at position 5 forever.
+  // Zero(x) only holds of element 0, which is not in the relevant set, so
+  // evaluate with an explicit domain covering the origin.
+  DatabaseState s(enc.vocabulary());
+  ASSERT_TRUE(s.Insert(enc.state_pred(0), {5}).ok());
+  UltimatelyPeriodicDb db(enc.vocabulary(), {}, {}, {s});
+  fotl::PeriodicEvaluator ev(&db, {0, 1, 5, 6});
+  auto res = ev.Evaluate(f.repeating);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(*res);
+}
+
+class PhiTildeTest : public ::testing::Test {
+ protected:
+  PhiTildeTest()
+      : machine_(*MakeShuttleMachine()),
+        enc_(*TmEncoding::Create(&machine_, /*with_w=*/true)),
+        tilde_(*BuildPhiTilde(enc_)) {}
+
+  TuringMachine machine_;
+  TmEncoding enc_;
+  TmTildeFormulas tilde_;
+};
+
+TEST_F(PhiTildeTest, PhiTildeIsForall3TenseSigma1) {
+  fotl::Classification c = fotl::Classify(tilde_.phi_tilde);
+  EXPECT_TRUE(c.closed);
+  EXPECT_TRUE(c.biquantified);
+  EXPECT_FALSE(c.universal);
+  EXPECT_EQ(c.external_universals.size(), 3u);
+  EXPECT_EQ(c.num_internal_quantifiers, 1u);  // the exists in W2
+  EXPECT_TRUE(c.internal_blocks_prenex1);      // Theorem 3.2's fragment
+}
+
+TEST_F(PhiTildeTest, PhiTildeUsesNoBuiltins) {
+  const Vocabulary& v = *enc_.vocabulary();
+  std::function<bool(fotl::Formula)> clean = [&](fotl::Formula f) {
+    if (f->kind() == fotl::NodeKind::kAtom &&
+        v.predicate(f->predicate()).builtin != Builtin::kNone) {
+      return false;
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (f->child(i) != nullptr && !clean(f->child(i))) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(clean(tilde_.phi_tilde));
+  EXPECT_TRUE(clean(tilde_.w1));
+  EXPECT_TRUE(clean(tilde_.w2));
+  EXPECT_TRUE(clean(tilde_.w3));
+  EXPECT_TRUE(clean(tilde_.phi_w));
+}
+
+TEST_F(PhiTildeTest, WAxiomClassification) {
+  fotl::Classification w1 = fotl::Classify(tilde_.w1);
+  EXPECT_TRUE(w1.universal);
+  fotl::Classification w3 = fotl::Classify(tilde_.w3);
+  EXPECT_TRUE(w3.universal);
+  fotl::Classification w2 = fotl::Classify(tilde_.w2);
+  EXPECT_TRUE(w2.biquantified);
+  EXPECT_EQ(w2.num_internal_quantifiers, 1u);
+}
+
+TEST_F(PhiTildeTest, WAxiomsOnConcreteLassos) {
+  // A lasso where W(0) holds in every state: W1 holds (one element per state)
+  // but W3 fails (W recurs for element 0).
+  DatabaseState s(enc_.vocabulary());
+  ASSERT_TRUE(s.Insert(enc_.w_pred(), {0}).ok());
+  UltimatelyPeriodicDb db(enc_.vocabulary(), {}, {}, {s});
+  auto w1 = fotl::EvaluateFuture(db, tilde_.w1);
+  ASSERT_TRUE(w1.ok()) << w1.status().ToString();
+  EXPECT_TRUE(*w1);
+  auto w2 = fotl::EvaluateFuture(db, tilde_.w2);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_TRUE(*w2);
+  auto w3 = fotl::EvaluateFuture(db, tilde_.w3);
+  ASSERT_TRUE(w3.ok());
+  EXPECT_FALSE(*w3);
+
+  // Two W-elements in one state: W1 fails.
+  DatabaseState s2(enc_.vocabulary());
+  ASSERT_TRUE(s2.Insert(enc_.w_pred(), {0}).ok());
+  ASSERT_TRUE(s2.Insert(enc_.w_pred(), {1}).ok());
+  UltimatelyPeriodicDb db2(enc_.vocabulary(), {}, {}, {s2});
+  auto w1b = fotl::EvaluateFuture(db2, tilde_.w1);
+  ASSERT_TRUE(w1b.ok());
+  EXPECT_FALSE(*w1b);
+
+  // No W at all: W2 fails.
+  DatabaseState s3(enc_.vocabulary());
+  UltimatelyPeriodicDb db3(enc_.vocabulary(), {}, {}, {s3});
+  auto w2c = fotl::EvaluateFuture(db3, tilde_.w2);
+  ASSERT_TRUE(w2c.ok());
+  EXPECT_FALSE(*w2c);
+}
+
+TEST_F(PhiTildeTest, MonadicVocabularyOnly) {
+  // Every non-builtin predicate mentioned by phi-tilde is monadic — the
+  // Theorem 3.2 statement ("only monadic predicate symbols of the database
+  // vocabulary").
+  const Vocabulary& v = *enc_.vocabulary();
+  std::function<bool(fotl::Formula)> monadic = [&](fotl::Formula f) {
+    if (f->kind() == fotl::NodeKind::kAtom && v.predicate(f->predicate()).arity != 1) {
+      return false;
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (f->child(i) != nullptr && !monadic(f->child(i))) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(monadic(tilde_.phi_tilde));
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace tic

@@ -1,0 +1,146 @@
+// Tests for the Turing-machine substrate: construction, simulation, and the
+// behaviour classification of the library machines.
+
+#include <gtest/gtest.h>
+
+#include "tm/machine.h"
+#include "tm/simulator.h"
+
+namespace tic {
+namespace tm {
+namespace {
+
+TEST(MachineTest, CreateValidatesAlphabet) {
+  EXPECT_TRUE(TuringMachine::Create({"q0"}, {'0', '1'}).status().IsInvalidArgument());
+  EXPECT_TRUE(TuringMachine::Create({}, {'0', '1', 'B'}).status().IsInvalidArgument());
+  EXPECT_TRUE(TuringMachine::Create({"q0"}, {'0', '1', 'B'}).ok());
+}
+
+TEST(MachineTest, TransitionValidation) {
+  TuringMachine m = *TuringMachine::Create({"q0", "q1"}, {'0', '1', 'B'});
+  EXPECT_TRUE(m.AddTransition(0, '0', 1, '1', Dir::kRight).ok());
+  EXPECT_TRUE(m.AddTransition(0, '0', 0, '0', Dir::kLeft).IsAlreadyExists());
+  EXPECT_TRUE(m.AddTransition(5, '0', 0, '0', Dir::kLeft).IsOutOfRange());
+  EXPECT_TRUE(m.AddTransition(0, 'x', 0, '0', Dir::kLeft).IsInvalidArgument());
+  Transition tr;
+  EXPECT_TRUE(m.Lookup(0, '0', &tr));
+  EXPECT_EQ(tr.next_state, 1u);
+  EXPECT_EQ(tr.write, '1');
+  EXPECT_FALSE(m.Lookup(1, '0', &tr));
+}
+
+TEST(SimulatorTest, InitialConfiguration) {
+  TuringMachine m = *MakeImmediateHaltMachine();
+  Simulator sim(&m);
+  auto c = sim.Initial("0110");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->state, 0u);
+  EXPECT_EQ(c->head, 0u);
+  EXPECT_EQ(c->tape, (std::vector<char>{'0', '1', '1', '0'}));
+  EXPECT_TRUE(sim.Initial("01a").status().IsInvalidArgument());
+}
+
+TEST(SimulatorTest, ImmediateHaltHalts) {
+  TuringMachine m = *MakeImmediateHaltMachine();
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("01");
+  EXPECT_EQ(sim.Step(&c), StepOutcome::kHalt);
+  auto stats = sim.Run(&c, 100);
+  EXPECT_EQ(stats.steps, 0u);
+  EXPECT_EQ(stats.last, StepOutcome::kHalt);
+  EXPECT_EQ(stats.origin_visits, 1u);  // the initial configuration
+}
+
+TEST(SimulatorTest, RightWalkerNeverReturns) {
+  TuringMachine m = *MakeRightWalkerMachine();
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("10");
+  auto stats = sim.Run(&c, 500);
+  EXPECT_EQ(stats.steps, 500u);
+  EXPECT_EQ(stats.last, StepOutcome::kContinue);
+  EXPECT_EQ(stats.origin_visits, 1u);  // only the initial configuration
+  EXPECT_EQ(c.head, 500u);
+  EXPECT_EQ(c.tape[0], '1');  // tape preserved
+}
+
+TEST(SimulatorTest, ShuttleRevisitsOrigin) {
+  TuringMachine m = *MakeShuttleMachine();
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("01");
+  auto stats = sim.Run(&c, 1000);
+  EXPECT_EQ(stats.last, StepOutcome::kContinue);
+  // Round trip over a 2-cell input takes ~6 steps; expect many visits.
+  EXPECT_GT(stats.origin_visits, 100u);
+}
+
+TEST(SimulatorTest, ShuttleWorksOnEmptyInput) {
+  TuringMachine m = *MakeShuttleMachine();
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("");
+  auto stats = sim.Run(&c, 100);
+  EXPECT_EQ(stats.last, StepOutcome::kContinue);
+  EXPECT_GT(stats.origin_visits, 10u);
+}
+
+TEST(SimulatorTest, BinaryCounterCountsCorrectly) {
+  TuringMachine m = *MakeBinaryCounterMachine();
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("");
+  // Run long enough for several increments; decode the counter (LSB first,
+  // after the origin mark) each time the head is back at the origin in state
+  // `inc`-ready position.
+  size_t visits = 0;
+  uint64_t last_value = 0;
+  for (int step = 0; step < 2000; ++step) {
+    StepOutcome out = sim.Step(&c);
+    ASSERT_EQ(out, StepOutcome::kContinue);
+    if (c.head == 0) {
+      ++visits;
+      uint64_t value = 0;
+      for (size_t i = c.tape.size(); i-- > 1;) {
+        value = value * 2 + (c.tape[i] == '1' ? 1 : 0);
+      }
+      // Counter strictly increases visit over visit.
+      EXPECT_GT(value, last_value) << "visit " << visits;
+      last_value = value;
+    }
+  }
+  EXPECT_GT(visits, 20u);
+  EXPECT_GT(last_value, 20u);
+}
+
+TEST(SimulatorTest, BinaryCounterTapeGrowsUnboundedly) {
+  TuringMachine m = *MakeBinaryCounterMachine();
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("");
+  size_t tape_at_1000 = 0;
+  for (int step = 0; step < 1000; ++step) {
+    ASSERT_EQ(sim.Step(&c), StepOutcome::kContinue);
+  }
+  tape_at_1000 = c.tape.size();
+  for (int step = 0; step < 20000; ++step) {
+    ASSERT_EQ(sim.Step(&c), StepOutcome::kContinue);
+  }
+  EXPECT_GT(c.tape.size(), tape_at_1000);
+}
+
+TEST(SimulatorTest, LeftCrashDetected) {
+  TuringMachine m = *TuringMachine::Create({"q0"}, {'0', '1', 'B'});
+  ASSERT_TRUE(m.AddTransition(0, 'B', 0, 'B', Dir::kLeft).ok());
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("");
+  EXPECT_EQ(sim.Step(&c), StepOutcome::kLeftCrash);
+}
+
+TEST(SimulatorTest, ConfigurationWordFormat) {
+  TuringMachine m = *MakeRightWalkerMachine();
+  Simulator sim(&m);
+  Configuration c = *sim.Initial("01");
+  EXPECT_EQ(c.AsConfigurationWord(m), "[q0]01B");
+  ASSERT_EQ(sim.Step(&c), StepOutcome::kContinue);
+  EXPECT_EQ(c.AsConfigurationWord(m), "0[q0]1B");
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace tic
