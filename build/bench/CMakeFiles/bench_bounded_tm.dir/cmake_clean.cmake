@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounded_tm.dir/bench_bounded_tm.cc.o"
+  "CMakeFiles/bench_bounded_tm.dir/bench_bounded_tm.cc.o.d"
+  "bench_bounded_tm"
+  "bench_bounded_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

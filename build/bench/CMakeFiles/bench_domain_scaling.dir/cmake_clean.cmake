@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain_scaling.dir/bench_domain_scaling.cc.o"
+  "CMakeFiles/bench_domain_scaling.dir/bench_domain_scaling.cc.o.d"
+  "bench_domain_scaling"
+  "bench_domain_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finite_universe.dir/bench_finite_universe.cc.o"
+  "CMakeFiles/bench_finite_universe.dir/bench_finite_universe.cc.o.d"
+  "bench_finite_universe"
+  "bench_finite_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finite_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grounding.dir/bench_grounding.cc.o"
+  "CMakeFiles/bench_grounding.dir/bench_grounding.cc.o.d"
+  "bench_grounding"
+  "bench_grounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

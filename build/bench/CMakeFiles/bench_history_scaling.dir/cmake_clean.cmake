@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_history_scaling.dir/bench_history_scaling.cc.o"
+  "CMakeFiles/bench_history_scaling.dir/bench_history_scaling.cc.o.d"
+  "bench_history_scaling"
+  "bench_history_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_history_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_past.dir/bench_past.cc.o"
+  "CMakeFiles/bench_past.dir/bench_past.cc.o.d"
+  "bench_past"
+  "bench_past.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_past.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ptl.dir/bench_ptl.cc.o"
+  "CMakeFiles/bench_ptl.dir/bench_ptl.cc.o.d"
+  "bench_ptl"
+  "bench_ptl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ptl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

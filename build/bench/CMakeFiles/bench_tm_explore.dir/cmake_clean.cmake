@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tm_explore.dir/bench_tm_explore.cc.o"
+  "CMakeFiles/bench_tm_explore.dir/bench_tm_explore.cc.o.d"
+  "bench_tm_explore"
+  "bench_tm_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tm_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_audit.dir/access_audit.cpp.o"
+  "CMakeFiles/access_audit.dir/access_audit.cpp.o.d"
+  "access_audit"
+  "access_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

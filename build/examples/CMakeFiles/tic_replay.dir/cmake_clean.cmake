@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_replay.dir/tic_replay.cpp.o"
+  "CMakeFiles/tic_replay.dir/tic_replay.cpp.o.d"
+  "tic_replay"
+  "tic_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/analysis.cc" "src/checker/CMakeFiles/tic_checker.dir/analysis.cc.o" "gcc" "src/checker/CMakeFiles/tic_checker.dir/analysis.cc.o.d"
+  "/root/repo/src/checker/extension.cc" "src/checker/CMakeFiles/tic_checker.dir/extension.cc.o" "gcc" "src/checker/CMakeFiles/tic_checker.dir/extension.cc.o.d"
+  "/root/repo/src/checker/grounding.cc" "src/checker/CMakeFiles/tic_checker.dir/grounding.cc.o" "gcc" "src/checker/CMakeFiles/tic_checker.dir/grounding.cc.o.d"
+  "/root/repo/src/checker/monitor.cc" "src/checker/CMakeFiles/tic_checker.dir/monitor.cc.o" "gcc" "src/checker/CMakeFiles/tic_checker.dir/monitor.cc.o.d"
+  "/root/repo/src/checker/trigger.cc" "src/checker/CMakeFiles/tic_checker.dir/trigger.cc.o" "gcc" "src/checker/CMakeFiles/tic_checker.dir/trigger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fotl/CMakeFiles/tic_fotl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptl/CMakeFiles/tic_ptl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_checker.dir/analysis.cc.o"
+  "CMakeFiles/tic_checker.dir/analysis.cc.o.d"
+  "CMakeFiles/tic_checker.dir/extension.cc.o"
+  "CMakeFiles/tic_checker.dir/extension.cc.o.d"
+  "CMakeFiles/tic_checker.dir/grounding.cc.o"
+  "CMakeFiles/tic_checker.dir/grounding.cc.o.d"
+  "CMakeFiles/tic_checker.dir/monitor.cc.o"
+  "CMakeFiles/tic_checker.dir/monitor.cc.o.d"
+  "CMakeFiles/tic_checker.dir/trigger.cc.o"
+  "CMakeFiles/tic_checker.dir/trigger.cc.o.d"
+  "libtic_checker.a"
+  "libtic_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

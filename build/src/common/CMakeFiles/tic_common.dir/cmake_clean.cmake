@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_common.dir/status.cc.o"
+  "CMakeFiles/tic_common.dir/status.cc.o.d"
+  "libtic_common.a"
+  "libtic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

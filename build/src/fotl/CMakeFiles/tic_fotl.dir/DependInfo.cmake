@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fotl/classify.cc" "src/fotl/CMakeFiles/tic_fotl.dir/classify.cc.o" "gcc" "src/fotl/CMakeFiles/tic_fotl.dir/classify.cc.o.d"
+  "/root/repo/src/fotl/evaluator.cc" "src/fotl/CMakeFiles/tic_fotl.dir/evaluator.cc.o" "gcc" "src/fotl/CMakeFiles/tic_fotl.dir/evaluator.cc.o.d"
+  "/root/repo/src/fotl/factory.cc" "src/fotl/CMakeFiles/tic_fotl.dir/factory.cc.o" "gcc" "src/fotl/CMakeFiles/tic_fotl.dir/factory.cc.o.d"
+  "/root/repo/src/fotl/normalize.cc" "src/fotl/CMakeFiles/tic_fotl.dir/normalize.cc.o" "gcc" "src/fotl/CMakeFiles/tic_fotl.dir/normalize.cc.o.d"
+  "/root/repo/src/fotl/parser.cc" "src/fotl/CMakeFiles/tic_fotl.dir/parser.cc.o" "gcc" "src/fotl/CMakeFiles/tic_fotl.dir/parser.cc.o.d"
+  "/root/repo/src/fotl/printer.cc" "src/fotl/CMakeFiles/tic_fotl.dir/printer.cc.o" "gcc" "src/fotl/CMakeFiles/tic_fotl.dir/printer.cc.o.d"
+  "/root/repo/src/fotl/transform.cc" "src/fotl/CMakeFiles/tic_fotl.dir/transform.cc.o" "gcc" "src/fotl/CMakeFiles/tic_fotl.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

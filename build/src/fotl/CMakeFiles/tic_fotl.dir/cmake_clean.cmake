@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_fotl.dir/classify.cc.o"
+  "CMakeFiles/tic_fotl.dir/classify.cc.o.d"
+  "CMakeFiles/tic_fotl.dir/evaluator.cc.o"
+  "CMakeFiles/tic_fotl.dir/evaluator.cc.o.d"
+  "CMakeFiles/tic_fotl.dir/factory.cc.o"
+  "CMakeFiles/tic_fotl.dir/factory.cc.o.d"
+  "CMakeFiles/tic_fotl.dir/normalize.cc.o"
+  "CMakeFiles/tic_fotl.dir/normalize.cc.o.d"
+  "CMakeFiles/tic_fotl.dir/parser.cc.o"
+  "CMakeFiles/tic_fotl.dir/parser.cc.o.d"
+  "CMakeFiles/tic_fotl.dir/printer.cc.o"
+  "CMakeFiles/tic_fotl.dir/printer.cc.o.d"
+  "CMakeFiles/tic_fotl.dir/transform.cc.o"
+  "CMakeFiles/tic_fotl.dir/transform.cc.o.d"
+  "libtic_fotl.a"
+  "libtic_fotl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_fotl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

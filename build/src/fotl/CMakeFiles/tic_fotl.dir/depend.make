@@ -1,0 +1,2 @@
+# Empty dependencies file for tic_fotl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/past/metric.cc" "src/past/CMakeFiles/tic_past.dir/metric.cc.o" "gcc" "src/past/CMakeFiles/tic_past.dir/metric.cc.o.d"
+  "/root/repo/src/past/past_monitor.cc" "src/past/CMakeFiles/tic_past.dir/past_monitor.cc.o" "gcc" "src/past/CMakeFiles/tic_past.dir/past_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fotl/CMakeFiles/tic_fotl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

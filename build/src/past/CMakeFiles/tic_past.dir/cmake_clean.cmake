@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_past.dir/metric.cc.o"
+  "CMakeFiles/tic_past.dir/metric.cc.o.d"
+  "CMakeFiles/tic_past.dir/past_monitor.cc.o"
+  "CMakeFiles/tic_past.dir/past_monitor.cc.o.d"
+  "libtic_past.a"
+  "libtic_past.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_past.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtic_past.a"
+)

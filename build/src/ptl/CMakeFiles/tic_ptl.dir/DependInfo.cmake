@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptl/automaton.cc" "src/ptl/CMakeFiles/tic_ptl.dir/automaton.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/automaton.cc.o.d"
+  "/root/repo/src/ptl/formula.cc" "src/ptl/CMakeFiles/tic_ptl.dir/formula.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/formula.cc.o.d"
+  "/root/repo/src/ptl/nnf.cc" "src/ptl/CMakeFiles/tic_ptl.dir/nnf.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/nnf.cc.o.d"
+  "/root/repo/src/ptl/parser.cc" "src/ptl/CMakeFiles/tic_ptl.dir/parser.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/parser.cc.o.d"
+  "/root/repo/src/ptl/progress.cc" "src/ptl/CMakeFiles/tic_ptl.dir/progress.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/progress.cc.o.d"
+  "/root/repo/src/ptl/safety.cc" "src/ptl/CMakeFiles/tic_ptl.dir/safety.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/safety.cc.o.d"
+  "/root/repo/src/ptl/tableau.cc" "src/ptl/CMakeFiles/tic_ptl.dir/tableau.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/tableau.cc.o.d"
+  "/root/repo/src/ptl/word.cc" "src/ptl/CMakeFiles/tic_ptl.dir/word.cc.o" "gcc" "src/ptl/CMakeFiles/tic_ptl.dir/word.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_ptl.dir/automaton.cc.o"
+  "CMakeFiles/tic_ptl.dir/automaton.cc.o.d"
+  "CMakeFiles/tic_ptl.dir/formula.cc.o"
+  "CMakeFiles/tic_ptl.dir/formula.cc.o.d"
+  "CMakeFiles/tic_ptl.dir/nnf.cc.o"
+  "CMakeFiles/tic_ptl.dir/nnf.cc.o.d"
+  "CMakeFiles/tic_ptl.dir/parser.cc.o"
+  "CMakeFiles/tic_ptl.dir/parser.cc.o.d"
+  "CMakeFiles/tic_ptl.dir/progress.cc.o"
+  "CMakeFiles/tic_ptl.dir/progress.cc.o.d"
+  "CMakeFiles/tic_ptl.dir/safety.cc.o"
+  "CMakeFiles/tic_ptl.dir/safety.cc.o.d"
+  "CMakeFiles/tic_ptl.dir/tableau.cc.o"
+  "CMakeFiles/tic_ptl.dir/tableau.cc.o.d"
+  "CMakeFiles/tic_ptl.dir/word.cc.o"
+  "CMakeFiles/tic_ptl.dir/word.cc.o.d"
+  "libtic_ptl.a"
+  "libtic_ptl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_ptl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

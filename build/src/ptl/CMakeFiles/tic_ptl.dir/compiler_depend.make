@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tic_ptl.
+# This may be replaced when dependencies are built.

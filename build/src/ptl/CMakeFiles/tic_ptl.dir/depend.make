@@ -1,0 +1,2 @@
+# Empty dependencies file for tic_ptl.
+# This may be replaced when dependencies are built.

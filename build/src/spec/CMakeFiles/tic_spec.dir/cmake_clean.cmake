@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_spec.dir/spec.cc.o"
+  "CMakeFiles/tic_spec.dir/spec.cc.o.d"
+  "libtic_spec.a"
+  "libtic_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/encoding.cc" "src/tm/CMakeFiles/tic_tm.dir/encoding.cc.o" "gcc" "src/tm/CMakeFiles/tic_tm.dir/encoding.cc.o.d"
+  "/root/repo/src/tm/explorer.cc" "src/tm/CMakeFiles/tic_tm.dir/explorer.cc.o" "gcc" "src/tm/CMakeFiles/tic_tm.dir/explorer.cc.o.d"
+  "/root/repo/src/tm/formulas.cc" "src/tm/CMakeFiles/tic_tm.dir/formulas.cc.o" "gcc" "src/tm/CMakeFiles/tic_tm.dir/formulas.cc.o.d"
+  "/root/repo/src/tm/machine.cc" "src/tm/CMakeFiles/tic_tm.dir/machine.cc.o" "gcc" "src/tm/CMakeFiles/tic_tm.dir/machine.cc.o.d"
+  "/root/repo/src/tm/simulator.cc" "src/tm/CMakeFiles/tic_tm.dir/simulator.cc.o" "gcc" "src/tm/CMakeFiles/tic_tm.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fotl/CMakeFiles/tic_fotl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_tm.dir/encoding.cc.o"
+  "CMakeFiles/tic_tm.dir/encoding.cc.o.d"
+  "CMakeFiles/tic_tm.dir/explorer.cc.o"
+  "CMakeFiles/tic_tm.dir/explorer.cc.o.d"
+  "CMakeFiles/tic_tm.dir/formulas.cc.o"
+  "CMakeFiles/tic_tm.dir/formulas.cc.o.d"
+  "CMakeFiles/tic_tm.dir/machine.cc.o"
+  "CMakeFiles/tic_tm.dir/machine.cc.o.d"
+  "CMakeFiles/tic_tm.dir/simulator.cc.o"
+  "CMakeFiles/tic_tm.dir/simulator.cc.o.d"
+  "libtic_tm.a"
+  "libtic_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

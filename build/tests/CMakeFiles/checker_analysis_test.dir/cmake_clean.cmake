@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_analysis_test.dir/checker_analysis_test.cc.o"
+  "CMakeFiles/checker_analysis_test.dir/checker_analysis_test.cc.o.d"
+  "checker_analysis_test"
+  "checker_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

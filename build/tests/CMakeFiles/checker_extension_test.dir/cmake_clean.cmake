@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_extension_test.dir/checker_extension_test.cc.o"
+  "CMakeFiles/checker_extension_test.dir/checker_extension_test.cc.o.d"
+  "checker_extension_test"
+  "checker_extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_grounding_test.dir/checker_grounding_test.cc.o"
+  "CMakeFiles/checker_grounding_test.dir/checker_grounding_test.cc.o.d"
+  "checker_grounding_test"
+  "checker_grounding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_grounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_monitor_test.dir/checker_monitor_test.cc.o"
+  "CMakeFiles/checker_monitor_test.dir/checker_monitor_test.cc.o.d"
+  "checker_monitor_test"
+  "checker_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fotl_ast_test.dir/fotl_ast_test.cc.o"
+  "CMakeFiles/fotl_ast_test.dir/fotl_ast_test.cc.o.d"
+  "fotl_ast_test"
+  "fotl_ast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fotl_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

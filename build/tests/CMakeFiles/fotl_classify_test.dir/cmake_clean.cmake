@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fotl_classify_test.dir/fotl_classify_test.cc.o"
+  "CMakeFiles/fotl_classify_test.dir/fotl_classify_test.cc.o.d"
+  "fotl_classify_test"
+  "fotl_classify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fotl_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

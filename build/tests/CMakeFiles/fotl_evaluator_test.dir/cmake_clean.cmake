@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fotl_evaluator_test.dir/fotl_evaluator_test.cc.o"
+  "CMakeFiles/fotl_evaluator_test.dir/fotl_evaluator_test.cc.o.d"
+  "fotl_evaluator_test"
+  "fotl_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fotl_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

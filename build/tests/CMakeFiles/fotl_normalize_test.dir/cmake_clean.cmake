@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fotl_normalize_test.dir/fotl_normalize_test.cc.o"
+  "CMakeFiles/fotl_normalize_test.dir/fotl_normalize_test.cc.o.d"
+  "fotl_normalize_test"
+  "fotl_normalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fotl_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fotl_parser_test.dir/fotl_parser_test.cc.o"
+  "CMakeFiles/fotl_parser_test.dir/fotl_parser_test.cc.o.d"
+  "fotl_parser_test"
+  "fotl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fotl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fotl_transform_test.dir/fotl_transform_test.cc.o"
+  "CMakeFiles/fotl_transform_test.dir/fotl_transform_test.cc.o.d"
+  "fotl_transform_test"
+  "fotl_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fotl_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

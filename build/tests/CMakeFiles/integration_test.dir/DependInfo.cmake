@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/tic_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/tic_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/tic_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/past/CMakeFiles/tic_past.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptl/CMakeFiles/tic_ptl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fotl/CMakeFiles/tic_fotl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

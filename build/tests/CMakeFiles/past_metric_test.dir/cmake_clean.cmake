@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_metric_test.dir/past_metric_test.cc.o"
+  "CMakeFiles/past_metric_test.dir/past_metric_test.cc.o.d"
+  "past_metric_test"
+  "past_metric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

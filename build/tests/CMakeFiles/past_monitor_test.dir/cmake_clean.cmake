@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_monitor_test.dir/past_monitor_test.cc.o"
+  "CMakeFiles/past_monitor_test.dir/past_monitor_test.cc.o.d"
+  "past_monitor_test"
+  "past_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

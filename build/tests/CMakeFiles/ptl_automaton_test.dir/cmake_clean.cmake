@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_automaton_test.dir/ptl_automaton_test.cc.o"
+  "CMakeFiles/ptl_automaton_test.dir/ptl_automaton_test.cc.o.d"
+  "ptl_automaton_test"
+  "ptl_automaton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

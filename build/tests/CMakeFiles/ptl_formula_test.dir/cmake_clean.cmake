@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_formula_test.dir/ptl_formula_test.cc.o"
+  "CMakeFiles/ptl_formula_test.dir/ptl_formula_test.cc.o.d"
+  "ptl_formula_test"
+  "ptl_formula_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

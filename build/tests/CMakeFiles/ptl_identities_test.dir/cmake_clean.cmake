@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_identities_test.dir/ptl_identities_test.cc.o"
+  "CMakeFiles/ptl_identities_test.dir/ptl_identities_test.cc.o.d"
+  "ptl_identities_test"
+  "ptl_identities_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_identities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

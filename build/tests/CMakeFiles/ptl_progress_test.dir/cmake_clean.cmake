@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_progress_test.dir/ptl_progress_test.cc.o"
+  "CMakeFiles/ptl_progress_test.dir/ptl_progress_test.cc.o.d"
+  "ptl_progress_test"
+  "ptl_progress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_progress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_safety_test.dir/ptl_safety_test.cc.o"
+  "CMakeFiles/ptl_safety_test.dir/ptl_safety_test.cc.o.d"
+  "ptl_safety_test"
+  "ptl_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_tableau_test.dir/ptl_tableau_test.cc.o"
+  "CMakeFiles/ptl_tableau_test.dir/ptl_tableau_test.cc.o.d"
+  "ptl_tableau_test"
+  "ptl_tableau_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_tableau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

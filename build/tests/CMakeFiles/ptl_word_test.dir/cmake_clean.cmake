@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptl_word_test.dir/ptl_word_test.cc.o"
+  "CMakeFiles/ptl_word_test.dir/ptl_word_test.cc.o.d"
+  "ptl_word_test"
+  "ptl_word_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptl_word_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_bounded_test.dir/tm_bounded_test.cc.o"
+  "CMakeFiles/tm_bounded_test.dir/tm_bounded_test.cc.o.d"
+  "tm_bounded_test"
+  "tm_bounded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_bounded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

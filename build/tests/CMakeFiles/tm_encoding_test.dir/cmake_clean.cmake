@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_encoding_test.dir/tm_encoding_test.cc.o"
+  "CMakeFiles/tm_encoding_test.dir/tm_encoding_test.cc.o.d"
+  "tm_encoding_test"
+  "tm_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_explorer_test.dir/tm_explorer_test.cc.o"
+  "CMakeFiles/tm_explorer_test.dir/tm_explorer_test.cc.o.d"
+  "tm_explorer_test"
+  "tm_explorer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

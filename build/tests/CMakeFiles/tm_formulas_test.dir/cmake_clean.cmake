@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_formulas_test.dir/tm_formulas_test.cc.o"
+  "CMakeFiles/tm_formulas_test.dir/tm_formulas_test.cc.o.d"
+  "tm_formulas_test"
+  "tm_formulas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_formulas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_machine_test.dir/tm_machine_test.cc.o"
+  "CMakeFiles/tm_machine_test.dir/tm_machine_test.cc.o.d"
+  "tm_machine_test"
+  "tm_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
