@@ -4,6 +4,7 @@
 // Shared setup for the experiment benches (EXPERIMENTS.md): the Section 2
 // order-processing vocabulary and the paper's two running constraints.
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,35 @@
 
 namespace tic {
 namespace bench {
+
+// Extracts --threads=a,b,c from argv, compacting the remaining arguments in
+// place. Call before benchmark::Initialize, which rejects unknown flags.
+// Returns `fallback` when the flag is absent or malformed (a zero count).
+inline std::vector<size_t> ParseThreads(int* argc, char** argv,
+                                        std::vector<size_t> fallback) {
+  std::vector<char*> keep;
+  std::vector<size_t> out;
+  bool valid = true;
+  for (int i = 0; i < *argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--threads=", 0) == 0) {
+      for (size_t pos = 10; pos < a.size();) {
+        size_t end = a.find(',', pos);
+        if (end == std::string::npos) end = a.size();
+        size_t t = static_cast<size_t>(
+            std::strtoul(a.substr(pos, end - pos).c_str(), nullptr, 10));
+        if (t == 0) valid = false;
+        out.push_back(t);
+        pos = end + 1;
+      }
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  *argc = static_cast<int>(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
+  return (out.empty() || !valid) ? fallback : out;
+}
 
 struct OrdersFixture {
   VocabularyPtr vocab;

@@ -2,8 +2,15 @@
 // relevant set held fixed. Lemma 4.2 phase 1 is O(t * |phi_D|); phase 2 does
 // not depend on t at all, so total time must grow linearly in t. The
 // incremental monitor turns that into O(|phi_D|) amortized per update.
+//
+// Custom main: pass --threads=1,2,4 (default) to sweep the monitor's worker
+// count; progression classes are progressed on the pool, verdicts are
+// identical across thread counts by construction.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "checker/extension.h"
@@ -35,16 +42,15 @@ void BM_Fifo_HistorySweep(benchmark::State& state) {
   state.counters["satisfied"] = last.potentially_satisfied ? 1 : 0;
   state.SetComplexityN(static_cast<int64_t>(t));
 }
-BENCHMARK(BM_Fifo_HistorySweep)
-    ->RangeMultiplier(2)
-    ->Range(8, 512)
-    ->Complexity(benchmark::oN);
 
 // Incremental monitoring: per-update cost stays flat as the history grows.
-void BM_Fifo_MonitorPerUpdate(benchmark::State& state) {
+// `threads` sizes the pool progressing deduplicated residual classes.
+void BM_Fifo_MonitorPerUpdate(benchmark::State& state, size_t threads) {
   auto& fx = Fixture();
   size_t warmup = static_cast<size_t>(state.range(0));
-  auto monitor = *checker::Monitor::Create(fx.factory, fx.fifo);
+  checker::CheckOptions opts;
+  opts.threads = threads;
+  auto monitor = *checker::Monitor::Create(fx.factory, fx.fifo, {}, opts);
   // Grow the history to `warmup` states first.
   size_t n = 4;
   for (size_t t = 0; t < warmup; ++t) {
@@ -65,6 +71,7 @@ void BM_Fifo_MonitorPerUpdate(benchmark::State& state) {
     }
   }
   size_t t = warmup;
+  checker::MonitorVerdict last;
   for (auto _ : state) {
     Transaction txn;
     txn.push_back(UpdateOp::Insert(fx.sub, {static_cast<Value>(t % n) + 1}));
@@ -77,12 +84,44 @@ void BM_Fifo_MonitorPerUpdate(benchmark::State& state) {
       return;
     }
     benchmark::DoNotOptimize(v->potentially_satisfied);
+    last = *v;
     ++t;
   }
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["start_length"] = static_cast<double>(warmup);
   state.counters["end_length"] = static_cast<double>(monitor->history().length());
+  state.counters["instances"] = static_cast<double>(last.num_instances);
+  state.counters["residual_classes"] = static_cast<double>(last.num_residual_classes);
+  state.counters["cache_hits"] = static_cast<double>(last.verdict_cache_stats.hits);
+  state.counters["cache_misses"] = static_cast<double>(last.verdict_cache_stats.misses);
 }
-BENCHMARK(BM_Fifo_MonitorPerUpdate)->Arg(8)->Arg(64)->Arg(256);
+
+void RegisterAll(const std::vector<size_t>& thread_counts) {
+  benchmark::RegisterBenchmark("BM_Fifo_HistorySweep", BM_Fifo_HistorySweep)
+      ->RangeMultiplier(2)
+      ->Range(8, 512)
+      ->Complexity(benchmark::oN);
+  for (size_t threads : thread_counts) {
+    std::string name =
+        "BM_Fifo_MonitorPerUpdate/threads:" + std::to_string(threads);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [threads](benchmark::State& s) { BM_Fifo_MonitorPerUpdate(s, threads); })
+        ->Arg(8)
+        ->Arg(64)
+        ->Arg(256);
+  }
+}
 
 }  // namespace
 }  // namespace tic
+
+int main(int argc, char** argv) {
+  std::vector<size_t> threads = tic::bench::ParseThreads(&argc, argv, {1, 2, 4});
+  tic::RegisterAll(threads);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,20 @@
 // Experiment E5: trigger evaluation via the Section 2 duality. Per-update cost
 // = (#substitutions = |R_D|^params) x (one universal extension check each), so
 // throughput degrades polynomially in |R_D| per parameter.
+//
+// Custom main: pass --threads=1,2,4 (default) to sweep the manager's worker
+// count; the (trigger, substitution) jobs are independent and run on the
+// pool. Substitutions over symmetric elements share one canonical tableau
+// verdict, so the cache hit counters reported here should be nonzero.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "checker/trigger.h"
+#include "ptl/verdict_cache.h"
 
 namespace tic {
 namespace {
@@ -15,13 +24,28 @@ bench::OrdersFixture& Fixture() {
   return *f;
 }
 
+checker::CheckOptions WithThreads(size_t threads) {
+  checker::CheckOptions opts;
+  opts.threads = threads;
+  return opts;
+}
+
+void ReportCacheCounters(benchmark::State& state,
+                         const checker::TriggerManager& mgr) {
+  if (mgr.options().tableau.verdict_cache == nullptr) return;
+  ptl::VerdictCacheStats s = mgr.options().tableau.verdict_cache->stats();
+  state.counters["cache_hits"] = static_cast<double>(s.hits);
+  state.counters["cache_misses"] = static_cast<double>(s.misses);
+}
+
 // One-parameter trigger over a growing relevant set.
-void BM_Trigger_OneParam(benchmark::State& state) {
+void BM_Trigger_OneParam(benchmark::State& state, size_t threads) {
   auto& fx = Fixture();
   size_t n = static_cast<size_t>(state.range(0));
+  std::unique_ptr<checker::TriggerManager> mgr;
   for (auto _ : state) {
     state.PauseTiming();
-    auto mgr = *checker::TriggerManager::Create(fx.factory);
+    mgr = *checker::TriggerManager::Create(fx.factory, {}, WithThreads(threads));
     // "Order x was submitted and is certain to be resubmitted."
     auto st = mgr->AddTrigger(
         "dup", *fotl::Parse(fx.factory.get(), "F (Sub(x) & X F Sub(x))"));
@@ -35,18 +59,20 @@ void BM_Trigger_OneParam(benchmark::State& state) {
     if (!firings.ok()) state.SkipWithError(firings.status().ToString().c_str());
     benchmark::DoNotOptimize(firings->size());
   }
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["relevant"] = static_cast<double>(n);
   state.counters["substitutions"] = static_cast<double>(n);
+  if (mgr != nullptr) ReportCacheCounters(state, *mgr);
 }
-BENCHMARK(BM_Trigger_OneParam)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 // Two-parameter trigger: |R_D|^2 substitutions.
-void BM_Trigger_TwoParams(benchmark::State& state) {
+void BM_Trigger_TwoParams(benchmark::State& state, size_t threads) {
   auto& fx = Fixture();
   size_t n = static_cast<size_t>(state.range(0));
+  std::unique_ptr<checker::TriggerManager> mgr;
   for (auto _ : state) {
     state.PauseTiming();
-    auto mgr = *checker::TriggerManager::Create(fx.factory);
+    mgr = *checker::TriggerManager::Create(fx.factory, {}, WithThreads(threads));
     auto st = mgr->AddTrigger(
         "pair", *fotl::Parse(fx.factory.get(),
                              "x != y & Sub(x) & Sub(y) & F (Fill(x) & Fill(y))"));
@@ -60,9 +86,10 @@ void BM_Trigger_TwoParams(benchmark::State& state) {
     if (!firings.ok()) state.SkipWithError(firings.status().ToString().c_str());
     benchmark::DoNotOptimize(firings->size());
   }
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["substitutions"] = static_cast<double>(n * n);
+  if (mgr != nullptr) ReportCacheCounters(state, *mgr);
 }
-BENCHMARK(BM_Trigger_TwoParams)->Arg(2)->Arg(4)->Arg(8);
 
 // A firing trigger (condition unavoidable) vs a quiet one on the same stream.
 void BM_Trigger_FiringStream(benchmark::State& state) {
@@ -86,7 +113,37 @@ void BM_Trigger_FiringStream(benchmark::State& state) {
     benchmark::DoNotOptimize(total_firings);
   }
 }
-BENCHMARK(BM_Trigger_FiringStream);
+
+void RegisterAll(const std::vector<size_t>& thread_counts) {
+  for (size_t threads : thread_counts) {
+    std::string suffix = "/threads:" + std::to_string(threads);
+    benchmark::RegisterBenchmark(
+        ("BM_Trigger_OneParam" + suffix).c_str(),
+        [threads](benchmark::State& s) { BM_Trigger_OneParam(s, threads); })
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8)
+        ->Arg(16)
+        ->Arg(32);
+    benchmark::RegisterBenchmark(
+        ("BM_Trigger_TwoParams" + suffix).c_str(),
+        [threads](benchmark::State& s) { BM_Trigger_TwoParams(s, threads); })
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8);
+  }
+  benchmark::RegisterBenchmark("BM_Trigger_FiringStream", BM_Trigger_FiringStream);
+}
 
 }  // namespace
 }  // namespace tic
+
+int main(int argc, char** argv) {
+  std::vector<size_t> threads = tic::bench::ParseThreads(&argc, argv, {1, 2, 4});
+  tic::RegisterAll(threads);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,13 @@
 #ifndef TIC_CHECKER_EXTENSION_H_
 #define TIC_CHECKER_EXTENSION_H_
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 
 #include "checker/grounding.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "db/history.h"
 #include "fotl/evaluator.h"
 #include "fotl/factory.h"
@@ -24,6 +27,18 @@ struct CheckOptions {
   bool require_safety = true;
   /// Produce a decoded witness extension when the answer is YES.
   bool want_witness = true;
+
+  /// Degree of parallelism for the per-update hot paths (Monitor residual
+  /// progression, TriggerManager substitution sweeps). 1 = fully sequential.
+  /// Parallelism is verdict-invariant: progression is a pure function of the
+  /// residual and the new state, so the same residuals come out in any
+  /// schedule.
+  size_t threads = 1;
+  /// Worker pool backing `threads`. When null and threads > 1, Monitor /
+  /// TriggerManager construct a private pool with threads - 1 workers (the
+  /// calling thread participates in every ParallelFor). Inject one instance
+  /// here to share workers across monitors and trigger managers.
+  std::shared_ptr<ThreadPool> thread_pool;
 };
 
 /// \brief Outcome of a potential-satisfaction check.

@@ -34,7 +34,9 @@ struct MemoKey {
 };
 struct MemoKeyHash {
   size_t operator()(const MemoKey& k) const {
-    size_t seed = reinterpret_cast<size_t>(k.f);
+    // Hash-consed content fingerprint, not the node address: stable across
+    // runs and allocation orders.
+    size_t seed = static_cast<size_t>(k.f->hash());
     for (Value v : k.env) HashCombine(&seed, std::hash<Value>{}(v));
     return seed;
   }
@@ -49,7 +51,10 @@ struct LetterKey {
 };
 struct LetterKeyHash {
   size_t operator()(const LetterKey& k) const {
-    size_t seed = k.pred;
+    // Mix the predicate id instead of using it as a raw seed: small
+    // consecutive ids otherwise collide heavily after combining codes.
+    size_t seed = 0;
+    HashCombine(&seed, static_cast<size_t>(k.pred));
     for (Value v : k.codes) HashCombine(&seed, std::hash<Value>{}(v));
     return seed;
   }

@@ -5,8 +5,10 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "ptl/safety.h"
 #include "ptl/tableau.h"
+#include "ptl/verdict_cache.h"
 
 namespace tic {
 namespace checker {
@@ -27,7 +29,10 @@ bool Monitor::AssignmentEq::operator()(const std::vector<GroundElem>& a,
 }
 
 size_t Monitor::LetterKeyHash::operator()(const LetterKey& k) const {
-  size_t seed = k.pred;
+  // Mix the predicate id instead of using it as a raw seed: small consecutive
+  // ids otherwise collide heavily after combining codes.
+  size_t seed = 0;
+  HashCombine(&seed, static_cast<size_t>(k.pred));
   for (Value v : k.codes) HashCombine(&seed, std::hash<Value>{}(v));
   return seed;
 }
@@ -60,50 +65,95 @@ Result<std::unique_ptr<Monitor>> Monitor::Create(
       History h, History::Create(fotl_factory->vocabulary(), std::move(constant_interp)));
   std::unique_ptr<Monitor> m(
       new Monitor(std::move(fotl_factory), phi, std::move(h), options, mode));
+  // Default the shared verdict cache and worker pool: callers inject their own
+  // instances through CheckOptions to share them across monitors and trigger
+  // managers.
+  if (m->options_.tableau.verdict_cache == nullptr) {
+    m->options_.tableau.verdict_cache = std::make_shared<ptl::VerdictCache>();
+  }
+  if (m->options_.thread_pool == nullptr && m->options_.threads > 1) {
+    m->options_.thread_pool = std::make_shared<ThreadPool>(m->options_.threads - 1);
+  }
 
   // Safety gate: check the tense skeleton (each first-order atom abstracted to
   // one letter — safety depends only on the temporal structure).
   if (options.require_safety) {
+    // Explicit-stack post-order build (a deep user matrix must not overflow
+    // the native call stack): frames are pushed twice, first to queue
+    // unresolved children, then to combine their memoized skeletons. Each
+    // distinct atom gets one letter, numbered in left-to-right first-visit
+    // order.
     ptl::Factory* pf = m->prop_factory_.get();
-    std::unordered_map<fotl::Formula, ptl::Formula> atoms;
-    std::function<ptl::Formula(fotl::Formula)> skel =
-        [&](fotl::Formula f) -> ptl::Formula {
-      using fotl::NodeKind;
-      switch (f->kind()) {
-        case NodeKind::kTrue:
-          return pf->True();
-        case NodeKind::kFalse:
-          return pf->False();
-        case NodeKind::kEquals:
-        case NodeKind::kAtom: {
-          auto it = atoms.find(f);
-          if (it != atoms.end()) return it->second;
-          ptl::Formula letter = pf->Atom(m->prop_vocab_->Intern(
-              "skel#" + std::to_string(atoms.size())));
-          atoms.emplace(f, letter);
-          return letter;
-        }
-        case NodeKind::kNot:
-          return pf->Not(skel(f->child(0)));
-        case NodeKind::kNext:
-          return pf->Next(skel(f->child(0)));
-        case NodeKind::kEventually:
-          return pf->Eventually(skel(f->child(0)));
-        case NodeKind::kAlways:
-          return pf->Always(skel(f->child(0)));
-        case NodeKind::kAnd:
-          return pf->And(skel(f->lhs()), skel(f->rhs()));
-        case NodeKind::kOr:
-          return pf->Or(skel(f->lhs()), skel(f->rhs()));
-        case NodeKind::kImplies:
-          return pf->Implies(skel(f->lhs()), skel(f->rhs()));
-        case NodeKind::kUntil:
-          return pf->Until(skel(f->lhs()), skel(f->rhs()));
-        default:
-          return pf->True();  // unreachable for universal matrices
-      }
+    std::unordered_map<fotl::Formula, ptl::Formula> memo;
+    size_t atom_count = 0;
+    struct Frame {
+      fotl::Formula f;
+      bool expanded;
     };
-    ptl::Formula skeleton = skel(m->matrix_);
+    std::vector<Frame> stack{{m->matrix_, false}};
+    while (!stack.empty()) {
+      using fotl::NodeKind;
+      Frame fr = stack.back();
+      stack.pop_back();
+      if (memo.count(fr.f) > 0) continue;
+      NodeKind k = fr.f->kind();
+      if (k == NodeKind::kTrue) {
+        memo.emplace(fr.f, pf->True());
+        continue;
+      }
+      if (k == NodeKind::kFalse) {
+        memo.emplace(fr.f, pf->False());
+        continue;
+      }
+      if (k == NodeKind::kEquals || k == NodeKind::kAtom) {
+        memo.emplace(fr.f, pf->Atom(m->prop_vocab_->Intern(
+                               "skel#" + std::to_string(atom_count++))));
+        continue;
+      }
+      fotl::Formula c0 = fr.f->child(0);
+      fotl::Formula c1 = fr.f->child(1);
+      if (!fr.expanded) {
+        stack.push_back({fr.f, true});
+        // Reverse push so the left child is visited (and numbered) first.
+        if (c1 != nullptr && memo.count(c1) == 0) stack.push_back({c1, false});
+        if (c0 != nullptr && memo.count(c0) == 0) stack.push_back({c0, false});
+        continue;
+      }
+      ptl::Formula a = c0 != nullptr ? memo.at(c0) : nullptr;
+      ptl::Formula b = c1 != nullptr ? memo.at(c1) : nullptr;
+      ptl::Formula out;
+      switch (k) {
+        case NodeKind::kNot:
+          out = pf->Not(a);
+          break;
+        case NodeKind::kNext:
+          out = pf->Next(a);
+          break;
+        case NodeKind::kEventually:
+          out = pf->Eventually(a);
+          break;
+        case NodeKind::kAlways:
+          out = pf->Always(a);
+          break;
+        case NodeKind::kAnd:
+          out = pf->And(a, b);
+          break;
+        case NodeKind::kOr:
+          out = pf->Or(a, b);
+          break;
+        case NodeKind::kImplies:
+          out = pf->Implies(a, b);
+          break;
+        case NodeKind::kUntil:
+          out = pf->Until(a, b);
+          break;
+        default:
+          out = pf->True();  // unreachable for universal matrices
+          break;
+      }
+      memo.emplace(fr.f, out);
+    }
+    ptl::Formula skeleton = memo.at(m->matrix_);
     if (!ptl::IsSyntacticallySafe(pf, skeleton)) {
       return Status::NotSupported(
           "constraint's tense skeleton is not syntactically safe; the monitor "
@@ -380,6 +430,46 @@ ptl::Formula Monitor::RenameLetters(
   return go(f);
 }
 
+Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
+  // Partition live residuals by hash-consed identity: instances over symmetric
+  // elements share one formula node, so each distinct residual is progressed
+  // once and the result fanned back out.
+  std::unordered_map<ptl::Formula, size_t> class_of;
+  std::vector<ptl::Formula> reps;
+  for (const Instance& inst : instances_) {
+    if (inst.residual->kind() == ptl::Kind::kFalse) continue;
+    auto [it, inserted] = class_of.emplace(inst.residual, reps.size());
+    (void)it;
+    if (inserted) reps.push_back(inst.residual);
+  }
+  if (num_classes != nullptr) *num_classes = reps.size();
+
+  // Result<T> is not default-constructible; collect values and errors apart.
+  std::vector<ptl::Formula> progressed(reps.size(), nullptr);
+  std::vector<Status> errors(reps.size());
+  ptl::Factory* pf = prop_factory_.get();
+  auto step = [&](size_t i) {
+    Result<ptl::Formula> r = ptl::Progress(pf, reps[i], w);
+    if (r.ok()) {
+      progressed[i] = *r;
+    } else {
+      errors[i] = r.status();
+    }
+  };
+  ThreadPool* pool = options_.thread_pool.get();
+  if (pool != nullptr && reps.size() > 1) {
+    pool->ParallelFor(reps.size(), step);
+  } else {
+    for (size_t i = 0; i < reps.size(); ++i) step(i);
+  }
+  for (const Status& s : errors) TIC_RETURN_NOT_OK(s);
+  for (Instance& inst : instances_) {
+    if (inst.residual->kind() == ptl::Kind::kFalse) continue;
+    inst.residual = progressed[class_of.at(inst.residual)];
+  }
+  return Status::OK();
+}
+
 Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
   TIC_RETURN_NOT_OK(tic::ApplyTransaction(&history_, txn));
   size_t t = history_.length() - 1;
@@ -460,18 +550,10 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
                  fresh.end(), std::back_inserter(merged));
       known_relevant_ = std::move(merged);
     }
-    for (Instance& inst : instances_) {
-      if (inst.residual->kind() == ptl::Kind::kFalse) continue;
-      TIC_ASSIGN_OR_RETURN(inst.residual,
-                           ptl::Progress(prop_factory_.get(), inst.residual, w));
-    }
+    TIC_RETURN_NOT_OK(ProgressAll(w, &verdict.num_residual_classes));
   } else {
     word_.push_back(w);
-    for (Instance& inst : instances_) {
-      if (inst.residual->kind() == ptl::Kind::kFalse) continue;
-      TIC_ASSIGN_OR_RETURN(inst.residual,
-                           ptl::Progress(prop_factory_.get(), inst.residual, w));
-    }
+    TIC_RETURN_NOT_OK(ProgressAll(w, &verdict.num_residual_classes));
     if (!fresh.empty()) {
       TIC_RETURN_NOT_OK(create_fresh_instances(
           [&](const std::vector<GroundElem>& a) { return GroundAndCatchUp(a); }));
@@ -508,6 +590,9 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
       dead_ = true;
       verdict.permanently_violated = true;
     }
+  }
+  if (options_.tableau.verdict_cache != nullptr) {
+    verdict.verdict_cache_stats = options_.tableau.verdict_cache->stats();
   }
   last_verdict_ = verdict;
   return verdict;

@@ -47,7 +47,14 @@ struct MonitorVerdict {
   bool permanently_violated = false;
   uint64_t residual_size = 0;
   size_t num_instances = 0;
+  /// Distinct residual formulas progressed this update. Instances over
+  /// symmetric elements share a hash-consed residual, so
+  /// `num_instances - num_residual_classes` progression calls were saved by
+  /// deduplication.
+  size_t num_residual_classes = 0;
   ptl::TableauStats tableau_stats;
+  /// Cumulative counters of the shared tableau verdict cache.
+  ptl::VerdictCacheStats verdict_cache_stats;
 };
 
 /// \brief Incremental temporal integrity monitor for a universal safety
@@ -77,6 +84,9 @@ class Monitor {
   /// Latest verdict (valid after the first transaction).
   const MonitorVerdict& last_verdict() const { return last_verdict_; }
 
+  /// Effective options after Create's defaulting (pool, verdict cache).
+  const CheckOptions& options() const { return options_; }
+
  private:
   Monitor(std::shared_ptr<fotl::FormulaFactory> fotl_factory, fotl::Formula phi,
           History history, CheckOptions options, MonitorMode mode);
@@ -84,6 +94,12 @@ class Monitor {
   // Grounds the matrix for one instance assignment and progresses it through
   // the whole current history (used when new elements join R_D).
   Result<ptl::Formula> GroundAndCatchUp(const std::vector<GroundElem>& assignment);
+
+  // Progresses every live residual through `w`: residuals are partitioned into
+  // equivalence classes by hash-consed identity, one representative per class
+  // is progressed (in parallel when a thread pool is configured), and the
+  // results are fanned back out to the instances.
+  Status ProgressAll(const ptl::PropState& w, size_t* num_classes);
 
   // Builds the propositional state for history state `t`, creating letters on
   // demand (mirrors Grounding::BuildWord, incrementally).

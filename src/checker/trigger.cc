@@ -1,6 +1,8 @@
 #include "checker/trigger.h"
 
+#include "common/thread_pool.h"
 #include "fotl/classify.h"
+#include "ptl/verdict_cache.h"
 
 namespace tic {
 namespace checker {
@@ -11,6 +13,14 @@ TriggerManager::TriggerManager(std::shared_ptr<fotl::FormulaFactory> fotl_factor
       options_(options),
       history_(std::move(history)) {
   options_.want_witness = false;  // triggers only need the verdict
+  // Substitution sweeps are letter-renamings of each other, so a shared
+  // renaming-invariant verdict cache collapses them to one tableau run each.
+  if (options_.tableau.verdict_cache == nullptr) {
+    options_.tableau.verdict_cache = std::make_shared<ptl::VerdictCache>();
+  }
+  if (options_.thread_pool == nullptr && options_.threads > 1) {
+    options_.thread_pool = std::make_shared<ThreadPool>(options_.threads - 1);
+  }
 }
 
 Result<std::unique_ptr<TriggerManager>> TriggerManager::Create(
@@ -62,23 +72,21 @@ Result<std::vector<TriggerFiring>> TriggerManager::EvaluateTriggers() {
   std::vector<Value> relevant = history_.RelevantSet();
   if (relevant.empty()) relevant.push_back(0);  // degenerate domain
 
+  // Materialize the whole (trigger, theta) sweep first: each check builds its
+  // own grounding and propositional factory over the shared read-only history,
+  // so the checks are independent and can run on the pool.
+  struct Job {
+    const Trigger* trig;
+    fotl::Valuation theta;
+  };
+  std::vector<Job> jobs;
   for (const Trigger& trig : triggers_) {
     size_t p = trig.params.size();
     std::vector<size_t> idx(p, 0);
     while (true) {
       fotl::Valuation theta;
       for (size_t i = 0; i < p; ++i) theta[trig.params[i]] = relevant[idx[i]];
-
-      TIC_ASSIGN_OR_RETURN(
-          CheckResult check,
-          CheckPotentialSatisfaction(*ffac_, trig.negated, history_, theta,
-                                     options_));
-      if (!check.potentially_satisfied) {
-        TriggerFiring firing{trig.name, now, theta};
-        if (trig.action) trig.action(firing);
-        firings.push_back(std::move(firing));
-      }
-
+      jobs.push_back(Job{&trig, std::move(theta)});
       size_t d = 0;
       while (d < p && ++idx[d] == relevant.size()) {
         idx[d] = 0;
@@ -86,6 +94,34 @@ Result<std::vector<TriggerFiring>> TriggerManager::EvaluateTriggers() {
       }
       if (d == p) break;
     }
+  }
+
+  std::vector<char> fired(jobs.size(), 0);
+  std::vector<Status> errors(jobs.size());
+  auto evaluate = [&](size_t i) {
+    Result<CheckResult> check = CheckPotentialSatisfaction(
+        *ffac_, jobs[i].trig->negated, history_, jobs[i].theta, options_);
+    if (!check.ok()) {
+      errors[i] = check.status();
+      return;
+    }
+    fired[i] = check->potentially_satisfied ? 0 : 1;
+  };
+  ThreadPool* pool = options_.thread_pool.get();
+  if (pool != nullptr && jobs.size() > 1) {
+    pool->ParallelFor(jobs.size(), evaluate);
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) evaluate(i);
+  }
+  for (const Status& s : errors) TIC_RETURN_NOT_OK(s);
+
+  // Firings — and user-visible actions — stay in enumeration order, so the
+  // parallel sweep is indistinguishable from the sequential one.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (fired[i] == 0) continue;
+    TriggerFiring firing{jobs[i].trig->name, now, jobs[i].theta};
+    if (jobs[i].trig->action) jobs[i].trig->action(firing);
+    firings.push_back(std::move(firing));
   }
   return firings;
 }

@@ -53,6 +53,9 @@ class TriggerManager {
   const History& history() const { return history_; }
   History* mutable_history() { return &history_; }
 
+  /// Effective options after Create's defaulting (pool, verdict cache).
+  const CheckOptions& options() const { return options_; }
+
  private:
   TriggerManager(std::shared_ptr<fotl::FormulaFactory> fotl_factory,
                  History history, CheckOptions options);

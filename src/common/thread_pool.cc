@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace tic {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // drainer tasks catch internally; see ParallelFor
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared state for one fork/join round. Heap-allocated and shared with the
+  // enqueued drainers so a worker that dequeues late (after the caller already
+  // returned from a *previous* round) can never touch a dead frame.
+  struct Round {
+    std::atomic<size_t> next{0};
+    size_t n;
+    const std::function<void(size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t active;  // drainers (incl. caller) still running
+    std::exception_ptr error;  // first failure
+  };
+  auto round = std::make_shared<Round>();
+  round->n = n;
+  round->fn = &fn;
+
+  auto drain = [round] {
+    try {
+      while (true) {
+        size_t i = round->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= round->n) break;
+        (*round->fn)(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(round->mu);
+      if (!round->error) round->error = std::current_exception();
+      // Consume the remaining indices so other drainers stop promptly.
+      round->next.store(round->n, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(round->mu);
+    if (--round->active == 0) round->done_cv.notify_all();
+  };
+
+  size_t helpers = std::min(workers_.size(), n - 1);
+  round->active = helpers + 1;  // + the caller
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) queue_.emplace_back(drain);
+  }
+  cv_.notify_all();
+  drain();
+
+  std::unique_lock<std::mutex> lock(round->mu);
+  round->done_cv.wait(lock, [&] { return round->active == 0; });
+  if (round->error) std::rethrow_exception(round->error);
+}
+
+}  // namespace tic

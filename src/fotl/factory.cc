@@ -19,8 +19,11 @@ uint64_t HashNode(const Node& n, NodeKind kind, PredicateId pred, VarId var,
     HashCombine(&seed, static_cast<size_t>(t.kind));
     HashCombine(&seed, static_cast<size_t>(t.id));
   }
-  HashCombine(&seed, reinterpret_cast<size_t>(c0));
-  HashCombine(&seed, reinterpret_cast<size_t>(c1));
+  // Child content fingerprints, not addresses: node hashes are then pure
+  // functions of structure, identical in every run (and usable as
+  // deterministic seeds by downstream memo tables).
+  HashCombine(&seed, static_cast<size_t>(c0 ? c0->hash() : 0x243f6a8885a308d3ULL));
+  HashCombine(&seed, static_cast<size_t>(c1 ? c1->hash() : 0x13198a2e03707344ULL));
   return seed;
 }
 

@@ -140,7 +140,8 @@ Result<TableauAutomaton> BuildTableauAutomaton(Factory* factory, Formula f,
         if (goal == nullptr) continue;
         bool found = false;
         for (uint32_t w : members[c]) {
-          found = found || std::binary_search(states[w].begin(), states[w].end(), goal);
+          found = found || std::binary_search(states[w].begin(), states[w].end(),
+                                              goal, internal::FormulaOrder{});
           if (found) break;
         }
         if (!found) {

@@ -1,9 +1,25 @@
 #include "ptl/formula.h"
 
-#include "common/hash.h"
-
 namespace tic {
 namespace ptl {
+
+namespace {
+
+// splitmix64 finalizer: the fingerprint must be well-mixed because it doubles
+// as the shard selector and the canonical And/Or operand order.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Factory::Factory(PropVocabularyPtr vocab) : vocab_(std::move(vocab)) {
+  true_ = Intern(Kind::kTrue, 0, nullptr, nullptr);
+  false_ = Intern(Kind::kFalse, 0, nullptr, nullptr);
+}
 
 Formula Factory::Intern(Kind k, PropId atom, Formula c0, Formula c1) {
   Node proto;
@@ -11,29 +27,37 @@ Formula Factory::Intern(Kind k, PropId atom, Formula c0, Formula c1) {
   proto.atom_ = atom;
   proto.children_[0] = c0;
   proto.children_[1] = c1;
-  size_t seed = static_cast<size_t>(k) * 0x9e3779b97f4a7c15ULL + 3;
-  HashCombine(&seed, atom);
-  HashCombine(&seed, reinterpret_cast<size_t>(c0));
-  HashCombine(&seed, reinterpret_cast<size_t>(c1));
-  proto.hash_ = seed;
-  auto it = cache_.find(&proto);
-  if (it != cache_.end()) return it->second;
+  // Content fingerprint over (kind, atom, child fingerprints) — NOT child
+  // addresses, so identical structures hash identically in every run.
+  uint64_t fp = Mix(static_cast<uint64_t>(k) + 0x51ULL);
+  fp = Mix(fp ^ static_cast<uint64_t>(atom));
+  fp = Mix(fp ^ (c0 ? c0->hash() : 0x243f6a8885a308d3ULL));
+  fp = Mix(fp ^ (c1 ? c1->hash() : 0x13198a2e03707344ULL));
+  proto.hash_ = fp;
+
+  Shard& shard = shards_[fp % kNumShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cache.find(&proto);
+  if (it != shard.cache.end()) return it->second;
   proto.size_ = 1 + (c0 ? c0->size() : 0) + (c1 ? c1->size() : 0);
-  nodes_.push_back(proto);
-  Formula f = &nodes_.back();
-  cache_.emplace(f, f);
+  shard.nodes.push_back(proto);
+  Formula f = &shard.nodes.back();
+  shard.cache.emplace(f, f);
   return f;
 }
 
-Formula Factory::True() {
-  if (!true_) true_ = Intern(Kind::kTrue, 0, nullptr, nullptr);
-  return true_;
+size_t Factory::num_nodes() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.nodes.size();
+  }
+  return total;
 }
 
-Formula Factory::False() {
-  if (!false_) false_ = Intern(Kind::kFalse, 0, nullptr, nullptr);
-  return false_;
-}
+Formula Factory::True() { return true_; }
+
+Formula Factory::False() { return false_; }
 
 Formula Factory::Atom(PropId p) { return Intern(Kind::kAtom, p, nullptr, nullptr); }
 
@@ -53,8 +77,10 @@ Formula Factory::And(Formula a, Formula b) {
   // residuals from growing one conjunct per step on looping obligations.
   if (b->kind() == Kind::kAnd && (b->lhs() == a || b->rhs() == a)) return b;
   if (a->kind() == Kind::kAnd && (a->lhs() == b || a->rhs() == b)) return a;
-  // Canonical operand order improves sharing (And is commutative).
-  if (b < a) std::swap(a, b);
+  // Canonical operand order improves sharing (And is commutative). Ordering by
+  // content fingerprint — not by address — keeps the chosen structure
+  // identical across runs and across thread interleavings.
+  if (b->hash() < a->hash()) std::swap(a, b);
   return Intern(Kind::kAnd, 0, a, b);
 }
 
@@ -66,7 +92,7 @@ Formula Factory::Or(Formula a, Formula b) {
   // Shallow absorption, x | (x | y) == x | y.
   if (b->kind() == Kind::kOr && (b->lhs() == a || b->rhs() == a)) return b;
   if (a->kind() == Kind::kOr && (a->lhs() == b || a->rhs() == b)) return a;
-  if (b < a) std::swap(a, b);
+  if (b->hash() < a->hash()) std::swap(a, b);
   return Intern(Kind::kOr, 0, a, b);
 }
 

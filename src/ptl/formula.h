@@ -1,9 +1,11 @@
 #ifndef TIC_PTL_FORMULA_H_
 #define TIC_PTL_FORMULA_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -74,6 +76,10 @@ class Node {
   Formula rhs() const { return children_[1]; }
   /// Tree size |psi| — the complexity parameter of Lemma 4.2.
   uint64_t size() const { return size_; }
+  /// Content fingerprint: derived purely from (kind, atom, child fingerprints),
+  /// so it is identical across runs, factories, and interning orders — unlike
+  /// the node's address. All hashing and canonical ordering of formulas go
+  /// through this value to keep witnesses and bench numbers run-deterministic.
   uint64_t hash() const { return hash_; }
   /// True when the node is a literal / Next-formula (tableau-elementary).
   bool IsLiteral() const {
@@ -97,9 +103,14 @@ class Node {
 /// essential for keeping the Lemma 4.2 rewriting (formula progression)
 /// residuals small, as the paper's "and the resulting formula simplified"
 /// step prescribes.
+///
+/// Thread-safe: interning is sharded by content fingerprint, each shard
+/// guarded by its own mutex, so the parallel monitor hot path can progress
+/// residuals concurrently against one factory. Nodes are immutable once
+/// published and pointer-stable (per-shard deque storage).
 class Factory {
  public:
-  explicit Factory(PropVocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+  explicit Factory(PropVocabularyPtr vocab);
 
   const PropVocabularyPtr& vocabulary() const { return vocab_; }
 
@@ -118,7 +129,7 @@ class Factory {
   Formula Eventually(Formula a);
   Formula Always(Formula a);
 
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const;
 
  private:
   Formula Intern(Kind k, PropId atom, Formula c0, Formula c1);
@@ -132,11 +143,16 @@ class Factory {
              a->child(0) == b->child(0) && a->child(1) == b->child(1);
     }
   };
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<const Node*, Formula, KeyHash, KeyEq> cache;
+    std::deque<Node> nodes;
+  };
 
   PropVocabularyPtr vocab_;
-  std::deque<Node> nodes_;
-  std::unordered_map<const Node*, Formula, KeyHash, KeyEq> cache_;
-  Formula true_ = nullptr;
+  mutable std::array<Shard, kNumShards> shards_;
+  Formula true_ = nullptr;   // interned eagerly: no lazy-init race
   Formula false_ = nullptr;
 };
 

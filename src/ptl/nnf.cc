@@ -1,6 +1,8 @@
 #include "ptl/nnf.h"
 
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/hash.h"
 
@@ -16,63 +18,128 @@ struct Key {
 };
 struct KeyHash {
   size_t operator()(const Key& k) const {
-    size_t seed = reinterpret_cast<size_t>(k.f);
+    // Content fingerprint, not the node address: run-deterministic and stable
+    // under allocation order.
+    size_t seed = static_cast<size_t>(k.f->hash());
     HashCombine(&seed, k.neg ? 1u : 0u);
     return seed;
   }
 };
 
+// Explicit-stack negation-normal-form builder. The translation is a pure
+// bottom-up function of (subformula, polarity) pairs; frames are expanded
+// twice — first to push unresolved dependencies, then to combine their
+// memoized results — so arbitrarily deep formulas never touch the native
+// call stack.
 class NnfBuilder {
  public:
   explicit NnfBuilder(Factory* fac) : fac_(fac) {}
 
-  Formula Run(Formula f, bool neg) {
-    Key key{f, neg};
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-    Formula out = Build(f, neg);
-    memo_.emplace(key, out);
-    return out;
+  Formula Run(Formula root, bool root_neg) {
+    struct Frame {
+      Key key;
+      bool expanded;
+    };
+    std::vector<Frame> stack{{Key{root, root_neg}, false}};
+    while (!stack.empty()) {
+      Frame fr = stack.back();
+      stack.pop_back();
+      if (memo_.count(fr.key) > 0) continue;
+      Key deps[2];
+      size_t n = DepsOf(fr.key, deps);
+      if (!fr.expanded) {
+        if (n == 0) {
+          memo_.emplace(fr.key, Leaf(fr.key));
+          continue;
+        }
+        stack.push_back({fr.key, true});
+        for (size_t i = 0; i < n; ++i) {
+          if (memo_.count(deps[i]) == 0) stack.push_back({deps[i], false});
+        }
+        continue;
+      }
+      Formula a = memo_.at(deps[0]);
+      Formula b = n > 1 ? memo_.at(deps[1]) : nullptr;
+      memo_.emplace(fr.key, Combine(fr.key, a, b));
+    }
+    return memo_.at(Key{root, root_neg});
   }
 
  private:
-  Formula Build(Formula f, bool neg) {
+  // The (child, polarity) pairs this key's translation depends on.
+  size_t DepsOf(const Key& k, Key out[2]) const {
+    Formula f = k.f;
+    bool neg = k.neg;
     switch (f->kind()) {
       case Kind::kTrue:
-        return neg ? fac_->False() : fac_->True();
       case Kind::kFalse:
-        return neg ? fac_->True() : fac_->False();
       case Kind::kAtom:
-        return neg ? fac_->Not(f) : f;
+        return 0;
       case Kind::kNot:
-        return Run(f->child(0), !neg);
-      case Kind::kAnd:
-        return neg ? fac_->Or(Run(f->lhs(), true), Run(f->rhs(), true))
-                   : fac_->And(Run(f->lhs(), false), Run(f->rhs(), false));
-      case Kind::kOr:
-        return neg ? fac_->And(Run(f->lhs(), true), Run(f->rhs(), true))
-                   : fac_->Or(Run(f->lhs(), false), Run(f->rhs(), false));
-      case Kind::kImplies:
-        // A -> B == !A | B.
-        return neg ? fac_->And(Run(f->lhs(), false), Run(f->rhs(), true))
-                   : fac_->Or(Run(f->lhs(), true), Run(f->rhs(), false));
+        out[0] = Key{f->child(0), !neg};
+        return 1;
       case Kind::kNext:
-        return fac_->Next(Run(f->child(0), neg));
+      case Kind::kEventually:
+      case Kind::kAlways:
+        out[0] = Key{f->child(0), neg};
+        return 1;
+      case Kind::kImplies:
+        // A -> B == !A | B: the antecedent flips polarity.
+        out[0] = Key{f->lhs(), !neg};
+        out[1] = Key{f->rhs(), neg};
+        return 2;
+      case Kind::kAnd:
+      case Kind::kOr:
       case Kind::kUntil:
-        return neg ? fac_->Release(Run(f->lhs(), true), Run(f->rhs(), true))
-                   : fac_->Until(Run(f->lhs(), false), Run(f->rhs(), false));
       case Kind::kRelease:
-        return neg ? fac_->Until(Run(f->lhs(), true), Run(f->rhs(), true))
-                   : fac_->Release(Run(f->lhs(), false), Run(f->rhs(), false));
+        out[0] = Key{f->lhs(), neg};
+        out[1] = Key{f->rhs(), neg};
+        return 2;
+    }
+    return 0;
+  }
+
+  Formula Leaf(const Key& k) {
+    switch (k.f->kind()) {
+      case Kind::kTrue:
+        return k.neg ? fac_->False() : fac_->True();
+      case Kind::kFalse:
+        return k.neg ? fac_->True() : fac_->False();
+      case Kind::kAtom:
+        return k.neg ? fac_->Not(k.f) : k.f;
+      default:
+        return k.f;
+    }
+  }
+
+  Formula Combine(const Key& k, Formula a, Formula b) {
+    bool neg = k.neg;
+    switch (k.f->kind()) {
+      case Kind::kNot:
+        return a;
+      case Kind::kAnd:
+        return neg ? fac_->Or(a, b) : fac_->And(a, b);
+      case Kind::kOr:
+        return neg ? fac_->And(a, b) : fac_->Or(a, b);
+      case Kind::kImplies:
+        // deps were (!A-polarity lhs, rhs): negated -> A & !B, else !A | B.
+        return neg ? fac_->And(a, b) : fac_->Or(a, b);
+      case Kind::kNext:
+        return fac_->Next(a);
+      case Kind::kUntil:
+        return neg ? fac_->Release(a, b) : fac_->Until(a, b);
+      case Kind::kRelease:
+        return neg ? fac_->Until(a, b) : fac_->Release(a, b);
       case Kind::kEventually:
         // F A == true U A;  !F A == G !A == false R !A.
-        return neg ? fac_->Release(fac_->False(), Run(f->child(0), true))
-                   : fac_->Until(fac_->True(), Run(f->child(0), false));
+        return neg ? fac_->Release(fac_->False(), a)
+                   : fac_->Until(fac_->True(), a);
       case Kind::kAlways:
-        return neg ? fac_->Until(fac_->True(), Run(f->child(0), true))
-                   : fac_->Release(fac_->False(), Run(f->child(0), false));
+        return neg ? fac_->Until(fac_->True(), a)
+                   : fac_->Release(fac_->False(), a);
+      default:
+        return k.f;
     }
-    return f;
   }
 
   Factory* fac_;
@@ -87,27 +154,39 @@ Formula ToNnf(Factory* factory, Formula f) {
 }
 
 bool IsNnf(Formula f) {
-  switch (f->kind()) {
-    case Kind::kTrue:
-    case Kind::kFalse:
-    case Kind::kAtom:
-      return true;
-    case Kind::kNot:
-      return f->child(0)->kind() == Kind::kAtom;
-    case Kind::kImplies:
-      return false;
-    case Kind::kEventually:
-    case Kind::kAlways:
-      return IsNnf(f->child(0));
-    case Kind::kNext:
-      return IsNnf(f->child(0));
-    case Kind::kAnd:
-    case Kind::kOr:
-    case Kind::kUntil:
-    case Kind::kRelease:
-      return IsNnf(f->lhs()) && IsNnf(f->rhs());
+  // Iterative worklist; the visited set keeps shared DAG nodes from being
+  // re-checked (the DAG's tree unfolding can be exponentially larger).
+  std::vector<Formula> stack{f};
+  std::unordered_set<Formula> seen;
+  while (!stack.empty()) {
+    Formula g = stack.back();
+    stack.pop_back();
+    if (!seen.insert(g).second) continue;
+    switch (g->kind()) {
+      case Kind::kTrue:
+      case Kind::kFalse:
+      case Kind::kAtom:
+        break;
+      case Kind::kNot:
+        if (g->child(0)->kind() != Kind::kAtom) return false;
+        break;
+      case Kind::kImplies:
+        return false;
+      case Kind::kEventually:
+      case Kind::kAlways:
+      case Kind::kNext:
+        stack.push_back(g->child(0));
+        break;
+      case Kind::kAnd:
+      case Kind::kOr:
+      case Kind::kUntil:
+      case Kind::kRelease:
+        stack.push_back(g->lhs());
+        stack.push_back(g->rhs());
+        break;
+    }
   }
-  return false;
+  return true;
 }
 
 }  // namespace ptl

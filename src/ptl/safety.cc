@@ -13,34 +13,28 @@ namespace ptl {
 
 namespace {
 
-bool NnfHasEventuality(Formula f) {
-  switch (f->kind()) {
-    case Kind::kUntil:
-    case Kind::kEventually:
-      return true;
-    case Kind::kTrue:
-    case Kind::kFalse:
-    case Kind::kAtom:
-      return false;
-    default:
-      return (f->child(0) != nullptr && NnfHasEventuality(f->child(0))) ||
-             (f->child(1) != nullptr && NnfHasEventuality(f->child(1)));
+// Iterative (explicit worklist) so arbitrarily deep formulas cannot overflow
+// the native stack; the visited set keeps shared DAG nodes from re-expanding.
+bool NnfHasKind(Formula f, Kind k1, Kind k2) {
+  std::vector<Formula> stack{f};
+  std::unordered_set<Formula> seen;
+  while (!stack.empty()) {
+    Formula g = stack.back();
+    stack.pop_back();
+    if (!seen.insert(g).second) continue;
+    if (g->kind() == k1 || g->kind() == k2) return true;
+    if (g->child(0) != nullptr) stack.push_back(g->child(0));
+    if (g->child(1) != nullptr) stack.push_back(g->child(1));
   }
+  return false;
+}
+
+bool NnfHasEventuality(Formula f) {
+  return NnfHasKind(f, Kind::kUntil, Kind::kEventually);
 }
 
 bool NnfHasUniversality(Formula f) {
-  switch (f->kind()) {
-    case Kind::kRelease:
-    case Kind::kAlways:
-      return true;
-    case Kind::kTrue:
-    case Kind::kFalse:
-    case Kind::kAtom:
-      return false;
-    default:
-      return (f->child(0) != nullptr && NnfHasUniversality(f->child(0))) ||
-             (f->child(1) != nullptr && NnfHasUniversality(f->child(1)));
-  }
+  return NnfHasKind(f, Kind::kRelease, Kind::kAlways);
 }
 
 }  // namespace

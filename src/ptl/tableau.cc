@@ -245,7 +245,7 @@ class TableauGraph {
 
   bool StateContains(uint32_t v, Formula f) const {
     const StateSet& s = states_[v];
-    return std::binary_search(s.begin(), s.end(), f);
+    return std::binary_search(s.begin(), s.end(), f, internal::FormulaOrder{});
   }
 
   bool SccIsSelfFulfilling(size_t c) const {
@@ -374,6 +374,25 @@ Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& op
     return result;
   }
 
+  // Verdict cache: the canonical form is letter-renaming-invariant, so the
+  // residuals of grounding instances over different elements — and successive
+  // monitor residuals that differ only by letter phase — share one entry.
+  std::optional<CanonicalFormula> canonical;
+  if (options.verdict_cache != nullptr) {
+    canonical = Canonicalize(nnf);
+    if (canonical.has_value()) {
+      bool sat = false;
+      std::optional<UltimatelyPeriodicWord> cached;
+      if (options.verdict_cache->Lookup(*canonical, &sat, &cached)) {
+        result.satisfiable = sat;
+        result.witness = std::move(cached);
+        result.stats.cache_hits = 1;
+        return result;
+      }
+      result.stats.cache_misses = 1;
+    }
+  }
+
   UltimatelyPeriodicWord witness;
   if (options.use_safety_fast_path && IsSyntacticallySafe(factory, nnf)) {
     // Safety fast path: any infinite tableau path is a model; lazy DFS with
@@ -385,11 +404,16 @@ Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& op
     TableauGraph graph(factory, options);
     TIC_RETURN_NOT_OK(graph.Build(nnf));
     result.satisfiable = graph.FindModel(&witness);
+    size_t misses = result.stats.cache_misses;
     result.stats = graph.stats();
+    result.stats.cache_misses = misses;
   }
   if (result.satisfiable) {
     if (witness.loop.empty()) witness.loop.push_back(PropState());
     result.witness = std::move(witness);
+  }
+  if (canonical.has_value()) {
+    options.verdict_cache->Insert(*canonical, result.satisfiable, result.witness);
   }
   return result;
 }

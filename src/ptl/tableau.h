@@ -2,10 +2,12 @@
 #define TIC_PTL_TABLEAU_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/result.h"
 #include "ptl/formula.h"
+#include "ptl/verdict_cache.h"
 #include "ptl/word.h"
 
 namespace tic {
@@ -31,6 +33,17 @@ struct TableauOptions {
   /// can prune branches.
   bool defer_branching = true;
   /// @}
+
+  /// Cap on the depth of the expansion-rule branch recursion (each level is a
+  /// disjunctive split); exceeding it returns ResourceExhausted instead of
+  /// overflowing the native stack on pathologically deep formulas.
+  size_t max_branch_depth = 10000;
+
+  /// Optional shared cache of verdicts keyed by the canonical residual form
+  /// (letter-renaming-invariant, cross-factory). When set, CheckSat consults
+  /// it before building a tableau and publishes its result afterwards. Shared
+  /// across updates, Monitor instances, and the TriggerManager.
+  std::shared_ptr<VerdictCache> verdict_cache;
 };
 
 /// \brief Size counters reported back to benchmarks (Experiment E4).
@@ -38,6 +51,9 @@ struct TableauStats {
   size_t num_states = 0;
   size_t num_edges = 0;
   size_t num_expansions = 0;
+  /// Verdict-cache outcome of this check: at most one of the two is 1.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
 };
 
 /// \brief Outcome of a satisfiability check.

@@ -25,10 +25,20 @@ namespace internal {
 // A tableau state: the canonical (sorted) set of formulas asserted to hold now.
 using StateSet = std::vector<Formula>;
 
+// Canonical formula order within a StateSet: content fingerprint first, so
+// state enumeration (and hence witness selection) is identical across runs.
+// The address tiebreak only matters on a 64-bit fingerprint collision.
+struct FormulaOrder {
+  bool operator()(Formula a, Formula b) const {
+    if (a->hash() != b->hash()) return a->hash() < b->hash();
+    return a < b;
+  }
+};
+
 struct StateSetHash {
   size_t operator()(const StateSet& s) const {
     size_t seed = s.size();
-    for (Formula f : s) HashCombine(&seed, reinterpret_cast<size_t>(f));
+    for (Formula f : s) HashCombine(&seed, static_cast<size_t>(f->hash()));
     return seed;
   }
 };
@@ -81,7 +91,7 @@ class Expander {
       if (!seen.insert(s).second) return true;
       return sink(std::move(s));
     };
-    return Rec(seed, std::set<Formula>(), dedup);
+    return Rec(seed, std::set<Formula>(), dedup, 0);
   }
 
   std::vector<StateSet> Expand(const std::vector<Formula>& seed) {
@@ -147,12 +157,23 @@ class Expander {
   }
 
   // `todo` holds formulas still to process; `done` holds everything already
-  // asserted. Returns false iff the sink stopped the enumeration.
-  bool Rec(std::vector<Formula> todo, std::set<Formula> done, const Sink& sink) {
+  // asserted. Returns false iff the sink stopped the enumeration. Rec recurses
+  // once per disjunctive split along the current branch (right alternatives
+  // stay in this frame's loop), so `depth` is bounded by the branch length —
+  // guarded because a deep left-nested disjunction would otherwise overflow
+  // the native stack before any budget triggers.
+  bool Rec(std::vector<Formula> todo, std::set<Formula> done, const Sink& sink,
+           size_t depth) {
     if (++stats_->num_expansions > options_.max_expansions) {
       status_ = Status::ResourceExhausted(
           "tableau exceeded max_expansions = " +
           std::to_string(options_.max_expansions));
+      return false;
+    }
+    if (depth > options_.max_branch_depth) {
+      status_ = Status::ResourceExhausted(
+          "tableau branch depth exceeded max_branch_depth = " +
+          std::to_string(options_.max_branch_depth));
       return false;
     }
     while (!todo.empty()) {
@@ -192,7 +213,7 @@ class Expander {
           if (options_.use_subsumption && OrSubsumed(f, done)) continue;
           std::vector<Formula> todo2 = todo;
           todo2.push_back(f->lhs());
-          if (!Rec(std::move(todo2), done, sink)) return false;
+          if (!Rec(std::move(todo2), done, sink, depth + 1)) return false;
           todo.push_back(f->rhs());
           continue;
         }
@@ -202,7 +223,7 @@ class Expander {
           if (options_.use_subsumption && done.count(f->rhs()) > 0) continue;
           std::vector<Formula> todo2 = todo;
           todo2.push_back(f->rhs());
-          if (!Rec(std::move(todo2), done, sink)) return false;
+          if (!Rec(std::move(todo2), done, sink, depth + 1)) return false;
           todo.push_back(f->lhs());
           todo.push_back(fac_->Next(f));
           continue;
@@ -217,7 +238,7 @@ class Expander {
           std::vector<Formula> todo2 = todo;
           todo2.push_back(f->rhs());
           todo2.push_back(f->lhs());
-          if (!Rec(std::move(todo2), done, sink)) return false;
+          if (!Rec(std::move(todo2), done, sink, depth + 1)) return false;
           todo.push_back(f->rhs());
           todo.push_back(fac_->Next(f));
           continue;
@@ -229,7 +250,7 @@ class Expander {
           }
           std::vector<Formula> todo2 = todo;
           todo2.push_back(f->child(0));
-          if (!Rec(std::move(todo2), done, sink)) return false;
+          if (!Rec(std::move(todo2), done, sink, depth + 1)) return false;
           todo.push_back(fac_->Next(f));
           continue;
         }
@@ -244,14 +265,14 @@ class Expander {
           if (options_.use_subsumption && done.count(f->rhs()) > 0) continue;
           std::vector<Formula> todo2 = todo;
           todo2.push_back(ToNnf(fac_, fac_->Not(f->lhs())));
-          if (!Rec(std::move(todo2), done, sink)) return false;
+          if (!Rec(std::move(todo2), done, sink, depth + 1)) return false;
           todo.push_back(f->rhs());
           continue;
         }
       }
     }
     StateSet out(done.begin(), done.end());
-    std::sort(out.begin(), out.end());
+    std::sort(out.begin(), out.end(), FormulaOrder{});
     return sink(std::move(out));
   }
 

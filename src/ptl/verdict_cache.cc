@@ -1,0 +1,210 @@
+#include "ptl/verdict_cache.h"
+
+#include <algorithm>
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+void AppendVarint(std::string* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+// Tag bytes: kinds occupy [1, 1+#kinds); back-references use 0.
+constexpr char kBackRefTag = 0;
+
+uint64_t ShapeMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Letter-blind structural hash for every node in f's DAG. All atoms hash
+// alike and And/Or combine their children symmetrically, so the hash is
+// invariant under letter renaming — unlike the factory's content
+// fingerprint, which orders And/Or operands by the concrete letters.
+bool ShapeHashes(Formula f, size_t max_nodes,
+                 std::unordered_map<Formula, uint64_t>* shape) {
+  std::vector<Formula> stack{f};
+  while (!stack.empty()) {
+    Formula g = stack.back();
+    if (shape->count(g) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    Formula c0 = g->child(0);
+    Formula c1 = g->child(1);
+    bool ready = true;
+    if (c0 != nullptr && shape->count(c0) == 0) {
+      stack.push_back(c0);
+      ready = false;
+    }
+    if (c1 != nullptr && shape->count(c1) == 0) {
+      stack.push_back(c1);
+      ready = false;
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    if (shape->size() >= max_nodes) return false;
+    uint64_t h0 = c0 != nullptr ? shape->at(c0) : 0x243f6a8885a308d3ULL;
+    uint64_t h1 = c1 != nullptr ? shape->at(c1) : 0x13198a2e03707344ULL;
+    if ((g->kind() == Kind::kAnd || g->kind() == Kind::kOr) && h1 < h0) {
+      std::swap(h0, h1);
+    }
+    uint64_t h = ShapeMix(static_cast<uint64_t>(g->kind()) + 0xa5ULL);
+    h = ShapeMix(h ^ h0);
+    h = ShapeMix(h ^ h1);
+    shape->emplace(g, h);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<CanonicalFormula> Canonicalize(Formula f, size_t max_nodes) {
+  // Pre-order DAG serialization. Within one hash-consing factory, structurally
+  // equal subterms are the same node, so emitting a back-reference on repeat
+  // visits yields a serialization determined by structure alone — identical
+  // sharing, identical key, in whichever factory the formula was built.
+  //
+  // And/Or children are visited in letter-blind shape-hash order, because
+  // their stored order follows the letter-dependent content fingerprint and
+  // would break renaming invariance. When both children share one shape the
+  // stored order is kept — renamings may then miss the cache, never collide.
+  std::unordered_map<Formula, uint64_t> shape;
+  if (!ShapeHashes(f, max_nodes, &shape)) return std::nullopt;
+  CanonicalFormula out;
+  std::unordered_map<Formula, uint32_t> seen;
+  std::unordered_map<PropId, uint32_t> letter_idx;
+  std::vector<Formula> stack{f};
+  size_t distinct = 0;
+  while (!stack.empty()) {
+    Formula g = stack.back();
+    stack.pop_back();
+    auto it = seen.find(g);
+    if (it != seen.end()) {
+      out.key.push_back(kBackRefTag);
+      AppendVarint(&out.key, it->second);
+      continue;
+    }
+    if (++distinct > max_nodes) return std::nullopt;
+    seen.emplace(g, static_cast<uint32_t>(seen.size()));
+    out.key.push_back(static_cast<char>(static_cast<uint8_t>(g->kind()) + 1));
+    if (g->kind() == Kind::kAtom) {
+      auto [lit, inserted] =
+          letter_idx.emplace(g->atom(), static_cast<uint32_t>(letter_idx.size()));
+      if (inserted) out.letters.push_back(g->atom());
+      AppendVarint(&out.key, lit->second);
+    }
+    Formula c0 = g->child(0);
+    Formula c1 = g->child(1);
+    if ((g->kind() == Kind::kAnd || g->kind() == Kind::kOr) &&
+        shape.at(c1) < shape.at(c0)) {
+      std::swap(c0, c1);
+    }
+    // Reverse push so the first child's subtree serializes first.
+    if (c1 != nullptr) stack.push_back(c1);
+    if (c0 != nullptr) stack.push_back(c0);
+  }
+  return out;
+}
+
+VerdictCache::VerdictCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  stats_.capacity = capacity_;
+}
+
+bool VerdictCache::Lookup(const CanonicalFormula& cf, bool* satisfiable,
+                          std::optional<UltimatelyPeriodicWord>* witness) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(cf.key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  const Entry& e = it->second->second;
+  *satisfiable = e.satisfiable;
+  if (witness != nullptr) {
+    witness->reset();
+    if (e.has_witness) {
+      UltimatelyPeriodicWord w;
+      auto decode = [&cf](const std::vector<std::vector<uint32_t>>& states,
+                          Word* dst) {
+        for (const auto& trues : states) {
+          PropState s;
+          for (uint32_t idx : trues) {
+            if (idx < cf.letters.size()) s.Set(cf.letters[idx], true);
+          }
+          dst->push_back(std::move(s));
+        }
+      };
+      decode(e.prefix, &w.prefix);
+      decode(e.loop, &w.loop);
+      if (w.loop.empty()) w.loop.push_back(PropState());
+      *witness = std::move(w);
+    }
+  }
+  ++stats_.hits;
+  return true;
+}
+
+void VerdictCache::Insert(const CanonicalFormula& cf, bool satisfiable,
+                          const std::optional<UltimatelyPeriodicWord>& witness) {
+  Entry e;
+  e.satisfiable = satisfiable;
+  if (witness.has_value()) {
+    e.has_witness = true;
+    std::unordered_map<PropId, uint32_t> inverse;
+    for (size_t i = 0; i < cf.letters.size(); ++i) {
+      inverse.emplace(cf.letters[i], static_cast<uint32_t>(i));
+    }
+    auto encode = [&inverse](const Word& states,
+                             std::vector<std::vector<uint32_t>>* dst) {
+      for (const PropState& s : states) {
+        std::vector<uint32_t> trues;
+        for (PropId p : s.trues()) {
+          auto it = inverse.find(p);
+          // Letters outside the formula are false by the witness convention;
+          // dropping them here is what the reconstruction assumes.
+          if (it != inverse.end()) trues.push_back(it->second);
+        }
+        std::sort(trues.begin(), trues.end());
+        dst->push_back(std::move(trues));
+      }
+    };
+    encode(witness->prefix, &e.prefix);
+    encode(witness->loop, &e.loop);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(cf.key);
+  if (it != index_.end()) {
+    it->second->second = std::move(e);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(cf.key, std::move(e));
+  index_.emplace(cf.key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+VerdictCacheStats VerdictCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VerdictCacheStats s = stats_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace ptl
+}  // namespace tic

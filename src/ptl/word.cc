@@ -16,7 +16,8 @@ struct Key {
 };
 struct KeyHash {
   size_t operator()(const Key& k) const {
-    size_t seed = reinterpret_cast<size_t>(k.f);
+    // Content fingerprint, not the node address: run-deterministic.
+    size_t seed = static_cast<size_t>(k.f->hash());
     HashCombine(&seed, k.pos);
     return seed;
   }

@@ -202,6 +202,84 @@ TEST_F(MonitorTest, HistoryLessFreshElementCatchUp) {
   EXPECT_TRUE(v2->permanently_violated);
 }
 
+TEST_F(MonitorTest, AllModesAgreeOnNewElementCatchUpViolation) {
+  // A fresh element (2) arrives mid-stream, gets caught up through the
+  // history, and later violates submit-once. All three modes must agree on
+  // permanence at every step; lazy agrees here because the violation is
+  // present-detectable (progression alone collapses to false).
+  auto eager = *Monitor::Create(fac_, submit_once_, {}, {}, MonitorMode::kEager);
+  auto lazy = *Monitor::Create(fac_, submit_once_, {}, {}, MonitorMode::kLazy);
+  auto hless = *Monitor::Create(fac_, submit_once_, {}, {},
+                                MonitorMode::kEagerHistoryLess);
+  std::vector<Transaction> txns = {
+      Txn({1}, {}),         Txn({}, {}, {1}), Txn({2}, {}),
+      Txn({}, {}, {2}),     Txn({2}, {}),  // resubmission: permanent violation
+  };
+  for (size_t step = 0; step < txns.size(); ++step) {
+    auto ve = eager->ApplyTransaction(txns[step]);
+    auto vl = lazy->ApplyTransaction(txns[step]);
+    auto vh = hless->ApplyTransaction(txns[step]);
+    ASSERT_TRUE(ve.ok()) << ve.status().ToString();
+    ASSERT_TRUE(vl.ok()) << vl.status().ToString();
+    ASSERT_TRUE(vh.ok()) << vh.status().ToString();
+    EXPECT_EQ(ve->permanently_violated, step == 4) << "step " << step;
+    EXPECT_EQ(vl->permanently_violated, ve->permanently_violated) << "step " << step;
+    EXPECT_EQ(vh->permanently_violated, ve->permanently_violated) << "step " << step;
+    EXPECT_EQ(vh->potentially_satisfied, ve->potentially_satisfied) << "step " << step;
+  }
+}
+
+TEST_F(MonitorTest, ParallelVerdictsMatchSequentialBitForBit) {
+  // Progression is pure and the factory canonicalizes by content fingerprint,
+  // so running residual classes on a pool must leave every verdict field —
+  // including residual size and class counts — identical to sequential runs.
+  CheckOptions par;
+  par.threads = 4;
+  for (fotl::Formula phi : {submit_once_, fifo_}) {
+    for (MonitorMode mode :
+         {MonitorMode::kEager, MonitorMode::kEagerHistoryLess}) {
+      for (int seed = 0; seed < 6; ++seed) {
+        std::mt19937 rng(7000 + seed);
+        auto seq = *Monitor::Create(fac_, phi, {}, {}, mode);
+        auto parallel = *Monitor::Create(fac_, phi, {}, par, mode);
+        for (int step = 0; step < 7; ++step) {
+          std::vector<Value> subs, fills, unsubs;
+          if (rng() % 2) subs.push_back(1 + rng() % 4);
+          if (rng() % 2) fills.push_back(1 + rng() % 4);
+          if (rng() % 3 == 0) unsubs.push_back(1 + rng() % 4);
+          Transaction txn = Txn(subs, fills, unsubs);
+          auto vs = seq->ApplyTransaction(txn);
+          auto vp = parallel->ApplyTransaction(txn);
+          ASSERT_TRUE(vs.ok()) << vs.status().ToString();
+          ASSERT_TRUE(vp.ok()) << vp.status().ToString();
+          EXPECT_EQ(vp->potentially_satisfied, vs->potentially_satisfied)
+              << "seed " << seed << " step " << step;
+          EXPECT_EQ(vp->permanently_violated, vs->permanently_violated);
+          EXPECT_EQ(vp->residual_size, vs->residual_size)
+              << "seed " << seed << " step " << step;
+          EXPECT_EQ(vp->num_instances, vs->num_instances);
+          EXPECT_EQ(vp->num_residual_classes, vs->num_residual_classes);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(MonitorTest, VerdictCacheAccumulatesHitsOnSteadyStates) {
+  // A steady stream keeps producing residual conjunctions the monitor has
+  // already decided; the shared verdict cache must start hitting.
+  auto m = *Monitor::Create(fac_, submit_once_);
+  MonitorVerdict last;
+  for (int step = 0; step < 6; ++step) {
+    auto v = m->ApplyTransaction(Txn({}, {1}));  // Fill(1) every state
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    EXPECT_TRUE(v->potentially_satisfied);
+    last = *v;
+  }
+  EXPECT_GT(last.verdict_cache_stats.hits + last.verdict_cache_stats.misses, 0u);
+  EXPECT_GT(last.verdict_cache_stats.hits, 0u);
+}
+
 TEST_F(MonitorTest, HistoryLessEarliestDetectionPreserved) {
   // Same earliest-time semantics as kEager on the contradictory-obligation
   // constraint from the integration tests.

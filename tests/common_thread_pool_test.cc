@@ -1,0 +1,73 @@
+// Tests for the fixed-size worker pool behind the checker's parallel hot
+// paths: full index coverage, degenerate sizes, exception propagation, and
+// reuse across ParallelFor rounds.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace tic {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  constexpr size_t kN = 1000;  // far more indices than workers
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(16);
+  pool.ParallelFor(ran.size(), [&](size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (std::thread::id id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+  std::atomic<size_t> hits{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1u);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must survive a throwing round.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(17, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 17u * 18u / 2);
+  }
+}
+
+}  // namespace
+}  // namespace tic

@@ -1,0 +1,89 @@
+// Regression tests for pathologically deep formulas: the NNF transformation,
+// the syntactic safety walks, and the tableau branch expansion must either
+// succeed iteratively or fail with ResourceExhausted — never overflow the
+// native call stack.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ptl/formula.h"
+#include "ptl/nnf.h"
+#include "ptl/safety.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+constexpr size_t kDepth = 100000;
+
+class DeepFormulaTest : public ::testing::Test {
+ protected:
+  DeepFormulaTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {}
+
+  PropId Letter(size_t i) { return vocab_->Intern("p" + std::to_string(i)); }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+};
+
+TEST_F(DeepFormulaTest, NnfOfDeepRightNestedConjunctionUnderNot) {
+  // !(p0 & (p1 & (p2 & ...))) with ~100k distinct letters: the recursive
+  // builder would need ~100k native stack frames; the explicit-stack one must
+  // produce a proper NNF (a right-nested disjunction of negated literals).
+  Formula f = fac_.Atom(Letter(kDepth));
+  for (size_t i = kDepth; i-- > 0;) {
+    f = fac_.And(fac_.Atom(Letter(i)), f);
+  }
+  Formula n = ToNnf(&fac_, fac_.Not(f));
+  EXPECT_TRUE(IsNnf(n));
+  EXPECT_EQ(n->kind(), Kind::kOr);
+  // NNF is an involution target: renormalizing is a no-op.
+  EXPECT_EQ(ToNnf(&fac_, n), n);
+}
+
+TEST_F(DeepFormulaTest, SafetyWalkHandlesDeepNesting) {
+  // The safety test runs ToNnf plus a full-formula walk; both must cope with
+  // ~100k nesting levels.
+  Formula f = fac_.Atom(Letter(0));
+  for (size_t i = 1; i <= kDepth; ++i) {
+    f = fac_.And(fac_.Atom(Letter(i)), fac_.Next(f));
+  }
+  EXPECT_TRUE(IsSyntacticallySafe(&fac_, f));
+  EXPECT_FALSE(IsSyntacticallySafe(&fac_, fac_.And(f, fac_.Eventually(fac_.Atom(Letter(0))))));
+}
+
+TEST_F(DeepFormulaTest, BranchDepthGuardReportsResourceExhausted) {
+  // A conjunction of k disjunctions over distinct letters forces one
+  // disjunctive split per conjunct along every branch — the expansion must
+  // recurse k deep before emitting any state, so the depth guard has to turn
+  // the blow-up into ResourceExhausted instead of a native stack overflow.
+  constexpr size_t kConjuncts = 2000;
+  Formula f = fac_.True();
+  for (size_t i = 0; i < kConjuncts; ++i) {
+    f = fac_.And(f, fac_.Or(fac_.Atom(Letter(2 * i)), fac_.Atom(Letter(2 * i + 1))));
+  }
+  TableauOptions opts;
+  opts.max_branch_depth = 200;
+  auto r = CheckSat(&fac_, f, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+}
+
+TEST_F(DeepFormulaTest, DeepRightNestedDisjunctionStillDecided) {
+  // Right-nested alternatives are consumed iteratively within one frame, so a
+  // deep right-nested disjunction needs no depth at all.
+  Formula f = fac_.Atom(Letter(kDepth));
+  for (size_t i = kDepth; i-- > 0;) {
+    f = fac_.Or(fac_.Atom(Letter(i)), f);
+  }
+  auto r = CheckSat(&fac_, f, TableauOptions{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->satisfiable);
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,173 @@
+// Tests for the renaming-invariant canonical form and the LRU tableau verdict
+// cache: key sharing across letter renamings, witness remapping on hits, LRU
+// bookkeeping, and the CheckSat integration.
+
+#include "ptl/verdict_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ptl/formula.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+class VerdictCacheTest : public ::testing::Test {
+ protected:
+  VerdictCacheTest()
+      : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_ = vocab_->Intern("p");
+    q_ = vocab_->Intern("q");
+    r_ = vocab_->Intern("r");
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  PropId p_, q_, r_;
+};
+
+TEST_F(VerdictCacheTest, RenamedFormulasShareOneKey) {
+  // G(p -> X q) and G(q -> X r) are injective letter-renamings of each other.
+  Formula a = fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_))));
+  Formula b = fac_.Always(fac_.Implies(fac_.Atom(q_), fac_.Next(fac_.Atom(r_))));
+  auto ca = Canonicalize(a);
+  auto cb = Canonicalize(b);
+  ASSERT_TRUE(ca.has_value());
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(ca->key, cb->key);
+  // The letter maps differ: that's what reconstructs concrete witnesses.
+  EXPECT_EQ(ca->letters, (std::vector<PropId>{p_, q_}));
+  EXPECT_EQ(cb->letters, (std::vector<PropId>{q_, r_}));
+}
+
+TEST_F(VerdictCacheTest, NonRenamingsGetDistinctKeys) {
+  // p & q uses two letters; p & p only one — not an injective renaming.
+  Formula two = fac_.And(fac_.Atom(p_), fac_.Atom(q_));
+  Formula one = fac_.And(fac_.Atom(p_), fac_.Atom(p_));  // folds to p
+  auto c2 = Canonicalize(two);
+  auto c1 = Canonicalize(one);
+  ASSERT_TRUE(c2.has_value());
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_NE(c2->key, c1->key);
+
+  Formula until = fac_.Until(fac_.Atom(p_), fac_.Atom(q_));
+  Formula release = fac_.Release(fac_.Atom(p_), fac_.Atom(q_));
+  EXPECT_NE(Canonicalize(until)->key, Canonicalize(release)->key);
+}
+
+TEST_F(VerdictCacheTest, SharedSubtermsKeepKeysLinear) {
+  // A tower of And(x, x) has 2^k tree unfolding but k distinct DAG nodes;
+  // back-references must keep the key small instead of bailing out.
+  Formula x = fac_.Atom(p_);
+  Formula y = fac_.Atom(q_);
+  for (int i = 0; i < 40; ++i) {
+    x = fac_.And(x, fac_.Next(x));
+    y = fac_.And(y, fac_.Next(y));
+  }
+  auto cx = Canonicalize(x);
+  ASSERT_TRUE(cx.has_value());
+  EXPECT_LT(cx->key.size(), 4096u);
+  EXPECT_EQ(cx->key, Canonicalize(y)->key);  // still renaming-invariant
+}
+
+TEST_F(VerdictCacheTest, HitReturnsVerdictAndRemappedWitness) {
+  VerdictCache cache(16);
+  // Satisfiable: p & X G !p, checked for p, then looked up for q.
+  Formula fp = fac_.And(fac_.Atom(p_),
+                        fac_.Next(fac_.Always(fac_.Not(fac_.Atom(p_)))));
+  Formula fq = fac_.And(fac_.Atom(q_),
+                        fac_.Next(fac_.Always(fac_.Not(fac_.Atom(q_)))));
+  auto cp = Canonicalize(fp);
+  auto cq = Canonicalize(fq);
+  ASSERT_TRUE(cp.has_value());
+  ASSERT_TRUE(cq.has_value());
+  ASSERT_EQ(cp->key, cq->key);
+
+  TableauOptions opts;
+  auto sat = CheckSat(&fac_, fp, opts);
+  ASSERT_TRUE(sat.ok());
+  ASSERT_TRUE(sat->satisfiable);
+  ASSERT_TRUE(sat->witness.has_value());
+  cache.Insert(*cp, true, sat->witness);
+
+  bool satisfiable = false;
+  std::optional<UltimatelyPeriodicWord> witness;
+  ASSERT_TRUE(cache.Lookup(*cq, &satisfiable, &witness));
+  EXPECT_TRUE(satisfiable);
+  ASSERT_TRUE(witness.has_value());
+  // The remapped witness must be a genuine model of the q-version.
+  auto holds = Evaluate(*witness, fq, 0);
+  ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+  EXPECT_TRUE(*holds);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(VerdictCacheTest, LruEvictsOldestAndCounts) {
+  VerdictCache cache(2);
+  Formula fs[3] = {
+      fac_.Atom(p_),
+      fac_.And(fac_.Atom(p_), fac_.Atom(q_)),
+      fac_.Until(fac_.Atom(p_), fac_.Atom(q_)),
+  };
+  CanonicalFormula cf[3];
+  for (int i = 0; i < 3; ++i) cf[i] = *Canonicalize(fs[i]);
+  cache.Insert(cf[0], true, std::nullopt);
+  cache.Insert(cf[1], true, std::nullopt);
+  cache.Insert(cf[2], true, std::nullopt);  // evicts cf[0]
+  bool sat = false;
+  EXPECT_FALSE(cache.Lookup(cf[0], &sat, nullptr));
+  EXPECT_TRUE(cache.Lookup(cf[1], &sat, nullptr));
+  EXPECT_TRUE(cache.Lookup(cf[2], &sat, nullptr));
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+}
+
+TEST_F(VerdictCacheTest, CheckSatUsesInjectedCache) {
+  TableauOptions opts;
+  opts.verdict_cache = std::make_shared<VerdictCache>(64);
+
+  Formula fp = fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_))));
+  auto first = CheckSat(&fac_, fp, opts);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.cache_hits, 0u);
+  EXPECT_EQ(first->stats.cache_misses, 1u);
+
+  // Letter-renamed variant: same canonical key, so a hit with equal verdict.
+  Formula fq = fac_.Always(fac_.Implies(fac_.Atom(q_), fac_.Next(fac_.Atom(r_))));
+  auto second = CheckSat(&fac_, fq, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.cache_hits, 1u);
+  EXPECT_EQ(second->satisfiable, first->satisfiable);
+  if (second->witness.has_value()) {
+    auto holds = Evaluate(*second->witness, fq, 0);
+    ASSERT_TRUE(holds.ok());
+    EXPECT_TRUE(*holds);
+  }
+
+  // Unsatisfiable verdicts are cached too.
+  Formula contradiction =
+      fac_.And(fac_.Atom(p_), fac_.Not(fac_.Atom(p_)));
+  auto u1 = CheckSat(&fac_, contradiction, opts);
+  ASSERT_TRUE(u1.ok());
+  EXPECT_FALSE(u1->satisfiable);
+  Formula renamed =
+      fac_.And(fac_.Atom(r_), fac_.Not(fac_.Atom(r_)));
+  auto u2 = CheckSat(&fac_, renamed, opts);
+  ASSERT_TRUE(u2.ok());
+  EXPECT_FALSE(u2->satisfiable);
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic
