@@ -1,10 +1,18 @@
 // Ablation study (DESIGN.md): how much each tableau engineering choice buys.
-// Three switches: the safety fast path (lazy DFS instead of the full graph),
-// branch subsumption, and branching deferral. The workload is the checker's
-// own residuals (grounded FIFO) plus literal-mode Axiom_D satisfiability —
-// the two places the optimizations were designed for.
+// Axes: the engine itself (legacy recursive walker vs the closure-indexed
+// bitset kernel, A1 in EXPERIMENTS.md), the safety fast path (lazy DFS
+// instead of the full graph), branch subsumption, and branching deferral
+// (legacy only — the bitset worklist defers inherently). The workload is the
+// checker's own residuals (grounded FIFO) plus literal-mode Axiom_D
+// satisfiability — the places the optimizations were designed for.
+//
+// Custom main: pass --engine=legacy,bitset (default: both) to pick engines,
+// --json=<path> for machine-readable records.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "checker/extension.h"
@@ -37,11 +45,12 @@ PreparedResidual PrepareFifoResidual(size_t n) {
   return out;
 }
 
-void RunConfig(benchmark::State& state, bool fast_path, bool subsumption,
-               bool defer) {
+void RunConfig(benchmark::State& state, ptl::TableauEngine engine,
+               bool fast_path, bool subsumption, bool defer) {
   size_t n = static_cast<size_t>(state.range(0));
   PreparedResidual prep = PrepareFifoResidual(n);
   ptl::TableauOptions opts;
+  opts.engine = engine;
   opts.use_safety_fast_path = fast_path;
   opts.use_subsumption = subsumption;
   opts.defer_branching = defer;
@@ -61,27 +70,10 @@ void RunConfig(benchmark::State& state, bool fast_path, bool subsumption,
   state.counters["expansions"] = static_cast<double>(stats.num_expansions);
 }
 
-void BM_Ablation_AllOn(benchmark::State& state) { RunConfig(state, true, true, true); }
-BENCHMARK(BM_Ablation_AllOn)->Arg(2)->Arg(4)->Arg(6);
-
-void BM_Ablation_NoFastPath(benchmark::State& state) {
-  RunConfig(state, false, true, true);
-}
-BENCHMARK(BM_Ablation_NoFastPath)->Arg(2)->Arg(4)->Arg(6);
-
-void BM_Ablation_NoSubsumption(benchmark::State& state) {
-  RunConfig(state, true, false, true);
-}
-BENCHMARK(BM_Ablation_NoSubsumption)->Arg(2)->Arg(4)->Arg(6);
-
-void BM_Ablation_NoDeferral(benchmark::State& state) {
-  RunConfig(state, true, true, false);
-}
-BENCHMARK(BM_Ablation_NoDeferral)->Arg(2)->Arg(4)->Arg(6);
-
 // Literal-mode Axiom_D satisfiability: the workload that motivated deferral +
 // subsumption (the diagram literals must prune the equivalence schemas).
-void RunLiteralConfig(benchmark::State& state, bool subsumption, bool defer) {
+void RunLiteralConfig(benchmark::State& state, ptl::TableauEngine engine,
+                      bool subsumption, bool defer) {
   auto& fx = Fixture();
   History h = fx.MakeWideHistory(1);
   checker::GroundingOptions gopts;
@@ -90,6 +82,7 @@ void RunLiteralConfig(benchmark::State& state, bool subsumption, bool defer) {
   auto residual =
       *ptl::ProgressThroughWord(g->prop_factory.get(), g->phi_d, g->word);
   ptl::TableauOptions opts;
+  opts.engine = engine;
   opts.use_subsumption = subsumption;
   opts.defer_branching = defer;
   opts.max_states = 1u << 16;
@@ -104,20 +97,48 @@ void RunLiteralConfig(benchmark::State& state, bool subsumption, bool defer) {
   }
 }
 
-void BM_Ablation_Literal_AllOn(benchmark::State& state) {
-  RunLiteralConfig(state, true, true);
+void RegisterAll(const std::vector<ptl::TableauEngine>& engines) {
+  struct Config {
+    const char* name;
+    bool fast_path, subsumption, defer;
+  };
+  const Config kConfigs[] = {
+      {"BM_Ablation_AllOn", true, true, true},
+      {"BM_Ablation_NoFastPath", false, true, true},
+      {"BM_Ablation_NoSubsumption", true, false, true},
+      {"BM_Ablation_NoDeferral", true, true, false},
+  };
+  for (ptl::TableauEngine engine : engines) {
+    std::string suffix = std::string("/engine:") + bench::EngineName(engine);
+    for (const Config& c : kConfigs) {
+      benchmark::RegisterBenchmark(
+          (c.name + suffix).c_str(),
+          [engine, c](benchmark::State& s) {
+            RunConfig(s, engine, c.fast_path, c.subsumption, c.defer);
+          })
+          ->Arg(2)
+          ->Arg(4)
+          ->Arg(6);
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_Ablation_Literal_AllOn" + suffix).c_str(),
+        [engine](benchmark::State& s) { RunLiteralConfig(s, engine, true, true); });
+    benchmark::RegisterBenchmark(
+        ("BM_Ablation_Literal_NoSubsumption" + suffix).c_str(),
+        [engine](benchmark::State& s) { RunLiteralConfig(s, engine, false, true); });
+    benchmark::RegisterBenchmark(
+        ("BM_Ablation_Literal_NoDeferral" + suffix).c_str(),
+        [engine](benchmark::State& s) { RunLiteralConfig(s, engine, true, false); });
+  }
 }
-BENCHMARK(BM_Ablation_Literal_AllOn);
-
-void BM_Ablation_Literal_NoSubsumption(benchmark::State& state) {
-  RunLiteralConfig(state, false, true);
-}
-BENCHMARK(BM_Ablation_Literal_NoSubsumption);
-
-void BM_Ablation_Literal_NoDeferral(benchmark::State& state) {
-  RunLiteralConfig(state, true, false);
-}
-BENCHMARK(BM_Ablation_Literal_NoDeferral);
 
 }  // namespace
 }  // namespace tic
+
+int main(int argc, char** argv) {
+  std::vector<tic::ptl::TableauEngine> engines = tic::bench::ParseEngines(
+      &argc, argv,
+      {tic::ptl::TableauEngine::kLegacy, tic::ptl::TableauEngine::kBitset});
+  tic::RegisterAll(engines);
+  return tic::bench::RunBenchmarks(&argc, argv);
+}

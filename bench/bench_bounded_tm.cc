@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "checker/extension.h"
 #include "tm/formulas.h"
 
@@ -101,3 +103,5 @@ BENCHMARK(BM_BoundedCounter_Refutation)->DenseRange(3, 7, 1);
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

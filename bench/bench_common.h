@@ -2,8 +2,13 @@
 #define TIC_BENCH_BENCH_COMMON_H_
 
 // Shared setup for the experiment benches (EXPERIMENTS.md): the Section 2
-// order-processing vocabulary and the paper's two running constraints.
+// order-processing vocabulary and the paper's two running constraints, plus
+// the common flag parsing (--threads, --engine, --json) and the shared main
+// (TIC_BENCH_MAIN) every bench binary links.
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -12,6 +17,7 @@
 #include "db/update.h"
 #include "fotl/factory.h"
 #include "fotl/parser.h"
+#include "ptl/tableau.h"
 
 namespace tic {
 namespace bench {
@@ -44,6 +50,151 @@ inline std::vector<size_t> ParseThreads(int* argc, char** argv,
   for (size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
   return (out.empty() || !valid) ? fallback : out;
 }
+
+// Extracts --engine=legacy,bitset from argv, compacting the remaining
+// arguments in place (same contract as ParseThreads). Returns `fallback` when
+// the flag is absent or names an unknown engine.
+inline std::vector<ptl::TableauEngine> ParseEngines(
+    int* argc, char** argv, std::vector<ptl::TableauEngine> fallback) {
+  std::vector<char*> keep;
+  std::vector<ptl::TableauEngine> out;
+  bool valid = true;
+  for (int i = 0; i < *argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--engine=", 0) == 0) {
+      for (size_t pos = 9; pos < a.size();) {
+        size_t end = a.find(',', pos);
+        if (end == std::string::npos) end = a.size();
+        std::string name = a.substr(pos, end - pos);
+        if (name == "legacy") {
+          out.push_back(ptl::TableauEngine::kLegacy);
+        } else if (name == "bitset") {
+          out.push_back(ptl::TableauEngine::kBitset);
+        } else {
+          valid = false;
+        }
+        pos = end + 1;
+      }
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  *argc = static_cast<int>(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
+  return (out.empty() || !valid) ? fallback : out;
+}
+
+inline const char* EngineName(ptl::TableauEngine engine) {
+  return engine == ptl::TableauEngine::kLegacy ? "legacy" : "bitset";
+}
+
+// Reporter for --json=<path>: the normal console table, plus one JSON record
+// per completed measurement written to `path` on exit —
+// `[{"name": ..., "params": ..., "ns_per_op": ..., "counters": {...}}, ...]`.
+// Deliberately flatter than --benchmark_out=json — downstream tooling wants
+// one row per configuration, keyed by the slash-separated param string.
+class JsonRecordReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRecordReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      size_t slash = name.find('/');
+      std::string base = name.substr(0, slash);
+      std::string params =
+          slash == std::string::npos ? "" : name.substr(slash + 1);
+      double ns_per_op =
+          run.iterations == 0
+              ? 0.0
+              : run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      std::string rec = "  {\"name\": \"" + Escape(base) + "\", \"params\": \"" +
+                        Escape(params) + "\", \"ns_per_op\": " +
+                        Number(ns_per_op) + ", \"counters\": {";
+      bool first = true;
+      for (const auto& kv : run.counters) {
+        if (!first) rec += ", ";
+        first = false;
+        rec += "\"" + Escape(kv.first) + "\": " + Number(kv.second.value);
+      }
+      rec += "}}";
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --json path %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fputs(records_[i].c_str(), f);
+      std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  static std::string Number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+// Shared driver: extracts --json=<path>, hands the rest to the benchmark
+// library, and runs. Benches with dynamic registration call this after
+// registering; static benches use TIC_BENCH_MAIN.
+inline int RunBenchmarks(int* argc, char** argv) {
+  std::string json_path;
+  {
+    std::vector<char*> keep;
+    for (int i = 0; i < *argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--json=", 0) == 0) {
+        json_path = a.substr(7);
+      } else {
+        keep.push_back(argv[i]);
+      }
+    }
+    *argc = static_cast<int>(keep.size());
+    for (size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
+  }
+  benchmark::Initialize(argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(*argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonRecordReporter reporter(std::move(json_path));
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+#define TIC_BENCH_MAIN()                           \
+  int main(int argc, char** argv) {                \
+    return ::tic::bench::RunBenchmarks(&argc, argv); \
+  }
 
 struct OrdersFixture {
   VocabularyPtr vocab;

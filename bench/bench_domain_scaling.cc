@@ -76,3 +76,5 @@ BENCHMARK(BM_SubmitOnce_Violated)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

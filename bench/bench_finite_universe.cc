@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "checker/extension.h"
 #include "fotl/parser.h"
 
@@ -87,3 +89,5 @@ BENCHMARK(BM_FiniteUniverse_W1Only)->DenseRange(1, 7, 2)->Arg(10);
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

@@ -81,3 +81,5 @@ BENCHMARK(BM_Ground_ThreeVars)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

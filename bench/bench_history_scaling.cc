@@ -119,9 +119,5 @@ void RegisterAll(const std::vector<size_t>& thread_counts) {
 int main(int argc, char** argv) {
   std::vector<size_t> threads = tic::bench::ParseThreads(&argc, argv, {1, 2, 4});
   tic::RegisterAll(threads);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return tic::bench::RunBenchmarks(&argc, argv);
 }

@@ -115,3 +115,5 @@ BENCHMARK(BM_Past_TwoVarTables)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

@@ -2,12 +2,18 @@
 // Phase 1 (Sistla–Wolfson rewriting / progression) must cost O(t * |psi|);
 // phase 2 (satisfiability) is 2^O(|psi|) in the worst case, with the safety
 // fast path collapsing to a cheap DFS on safety formulas.
+//
+// The phase-2 benches carry an engine axis (A1 in EXPERIMENTS.md): pass
+// --engine=legacy,bitset (default: both) to compare the recursive walker
+// against the closure-indexed bitset kernel on identical inputs.
 
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "ptl/formula.h"
 #include "ptl/progress.h"
 #include "ptl/tableau.h"
@@ -101,13 +107,15 @@ void BM_Progression_FormulaSize(benchmark::State& state) {
 BENCHMARK(BM_Progression_FormulaSize)->DenseRange(2, 14, 4);
 
 // Phase 2, general path: interleaved Untils blow up exponentially.
-void BM_Tableau_UntilChain(benchmark::State& state) {
+void BM_Tableau_UntilChain(benchmark::State& state, ptl::TableauEngine engine) {
   auto& fx = Fixture();
   size_t n = static_cast<size_t>(state.range(0));
   ptl::Formula psi = fx.UntilConjunction(n);
+  ptl::TableauOptions opts;
+  opts.engine = engine;
   ptl::TableauStats stats;
   for (auto _ : state) {
-    auto res = ptl::CheckSat(&fx.factory, psi);
+    auto res = ptl::CheckSat(&fx.factory, psi, opts);
     if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
     stats = res->stats;
     benchmark::DoNotOptimize(res->satisfiable);
@@ -115,17 +123,19 @@ void BM_Tableau_UntilChain(benchmark::State& state) {
   state.counters["tableau_states"] = static_cast<double>(stats.num_states);
   state.counters["formula_size"] = static_cast<double>(psi->size());
 }
-BENCHMARK(BM_Tableau_UntilChain)->DenseRange(1, 9, 1);
 
 // Phase 2, safety fast path: the same growth pattern but eventuality-free —
 // the lazy DFS finds a model without materializing the graph.
-void BM_Tableau_SafetyFastPath(benchmark::State& state) {
+void BM_Tableau_SafetyFastPath(benchmark::State& state,
+                               ptl::TableauEngine engine) {
   auto& fx = Fixture();
   size_t n = static_cast<size_t>(state.range(0));
   ptl::Formula psi = fx.SafetyConjunction(n);
+  ptl::TableauOptions opts;
+  opts.engine = engine;
   ptl::TableauStats stats;
   for (auto _ : state) {
-    auto res = ptl::CheckSat(&fx.factory, psi);
+    auto res = ptl::CheckSat(&fx.factory, psi, opts);
     if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
     stats = res->stats;
     benchmark::DoNotOptimize(res->satisfiable);
@@ -133,10 +143,9 @@ void BM_Tableau_SafetyFastPath(benchmark::State& state) {
   state.counters["tableau_states"] = static_cast<double>(stats.num_states);
   state.counters["formula_size"] = static_cast<double>(psi->size());
 }
-BENCHMARK(BM_Tableau_SafetyFastPath)->DenseRange(2, 14, 4);
 
 // Unsatisfiable inputs: the complement side of phase 2.
-void BM_Tableau_Unsat(benchmark::State& state) {
+void BM_Tableau_Unsat(benchmark::State& state, ptl::TableauEngine engine) {
   auto& fx = Fixture();
   size_t n = static_cast<size_t>(state.range(0));
   // (p0 U p1) & ... & G !p1 ... forcing failure of the first eventualities.
@@ -145,13 +154,40 @@ void BM_Tableau_Unsat(benchmark::State& state) {
     psi = fx.factory.And(
         psi, fx.factory.Always(fx.factory.Not(fx.atoms[i % fx.atoms.size()])));
   }
+  ptl::TableauOptions opts;
+  opts.engine = engine;
   for (auto _ : state) {
-    auto res = ptl::CheckSat(&fx.factory, psi);
+    auto res = ptl::CheckSat(&fx.factory, psi, opts);
     if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
     benchmark::DoNotOptimize(res->satisfiable);
   }
 }
-BENCHMARK(BM_Tableau_Unsat)->DenseRange(1, 7, 2);
+
+void RegisterAll(const std::vector<ptl::TableauEngine>& engines) {
+  for (ptl::TableauEngine engine : engines) {
+    std::string suffix = std::string("/engine:") + bench::EngineName(engine);
+    benchmark::RegisterBenchmark(
+        ("BM_Tableau_UntilChain" + suffix).c_str(),
+        [engine](benchmark::State& s) { BM_Tableau_UntilChain(s, engine); })
+        ->DenseRange(1, 9, 1);
+    benchmark::RegisterBenchmark(
+        ("BM_Tableau_SafetyFastPath" + suffix).c_str(),
+        [engine](benchmark::State& s) { BM_Tableau_SafetyFastPath(s, engine); })
+        ->DenseRange(2, 14, 4);
+    benchmark::RegisterBenchmark(
+        ("BM_Tableau_Unsat" + suffix).c_str(),
+        [engine](benchmark::State& s) { BM_Tableau_Unsat(s, engine); })
+        ->DenseRange(1, 7, 2);
+  }
+}
 
 }  // namespace
 }  // namespace tic
+
+int main(int argc, char** argv) {
+  std::vector<tic::ptl::TableauEngine> engines = tic::bench::ParseEngines(
+      &argc, argv,
+      {tic::ptl::TableauEngine::kLegacy, tic::ptl::TableauEngine::kBitset});
+  tic::RegisterAll(engines);
+  return tic::bench::RunBenchmarks(&argc, argv);
+}

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "tm/formulas.h"
 
 namespace tic {
@@ -79,3 +81,5 @@ BENCHMARK(BM_EncodeComputation)
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "tm/explorer.h"
 
 namespace tic {
@@ -88,3 +90,5 @@ BENCHMARK(BM_Dovetail)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

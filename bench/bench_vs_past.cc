@@ -145,3 +145,5 @@ BENCHMARK(BM_PastMonitor_PerUpdate)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace tic
+
+TIC_BENCH_MAIN()

@@ -479,6 +479,7 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
   if (dead_) {
     verdict.permanently_violated = true;
     verdict.potentially_satisfied = false;
+    verdict.cumulative_tableau_stats = cumulative_tableau_stats_;
     last_verdict_ = verdict;
     return verdict;
   }
@@ -584,13 +585,20 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
   } else {
     TIC_ASSIGN_OR_RETURN(ptl::SatResult sat,
                          ptl::CheckSat(prop_factory_.get(), conj, options_.tableau));
+    // CheckSat stats are per-call; fold them into the lifetime totals here.
     verdict.tableau_stats = sat.stats;
+    cumulative_tableau_stats_.num_states += sat.stats.num_states;
+    cumulative_tableau_stats_.num_edges += sat.stats.num_edges;
+    cumulative_tableau_stats_.num_expansions += sat.stats.num_expansions;
+    cumulative_tableau_stats_.cache_hits += sat.stats.cache_hits;
+    cumulative_tableau_stats_.cache_misses += sat.stats.cache_misses;
     verdict.potentially_satisfied = sat.satisfiable;
     if (!sat.satisfiable) {
       dead_ = true;
       verdict.permanently_violated = true;
     }
   }
+  verdict.cumulative_tableau_stats = cumulative_tableau_stats_;
   if (options_.tableau.verdict_cache != nullptr) {
     verdict.verdict_cache_stats = options_.tableau.verdict_cache->stats();
   }

@@ -52,7 +52,13 @@ struct MonitorVerdict {
   /// `num_instances - num_residual_classes` progression calls were saved by
   /// deduplication.
   size_t num_residual_classes = 0;
+  /// Tableau size counters of *this update's* satisfiability check alone
+  /// (zero on the lazy path and once the monitor is dead — no check runs).
   ptl::TableauStats tableau_stats;
+  /// Running totals of the per-update counters above across the monitor's
+  /// lifetime. CheckSat reports per-call stats, so the monitor accumulates
+  /// explicitly; use these for end-of-run cost reporting.
+  ptl::TableauStats cumulative_tableau_stats;
   /// Cumulative counters of the shared tableau verdict cache.
   ptl::VerdictCacheStats verdict_cache_stats;
 };
@@ -155,6 +161,7 @@ class Monitor {
   std::unordered_map<std::vector<GroundElem>, size_t, AssignmentHash, AssignmentEq>
       instance_index_;
   bool dead_ = false;  // permanently violated
+  ptl::TableauStats cumulative_tableau_stats_;  // totals across all updates
   MonitorVerdict last_verdict_;
 };
 

@@ -20,60 +20,6 @@ Formula ObligationGoal(Formula f) {
   return nullptr;
 }
 
-// Plain iterative Tarjan over an adjacency list.
-std::vector<uint32_t> Sccs(const std::vector<std::vector<uint32_t>>& edges,
-                           size_t* num_sccs) {
-  size_t n = edges.size();
-  std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0), scc_of(n, UINT32_MAX);
-  std::vector<bool> on_stack(n, false);
-  std::vector<uint32_t> stack;
-  uint32_t next_index = 0;
-  uint32_t next_scc = 0;
-  struct Frame {
-    uint32_t v;
-    size_t edge;
-  };
-  for (uint32_t start = 0; start < n; ++start) {
-    if (index[start] != UINT32_MAX) continue;
-    std::vector<Frame> call{{start, 0}};
-    index[start] = low[start] = next_index++;
-    stack.push_back(start);
-    on_stack[start] = true;
-    while (!call.empty()) {
-      Frame& fr = call.back();
-      if (fr.edge < edges[fr.v].size()) {
-        uint32_t w = edges[fr.v][fr.edge++];
-        if (index[w] == UINT32_MAX) {
-          index[w] = low[w] = next_index++;
-          stack.push_back(w);
-          on_stack[w] = true;
-          call.push_back({w, 0});
-        } else if (on_stack[w]) {
-          low[fr.v] = std::min(low[fr.v], index[w]);
-        }
-      } else {
-        uint32_t v = fr.v;
-        call.pop_back();
-        if (!call.empty()) {
-          low[call.back().v] = std::min(low[call.back().v], low[v]);
-        }
-        if (low[v] == index[v]) {
-          while (true) {
-            uint32_t w = stack.back();
-            stack.pop_back();
-            on_stack[w] = false;
-            scc_of[w] = next_scc;
-            if (w == v) break;
-          }
-          ++next_scc;
-        }
-      }
-    }
-  }
-  *num_sccs = next_scc;
-  return scc_of;
-}
-
 }  // namespace
 
 Result<TableauAutomaton> BuildTableauAutomaton(Factory* factory, Formula f,
@@ -117,15 +63,12 @@ Result<TableauAutomaton> BuildTableauAutomaton(Factory* factory, Formula f,
     TIC_RETURN_NOT_OK(expander.status());
   }
 
-  size_t num_sccs = 0;
-  out.scc_of = Sccs(edges, &num_sccs);
+  std::vector<std::vector<uint32_t>> members =
+      internal::ComputeSccs(edges, &out.scc_of);
+  size_t num_sccs = members.size();
   out.scc_self_fulfilling.assign(num_sccs, false);
 
   // Self-fulfilling test per SCC (and non-triviality).
-  std::vector<std::vector<uint32_t>> members(num_sccs);
-  for (uint32_t v = 0; v < states.size(); ++v) {
-    members[out.scc_of[v]].push_back(v);
-  }
   for (size_t c = 0; c < num_sccs; ++c) {
     bool nontrivial = members[c].size() > 1;
     if (!nontrivial) {

@@ -1,0 +1,185 @@
+#ifndef TIC_PTL_BITSET_H_
+#define TIC_PTL_BITSET_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace tic {
+namespace ptl {
+
+/// \brief Fixed-width flat bitset used by the closure-indexed tableau engine.
+///
+/// Every bitset of one engine run has the same width (the closure size), so
+/// the width is fixed at construction. Up to 256 bits (4 words) are stored
+/// inline; wider sets spill to a single heap allocation. All hot operations
+/// (test/set, first-set-bit, union, intersection test, hash, equality) are
+/// word-parallel — this is what replaces the legacy engine's
+/// `std::set<Formula>` states and their pointer-chasing comparators.
+class FlatBits {
+ public:
+  static constexpr uint32_t kNpos = UINT32_MAX;
+  static constexpr uint32_t kInlineWords = 4;  ///< spill threshold: 256 bits
+
+  FlatBits() : num_words_(0) { inline_[0] = 0; }
+
+  explicit FlatBits(uint32_t num_bits) : num_words_((num_bits + 63) / 64) {
+    if (spilled()) heap_ = new uint64_t[num_words_];
+    std::memset(words(), 0, num_words_ * sizeof(uint64_t));
+  }
+
+  FlatBits(const FlatBits& o) : num_words_(o.num_words_) {
+    if (spilled()) heap_ = new uint64_t[num_words_];
+    std::memcpy(words(), o.words(), num_words_ * sizeof(uint64_t));
+  }
+
+  FlatBits(FlatBits&& o) noexcept : num_words_(o.num_words_) {
+    if (spilled()) {
+      heap_ = o.heap_;
+      o.num_words_ = 0;
+    } else {
+      std::memcpy(inline_, o.inline_, num_words_ * sizeof(uint64_t));
+    }
+  }
+
+  FlatBits& operator=(const FlatBits& o) {
+    if (this == &o) return *this;
+    if (num_words_ != o.num_words_) {
+      if (spilled()) delete[] heap_;
+      num_words_ = o.num_words_;
+      if (spilled()) heap_ = new uint64_t[num_words_];
+    }
+    std::memcpy(words(), o.words(), num_words_ * sizeof(uint64_t));
+    return *this;
+  }
+
+  FlatBits& operator=(FlatBits&& o) noexcept {
+    if (this == &o) return *this;
+    if (spilled()) delete[] heap_;
+    num_words_ = o.num_words_;
+    if (spilled()) {
+      heap_ = o.heap_;
+      o.num_words_ = 0;
+    } else {
+      std::memcpy(inline_, o.inline_, num_words_ * sizeof(uint64_t));
+    }
+    return *this;
+  }
+
+  ~FlatBits() {
+    if (spilled()) delete[] heap_;
+  }
+
+  bool spilled() const { return num_words_ > kInlineWords; }
+  uint32_t num_words() const { return num_words_; }
+  uint64_t* words() { return spilled() ? heap_ : inline_; }
+  const uint64_t* words() const { return spilled() ? heap_ : inline_; }
+
+  bool Test(uint32_t i) const {
+    return (words()[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(uint32_t i) { words()[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(uint32_t i) { words()[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  bool Empty() const {
+    const uint64_t* w = words();
+    for (uint32_t k = 0; k < num_words_; ++k) {
+      if (w[k] != 0) return false;
+    }
+    return true;
+  }
+
+  /// Index of the lowest set bit, or kNpos when empty.
+  uint32_t FindFirst() const {
+    const uint64_t* w = words();
+    for (uint32_t k = 0; k < num_words_; ++k) {
+      if (w[k] != 0) {
+        return k * 64 + static_cast<uint32_t>(__builtin_ctzll(w[k]));
+      }
+    }
+    return kNpos;
+  }
+
+  void OrWith(const FlatBits& o) {
+    uint64_t* w = words();
+    const uint64_t* v = o.words();
+    for (uint32_t k = 0; k < num_words_; ++k) w[k] |= v[k];
+  }
+
+  /// Unions raw state words (e.g. a row of the engine's state arena).
+  void OrWords(const uint64_t* v) {
+    uint64_t* w = words();
+    for (uint32_t k = 0; k < num_words_; ++k) w[k] |= v[k];
+  }
+
+  void AssignWords(const uint64_t* v) {
+    std::memcpy(words(), v, num_words_ * sizeof(uint64_t));
+  }
+
+  bool Intersects(const FlatBits& o) const {
+    const uint64_t* w = words();
+    const uint64_t* v = o.words();
+    for (uint32_t k = 0; k < num_words_; ++k) {
+      if ((w[k] & v[k]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls `fn(index)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    const uint64_t* w = words();
+    for (uint32_t k = 0; k < num_words_; ++k) {
+      uint64_t word = w[k];
+      while (word != 0) {
+        uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word));
+        fn(k * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Calls `fn(index)` for every bit set in both `this` and `mask`.
+  template <typename Fn>
+  void ForEachAnd(const FlatBits& mask, Fn fn) const {
+    const uint64_t* w = words();
+    const uint64_t* m = mask.words();
+    for (uint32_t k = 0; k < num_words_; ++k) {
+      uint64_t word = w[k] & m[k];
+      while (word != 0) {
+        uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word));
+        fn(k * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  uint64_t Hash() const { return HashWords(words(), num_words_); }
+
+  static uint64_t HashWords(const uint64_t* w, uint32_t num_words) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ num_words;
+    for (uint32_t k = 0; k < num_words; ++k) {
+      h ^= w[k] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
+  friend bool operator==(const FlatBits& a, const FlatBits& b) {
+    return a.num_words_ == b.num_words_ &&
+           std::memcmp(a.words(), b.words(), a.num_words_ * sizeof(uint64_t)) == 0;
+  }
+  friend bool operator!=(const FlatBits& a, const FlatBits& b) { return !(a == b); }
+
+ private:
+  uint32_t num_words_;
+  union {
+    uint64_t inline_[kInlineWords];
+    uint64_t* heap_;
+  };
+};
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_BITSET_H_

@@ -1,0 +1,136 @@
+#include "ptl/closure.h"
+
+#include <unordered_map>
+
+namespace tic {
+namespace ptl {
+
+Result<Closure> Closure::Build(Factory* factory, Formula nnf) {
+  Closure cl;
+  std::unordered_map<Formula, uint32_t> index;
+
+  auto intern = [&](Formula f) -> uint32_t {
+    auto [it, inserted] = index.emplace(f, static_cast<uint32_t>(cl.members_.size()));
+    if (inserted) cl.members_.push_back(f);
+    return it->second;
+  };
+
+  // Pass 1: pre-order traversal over the DAG in stored child order (the
+  // factory canonicalizes And/Or operands by content fingerprint, so this
+  // order — and hence the index assignment — is identical across runs).
+  std::vector<Formula> stack{nnf};
+  while (!stack.empty()) {
+    Formula f = stack.back();
+    stack.pop_back();
+    if (index.count(f) > 0) continue;
+    switch (f->kind()) {
+      case Kind::kImplies:
+        return Status::Internal("closure: Implies survived NNF");
+      case Kind::kNot:
+        if (f->child(0)->kind() != Kind::kAtom) {
+          return Status::Internal("closure: negation on a non-atom survived NNF");
+        }
+        break;
+      default:
+        break;
+    }
+    intern(f);
+    // Reverse push so child(0)'s subtree is numbered first.
+    if (f->child(1) != nullptr && index.count(f->child(1)) == 0) {
+      stack.push_back(f->child(1));
+    }
+    if (f->child(0) != nullptr && index.count(f->child(0)) == 0) {
+      stack.push_back(f->child(0));
+    }
+  }
+  cl.root_ = index.at(nnf);
+
+  // Pass 2: append the derived X(f) members of the temporal operators (their
+  // expansion rules assert them; the child of each is already a member).
+  size_t num_subformulas = cl.members_.size();
+  for (size_t i = 0; i < num_subformulas; ++i) {
+    Kind k = cl.members_[i]->kind();
+    if (k == Kind::kUntil || k == Kind::kRelease || k == Kind::kEventually ||
+        k == Kind::kAlways) {
+      intern(factory->Next(cl.members_[i]));
+    }
+  }
+
+  // Pass 3: compile the per-index rules.
+  cl.rules_.resize(cl.members_.size());
+  cl.obligation_mask_ = FlatBits(cl.size());
+  for (uint32_t i = 0; i < cl.size(); ++i) {
+    Formula f = cl.members_[i];
+    Rule& r = cl.rules_[i];
+    switch (f->kind()) {
+      case Kind::kTrue:
+        r.op = Op::kTrue;
+        break;
+      case Kind::kFalse:
+        r.op = Op::kFalse;
+        break;
+      case Kind::kAtom: {
+        r.op = Op::kLitPos;
+        r.atom = f->atom();
+        auto it = index.find(factory->Not(f));
+        if (it != index.end()) r.complement = it->second;
+        break;
+      }
+      case Kind::kNot:
+        r.op = Op::kLitNeg;
+        r.a = index.at(f->child(0));
+        r.complement = r.a;
+        break;
+      case Kind::kAnd:
+        r.op = Op::kAnd;
+        r.a = index.at(f->lhs());
+        r.b = index.at(f->rhs());
+        break;
+      case Kind::kOr:
+        r.op = Op::kOr;
+        r.is_alpha = false;
+        r.a = index.at(f->lhs());
+        r.b = index.at(f->rhs());
+        break;
+      case Kind::kNext:
+        r.op = Op::kNext;
+        r.a = index.at(f->child(0));
+        break;
+      case Kind::kUntil:
+        r.op = Op::kUntil;
+        r.is_alpha = false;
+        r.a = index.at(f->lhs());
+        r.b = index.at(f->rhs());
+        r.goal = r.b;
+        r.next_self = index.at(factory->Next(f));
+        cl.obligation_mask_.Set(i);
+        break;
+      case Kind::kRelease:
+        r.op = Op::kRelease;
+        r.is_alpha = false;
+        r.a = index.at(f->lhs());
+        r.b = index.at(f->rhs());
+        r.next_self = index.at(factory->Next(f));
+        break;
+      case Kind::kEventually:
+        r.op = Op::kEventually;
+        r.is_alpha = false;
+        r.a = index.at(f->child(0));
+        r.goal = r.a;
+        r.next_self = index.at(factory->Next(f));
+        cl.obligation_mask_.Set(i);
+        break;
+      case Kind::kAlways:
+        r.op = Op::kAlways;
+        r.a = index.at(f->child(0));
+        r.next_self = index.at(factory->Next(f));
+        break;
+      case Kind::kImplies:
+        return Status::Internal("closure: Implies survived NNF");
+    }
+  }
+  return cl;
+}
+
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,80 @@
+#ifndef TIC_PTL_CLOSURE_H_
+#define TIC_PTL_CLOSURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ptl/bitset.h"
+#include "ptl/formula.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief The Fischer–Ladner closure of an NNF formula with a dense index per
+/// member, plus the precompiled alpha/beta expansion rule for each index.
+///
+/// The closure contains every subformula of the input plus `X(f)` for every
+/// temporal member `f` (Until/Release/Eventually/Always) — exactly the
+/// formulas the tableau expansion rules can ever assert — so a tableau state
+/// is a subset of the closure and can be represented as a FlatBits of width
+/// `size()`. Indices are assigned by first occurrence in a pre-order
+/// traversal of the (hash-consed, content-fingerprint-canonicalized) formula
+/// DAG, the same first-occurrence discipline the verdict cache uses for
+/// letter numbering, so the indexing is identical across runs.
+class Closure {
+ public:
+  /// Rule operator of one closure member. Alpha (non-branching) operators:
+  /// True/False/literals/And/Next/Always; beta (branching): Or/Until/Release/
+  /// Eventually.
+  enum class Op : uint8_t {
+    kTrue,
+    kFalse,
+    kLitPos,      ///< atom p          — clashes with `complement`
+    kLitNeg,      ///< !p              — clashes with `complement`
+    kAnd,         ///< {a, b}
+    kOr,          ///< {a} or {b}
+    kNext,        ///< elementary; `a` feeds the successor seed
+    kUntil,       ///< {b} or {a, next_self};     goal = b
+    kRelease,     ///< {b, a} or {b, next_self}
+    kEventually,  ///< {a} or {next_self};        goal = a
+    kAlways,      ///< {a, next_self}
+  };
+
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  struct Rule {
+    Op op = Op::kTrue;
+    uint32_t a = kNone;           ///< lhs / only-child index
+    uint32_t b = kNone;           ///< rhs index
+    uint32_t next_self = kNone;   ///< index of X(f) for U/R/F/G members
+    uint32_t complement = kNone;  ///< clashing literal index (literals only)
+    uint32_t goal = kNone;        ///< eventuality goal index (U/F only)
+    PropId atom = 0;              ///< letter of a kLitPos member
+    bool is_alpha = true;
+  };
+
+  /// Builds the closure of `nnf`, which must be in negation normal form
+  /// (negation on atoms only, no Implies) — `CheckSat` guarantees this.
+  static Result<Closure> Build(Factory* factory, Formula nnf);
+
+  uint32_t size() const { return static_cast<uint32_t>(members_.size()); }
+  uint32_t root() const { return root_; }
+  Formula member(uint32_t i) const { return members_[i]; }
+  const Rule& rule(uint32_t i) const { return rules_[i]; }
+
+  /// Bits of the Until/Eventually members: the obligations the lasso search
+  /// must see fulfilled inside a self-fulfilling SCC.
+  const FlatBits& obligation_mask() const { return obligation_mask_; }
+
+ private:
+  std::vector<Formula> members_;
+  std::vector<Rule> rules_;
+  FlatBits obligation_mask_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_CLOSURE_H_

@@ -11,6 +11,7 @@
 #include "common/hash.h"
 #include "ptl/nnf.h"
 #include "ptl/safety.h"
+#include "ptl/tableau_bitset.h"
 #include "ptl/tableau_internal.h"
 
 namespace tic {
@@ -144,7 +145,7 @@ class TableauGraph {
 
   // Finds a reachable self-fulfilling SCC; fills `witness` when found.
   bool FindModel(UltimatelyPeriodicWord* witness) {
-    ComputeSccs();
+    scc_members_ = internal::ComputeSccs(edges_, &scc_of_);
     for (size_t c = 0; c < scc_members_.size(); ++c) {
       if (!SccIsNontrivial(c)) continue;
       if (!SccIsSelfFulfilling(c)) continue;
@@ -169,61 +170,6 @@ class TableauGraph {
     states_.push_back(std::move(s));
     edges_.emplace_back();
     return id;
-  }
-
-  // Iterative Tarjan.
-  void ComputeSccs() {
-    size_t n = states_.size();
-    std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0);
-    std::vector<bool> on_stack(n, false);
-    std::vector<uint32_t> stack;
-    scc_of_.assign(n, UINT32_MAX);
-    uint32_t next_index = 0;
-
-    struct Frame {
-      uint32_t v;
-      size_t edge;
-    };
-    for (uint32_t start = 0; start < n; ++start) {
-      if (index[start] != UINT32_MAX) continue;
-      std::vector<Frame> call_stack{{start, 0}};
-      index[start] = low[start] = next_index++;
-      stack.push_back(start);
-      on_stack[start] = true;
-      while (!call_stack.empty()) {
-        Frame& fr = call_stack.back();
-        if (fr.edge < edges_[fr.v].size()) {
-          uint32_t w = edges_[fr.v][fr.edge++];
-          if (index[w] == UINT32_MAX) {
-            index[w] = low[w] = next_index++;
-            stack.push_back(w);
-            on_stack[w] = true;
-            call_stack.push_back({w, 0});
-          } else if (on_stack[w]) {
-            low[fr.v] = std::min(low[fr.v], index[w]);
-          }
-        } else {
-          uint32_t v = fr.v;
-          call_stack.pop_back();
-          if (!call_stack.empty()) {
-            uint32_t parent = call_stack.back().v;
-            low[parent] = std::min(low[parent], low[v]);
-          }
-          if (low[v] == index[v]) {
-            uint32_t c = static_cast<uint32_t>(scc_members_.size());
-            scc_members_.emplace_back();
-            while (true) {
-              uint32_t w = stack.back();
-              stack.pop_back();
-              on_stack[w] = false;
-              scc_of_[w] = c;
-              scc_members_[c].push_back(w);
-              if (w == v) break;
-            }
-          }
-        }
-      }
-    }
   }
 
   bool SccIsNontrivial(size_t c) const {
@@ -394,7 +340,10 @@ Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& op
   }
 
   UltimatelyPeriodicWord witness;
-  if (options.use_safety_fast_path && IsSyntacticallySafe(factory, nnf)) {
+  if (options.engine == TableauEngine::kBitset) {
+    TIC_RETURN_NOT_OK(internal::CheckSatBitset(
+        factory, nnf, options, &result.satisfiable, &witness, &result.stats));
+  } else if (options.use_safety_fast_path && IsSyntacticallySafe(factory, nnf)) {
     // Safety fast path: any infinite tableau path is a model; lazy DFS with
     // early exit instead of materializing the whole graph.
     SafetySearch search(factory, options, &result.stats);

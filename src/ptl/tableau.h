@@ -13,6 +13,22 @@
 namespace tic {
 namespace ptl {
 
+/// \brief Selects the satisfiability engine implementation. Both decide the
+/// same relation and honor the same budgets; they may return different (but
+/// equally valid) witnesses and state counts, because subsumption makes the
+/// emitted state set depend on rule-application order.
+enum class TableauEngine : uint8_t {
+  /// Formula-set states (sorted vectors of hash-consed nodes), recursive
+  /// branch expansion. Kept as the differential-testing oracle; also what the
+  /// automaton inspection API renders.
+  kLegacy,
+  /// Closure-indexed engine: the Fischer–Ladner closure is computed once, each
+  /// member gets a dense index, states are flat bitsets over that index, and
+  /// expansion is table-driven with an explicit choice stack. Same verdicts,
+  /// considerably faster on the exponential phase.
+  kBitset,
+};
+
 /// \brief Resource limits for the satisfiability search. The worst case is
 /// 2^O(|psi|) states (Sistla–Clarke); the budget turns a blow-up into a
 /// ResourceExhausted error instead of an out-of-memory condition.
@@ -30,9 +46,14 @@ struct TableauOptions {
   /// Skip a disjunct/goal branch when it is already asserted in the state.
   bool use_subsumption = true;
   /// Process non-branching rules before disjunctive ones so unit information
-  /// can prune branches.
+  /// can prune branches. Legacy engine only: the bitset engine's split
+  /// alpha/beta worklists defer branching inherently.
   bool defer_branching = true;
   /// @}
+
+  /// Engine choice (see TableauEngine). The default is the bitset engine;
+  /// flip to kLegacy to cross-check verdicts or reproduce old traces.
+  TableauEngine engine = TableauEngine::kBitset;
 
   /// Cap on the depth of the expansion-rule branch recursion (each level is a
   /// disjunctive split); exceeding it returns ResourceExhausted instead of
@@ -47,6 +68,9 @@ struct TableauOptions {
 };
 
 /// \brief Size counters reported back to benchmarks (Experiment E4).
+/// Per-call: every CheckSat starts from zero. Callers wanting lifetime totals
+/// accumulate themselves (the Monitor does, see
+/// MonitorVerdict::cumulative_tableau_stats).
 struct TableauStats {
   size_t num_states = 0;
   size_t num_edges = 0;

@@ -1,0 +1,664 @@
+#include "ptl/tableau_bitset.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ptl/bitset.h"
+#include "ptl/closure.h"
+#include "ptl/safety.h"
+#include "ptl/tableau_internal.h"
+
+namespace tic {
+namespace ptl {
+namespace internal {
+
+namespace {
+
+using Op = Closure::Op;
+using Rule = Closure::Rule;
+
+// Resumable depth-first enumerator of the fully expanded, locally consistent
+// states covering a seed — the bitset counterpart of internal::Expander.
+// Alpha (non-branching) rules fire in closure-index order off a bitset
+// worklist; beta rules wait in a second worklist until the alpha queue drains
+// (the engine's always-on equivalent of defer_branching), then the
+// lowest-index beta member splits, with one explicit choice frame per split
+// instead of a recursive call. Enumeration order is the pre-order of the
+// branch tree, like the legacy expander; emitted states are not deduplicated
+// here — callers intern them.
+class BranchEnumerator {
+ public:
+  BranchEnumerator(const Closure* closure, const TableauOptions* options,
+                   TableauStats* stats)
+      : closure_(closure),
+        options_(options),
+        stats_(stats),
+        done_(closure->size()),
+        alpha_(closure->size()),
+        beta_(closure->size()) {}
+
+  // Begins enumeration over the cover of `seed` (closure indices). Counts one
+  // expansion, like the legacy expander's initial Rec entry.
+  Status Start(const std::vector<uint32_t>& seed) {
+    done_ = FlatBits(closure_->size());
+    alpha_ = FlatBits(closure_->size());
+    beta_ = FlatBits(closure_->size());
+    frames_.clear();
+    exhausted_ = false;
+    if (++stats_->num_expansions > options_->max_expansions) {
+      exhausted_ = true;
+      return Status::ResourceExhausted(
+          "tableau exceeded max_expansions = " +
+          std::to_string(options_->max_expansions));
+    }
+    for (uint32_t i : seed) Enqueue(i);
+    return Status::OK();
+  }
+
+  // Produces the next state into `*out` and sets `*produced`; false means the
+  // enumeration is exhausted. `*out` must have been constructed with the
+  // closure width.
+  Status Next(FlatBits* out, bool* produced) {
+    *produced = false;
+    if (exhausted_) return Status::OK();
+    while (true) {
+      // Alpha saturation: unit rules in ascending closure-index order.
+      bool clash = false;
+      uint32_t i;
+      while ((i = alpha_.FindFirst()) != FlatBits::kNpos) {
+        alpha_.Reset(i);
+        if (done_.Test(i)) continue;
+        const Rule& r = closure_->rule(i);
+        switch (r.op) {
+          case Op::kTrue:
+            break;  // trivially holds; like legacy, never asserted into done
+          case Op::kFalse:
+            clash = true;
+            break;
+          case Op::kLitPos:
+          case Op::kLitNeg:
+            if (r.complement != Closure::kNone && done_.Test(r.complement)) {
+              clash = true;
+              break;
+            }
+            done_.Set(i);
+            break;
+          case Op::kAnd:
+            done_.Set(i);
+            Enqueue(r.a);
+            Enqueue(r.b);
+            break;
+          case Op::kNext:
+            done_.Set(i);  // elementary: feeds the successor seed
+            break;
+          case Op::kAlways:
+            done_.Set(i);
+            Enqueue(r.a);
+            Enqueue(r.next_self);
+            break;
+          default:
+            break;  // unreachable: beta ops never land on the alpha queue
+        }
+        if (clash) break;
+      }
+      if (clash) {
+        if (!Backtrack()) return Status::OK();  // all branches closed
+        continue;
+      }
+
+      uint32_t b = beta_.FindFirst();
+      if (b == FlatBits::kNpos) {
+        // Both queues drained without a clash: `done_` is a state. Position
+        // at the innermost open choice before returning so the next call
+        // resumes there.
+        *out = done_;
+        *produced = true;
+        Backtrack();
+        return Status::OK();
+      }
+      beta_.Reset(b);
+      if (done_.Test(b)) continue;
+      const Rule& r = closure_->rule(b);
+      done_.Set(b);  // asserted on both alternatives, like legacy done.insert
+      switch (r.op) {
+        case Op::kOr:
+          // Subsumption: a disjunct (of the flattened Or-tree) already
+          // asserted discharges the disjunction without branching.
+          if (options_->use_subsumption && OrSubsumed(b)) break;
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.a);
+          break;
+        case Op::kUntil:
+          if (options_->use_subsumption && done_.Test(r.b)) break;
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.b);
+          break;
+        case Op::kRelease:
+          if (options_->use_subsumption && done_.Test(r.a)) {
+            // Releasing side already asserted: B alone discharges A R B now.
+            Enqueue(r.b);
+            break;
+          }
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.b);
+          Enqueue(r.a);
+          break;
+        case Op::kEventually:
+          if (options_->use_subsumption && done_.Test(r.a)) break;
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.a);
+          break;
+        default:
+          break;  // unreachable: alpha ops never land on the beta queue
+      }
+    }
+  }
+
+ private:
+  struct Frame {
+    FlatBits done, alpha, beta;
+    uint32_t formula;
+  };
+
+  void Enqueue(uint32_t i) {
+    if (done_.Test(i)) return;
+    if (closure_->rule(i).is_alpha) {
+      alpha_.Set(i);
+    } else {
+      beta_.Set(i);
+    }
+  }
+
+  // True if some leaf of the flattened Or-tree of member `i` is already
+  // asserted. Walks the rule DAG lazily, like the legacy OrSubsumed — a
+  // precomputed per-Or leaf list would be quadratic in the closure size on
+  // deep disjunction chains.
+  bool OrSubsumed(uint32_t i) {
+    scratch_.clear();
+    scratch_.push_back(closure_->rule(i).a);
+    scratch_.push_back(closure_->rule(i).b);
+    while (!scratch_.empty()) {
+      uint32_t g = scratch_.back();
+      scratch_.pop_back();
+      const Rule& r = closure_->rule(g);
+      if (r.op == Op::kOr) {
+        scratch_.push_back(r.a);
+        scratch_.push_back(r.b);
+        continue;
+      }
+      if (done_.Test(g)) return true;
+    }
+    return false;
+  }
+
+  // Snapshots the branch state before applying the first alternative of a
+  // split. Counts one expansion — the legacy engine's recursive Rec call for
+  // the left alternative — and enforces the branch-depth budget.
+  Status PushFrame(uint32_t formula) {
+    if (++stats_->num_expansions > options_->max_expansions) {
+      exhausted_ = true;
+      return Status::ResourceExhausted(
+          "tableau exceeded max_expansions = " +
+          std::to_string(options_->max_expansions));
+    }
+    if (frames_.size() + 1 > options_->max_branch_depth) {
+      exhausted_ = true;
+      return Status::ResourceExhausted(
+          "tableau branch depth exceeded max_branch_depth = " +
+          std::to_string(options_->max_branch_depth));
+    }
+    frames_.push_back(Frame{done_, alpha_, beta_, formula});
+    return Status::OK();
+  }
+
+  // Restores the innermost choice point and applies its second alternative;
+  // false when no choice point remains (enumeration exhausted).
+  bool Backtrack() {
+    if (frames_.empty()) {
+      exhausted_ = true;
+      return false;
+    }
+    Frame fr = std::move(frames_.back());
+    frames_.pop_back();
+    done_ = std::move(fr.done);
+    alpha_ = std::move(fr.alpha);
+    beta_ = std::move(fr.beta);
+    const Rule& r = closure_->rule(fr.formula);
+    switch (r.op) {
+      case Op::kOr:
+        Enqueue(r.b);
+        break;
+      case Op::kUntil:
+        Enqueue(r.a);
+        Enqueue(r.next_self);
+        break;
+      case Op::kRelease:
+        Enqueue(r.b);
+        Enqueue(r.next_self);
+        break;
+      case Op::kEventually:
+        Enqueue(r.next_self);
+        break;
+      default:
+        break;
+    }
+    return true;
+  }
+
+  const Closure* closure_;
+  const TableauOptions* options_;
+  TableauStats* stats_;
+  FlatBits done_, alpha_, beta_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> scratch_;  // OrSubsumed walk stack
+  bool exhausted_ = false;
+};
+
+// State dedup: open-addressing (linear probing, power-of-two capacity) over
+// bitset states stored row-wise in one contiguous arena. A probe touches the
+// hash vector and, only on a candidate match, one memcmp of the row — no
+// per-state allocation, no pointer-chasing comparator. Row pointers are
+// invalidated by Intern (the arena grows); do not hold them across calls.
+class StateTable {
+ public:
+  explicit StateTable(uint32_t words_per_state)
+      : words_(words_per_state), slots_(kInitialSlots, UINT32_MAX) {}
+
+  size_t size() const { return hashes_.size(); }
+
+  const uint64_t* Row(uint32_t id) const {
+    return arena_.data() + static_cast<size_t>(id) * words_;
+  }
+
+  bool RowTest(uint32_t id, uint32_t bit) const {
+    return (Row(id)[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  // Interns `s`, minting a new id on first sight; `max_states` of 0 means
+  // unlimited (the safety search budgets visited states, not interned ones).
+  Result<uint32_t> Intern(const FlatBits& s, size_t max_states, bool* inserted) {
+    *inserted = false;
+    uint64_t h = s.Hash();
+    size_t mask = slots_.size() - 1;
+    size_t pos = static_cast<size_t>(h) & mask;
+    while (slots_[pos] != UINT32_MAX) {
+      uint32_t id = slots_[pos];
+      if (hashes_[id] == h &&
+          std::memcmp(Row(id), s.words(), words_ * sizeof(uint64_t)) == 0) {
+        return id;
+      }
+      pos = (pos + 1) & mask;
+    }
+    if (max_states != 0 && size() >= max_states) {
+      return Status::ResourceExhausted("tableau exceeded max_states = " +
+                                       std::to_string(max_states));
+    }
+    uint32_t id = static_cast<uint32_t>(hashes_.size());
+    hashes_.push_back(h);
+    arena_.insert(arena_.end(), s.words(), s.words() + words_);
+    slots_[pos] = id;
+    *inserted = true;
+    if (hashes_.size() * 10 >= slots_.size() * 7) Grow();
+    return id;
+  }
+
+ private:
+  static constexpr size_t kInitialSlots = 64;
+
+  void Grow() {
+    std::vector<uint32_t> fresh(slots_.size() * 2, UINT32_MAX);
+    size_t mask = fresh.size() - 1;
+    for (uint32_t id = 0; id < hashes_.size(); ++id) {
+      size_t pos = static_cast<size_t>(hashes_[id]) & mask;
+      while (fresh[pos] != UINT32_MAX) pos = (pos + 1) & mask;
+      fresh[pos] = id;
+    }
+    slots_ = std::move(fresh);
+  }
+
+  uint32_t words_;
+  std::vector<uint64_t> arena_;   // state id -> row of `words_` words
+  std::vector<uint64_t> hashes_;  // state id -> full hash
+  std::vector<uint32_t> slots_;   // open-addressing table over ids
+};
+
+// Shared scaffolding of the two searches: closure-derived masks, the state
+// table, and per-state helpers.
+class EngineBase {
+ public:
+  EngineBase(const Closure* closure, const TableauOptions* options,
+             TableauStats* stats)
+      : closure_(closure),
+        options_(options),
+        stats_(stats),
+        words_per_state_((closure->size() + 63) / 64),
+        table_(words_per_state_),
+        enumerator_(closure, options, stats),
+        next_mask_(closure->size()),
+        lit_mask_(closure->size()),
+        row_tmp_(closure->size()) {
+    for (uint32_t i = 0; i < closure->size(); ++i) {
+      Op op = closure->rule(i).op;
+      if (op == Op::kNext) next_mask_.Set(i);
+      if (op == Op::kLitPos) lit_mask_.Set(i);
+    }
+  }
+
+ protected:
+  // Enumerates the cover of `seed`, interning each state; `out_ids` receives
+  // the distinct successor ids in first-emission order (per-expansion dedup,
+  // like the legacy ExpandEach seen-set).
+  Status Cover(const std::vector<uint32_t>& seed, size_t max_states,
+               std::vector<uint32_t>* out_ids) {
+    TIC_RETURN_NOT_OK(enumerator_.Start(seed));
+    FlatBits state(closure_->size());
+    std::unordered_set<uint32_t> seen;
+    while (true) {
+      bool produced = false;
+      TIC_RETURN_NOT_OK(enumerator_.Next(&state, &produced));
+      if (!produced) break;
+      bool inserted = false;
+      TIC_ASSIGN_OR_RETURN(uint32_t id, table_.Intern(state, max_states, &inserted));
+      if (seen.insert(id).second) out_ids->push_back(id);
+    }
+    return Status::OK();
+  }
+
+  // Next-time obligations of a fully expanded state: X f bits map to f.
+  std::vector<uint32_t> SeedIndicesOf(uint32_t id) {
+    row_tmp_.AssignWords(table_.Row(id));
+    std::vector<uint32_t> seed;
+    row_tmp_.ForEachAnd(next_mask_,
+                        [&](uint32_t i) { seed.push_back(closure_->rule(i).a); });
+    return seed;
+  }
+
+  // The propositional assignment a state induces: positive atoms true.
+  PropState AssignmentOf(uint32_t id) {
+    PropState st;
+    row_tmp_.AssignWords(table_.Row(id));
+    row_tmp_.ForEachAnd(lit_mask_, [&](uint32_t i) {
+      st.Set(closure_->rule(i).atom, true);
+    });
+    return st;
+  }
+
+  const Closure* closure_;
+  const TableauOptions* options_;
+  TableauStats* stats_;
+  uint32_t words_per_state_;
+  StateTable table_;
+  BranchEnumerator enumerator_;
+  FlatBits next_mask_;  // bits of the X-members
+  FlatBits lit_mask_;   // bits of the positive literals
+  FlatBits row_tmp_;
+};
+
+// Safety fast path for syntactically safe formulas: iterative lazy DFS that
+// stops at the first cycle (any infinite path is a model). Mirrors the legacy
+// SafetySearch exactly — including what gets counted when — but the DFS stack
+// is explicit: one resumable BranchEnumerator per path level instead of a
+// native stack frame per state.
+class BitsetSafetySearch : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+  Result<bool> Run(UltimatelyPeriodicWord* witness) {
+    levels_.emplace_back(FlatBits::kNpos,
+                         BranchEnumerator(closure_, options_, stats_));
+    TIC_RETURN_NOT_OK(levels_.back().enumerator.Start({closure_->root()}));
+
+    FlatBits state(closure_->size());
+    bool found = false;
+    while (!levels_.empty() && !found) {
+      Level& top = levels_.back();
+      bool produced = false;
+      TIC_RETURN_NOT_OK(top.enumerator.Next(&state, &produced));
+      if (!produced) {
+        // Every successor branch of this level's state failed.
+        if (top.id != FlatBits::kNpos) {
+          on_path_.erase(top.id);
+          path_.pop_back();
+          MarkFailed(top.id);
+        }
+        levels_.pop_back();
+        continue;
+      }
+      bool inserted = false;
+      TIC_ASSIGN_OR_RETURN(uint32_t sid, table_.Intern(state, 0, &inserted));
+      if (!top.seen.insert(sid).second) continue;  // per-expansion dedup
+      if (top.id != FlatBits::kNpos) ++stats_->num_edges;
+
+      auto it = on_path_.find(sid);
+      if (it != on_path_.end()) {
+        loop_start_ = it->second;  // cycle: an infinite path exists
+        found = true;
+        break;
+      }
+      if (sid < failed_.size() && failed_[sid]) continue;
+      if (++stats_->num_states > options_->max_states) {
+        return Status::ResourceExhausted(
+            "safety search exceeded max_states = " +
+            std::to_string(options_->max_states));
+      }
+      if (path_.size() > 100000) {
+        return Status::ResourceExhausted(
+            "safety search path exceeded 100000 states");
+      }
+      on_path_.emplace(sid, path_.size());
+      path_.push_back(sid);
+      levels_.emplace_back(sid, BranchEnumerator(closure_, options_, stats_));
+      TIC_RETURN_NOT_OK(levels_.back().enumerator.Start(SeedIndicesOf(sid)));
+    }
+
+    if (found) {
+      witness->prefix.clear();
+      witness->loop.clear();
+      for (size_t i = 0; i < loop_start_; ++i) {
+        witness->prefix.push_back(AssignmentOf(path_[i]));
+      }
+      for (size_t i = loop_start_; i < path_.size(); ++i) {
+        witness->loop.push_back(AssignmentOf(path_[i]));
+      }
+    }
+    return found;
+  }
+
+ private:
+  struct Level {
+    uint32_t id;  // path state expanded at this level; kNpos for the root seed
+    BranchEnumerator enumerator;
+    std::unordered_set<uint32_t> seen;
+
+    Level(uint32_t id_in, BranchEnumerator e)
+        : id(id_in), enumerator(std::move(e)) {}
+  };
+
+  void MarkFailed(uint32_t id) {
+    if (failed_.size() <= id) failed_.resize(id + 1, false);
+    failed_[id] = true;
+  }
+
+  std::vector<Level> levels_;
+  std::vector<uint32_t> path_;
+  std::unordered_map<uint32_t, size_t> on_path_;
+  std::vector<bool> failed_;
+  size_t loop_start_ = 0;
+};
+
+// General case: BFS-materialize the reachable tableau graph over interned
+// bitset states, then Tarjan + the Lichtenstein–Pnueli self-fulfilling-SCC
+// test, word-parallel over the closure's obligation mask.
+class BitsetGraph : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+  Status Build() {
+    TIC_RETURN_NOT_OK(Cover({closure_->root()}, options_->max_states, &initial_ids_));
+    size_t head = 0;
+    while (head < table_.size()) {
+      uint32_t id = static_cast<uint32_t>(head++);
+      std::vector<uint32_t> succs;
+      TIC_RETURN_NOT_OK(Cover(SeedIndicesOf(id), options_->max_states, &succs));
+      stats_->num_edges += succs.size();
+      edges_.push_back(std::move(succs));
+    }
+    stats_->num_states += table_.size();
+    return Status::OK();
+  }
+
+  // Finds a reachable self-fulfilling SCC; fills `witness` when found.
+  bool FindModel(UltimatelyPeriodicWord* witness) {
+    scc_members_ = ComputeSccs(edges_, &scc_of_);
+    for (size_t c = 0; c < scc_members_.size(); ++c) {
+      if (!SccIsNontrivial(c)) continue;
+      if (!SccIsSelfFulfilling(c)) continue;
+      BuildWitness(c, witness);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  bool SccIsNontrivial(size_t c) const {
+    const auto& members = scc_members_[c];
+    if (members.size() > 1) return true;
+    uint32_t v = members[0];
+    for (uint32_t w : edges_[v]) {
+      if (w == v) return true;
+    }
+    return false;
+  }
+
+  // An obligation (Until/Eventually) asserted anywhere in the SCC must have
+  // its goal asserted somewhere in the SCC. Obligations and goals only occur
+  // in member states, so both sides reduce to bits of the members' union.
+  bool SccIsSelfFulfilling(size_t c) const {
+    FlatBits all(closure_->size());
+    for (uint32_t v : scc_members_[c]) all.OrWords(table_.Row(v));
+    bool fulfilled = true;
+    all.ForEachAnd(closure_->obligation_mask(), [&](uint32_t i) {
+      if (!all.Test(closure_->rule(i).goal)) fulfilled = false;
+    });
+    return fulfilled;
+  }
+
+  // BFS path from any node in `sources` to a node satisfying `pred`,
+  // optionally restricted to one SCC. Returns the node sequence including
+  // both endpoints, or empty if unreachable.
+  template <typename Pred>
+  std::vector<uint32_t> Bfs(const std::vector<uint32_t>& sources, Pred pred,
+                            int restrict_scc, bool require_step) const {
+    std::vector<int64_t> parent(table_.size(), -2);  // -2 unvisited
+    std::deque<uint32_t> queue;
+    if (!require_step) {
+      for (uint32_t s : sources) {
+        if (pred(s)) return {s};
+      }
+    }
+    for (uint32_t s : sources) {
+      if (parent[s] == -2) {
+        parent[s] = -1;
+        queue.push_back(s);
+      }
+    }
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop_front();
+      for (uint32_t w : edges_[v]) {
+        if (restrict_scc >= 0 &&
+            scc_of_[w] != static_cast<uint32_t>(restrict_scc)) {
+          continue;
+        }
+        if (pred(w)) {
+          std::vector<uint32_t> path{w, v};
+          int64_t p = parent[v];
+          while (p >= 0) {
+            path.push_back(static_cast<uint32_t>(p));
+            p = parent[static_cast<uint32_t>(p)];
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        if (parent[w] == -2) {
+          parent[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+    return {};
+  }
+
+  void BuildWitness(size_t c, UltimatelyPeriodicWord* witness) {
+    // Stem: path from an initial state to some member r of the SCC.
+    std::vector<uint32_t> stem = Bfs(
+        initial_ids_, [&](uint32_t v) { return scc_of_[v] == c; }, -1, false);
+    uint32_t r = stem.back();
+
+    // Gather the distinct obligation-goal indices of the SCC.
+    std::vector<uint32_t> goals;
+    FlatBits row(closure_->size());
+    for (uint32_t v : scc_members_[c]) {
+      row.AssignWords(table_.Row(v));
+      row.ForEachAnd(closure_->obligation_mask(), [&](uint32_t i) {
+        uint32_t g = closure_->rule(i).goal;
+        if (std::find(goals.begin(), goals.end(), g) == goals.end()) {
+          goals.push_back(g);
+        }
+      });
+    }
+
+    // Cycle within the SCC from r visiting a state containing each goal, then
+    // back to r; the SCC is strongly connected, so each hop exists.
+    std::vector<uint32_t> cycle{r};
+    uint32_t cur = r;
+    for (uint32_t g : goals) {
+      std::vector<uint32_t> hop = Bfs(
+          {cur}, [&](uint32_t v) { return table_.RowTest(v, g); },
+          static_cast<int>(c), false);
+      for (size_t i = 1; i < hop.size(); ++i) cycle.push_back(hop[i]);
+      if (!hop.empty()) cur = hop.back();
+    }
+    std::vector<uint32_t> back = Bfs(
+        {cur}, [&](uint32_t v) { return v == r; }, static_cast<int>(c), true);
+    for (size_t i = 1; i + 1 < back.size(); ++i) cycle.push_back(back[i]);
+    // `back` ends at r; excluding the final r keeps the loop half-open.
+
+    witness->prefix.clear();
+    witness->loop.clear();
+    for (size_t i = 0; i + 1 < stem.size(); ++i) {
+      witness->prefix.push_back(AssignmentOf(stem[i]));
+    }
+    for (uint32_t v : cycle) witness->loop.push_back(AssignmentOf(v));
+  }
+
+  std::vector<std::vector<uint32_t>> edges_;
+  std::vector<uint32_t> initial_ids_;
+  std::vector<uint32_t> scc_of_;
+  std::vector<std::vector<uint32_t>> scc_members_;
+};
+
+}  // namespace
+
+Status CheckSatBitset(Factory* factory, Formula nnf, const TableauOptions& options,
+                      bool* satisfiable, UltimatelyPeriodicWord* witness,
+                      TableauStats* stats) {
+  TIC_ASSIGN_OR_RETURN(Closure closure, Closure::Build(factory, nnf));
+  if (options.use_safety_fast_path && IsSyntacticallySafe(factory, nnf)) {
+    BitsetSafetySearch search(&closure, &options, stats);
+    TIC_ASSIGN_OR_RETURN(*satisfiable, search.Run(witness));
+    return Status::OK();
+  }
+  BitsetGraph graph(&closure, &options, stats);
+  TIC_RETURN_NOT_OK(graph.Build());
+  *satisfiable = graph.FindModel(witness);
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,34 @@
+#ifndef TIC_PTL_TABLEAU_BITSET_H_
+#define TIC_PTL_TABLEAU_BITSET_H_
+
+// The closure-indexed bitset tableau engine (TableauEngine::kBitset): states
+// are FlatBits over a dense Fischer–Ladner closure index, expansion is
+// table-driven with an explicit worklist and choice stack, and state dedup is
+// an open-addressing hash table over the bitset words backed by a contiguous
+// per-run arena. Internal: reached through CheckSat via
+// TableauOptions::engine.
+
+#include "common/result.h"
+#include "ptl/formula.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace internal {
+
+/// Decides satisfiability of `nnf` (already in negation normal form, not
+/// constant-false) with the bitset engine. Honors `use_safety_fast_path` and
+/// `use_subsumption`; `defer_branching` is inherent to the engine (the
+/// worklist is split into alpha/beta queues, so unit information always lands
+/// before a branch). Fills `*satisfiable`, `*witness` (when satisfiable) and
+/// the size counters of `*stats` (cache counters are left untouched).
+Status CheckSatBitset(Factory* factory, Formula nnf, const TableauOptions& options,
+                      bool* satisfiable, UltimatelyPeriodicWord* witness,
+                      TableauStats* stats);
+
+}  // namespace internal
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_TABLEAU_BITSET_H_

@@ -6,6 +6,7 @@
 // (automaton.cc). Not part of the public surface.
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <set>
 #include <unordered_set>
@@ -24,6 +25,69 @@ namespace internal {
 
 // A tableau state: the canonical (sorted) set of formulas asserted to hold now.
 using StateSet = std::vector<Formula>;
+
+// Iterative Tarjan SCC decomposition of an adjacency list, shared by both
+// tableau engines and the automaton inspection API. Fills `scc_of` with a
+// component id per node and returns the component member lists, indexed by id
+// in emission (reverse topological) order — the searches rely on that order
+// when they take the first acceptable component.
+inline std::vector<std::vector<uint32_t>> ComputeSccs(
+    const std::vector<std::vector<uint32_t>>& edges,
+    std::vector<uint32_t>* scc_of) {
+  size_t n = edges.size();
+  std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  std::vector<std::vector<uint32_t>> members;
+  scc_of->assign(n, UINT32_MAX);
+  uint32_t next_index = 0;
+
+  struct Frame {
+    uint32_t v;
+    size_t edge;
+  };
+  for (uint32_t start = 0; start < n; ++start) {
+    if (index[start] != UINT32_MAX) continue;
+    std::vector<Frame> call_stack{{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!call_stack.empty()) {
+      Frame& fr = call_stack.back();
+      if (fr.edge < edges[fr.v].size()) {
+        uint32_t w = edges[fr.v][fr.edge++];
+        if (index[w] == UINT32_MAX) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[fr.v] = std::min(low[fr.v], index[w]);
+        }
+      } else {
+        uint32_t v = fr.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          uint32_t parent = call_stack.back().v;
+          low[parent] = std::min(low[parent], low[v]);
+        }
+        if (low[v] == index[v]) {
+          uint32_t c = static_cast<uint32_t>(members.size());
+          members.emplace_back();
+          while (true) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            (*scc_of)[w] = c;
+            members[c].push_back(w);
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  return members;
+}
 
 // Canonical formula order within a StateSet: content fingerprint first, so
 // state enumeration (and hence witness selection) is identical across runs.
@@ -146,8 +210,13 @@ class Expander {
     }
     for (size_t i = todo->size(); i-- > 0;) {
       if (!IsBranching((*todo)[i])) {
+        // Swap-and-pop: every remaining element at i+1.. is branching, so
+        // their relative order (which only picks the next split) may shift
+        // without affecting soundness — and removal stays O(1) instead of
+        // O(n) on the long unit chains the literal-mode diagrams produce.
         Formula f = (*todo)[i];
-        todo->erase(todo->begin() + static_cast<ptrdiff_t>(i));
+        (*todo)[i] = todo->back();
+        todo->pop_back();
         return f;
       }
     }

@@ -280,6 +280,44 @@ TEST_F(MonitorTest, VerdictCacheAccumulatesHitsOnSteadyStates) {
   EXPECT_GT(last.verdict_cache_stats.hits, 0u);
 }
 
+TEST_F(MonitorTest, TableauStatsPerUpdateAndCumulative) {
+  // CheckSat counters reset per call, so verdict.tableau_stats covers only
+  // the latest update; cumulative_tableau_stats must be the running sum of
+  // the per-update stats, and must freeze (not reset) once the monitor dies.
+  auto m = *Monitor::Create(fac_, submit_once_);
+  ptl::TableauStats sum;
+  for (int step = 0; step < 4; ++step) {
+    auto v = m->ApplyTransaction(Txn({}, {1}));  // Fill(1), never violating
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    sum.num_states += v->tableau_stats.num_states;
+    sum.num_edges += v->tableau_stats.num_edges;
+    sum.num_expansions += v->tableau_stats.num_expansions;
+    sum.cache_hits += v->tableau_stats.cache_hits;
+    sum.cache_misses += v->tableau_stats.cache_misses;
+    EXPECT_EQ(v->cumulative_tableau_stats.num_states, sum.num_states);
+    EXPECT_EQ(v->cumulative_tableau_stats.num_edges, sum.num_edges);
+    EXPECT_EQ(v->cumulative_tableau_stats.num_expansions, sum.num_expansions);
+    EXPECT_EQ(v->cumulative_tableau_stats.cache_hits, sum.cache_hits);
+    EXPECT_EQ(v->cumulative_tableau_stats.cache_misses, sum.cache_misses);
+  }
+  EXPECT_GT(sum.num_expansions, 0u);
+  ASSERT_GE(sum.num_expansions, m->last_verdict().tableau_stats.num_expansions);
+
+  // Kill the monitor: resubmission of 1 after an unsubmit.
+  ASSERT_TRUE(m->ApplyTransaction(Txn({1}, {})).ok());
+  ASSERT_TRUE(m->ApplyTransaction(Txn({}, {}, {1})).ok());
+  auto dead = m->ApplyTransaction(Txn({1}, {}));
+  ASSERT_TRUE(dead.ok());
+  ASSERT_TRUE(dead->permanently_violated);
+  size_t total = dead->cumulative_tableau_stats.num_expansions;
+  EXPECT_GT(total, sum.num_expansions);
+  // Dead path: no check runs, per-update stats are zero, totals are kept.
+  auto after = m->ApplyTransaction(Txn({}, {2}));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->tableau_stats.num_expansions, 0u);
+  EXPECT_EQ(after->cumulative_tableau_stats.num_expansions, total);
+}
+
 TEST_F(MonitorTest, HistoryLessEarliestDetectionPreserved) {
   // Same earliest-time semantics as kEager on the contradictory-obligation
   // constraint from the integration tests.

@@ -1,0 +1,271 @@
+// Unit tests for the bitset engine's building blocks — FlatBits (inline and
+// heap-spill widths) and the Fischer–Ladner Closure indexing — plus
+// engine-level contracts of TableauEngine::kBitset that the differential
+// sweep does not pin down (budgets, stats, option toggles).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ptl/bitset.h"
+#include "ptl/closure.h"
+#include "ptl/formula.h"
+#include "ptl/nnf.h"
+#include "ptl/tableau.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+TEST(FlatBitsTest, SetTestResetAcrossWidths) {
+  for (uint32_t width : {1u, 64u, 65u, 256u, 257u, 1000u}) {
+    FlatBits b(width);
+    EXPECT_EQ(b.spilled(), width > 256u) << width;
+    EXPECT_TRUE(b.Empty());
+    EXPECT_EQ(b.FindFirst(), FlatBits::kNpos);
+    b.Set(width - 1);
+    EXPECT_TRUE(b.Test(width - 1));
+    EXPECT_FALSE(b.Empty());
+    EXPECT_EQ(b.FindFirst(), width - 1);
+    b.Set(0);
+    EXPECT_EQ(b.FindFirst(), 0u);
+    b.Reset(0);
+    b.Reset(width - 1);
+    EXPECT_TRUE(b.Empty());
+  }
+}
+
+TEST(FlatBitsTest, WordParallelOps) {
+  FlatBits a(300), b(300);
+  a.Set(3);
+  a.Set(77);
+  b.Set(77);
+  b.Set(299);
+  EXPECT_TRUE(a.Intersects(b));
+  a.OrWith(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(77));
+  EXPECT_TRUE(a.Test(299));
+
+  std::vector<uint32_t> seen;
+  a.ForEach([&](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{3, 77, 299}));
+
+  FlatBits mask(300);
+  mask.Set(77);
+  mask.Set(200);
+  seen.clear();
+  a.ForEachAnd(mask, [&](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{77}));
+
+  FlatBits c(300);
+  c.Set(5);
+  EXPECT_FALSE(b.Intersects(c));
+}
+
+TEST(FlatBitsTest, EqualityHashAndCopySemantics) {
+  for (uint32_t width : {100u, 500u}) {
+    FlatBits a(width);
+    a.Set(7);
+    a.Set(width - 2);
+    FlatBits copy = a;
+    EXPECT_EQ(copy, a);
+    EXPECT_EQ(copy.Hash(), a.Hash());
+    copy.Set(11);
+    EXPECT_NE(copy, a);
+
+    FlatBits assigned(width);
+    assigned = a;
+    EXPECT_EQ(assigned, a);
+
+    FlatBits moved = std::move(copy);
+    EXPECT_TRUE(moved.Test(11));
+
+    // AssignWords round-trips through a raw row, as the state arena does.
+    FlatBits from_words(width);
+    from_words.AssignWords(a.words());
+    EXPECT_EQ(from_words, a);
+    EXPECT_EQ(FlatBits::HashWords(a.words(), a.num_words()), a.Hash());
+  }
+}
+
+class ClosureTest : public ::testing::Test {
+ protected:
+  ClosureTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_ = fac_.Atom(vocab_->Intern("p"));
+    q_ = fac_.Atom(vocab_->Intern("q"));
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  Formula p_, q_;
+};
+
+TEST_F(ClosureTest, MembersRulesAndObligations) {
+  // (p U q) & G !p — NNF already.
+  Formula f = fac_.And(fac_.Until(p_, q_), fac_.Always(fac_.Not(p_)));
+  auto cl = Closure::Build(&fac_, ToNnf(&fac_, f));
+  ASSERT_TRUE(cl.ok()) << cl.status().ToString();
+
+  // Root is the And, and every subformula plus the X(f) of each temporal
+  // member is present exactly once. Find members by formula (the factory
+  // canonicalizes And operand order, so lhs/rhs position is not fixed).
+  EXPECT_EQ(cl->member(cl->root()), ToNnf(&fac_, f));
+  const auto& root_rule = cl->rule(cl->root());
+  EXPECT_EQ(root_rule.op, Closure::Op::kAnd);
+  auto find = [&](Formula g) {
+    for (uint32_t i = 0; i < cl->size(); ++i) {
+      if (cl->member(i) == g) return i;
+    }
+    ADD_FAILURE() << "member not found";
+    return Closure::kNone;
+  };
+  uint32_t until_idx = find(fac_.Until(p_, q_));
+  uint32_t always_idx = find(fac_.Always(fac_.Not(p_)));
+  EXPECT_TRUE((root_rule.a == until_idx && root_rule.b == always_idx) ||
+              (root_rule.a == always_idx && root_rule.b == until_idx));
+
+  const auto& until_rule = cl->rule(until_idx);
+  EXPECT_EQ(until_rule.op, Closure::Op::kUntil);
+  EXPECT_FALSE(until_rule.is_alpha);
+  EXPECT_EQ(cl->member(until_rule.goal), q_);
+  EXPECT_EQ(cl->member(until_rule.next_self), fac_.Next(fac_.Until(p_, q_)));
+  EXPECT_TRUE(cl->obligation_mask().Test(until_idx));
+
+  const auto& always_rule = cl->rule(always_idx);
+  EXPECT_EQ(always_rule.op, Closure::Op::kAlways);
+  EXPECT_TRUE(always_rule.is_alpha);
+  EXPECT_FALSE(cl->obligation_mask().Test(always_idx));
+
+  // The literal pair is cross-linked for the clash check.
+  const auto& neg_rule = cl->rule(always_rule.a);
+  ASSERT_EQ(neg_rule.op, Closure::Op::kLitNeg);
+  EXPECT_EQ(cl->member(neg_rule.complement), p_);
+  const auto& pos_rule = cl->rule(neg_rule.complement);
+  ASSERT_EQ(pos_rule.op, Closure::Op::kLitPos);
+  EXPECT_EQ(pos_rule.complement, always_rule.a);
+  EXPECT_EQ(pos_rule.atom, p_->atom());
+
+  // Membership count: And, U, G, X U, X G, p, !p, q — 8 distinct members.
+  EXPECT_EQ(cl->size(), 8u);
+}
+
+TEST_F(ClosureTest, IndexingIsDeterministicAcrossBuilds) {
+  Formula f = ToNnf(
+      &fac_, fac_.And(fac_.Until(p_, q_), fac_.Eventually(fac_.Not(q_))));
+  auto a = Closure::Build(&fac_, f);
+  auto b = Closure::Build(&fac_, f);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  EXPECT_EQ(a->root(), b->root());
+  for (uint32_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->member(i), b->member(i)) << i;
+  }
+}
+
+TEST_F(ClosureTest, RejectsNonNnfInput) {
+  EXPECT_FALSE(Closure::Build(&fac_, fac_.Implies(p_, q_)).ok());
+  EXPECT_FALSE(Closure::Build(&fac_, fac_.Not(fac_.Always(p_))).ok());
+}
+
+class BitsetEngineTest : public ::testing::Test {
+ protected:
+  BitsetEngineTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_ = fac_.Atom(vocab_->Intern("p"));
+    q_ = fac_.Atom(vocab_->Intern("q"));
+    r_ = fac_.Atom(vocab_->Intern("r"));
+    opts_.engine = TableauEngine::kBitset;
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  Formula p_, q_, r_;
+  TableauOptions opts_;
+};
+
+TEST_F(BitsetEngineTest, StatsArePopulated) {
+  auto res = CheckSat(&fac_, fac_.Until(p_, q_), opts_);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->stats.num_states, 0u);
+  EXPECT_GT(res->stats.num_expansions, 0u);
+}
+
+TEST_F(BitsetEngineTest, MaxStatesBudgetEnforced) {
+  opts_.max_states = 1;
+  Formula f = fac_.And(fac_.Until(p_, q_), fac_.Until(q_, r_));
+  auto res = CheckSat(&fac_, f, opts_);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsResourceExhausted());
+}
+
+TEST_F(BitsetEngineTest, MaxExpansionsBudgetEnforced) {
+  opts_.max_expansions = 2;
+  Formula f = fac_.And(fac_.Or(p_, q_), fac_.Or(q_, r_));
+  auto res = CheckSat(&fac_, f, opts_);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsResourceExhausted());
+}
+
+TEST_F(BitsetEngineTest, BranchDepthBudgetEnforced) {
+  opts_.max_branch_depth = 1;
+  // Two pending splits on one branch: depth 2 > 1.
+  Formula f = fac_.And(fac_.Or(p_, q_), fac_.Or(fac_.Not(p_), r_));
+  auto res = CheckSat(&fac_, f, opts_);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsResourceExhausted());
+}
+
+TEST_F(BitsetEngineTest, OptionTogglesPreserveVerdicts) {
+  // Subsumption and the safety fast path are pure accelerations: flipping
+  // them must not change any verdict.
+  std::vector<Formula> formulas = {
+      fac_.Always(fac_.Implies(p_, fac_.Next(q_))),
+      fac_.And(fac_.Always(p_), fac_.Eventually(fac_.Not(p_))),
+      fac_.Until(p_, fac_.And(q_, fac_.Not(q_))),
+      fac_.Release(p_, fac_.Or(q_, r_)),
+      fac_.AndAll({fac_.Or(p_, q_), fac_.Or(fac_.Not(p_), r_),
+                   fac_.Eventually(q_)}),
+  };
+  for (Formula f : formulas) {
+    auto base = CheckSat(&fac_, f, opts_);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    for (bool subsumption : {false, true}) {
+      for (bool fast_path : {false, true}) {
+        TableauOptions o = opts_;
+        o.use_subsumption = subsumption;
+        o.use_safety_fast_path = fast_path;
+        auto res = CheckSat(&fac_, f, o);
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        EXPECT_EQ(res->satisfiable, base->satisfiable)
+            << ToString(fac_, f) << " subsumption=" << subsumption
+            << " fast_path=" << fast_path;
+      }
+    }
+  }
+}
+
+TEST_F(BitsetEngineTest, VerdictCacheWorksAcrossEngines) {
+  // A cache filled by one engine must serve the other: entries are keyed by
+  // the canonical formula, not by engine.
+  auto cache = std::make_shared<VerdictCache>();
+  TableauOptions legacy;
+  legacy.engine = TableauEngine::kLegacy;
+  legacy.verdict_cache = cache;
+  TableauOptions bitset = opts_;
+  bitset.verdict_cache = cache;
+
+  Formula f = fac_.And(fac_.Until(p_, q_), fac_.Always(fac_.Not(q_)));
+  auto first = CheckSat(&fac_, f, legacy);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.cache_misses, 1u);
+  auto second = CheckSat(&fac_, f, bitset);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.cache_hits, 1u);
+  EXPECT_EQ(second->satisfiable, first->satisfiable);
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

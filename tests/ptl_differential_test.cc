@@ -1,0 +1,190 @@
+// Differential tests between the two tableau engines: on ~1k seeded random
+// formulas (and deterministic big-closure families that force the bitset
+// spill path), kLegacy and kBitset must agree on sat/unsat, and each engine's
+// lasso witness must validate under the independent word evaluator. This is
+// the verdict-invariance contract TableauEngine::kBitset ships under.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ptl/formula.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+Formula RandomFormula(Factory* fac, std::mt19937* rng,
+                      const std::vector<Formula>& atoms, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 9);
+  switch (pick(*rng)) {
+    case 0:
+      return atoms[(*rng)() % atoms.size()];
+    case 1:
+      return fac->Not(atoms[(*rng)() % atoms.size()]);
+    case 2:
+      return fac->Not(RandomFormula(fac, rng, atoms, depth - 1));
+    case 3:
+      return fac->And(RandomFormula(fac, rng, atoms, depth - 1),
+                      RandomFormula(fac, rng, atoms, depth - 1));
+    case 4:
+      return fac->Or(RandomFormula(fac, rng, atoms, depth - 1),
+                     RandomFormula(fac, rng, atoms, depth - 1));
+    case 5:
+      return fac->Next(RandomFormula(fac, rng, atoms, depth - 1));
+    case 6:
+      return fac->Until(RandomFormula(fac, rng, atoms, depth - 1),
+                        RandomFormula(fac, rng, atoms, depth - 1));
+    case 7:
+      return fac->Release(RandomFormula(fac, rng, atoms, depth - 1),
+                          RandomFormula(fac, rng, atoms, depth - 1));
+    case 8:
+      return fac->Eventually(RandomFormula(fac, rng, atoms, depth - 1));
+    default:
+      return fac->Always(RandomFormula(fac, rng, atoms, depth - 1));
+  }
+}
+
+// Runs both engines on `f` and enforces the invariance contract. Returns the
+// shared verdict.
+bool CheckBothEngines(Factory* fac, Formula f) {
+  TableauOptions legacy;
+  legacy.engine = TableauEngine::kLegacy;
+  TableauOptions bitset;
+  bitset.engine = TableauEngine::kBitset;
+
+  auto rl = CheckSat(fac, f, legacy);
+  auto rb = CheckSat(fac, f, bitset);
+  EXPECT_TRUE(rl.ok()) << rl.status().ToString();
+  EXPECT_TRUE(rb.ok()) << rb.status().ToString();
+  if (!rl.ok() || !rb.ok()) return false;
+
+  EXPECT_EQ(rl->satisfiable, rb->satisfiable)
+      << "engines disagree on " << ToString(*fac, f);
+  // The engines may pick different (state-order-dependent) witnesses; each
+  // must independently satisfy the formula.
+  if (rl->satisfiable) {
+    auto holds = Evaluate(*rl->witness, f, 0);
+    EXPECT_TRUE(holds.ok()) << holds.status().ToString();
+    if (holds.ok()) {
+      EXPECT_TRUE(*holds) << "legacy witness fails " << ToString(*fac, f);
+    }
+  }
+  if (rb->satisfiable) {
+    auto holds = Evaluate(*rb->witness, f, 0);
+    EXPECT_TRUE(holds.ok()) << holds.status().ToString();
+    if (holds.ok()) {
+      EXPECT_TRUE(*holds) << "bitset witness fails " << ToString(*fac, f);
+    }
+  }
+  return rb->satisfiable;
+}
+
+// 1000 seeded random formulas, depth 4 over 3 letters. Closures stay inside
+// the 256-bit inline threshold; the spill path is covered by the
+// deterministic families below.
+TEST(DifferentialTableauTest, RandomFormulasAgreeAcrossEngines) {
+  auto vocab = std::make_shared<PropVocabulary>();
+  Factory fac(vocab);
+  std::vector<Formula> atoms = {fac.Atom(vocab->Intern("a")),
+                                fac.Atom(vocab->Intern("b")),
+                                fac.Atom(vocab->Intern("c"))};
+  size_t sat_count = 0;
+  for (int seed = 0; seed < 1000; ++seed) {
+    std::mt19937 rng(seed);
+    Formula f = RandomFormula(&fac, &rng, atoms, 4);
+    if (CheckBothEngines(&fac, f)) ++sat_count;
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "aborted at seed " << seed;
+    }
+  }
+  // Sanity: the sweep exercises both verdicts.
+  EXPECT_GT(sat_count, 100u);
+  EXPECT_LT(sat_count, 1000u);
+}
+
+// Deeper random formulas push some closures past 4 inline words.
+TEST(DifferentialTableauTest, DeeperRandomFormulasAgreeAcrossEngines) {
+  auto vocab = std::make_shared<PropVocabulary>();
+  Factory fac(vocab);
+  std::vector<Formula> atoms;
+  for (int i = 0; i < 6; ++i) {
+    atoms.push_back(fac.Atom(vocab->Intern(std::string(1, 'a' + i))));
+  }
+  for (int seed = 0; seed < 120; ++seed) {
+    std::mt19937 rng(50000 + seed);
+    Formula f = RandomFormula(&fac, &rng, atoms, 6);
+    CheckBothEngines(&fac, f);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "aborted at seed " << seed;
+    }
+  }
+}
+
+class SpillDifferentialTest : public ::testing::Test {
+ protected:
+  SpillDifferentialTest() : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {}
+
+  Formula Letter(size_t i) {
+    return fac_.Atom(vocab_->Intern("p" + std::to_string(i)));
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+};
+
+// G(p_i -> X p_{i+1}) chain over 300 letters: the NNF closure holds each
+// implication, its Or-expansion, the Next members and the G unfoldings —
+// thousands of members, far past the 256-bit inline threshold, so every
+// bitset state runs on the heap-spill representation. Satisfiable (the lazy
+// safety DFS finds a lasso after walking the p_0..p_299 ripple); the unsat
+// direction is covered by the conjunction family below — proving the pinned
+// chain unsat would require exhausting an exponential state space in both
+// engines.
+TEST_F(SpillDifferentialTest, SafetyChainPastInlineThreshold) {
+  constexpr size_t kLetters = 300;
+  std::vector<Formula> conj = {Letter(0)};
+  for (size_t i = 0; i + 1 < kLetters; ++i) {
+    conj.push_back(
+        fac_.Always(fac_.Implies(Letter(i), fac_.Next(Letter(i + 1)))));
+  }
+  EXPECT_TRUE(CheckBothEngines(&fac_, fac_.AndAll(conj)));
+}
+
+// G over a 300-letter conjunction: wide closure, no branching at all — the
+// unsat flip is detected by a pure alpha clash on spilled bitsets.
+TEST_F(SpillDifferentialTest, WideInvariantConjunction) {
+  constexpr size_t kLetters = 300;
+  std::vector<Formula> atoms;
+  for (size_t i = 0; i < kLetters; ++i) atoms.push_back(Letter(i));
+  Formula inv = fac_.Always(fac_.AndAll(atoms));
+  EXPECT_TRUE(CheckBothEngines(&fac_, inv));
+  EXPECT_FALSE(
+      CheckBothEngines(&fac_, fac_.And(inv, fac_.Not(Letter(kLetters / 2)))));
+}
+
+// Right-nested Until chain 90 deep: the closure (~3 members per level) spills
+// past the inline words, and the eventuality structure forces the *graph*
+// search — spilled states flow through interning, Tarjan, the
+// self-fulfilling-SCC scan and the witness builder. State count stays linear
+// in the depth (each state tracks one suffix obligation).
+TEST_F(SpillDifferentialTest, NestedUntilChainUsesGraphSearch) {
+  constexpr size_t kDepth = 90;
+  Formula f = Letter(kDepth);
+  for (size_t i = kDepth; i-- > 0;) {
+    f = fac_.Until(Letter(i), f);
+  }
+  EXPECT_TRUE(CheckBothEngines(&fac_, f));
+  // The innermost goal letter can never arrive: every level's eventuality
+  // chain dead-ends, so the formula flips unsat.
+  EXPECT_FALSE(CheckBothEngines(
+      &fac_, fac_.And(f, fac_.Always(fac_.Not(Letter(kDepth))))));
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic

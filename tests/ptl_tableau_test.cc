@@ -151,6 +151,41 @@ TEST_F(TableauTest, BudgetExhaustion) {
   EXPECT_TRUE(res.status().IsResourceExhausted());
 }
 
+TEST_F(TableauTest, LongConjunctionChainExpandsFast) {
+  // Micro-test for PopPreferred's swap-and-pop removal (legacy engine): a
+  // conjunction of thousands of unit formulas keeps the todo list long while
+  // every pop scans for a non-branching entry. With the old erase-at-i this
+  // was quadratic in the chain length; the test pins the behavior (correct
+  // verdict + witness) and serves as the regression workload.
+  constexpr size_t kChain = 2000;
+  std::vector<Formula> units;
+  std::vector<PropId> letters;
+  for (size_t i = 0; i < kChain; ++i) {
+    PropId letter = vocab_->Intern("c" + std::to_string(i));
+    letters.push_back(letter);
+    units.push_back(fac_.Atom(letter));
+  }
+  // A couple of disjunctions subsumed by the units: they must be deferred
+  // behind the whole unit chain and then discharged without branching.
+  units.push_back(fac_.Or(units[0], units[1]));
+  units.push_back(fac_.Or(fac_.Not(units[2]), units[3]));
+  Formula f = fac_.AndAll(units);
+
+  TableauOptions legacy;
+  legacy.engine = TableauEngine::kLegacy;
+  auto res = CheckSat(&fac_, f, legacy);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_TRUE(res->satisfiable);
+  for (PropId letter : letters) {
+    ASSERT_TRUE(res->witness->StateAt(0).Get(letter));
+  }
+  // And the unsat flip: one clashing literal buried in the chain.
+  auto contra = CheckSat(
+      &fac_, fac_.And(f, fac_.Not(units[kChain / 2])), legacy);
+  ASSERT_TRUE(contra.ok());
+  EXPECT_FALSE(contra->satisfiable);
+}
+
 // ---------------------------------------------------------------------------
 // Property sweep: random formulas. For each, (a) SAT answers must be stable
 // under double negation, (b) witnesses must evaluate to true, (c) f | !f must
