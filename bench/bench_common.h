@@ -3,8 +3,8 @@
 
 // Shared setup for the experiment benches (EXPERIMENTS.md): the Section 2
 // order-processing vocabulary and the paper's two running constraints, plus
-// the common flag parsing (--threads, --engine, --json) and the shared main
-// (TIC_BENCH_MAIN) every bench binary links.
+// the common flag parsing (--threads, --engine, --json, --trace, --telemetry)
+// and the shared main (TIC_BENCH_MAIN) every bench binary links.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry/telemetry.h"
 #include "db/update.h"
 #include "fotl/factory.h"
 #include "fotl/parser.h"
@@ -88,11 +89,16 @@ inline const char* EngineName(ptl::TableauEngine engine) {
   return engine == ptl::TableauEngine::kLegacy ? "legacy" : "bitset";
 }
 
-// Reporter for --json=<path>: the normal console table, plus one JSON record
-// per completed measurement written to `path` on exit —
-// `[{"name": ..., "params": ..., "ns_per_op": ..., "counters": {...}}, ...]`.
-// Deliberately flatter than --benchmark_out=json — downstream tooling wants
-// one row per configuration, keyed by the slash-separated param string.
+// Reporter for --json=<path>: the normal console table, plus a record file
+// written to `path` on exit —
+// `{"meta": {git_sha, build_type, telemetry}, "records": [{"name": ...,
+// "params": ..., "ns_per_op": ..., "counters": {...}}, ...], "telemetry":
+// {flat metrics}}`. The meta header makes BENCH_*.json trajectories
+// attributable to a commit and build configuration; the telemetry section is
+// the registry snapshot at exit (empty when telemetry was never enabled).
+// Records stay deliberately flatter than --benchmark_out=json — downstream
+// tooling wants one row per configuration, keyed by the slash-separated
+// param string.
 class JsonRecordReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonRecordReporter(std::string path) : path_(std::move(path)) {}
@@ -132,12 +138,16 @@ class JsonRecordReporter : public benchmark::ConsoleReporter {
       std::fprintf(stderr, "cannot open --json path %s\n", path_.c_str());
       return;
     }
-    std::fputs("[\n", f);
+    std::fputs("{\n\"meta\": ", f);
+    std::fputs(telemetry::BuildInfoJson().c_str(), f);
+    std::fputs(",\n\"records\": [\n", f);
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fputs(records_[i].c_str(), f);
       std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
     }
-    std::fputs("]\n", f);
+    std::fputs("],\n\"telemetry\": ", f);
+    std::fputs(telemetry::CollectMetrics().ToJson().c_str(), f);
+    std::fputs("\n}\n", f);
     std::fclose(f);
   }
 
@@ -161,17 +171,27 @@ class JsonRecordReporter : public benchmark::ConsoleReporter {
   std::vector<std::string> records_;
 };
 
-// Shared driver: extracts --json=<path>, hands the rest to the benchmark
-// library, and runs. Benches with dynamic registration call this after
-// registering; static benches use TIC_BENCH_MAIN.
+// Shared driver: extracts --json=<path>, --trace=<path>, and --telemetry,
+// hands the rest to the benchmark library, and runs. --telemetry flips the
+// runtime telemetry switch and prints the metrics summary table on exit;
+// --trace additionally installs a Chrome trace sink and writes the captured
+// events to the given path (loadable in chrome://tracing or Perfetto).
+// Benches with dynamic registration call this after registering; static
+// benches use TIC_BENCH_MAIN.
 inline int RunBenchmarks(int* argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
+  bool telemetry_on = false;
   {
     std::vector<char*> keep;
     for (int i = 0; i < *argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--json=", 0) == 0) {
         json_path = a.substr(7);
+      } else if (a.rfind("--trace=", 0) == 0) {
+        trace_path = a.substr(8);
+      } else if (a == "--telemetry") {
+        telemetry_on = true;
       } else {
         keep.push_back(argv[i]);
       }
@@ -179,6 +199,14 @@ inline int RunBenchmarks(int* argc, char** argv) {
     *argc = static_cast<int>(keep.size());
     for (size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
   }
+
+  std::shared_ptr<telemetry::TraceSink> sink;
+  if (!trace_path.empty()) {
+    sink = std::make_shared<telemetry::TraceSink>();
+    telemetry::SetTraceSink(sink);
+  }
+  if (telemetry_on || sink != nullptr) telemetry::SetEnabled(true);
+
   benchmark::Initialize(argc, argv);
   if (benchmark::ReportUnrecognizedArguments(*argc, argv)) return 1;
   if (json_path.empty()) {
@@ -188,6 +216,19 @@ inline int RunBenchmarks(int* argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks(&reporter);
   }
   benchmark::Shutdown();
+
+  if (sink != nullptr) {
+    telemetry::SetTraceSink(nullptr);
+    if (!sink->WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "cannot write --trace path %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n", sink->size(),
+                 trace_path.c_str());
+  }
+  if (telemetry_on || sink != nullptr) {
+    std::fprintf(stderr, "%s", telemetry::CollectMetrics().SummaryTable().c_str());
+  }
   return 0;
 }
 

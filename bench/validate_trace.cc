@@ -1,0 +1,59 @@
+// Validates a Chrome trace-event file produced by --trace=<path>: parses the
+// JSON strictly and checks the trace-event structure (traceEvents array, every
+// "X" event carrying name/ts/dur/pid/tid). Used by the bench-smoke ctest entry
+// that asserts the export round-trips; also handy standalone:
+//
+//   validate_trace <trace.json> [--require-events]
+//
+// --require-events additionally fails on a trace with zero complete events —
+// set by CMake only for TIC_TELEMETRY=ON builds, where a monitored bench run
+// must have produced spans (an OFF build legitimately emits an empty trace).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/telemetry/trace.h"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool require_events = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-events") == 0) {
+      require_events = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s <trace.json> [--require-events]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s <trace.json> [--require-events]\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  std::string error;
+  size_t num_events = 0;
+  if (!tic::telemetry::ValidateChromeTrace(text, &error, &num_events)) {
+    std::fprintf(stderr, "%s: invalid trace: %s\n", path, error.c_str());
+    return 1;
+  }
+  if (require_events && num_events == 0) {
+    std::fprintf(stderr, "%s: valid but empty trace (no \"X\" events)\n", path);
+    return 1;
+  }
+  std::printf("%s: valid Chrome trace, %zu complete events\n", path, num_events);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "checker/extension.h"
 
+#include "common/telemetry/telemetry.h"
 #include "ptl/progress.h"
 #include "ptl/safety.h"
 
@@ -10,6 +11,7 @@ Result<CheckResult> CheckPotentialSatisfaction(
     const fotl::FormulaFactory& fotl_factory, fotl::Formula phi,
     const History& history, const fotl::Valuation& binding,
     const CheckOptions& options) {
+  TIC_SPAN("check.extension");
   CheckResult result;
 
   // Theorem 4.1: build phi_D and w_D.
@@ -26,8 +28,10 @@ Result<CheckResult> CheckPotentialSatisfaction(
   }
 
   // Lemma 4.2 phase 1: deterministic rewriting through w_D.
-  TIC_ASSIGN_OR_RETURN(ptl::Formula residual,
-                       ptl::ProgressThroughWord(pf, g.phi_d, g.word));
+  TIC_ASSIGN_OR_RETURN(ptl::Formula residual, [&] {
+    TIC_SPAN("check.progress_prefix");
+    return ptl::ProgressThroughWord(pf, g.phi_d, g.word);
+  }());
   result.residual_size = residual->size();
   if (residual->kind() == ptl::Kind::kFalse) {
     result.potentially_satisfied = false;
@@ -48,6 +52,7 @@ Result<CheckResult> CheckPotentialSatisfaction(
   }
 
   if (options.want_witness && sat.witness.has_value()) {
+    TIC_SPAN("check.decode_witness");
     // Decode the lasso into database states (Theorem 4.1, decoding direction):
     // the infinite witness database is the history followed by the decoded
     // future states; elements outside R_D stay out of all relations, which is

@@ -7,6 +7,7 @@
 
 #include "checker/grounding.h"
 #include "common/result.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "db/history.h"
 #include "fotl/evaluator.h"
@@ -39,6 +40,13 @@ struct CheckOptions {
   /// calling thread participates in every ParallelFor). Inject one instance
   /// here to share workers across monitors and trigger managers.
   std::shared_ptr<ThreadPool> thread_pool;
+
+  /// When set, Monitor::Create installs this sink as the process-wide
+  /// Chrome-trace destination (telemetry::SetTraceSink) and flips telemetry
+  /// on, so every span in the pipeline is captured from the first update.
+  /// Serialize it with TraceSink::WriteChromeTrace when done. Tracing is
+  /// process-global: the last installed sink wins.
+  std::shared_ptr<telemetry::TraceSink> trace_sink;
 };
 
 /// \brief Outcome of a potential-satisfaction check.

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/hash.h"
+#include "common/telemetry/telemetry.h"
 
 namespace tic {
 namespace checker {
@@ -70,6 +71,7 @@ class Grounder {
   }
 
   Result<Grounding> Run(fotl::Formula phi, const fotl::Valuation& binding) {
+    TIC_SPAN("grounding");
     TIC_RETURN_NOT_OK(Validate(phi, binding));
 
     // R_D plus any bound values.
@@ -112,19 +114,23 @@ class Grounder {
       env[var] = GroundElem::Relevant(value);
     }
     ptl::Formula phi_d = out_.prop_factory->True();
-    std::vector<size_t> idx(external.size(), 0);
-    while (true) {
-      for (size_t i = 0; i < external.size(); ++i) env[external[i]] = m[idx[i]];
-      ++out_.stats.num_instances;
-      TIC_ASSIGN_OR_RETURN(ptl::Formula inst, Ground(matrix, env));
-      phi_d = out_.prop_factory->And(phi_d, inst);
-      size_t d = 0;
-      while (d < external.size() && ++idx[d] == m.size()) {
-        idx[d] = 0;
-        ++d;
+    {
+      TIC_SPAN("grounding.instances");
+      std::vector<size_t> idx(external.size(), 0);
+      while (true) {
+        for (size_t i = 0; i < external.size(); ++i) env[external[i]] = m[idx[i]];
+        ++out_.stats.num_instances;
+        TIC_ASSIGN_OR_RETURN(ptl::Formula inst, Ground(matrix, env));
+        phi_d = out_.prop_factory->And(phi_d, inst);
+        size_t d = 0;
+        while (d < external.size() && ++idx[d] == m.size()) {
+          idx[d] = 0;
+          ++d;
+        }
+        if (d == external.size()) break;
       }
-      if (d == external.size()) break;
     }
+    TIC_COUNTER_ADD("grounding/instances", out_.stats.num_instances);
 
     if (options_.mode == GroundingMode::kLiteral) {
       // Axiom_D contains congruence schemas of size |M|^(2*arity); refuse to
@@ -142,8 +148,12 @@ class Grounder {
     out_.stats.phi_d_size = phi_d->size();
     out_.stats.phi_d_dag_nodes = out_.prop_factory->num_nodes();
 
-    BuildWord(m);
+    {
+      TIC_SPAN("grounding.build_word");
+      BuildWord(m);
+    }
     out_.stats.num_prop_letters = out_.prop_vocab->size();
+    TIC_HISTOGRAM_RECORD("grounding/phi_d_size", out_.stats.phi_d_size);
     return std::move(out_);
   }
 

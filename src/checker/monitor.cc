@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/telemetry/telemetry.h"
 #include "common/thread_pool.h"
 #include "ptl/safety.h"
 #include "ptl/tableau.h"
@@ -73,6 +74,10 @@ Result<std::unique_ptr<Monitor>> Monitor::Create(
   }
   if (m->options_.thread_pool == nullptr && m->options_.threads > 1) {
     m->options_.thread_pool = std::make_shared<ThreadPool>(m->options_.threads - 1);
+  }
+  if (m->options_.trace_sink != nullptr) {
+    telemetry::SetTraceSink(m->options_.trace_sink);
+    telemetry::SetEnabled(true);
   }
 
   // Safety gate: check the tense skeleton (each first-order atom abstracted to
@@ -310,6 +315,7 @@ ptl::PropState Monitor::PropStateOf(size_t t) {
 
 Result<ptl::Formula> Monitor::GroundAndCatchUp(
     const std::vector<GroundElem>& assignment) {
+  TIC_SPAN("monitor.catch_up");
   TIC_ASSIGN_OR_RETURN(ptl::Formula residual, GroundMatrix(assignment));
   for (const ptl::PropState& w : word_) {
     TIC_ASSIGN_OR_RETURN(residual, ptl::Progress(prop_factory_.get(), residual, w));
@@ -431,6 +437,7 @@ ptl::Formula Monitor::RenameLetters(
 }
 
 Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
+  TIC_SPAN("monitor.progress");
   // Partition live residuals by hash-consed identity: instances over symmetric
   // elements share one formula node, so each distinct residual is progressed
   // once and the result fanned back out.
@@ -449,6 +456,7 @@ Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
   std::vector<Status> errors(reps.size());
   ptl::Factory* pf = prop_factory_.get();
   auto step = [&](size_t i) {
+    TIC_SPAN("monitor.progress_class");
     Result<ptl::Formula> r = ptl::Progress(pf, reps[i], w);
     if (r.ok()) {
       progressed[i] = *r;
@@ -462,6 +470,7 @@ Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
   } else {
     for (size_t i = 0; i < reps.size(); ++i) step(i);
   }
+  TIC_COUNTER_ADD("monitor/residual_classes", reps.size());
   for (const Status& s : errors) TIC_RETURN_NOT_OK(s);
   for (Instance& inst : instances_) {
     if (inst.residual->kind() == ptl::Kind::kFalse) continue;
@@ -471,6 +480,8 @@ Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
 }
 
 Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
+  TIC_SPAN("monitor.update");
+  TIC_COUNTER_ADD("monitor/updates", 1);
   TIC_RETURN_NOT_OK(tic::ApplyTransaction(&history_, txn));
   size_t t = history_.length() - 1;
   MonitorVerdict verdict;
@@ -539,12 +550,17 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
 
   ptl::PropState w = PropStateOf(t);
 
+  TIC_COUNTER_ADD("monitor/fresh_elements", fresh.size());
+
   if (mode_ == MonitorMode::kEagerHistoryLess) {
     // Fresh instances first (renamed from their stand-in patterns, whose
     // residuals are still at the t-1 basis), then progress everything through
     // the new state. The propositional history is never stored.
-    TIC_RETURN_NOT_OK(create_fresh_instances(
-        [&](const std::vector<GroundElem>& a) { return RenameFromPattern(a); }));
+    TIC_RETURN_NOT_OK([&] {
+      TIC_SPAN("monitor.fresh_instances");
+      return create_fresh_instances(
+          [&](const std::vector<GroundElem>& a) { return RenameFromPattern(a); });
+    }());
     if (!fresh.empty()) {
       std::vector<Value> merged;
       std::merge(known_relevant_.begin(), known_relevant_.end(), fresh.begin(),
@@ -556,8 +572,11 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     word_.push_back(w);
     TIC_RETURN_NOT_OK(ProgressAll(w, &verdict.num_residual_classes));
     if (!fresh.empty()) {
-      TIC_RETURN_NOT_OK(create_fresh_instances(
-          [&](const std::vector<GroundElem>& a) { return GroundAndCatchUp(a); }));
+      TIC_RETURN_NOT_OK([&] {
+        TIC_SPAN("monitor.fresh_instances");
+        return create_fresh_instances(
+            [&](const std::vector<GroundElem>& a) { return GroundAndCatchUp(a); });
+      }());
       std::vector<Value> merged;
       std::merge(known_relevant_.begin(), known_relevant_.end(), fresh.begin(),
                  fresh.end(), std::back_inserter(merged));
@@ -567,12 +586,17 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
 
   // Conjunction of residuals.
   ptl::Formula conj = prop_factory_->True();
-  for (const Instance& inst : instances_) {
-    conj = prop_factory_->And(conj, inst.residual);
-    if (conj->kind() == ptl::Kind::kFalse) break;
+  {
+    TIC_SPAN("monitor.conjunction");
+    for (const Instance& inst : instances_) {
+      conj = prop_factory_->And(conj, inst.residual);
+      if (conj->kind() == ptl::Kind::kFalse) break;
+    }
   }
   verdict.residual_size = conj->size();
   verdict.num_instances = instances_.size();
+  TIC_GAUGE_SET("monitor/instances", instances_.size());
+  TIC_HISTOGRAM_RECORD("monitor/residual_size", verdict.residual_size);
 
   if (conj->kind() == ptl::Kind::kFalse) {
     dead_ = true;
@@ -583,15 +607,12 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     // "no violation detected yet".
     verdict.potentially_satisfied = true;
   } else {
+    TIC_SPAN("monitor.sat_check");
     TIC_ASSIGN_OR_RETURN(ptl::SatResult sat,
                          ptl::CheckSat(prop_factory_.get(), conj, options_.tableau));
     // CheckSat stats are per-call; fold them into the lifetime totals here.
     verdict.tableau_stats = sat.stats;
-    cumulative_tableau_stats_.num_states += sat.stats.num_states;
-    cumulative_tableau_stats_.num_edges += sat.stats.num_edges;
-    cumulative_tableau_stats_.num_expansions += sat.stats.num_expansions;
-    cumulative_tableau_stats_.cache_hits += sat.stats.cache_hits;
-    cumulative_tableau_stats_.cache_misses += sat.stats.cache_misses;
+    cumulative_tableau_stats_ += sat.stats;
     verdict.potentially_satisfied = sat.satisfiable;
     if (!sat.satisfiable) {
       dead_ = true;

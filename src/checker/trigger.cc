@@ -1,5 +1,6 @@
 #include "checker/trigger.h"
 
+#include "common/telemetry/telemetry.h"
 #include "common/thread_pool.h"
 #include "fotl/classify.h"
 #include "ptl/verdict_cache.h"
@@ -20,6 +21,10 @@ TriggerManager::TriggerManager(std::shared_ptr<fotl::FormulaFactory> fotl_factor
   }
   if (options_.thread_pool == nullptr && options_.threads > 1) {
     options_.thread_pool = std::make_shared<ThreadPool>(options_.threads - 1);
+  }
+  if (options_.trace_sink != nullptr) {
+    telemetry::SetTraceSink(options_.trace_sink);
+    telemetry::SetEnabled(true);
   }
 }
 
@@ -107,6 +112,7 @@ Result<std::vector<TriggerFiring>> TriggerManager::EvaluateTriggers() {
     }
     fired[i] = check->potentially_satisfied ? 0 : 1;
   };
+  TIC_COUNTER_ADD("trigger/jobs", jobs.size());
   ThreadPool* pool = options_.thread_pool.get();
   if (pool != nullptr && jobs.size() > 1) {
     pool->ParallelFor(jobs.size(), evaluate);

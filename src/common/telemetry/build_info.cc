@@ -1,0 +1,47 @@
+#include "common/telemetry/build_info.h"
+
+#include "common/telemetry/json.h"
+
+// TIC_BUILD_GIT_SHA and TIC_BUILD_TYPE are passed as compile definitions on
+// this file only (see src/common/CMakeLists.txt), so a SHA change recompiles
+// one TU instead of the world.
+#ifndef TIC_BUILD_GIT_SHA
+#define TIC_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef TIC_BUILD_TYPE
+#define TIC_BUILD_TYPE "unknown"
+#endif
+
+namespace tic {
+namespace telemetry {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_sha = TIC_BUILD_GIT_SHA;
+    b.build_type = TIC_BUILD_TYPE;
+    if (b.build_type.empty()) b.build_type = "unknown";
+#ifdef TIC_TELEMETRY_ENABLED
+    b.telemetry_compiled = true;
+#else
+    b.telemetry_compiled = false;
+#endif
+    return b;
+  }();
+  return info;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& b = GetBuildInfo();
+  std::string out = "{\"git_sha\": \"";
+  AppendJsonEscaped(&out, b.git_sha);
+  out += "\", \"build_type\": \"";
+  AppendJsonEscaped(&out, b.build_type);
+  out += "\", \"telemetry\": ";
+  out += b.telemetry_compiled ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace tic

@@ -1,0 +1,26 @@
+#ifndef TIC_COMMON_TELEMETRY_BUILD_INFO_H_
+#define TIC_COMMON_TELEMETRY_BUILD_INFO_H_
+
+#include <string>
+
+namespace tic {
+namespace telemetry {
+
+/// \brief Build provenance stamped at configure time, attached to bench
+/// --json records so BENCH_*.json trajectories are attributable to a commit
+/// and configuration.
+struct BuildInfo {
+  std::string git_sha;     // "unknown" outside a git checkout
+  std::string build_type;  // CMAKE_BUILD_TYPE, "unknown" if unset
+  bool telemetry_compiled = false;
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// {"git_sha": "...", "build_type": "...", "telemetry": true}
+std::string BuildInfoJson();
+
+}  // namespace telemetry
+}  // namespace tic
+
+#endif  // TIC_COMMON_TELEMETRY_BUILD_INFO_H_

@@ -1,0 +1,52 @@
+#ifndef TIC_COMMON_TELEMETRY_JSON_H_
+#define TIC_COMMON_TELEMETRY_JSON_H_
+
+// Minimal JSON support for the telemetry exporters and their tests: string
+// escaping / number formatting on the write side, and a small strict
+// recursive-descent parser on the read side (used to validate emitted Chrome
+// trace files without pulling in a JSON library dependency).
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tic {
+namespace telemetry {
+
+/// Appends `s` JSON-escaped (quotes, backslashes, control characters).
+void AppendJsonEscaped(std::string* out, const std::string& s);
+
+/// Shortest round-trippable formatting of a double (%.17g), with NaN/Inf
+/// mapped to 0 (JSON has no representation for them).
+std::string JsonNumber(double v);
+
+/// \brief Parsed JSON value. Object member order is preserved; lookup is
+/// linear (validation walks small documents).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool Is(Type t) const { return type == t; }
+};
+
+/// Strict parse of a complete JSON document (trailing garbage rejected).
+/// Returns nullopt and fills `error` (with byte offset) on malformed input.
+std::optional<JsonValue> ParseJson(const std::string& text, std::string* error);
+
+}  // namespace telemetry
+}  // namespace tic
+
+#endif  // TIC_COMMON_TELEMETRY_JSON_H_

@@ -1,0 +1,217 @@
+#include "common/telemetry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/telemetry/json.h"
+
+namespace tic {
+namespace telemetry {
+
+uint64_t HistogramData::ApproxPercentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      // Upper bound of bucket b (values of bit-width b): 2^b - 1.
+      if (b == 0) return 0;
+      if (b >= 63) return max;
+      uint64_t bound = (uint64_t{1} << b) - 1;
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData d;
+  for (const Shard& s : shards_) {
+    d.count += s.count.load(std::memory_order_relaxed);
+    d.sum += s.sum.load(std::memory_order_relaxed);
+    uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > d.max) d.max = m;
+    for (uint32_t b = 0; b < HistogramData::kBuckets; ++b) {
+      d.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return d;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::Instance() {
+  // Deliberately leaked: outlives every static destructor and late worker.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::Collect() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->Value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.emplace_back(name, GaugeData{g->Value(), g->Max()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.emplace_back(name, h->Snapshot());
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& key, const std::string& value) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(&out, key);
+    out += "\": " + value;
+  };
+  for (const auto& [name, v] : counters) emit(name, std::to_string(v));
+  for (const auto& [name, g] : gauges) {
+    emit(name, std::to_string(g.value));
+    emit(name + "/max", std::to_string(g.max));
+  }
+  for (const auto& [name, h] : histograms) {
+    emit(name + "/count", std::to_string(h.count));
+    emit(name + "/sum", std::to_string(h.sum));
+    emit(name + "/max", std::to_string(h.max));
+    emit(name + "/mean", JsonNumber(h.Mean()));
+    emit(name + "/p50", std::to_string(h.ApproxPercentile(0.50)));
+    emit(name + "/p95", std::to_string(h.ApproxPercentile(0.95)));
+    emit(name + "/p99", std::to_string(h.ApproxPercentile(0.99)));
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+constexpr char kSpanPrefix[] = "span/";
+constexpr size_t kSpanPrefixLen = sizeof(kSpanPrefix) - 1;
+
+bool IsSpanMetric(const std::string& name) {
+  return name.compare(0, kSpanPrefixLen, kSpanPrefix) == 0;
+}
+
+std::string FormatRow(const std::string& label, const HistogramData& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-44s %10llu %11.3f %11.1f %11.1f\n",
+                label.c_str(), static_cast<unsigned long long>(h.count),
+                static_cast<double>(h.sum) / 1e6, h.Mean() / 1e3,
+                static_cast<double>(h.ApproxPercentile(0.95)) / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::SummaryTable() const {
+  std::string out;
+  bool any_span = false;
+  for (const auto& [name, h] : histograms) any_span = any_span || IsSpanMetric(name);
+  if (any_span) {
+    out += "spans (wall time):\n";
+    char hdr[160];
+    std::snprintf(hdr, sizeof(hdr), "  %-44s %10s %11s %11s %11s\n", "phase",
+                  "count", "total_ms", "mean_us", "p95_us");
+    out += hdr;
+    // Lexicographic order places each parent path directly before its
+    // children; indent by nesting depth and show the leaf phase name.
+    for (const auto& [name, h] : histograms) {
+      if (!IsSpanMetric(name)) continue;
+      std::string path = name.substr(kSpanPrefixLen);
+      size_t depth = static_cast<size_t>(
+          std::count(path.begin(), path.end(), '/'));
+      size_t leaf = path.rfind('/');
+      std::string label(2 * depth, ' ');
+      label += leaf == std::string::npos ? path : path.substr(leaf + 1);
+      out += FormatRow(label, h);
+    }
+  }
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, v] : counters) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  %-44s %10llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges (value / max):\n";
+    for (const auto& [name, g] : gauges) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  %-44s %10lld / %lld\n", name.c_str(),
+                    static_cast<long long>(g.value), static_cast<long long>(g.max));
+      out += buf;
+    }
+  }
+  bool any_plain = false;
+  for (const auto& [name, h] : histograms) any_plain = any_plain || !IsSpanMetric(name);
+  if (any_plain) {
+    out += "histograms:\n";
+    char hdr[160];
+    std::snprintf(hdr, sizeof(hdr), "  %-44s %10s %11s %11s %11s\n", "name",
+                  "count", "total_ms", "mean_us", "p95_us");
+    out += hdr;
+    for (const auto& [name, h] : histograms) {
+      if (IsSpanMetric(name)) continue;
+      out += FormatRow(name, h);
+    }
+  }
+  if (out.empty()) out = "(no telemetry recorded)\n";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace tic

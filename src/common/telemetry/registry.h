@@ -1,0 +1,211 @@
+#ifndef TIC_COMMON_TELEMETRY_REGISTRY_H_
+#define TIC_COMMON_TELEMETRY_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tic {
+namespace telemetry {
+
+/// \brief Process-wide runtime switch. All instrumentation macros check this
+/// first (one relaxed atomic load); when false, no metric is touched and no
+/// span timestamp is read. Off by default — benches and tests opt in.
+namespace internal {
+inline std::atomic<bool> g_enabled{false};
+
+/// Number of per-metric shards. Each thread is assigned one shard round-robin
+/// on first use; with thread pools at or below hardware concurrency, distinct
+/// worker threads land on distinct cache lines and increments never contend.
+inline constexpr uint32_t kShards = 16;
+
+inline std::atomic<uint32_t> g_shard_seq{0};
+inline uint32_t ShardIndex() {
+  thread_local uint32_t idx =
+      g_shard_seq.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+}  // namespace internal
+
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+inline void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic nanoseconds; the clock behind spans and trace timestamps.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Monotonic counter, sharded across threads (see kShards). Add is one
+/// relaxed fetch_add on a thread-private cache line; Value folds the shards.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    cells_[internal::ShardIndex()].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void Reset() {
+    for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  internal::ShardCell cells_[internal::kShards];
+};
+
+/// \brief Point-in-time level (e.g. queue depth) plus its high-water mark.
+/// Not sharded: gauges express a single global level, so Set/Add target one
+/// atomic (gauge updates are orders of magnitude rarer than counter bumps).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  void Add(int64_t delta) {
+    int64_t v = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    UpdateMax(v);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t m = max_.load(std::memory_order_relaxed);
+    while (v > m &&
+           !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// \brief Folded histogram contents (one consistent read of the shards).
+struct HistogramData {
+  static constexpr uint32_t kBuckets = 64;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kBuckets> buckets{};  // bucket b: values of bit-width b
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket holding the p-quantile (p in [0,1]); the
+  /// log-scale buckets make this exact to within a factor of 2.
+  uint64_t ApproxPercentile(double p) const;
+};
+
+/// \brief Log-scale latency/size histogram: 64 power-of-two buckets (bucket =
+/// bit width of the value), per-shard bucket arrays so concurrent Record calls
+/// from pool workers do not contend.
+class Histogram {
+ public:
+  static uint32_t BucketOf(uint64_t v) {
+    uint32_t w = v == 0 ? 0 : static_cast<uint32_t>(64 - __builtin_clzll(v));
+    return w >= HistogramData::kBuckets ? HistogramData::kBuckets - 1 : w;
+  }
+
+  void Record(uint64_t v) {
+    Shard& s = shards_[internal::ShardIndex()];
+    s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t m = s.max.load(std::memory_order_relaxed);
+    while (v > m &&
+           !s.max.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramData Snapshot() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, HistogramData::kBuckets> buckets{};
+  };
+  Shard shards_[internal::kShards];
+};
+
+struct GaugeData {
+  int64_t value = 0;
+  int64_t max = 0;
+};
+
+/// \brief One consistent collection pass over the registry, sorted by metric
+/// name (deterministic output for goldens and diffs).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeData>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Flat JSON object: {"name": v, "hist/count": n, "hist/sum": s, ...}. The
+  /// shape consumed by the bench --json "telemetry" section.
+  std::string ToJson() const;
+  /// Human-readable summary: the span tree (per-phase wall time) followed by
+  /// counters, gauges, and non-span histograms.
+  std::string SummaryTable() const;
+};
+
+/// \brief Process-wide registry of named metrics. Metrics are created on
+/// first use and never destroyed (instrumentation sites cache references in
+/// function-local statics), so handles stay valid for the process lifetime.
+class Registry {
+ public:
+  /// Leaky singleton: never destructed, so worker threads draining after main
+  /// (or static destructors flushing traces) can still touch metrics safely.
+  static Registry& Instance();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Collect() const;
+  /// Zeroes every registered metric (names stay registered). For tests and
+  /// per-run deltas.
+  void Reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+inline MetricsSnapshot CollectMetrics() { return Registry::Instance().Collect(); }
+inline void ResetMetrics() { Registry::Instance().Reset(); }
+
+}  // namespace telemetry
+}  // namespace tic
+
+#endif  // TIC_COMMON_TELEMETRY_REGISTRY_H_

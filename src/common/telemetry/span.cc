@@ -1,0 +1,68 @@
+#include "common/telemetry/span.h"
+
+#include <deque>
+#include <string>
+
+#include "common/telemetry/trace.h"
+
+namespace tic {
+namespace telemetry {
+namespace internal {
+
+namespace {
+
+// Thread-private span state. The arena is a deque so node addresses are
+// stable; nodes live until thread exit and are only touched by their thread.
+thread_local SpanNode* t_current = nullptr;
+thread_local std::deque<SpanNode> t_node_arena;
+thread_local SpanNode* t_roots = nullptr;  // sibling-linked root list
+
+std::string PathOf(const SpanNode* node) {
+  if (node->parent == nullptr) return node->name;
+  return PathOf(node->parent) + "/" + node->name;
+}
+
+SpanNode* FindOrCreate(SpanNode** head, SpanNode* parent, const char* name) {
+  for (SpanNode* n = *head; n != nullptr; n = n->sibling) {
+    // Name literals are merged per TU at most; compare contents so the same
+    // phase name used from two translation units lands on one node.
+    if (n->name == name || std::string(n->name) == name) return n;
+  }
+  SpanNode& node = t_node_arena.emplace_back();
+  node.name = name;
+  node.parent = parent;
+  node.sibling = *head;
+  *head = &node;
+  node.histogram =
+      &Registry::Instance().GetHistogram("span/" + PathOf(&node));
+  return &node;
+}
+
+}  // namespace
+
+SpanNode* EnterNode(const char* name) {
+  SpanNode* prev = t_current;
+  SpanNode** head = prev == nullptr ? &t_roots : &prev->first_child;
+  t_current = FindOrCreate(head, prev, name);
+  return prev;
+}
+
+void ExitNode(SpanNode* prev) { t_current = prev; }
+
+}  // namespace internal
+
+void Span::Finish() {
+  uint64_t end_ns = NowNs();
+  uint64_t dur = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  internal::SpanNode* node = internal::t_current;
+  if (node != nullptr) {
+    node->histogram->Record(dur);
+    if (TracingActive()) {
+      internal::EmitTraceEvent(node->name, start_ns_, dur);
+    }
+  }
+  internal::ExitNode(prev_);
+}
+
+}  // namespace telemetry
+}  // namespace tic

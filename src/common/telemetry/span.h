@@ -1,0 +1,68 @@
+#ifndef TIC_COMMON_TELEMETRY_SPAN_H_
+#define TIC_COMMON_TELEMETRY_SPAN_H_
+
+// Scoped phase spans. A Span is an RAII timer that (a) nests: concurrent
+// spans on one thread form a tree keyed by the span-name literals, (b)
+// aggregates: each distinct path records into a registry histogram named
+// "span/<parent-path>/<name>" so per-phase totals fall out of the normal
+// metrics snapshot, and (c) feeds the Chrome trace sink when one is active.
+//
+// Use via the TIC_SPAN("name") macro in telemetry.h; names must be string
+// literals (node identity is the pointer, and TraceEvent keeps the pointer).
+
+#include <cstdint>
+
+#include "common/telemetry/registry.h"
+
+namespace tic {
+namespace telemetry {
+
+class Histogram;
+
+namespace internal {
+/// \brief Per-thread node of the span tree. Nodes are interned per
+/// (thread, parent, name-literal) on first entry and cached, so steady-state
+/// span entry/exit is two pointer moves plus a clock read.
+struct SpanNode {
+  const char* name = nullptr;
+  SpanNode* parent = nullptr;
+  Histogram* histogram = nullptr;  // "span/<path>" in the registry
+  SpanNode* sibling = nullptr;     // head of parent's child list links
+  SpanNode* first_child = nullptr;
+};
+
+/// Returns the current thread's node for `name` under the current span,
+/// creating (and registering its histogram) on first use, and makes it
+/// current. Returns the previous current node for the paired ExitNode.
+SpanNode* EnterNode(const char* name);
+void ExitNode(SpanNode* prev);
+}  // namespace internal
+
+/// \brief RAII phase span (see file comment). Cheap no-op when telemetry is
+/// disabled: the constructor reads one atomic and stops.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!Enabled()) return;
+    prev_ = internal::EnterNode(name);
+    active_ = true;
+    start_ns_ = NowNs();
+  }
+  ~Span() {
+    if (active_) Finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Finish();
+
+  internal::SpanNode* prev_ = nullptr;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace telemetry
+}  // namespace tic
+
+#endif  // TIC_COMMON_TELEMETRY_SPAN_H_

@@ -1,0 +1,94 @@
+#ifndef TIC_COMMON_TELEMETRY_TELEMETRY_H_
+#define TIC_COMMON_TELEMETRY_TELEMETRY_H_
+
+// Umbrella header and instrumentation macros for the telemetry layer.
+//
+// Two gates, cheapest first:
+//   compile time — the TIC_TELEMETRY CMake option (default ON) defines
+//     TIC_TELEMETRY_ENABLED. When OFF every macro below expands to nothing,
+//     so hot paths reference zero telemetry symbols. The library itself is
+//     still built (exporters, validation, build info stay available).
+//   run time — telemetry::SetEnabled(true) flips one process-wide atomic;
+//     every macro checks it first. Disabled-at-runtime cost: one relaxed
+//     load per site.
+//
+// Metric-name arguments must be string literals: each site caches its
+// registry handle in a function-local static, so the name is looked up once
+// per site for the process lifetime.
+
+#include "common/telemetry/build_info.h"
+#include "common/telemetry/registry.h"
+#include "common/telemetry/span.h"
+#include "common/telemetry/trace.h"
+
+#ifdef TIC_TELEMETRY_ENABLED
+
+#define TIC_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define TIC_TELEMETRY_CONCAT(a, b) TIC_TELEMETRY_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as phase `name` (string literal). Nestable;
+/// nested spans aggregate under "span/<outer>/<inner>".
+#define TIC_SPAN(name) \
+  ::tic::telemetry::Span TIC_TELEMETRY_CONCAT(tic_span_, __LINE__)(name)
+
+#define TIC_COUNTER_ADD(name, delta)                                        \
+  do {                                                                      \
+    if (::tic::telemetry::Enabled()) {                                      \
+      static ::tic::telemetry::Counter& tic_counter_ =                      \
+          ::tic::telemetry::Registry::Instance().GetCounter(name);          \
+      tic_counter_.Add(static_cast<uint64_t>(delta));                       \
+    }                                                                       \
+  } while (0)
+
+#define TIC_GAUGE_SET(name, value)                                          \
+  do {                                                                      \
+    if (::tic::telemetry::Enabled()) {                                      \
+      static ::tic::telemetry::Gauge& tic_gauge_ =                          \
+          ::tic::telemetry::Registry::Instance().GetGauge(name);            \
+      tic_gauge_.Set(static_cast<int64_t>(value));                          \
+    }                                                                       \
+  } while (0)
+
+#define TIC_GAUGE_ADD(name, delta)                                          \
+  do {                                                                      \
+    if (::tic::telemetry::Enabled()) {                                      \
+      static ::tic::telemetry::Gauge& tic_gauge_ =                          \
+          ::tic::telemetry::Registry::Instance().GetGauge(name);            \
+      tic_gauge_.Add(static_cast<int64_t>(delta));                          \
+    }                                                                       \
+  } while (0)
+
+#define TIC_HISTOGRAM_RECORD(name, value)                                   \
+  do {                                                                      \
+    if (::tic::telemetry::Enabled()) {                                      \
+      static ::tic::telemetry::Histogram& tic_histogram_ =                  \
+          ::tic::telemetry::Registry::Instance().GetHistogram(name);        \
+      tic_histogram_.Record(static_cast<uint64_t>(value));                  \
+    }                                                                       \
+  } while (0)
+
+/// NowNs() when telemetry is runtime-enabled, 0 otherwise. Pair with
+/// TIC_HISTOGRAM_RECORD for manual latency measurement across scopes (a
+/// start of 0 is fine: the record side re-checks Enabled()).
+#define TIC_NOW_NS() \
+  (::tic::telemetry::Enabled() ? ::tic::telemetry::NowNs() : uint64_t{0})
+
+#else  // !TIC_TELEMETRY_ENABLED
+
+// (void)sizeof keeps the arguments semantically checked but unevaluated, so
+// "unused variable" warnings do not appear in TIC_TELEMETRY=OFF builds.
+#define TIC_SPAN(name) \
+  do { (void)sizeof(name); } while (0)
+#define TIC_COUNTER_ADD(name, delta) \
+  do { (void)sizeof(name); (void)sizeof(delta); } while (0)
+#define TIC_GAUGE_SET(name, value) \
+  do { (void)sizeof(name); (void)sizeof(value); } while (0)
+#define TIC_GAUGE_ADD(name, delta) \
+  do { (void)sizeof(name); (void)sizeof(delta); } while (0)
+#define TIC_HISTOGRAM_RECORD(name, value) \
+  do { (void)sizeof(name); (void)sizeof(value); } while (0)
+#define TIC_NOW_NS() (uint64_t{0})
+
+#endif  // TIC_TELEMETRY_ENABLED
+
+#endif  // TIC_COMMON_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,176 @@
+#include "common/telemetry/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/telemetry/json.h"
+
+namespace tic {
+namespace telemetry {
+
+TraceSink::TraceSink(size_t max_events) : max_events_(max_events) {
+  events_.reserve(max_events_ < 4096 ? max_events_ : 4096);
+}
+
+void TraceSink::Append(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  if (events_.empty()) base_ns_ = ev.start_ns;
+  events_.push_back(ev);
+}
+
+std::string TraceSink::SerializeChromeTrace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(64 + events_.size() * 96);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",";
+    first = false;
+    uint64_t rel_ns = ev.start_ns >= base_ns_ ? ev.start_ns - base_ns_ : 0;
+    char buf[64];
+    out += "\n{\"ph\": \"X\", \"name\": \"";
+    AppendJsonEscaped(&out, ev.name);
+    // Chrome traces use microsecond floats; keep three decimals of ns.
+    std::snprintf(buf, sizeof(buf), "\", \"ts\": %llu.%03llu, \"dur\": ",
+                  static_cast<unsigned long long>(rel_ns / 1000),
+                  static_cast<unsigned long long>(rel_ns % 1000));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu, \"pid\": 1, \"tid\": %u}",
+                  static_cast<unsigned long long>(ev.dur_ns / 1000),
+                  static_cast<unsigned long long>(ev.dur_ns % 1000), ev.tid);
+    out += buf;
+  }
+  if (dropped_ > 0) {
+    if (!first) out += ",";
+    out += "\n{\"ph\": \"M\", \"name\": \"dropped_events\", \"pid\": 1, "
+           "\"args\": {\"count\": " + std::to_string(dropped_) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceSink::WriteChromeTrace(const std::string& path) const {
+  std::string text = SerializeChromeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  bool ok = std::fclose(f) == 0 && written == text.size();
+  return ok;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  base_ns_ = 0;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+namespace {
+std::mutex g_sink_mu;
+std::shared_ptr<TraceSink> g_sink;  // guarded by g_sink_mu
+}  // namespace
+
+void SetTraceSink(std::shared_ptr<TraceSink> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+  internal::g_tracing.store(g_sink != nullptr, std::memory_order_relaxed);
+}
+
+std::shared_ptr<TraceSink> CurrentTraceSink() {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  return g_sink;
+}
+
+namespace internal {
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void EmitTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  std::shared_ptr<TraceSink> sink = CurrentTraceSink();
+  if (sink == nullptr) return;  // raced with SetTraceSink(nullptr)
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = CurrentThreadId();
+  sink->Append(ev);
+}
+
+}  // namespace internal
+
+bool ValidateChromeTrace(const std::string& text, std::string* error,
+                         size_t* num_events) {
+  if (num_events != nullptr) *num_events = 0;
+  std::string parse_error;
+  std::optional<JsonValue> doc = ParseJson(text, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = "not valid JSON: " + parse_error;
+    return false;
+  }
+  if (!doc->Is(JsonValue::Type::kObject)) {
+    if (error != nullptr) *error = "top-level value is not an object";
+    return false;
+  }
+  const JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->Is(JsonValue::Type::kArray)) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return false;
+  }
+  size_t x_events = 0;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (!ev.Is(JsonValue::Type::kObject)) {
+      if (error != nullptr) {
+        *error = "traceEvents[" + std::to_string(i) + "] is not an object";
+      }
+      return false;
+    }
+    const JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || !ph->Is(JsonValue::Type::kString)) {
+      if (error != nullptr) {
+        *error = "traceEvents[" + std::to_string(i) + "] missing \"ph\"";
+      }
+      return false;
+    }
+    if (ph->string != "X") continue;  // metadata events need only ph+name
+    ++x_events;
+    for (const char* field : {"name", "ts", "dur", "pid", "tid"}) {
+      const JsonValue* v = ev.Find(field);
+      bool ok = v != nullptr &&
+                (field[0] == 'n' && field[1] == 'a'
+                     ? v->Is(JsonValue::Type::kString)
+                     : v->Is(JsonValue::Type::kNumber));
+      if (!ok) {
+        if (error != nullptr) {
+          *error = "traceEvents[" + std::to_string(i) + "] missing or " +
+                   "mistyped \"" + field + "\"";
+        }
+        return false;
+      }
+    }
+  }
+  if (num_events != nullptr) *num_events = x_events;
+  return true;
+}
+
+}  // namespace telemetry
+}  // namespace tic

@@ -1,0 +1,83 @@
+#ifndef TIC_COMMON_TELEMETRY_TRACE_H_
+#define TIC_COMMON_TELEMETRY_TRACE_H_
+
+// Chrome trace-event capture. A TraceSink collects complete ("ph":"X") events
+// from span exits across all threads and serializes them in the trace-event
+// JSON format understood by chrome://tracing and Perfetto.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tic {
+namespace telemetry {
+
+struct TraceEvent {
+  const char* name = "";   // string literal (span names are literals)
+  uint64_t start_ns = 0;   // NowNs() at span entry
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;        // process-local sequential thread id
+};
+
+/// \brief Thread-safe accumulator of trace events. Appends take a short lock;
+/// the fast path in instrumented code checks a global atomic before calling
+/// in, so a sink only costs anything while tracing is actually on.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t max_events = kDefaultMaxEvents);
+
+  void Append(const TraceEvent& ev);
+
+  /// Serialized Chrome trace: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  /// Timestamps are microseconds relative to the first captured event.
+  std::string SerializeChromeTrace() const;
+
+  /// Writes SerializeChromeTrace() to `path`. Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  void Clear();
+  size_t size() const;
+  uint64_t dropped() const;
+
+  static constexpr size_t kDefaultMaxEvents = 1u << 22;  // ~4M events
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_events_;
+  uint64_t base_ns_ = 0;  // first event's start; makes ts small and stable
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Installs `sink` as the process-wide trace destination (nullptr to stop
+/// tracing). Span exits everywhere start/stop feeding it immediately.
+void SetTraceSink(std::shared_ptr<TraceSink> sink);
+std::shared_ptr<TraceSink> CurrentTraceSink();
+
+/// \brief Validates that `text` is a structurally sound Chrome trace: a JSON
+/// object with a traceEvents array whose "X" entries carry name/ts/dur/pid/tid.
+/// Fills `error` on failure; `num_events` (optional) gets the X-event count.
+bool ValidateChromeTrace(const std::string& text, std::string* error,
+                         size_t* num_events = nullptr);
+
+namespace internal {
+inline std::atomic<bool> g_tracing{false};
+
+/// Sequential id of the calling thread, stable for the thread's lifetime.
+uint32_t CurrentThreadId();
+
+/// Called from span exits; assumes the caller already saw g_tracing == true.
+void EmitTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns);
+}  // namespace internal
+
+inline bool TracingActive() {
+  return internal::g_tracing.load(std::memory_order_relaxed);
+}
+
+}  // namespace telemetry
+}  // namespace tic
+
+#endif  // TIC_COMMON_TELEMETRY_TRACE_H_

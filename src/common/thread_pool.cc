@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/telemetry/telemetry.h"
+
 namespace tic {
 
 ThreadPool::ThreadPool(size_t num_workers) {
@@ -30,6 +32,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    TIC_GAUGE_ADD("thread_pool/queue_depth", -1);
     task();  // drainer tasks catch internally; see ParallelFor
   }
 }
@@ -40,6 +43,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  TIC_SPAN("thread_pool.parallel_for");
 
   // Shared state for one fork/join round. Heap-allocated and shared with the
   // enqueued drainers so a worker that dequeues late (after the caller already
@@ -76,10 +80,23 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   size_t helpers = std::min(workers_.size(), n - 1);
   round->active = helpers + 1;  // + the caller
+  uint64_t enqueue_ns = TIC_NOW_NS();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < helpers; ++i) queue_.emplace_back(drain);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([drain, enqueue_ns] {
+        // Time spent queued before a worker picked the task up; enqueue_ns is
+        // 0 when telemetry was disabled at enqueue time — skip those.
+        if (enqueue_ns != 0) {
+          TIC_HISTOGRAM_RECORD("thread_pool/task_wait_ns",
+                               ::tic::telemetry::NowNs() - enqueue_ns);
+        }
+        drain();
+      });
+    }
   }
+  TIC_GAUGE_ADD("thread_pool/queue_depth", helpers);
+  TIC_COUNTER_ADD("thread_pool/tasks", helpers);
   cv_.notify_all();
   drain();
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/telemetry/telemetry.h"
 #include "ptl/nnf.h"
 #include "ptl/safety.h"
 #include "ptl/tableau_bitset.h"
@@ -313,8 +314,14 @@ class TableauGraph {
 }  // namespace
 
 Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& options) {
+  TIC_SPAN("tableau.check_sat");
+  TIC_COUNTER_ADD("tableau/calls", 1);
   SatResult result;
-  Formula nnf = ToNnf(factory, f);
+  Formula nnf;
+  {
+    TIC_SPAN("tableau.nnf");
+    nnf = ToNnf(factory, f);
+  }
   if (nnf->kind() == Kind::kFalse) {
     result.satisfiable = false;
     return result;
@@ -325,6 +332,7 @@ Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& op
   // monitor residuals that differ only by letter phase — share one entry.
   std::optional<CanonicalFormula> canonical;
   if (options.verdict_cache != nullptr) {
+    TIC_SPAN("tableau.cache_lookup");
     canonical = Canonicalize(nnf);
     if (canonical.has_value()) {
       bool sat = false;
@@ -341,15 +349,18 @@ Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& op
 
   UltimatelyPeriodicWord witness;
   if (options.engine == TableauEngine::kBitset) {
+    TIC_SPAN("tableau.engine_bitset");
     TIC_RETURN_NOT_OK(internal::CheckSatBitset(
         factory, nnf, options, &result.satisfiable, &witness, &result.stats));
   } else if (options.use_safety_fast_path && IsSyntacticallySafe(factory, nnf)) {
     // Safety fast path: any infinite tableau path is a model; lazy DFS with
     // early exit instead of materializing the whole graph.
+    TIC_SPAN("tableau.engine_legacy");
     SafetySearch search(factory, options, &result.stats);
     TIC_ASSIGN_OR_RETURN(bool sat, search.Run(nnf, &witness));
     result.satisfiable = sat;
   } else {
+    TIC_SPAN("tableau.engine_legacy");
     TableauGraph graph(factory, options);
     TIC_RETURN_NOT_OK(graph.Build(nnf));
     result.satisfiable = graph.FindModel(&witness);
@@ -364,6 +375,10 @@ Result<SatResult> CheckSat(Factory* factory, Formula f, const TableauOptions& op
   if (canonical.has_value()) {
     options.verdict_cache->Insert(*canonical, result.satisfiable, result.witness);
   }
+  // Mirror the per-call stat struct into the process-wide registry so the
+  // bench/monitor summaries see lifetime totals without extra plumbing.
+  TIC_COUNTER_ADD("tableau/states", result.stats.num_states);
+  TIC_COUNTER_ADD("tableau/expansions", result.stats.num_expansions);
   return result;
 }
 

@@ -78,6 +78,15 @@ struct TableauStats {
   /// Verdict-cache outcome of this check: at most one of the two is 1.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+
+  TableauStats& operator+=(const TableauStats& o) {
+    num_states += o.num_states;
+    num_edges += o.num_edges;
+    num_expansions += o.num_expansions;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    return *this;
+  }
 };
 
 /// \brief Outcome of a satisfiability check.

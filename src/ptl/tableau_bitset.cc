@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/telemetry/telemetry.h"
 #include "ptl/bitset.h"
 #include "ptl/closure.h"
 #include "ptl/safety.h"
@@ -647,7 +648,10 @@ class BitsetGraph : public EngineBase {
 Status CheckSatBitset(Factory* factory, Formula nnf, const TableauOptions& options,
                       bool* satisfiable, UltimatelyPeriodicWord* witness,
                       TableauStats* stats) {
-  TIC_ASSIGN_OR_RETURN(Closure closure, Closure::Build(factory, nnf));
+  TIC_ASSIGN_OR_RETURN(Closure closure, [&] {
+    TIC_SPAN("tableau.closure");
+    return Closure::Build(factory, nnf);
+  }());
   if (options.use_safety_fast_path && IsSyntacticallySafe(factory, nnf)) {
     BitsetSafetySearch search(&closure, &options, stats);
     TIC_ASSIGN_OR_RETURN(*satisfiable, search.Run(witness));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry/telemetry.h"
+
 namespace tic {
 namespace ptl {
 
@@ -115,16 +117,16 @@ std::optional<CanonicalFormula> Canonicalize(Formula f, size_t max_nodes) {
   return out;
 }
 
-VerdictCache::VerdictCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
-  stats_.capacity = capacity_;
-}
+VerdictCache::VerdictCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
 
 bool VerdictCache::Lookup(const CanonicalFormula& cf, bool* satisfiable,
                           std::optional<UltimatelyPeriodicWord>* witness) {
+  TIC_SPAN("verdict_cache.lookup");
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(cf.key);
   if (it == index_.end()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    TIC_COUNTER_ADD("verdict_cache/misses", 1);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
@@ -150,7 +152,8 @@ bool VerdictCache::Lookup(const CanonicalFormula& cf, bool* satisfiable,
       *witness = std::move(w);
     }
   }
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  TIC_COUNTER_ADD("verdict_cache/hits", 1);
   return true;
 }
 
@@ -194,14 +197,18 @@ void VerdictCache::Insert(const CanonicalFormula& cf, bool satisfiable,
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    TIC_COUNTER_ADD("verdict_cache/evictions", 1);
   }
+  entries_.store(lru_.size(), std::memory_order_relaxed);
 }
 
 VerdictCacheStats VerdictCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  VerdictCacheStats s = stats_;
-  s.entries = lru_.size();
+  VerdictCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
   s.capacity = capacity_;
   return s;
 }

@@ -1,6 +1,7 @@
 #ifndef TIC_PTL_VERDICT_CACHE_H_
 #define TIC_PTL_VERDICT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -70,6 +71,8 @@ class VerdictCache {
   void Insert(const CanonicalFormula& cf, bool satisfiable,
               const std::optional<UltimatelyPeriodicWord>& witness);
 
+  /// Cheap snapshot: four relaxed atomic loads, never takes `mu_`, so
+  /// per-update stat reads cannot serialize against hot-path lookups.
   VerdictCacheStats stats() const;
 
  private:
@@ -86,7 +89,13 @@ class VerdictCache {
   size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> index_;
-  VerdictCacheStats stats_;
+
+  // Monotonic counters kept outside mu_ (relaxed atomics) so stats() is a
+  // lock-free snapshot. entries_ mirrors lru_.size() at each mutation.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
 };
 
 }  // namespace ptl

@@ -289,11 +289,7 @@ TEST_F(MonitorTest, TableauStatsPerUpdateAndCumulative) {
   for (int step = 0; step < 4; ++step) {
     auto v = m->ApplyTransaction(Txn({}, {1}));  // Fill(1), never violating
     ASSERT_TRUE(v.ok()) << v.status().ToString();
-    sum.num_states += v->tableau_stats.num_states;
-    sum.num_edges += v->tableau_stats.num_edges;
-    sum.num_expansions += v->tableau_stats.num_expansions;
-    sum.cache_hits += v->tableau_stats.cache_hits;
-    sum.cache_misses += v->tableau_stats.cache_misses;
+    sum += v->tableau_stats;
     EXPECT_EQ(v->cumulative_tableau_stats.num_states, sum.num_states);
     EXPECT_EQ(v->cumulative_tableau_stats.num_edges, sum.num_edges);
     EXPECT_EQ(v->cumulative_tableau_stats.num_expansions, sum.num_expansions);

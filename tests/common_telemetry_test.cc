@@ -1,0 +1,352 @@
+// Tests for the telemetry layer: concurrent counter/histogram increments from
+// the thread pool (raced under the TSan preset), span nesting and
+// aggregation, Chrome-trace schema validity, the runtime on/off switch, and
+// an end-to-end monitor run whose per-phase wall-time split must be visible.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/monitor.h"
+#include "common/telemetry/json.h"
+#include "common/telemetry/telemetry.h"
+#include "common/thread_pool.h"
+#include "fotl/parser.h"
+
+namespace tic {
+namespace telemetry {
+namespace {
+
+// Every test starts from a clean slate and leaves telemetry off: the registry
+// is process-global, so tests would otherwise see each other's metrics.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceSink(nullptr);
+    SetEnabled(true);
+    ResetMetrics();
+  }
+  void TearDown() override {
+    SetTraceSink(nullptr);
+    SetEnabled(false);
+    ResetMetrics();
+  }
+};
+
+uint64_t CounterValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramData* FindHistogram(const MetricsSnapshot& snap,
+                                   const std::string& name) {
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST_F(TelemetryTest, CounterConcurrentIncrements) {
+  // 4 workers + the caller all hammer one counter; the folded value must be
+  // exact. Run under the tsan preset, this is the shard-race check.
+  constexpr size_t kTasks = 64;
+  constexpr size_t kPerTask = 1000;
+  ThreadPool pool(4);
+  Counter& c = Registry::Instance().GetCounter("test/concurrent_counter");
+  pool.ParallelFor(kTasks, [&](size_t) {
+    for (size_t j = 0; j < kPerTask; ++j) c.Add(1);
+  });
+  EXPECT_EQ(c.Value(), kTasks * kPerTask);
+}
+
+TEST_F(TelemetryTest, HistogramConcurrentRecords) {
+  constexpr size_t kTasks = 32;
+  constexpr size_t kPerTask = 500;
+  ThreadPool pool(4);
+  Histogram& h = Registry::Instance().GetHistogram("test/concurrent_histogram");
+  pool.ParallelFor(kTasks, [&](size_t i) {
+    for (size_t j = 0; j < kPerTask; ++j) h.Record(i * kPerTask + j);
+  });
+  HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, kTasks * kPerTask);
+  uint64_t n = kTasks * kPerTask;
+  EXPECT_EQ(d.sum, n * (n - 1) / 2);  // sum of 0..n-1
+  EXPECT_EQ(d.max, n - 1);
+  EXPECT_GE(d.ApproxPercentile(0.95), d.ApproxPercentile(0.50));
+  EXPECT_LE(d.ApproxPercentile(0.99), d.max);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAreBitWidths) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::BucketOf(~uint64_t{0}), 63u);
+}
+
+TEST_F(TelemetryTest, GaugeTracksValueAndMax) {
+  Gauge& g = Registry::Instance().GetGauge("test/gauge");
+  g.Add(5);
+  g.Add(3);
+  g.Add(-6);
+  EXPECT_EQ(g.Value(), 2);
+  EXPECT_EQ(g.Max(), 8);
+  g.Set(1);
+  EXPECT_EQ(g.Value(), 1);
+  EXPECT_EQ(g.Max(), 8);
+}
+
+#ifdef TIC_TELEMETRY_ENABLED
+
+TEST_F(TelemetryTest, SpanNestingAggregatesByPath) {
+  {
+    TIC_SPAN("outer");
+    {
+      TIC_SPAN("inner");
+    }
+    {
+      TIC_SPAN("inner");
+    }
+  }
+  {
+    TIC_SPAN("outer");
+  }
+  // Same leaf name at the top level is a different path.
+  { TIC_SPAN("inner"); }
+
+  MetricsSnapshot snap = CollectMetrics();
+  const HistogramData* outer = FindHistogram(snap, "span/outer");
+  const HistogramData* nested = FindHistogram(snap, "span/outer/inner");
+  const HistogramData* top_inner = FindHistogram(snap, "span/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(top_inner, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  EXPECT_EQ(nested->count, 2u);
+  EXPECT_EQ(top_inner->count, 1u);
+  // Children cannot outlast their parent.
+  EXPECT_GE(outer->sum, nested->sum);
+
+  std::string table = snap.SummaryTable();
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  EXPECT_NE(table.find("inner"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MacrosAreNoOpsWhenDisabled) {
+  SetEnabled(false);
+  TIC_COUNTER_ADD("test/disabled_counter", 7);
+  TIC_HISTOGRAM_RECORD("test/disabled_histogram", 7);
+  { TIC_SPAN("disabled_span"); }
+  SetEnabled(true);
+  MetricsSnapshot snap = CollectMetrics();
+  EXPECT_EQ(CounterValue(snap, "test/disabled_counter"), 0u);
+  EXPECT_EQ(FindHistogram(snap, "span/disabled_span"), nullptr);
+}
+
+TEST_F(TelemetryTest, SpansFromPoolWorkersAggregateAcrossThreads) {
+  constexpr size_t kTasks = 16;
+  ThreadPool pool(3);
+  pool.ParallelFor(kTasks, [&](size_t) { TIC_SPAN("worker_phase"); });
+  // On pool workers the span is a thread root (span/worker_phase); iterations
+  // drained by the calling thread nest under its ParallelFor span
+  // (span/thread_pool.parallel_for/worker_phase). Every iteration must land
+  // in exactly one of the two.
+  MetricsSnapshot snap = CollectMetrics();
+  uint64_t total = 0;
+  for (const auto& kv : snap.histograms) {
+    if (kv.first == "span/worker_phase" ||
+        kv.first == "span/thread_pool.parallel_for/worker_phase") {
+      total += kv.second.count;
+    }
+  }
+  EXPECT_EQ(total, kTasks);
+}
+
+TEST_F(TelemetryTest, TraceCaptureRoundTripsThroughValidator) {
+  auto sink = std::make_shared<TraceSink>();
+  SetTraceSink(sink);
+  {
+    TIC_SPAN("traced \"phase\"\n");  // name needing JSON escaping
+    TIC_SPAN("child");
+  }
+  SetTraceSink(nullptr);
+  ASSERT_EQ(sink->size(), 2u);
+
+  std::string text = sink->SerializeChromeTrace();
+  std::string error;
+  size_t num_events = 0;
+  EXPECT_TRUE(ValidateChromeTrace(text, &error, &num_events)) << error;
+  EXPECT_EQ(num_events, 2u);
+
+  // The events must carry the span names (inner exits first).
+  std::string parse_error;
+  auto doc = ParseJson(text, &parse_error);
+  ASSERT_TRUE(doc.has_value()) << parse_error;
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array[0].Find("name")->string, "child");
+  EXPECT_EQ(events->array[1].Find("name")->string, "traced \"phase\"\n");
+}
+
+TEST_F(TelemetryTest, TraceSinkCapsAndCountsDrops) {
+  auto sink = std::make_shared<TraceSink>(2);
+  SetTraceSink(sink);
+  for (int i = 0; i < 5; ++i) {
+    TIC_SPAN("capped");
+  }
+  SetTraceSink(nullptr);
+  EXPECT_EQ(sink->size(), 2u);
+  EXPECT_EQ(sink->dropped(), 3u);
+  std::string error;
+  EXPECT_TRUE(ValidateChromeTrace(sink->SerializeChromeTrace(), &error)) << error;
+}
+
+// End-to-end: a >= 50-update monitor run must produce a per-phase wall-time
+// summary with the grounding-free (monitor) phases split out — progression,
+// conjunction, sat check, cache lookups — and a Perfetto-loadable trace via
+// CheckOptions::trace_sink.
+TEST_F(TelemetryTest, MonitorRunProducesPhaseSplitAndTrace) {
+  auto v = std::make_shared<Vocabulary>();
+  PredicateId sub = *v->AddPredicate("Sub", 1);
+  PredicateId fill = *v->AddPredicate("Fill", 1);
+  VocabularyPtr vocab = v;
+  auto fac = std::make_shared<fotl::FormulaFactory>(vocab);
+  fotl::Formula submit_once =
+      *fotl::Parse(fac.get(), "forall x . G (Sub(x) -> X G !Sub(x))");
+
+  auto sink = std::make_shared<TraceSink>();
+  checker::CheckOptions options;
+  options.trace_sink = sink;
+  auto m = checker::Monitor::Create(fac, submit_once, {}, options);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+
+  for (int t = 0; t < 60; ++t) {
+    Transaction txn;
+    txn.push_back(UpdateOp::Insert(sub, {static_cast<Value>(t % 5 + 1)}));
+    if (t > 0) txn.push_back(UpdateOp::Insert(fill, {static_cast<Value>((t - 1) % 5 + 1)}));
+    txn.push_back(UpdateOp::Delete(sub, {static_cast<Value>(t % 5 + 1)}));
+    auto v = (*m)->ApplyTransaction(txn);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+  }
+  SetTraceSink(nullptr);
+
+  MetricsSnapshot snap = CollectMetrics();
+  const HistogramData* update = FindHistogram(snap, "span/monitor.update");
+  const HistogramData* progress =
+      FindHistogram(snap, "span/monitor.update/monitor.progress");
+  const HistogramData* sat =
+      FindHistogram(snap, "span/monitor.update/monitor.sat_check");
+  ASSERT_NE(update, nullptr);
+  ASSERT_NE(progress, nullptr);
+  ASSERT_NE(sat, nullptr);
+  EXPECT_EQ(update->count, 60u);
+  EXPECT_EQ(progress->count, 60u);
+  EXPECT_EQ(sat->count, 60u);
+  // The phase split is consistent: children are contained in the update time.
+  EXPECT_LE(progress->sum + sat->sum, update->sum);
+  EXPECT_GT(CounterValue(snap, "monitor/updates"), 0u);
+  EXPECT_GT(CounterValue(snap, "tableau/calls"), 0u);
+  EXPECT_GT(CounterValue(snap, "verdict_cache/hits") +
+                CounterValue(snap, "verdict_cache/misses"),
+            0u);
+
+  // The summary table shows the grounding/tableau/cache split by name.
+  std::string table = snap.SummaryTable();
+  EXPECT_NE(table.find("monitor.update"), std::string::npos);
+  EXPECT_NE(table.find("monitor.sat_check"), std::string::npos);
+  EXPECT_NE(table.find("verdict_cache"), std::string::npos);
+
+  // The trace is schema-valid and non-trivial.
+  std::string error;
+  size_t num_events = 0;
+  ASSERT_TRUE(ValidateChromeTrace(sink->SerializeChromeTrace(), &error, &num_events))
+      << error;
+  EXPECT_GE(num_events, 60u);
+
+  // The flat JSON export parses and carries the span metrics.
+  std::string json = snap.ToJson();
+  std::string parse_error;
+  auto doc = ParseJson(json, &parse_error);
+  ASSERT_TRUE(doc.has_value()) << parse_error;
+  EXPECT_NE(doc->Find("span/monitor.update/count"), nullptr);
+}
+
+#else  // !TIC_TELEMETRY_ENABLED
+
+TEST_F(TelemetryTest, CompiledOutMacrosRecordNothing) {
+  TIC_COUNTER_ADD("test/off_counter", 7);
+  TIC_HISTOGRAM_RECORD("test/off_histogram", 7);
+  { TIC_SPAN("off_span"); }
+  MetricsSnapshot snap = CollectMetrics();
+  EXPECT_EQ(CounterValue(snap, "test/off_counter"), 0u);
+  EXPECT_EQ(FindHistogram(snap, "span/off_span"), nullptr);
+}
+
+#endif  // TIC_TELEMETRY_ENABLED
+
+TEST_F(TelemetryTest, JsonParserAcceptsAndRejects) {
+  std::string error;
+  EXPECT_TRUE(ParseJson("{\"a\": [1, 2.5, -3e2, true, false, null]}", &error)
+                  .has_value())
+      << error;
+  EXPECT_TRUE(ParseJson("\"\\u0041\\n\"", &error).has_value()) << error;
+  EXPECT_FALSE(ParseJson("{\"a\": 01}", &error).has_value());
+  EXPECT_FALSE(ParseJson("[1,]", &error).has_value());
+  EXPECT_FALSE(ParseJson("{} garbage", &error).has_value());
+  EXPECT_FALSE(ParseJson("\"unterminated", &error).has_value());
+  std::string deep(100, '[');
+  EXPECT_FALSE(ParseJson(deep, &error).has_value());
+}
+
+TEST_F(TelemetryTest, ValidateChromeTraceRejectsWrongShapes) {
+  std::string error;
+  EXPECT_FALSE(ValidateChromeTrace("[]", &error));
+  EXPECT_FALSE(ValidateChromeTrace("{}", &error));
+  EXPECT_FALSE(ValidateChromeTrace("{\"traceEvents\": 3}", &error));
+  EXPECT_FALSE(ValidateChromeTrace(
+      "{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"a\"}]}", &error));
+  size_t n = 0;
+  EXPECT_TRUE(ValidateChromeTrace(
+      "{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"a\", \"ts\": 0, "
+      "\"dur\": 1, \"pid\": 1, \"tid\": 0}, {\"ph\": \"M\", \"name\": "
+      "\"meta\"}]}",
+      &error, &n))
+      << error;
+  EXPECT_EQ(n, 1u);
+}
+
+TEST_F(TelemetryTest, BuildInfoIsPopulated) {
+  const BuildInfo& info = GetBuildInfo();
+  EXPECT_FALSE(info.git_sha.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  std::string error;
+  auto doc = ParseJson(BuildInfoJson(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_NE(doc->Find("git_sha"), nullptr);
+  EXPECT_NE(doc->Find("build_type"), nullptr);
+  EXPECT_NE(doc->Find("telemetry"), nullptr);
+#ifdef TIC_TELEMETRY_ENABLED
+  EXPECT_TRUE(doc->Find("telemetry")->boolean);
+#else
+  EXPECT_FALSE(doc->Find("telemetry")->boolean);
+#endif
+}
+
+TEST_F(TelemetryTest, RegistryResetZeroesButKeepsNames) {
+  Registry::Instance().GetCounter("test/reset_me").Add(5);
+  ResetMetrics();
+  MetricsSnapshot snap = CollectMetrics();
+  EXPECT_EQ(CounterValue(snap, "test/reset_me"), 0u);
+  bool found = false;
+  for (const auto& [n, v] : snap.counters) found = found || n == "test/reset_me";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace tic
