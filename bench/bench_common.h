@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/extension.h"
 #include "common/telemetry/telemetry.h"
 #include "db/update.h"
 #include "fotl/factory.h"
@@ -87,6 +88,44 @@ inline std::vector<ptl::TableauEngine> ParseEngines(
 
 inline const char* EngineName(ptl::TableauEngine engine) {
   return engine == ptl::TableauEngine::kLegacy ? "legacy" : "bitset";
+}
+
+// Extracts --backend=progression,automaton from argv, compacting the
+// remaining arguments in place (same contract as ParseThreads). Returns
+// `fallback` when the flag is absent or names an unknown backend.
+inline std::vector<checker::MonitorBackend> ParseBackends(
+    int* argc, char** argv, std::vector<checker::MonitorBackend> fallback) {
+  std::vector<char*> keep;
+  std::vector<checker::MonitorBackend> out;
+  bool valid = true;
+  for (int i = 0; i < *argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--backend=", 0) == 0) {
+      for (size_t pos = 10; pos < a.size();) {
+        size_t end = a.find(',', pos);
+        if (end == std::string::npos) end = a.size();
+        std::string name = a.substr(pos, end - pos);
+        if (name == "progression") {
+          out.push_back(checker::MonitorBackend::kProgression);
+        } else if (name == "automaton") {
+          out.push_back(checker::MonitorBackend::kAutomaton);
+        } else {
+          valid = false;
+        }
+        pos = end + 1;
+      }
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  *argc = static_cast<int>(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
+  return (out.empty() || !valid) ? fallback : out;
+}
+
+inline const char* BackendName(checker::MonitorBackend backend) {
+  return backend == checker::MonitorBackend::kProgression ? "progression"
+                                                          : "automaton";
 }
 
 // Reporter for --json=<path>: the normal console table, plus a record file

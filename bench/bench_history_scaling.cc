@@ -44,12 +44,16 @@ void BM_Fifo_HistorySweep(benchmark::State& state) {
 }
 
 // Incremental monitoring: per-update cost stays flat as the history grows.
-// `threads` sizes the pool progressing deduplicated residual classes.
-void BM_Fifo_MonitorPerUpdate(benchmark::State& state, size_t threads) {
+// `threads` sizes the pool progressing deduplicated residual classes (the
+// automaton backend's steady-state updates are memoized lookups, so its
+// per-update cost is flat AND thread-independent).
+void BM_Fifo_MonitorPerUpdate(benchmark::State& state, size_t threads,
+                              checker::MonitorBackend backend) {
   auto& fx = Fixture();
   size_t warmup = static_cast<size_t>(state.range(0));
   checker::CheckOptions opts;
   opts.threads = threads;
+  opts.backend = backend;
   auto monitor = *checker::Monitor::Create(fx.factory, fx.fifo, {}, opts);
   // Grow the history to `warmup` states first.
   size_t n = 4;
@@ -94,22 +98,36 @@ void BM_Fifo_MonitorPerUpdate(benchmark::State& state, size_t threads) {
   state.counters["residual_classes"] = static_cast<double>(last.num_residual_classes);
   state.counters["cache_hits"] = static_cast<double>(last.verdict_cache_stats.hits);
   state.counters["cache_misses"] = static_cast<double>(last.verdict_cache_stats.misses);
+  if (backend == checker::MonitorBackend::kAutomaton) {
+    // Transition-cache effectiveness: in steady state hits/steps -> 1 and the
+    // tableau never runs (live_queries counts states, not updates).
+    state.counters["memo_hits"] = static_cast<double>(last.automaton_stats.memo_hits);
+    state.counters["memo_steps"] = static_cast<double>(last.automaton_stats.steps);
+    state.counters["auto_states"] = static_cast<double>(last.automaton_stats.num_states);
+    state.counters["live_queries"] = static_cast<double>(last.automaton_stats.live_queries);
+  }
 }
 
-void RegisterAll(const std::vector<size_t>& thread_counts) {
+void RegisterAll(const std::vector<size_t>& thread_counts,
+                 const std::vector<checker::MonitorBackend>& backends) {
   benchmark::RegisterBenchmark("BM_Fifo_HistorySweep", BM_Fifo_HistorySweep)
       ->RangeMultiplier(2)
       ->Range(8, 512)
       ->Complexity(benchmark::oN);
-  for (size_t threads : thread_counts) {
-    std::string name =
-        "BM_Fifo_MonitorPerUpdate/threads:" + std::to_string(threads);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [threads](benchmark::State& s) { BM_Fifo_MonitorPerUpdate(s, threads); })
-        ->Arg(8)
-        ->Arg(64)
-        ->Arg(256);
+  for (checker::MonitorBackend backend : backends) {
+    for (size_t threads : thread_counts) {
+      std::string name = std::string("BM_Fifo_MonitorPerUpdate/backend:") +
+                         bench::BackendName(backend) +
+                         "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [threads, backend](benchmark::State& s) {
+            BM_Fifo_MonitorPerUpdate(s, threads, backend);
+          })
+          ->Arg(8)
+          ->Arg(64)
+          ->Arg(256);
+    }
   }
 }
 
@@ -118,6 +136,10 @@ void RegisterAll(const std::vector<size_t>& thread_counts) {
 
 int main(int argc, char** argv) {
   std::vector<size_t> threads = tic::bench::ParseThreads(&argc, argv, {1, 2, 4});
-  tic::RegisterAll(threads);
+  std::vector<tic::checker::MonitorBackend> backends = tic::bench::ParseBackends(
+      &argc, argv,
+      {tic::checker::MonitorBackend::kAutomaton,
+       tic::checker::MonitorBackend::kProgression});
+  tic::RegisterAll(threads, backends);
   return tic::bench::RunBenchmarks(&argc, argv);
 }

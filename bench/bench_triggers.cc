@@ -24,28 +24,40 @@ bench::OrdersFixture& Fixture() {
   return *f;
 }
 
-checker::CheckOptions WithThreads(size_t threads) {
+checker::CheckOptions WithThreads(size_t threads,
+                                  checker::MonitorBackend backend) {
   checker::CheckOptions opts;
   opts.threads = threads;
+  opts.backend = backend;
   return opts;
 }
 
 void ReportCacheCounters(benchmark::State& state,
                          const checker::TriggerManager& mgr) {
-  if (mgr.options().tableau.verdict_cache == nullptr) return;
-  ptl::VerdictCacheStats s = mgr.options().tableau.verdict_cache->stats();
-  state.counters["cache_hits"] = static_cast<double>(s.hits);
-  state.counters["cache_misses"] = static_cast<double>(s.misses);
+  if (mgr.options().tableau.verdict_cache != nullptr) {
+    ptl::VerdictCacheStats s = mgr.options().tableau.verdict_cache->stats();
+    state.counters["cache_hits"] = static_cast<double>(s.hits);
+    state.counters["cache_misses"] = static_cast<double>(s.misses);
+  }
+  if (mgr.options().automaton_cache != nullptr) {
+    // Compiled-automaton sharing across substitutions (renaming-invariant
+    // key): one compile per trigger pattern shape, hits for the rest.
+    ptl::AutomatonCacheStats a = mgr.options().automaton_cache->stats();
+    state.counters["auto_hits"] = static_cast<double>(a.hits);
+    state.counters["auto_misses"] = static_cast<double>(a.misses);
+  }
 }
 
 // One-parameter trigger over a growing relevant set.
-void BM_Trigger_OneParam(benchmark::State& state, size_t threads) {
+void BM_Trigger_OneParam(benchmark::State& state, size_t threads,
+                         checker::MonitorBackend backend) {
   auto& fx = Fixture();
   size_t n = static_cast<size_t>(state.range(0));
   std::unique_ptr<checker::TriggerManager> mgr;
   for (auto _ : state) {
     state.PauseTiming();
-    mgr = *checker::TriggerManager::Create(fx.factory, {}, WithThreads(threads));
+    mgr = *checker::TriggerManager::Create(fx.factory, {},
+                                           WithThreads(threads, backend));
     // "Order x was submitted and is certain to be resubmitted."
     auto st = mgr->AddTrigger(
         "dup", *fotl::Parse(fx.factory.get(), "F (Sub(x) & X F Sub(x))"));
@@ -66,13 +78,15 @@ void BM_Trigger_OneParam(benchmark::State& state, size_t threads) {
 }
 
 // Two-parameter trigger: |R_D|^2 substitutions.
-void BM_Trigger_TwoParams(benchmark::State& state, size_t threads) {
+void BM_Trigger_TwoParams(benchmark::State& state, size_t threads,
+                          checker::MonitorBackend backend) {
   auto& fx = Fixture();
   size_t n = static_cast<size_t>(state.range(0));
   std::unique_ptr<checker::TriggerManager> mgr;
   for (auto _ : state) {
     state.PauseTiming();
-    mgr = *checker::TriggerManager::Create(fx.factory, {}, WithThreads(threads));
+    mgr = *checker::TriggerManager::Create(fx.factory, {},
+                                           WithThreads(threads, backend));
     auto st = mgr->AddTrigger(
         "pair", *fotl::Parse(fx.factory.get(),
                              "x != y & Sub(x) & Sub(y) & F (Fill(x) & Fill(y))"));
@@ -114,23 +128,32 @@ void BM_Trigger_FiringStream(benchmark::State& state) {
   }
 }
 
-void RegisterAll(const std::vector<size_t>& thread_counts) {
-  for (size_t threads : thread_counts) {
-    std::string suffix = "/threads:" + std::to_string(threads);
-    benchmark::RegisterBenchmark(
-        ("BM_Trigger_OneParam" + suffix).c_str(),
-        [threads](benchmark::State& s) { BM_Trigger_OneParam(s, threads); })
-        ->Arg(2)
-        ->Arg(4)
-        ->Arg(8)
-        ->Arg(16)
-        ->Arg(32);
-    benchmark::RegisterBenchmark(
-        ("BM_Trigger_TwoParams" + suffix).c_str(),
-        [threads](benchmark::State& s) { BM_Trigger_TwoParams(s, threads); })
-        ->Arg(2)
-        ->Arg(4)
-        ->Arg(8);
+void RegisterAll(const std::vector<size_t>& thread_counts,
+                 const std::vector<checker::MonitorBackend>& backends) {
+  for (checker::MonitorBackend backend : backends) {
+    for (size_t threads : thread_counts) {
+      std::string suffix = std::string("/backend:") +
+                           bench::BackendName(backend) +
+                           "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          ("BM_Trigger_OneParam" + suffix).c_str(),
+          [threads, backend](benchmark::State& s) {
+            BM_Trigger_OneParam(s, threads, backend);
+          })
+          ->Arg(2)
+          ->Arg(4)
+          ->Arg(8)
+          ->Arg(16)
+          ->Arg(32);
+      benchmark::RegisterBenchmark(
+          ("BM_Trigger_TwoParams" + suffix).c_str(),
+          [threads, backend](benchmark::State& s) {
+            BM_Trigger_TwoParams(s, threads, backend);
+          })
+          ->Arg(2)
+          ->Arg(4)
+          ->Arg(8);
+    }
   }
   benchmark::RegisterBenchmark("BM_Trigger_FiringStream", BM_Trigger_FiringStream);
 }
@@ -140,6 +163,10 @@ void RegisterAll(const std::vector<size_t>& thread_counts) {
 
 int main(int argc, char** argv) {
   std::vector<size_t> threads = tic::bench::ParseThreads(&argc, argv, {1, 2, 4});
-  tic::RegisterAll(threads);
+  std::vector<tic::checker::MonitorBackend> backends = tic::bench::ParseBackends(
+      &argc, argv,
+      {tic::checker::MonitorBackend::kAutomaton,
+       tic::checker::MonitorBackend::kProgression});
+  tic::RegisterAll(threads, backends);
   return tic::bench::RunBenchmarks(&argc, argv);
 }

@@ -13,9 +13,40 @@
 #include "fotl/evaluator.h"
 #include "fotl/factory.h"
 #include "ptl/tableau.h"
+#include "ptl/transition_system.h"
 
 namespace tic {
 namespace checker {
+
+/// \brief Which per-update decision engine the monitor (and the batch checker
+/// when no witness is requested) runs.
+enum class MonitorBackend {
+  /// Lemma 4.2 taken literally: rewrite every residual through the new state
+  /// (`ptl::Progress`), then re-run the tableau satisfiability check on the
+  /// residual conjunction from scratch. Always available; produces witnesses.
+  kProgression,
+  /// Compile-once / memoize-everything automaton. Two cooperating machines,
+  /// both advancing by one memoized `(state id, letter signature) -> state id`
+  /// lookup per update instead of per-update rewriting + CheckSat:
+  ///  - The *monitor* runs the residual-graph automaton of the joint grounded
+  ///    conjunction: states are hash-consed residuals, liveness is decided
+  ///    once per state (via the shared verdict cache), and recurring database
+  ///    states never touch a formula or a tableau again. (The determinized
+  ///    closure-state cover of a joint conjunction is the product of the
+  ///    per-instance covers — exponential in the instance count — so it is
+  ///    not compiled eagerly.)
+  ///  - Batch checks and trigger substitution sweeps compile phi_D into a
+  ///    closure-bitset ptl::TransitionSystem with precomputed liveness, shared
+  ///    across letter renamings through the AutomatonCache; compilation runs
+  ///    under a clamped budget and falls back to progression when the cover
+  ///    blows up (multi-instance groundings).
+  /// Verdict-equivalent to kProgression. Effective for MonitorMode::kEager
+  /// and for batch checks with `want_witness == false`; other monitor modes
+  /// and witness-producing checks fall back to kProgression (kLazy's weak
+  /// verdicts and the history-less renaming are progression-specific, and
+  /// witness decoding needs the residual formula).
+  kAutomaton,
+};
 
 /// \brief Options for the Theorem 4.2 decision procedure.
 struct CheckOptions {
@@ -28,6 +59,20 @@ struct CheckOptions {
   bool require_safety = true;
   /// Produce a decoded witness extension when the answer is YES.
   bool want_witness = true;
+
+  /// Per-update engine; see MonitorBackend. The automaton backend is the
+  /// default: it is verdict-equivalent and amortizes the tableau into a
+  /// one-time compile. Select kProgression to force the literal two-phase
+  /// procedure (and for witness-producing paths, which use it regardless).
+  MonitorBackend backend = MonitorBackend::kAutomaton;
+  /// Shared LRU cache of compiled transition systems (keyed by the
+  /// renaming-invariant canonical form, like the verdict cache). Used by the
+  /// batch/trigger automaton path; when null and the automaton backend is
+  /// selected, TriggerManager defaults one. Inject an instance here to share
+  /// compiled automata — and their transition memos — across trigger managers
+  /// and batch checks. (The Monitor's residual graph is per-monitor state and
+  /// does not use this cache.)
+  std::shared_ptr<ptl::AutomatonCache> automaton_cache;
 
   /// Degree of parallelism for the per-update hot paths (Monitor residual
   /// progression, TriggerManager substitution sweeps). 1 = fully sequential.

@@ -15,12 +15,19 @@ namespace {
 using fotl::NodeKind;
 
 bool HasBuiltinAtom(const Vocabulary& vocab, fotl::Formula f) {
-  if (f->kind() == NodeKind::kAtom &&
-      vocab.predicate(f->predicate()).builtin != Builtin::kNone) {
-    return true;
-  }
-  for (int i = 0; i < 2; ++i) {
-    if (f->child(i) != nullptr && HasBuiltinAtom(vocab, f->child(i))) return true;
+  // Explicit-stack walk (repo deep-formula convention): a deep matrix must
+  // not overflow the native call stack.
+  std::vector<fotl::Formula> stack{f};
+  while (!stack.empty()) {
+    fotl::Formula g = stack.back();
+    stack.pop_back();
+    if (g->kind() == NodeKind::kAtom &&
+        vocab.predicate(g->predicate()).builtin != Builtin::kNone) {
+      return true;
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (g->child(i) != nullptr) stack.push_back(g->child(i));
+    }
   }
   return false;
 }
@@ -198,28 +205,34 @@ class Grounder {
   }
 
   // Letter p(codes...) (pred != UINT32_MAX) or eq(a,b) (pred == UINT32_MAX).
-  ptl::PropId Letter(uint32_t pred, std::vector<Value> codes) {
-    LetterKey key{pred, std::move(codes)};
-    auto it = letters_.find(key);
+  // Takes the codes by const reference and copies only on first sight, so the
+  // hot word-building loop can pass tuples straight through without a
+  // per-tuple allocation.
+  ptl::PropId Letter(uint32_t pred, const std::vector<Value>& codes) {
+    // Probe with a reusable key (vector assignment reuses its capacity), so
+    // the hit path — all but the first sight of each letter — is allocation-free.
+    letter_probe_.pred = pred;
+    letter_probe_.codes.assign(codes.begin(), codes.end());
+    auto it = letters_.find(letter_probe_);
     if (it != letters_.end()) return it->second;
     std::string name =
-        key.pred == UINT32_MAX ? "eq" : ffac_.vocabulary()->predicate(key.pred).name;
+        pred == UINT32_MAX ? "eq" : ffac_.vocabulary()->predicate(pred).name;
     name += "(";
     bool all_relevant = true;
-    for (size_t i = 0; i < key.codes.size(); ++i) {
+    for (size_t i = 0; i < codes.size(); ++i) {
       if (i > 0) name += ",";
-      name += GroundElem{key.codes[i]}.ToString();
-      all_relevant = all_relevant && key.codes[i] >= 0;
+      name += GroundElem{codes[i]}.ToString();
+      all_relevant = all_relevant && codes[i] >= 0;
     }
     name += ")";
     ptl::PropId id = out_.prop_vocab->Intern(name);
-    if (key.pred != UINT32_MAX && all_relevant) {
+    if (pred != UINT32_MAX && all_relevant) {
       Grounding::DecodedAtom decoded;
-      decoded.predicate = key.pred;
-      decoded.args.assign(key.codes.begin(), key.codes.end());
+      decoded.predicate = pred;
+      decoded.args.assign(codes.begin(), codes.end());
       out_.letter_to_atom.emplace(id, std::move(decoded));
     }
-    letters_.emplace(std::move(key), id);
+    letters_.emplace(LetterKey{pred, codes}, id);
     return id;
   }
 
@@ -398,8 +411,8 @@ class Grounder {
       for (PredicateId p = 0; p < vocab.num_predicates(); ++p) {
         if (vocab.predicate(p).builtin != Builtin::kNone) continue;
         for (const Tuple& tuple : state.relation(p)) {
-          std::vector<Value> codes(tuple.begin(), tuple.end());
-          w.Set(Letter(p, std::move(codes)), true);
+          // A Tuple IS a vector of value codes — no per-tuple copy needed.
+          w.Set(Letter(p, tuple), true);
         }
       }
       out_.word.push_back(std::move(w));
@@ -412,6 +425,7 @@ class Grounder {
   Grounding out_;
   std::unordered_map<MemoKey, ptl::Formula, MemoKeyHash> memo_;
   std::unordered_map<LetterKey, ptl::PropId, LetterKeyHash> letters_;
+  LetterKey letter_probe_;  // scratch for allocation-free lookups
 };
 
 }  // namespace

@@ -15,7 +15,11 @@ namespace tic {
 namespace checker {
 
 size_t Monitor::AssignmentHash::operator()(const std::vector<GroundElem>& a) const {
-  size_t seed = a.size();
+  // Mix the arity instead of seeding with it raw: assignments all share the
+  // same small size, and a raw seed makes the low bits collide heavily (the
+  // LetterKeyHash predicate-id fix, same family).
+  size_t seed = 0;
+  HashCombine(&seed, a.size());
   for (const GroundElem& e : a) HashCombine(&seed, std::hash<Value>{}(e.code));
   return seed;
 }
@@ -72,6 +76,11 @@ Result<std::unique_ptr<Monitor>> Monitor::Create(
   if (m->options_.tableau.verdict_cache == nullptr) {
     m->options_.tableau.verdict_cache = std::make_shared<ptl::VerdictCache>();
   }
+  // Resolve the effective backend: the automaton run replaces exact eager
+  // monitoring only. kLazy's weak verdicts and the history-less letter
+  // renaming are progression-specific, so those modes keep kProgression.
+  m->backend_ = m->options_.backend;
+  if (mode != MonitorMode::kEager) m->backend_ = MonitorBackend::kProgression;
   if (m->options_.thread_pool == nullptr && m->options_.threads > 1) {
     m->options_.thread_pool = std::make_shared<ThreadPool>(m->options_.threads - 1);
   }
@@ -193,8 +202,11 @@ Result<std::unique_ptr<Monitor>> Monitor::Create(
 }
 
 ptl::PropId Monitor::Letter(PredicateId pred, const std::vector<Value>& codes) {
-  LetterKey key{pred, codes};
-  auto it = letters_.find(key);
+  // Probe with a reusable key (vector assignment reuses its capacity): the
+  // hit path — every tuple after a letter's first sight — is allocation-free.
+  letter_probe_.pred = pred;
+  letter_probe_.codes.assign(codes.begin(), codes.end());
+  auto it = letters_.find(letter_probe_);
   if (it != letters_.end()) return it->second;
   std::string name = ffac_->vocabulary()->predicate(pred).name + "(";
   for (size_t i = 0; i < codes.size(); ++i) {
@@ -203,100 +215,128 @@ ptl::PropId Monitor::Letter(PredicateId pred, const std::vector<Value>& codes) {
   }
   name += ")";
   ptl::PropId id = prop_vocab_->Intern(name);
-  letters_.emplace(std::move(key), id);
+  auto [node, inserted] = letters_.emplace(LetterKey{pred, codes}, id);
+  (void)inserted;
+  // Index the letter under each distinct code it mentions (node pointers stay
+  // valid across rehashes), so renaming can find letters by touched code.
+  const std::vector<Value>& cs = node->first.codes;
+  for (size_t i = 0; i < cs.size(); ++i) {
+    if (std::find(cs.begin(), cs.begin() + i, cs[i]) != cs.begin() + i) continue;
+    letters_by_code_[cs[i]].push_back(&*node);
+  }
   return id;
 }
 
 Result<ptl::Formula> Monitor::GroundMatrix(const std::vector<GroundElem>& assignment) {
   // Simplified-mode grounding (equalities folded, z-atoms false); see
-  // GroundingMode::kSimplified.
+  // GroundingMode::kSimplified. Explicit-stack post-order traversal, like the
+  // safety-gate skeleton builder: a deep user matrix must not overflow the
+  // native call stack.
+  using fotl::NodeKind;
   std::unordered_map<fotl::VarId, GroundElem> env;
   for (size_t i = 0; i < external_.size(); ++i) env[external_[i]] = assignment[i];
 
-  std::function<Result<ptl::Formula>(fotl::Formula)> go =
-      [&](fotl::Formula f) -> Result<ptl::Formula> {
-    using fotl::NodeKind;
-    ptl::Factory* pf = prop_factory_.get();
-    auto resolve = [&](const fotl::Term& t) -> Result<GroundElem> {
-      if (t.is_constant()) {
-        return GroundElem::Relevant(history_.ConstantValue(t.id));
+  ptl::Factory* pf = prop_factory_.get();
+  auto resolve = [&](const fotl::Term& t) -> Result<GroundElem> {
+    if (t.is_constant()) {
+      return GroundElem::Relevant(history_.ConstantValue(t.id));
+    }
+    auto it = env.find(t.id);
+    if (it == env.end()) return Status::Internal("unbound variable in matrix");
+    return it->second;
+  };
+
+  std::unordered_map<fotl::Formula, ptl::Formula> memo;
+  struct Frame {
+    fotl::Formula f;
+    bool expanded;
+  };
+  std::vector<Frame> stack{{matrix_, false}};
+  std::vector<Value> codes;  // scratch reused across atoms
+  while (!stack.empty()) {
+    Frame fr = stack.back();
+    stack.pop_back();
+    if (memo.count(fr.f) > 0) continue;
+    NodeKind k = fr.f->kind();
+    if (k == NodeKind::kTrue) {
+      memo.emplace(fr.f, pf->True());
+      continue;
+    }
+    if (k == NodeKind::kFalse) {
+      memo.emplace(fr.f, pf->False());
+      continue;
+    }
+    if (k == NodeKind::kEquals) {
+      TIC_ASSIGN_OR_RETURN(GroundElem a, resolve(fr.f->terms()[0]));
+      TIC_ASSIGN_OR_RETURN(GroundElem b, resolve(fr.f->terms()[1]));
+      memo.emplace(fr.f, a == b ? pf->True() : pf->False());
+      continue;
+    }
+    if (k == NodeKind::kAtom) {
+      if (ffac_->vocabulary()->predicate(fr.f->predicate()).builtin !=
+          Builtin::kNone) {
+        return Status::NotSupported("builtins unsupported by the monitor");
       }
-      auto it = env.find(t.id);
-      if (it == env.end()) return Status::Internal("unbound variable in matrix");
-      return it->second;
-    };
-    switch (f->kind()) {
-      case NodeKind::kTrue:
-        return pf->True();
-      case NodeKind::kFalse:
-        return pf->False();
-      case NodeKind::kEquals: {
-        TIC_ASSIGN_OR_RETURN(GroundElem a, resolve(f->terms()[0]));
-        TIC_ASSIGN_OR_RETURN(GroundElem b, resolve(f->terms()[1]));
-        return a == b ? pf->True() : pf->False();
+      codes.clear();
+      bool has_z = false;
+      for (const fotl::Term& t : fr.f->terms()) {
+        TIC_ASSIGN_OR_RETURN(GroundElem e, resolve(t));
+        has_z = has_z || e.is_z();
+        codes.push_back(e.code);
       }
-      case NodeKind::kAtom: {
-        if (ffac_->vocabulary()->predicate(f->predicate()).builtin != Builtin::kNone) {
-          return Status::NotSupported("builtins unsupported by the monitor");
-        }
-        std::vector<Value> codes;
-        codes.reserve(f->terms().size());
-        bool has_z = false;
-        for (const fotl::Term& t : f->terms()) {
-          TIC_ASSIGN_OR_RETURN(GroundElem e, resolve(t));
-          has_z = has_z || e.is_z();
-          codes.push_back(e.code);
-        }
-        if (has_z && mode_ != MonitorMode::kEagerHistoryLess) {
-          // Folded per Axiom_D (kSimplified grounding).
-          return pf->False();
-        }
+      if (has_z && mode_ != MonitorMode::kEagerHistoryLess) {
+        // Folded per Axiom_D (kSimplified grounding).
+        memo.emplace(fr.f, pf->False());
+      } else {
         // History-less mode keeps stand-in letters unfolded: they are never
         // true in any w state, and they are what fresh-element instances are
         // renamed from.
-        return pf->Atom(Letter(f->predicate(), codes));
+        memo.emplace(fr.f, pf->Atom(Letter(fr.f->predicate(), codes)));
       }
-      case NodeKind::kNot: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
-        return pf->Not(a);
-      }
-      case NodeKind::kNext: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
-        return pf->Next(a);
-      }
-      case NodeKind::kEventually: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
-        return pf->Eventually(a);
-      }
-      case NodeKind::kAlways: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->child(0)));
-        return pf->Always(a);
-      }
-      case NodeKind::kAnd: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
-        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
-        return pf->And(a, b);
-      }
-      case NodeKind::kOr: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
-        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
-        return pf->Or(a, b);
-      }
-      case NodeKind::kImplies: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
-        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
-        return pf->Implies(a, b);
-      }
-      case NodeKind::kUntil: {
-        TIC_ASSIGN_OR_RETURN(ptl::Formula a, go(f->lhs()));
-        TIC_ASSIGN_OR_RETURN(ptl::Formula b, go(f->rhs()));
-        return pf->Until(a, b);
-      }
+      continue;
+    }
+    fotl::Formula c0 = fr.f->child(0);
+    fotl::Formula c1 = fr.f->child(1);
+    if (!fr.expanded) {
+      stack.push_back({fr.f, true});
+      if (c1 != nullptr && memo.count(c1) == 0) stack.push_back({c1, false});
+      if (c0 != nullptr && memo.count(c0) == 0) stack.push_back({c0, false});
+      continue;
+    }
+    ptl::Formula a = c0 != nullptr ? memo.at(c0) : nullptr;
+    ptl::Formula b = c1 != nullptr ? memo.at(c1) : nullptr;
+    ptl::Formula out;
+    switch (k) {
+      case NodeKind::kNot:
+        out = pf->Not(a);
+        break;
+      case NodeKind::kNext:
+        out = pf->Next(a);
+        break;
+      case NodeKind::kEventually:
+        out = pf->Eventually(a);
+        break;
+      case NodeKind::kAlways:
+        out = pf->Always(a);
+        break;
+      case NodeKind::kAnd:
+        out = pf->And(a, b);
+        break;
+      case NodeKind::kOr:
+        out = pf->Or(a, b);
+        break;
+      case NodeKind::kImplies:
+        out = pf->Implies(a, b);
+        break;
+      case NodeKind::kUntil:
+        out = pf->Until(a, b);
+        break;
       default:
         return Status::Internal("unexpected connective in universal matrix");
     }
-  };
-  return go(matrix_);
+    memo.emplace(fr.f, out);
+  }
+  return memo.at(matrix_);
 }
 
 ptl::PropState Monitor::PropStateOf(size_t t) {
@@ -306,8 +346,8 @@ ptl::PropState Monitor::PropStateOf(size_t t) {
   for (PredicateId p = 0; p < vocab.num_predicates(); ++p) {
     if (vocab.predicate(p).builtin != Builtin::kNone) continue;
     for (const Tuple& tuple : state.relation(p)) {
-      std::vector<Value> codes(tuple.begin(), tuple.end());
-      w.Set(Letter(p, codes), true);
+      // A Tuple IS a vector of value codes — no per-tuple copy needed.
+      w.Set(Letter(p, tuple), true);
     }
   }
   return w;
@@ -363,23 +403,31 @@ Result<ptl::Formula> Monitor::RenameFromPattern(
   ptl::Formula pattern_residual = instances_[pattern_it->second].residual;
 
   // Letter renaming: any letter mentioning a mapped stand-in code becomes the
-  // letter with the fresh element substituted.
+  // letter with the fresh element substituted. The per-code index hands us
+  // exactly the letters touched — no snapshot of the whole letters_ map.
   std::unordered_map<Value, Value> code_map;  // z code -> element value
   for (const auto& [value, z] : fresh_to_z) code_map.emplace(z.code, value);
+  // Collect before renaming: Letter() inserts grow letters_by_code_, so the
+  // bucket vectors must not be iterated while new letters are minted.
+  std::vector<const std::pair<const LetterKey, ptl::PropId>*> touched;
+  std::unordered_set<ptl::PropId> seen;
+  for (const auto& [zcode, value] : code_map) {
+    (void)value;
+    auto bucket = letters_by_code_.find(zcode);
+    if (bucket == letters_by_code_.end()) continue;
+    for (const auto* entry : bucket->second) {
+      if (seen.insert(entry->second).second) touched.push_back(entry);
+    }
+  }
   std::unordered_map<ptl::PropId, ptl::PropId> letter_map;
-  std::vector<std::pair<LetterKey, ptl::PropId>> snapshot(letters_.begin(),
-                                                          letters_.end());
-  for (const auto& [key, id] : snapshot) {
-    bool touched = false;
-    std::vector<Value> renamed = key.codes;
+  std::vector<Value> renamed;  // scratch
+  for (const auto* entry : touched) {
+    renamed = entry->first.codes;
     for (Value& c : renamed) {
       auto it = code_map.find(c);
-      if (it != code_map.end()) {
-        c = it->second;
-        touched = true;
-      }
+      if (it != code_map.end()) c = it->second;
     }
-    if (touched) letter_map.emplace(id, Letter(key.pred, renamed));
+    letter_map.emplace(entry->second, Letter(entry->first.pred, renamed));
   }
   return RenameLetters(pattern_residual, letter_map);
 }
@@ -479,6 +527,143 @@ Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
   return Status::OK();
 }
 
+uint32_t Monitor::AutoIntern(ptl::Formula f) {
+  auto it = auto_state_ids_.find(f);
+  if (it != auto_state_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(auto_states_.size());
+  // A false residual is known dead for free; everything else waits for the
+  // first AutoLive query.
+  auto_states_.push_back(
+      AutoState{f, f->kind() == ptl::Kind::kFalse ? int8_t{0} : int8_t{-1}});
+  auto_state_ids_.emplace(f, id);
+  return id;
+}
+
+Result<bool> Monitor::AutoLive(uint32_t sid, MonitorVerdict* verdict) {
+  AutoState& st = auto_states_[sid];
+  if (st.live < 0) {
+    // Decide once; the shared verdict cache makes renamed recurrences of the
+    // same residual (common across fresh-element epochs) nearly free.
+    TIC_SPAN("monitor.sat_check");
+    ++auto_live_queries_;
+    TIC_ASSIGN_OR_RETURN(
+        ptl::SatResult sat,
+        ptl::CheckSat(prop_factory_.get(), st.residual, options_.tableau));
+    st.live = sat.satisfiable ? 1 : 0;
+    verdict->tableau_stats += sat.stats;
+    cumulative_tableau_stats_ += sat.stats;
+  }
+  return st.live > 0;
+}
+
+uint32_t Monitor::SigOf(const ptl::PropState& w) {
+  sig_scratch_.assign((auto_alphabet_.size() + 7) / 8, '\0');
+  for (size_t i = 0; i < auto_alphabet_.size(); ++i) {
+    if (w.Get(auto_alphabet_[i])) {
+      sig_scratch_[i >> 3] |= static_cast<char>(1u << (i & 7));
+    }
+  }
+  auto ins = auto_sigs_.emplace(sig_scratch_,
+                                static_cast<uint32_t>(auto_sigs_.size()));
+  return ins.first->second;
+}
+
+Result<uint32_t> Monitor::AutoStep(uint32_t sid, const ptl::PropState& w) {
+  ++auto_steps_;
+  uint64_t key = (static_cast<uint64_t>(sid) << 32) | SigOf(w);
+  auto hit = auto_memo_.find(key);
+  if (hit != auto_memo_.end()) {
+    ++auto_memo_hits_;
+    TIC_COUNTER_ADD("automaton/transition_memo_hits", 1);
+    return hit->second;
+  }
+  TIC_COUNTER_ADD("automaton/transition_memo_misses", 1);
+  TIC_ASSIGN_OR_RETURN(
+      ptl::Formula next,
+      ptl::Progress(prop_factory_.get(), auto_states_[sid].residual, w));
+  uint32_t nid = AutoIntern(next);
+  auto_memo_.emplace(key, nid);
+  return nid;
+}
+
+Status Monitor::AutomatonApply(bool joint_changed, const ptl::PropState& w,
+                               MonitorVerdict* verdict) {
+  ptl::Factory* pf = prop_factory_.get();
+  if (joint_ == nullptr || joint_changed) {
+    TIC_SPAN("monitor.automaton_compile");
+    // Joint formula over the distinct grounded originals: instances over
+    // symmetric elements share one hash-consed formula, so identity dedup
+    // mirrors ProgressAll's residual classes. The joint conjunction — not a
+    // per-class automaton — is what makes the verdict exact: instances share
+    // letters, so individually live residuals can be jointly dead.
+    std::unordered_set<ptl::Formula> distinct;
+    std::vector<ptl::Formula> parts;
+    parts.reserve(instances_.size());
+    for (const Instance& inst : instances_) {
+      if (distinct.insert(inst.residual).second) parts.push_back(inst.residual);
+    }
+    num_joint_classes_ = parts.size();
+    joint_ = pf->AndAll(parts);
+    // New epoch: reset the residual graph. Progression never introduces atoms,
+    // so the joint formula's atom set is a sound signature alphabet for every
+    // residual reachable this epoch.
+    auto_states_.clear();
+    auto_state_ids_.clear();
+    auto_sigs_.clear();
+    auto_memo_.clear();
+    auto_alphabet_.clear();
+    {
+      std::vector<ptl::Formula> stack{joint_};
+      std::unordered_set<ptl::Formula> seen{joint_};
+      std::unordered_set<ptl::PropId> atom_seen;
+      while (!stack.empty()) {
+        ptl::Formula f = stack.back();
+        stack.pop_back();
+        if (f->kind() == ptl::Kind::kAtom) {
+          if (atom_seen.insert(f->atom()).second) {
+            auto_alphabet_.push_back(f->atom());
+          }
+          continue;
+        }
+        for (size_t i = 0; i < 2; ++i) {
+          ptl::Formula c = f->child(i);
+          if (c != nullptr && seen.insert(c).second) stack.push_back(c);
+        }
+      }
+    }
+    auto_current_ = AutoIntern(joint_);
+    // Replay the stored word (it already includes the state just appended).
+    // Replay is progression-only — intermediate liveness is never queried —
+    // so catching up after a fresh element costs one rewrite per past state,
+    // exactly like the progression backend's GroundAndCatchUp, not a tableau
+    // per state.
+    for (const ptl::PropState& st : word_) {
+      TIC_ASSIGN_OR_RETURN(auto_current_, AutoStep(auto_current_, st));
+    }
+  } else {
+    TIC_SPAN("monitor.automaton_step");
+    TIC_ASSIGN_OR_RETURN(auto_current_, AutoStep(auto_current_, w));
+  }
+  TIC_ASSIGN_OR_RETURN(bool live, AutoLive(auto_current_, verdict));
+  // Exact eager verdict: for a safety constraint, losing potential
+  // satisfaction is permanent — same mapping the progression backend produces.
+  verdict->potentially_satisfied = live;
+  if (!live) {
+    dead_ = true;
+    verdict->permanently_violated = true;
+  }
+  verdict->residual_size = auto_states_[auto_current_].residual->size();
+  verdict->num_residual_classes = num_joint_classes_;
+  verdict->automaton_stats.num_states = auto_states_.size();
+  verdict->automaton_stats.num_state_sets = auto_states_.size();
+  verdict->automaton_stats.num_signatures = auto_sigs_.size();
+  verdict->automaton_stats.steps = auto_steps_;
+  verdict->automaton_stats.memo_hits = auto_memo_hits_;
+  verdict->automaton_stats.live_queries = auto_live_queries_;
+  verdict->automaton_stats.alphabet_size = auto_alphabet_.size();
+  return Status::OK();
+}
+
 Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
   TIC_SPAN("monitor.update");
   TIC_COUNTER_ADD("monitor/updates", 1);
@@ -486,6 +671,7 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
   size_t t = history_.length() - 1;
   MonitorVerdict verdict;
   verdict.time = t;
+  verdict.backend = backend_;
 
   if (dead_) {
     verdict.permanently_violated = true;
@@ -568,6 +754,36 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
       known_relevant_ = std::move(merged);
     }
     TIC_RETURN_NOT_OK(ProgressAll(w, &verdict.num_residual_classes));
+  } else if (backend_ == MonitorBackend::kAutomaton) {
+    // Automaton backend (kEager): instances keep their ORIGINAL grounded
+    // formulas; the residual-graph automaton advances one memoized state id
+    // per update. Recurring database states cost a hash lookup — no
+    // progression rewrite, no conjunction rebuild, no tableau.
+    word_.push_back(w);
+    if (!fresh.empty()) {
+      TIC_RETURN_NOT_OK([&] {
+        TIC_SPAN("monitor.fresh_instances");
+        return create_fresh_instances(
+            [&](const std::vector<GroundElem>& a) { return GroundMatrix(a); });
+      }());
+      std::vector<Value> merged;
+      std::merge(known_relevant_.begin(), known_relevant_.end(), fresh.begin(),
+                 fresh.end(), std::back_inserter(merged));
+      known_relevant_ = std::move(merged);
+    }
+    TIC_RETURN_NOT_OK(AutomatonApply(!fresh.empty(), w, &verdict));
+    verdict.num_instances = instances_.size();
+    TIC_GAUGE_SET("monitor/instances", instances_.size());
+    TIC_HISTOGRAM_RECORD("monitor/residual_size", verdict.residual_size);
+    verdict.cumulative_tableau_stats = cumulative_tableau_stats_;
+    if (options_.tableau.verdict_cache != nullptr) {
+      verdict.verdict_cache_stats = options_.tableau.verdict_cache->stats();
+    }
+    if (options_.automaton_cache != nullptr) {
+      verdict.automaton_cache_stats = options_.automaton_cache->stats();
+    }
+    last_verdict_ = verdict;
+    return verdict;
   } else {
     word_.push_back(w);
     TIC_RETURN_NOT_OK(ProgressAll(w, &verdict.num_residual_classes));
@@ -584,14 +800,22 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     }
   }
 
-  // Conjunction of residuals.
-  ptl::Formula conj = prop_factory_->True();
+  // Conjunction of residuals, balanced (AndAll) rather than left-deep: the
+  // hash-consed tree stays logarithmic in depth and re-shares across updates.
+  ptl::Formula conj;
   {
     TIC_SPAN("monitor.conjunction");
+    std::vector<ptl::Formula> parts;
+    parts.reserve(instances_.size());
+    bool any_false = false;
     for (const Instance& inst : instances_) {
-      conj = prop_factory_->And(conj, inst.residual);
-      if (conj->kind() == ptl::Kind::kFalse) break;
+      if (inst.residual->kind() == ptl::Kind::kFalse) {
+        any_false = true;
+        break;
+      }
+      parts.push_back(inst.residual);
     }
+    conj = any_false ? prop_factory_->False() : prop_factory_->AndAll(parts);
   }
   verdict.residual_size = conj->size();
   verdict.num_instances = instances_.size();

@@ -61,6 +61,16 @@ struct MonitorVerdict {
   ptl::TableauStats cumulative_tableau_stats;
   /// Cumulative counters of the shared tableau verdict cache.
   ptl::VerdictCacheStats verdict_cache_stats;
+  /// Backend that produced this verdict (kAutomaton only in kEager mode).
+  MonitorBackend backend = MonitorBackend::kProgression;
+  /// Lifetime counters of the residual-graph automaton driving this monitor
+  /// (zero on the progression backend): states = distinct residuals reached,
+  /// live_queries = tableau runs (one per state, ever). `memo_hits / steps`
+  /// is the transition-cache hit rate; in steady state it approaches 1.
+  ptl::TransitionSystemStats automaton_stats;
+  /// Cumulative counters of the shared compiled-automaton cache, when one was
+  /// injected through CheckOptions (batch/trigger-level sharing).
+  ptl::AutomatonCacheStats automaton_cache_stats;
 };
 
 /// \brief Incremental temporal integrity monitor for a universal safety
@@ -114,6 +124,12 @@ class Monitor {
   Result<ptl::Formula> GroundMatrix(const std::vector<GroundElem>& assignment);
   ptl::PropId Letter(PredicateId pred, const std::vector<Value>& codes);
 
+  // Automaton backend (kEager only): advances the shared transition system
+  // through the new state, recompiling the joint formula and replaying the
+  // stored word first when fresh-element instances changed it.
+  Status AutomatonApply(bool joint_changed, const ptl::PropState& w,
+                        MonitorVerdict* verdict);
+
   // History-less catch-up: derives the residual of a fresh-element assignment
   // by renaming the stand-in letters of its z-pattern instance's residual.
   Result<ptl::Formula> RenameFromPattern(const std::vector<GroundElem>& assignment);
@@ -144,6 +160,13 @@ class Monitor {
     size_t operator()(const LetterKey& k) const;
   };
   std::unordered_map<LetterKey, ptl::PropId, LetterKeyHash> letters_;
+  LetterKey letter_probe_;  // scratch for allocation-free lookups
+  // Value code -> letters whose key mentions it (pointers into `letters_`
+  // nodes, which unordered_map keeps stable). Lets fresh-element renaming
+  // visit only the letters actually touched instead of snapshotting the map.
+  std::unordered_map<Value,
+                     std::vector<const std::pair<const LetterKey, ptl::PropId>*>>
+      letters_by_code_;
 
   // One residual per instance; the monitored condition is their conjunction.
   struct Instance {
@@ -163,6 +186,57 @@ class Monitor {
   bool dead_ = false;  // permanently violated
   ptl::TableauStats cumulative_tableau_stats_;  // totals across all updates
   MonitorVerdict last_verdict_;
+
+  // --- Automaton backend state (kEager + MonitorBackend::kAutomaton) ---
+  // In this mode Instance::residual holds the instance's ORIGINAL grounded
+  // formula (never progressed) and the monitor runs the *residual-graph
+  // automaton* of the joint conjunction: each distinct residual the history
+  // can reach is one state (hash-consed formula identity), liveness is
+  // decided once per state (CheckSat through the shared verdict cache, not
+  // per update), and a transition is a memoized `(state id, letter
+  // signature) -> state id` lookup. Recurring database states — the common
+  // steady case — never rewrite a formula or run a tableau again.
+  //
+  // Why residuals and not determinized closure-state sets: the joint cover
+  // of N grounded instances is the consistency-pruned *product* of the
+  // per-instance covers (exponential in N — the FIFO constraint over a
+  // handful of orders already exceeds any expansion budget), while the
+  // residual graph only materializes states the actual history visits.
+  // The closure-bitset ptl::TransitionSystem covers the single-pattern
+  // cases (batch checks, trigger substitution sweeps) where the cover is
+  // small and renaming-sharing pays off.
+  //
+  // Fresh elements change the joint formula: their arrival starts a new
+  // epoch (graph reset) and replays `word_`, one transition per past state.
+  MonitorBackend backend_ = MonitorBackend::kProgression;  // effective backend
+  ptl::Formula joint_ = nullptr;       // joint formula of the current epoch
+  size_t num_joint_classes_ = 0;       // distinct grounded originals in joint_
+  struct AutoState {
+    ptl::Formula residual;
+    int8_t live;  // -1 unknown, 0 dead, 1 live — decided lazily, then cached
+  };
+  std::vector<AutoState> auto_states_;
+  std::unordered_map<ptl::Formula, uint32_t> auto_state_ids_;
+  std::vector<ptl::PropId> auto_alphabet_;  // atoms of joint_, stable order
+  std::unordered_map<std::string, uint32_t> auto_sigs_;  // packed letter bits
+  std::unordered_map<uint64_t, uint32_t> auto_memo_;  // (state, sig) -> state
+  uint32_t auto_current_ = 0;
+  uint64_t auto_steps_ = 0;
+  uint64_t auto_memo_hits_ = 0;
+  uint64_t auto_live_queries_ = 0;  // CheckSat calls (state interns)
+  std::string sig_scratch_;
+
+  // Interns `f` as an automaton state (no tableau work).
+  uint32_t AutoIntern(ptl::Formula f);
+  // Liveness of state `sid`, decided by one CheckSat on first query and
+  // cached forever after. Lazy on purpose: epoch replay passes through
+  // intermediate states whose liveness is never reported, and running the
+  // tableau there would be work the progression backend never does.
+  Result<bool> AutoLive(uint32_t sid, MonitorVerdict* verdict);
+  // One memoized transition; on miss, progresses and interns the successor.
+  Result<uint32_t> AutoStep(uint32_t sid, const ptl::PropState& w);
+  // Letter-signature id of `w` over the epoch alphabet.
+  uint32_t SigOf(const ptl::PropState& w);
 };
 
 }  // namespace checker

@@ -19,6 +19,12 @@ TriggerManager::TriggerManager(std::shared_ptr<fotl::FormulaFactory> fotl_factor
   if (options_.tableau.verdict_cache == nullptr) {
     options_.tableau.verdict_cache = std::make_shared<ptl::VerdictCache>();
   }
+  // Same sharing for the automaton backend: one compiled transition system
+  // (and one transition memo) serves every substitution of a trigger.
+  if (options_.backend == MonitorBackend::kAutomaton &&
+      options_.automaton_cache == nullptr) {
+    options_.automaton_cache = std::make_shared<ptl::AutomatonCache>();
+  }
   if (options_.thread_pool == nullptr && options_.threads > 1) {
     options_.thread_pool = std::make_shared<ThreadPool>(options_.threads - 1);
   }

@@ -112,7 +112,9 @@ class FlatBits {
   }
 
   void AssignWords(const uint64_t* v) {
-    std::memcpy(words(), v, num_words_ * sizeof(uint64_t));
+    // num_words_ == 0 keeps `v` unevaluated: memcpy's pointer arguments are
+    // attribute-nonnull even for a zero-length copy.
+    if (num_words_ != 0) std::memcpy(words(), v, num_words_ * sizeof(uint64_t));
   }
 
   bool Intersects(const FlatBits& o) const {
@@ -122,6 +124,18 @@ class FlatBits {
       if ((w[k] & v[k]) != 0) return true;
     }
     return false;
+  }
+
+  /// True when every bit of `this` is also set in `o` (same width assumed) —
+  /// the transition system's letter-compatibility test: a state's positive
+  /// literals must be a subset of the letter signature.
+  bool SubsetOf(const FlatBits& o) const {
+    const uint64_t* w = words();
+    const uint64_t* v = o.words();
+    for (uint32_t k = 0; k < num_words_; ++k) {
+      if ((w[k] & ~v[k]) != 0) return false;
+    }
+    return true;
   }
 
   /// Calls `fn(index)` for every set bit, ascending.

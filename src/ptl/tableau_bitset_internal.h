@@ -1,0 +1,414 @@
+#ifndef TIC_PTL_TABLEAU_BITSET_INTERNAL_H_
+#define TIC_PTL_TABLEAU_BITSET_INTERNAL_H_
+
+// Building blocks of the closure-indexed bitset engine, shared between the
+// satisfiability searches (tableau_bitset.cc) and the compile-once transition
+// system (transition_system.cc). Not part of the public surface: states are
+// FlatBits over closure indices and only make sense next to the Closure that
+// produced them.
+
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "ptl/bitset.h"
+#include "ptl/closure.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace internal {
+
+// Resumable depth-first enumerator of the fully expanded, locally consistent
+// states covering a seed — the bitset counterpart of internal::Expander.
+// Alpha (non-branching) rules fire in closure-index order off a bitset
+// worklist; beta rules wait in a second worklist until the alpha queue drains
+// (the engine's always-on equivalent of defer_branching), then the
+// lowest-index beta member splits, with one explicit choice frame per split
+// instead of a recursive call. Enumeration order is the pre-order of the
+// branch tree, like the legacy expander; emitted states are not deduplicated
+// here — callers intern them.
+class BranchEnumerator {
+ public:
+  BranchEnumerator(const Closure* closure, const TableauOptions* options,
+                   TableauStats* stats)
+      : closure_(closure),
+        options_(options),
+        stats_(stats),
+        done_(closure->size()),
+        alpha_(closure->size()),
+        beta_(closure->size()) {}
+
+  // Begins enumeration over the cover of `seed` (closure indices). Counts one
+  // expansion, like the legacy expander's initial Rec entry.
+  Status Start(const std::vector<uint32_t>& seed) {
+    done_ = FlatBits(closure_->size());
+    alpha_ = FlatBits(closure_->size());
+    beta_ = FlatBits(closure_->size());
+    frames_.clear();
+    exhausted_ = false;
+    if (++stats_->num_expansions > options_->max_expansions) {
+      exhausted_ = true;
+      return Status::ResourceExhausted(
+          "tableau exceeded max_expansions = " +
+          std::to_string(options_->max_expansions));
+    }
+    for (uint32_t i : seed) Enqueue(i);
+    return Status::OK();
+  }
+
+  // Produces the next state into `*out` and sets `*produced`; false means the
+  // enumeration is exhausted. `*out` must have been constructed with the
+  // closure width.
+  Status Next(FlatBits* out, bool* produced) {
+    using Op = Closure::Op;
+    using Rule = Closure::Rule;
+    *produced = false;
+    if (exhausted_) return Status::OK();
+    while (true) {
+      // Alpha saturation: unit rules in ascending closure-index order.
+      bool clash = false;
+      uint32_t i;
+      while ((i = alpha_.FindFirst()) != FlatBits::kNpos) {
+        alpha_.Reset(i);
+        if (done_.Test(i)) continue;
+        const Rule& r = closure_->rule(i);
+        switch (r.op) {
+          case Op::kTrue:
+            break;  // trivially holds; like legacy, never asserted into done
+          case Op::kFalse:
+            clash = true;
+            break;
+          case Op::kLitPos:
+          case Op::kLitNeg:
+            if (r.complement != Closure::kNone && done_.Test(r.complement)) {
+              clash = true;
+              break;
+            }
+            done_.Set(i);
+            break;
+          case Op::kAnd:
+            done_.Set(i);
+            Enqueue(r.a);
+            Enqueue(r.b);
+            break;
+          case Op::kNext:
+            done_.Set(i);  // elementary: feeds the successor seed
+            break;
+          case Op::kAlways:
+            done_.Set(i);
+            Enqueue(r.a);
+            Enqueue(r.next_self);
+            break;
+          default:
+            break;  // unreachable: beta ops never land on the alpha queue
+        }
+        if (clash) break;
+      }
+      if (clash) {
+        if (!Backtrack()) return Status::OK();  // all branches closed
+        continue;
+      }
+
+      uint32_t b = beta_.FindFirst();
+      if (b == FlatBits::kNpos) {
+        // Both queues drained without a clash: `done_` is a state. Position
+        // at the innermost open choice before returning so the next call
+        // resumes there.
+        *out = done_;
+        *produced = true;
+        Backtrack();
+        return Status::OK();
+      }
+      beta_.Reset(b);
+      if (done_.Test(b)) continue;
+      const Rule& r = closure_->rule(b);
+      done_.Set(b);  // asserted on both alternatives, like legacy done.insert
+      switch (r.op) {
+        case Op::kOr:
+          // Subsumption: a disjunct (of the flattened Or-tree) already
+          // asserted discharges the disjunction without branching.
+          if (options_->use_subsumption && OrSubsumed(b)) break;
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.a);
+          break;
+        case Op::kUntil:
+          if (options_->use_subsumption && done_.Test(r.b)) break;
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.b);
+          break;
+        case Op::kRelease:
+          if (options_->use_subsumption && done_.Test(r.a)) {
+            // Releasing side already asserted: B alone discharges A R B now.
+            Enqueue(r.b);
+            break;
+          }
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.b);
+          Enqueue(r.a);
+          break;
+        case Op::kEventually:
+          if (options_->use_subsumption && done_.Test(r.a)) break;
+          TIC_RETURN_NOT_OK(PushFrame(b));
+          Enqueue(r.a);
+          break;
+        default:
+          break;  // unreachable: alpha ops never land on the beta queue
+      }
+    }
+  }
+
+ private:
+  struct Frame {
+    FlatBits done, alpha, beta;
+    uint32_t formula;
+  };
+
+  void Enqueue(uint32_t i) {
+    if (done_.Test(i)) return;
+    if (closure_->rule(i).is_alpha) {
+      alpha_.Set(i);
+    } else {
+      beta_.Set(i);
+    }
+  }
+
+  // True if some leaf of the flattened Or-tree of member `i` is already
+  // asserted. Walks the rule DAG lazily, like the legacy OrSubsumed — a
+  // precomputed per-Or leaf list would be quadratic in the closure size on
+  // deep disjunction chains.
+  bool OrSubsumed(uint32_t i) {
+    using Op = Closure::Op;
+    scratch_.clear();
+    scratch_.push_back(closure_->rule(i).a);
+    scratch_.push_back(closure_->rule(i).b);
+    while (!scratch_.empty()) {
+      uint32_t g = scratch_.back();
+      scratch_.pop_back();
+      const Closure::Rule& r = closure_->rule(g);
+      if (r.op == Op::kOr) {
+        scratch_.push_back(r.a);
+        scratch_.push_back(r.b);
+        continue;
+      }
+      if (done_.Test(g)) return true;
+    }
+    return false;
+  }
+
+  // Snapshots the branch state before applying the first alternative of a
+  // split. Counts one expansion — the legacy engine's recursive Rec call for
+  // the left alternative — and enforces the branch-depth budget.
+  Status PushFrame(uint32_t formula) {
+    if (++stats_->num_expansions > options_->max_expansions) {
+      exhausted_ = true;
+      return Status::ResourceExhausted(
+          "tableau exceeded max_expansions = " +
+          std::to_string(options_->max_expansions));
+    }
+    if (frames_.size() + 1 > options_->max_branch_depth) {
+      exhausted_ = true;
+      return Status::ResourceExhausted(
+          "tableau branch depth exceeded max_branch_depth = " +
+          std::to_string(options_->max_branch_depth));
+    }
+    frames_.push_back(Frame{done_, alpha_, beta_, formula});
+    return Status::OK();
+  }
+
+  // Restores the innermost choice point and applies its second alternative;
+  // false when no choice point remains (enumeration exhausted).
+  bool Backtrack() {
+    using Op = Closure::Op;
+    if (frames_.empty()) {
+      exhausted_ = true;
+      return false;
+    }
+    Frame fr = std::move(frames_.back());
+    frames_.pop_back();
+    done_ = std::move(fr.done);
+    alpha_ = std::move(fr.alpha);
+    beta_ = std::move(fr.beta);
+    const Closure::Rule& r = closure_->rule(fr.formula);
+    switch (r.op) {
+      case Op::kOr:
+        Enqueue(r.b);
+        break;
+      case Op::kUntil:
+        Enqueue(r.a);
+        Enqueue(r.next_self);
+        break;
+      case Op::kRelease:
+        Enqueue(r.b);
+        Enqueue(r.next_self);
+        break;
+      case Op::kEventually:
+        Enqueue(r.next_self);
+        break;
+      default:
+        break;
+    }
+    return true;
+  }
+
+  const Closure* closure_;
+  const TableauOptions* options_;
+  TableauStats* stats_;
+  FlatBits done_, alpha_, beta_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> scratch_;  // OrSubsumed walk stack
+  bool exhausted_ = false;
+};
+
+// State dedup: open-addressing (linear probing, power-of-two capacity) over
+// bitset states stored row-wise in one contiguous arena. A probe touches the
+// hash vector and, only on a candidate match, one memcmp of the row — no
+// per-state allocation, no pointer-chasing comparator. Row pointers are
+// invalidated by Intern (the arena grows); do not hold them across calls.
+class StateTable {
+ public:
+  explicit StateTable(uint32_t words_per_state)
+      : words_(words_per_state), slots_(kInitialSlots, UINT32_MAX) {}
+
+  size_t size() const { return hashes_.size(); }
+
+  const uint64_t* Row(uint32_t id) const {
+    return arena_.data() + static_cast<size_t>(id) * words_;
+  }
+
+  bool RowTest(uint32_t id, uint32_t bit) const {
+    return (Row(id)[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  // Interns `s`, minting a new id on first sight; `max_states` of 0 means
+  // unlimited (the safety search budgets visited states, not interned ones).
+  Result<uint32_t> Intern(const FlatBits& s, size_t max_states, bool* inserted) {
+    *inserted = false;
+    uint64_t h = s.Hash();
+    size_t mask = slots_.size() - 1;
+    size_t pos = static_cast<size_t>(h) & mask;
+    while (slots_[pos] != UINT32_MAX) {
+      uint32_t id = slots_[pos];
+      // words_ == 0 short-circuits: an empty arena's Row() is null, and
+      // memcmp's pointer arguments are attribute-nonnull even for length 0.
+      if (hashes_[id] == h &&
+          (words_ == 0 ||
+           std::memcmp(Row(id), s.words(), words_ * sizeof(uint64_t)) == 0)) {
+        return id;
+      }
+      pos = (pos + 1) & mask;
+    }
+    if (max_states != 0 && size() >= max_states) {
+      return Status::ResourceExhausted("tableau exceeded max_states = " +
+                                       std::to_string(max_states));
+    }
+    uint32_t id = static_cast<uint32_t>(hashes_.size());
+    hashes_.push_back(h);
+    arena_.insert(arena_.end(), s.words(), s.words() + words_);
+    slots_[pos] = id;
+    *inserted = true;
+    if (hashes_.size() * 10 >= slots_.size() * 7) Grow();
+    return id;
+  }
+
+ private:
+  static constexpr size_t kInitialSlots = 64;
+
+  void Grow() {
+    std::vector<uint32_t> fresh(slots_.size() * 2, UINT32_MAX);
+    size_t mask = fresh.size() - 1;
+    for (uint32_t id = 0; id < hashes_.size(); ++id) {
+      size_t pos = static_cast<size_t>(hashes_[id]) & mask;
+      while (fresh[pos] != UINT32_MAX) pos = (pos + 1) & mask;
+      fresh[pos] = id;
+    }
+    slots_ = std::move(fresh);
+  }
+
+  uint32_t words_;
+  std::vector<uint64_t> arena_;   // state id -> row of `words_` words
+  std::vector<uint64_t> hashes_;  // state id -> full hash
+  std::vector<uint32_t> slots_;   // open-addressing table over ids
+};
+
+// Shared scaffolding of the searches and the transition system: closure-
+// derived masks, the state table, and per-state helpers.
+class EngineBase {
+ public:
+  EngineBase(const Closure* closure, const TableauOptions* options,
+             TableauStats* stats)
+      : closure_(closure),
+        options_(options),
+        stats_(stats),
+        words_per_state_((closure->size() + 63) / 64),
+        table_(words_per_state_),
+        enumerator_(closure, options, stats),
+        next_mask_(closure->size()),
+        lit_mask_(closure->size()),
+        row_tmp_(closure->size()) {
+    using Op = Closure::Op;
+    for (uint32_t i = 0; i < closure->size(); ++i) {
+      Op op = closure->rule(i).op;
+      if (op == Op::kNext) next_mask_.Set(i);
+      if (op == Op::kLitPos) lit_mask_.Set(i);
+    }
+  }
+
+ protected:
+  // Enumerates the cover of `seed`, interning each state; `out_ids` receives
+  // the distinct successor ids in first-emission order (per-expansion dedup,
+  // like the legacy ExpandEach seen-set).
+  Status Cover(const std::vector<uint32_t>& seed, size_t max_states,
+               std::vector<uint32_t>* out_ids) {
+    TIC_RETURN_NOT_OK(enumerator_.Start(seed));
+    FlatBits state(closure_->size());
+    std::unordered_set<uint32_t> seen;
+    while (true) {
+      bool produced = false;
+      TIC_RETURN_NOT_OK(enumerator_.Next(&state, &produced));
+      if (!produced) break;
+      bool inserted = false;
+      TIC_ASSIGN_OR_RETURN(uint32_t id, table_.Intern(state, max_states, &inserted));
+      if (seen.insert(id).second) out_ids->push_back(id);
+    }
+    return Status::OK();
+  }
+
+  // Next-time obligations of a fully expanded state: X f bits map to f.
+  std::vector<uint32_t> SeedIndicesOf(uint32_t id) {
+    row_tmp_.AssignWords(table_.Row(id));
+    std::vector<uint32_t> seed;
+    row_tmp_.ForEachAnd(next_mask_,
+                        [&](uint32_t i) { seed.push_back(closure_->rule(i).a); });
+    return seed;
+  }
+
+  // The propositional assignment a state induces: positive atoms true.
+  PropState AssignmentOf(uint32_t id) {
+    PropState st;
+    row_tmp_.AssignWords(table_.Row(id));
+    row_tmp_.ForEachAnd(lit_mask_, [&](uint32_t i) {
+      st.Set(closure_->rule(i).atom, true);
+    });
+    return st;
+  }
+
+  const Closure* closure_;
+  const TableauOptions* options_;
+  TableauStats* stats_;
+  uint32_t words_per_state_;
+  StateTable table_;
+  BranchEnumerator enumerator_;
+  FlatBits next_mask_;  // bits of the X-members
+  FlatBits lit_mask_;   // bits of the positive literals
+  FlatBits row_tmp_;
+};
+
+}  // namespace internal
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_TABLEAU_BITSET_INTERNAL_H_

@@ -1,0 +1,477 @@
+#include "ptl/transition_system.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/telemetry/telemetry.h"
+#include "ptl/closure.h"
+#include "ptl/nnf.h"
+#include "ptl/safety.h"
+#include "ptl/tableau_bitset_internal.h"
+#include "ptl/tableau_internal.h"
+#include "ptl/verdict_cache.h"
+
+namespace tic {
+namespace ptl {
+
+namespace {
+
+struct IdVecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t seed = 0;
+    HashCombine(&seed, v.size());
+    for (uint32_t x : v) HashCombine(&seed, static_cast<size_t>(x));
+    return seed;
+  }
+};
+
+}  // namespace
+
+// All of the compiled automaton's mutable state. Methods assume the owning
+// TransitionSystem's mutex is held.
+struct TransitionSystem::Rep {
+  // Liveness trichotomy per tableau state.
+  enum : uint8_t { kUnknown = 0, kLive = 1, kDead = 2 };
+
+  Closure closure;
+  TableauOptions options;
+  TableauStats tstats;
+
+  // Thin adapter publishing the protected EngineBase machinery to Rep.
+  struct Core : internal::EngineBase {
+    using internal::EngineBase::EngineBase;
+    using internal::EngineBase::Cover;
+    using internal::EngineBase::SeedIndicesOf;
+    using internal::EngineBase::table_;
+    using internal::EngineBase::lit_mask_;
+  };
+  Core core;
+
+  bool safe = false;
+
+  // Alphabet: the atoms the closure's literals mention, in closure-index
+  // order of first occurrence (deterministic across runs).
+  std::vector<PropId> alphabet;
+  std::unordered_map<PropId, uint32_t> alpha_index;
+  std::vector<uint32_t> canon_of_alpha;  // alphabet pos -> canonical letter idx
+  FlatBits neg_lit_mask;                 // closure bits of the kLitNeg members
+
+  // Per-state metadata, grown whenever Cover interns new states.
+  std::vector<FlatBits> pos_mask;  // positive literal atoms, over the alphabet
+  std::vector<FlatBits> neg_mask;  // negated literal atoms, over the alphabet
+  std::vector<uint8_t> live;       // kUnknown / kLive / kDead
+  std::vector<std::vector<uint32_t>> edges;
+  std::vector<uint8_t> expanded;
+
+  // State-set interning: sorted id vectors. Map nodes are stable, so
+  // set_by_id holds pointers to the interned keys.
+  std::unordered_map<std::vector<uint32_t>, uint32_t, IdVecHash> set_ids;
+  std::vector<const std::vector<uint32_t>*> set_by_id;
+  uint32_t empty_set = 0;
+
+  // Letter-signature interning (bitsets over the alphabet) and the
+  // transition memo keyed by (state-set id, signature id).
+  internal::StateTable sig_table;
+  std::unordered_map<uint64_t, TransitionStep> memo;
+
+  uint64_t steps = 0;
+  uint64_t memo_hits = 0;
+  uint64_t live_queries = 0;
+
+  // Scratch reused across Step calls (all under the owner's lock).
+  FlatBits sig_scratch;
+  std::vector<uint32_t> survivors_scratch;
+  std::vector<uint32_t> next_scratch;
+
+  Rep(Closure c, const TableauOptions& o)
+      : closure(std::move(c)),
+        options(o),
+        core(&closure, &options, &tstats),
+        neg_lit_mask(closure.size()),
+        sig_table(0),  // re-seated by BuildAlphabet once the width is known
+        sig_scratch() {}
+
+  void BuildAlphabet() {
+    using Op = Closure::Op;
+    for (uint32_t i = 0; i < closure.size(); ++i) {
+      const Closure::Rule& r = closure.rule(i);
+      PropId atom;
+      if (r.op == Op::kLitPos) {
+        atom = r.atom;
+      } else if (r.op == Op::kLitNeg) {
+        atom = closure.member(i)->child(0)->atom();
+        neg_lit_mask.Set(i);
+      } else {
+        continue;
+      }
+      if (alpha_index.emplace(atom, static_cast<uint32_t>(alphabet.size())).second) {
+        alphabet.push_back(atom);
+      }
+    }
+    uint32_t width = static_cast<uint32_t>(alphabet.size());
+    sig_table = internal::StateTable((width + 63) / 64);
+    sig_scratch = FlatBits(width);
+  }
+
+  uint32_t AlphaIndexOf(uint32_t closure_idx) const {
+    using Op = Closure::Op;
+    const Closure::Rule& r = closure.rule(closure_idx);
+    PropId atom = r.op == Op::kLitPos ? r.atom
+                                      : closure.member(closure_idx)->child(0)->atom();
+    return alpha_index.at(atom);
+  }
+
+  // Extends the per-state vectors to cover states interned since the last
+  // call, deriving each new state's literal masks from its arena row.
+  void GrowStateMeta() {
+    uint32_t width = static_cast<uint32_t>(alphabet.size());
+    FlatBits row(closure.size());
+    for (uint32_t id = static_cast<uint32_t>(pos_mask.size());
+         id < core.table_.size(); ++id) {
+      FlatBits pos(width), neg(width);
+      row.AssignWords(core.table_.Row(id));
+      row.ForEachAnd(core.lit_mask_, [&](uint32_t i) { pos.Set(AlphaIndexOf(i)); });
+      row.ForEachAnd(neg_lit_mask, [&](uint32_t i) { neg.Set(AlphaIndexOf(i)); });
+      pos_mask.push_back(std::move(pos));
+      neg_mask.push_back(std::move(neg));
+      live.push_back(kUnknown);
+      edges.emplace_back();
+      expanded.push_back(0);
+    }
+  }
+
+  uint32_t InternSet(std::vector<uint32_t> ids) {
+    auto [it, inserted] =
+        set_ids.emplace(std::move(ids), static_cast<uint32_t>(set_by_id.size()));
+    if (inserted) set_by_id.push_back(&it->first);
+    return it->second;
+  }
+
+  Status EnsureExpanded(uint32_t s) {
+    if (expanded[s]) return Status::OK();
+    std::vector<uint32_t> succs;
+    TIC_RETURN_NOT_OK(core.Cover(core.SeedIndicesOf(s), options.max_states, &succs));
+    GrowStateMeta();
+    tstats.num_edges += succs.size();
+    edges[s] = std::move(succs);
+    expanded[s] = 1;
+    return Status::OK();
+  }
+
+  bool Compatible(uint32_t s, const FlatBits& sig) const {
+    return pos_mask[s].SubsetOf(sig) && !neg_mask[s].Intersects(sig);
+  }
+
+  // Liveness of one tableau state in lazy (safe) mode: without obligations
+  // every infinite path is accepting, so live == "a cycle is reachable".
+  // Iterative DFS with a persistent live/dead memo: hitting a known-live state
+  // or closing a cycle marks the whole DFS path live (every path state reaches
+  // the cycle); a state whose subtree exhausts cannot reach any cycle — had it
+  // reached an on-path ancestor the cycle check would have fired — so it is
+  // dead for every future query too.
+  Result<bool> LiveStateSafe(uint32_t root) {
+    if (live[root] != kUnknown) return live[root] == kLive;
+    ++live_queries;
+    struct Lv {
+      uint32_t id;
+      size_t edge;
+    };
+    std::vector<Lv> stack{{root, 0}};
+    std::unordered_map<uint32_t, size_t> on_path{{root, 0}};
+    auto mark_path_live = [&] {
+      for (const Lv& lv : stack) live[lv.id] = kLive;
+    };
+    while (!stack.empty()) {
+      Lv& top = stack.back();
+      TIC_RETURN_NOT_OK(EnsureExpanded(top.id));
+      if (top.edge >= edges[top.id].size()) {
+        live[top.id] = kDead;
+        on_path.erase(top.id);
+        stack.pop_back();
+        continue;
+      }
+      uint32_t w = edges[top.id][top.edge++];
+      if (live[w] == kLive || on_path.count(w) > 0) {
+        mark_path_live();
+        return true;
+      }
+      if (live[w] == kDead) continue;
+      on_path.emplace(w, stack.size());
+      stack.push_back({w, 0});
+    }
+    return false;  // root (and its whole subtree) marked dead
+  }
+
+  Result<bool> LiveState(uint32_t s) {
+    if (safe) return LiveStateSafe(s);
+    return live[s] == kLive;  // general mode: resolved at compile time
+  }
+
+  // General (non-safe) mode: materialize the whole reachable graph, then
+  // resolve liveness by SCC analysis — a state is live iff it reaches a
+  // nontrivial self-fulfilling SCC (Lichtenstein–Pnueli). ComputeSccs emits
+  // components in reverse topological order, so successors of component c
+  // always have smaller ids and one ascending pass propagates liveness.
+  Status MaterializeAndSolve() {
+    size_t head = 0;
+    while (head < core.table_.size()) {
+      TIC_RETURN_NOT_OK(EnsureExpanded(static_cast<uint32_t>(head)));
+      ++head;
+    }
+    std::vector<uint32_t> scc_of;
+    std::vector<std::vector<uint32_t>> members = internal::ComputeSccs(edges, &scc_of);
+    std::vector<char> comp_live(members.size(), 0);
+    for (size_t c = 0; c < members.size(); ++c) {
+      bool nontrivial = members[c].size() > 1;
+      if (!nontrivial) {
+        uint32_t v = members[c][0];
+        for (uint32_t w : edges[v]) {
+          if (w == v) nontrivial = true;
+        }
+      }
+      bool ok = false;
+      if (nontrivial) {
+        // Self-fulfilling: every obligation asserted in the SCC has its goal
+        // asserted somewhere in the SCC.
+        FlatBits all(closure.size());
+        for (uint32_t v : members[c]) all.OrWords(core.table_.Row(v));
+        ok = true;
+        all.ForEachAnd(closure.obligation_mask(), [&](uint32_t i) {
+          if (!all.Test(closure.rule(i).goal)) ok = false;
+        });
+      }
+      if (!ok) {
+        for (uint32_t v : members[c]) {
+          for (uint32_t w : edges[v]) {
+            if (scc_of[w] != c && comp_live[scc_of[w]]) {
+              ok = true;
+              break;
+            }
+          }
+          if (ok) break;
+        }
+      }
+      comp_live[c] = ok ? 1 : 0;
+    }
+    for (uint32_t id = 0; id < live.size(); ++id) {
+      live[id] = comp_live[scc_of[id]] ? kLive : kDead;
+    }
+    return Status::OK();
+  }
+
+  // Projects `w` onto the alphabet through the caller's canonical letters and
+  // interns the signature.
+  Result<uint32_t> InternSig(const PropState& w, const std::vector<PropId>& letters) {
+    uint32_t width = static_cast<uint32_t>(alphabet.size());
+    FlatBits sig(width);
+    for (uint32_t j = 0; j < width; ++j) {
+      uint32_t canon = canon_of_alpha[j];
+      if (canon >= letters.size()) {
+        return Status::InvalidArgument(
+            "letter mapping too small for this transition system");
+      }
+      if (w.Get(letters[canon])) sig.Set(j);
+    }
+    bool inserted = false;
+    return sig_table.Intern(sig, 0, &inserted);
+  }
+};
+
+TransitionSystem::TransitionSystem() = default;
+TransitionSystem::~TransitionSystem() = default;
+
+Result<std::shared_ptr<TransitionSystem>> TransitionSystem::Compile(
+    Factory* factory, Formula f, const TableauOptions& options) {
+  TIC_SPAN("automaton.compile");
+  TIC_COUNTER_ADD("automaton/compiles", 1);
+  Formula nnf = ToNnf(factory, f);
+  std::optional<CanonicalFormula> cf = Canonicalize(nnf);
+
+  std::shared_ptr<TransitionSystem> ts(new TransitionSystem());
+  TIC_ASSIGN_OR_RETURN(Closure closure, Closure::Build(factory, nnf));
+  ts->rep_ = std::make_unique<Rep>(std::move(closure), options);
+  Rep& r = *ts->rep_;
+  r.BuildAlphabet();
+  r.safe = ts->safe_ = IsSyntacticallySafe(factory, nnf);
+
+  if (cf.has_value()) {
+    std::unordered_map<PropId, uint32_t> inverse;
+    for (uint32_t i = 0; i < cf->letters.size(); ++i) {
+      inverse.emplace(cf->letters[i], i);
+    }
+    r.canon_of_alpha.resize(r.alphabet.size());
+    for (uint32_t j = 0; j < r.alphabet.size(); ++j) {
+      auto it = inverse.find(r.alphabet[j]);
+      if (it == inverse.end()) {
+        return Status::Internal("closure letter missing from canonical form");
+      }
+      r.canon_of_alpha[j] = it->second;
+    }
+    ts->default_letters_ = cf->letters;
+  } else {
+    // Too large to canonicalize: identity mapping, no cross-renaming sharing.
+    r.canon_of_alpha.resize(r.alphabet.size());
+    for (uint32_t j = 0; j < r.alphabet.size(); ++j) r.canon_of_alpha[j] = j;
+    ts->default_letters_ = r.alphabet;
+  }
+
+  std::vector<uint32_t> initial;
+  TIC_RETURN_NOT_OK(r.core.Cover({r.closure.root()}, options.max_states, &initial));
+  r.GrowStateMeta();
+  std::sort(initial.begin(), initial.end());
+  r.empty_set = r.InternSet({});
+  ts->initial_set_ = r.InternSet(std::move(initial));
+
+  if (!ts->safe_) TIC_RETURN_NOT_OK(r.MaterializeAndSolve());
+  return ts;
+}
+
+Result<TransitionStep> TransitionSystem::Step(uint32_t set_id,
+                                              const PropState& letter,
+                                              const std::vector<PropId>& letters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rep& r = *rep_;
+  if (set_id >= r.set_by_id.size()) {
+    return Status::InvalidArgument("unknown state-set id");
+  }
+  ++r.steps;
+  TIC_ASSIGN_OR_RETURN(uint32_t sig_id, r.InternSig(letter, letters));
+  uint64_t key = (static_cast<uint64_t>(set_id) << 32) | sig_id;
+  auto hit = r.memo.find(key);
+  if (hit != r.memo.end()) {
+    ++r.memo_hits;
+    TIC_COUNTER_ADD("automaton/transition_memo_hits", 1);
+    return hit->second;
+  }
+  TIC_COUNTER_ADD("automaton/transition_memo_misses", 1);
+
+  r.sig_scratch.AssignWords(r.sig_table.Row(sig_id));
+  const std::vector<uint32_t>& current = *r.set_by_id[set_id];
+  r.survivors_scratch.clear();
+  for (uint32_t s : current) {
+    if (r.Compatible(s, r.sig_scratch)) r.survivors_scratch.push_back(s);
+  }
+
+  TransitionStep step;
+  step.any_survivor = !r.survivors_scratch.empty();
+  if (!step.any_survivor) {
+    step.next = r.empty_set;
+    step.live = false;
+  } else {
+    r.next_scratch.clear();
+    for (uint32_t s : r.survivors_scratch) {
+      TIC_RETURN_NOT_OK(r.EnsureExpanded(s));
+      r.next_scratch.insert(r.next_scratch.end(), r.edges[s].begin(),
+                            r.edges[s].end());
+    }
+    std::sort(r.next_scratch.begin(), r.next_scratch.end());
+    r.next_scratch.erase(
+        std::unique(r.next_scratch.begin(), r.next_scratch.end()),
+        r.next_scratch.end());
+    step.next = r.InternSet(r.next_scratch);
+    step.live = false;
+    for (uint32_t s : r.survivors_scratch) {
+      TIC_ASSIGN_OR_RETURN(bool l, r.LiveState(s));
+      if (l) {
+        step.live = true;
+        break;
+      }
+    }
+  }
+  r.memo.emplace(key, step);
+  return step;
+}
+
+Result<TransitionStep> TransitionSystem::Step(uint32_t set_id,
+                                              const PropState& letter) {
+  return Step(set_id, letter, default_letters_);
+}
+
+Result<bool> TransitionSystem::Live(uint32_t set_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rep& r = *rep_;
+  if (set_id >= r.set_by_id.size()) {
+    return Status::InvalidArgument("unknown state-set id");
+  }
+  for (uint32_t s : *r.set_by_id[set_id]) {
+    TIC_ASSIGN_OR_RETURN(bool l, r.LiveState(s));
+    if (l) return true;
+  }
+  return false;
+}
+
+TransitionSystemStats TransitionSystem::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Rep& r = *rep_;
+  TransitionSystemStats s;
+  s.num_states = r.core.table_.size();
+  s.num_edges = r.tstats.num_edges;
+  s.num_state_sets = r.set_by_id.size();
+  s.num_signatures = r.sig_table.size();
+  s.steps = r.steps;
+  s.memo_hits = r.memo_hits;
+  s.live_queries = r.live_queries;
+  s.alphabet_size = r.alphabet.size();
+  return s;
+}
+
+AutomatonCache::AutomatonCache(size_t capacity) : capacity_(capacity) {}
+
+Result<AutomatonHandle> AutomatonCache::Get(Factory* factory, Formula f,
+                                            const TableauOptions& options) {
+  Formula nnf = ToNnf(factory, f);
+  std::optional<CanonicalFormula> cf = Canonicalize(nnf);
+  if (!cf.has_value()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    TIC_ASSIGN_OR_RETURN(std::shared_ptr<TransitionSystem> ts,
+                         TransitionSystem::Compile(factory, nnf, options));
+    return AutomatonHandle{ts, ts->default_letters()};
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(cf->key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return AutomatonHandle{it->second->second, std::move(cf->letters)};
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Compile outside the lock: concurrent misses on the same key may compile
+  // twice, but the first insert wins and nothing blocks behind a compile.
+  TIC_ASSIGN_OR_RETURN(std::shared_ptr<TransitionSystem> ts,
+                       TransitionSystem::Compile(factory, nnf, options));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(cf->key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return AutomatonHandle{it->second->second, std::move(cf->letters)};
+    }
+    lru_.emplace_front(cf->key, ts);
+    index_.emplace(cf->key, lru_.begin());
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entries_.store(lru_.size(), std::memory_order_relaxed);
+  }
+  return AutomatonHandle{std::move(ts), std::move(cf->letters)};
+}
+
+AutomatonCacheStats AutomatonCache::stats() const {
+  AutomatonCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace ptl
+}  // namespace tic

@@ -1,0 +1,178 @@
+#ifndef TIC_PTL_TRANSITION_SYSTEM_H_
+#define TIC_PTL_TRANSITION_SYSTEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ptl/formula.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+
+/// \brief Outcome of pushing one letter through a state-set.
+struct TransitionStep {
+  /// Interned id of the successor state-set (the next basis).
+  uint32_t next = 0;
+  /// Some tableau state of the set was compatible with the letter. False
+  /// means the residual is already propositionally inconsistent with the new
+  /// state — the compile-once analogue of the residual collapsing to `false`.
+  bool any_survivor = false;
+  /// Some surviving state admits an accepting infinite extension: the residual
+  /// after this letter is satisfiable. This is the monitor's
+  /// potential-satisfaction verdict, with no per-update CheckSat.
+  bool live = false;
+};
+
+/// \brief Size and cache counters of one compiled transition system,
+/// cumulative over its lifetime (which may span several monitors when shared
+/// through an AutomatonCache).
+struct TransitionSystemStats {
+  uint64_t num_states = 0;       ///< interned tableau states
+  uint64_t num_edges = 0;        ///< materialized successor edges
+  uint64_t num_state_sets = 0;   ///< interned state-sets
+  uint64_t num_signatures = 0;   ///< interned letter signatures
+  uint64_t steps = 0;            ///< Step calls
+  uint64_t memo_hits = 0;        ///< Step calls answered by the memo table
+  uint64_t live_queries = 0;     ///< lazy liveness searches actually run
+  uint64_t alphabet_size = 0;    ///< atoms mentioned by the closure
+};
+
+/// \brief A formula compiled once into a closure-indexed automaton: tableau
+/// states are flat bitsets over the Fischer–Ladner closure, a *state-set* is
+/// the set of tableau states consistent with the letters consumed so far, and
+/// one update is a memoized `(state-set id, letter signature) -> state-set id`
+/// transition.
+///
+/// Semantics (the Lemma 4.2 correspondence): after pushing letters
+/// w_0..w_t through `initial()`, the returned step's `live` flag equals
+/// satisfiability of Progress(...Progress(f, w_0)..., w_t) — what the
+/// progression backend obtains by rewriting the formula and re-running
+/// CheckSat per update. Liveness of a tableau state ("an accepting infinite
+/// path exists") is precomputed per *state*, so the per-update check is a
+/// survivor scan instead of a tableau search.
+///
+/// Compilation is lazy for syntactically safe formulas (no Until/Eventually in
+/// NNF): states, edges and liveness bits materialize on demand and are
+/// memoized, so only the part of the automaton the history actually visits is
+/// ever built — mirroring the safety fast path. Non-safe formulas eagerly
+/// materialize the reachable graph and resolve liveness by self-fulfilling-SCC
+/// analysis at compile time.
+///
+/// Letter signatures are projected through a canonical letter numbering
+/// (ptl::Canonicalize), so one compiled system serves every formula that is an
+/// injective letter-renaming of the compiled one — the same equivalence the
+/// verdict cache exploits. All methods are thread-safe (one internal mutex);
+/// state-set and signature ids are only meaningful within this instance.
+class TransitionSystem {
+ public:
+  ~TransitionSystem();
+  TransitionSystem(const TransitionSystem&) = delete;
+  TransitionSystem& operator=(const TransitionSystem&) = delete;
+
+  /// Compiles `f` (NNF'd internally). Budgets come from `options` (max_states,
+  /// max_expansions, max_branch_depth); the verdict cache and engine fields
+  /// are ignored. Fails with ResourceExhausted when a non-safe formula's
+  /// reachable graph exceeds the budgets.
+  static Result<std::shared_ptr<TransitionSystem>> Compile(
+      Factory* factory, Formula f, const TableauOptions& options = {});
+
+  /// State-set id of the initial cover — the basis before any letter.
+  uint32_t initial() const { return initial_set_; }
+
+  /// Canonical-index -> concrete-letter mapping of the formula this system was
+  /// compiled from. Callers that compiled directly (not through a cache) pass
+  /// this to Step/Live.
+  const std::vector<PropId>& default_letters() const { return default_letters_; }
+
+  /// True when the compiled formula was syntactically safe (lazy mode).
+  bool safe() const { return safe_; }
+
+  /// Pushes one letter: survivors of `set_id` under `letter`, their successor
+  /// union, and the liveness verdict. Memoized on (set id, letter signature).
+  /// `letters` maps canonical letter indices to the caller's PropIds (use
+  /// default_letters() when not sharing through a cache).
+  Result<TransitionStep> Step(uint32_t set_id, const PropState& letter,
+                              const std::vector<PropId>& letters);
+  Result<TransitionStep> Step(uint32_t set_id, const PropState& letter);
+
+  /// Satisfiability at the current basis: does some state of the set admit an
+  /// accepting infinite path? `Live(initial())` decides the compiled formula
+  /// itself (used for the empty-word case).
+  Result<bool> Live(uint32_t set_id);
+
+  TransitionSystemStats stats() const;
+
+ private:
+  struct Rep;
+
+  TransitionSystem();
+
+  std::unique_ptr<Rep> rep_;
+  mutable std::mutex mu_;
+  uint32_t initial_set_ = 0;
+  bool safe_ = false;
+  std::vector<PropId> default_letters_;
+};
+
+/// \brief Handle returned by AutomatonCache::Get: the (possibly shared)
+/// compiled system plus the caller's canonical-index -> letter mapping, which
+/// Step needs to project concrete PropStates onto the shared alphabet.
+struct AutomatonHandle {
+  std::shared_ptr<TransitionSystem> ts;
+  std::vector<PropId> letters;
+};
+
+/// \brief Counters of the automaton cache, mirroring VerdictCacheStats.
+struct AutomatonCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+  uint64_t capacity = 0;
+};
+
+/// \brief Bounded, thread-safe LRU cache of compiled transition systems keyed
+/// by canonical formula form (letter-renaming-invariant, cross-factory) — the
+/// same injection pattern as VerdictCache. Share one instance across monitors
+/// and trigger managers through `CheckOptions::automaton_cache`: grounding
+/// instances over different domain elements are letter-renamings of one
+/// another, so they all run on one compiled automaton and one transition memo.
+class AutomatonCache {
+ public:
+  explicit AutomatonCache(size_t capacity = 128);
+
+  /// Returns the compiled system for `f`, compiling (outside the cache lock)
+  /// on miss. Formulas too large to canonicalize bypass the cache and compile
+  /// privately.
+  Result<AutomatonHandle> Get(Factory* factory, Formula f,
+                              const TableauOptions& options = {});
+
+  AutomatonCacheStats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<std::string, std::shared_ptr<TransitionSystem>>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace ptl
+}  // namespace tic
+
+#endif  // TIC_PTL_TRANSITION_SYSTEM_H_

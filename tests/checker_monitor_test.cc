@@ -267,8 +267,12 @@ TEST_F(MonitorTest, ParallelVerdictsMatchSequentialBitForBit) {
 
 TEST_F(MonitorTest, VerdictCacheAccumulatesHitsOnSteadyStates) {
   // A steady stream keeps producing residual conjunctions the monitor has
-  // already decided; the shared verdict cache must start hitting.
-  auto m = *Monitor::Create(fac_, submit_once_);
+  // already decided; the shared verdict cache must start hitting. Pinned to
+  // the progression backend: the automaton backend memoizes transitions, so
+  // steady states never reach CheckSat (and thus the verdict cache) at all.
+  CheckOptions options;
+  options.backend = MonitorBackend::kProgression;
+  auto m = *Monitor::Create(fac_, submit_once_, {}, options);
   MonitorVerdict last;
   for (int step = 0; step < 6; ++step) {
     auto v = m->ApplyTransaction(Txn({}, {1}));  // Fill(1) every state
@@ -278,6 +282,29 @@ TEST_F(MonitorTest, VerdictCacheAccumulatesHitsOnSteadyStates) {
   }
   EXPECT_GT(last.verdict_cache_stats.hits + last.verdict_cache_stats.misses, 0u);
   EXPECT_GT(last.verdict_cache_stats.hits, 0u);
+}
+
+TEST_F(MonitorTest, AutomatonBackendMemoizesSteadyStates) {
+  // Same steady stream on the automaton backend: after the first occurrence
+  // of a (residual, letter) pair, updates are pure transition-memo hits and
+  // the tableau never runs again — live_queries stays at the number of
+  // distinct residuals reached.
+  auto m = *Monitor::Create(fac_, submit_once_);
+  MonitorVerdict last;
+  for (int step = 0; step < 6; ++step) {
+    auto v = m->ApplyTransaction(Txn({}, {1}));  // Fill(1) every state
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    EXPECT_TRUE(v->potentially_satisfied);
+    EXPECT_EQ(v->backend, MonitorBackend::kAutomaton);
+    last = *v;
+  }
+  EXPECT_EQ(last.automaton_stats.steps, 6u);
+  EXPECT_GT(last.automaton_stats.memo_hits, 0u);
+  // Steady loop: the residual graph stabilizes after at most two states, so
+  // at least the last four updates were memo hits with zero tableau work.
+  EXPECT_GE(last.automaton_stats.memo_hits, 4u);
+  EXPECT_EQ(last.automaton_stats.live_queries, last.automaton_stats.num_states);
+  EXPECT_EQ(last.tableau_stats.num_expansions, 0u);  // final update: pure lookup
 }
 
 TEST_F(MonitorTest, TableauStatsPerUpdateAndCumulative) {

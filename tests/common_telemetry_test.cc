@@ -222,6 +222,10 @@ TEST_F(TelemetryTest, MonitorRunProducesPhaseSplitAndTrace) {
   auto sink = std::make_shared<TraceSink>();
   checker::CheckOptions options;
   options.trace_sink = sink;
+  // This test asserts the progression backend's per-update phase split
+  // (progress + sat_check every update); the automaton backend collapses
+  // steady-state updates to memo lookups and is covered below.
+  options.backend = checker::MonitorBackend::kProgression;
   auto m = checker::Monitor::Create(fac, submit_once, {}, options);
   ASSERT_TRUE(m.ok()) << m.status().ToString();
 
@@ -274,6 +278,53 @@ TEST_F(TelemetryTest, MonitorRunProducesPhaseSplitAndTrace) {
   auto doc = ParseJson(json, &parse_error);
   ASSERT_TRUE(doc.has_value()) << parse_error;
   EXPECT_NE(doc->Find("span/monitor.update/count"), nullptr);
+}
+
+TEST_F(TelemetryTest, AutomatonBackendEmitsStepSpansAndMemoCounters) {
+  auto v = std::make_shared<Vocabulary>();
+  PredicateId sub = *v->AddPredicate("Sub", 1);
+  PredicateId fill = *v->AddPredicate("Fill", 1);
+  VocabularyPtr vocab = v;
+  auto fac = std::make_shared<fotl::FormulaFactory>(vocab);
+  fotl::Formula submit_once =
+      *fotl::Parse(fac.get(), "forall x . G (Sub(x) -> X G !Sub(x))");
+
+  auto sink = std::make_shared<TraceSink>();
+  checker::CheckOptions options;
+  options.trace_sink = sink;
+  auto m = checker::Monitor::Create(fac, submit_once, {}, options);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+
+  for (int t = 0; t < 60; ++t) {
+    Transaction txn;
+    txn.push_back(UpdateOp::Insert(sub, {static_cast<Value>(t % 5 + 1)}));
+    if (t > 0) txn.push_back(UpdateOp::Insert(fill, {static_cast<Value>((t - 1) % 5 + 1)}));
+    txn.push_back(UpdateOp::Delete(sub, {static_cast<Value>(t % 5 + 1)}));
+    auto verdict = (*m)->ApplyTransaction(txn);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  }
+  SetTraceSink(nullptr);
+
+  MetricsSnapshot snap = CollectMetrics();
+  const HistogramData* update = FindHistogram(snap, "span/monitor.update");
+  const HistogramData* step =
+      FindHistogram(snap, "span/monitor.update/monitor.automaton_step");
+  ASSERT_NE(update, nullptr);
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(update->count, 60u);
+  // Every update after the compiling ones is a single automaton step.
+  EXPECT_GT(step->count, 0u);
+  uint64_t hits = CounterValue(snap, "automaton/transition_memo_hits");
+  uint64_t misses = CounterValue(snap, "automaton/transition_memo_misses");
+  EXPECT_GT(hits + misses, 0u);
+  // The 5-element round-robin revisits database states, so the memo must hit.
+  EXPECT_GT(hits, misses);
+
+  std::string error;
+  size_t num_events = 0;
+  ASSERT_TRUE(ValidateChromeTrace(sink->SerializeChromeTrace(), &error, &num_events))
+      << error;
+  EXPECT_GE(num_events, 60u);
 }
 
 #else  // !TIC_TELEMETRY_ENABLED

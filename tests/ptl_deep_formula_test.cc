@@ -8,6 +8,10 @@
 #include <memory>
 #include <string>
 
+#include "checker/grounding.h"
+#include "checker/monitor.h"
+#include "db/history.h"
+#include "fotl/factory.h"
 #include "ptl/formula.h"
 #include "ptl/nnf.h"
 #include "ptl/safety.h"
@@ -82,6 +86,50 @@ TEST_F(DeepFormulaTest, DeepRightNestedDisjunctionStillDecided) {
   auto r = CheckSat(&fac_, f, TableauOptions{});
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_TRUE(r->satisfiable);
+}
+
+// Checker-side deep-matrix coverage: Monitor::Create's safety-skeleton walk
+// and GroundMatrix, plus grounding's builtin-atom scan, are explicit-stack
+// traversals — a ~100k-deep first-order matrix must not overflow the native
+// call stack on the way to a verdict (or a clean NotSupported).
+
+TEST_F(DeepFormulaTest, MonitorCreateHandlesDeepMatrix) {
+  auto v = std::make_shared<Vocabulary>();
+  PredicateId p = *v->AddPredicate("P", 1);
+  VocabularyPtr vocab = v;
+  auto ffac = std::make_shared<fotl::FormulaFactory>(vocab);
+  fotl::VarId x = ffac->InternVar("x");
+  // forall x . (P(x) & X (P(x) & X (... ~50k levels ...))) — a safe matrix
+  // deep enough that both the skeleton-abstraction walk and the grounding
+  // walk would need one native frame per level if they recursed.
+  constexpr size_t kMatrixDepth = 50000;
+  fotl::Formula body = *ffac->Atom(p, {fotl::Term::Var(x)});
+  for (size_t i = 0; i < kMatrixDepth; ++i) {
+    body = ffac->And(*ffac->Atom(p, {fotl::Term::Var(x)}), ffac->Next(body));
+  }
+  fotl::Formula phi = ffac->Forall(x, body);
+  auto m = checker::Monitor::Create(ffac, phi);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+}
+
+TEST_F(DeepFormulaTest, GroundingRejectsDeepBuiltinMatrixWithoutOverflow) {
+  auto v = std::make_shared<Vocabulary>();
+  PredicateId p = *v->AddPredicate("P", 1);
+  PredicateId zero = *v->AddBuiltin("Zero", Builtin::kZero);
+  VocabularyPtr vocab = v;
+  auto ffac = std::make_shared<fotl::FormulaFactory>(vocab);
+  fotl::VarId x = ffac->InternVar("x");
+  // The builtin sits at the very bottom of a ~100k-deep Next/And chain, so
+  // the builtin-atom scan must walk the entire chain before it can reject.
+  fotl::Formula body = *ffac->Atom(zero, {fotl::Term::Var(x)});
+  for (size_t i = 0; i < kDepth; ++i) {
+    body = ffac->And(*ffac->Atom(p, {fotl::Term::Var(x)}), ffac->Next(body));
+  }
+  fotl::Formula phi = ffac->Forall(x, body);
+  History h = *History::Create(vocab, {});
+  auto g = checker::GroundUniversal(*ffac, phi, h);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsNotSupported()) << g.status().ToString();
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// Tests for the compile-once transition system: per-letter verdict agreement
+// with the progression + CheckSat reference (Lemma 4.2 two-phase procedure),
+// lazy-safe vs eager-general liveness, transition memoization, and the
+// renaming-invariant AutomatonCache sharing.
+
+#include "ptl/transition_system.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ptl/formula.h"
+#include "ptl/nnf.h"
+#include "ptl/progress.h"
+#include "ptl/tableau.h"
+#include "ptl/word.h"
+
+namespace tic {
+namespace ptl {
+namespace {
+
+// Deterministic splitmix64 — tests must not depend on seeding.
+uint64_t Mix(uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class TransitionSystemTest : public ::testing::Test {
+ protected:
+  TransitionSystemTest()
+      : vocab_(std::make_shared<PropVocabulary>()), fac_(vocab_) {
+    p_ = vocab_->Intern("p");
+    q_ = vocab_->Intern("q");
+    r_ = vocab_->Intern("r");
+  }
+
+  // Reference verdict: progress `f` through the word and CheckSat the
+  // residual after each letter.
+  std::vector<bool> ReferenceVerdicts(Formula f, const Word& w) {
+    std::vector<bool> out;
+    Formula residual = f;
+    for (const PropState& st : w) {
+      auto prog = Progress(&fac_, residual, st);
+      EXPECT_TRUE(prog.ok()) << prog.status().message();
+      residual = *prog;
+      auto sat = CheckSat(&fac_, residual);
+      EXPECT_TRUE(sat.ok()) << sat.status().message();
+      out.push_back(sat->satisfiable);
+    }
+    return out;
+  }
+
+  // Automaton verdict for the same word.
+  std::vector<bool> AutomatonVerdicts(Formula f, const Word& w) {
+    auto ts = TransitionSystem::Compile(&fac_, f);
+    EXPECT_TRUE(ts.ok()) << ts.status().message();
+    std::vector<bool> out;
+    uint32_t set = (*ts)->initial();
+    for (const PropState& st : w) {
+      auto step = (*ts)->Step(set, st);
+      EXPECT_TRUE(step.ok()) << step.status().message();
+      set = step->next;
+      out.push_back(step->live);
+    }
+    return out;
+  }
+
+  void ExpectAgreement(Formula f, const Word& w) {
+    EXPECT_EQ(AutomatonVerdicts(f, w), ReferenceVerdicts(f, w))
+        << "formula: " << ToString(fac_, f);
+  }
+
+  PropState S(std::initializer_list<PropId> trues) {
+    PropState st;
+    for (PropId x : trues) st.Set(x, true);
+    return st;
+  }
+
+  PropVocabularyPtr vocab_;
+  Factory fac_;
+  PropId p_, q_, r_;
+};
+
+TEST_F(TransitionSystemTest, SafeFormulaMatchesProgressionPerLetter) {
+  // G(p -> X q): violated exactly when some p-state is not followed by q.
+  Formula f = fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_))));
+  auto ts = TransitionSystem::Compile(&fac_, f);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_TRUE((*ts)->safe());
+
+  Word ok = {S({p_}), S({q_, p_}), S({q_}), S({})};
+  ExpectAgreement(f, ok);
+
+  Word bad = {S({p_}), S({})};  // p then no q: dead forever
+  ExpectAgreement(f, bad);
+
+  // Once dead, every extension stays dead.
+  Word bad_long = {S({p_}), S({}), S({q_}), S({p_, q_})};
+  auto verdicts = AutomatonVerdicts(f, bad_long);
+  EXPECT_FALSE(verdicts[1]);
+  EXPECT_FALSE(verdicts[2]);
+  EXPECT_FALSE(verdicts[3]);
+}
+
+TEST_F(TransitionSystemTest, NonSafeFormulaUsesEagerLiveness) {
+  // p U q is not safe: liveness needs the self-fulfilling-SCC analysis.
+  Formula f = fac_.Until(fac_.Atom(p_), fac_.Atom(q_));
+  auto ts = TransitionSystem::Compile(&fac_, f);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_FALSE((*ts)->safe());
+
+  ExpectAgreement(f, {S({p_}), S({p_}), S({q_})});
+  ExpectAgreement(f, {S({p_}), S({}), S({q_})});  // drops p before q: dead
+  ExpectAgreement(f, {S({q_})});
+
+  // G F p: pure liveness — every finite prefix stays potentially satisfied.
+  Formula gf = fac_.Always(fac_.Eventually(fac_.Atom(p_)));
+  ExpectAgreement(gf, {S({}), S({}), S({p_}), S({})});
+}
+
+TEST_F(TransitionSystemTest, LiveOfInitialDecidesTheFormula) {
+  Formula sat = fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_))));
+  auto ts = TransitionSystem::Compile(&fac_, sat);
+  ASSERT_TRUE(ts.ok());
+  auto live = (*ts)->Live((*ts)->initial());
+  ASSERT_TRUE(live.ok());
+  EXPECT_TRUE(*live);
+
+  Formula unsat = fac_.And(fac_.Atom(p_), fac_.Not(fac_.Atom(p_)));
+  auto ts2 = TransitionSystem::Compile(&fac_, unsat);
+  ASSERT_TRUE(ts2.ok());
+  auto live2 = (*ts2)->Live((*ts2)->initial());
+  ASSERT_TRUE(live2.ok());
+  EXPECT_FALSE(*live2);
+}
+
+TEST_F(TransitionSystemTest, AnySurvivorTracksResidualFalse) {
+  // !p on the very first letter: asserting p kills every state immediately.
+  Formula f = fac_.Not(fac_.Atom(p_));
+  auto ts = TransitionSystem::Compile(&fac_, f);
+  ASSERT_TRUE(ts.ok());
+  auto step = (*ts)->Step((*ts)->initial(), S({p_}));
+  ASSERT_TRUE(step.ok());
+  EXPECT_FALSE(step->any_survivor);
+  EXPECT_FALSE(step->live);
+
+  auto step2 = (*ts)->Step((*ts)->initial(), S({}));
+  ASSERT_TRUE(step2.ok());
+  EXPECT_TRUE(step2->any_survivor);
+  EXPECT_TRUE(step2->live);
+}
+
+TEST_F(TransitionSystemTest, TransitionsAreMemoized) {
+  Formula f = fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_))));
+  auto ts = TransitionSystem::Compile(&fac_, f);
+  ASSERT_TRUE(ts.ok());
+  uint32_t set = (*ts)->initial();
+  PropState letter = S({q_});
+  // Steady state: q-only letters loop on one state-set.
+  for (int i = 0; i < 10; ++i) {
+    auto step = (*ts)->Step(set, letter);
+    ASSERT_TRUE(step.ok());
+    set = step->next;
+  }
+  TransitionSystemStats stats = (*ts)->stats();
+  EXPECT_EQ(stats.steps, 10u);
+  EXPECT_GE(stats.memo_hits, 8u);  // at most first two (set, sig) pairs miss
+  EXPECT_LE(stats.num_state_sets, 4u);
+}
+
+TEST_F(TransitionSystemTest, RandomizedAgreementSweep) {
+  std::vector<Formula> pool = {
+      fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_)))),
+      fac_.Always(fac_.Or(fac_.Not(fac_.Atom(p_)), fac_.Next(fac_.Atom(q_)))),
+      fac_.And(fac_.Atom(p_), fac_.Always(fac_.Not(fac_.And(fac_.Atom(q_), fac_.Atom(r_))))),
+      fac_.Until(fac_.Atom(p_), fac_.And(fac_.Atom(q_), fac_.Next(fac_.Atom(r_)))),
+      fac_.Eventually(fac_.Always(fac_.Atom(p_))),
+      fac_.Release(fac_.Atom(p_), fac_.Atom(q_)),
+      fac_.Next(fac_.Next(fac_.Or(fac_.Atom(p_), fac_.Not(fac_.Atom(q_))))),
+      fac_.Always(fac_.Implies(fac_.Atom(p_),
+                               fac_.Next(fac_.Implies(fac_.Atom(q_), fac_.Next(fac_.Atom(r_)))))),
+  };
+  uint64_t rng = 42;
+  std::vector<PropId> atoms = {p_, q_, r_};
+  for (const Formula& f : pool) {
+    for (int rep = 0; rep < 8; ++rep) {
+      Word w;
+      size_t len = 1 + Mix(rng) % 6;
+      for (size_t t = 0; t < len; ++t) {
+        PropState st;
+        for (PropId a : atoms) {
+          if (Mix(rng) & 1) st.Set(a, true);
+        }
+        w.push_back(st);
+      }
+      ExpectAgreement(f, w);
+    }
+  }
+}
+
+TEST_F(TransitionSystemTest, CacheSharesAcrossLetterRenamings) {
+  AutomatonCache cache(8);
+  Formula a = fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_))));
+  Formula b = fac_.Always(fac_.Implies(fac_.Atom(q_), fac_.Next(fac_.Atom(r_))));
+  auto ha = cache.Get(&fac_, a);
+  auto hb = cache.Get(&fac_, b);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(ha->ts.get(), hb->ts.get()) << "renamings must share one automaton";
+  AutomatonCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.entries, 1u);
+
+  // The shared system answers each formula through its own letter mapping:
+  // `b` is violated by q-then-not-r, which must not involve p at all.
+  uint32_t set = hb->ts->initial();
+  auto s1 = hb->ts->Step(set, S({q_}), hb->letters);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_TRUE(s1->live);
+  auto s2 = hb->ts->Step(s1->next, S({p_}), hb->letters);  // p is noise for b
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE(s2->live);
+
+  // And `a` still sees its own letters on the same shared automaton.
+  set = ha->ts->initial();
+  auto t1 = ha->ts->Step(set, S({p_}), ha->letters);
+  ASSERT_TRUE(t1.ok());
+  auto t2 = ha->ts->Step(t1->next, S({q_}), ha->letters);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t2->live);
+}
+
+TEST_F(TransitionSystemTest, CacheEvictsLeastRecentlyUsed) {
+  AutomatonCache cache(2);
+  Formula f1 = fac_.Atom(p_);
+  Formula f2 = fac_.And(fac_.Atom(p_), fac_.Atom(q_));
+  Formula f3 = fac_.Or(fac_.Atom(p_), fac_.Atom(q_));
+  ASSERT_TRUE(cache.Get(&fac_, f1).ok());
+  ASSERT_TRUE(cache.Get(&fac_, f2).ok());
+  ASSERT_TRUE(cache.Get(&fac_, f3).ok());  // evicts f1
+  AutomatonCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.evictions, 1u);
+  EXPECT_EQ(cs.entries, 2u);
+  ASSERT_TRUE(cache.Get(&fac_, f1).ok());  // miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+}  // namespace
+}  // namespace ptl
+}  // namespace tic
