@@ -1,0 +1,101 @@
+// Standalone driver linked into the fuzz targets when libFuzzer is not
+// available (-DTIC_FUZZ=OFF, the default — the GCC toolchain cannot build
+// -fsanitize=fuzzer). It gives every CI preset the same entry point a real
+// fuzzer binary has:
+//
+//   fuzz_target corpus_dir file1 file2   # replay: run every input once
+//   fuzz_target --fuzz-seconds=30 --seed=1 [--max-len=512]
+//                                        # bounded fuzz: random byte buffers
+//                                        # until the wall-clock budget is spent
+//
+// Both modes exit 0 iff no input made the target trap, so the fuzz-smoke
+// ctest label is a plain regression suite over the committed corpus plus a
+// short random exploration.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open input: %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long fuzz_seconds = 0;
+  uint64_t seed = 1;
+  size_t max_len = 512;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--fuzz-seconds=", 0) == 0) {
+      fuzz_seconds = std::stol(arg.substr(15));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = std::stoull(arg.substr(10));
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  size_t executed = 0;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const std::string& f : files) {
+        if (RunFile(f) != 0) return 1;
+        ++executed;
+      }
+    } else {
+      if (RunFile(p) != 0) return 1;
+      ++executed;
+    }
+  }
+  std::printf("replayed %zu corpus input(s)\n", executed);
+
+  if (fuzz_seconds > 0) {
+    std::mt19937_64 rng(seed);
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(fuzz_seconds);
+    size_t runs = 0;
+    std::vector<uint8_t> buf;
+    while (std::chrono::steady_clock::now() < deadline) {
+      size_t len = static_cast<size_t>(rng() % (max_len + 1));
+      buf.resize(len);
+      for (uint8_t& b : buf) b = static_cast<uint8_t>(rng());
+      LLVMFuzzerTestOneInput(buf.data(), buf.size());
+      ++runs;
+    }
+    std::printf("bounded fuzz: %zu run(s) in %lds (seed %llu)\n", runs,
+                fuzz_seconds, static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

@@ -49,7 +49,10 @@ Result<CheckResult> CheckPotentialSatisfaction(
         std::min(compile_opts.max_expansions, size_t{1} << 18);
     Result<ptl::AutomatonHandle> compiled = [&]() -> Result<ptl::AutomatonHandle> {
       if (options.automaton_cache != nullptr) {
-        return options.automaton_cache->Get(pf, g.phi_d, compile_opts);
+        // Pass the owning factory: the cached system outlives this check's
+        // grounding and lazily dereferences closure nodes on later hits.
+        return options.automaton_cache->Get(g.prop_factory, g.phi_d,
+                                            compile_opts);
       }
       TIC_ASSIGN_OR_RETURN(std::shared_ptr<ptl::TransitionSystem> ts,
                            ptl::TransitionSystem::Compile(pf, g.phi_d, compile_opts));

@@ -329,6 +329,14 @@ Result<std::shared_ptr<TransitionSystem>> TransitionSystem::Compile(
   return ts;
 }
 
+Result<std::shared_ptr<TransitionSystem>> TransitionSystem::Compile(
+    std::shared_ptr<Factory> factory, Formula f, const TableauOptions& options) {
+  TIC_ASSIGN_OR_RETURN(std::shared_ptr<TransitionSystem> ts,
+                       Compile(factory.get(), f, options));
+  ts->factory_keepalive_ = std::move(factory);
+  return ts;
+}
+
 Result<TransitionStep> TransitionSystem::Step(uint32_t set_id,
                                               const PropState& letter,
                                               const std::vector<PropId>& letters) {
@@ -422,12 +430,21 @@ AutomatonCache::AutomatonCache(size_t capacity) : capacity_(capacity) {}
 
 Result<AutomatonHandle> AutomatonCache::Get(Factory* factory, Formula f,
                                             const TableauOptions& options) {
-  Formula nnf = ToNnf(factory, f);
+  // Non-owning alias: the caller guarantees the factory outlives the cache.
+  return Get(std::shared_ptr<Factory>(std::shared_ptr<Factory>(), factory), f,
+             options);
+}
+
+Result<AutomatonHandle> AutomatonCache::Get(std::shared_ptr<Factory> factory,
+                                            Formula f,
+                                            const TableauOptions& options) {
+  Formula nnf = ToNnf(factory.get(), f);
   std::optional<CanonicalFormula> cf = Canonicalize(nnf);
   if (!cf.has_value()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     TIC_ASSIGN_OR_RETURN(std::shared_ptr<TransitionSystem> ts,
-                         TransitionSystem::Compile(factory, nnf, options));
+                         TransitionSystem::Compile(std::move(factory), nnf,
+                                                   options));
     return AutomatonHandle{ts, ts->default_letters()};
   }
   {

@@ -82,8 +82,17 @@ class TransitionSystem {
   /// max_expansions, max_branch_depth); the verdict cache and engine fields
   /// are ignored. Fails with ResourceExhausted when a non-safe formula's
   /// reachable graph exceeds the budgets.
+  ///
+  /// The compiled system's closure keeps raw node pointers into `factory`;
+  /// the caller must keep the factory alive for the system's lifetime. When
+  /// the system may outlive the caller (it is placed in an AutomatonCache and
+  /// lazily expanded by later hits), use the shared_ptr overload, which pins
+  /// the factory.
   static Result<std::shared_ptr<TransitionSystem>> Compile(
       Factory* factory, Formula f, const TableauOptions& options = {});
+  static Result<std::shared_ptr<TransitionSystem>> Compile(
+      std::shared_ptr<Factory> factory, Formula f,
+      const TableauOptions& options = {});
 
   /// State-set id of the initial cover — the basis before any letter.
   uint32_t initial() const { return initial_set_; }
@@ -121,6 +130,10 @@ class TransitionSystem {
   uint32_t initial_set_ = 0;
   bool safe_ = false;
   std::vector<PropId> default_letters_;
+  /// Keeps the compiling factory (and so every node the closure references)
+  /// alive when the system is shared beyond the caller's scope. Null for the
+  /// raw-pointer Compile overload.
+  std::shared_ptr<Factory> factory_keepalive_;
 };
 
 /// \brief Handle returned by AutomatonCache::Get: the (possibly shared)
@@ -152,7 +165,12 @@ class AutomatonCache {
 
   /// Returns the compiled system for `f`, compiling (outside the cache lock)
   /// on miss. Formulas too large to canonicalize bypass the cache and compile
-  /// privately.
+  /// privately. The shared_ptr overload pins the compiling factory inside the
+  /// cached system — required whenever the factory is shorter-lived than the
+  /// cache (per-check grounding factories); the raw-pointer overload is for
+  /// factories that outlive the cache.
+  Result<AutomatonHandle> Get(std::shared_ptr<Factory> factory, Formula f,
+                              const TableauOptions& options = {});
   Result<AutomatonHandle> Get(Factory* factory, Formula f,
                               const TableauOptions& options = {});
 

@@ -1,0 +1,222 @@
+#include "testing/generators.h"
+
+#include <string>
+
+namespace tic {
+namespace testing {
+
+std::vector<ptl::Formula> PtlAtoms(ptl::Factory* fac, size_t n) {
+  std::vector<ptl::Formula> atoms;
+  atoms.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    atoms.push_back(
+        fac->Atom(fac->vocabulary()->Intern(std::string(1, static_cast<char>('a' + i)))));
+  }
+  return atoms;
+}
+
+ptl::Formula GeneratePtlFormula(ptl::Factory* fac, Entropy* ent,
+                                const std::vector<ptl::Formula>& atoms,
+                                int depth) {
+  switch (ent->Pick(0, depth <= 0 ? 1 : 9)) {
+    case 0:
+      return atoms[ent->Below(static_cast<uint32_t>(atoms.size()))];
+    case 1:
+      return fac->Not(atoms[ent->Below(static_cast<uint32_t>(atoms.size()))]);
+    case 2:
+      return fac->Not(GeneratePtlFormula(fac, ent, atoms, depth - 1));
+    case 3:
+      return fac->And(GeneratePtlFormula(fac, ent, atoms, depth - 1),
+                      GeneratePtlFormula(fac, ent, atoms, depth - 1));
+    case 4:
+      return fac->Or(GeneratePtlFormula(fac, ent, atoms, depth - 1),
+                     GeneratePtlFormula(fac, ent, atoms, depth - 1));
+    case 5:
+      return fac->Next(GeneratePtlFormula(fac, ent, atoms, depth - 1));
+    case 6:
+      return fac->Until(GeneratePtlFormula(fac, ent, atoms, depth - 1),
+                        GeneratePtlFormula(fac, ent, atoms, depth - 1));
+    case 7:
+      return fac->Release(GeneratePtlFormula(fac, ent, atoms, depth - 1),
+                          GeneratePtlFormula(fac, ent, atoms, depth - 1));
+    case 8:
+      return fac->Eventually(GeneratePtlFormula(fac, ent, atoms, depth - 1));
+    default:
+      return fac->Always(GeneratePtlFormula(fac, ent, atoms, depth - 1));
+  }
+}
+
+CaseBuilder::CaseBuilder(size_t num_preds) {
+  auto v = std::make_shared<Vocabulary>();
+  preds_.reserve(num_preds);
+  for (size_t i = 0; i < num_preds; ++i) {
+    preds_.push_back(*v->AddPredicate("P" + std::to_string(i), 1));
+  }
+  vocab_ = v;
+  factory_ = std::make_shared<fotl::FormulaFactory>(vocab_);
+}
+
+fotl::Term CaseBuilder::Var(size_t i) {
+  return fotl::Term::Var(factory_->InternVar(i == 0 ? "x" : "y"));
+}
+
+fotl::Formula CaseBuilder::Lit(Entropy* ent, size_t num_vars) {
+  fotl::Formula a =
+      *factory_->Atom(preds_[ent->Below(static_cast<uint32_t>(preds_.size()))],
+                      {Var(ent->Below(static_cast<uint32_t>(num_vars)))});
+  return ent->Below(2) == 0 ? a : factory_->Not(a);
+}
+
+fotl::Formula CaseBuilder::LitConj(Entropy* ent, size_t num_vars) {
+  fotl::Formula a = Lit(ent, num_vars);
+  return ent->Below(2) == 0 ? a : factory_->And(a, Lit(ent, num_vars));
+}
+
+fotl::Formula CaseBuilder::GenCosafe(Entropy* ent, size_t num_vars, int depth) {
+  if (depth <= 0) {
+    return *factory_->Atom(preds_[ent->Below(static_cast<uint32_t>(preds_.size()))],
+                           {Var(ent->Below(static_cast<uint32_t>(num_vars)))});
+  }
+  switch (ent->Below(5)) {
+    case 0:
+      return factory_->And(GenCosafe(ent, num_vars, depth - 1),
+                           GenCosafe(ent, num_vars, depth - 1));
+    case 1:
+      return factory_->Or(GenCosafe(ent, num_vars, depth - 1),
+                          GenCosafe(ent, num_vars, depth - 1));
+    case 2:
+      return factory_->Next(GenCosafe(ent, num_vars, depth - 1));
+    case 3:
+      return factory_->Until(GenCosafe(ent, num_vars, depth - 1),
+                             GenCosafe(ent, num_vars, depth - 1));
+    default:
+      return factory_->Eventually(GenCosafe(ent, num_vars, depth - 1));
+  }
+}
+
+fotl::Formula CaseBuilder::GenSafe(Entropy* ent, size_t num_vars, int depth) {
+  if (depth <= 0) return Lit(ent, num_vars);
+  switch (ent->Below(7)) {
+    case 0:
+      return Lit(ent, num_vars);
+    case 1:
+      return factory_->And(GenSafe(ent, num_vars, depth - 1),
+                           GenSafe(ent, num_vars, depth - 1));
+    case 2:
+      return factory_->Or(GenSafe(ent, num_vars, depth - 1),
+                          GenSafe(ent, num_vars, depth - 1));
+    case 3:
+      return factory_->Next(GenSafe(ent, num_vars, depth - 1));
+    case 4:
+      return factory_->Always(GenSafe(ent, num_vars, depth - 1));
+    case 5:
+      return factory_->Implies(LitConj(ent, num_vars),
+                               GenSafe(ent, num_vars, depth - 1));
+    default:
+      return factory_->Not(GenCosafe(ent, num_vars, depth - 1));
+  }
+}
+
+fotl::Formula CaseBuilder::Quantify(fotl::Formula matrix, size_t num_vars) {
+  fotl::Formula phi = matrix;
+  for (size_t i = num_vars; i-- > 0;) {
+    phi = factory_->Forall(factory_->InternVar(i == 0 ? "x" : "y"), phi);
+  }
+  return phi;
+}
+
+FotlCase CaseBuilder::Finish(fotl::Formula sentence, size_t num_vars,
+                             std::vector<Transaction> stream) const {
+  FotlCase c;
+  c.vocab = vocab_;
+  c.factory = factory_;
+  c.preds = preds_;
+  c.num_vars = num_vars;
+  c.sentence = sentence;
+  c.stream = std::move(stream);
+  return c;
+}
+
+Transaction ChurnTxn(Entropy* ent, const std::vector<PredicateId>& preds,
+                     const std::vector<Value>& universe) {
+  Transaction txn;
+  for (PredicateId p : preds) {
+    for (Value v : universe) {
+      uint32_t r = ent->Below(4);
+      if (r == 0) txn.push_back(UpdateOp::Insert(p, {v}));
+      if (r == 1) txn.push_back(UpdateOp::Delete(p, {v}));
+    }
+  }
+  return txn;
+}
+
+Transaction SingleOpTxn(Entropy* ent, const std::vector<PredicateId>& preds,
+                        const std::vector<Value>& universe) {
+  Transaction txn;
+  Value e = universe[ent->Below(static_cast<uint32_t>(universe.size()))];
+  uint32_t r = ent->Below(static_cast<uint32_t>(2 * preds.size()));
+  PredicateId p = preds[r % preds.size()];
+  if (r < preds.size()) {
+    txn.push_back(UpdateOp::Insert(p, {e}));
+  } else {
+    txn.push_back(UpdateOp::Delete(p, {e}));
+  }
+  return txn;
+}
+
+void AppendRandomState(Entropy* ent, History* history,
+                       const std::vector<PredicateId>& preds,
+                       const std::vector<Value>& universe) {
+  DatabaseState* s = history->AppendEmptyState();
+  for (PredicateId p : preds) {
+    for (Value v : universe) {
+      if (ent->Below(2)) (void)s->Insert(p, {v});
+    }
+  }
+}
+
+FotlCase GenerateSafetyCase(Entropy* ent, const SafetyCaseOptions& options) {
+  // Draw order mirrors the historical family A loop body exactly: predicate
+  // count, variable count, matrix depth, then the stream.
+  size_t num_preds =
+      options.min_preds +
+      ent->Below(static_cast<uint32_t>(options.max_preds - options.min_preds + 1));
+  CaseBuilder builder(num_preds);
+  size_t num_vars =
+      options.min_vars +
+      ent->Below(static_cast<uint32_t>(options.max_vars - options.min_vars + 1));
+  int depth = options.min_depth +
+              static_cast<int>(ent->Below(
+                  static_cast<uint32_t>(options.max_depth - options.min_depth + 1)));
+  fotl::Formula matrix = builder.GenSafe(ent, num_vars, depth);
+  fotl::Formula phi = builder.Quantify(builder.factory()->Always(matrix), num_vars);
+  size_t len =
+      options.min_stream +
+      ent->Below(static_cast<uint32_t>(options.max_stream - options.min_stream + 1));
+  std::vector<Transaction> stream;
+  stream.reserve(len);
+  for (size_t t = 0; t < len; ++t) {
+    std::vector<Value> universe = options.universe;
+    if (options.fresh_element >= 0 && t >= len / 2) {
+      universe.push_back(options.fresh_element);
+    }
+    stream.push_back(ChurnTxn(ent, builder.preds(), universe));
+  }
+  return builder.Finish(phi, num_vars, std::move(stream));
+}
+
+FotlCase GenerateTriggerCase(Entropy* ent) {
+  CaseBuilder builder(2);
+  int depth = 1 + static_cast<int>(ent->Below(2));
+  fotl::Formula condition = builder.GenCosafe(ent, /*num_vars=*/1, depth);
+  size_t len = 3 + ent->Below(3);
+  std::vector<Transaction> stream;
+  stream.reserve(len);
+  for (size_t t = 0; t < len; ++t) {
+    stream.push_back(ChurnTxn(ent, builder.preds(), {1, 2}));
+  }
+  return builder.Finish(condition, /*num_vars=*/1, std::move(stream));
+}
+
+}  // namespace testing
+}  // namespace tic

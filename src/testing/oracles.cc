@@ -1,0 +1,248 @@
+#include "testing/oracles.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "checker/extension.h"
+#include "checker/monitor.h"
+#include "checker/trigger.h"
+#include "fotl/printer.h"
+#include "ptl/word.h"
+#include "testing/reproducer.h"
+
+namespace tic {
+namespace testing {
+
+namespace {
+
+std::function<bool(const FotlCase&)>& FaultHook() {
+  static std::function<bool(const FotlCase&)> hook;
+  return hook;
+}
+
+OracleResult Fail(std::string what, const FotlCase& c) {
+  OracleResult r;
+  r.pass = false;
+  r.detail = std::move(what) + "\nreproducer:\n" + SerializeCase(c);
+  return r;
+}
+
+}  // namespace
+
+void SetBackendFaultHookForTest(std::function<bool(const FotlCase&)> hook) {
+  FaultHook() = std::move(hook);
+}
+
+Result<OracleResult> TableauEnginesAgree(ptl::Factory* fac, ptl::Formula f,
+                                         bool* satisfiable) {
+  ptl::TableauOptions legacy;
+  legacy.engine = ptl::TableauEngine::kLegacy;
+  ptl::TableauOptions bitset;
+  bitset.engine = ptl::TableauEngine::kBitset;
+
+  TIC_ASSIGN_OR_RETURN(auto rl, ptl::CheckSat(fac, f, legacy));
+  TIC_ASSIGN_OR_RETURN(auto rb, ptl::CheckSat(fac, f, bitset));
+
+  OracleResult out;
+  if (rl.satisfiable != rb.satisfiable) {
+    out.pass = false;
+    out.detail = "engines disagree (legacy=" + std::to_string(rl.satisfiable) +
+                 " bitset=" + std::to_string(rb.satisfiable) + ") on " +
+                 ptl::ToString(*fac, f);
+    return out;
+  }
+  // The engines may pick different (state-order-dependent) witnesses; each
+  // must independently satisfy the formula under the word evaluator.
+  for (const auto* r : {&rl, &rb}) {
+    if (!r->satisfiable) continue;
+    TIC_ASSIGN_OR_RETURN(bool holds, ptl::Evaluate(*r->witness, f, 0));
+    if (!holds) {
+      out.pass = false;
+      out.detail = std::string(r == &rl ? "legacy" : "bitset") +
+                   " witness fails " + ptl::ToString(*fac, f);
+      return out;
+    }
+  }
+  if (satisfiable != nullptr) *satisfiable = rb.satisfiable;
+  return out;
+}
+
+Result<OracleResult> BackendVerdictsAgree(const FotlCase& c) {
+  checker::CheckOptions prog_opts;
+  prog_opts.backend = checker::MonitorBackend::kProgression;
+  checker::CheckOptions auto_opts;
+  auto_opts.backend = checker::MonitorBackend::kAutomaton;
+  TIC_ASSIGN_OR_RETURN(auto mp,
+                       checker::Monitor::Create(c.factory, c.sentence, {}, prog_opts));
+  TIC_ASSIGN_OR_RETURN(auto ma,
+                       checker::Monitor::Create(c.factory, c.sentence, {}, auto_opts));
+  for (size_t t = 0; t < c.stream.size(); ++t) {
+    TIC_ASSIGN_OR_RETURN(auto vp, mp->ApplyTransaction(c.stream[t]));
+    TIC_ASSIGN_OR_RETURN(auto va, ma->ApplyTransaction(c.stream[t]));
+    if (vp.potentially_satisfied != va.potentially_satisfied ||
+        vp.permanently_violated != va.permanently_violated) {
+      return Fail("backend divergence at t=" + std::to_string(t) +
+                      ": progression (sat=" + std::to_string(vp.potentially_satisfied) +
+                      ", dead=" + std::to_string(vp.permanently_violated) +
+                      ") vs automaton (sat=" + std::to_string(va.potentially_satisfied) +
+                      ", dead=" + std::to_string(va.permanently_violated) + ")",
+                  c);
+    }
+    if (va.backend != checker::MonitorBackend::kAutomaton ||
+        vp.backend != checker::MonitorBackend::kProgression) {
+      return Fail("verdict reports wrong backend at t=" + std::to_string(t), c);
+    }
+  }
+  if (FaultHook() && FaultHook()(c)) {
+    return Fail("planted divergence (test-only fault hook)", c);
+  }
+  return OracleResult{};
+}
+
+Result<OracleResult> MonitorMatchesBatch(const FotlCase& c) {
+  TIC_ASSIGN_OR_RETURN(auto monitor, checker::Monitor::Create(c.factory, c.sentence));
+  TIC_ASSIGN_OR_RETURN(History reference, History::Create(c.vocab));
+  for (size_t t = 0; t < c.stream.size(); ++t) {
+    TIC_ASSIGN_OR_RETURN(auto verdict, monitor->ApplyTransaction(c.stream[t]));
+    TIC_RETURN_NOT_OK(ApplyTransaction(&reference, c.stream[t]));
+    TIC_ASSIGN_OR_RETURN(
+        auto batch,
+        checker::CheckPotentialSatisfaction(*c.factory, c.sentence, reference));
+    if (verdict.potentially_satisfied != batch.potentially_satisfied) {
+      return Fail("monitor/batch divergence at t=" + std::to_string(t) +
+                      ": monitor=" + std::to_string(verdict.potentially_satisfied) +
+                      " batch=" + std::to_string(batch.potentially_satisfied),
+                  c);
+    }
+  }
+  return OracleResult{};
+}
+
+Result<OracleResult> PrefixClosureHolds(const FotlCase& c) {
+  TIC_ASSIGN_OR_RETURN(History h, History::Create(c.vocab));
+  bool seen_no = false;
+  bool seen_permanent = false;
+  for (size_t t = 0; t < c.stream.size(); ++t) {
+    TIC_RETURN_NOT_OK(ApplyTransaction(&h, c.stream[t]));
+    TIC_ASSIGN_OR_RETURN(
+        auto res, checker::CheckPotentialSatisfaction(*c.factory, c.sentence, h));
+    if (seen_no && res.potentially_satisfied) {
+      return Fail("prefix closure violated: prefix of length " + std::to_string(t + 1) +
+                      " is in Pref(C) but a shorter prefix was not",
+                  c);
+    }
+    if (res.permanently_violated && res.potentially_satisfied) {
+      return Fail("permanently_violated together with potentially_satisfied at t=" +
+                      std::to_string(t),
+                  c);
+    }
+    if (seen_permanent && !res.permanently_violated) {
+      return Fail("permanent violation forgotten at t=" + std::to_string(t), c);
+    }
+    seen_no = seen_no || !res.potentially_satisfied;
+    seen_permanent = seen_permanent || res.permanently_violated;
+  }
+  return OracleResult{};
+}
+
+Result<OracleResult> RenamingInvariant(const FotlCase& c,
+                                       const std::function<Value(Value)>& perm) {
+  FotlCase renamed = c;
+  renamed.stream.clear();
+  for (const Transaction& txn : c.stream) {
+    Transaction mapped;
+    for (const UpdateOp& op : txn) {
+      Tuple t = op.tuple;
+      for (Value& v : t) v = perm(v);
+      mapped.push_back(op.kind == UpdateOp::Kind::kInsert
+                           ? UpdateOp::Insert(op.predicate, std::move(t))
+                           : UpdateOp::Delete(op.predicate, std::move(t)));
+    }
+    renamed.stream.push_back(std::move(mapped));
+  }
+
+  TIC_ASSIGN_OR_RETURN(auto mo, checker::Monitor::Create(c.factory, c.sentence));
+  TIC_ASSIGN_OR_RETURN(auto mr, checker::Monitor::Create(c.factory, c.sentence));
+  for (size_t t = 0; t < c.stream.size(); ++t) {
+    TIC_ASSIGN_OR_RETURN(auto vo, mo->ApplyTransaction(c.stream[t]));
+    TIC_ASSIGN_OR_RETURN(auto vr, mr->ApplyTransaction(renamed.stream[t]));
+    if (vo.potentially_satisfied != vr.potentially_satisfied ||
+        vo.permanently_violated != vr.permanently_violated) {
+      return Fail("renaming changed the verdict at t=" + std::to_string(t) +
+                      ": original (sat=" + std::to_string(vo.potentially_satisfied) +
+                      ") vs renamed (sat=" + std::to_string(vr.potentially_satisfied) +
+                      ")",
+                  c);
+    }
+  }
+  return OracleResult{};
+}
+
+Result<OracleResult> TriggerDualityHolds(const FotlCase& c) {
+  // Side 1: the production TriggerManager (default options: automaton
+  // backend, simplified grounding).
+  TIC_ASSIGN_OR_RETURN(auto mgr, checker::TriggerManager::Create(c.factory));
+  TIC_RETURN_NOT_OK(mgr->AddTrigger("c", c.sentence));
+
+  // Side 2: the duality taken literally, on the other backend: theta fires
+  // iff !C(theta) is not potentially satisfied, substitutions over R_D.
+  fotl::Formula negated = c.factory->Not(c.sentence);
+  const std::vector<fotl::VarId>& params = c.sentence->free_vars();
+  checker::CheckOptions dual_opts;
+  dual_opts.backend = checker::MonitorBackend::kProgression;
+  dual_opts.want_witness = false;
+
+  TIC_ASSIGN_OR_RETURN(History h, History::Create(c.vocab));
+  for (size_t t = 0; t < c.stream.size(); ++t) {
+    TIC_ASSIGN_OR_RETURN(auto firings, mgr->OnTransaction(c.stream[t]));
+    TIC_RETURN_NOT_OK(ApplyTransaction(&h, c.stream[t]));
+
+    std::set<std::vector<Value>> fired;
+    for (const checker::TriggerFiring& f : firings) {
+      std::vector<Value> key;
+      for (fotl::VarId v : params) key.push_back(f.substitution.at(v));
+      fired.insert(std::move(key));
+    }
+
+    std::set<std::vector<Value>> expected;
+    std::vector<Value> relevant = h.RelevantSet();
+    // Degenerate domain: the manager enumerates over {0} when no element is
+    // relevant yet, so the dual side must too or it misses firings at t=0.
+    if (relevant.empty()) relevant.push_back(0);
+    // Enumerate all |R_D|^k substitutions (k is 0 or 1 for generated cases,
+    // but the loop is general).
+    std::vector<size_t> idx(params.size(), 0);
+    bool done = false;
+    while (!done) {
+      fotl::Valuation theta;
+      std::vector<Value> key;
+      for (size_t i = 0; i < params.size(); ++i) {
+        theta[params[i]] = relevant[idx[i]];
+        key.push_back(relevant[idx[i]]);
+      }
+      TIC_ASSIGN_OR_RETURN(auto res, checker::CheckPotentialSatisfaction(
+                                         *c.factory, negated, h, theta, dual_opts));
+      if (!res.potentially_satisfied) expected.insert(std::move(key));
+      size_t d = 0;
+      while (d < idx.size() && ++idx[d] == relevant.size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == idx.size() || params.empty()) done = true;
+    }
+
+    if (fired != expected) {
+      return Fail("trigger duality violated at t=" + std::to_string(t) +
+                      ": manager fired " + std::to_string(fired.size()) +
+                      " substitutions, dual check expects " +
+                      std::to_string(expected.size()),
+                  c);
+    }
+  }
+  return OracleResult{};
+}
+
+}  // namespace testing
+}  // namespace tic

@@ -1,0 +1,81 @@
+#ifndef TIC_TESTING_ORACLES_H_
+#define TIC_TESTING_ORACLES_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "ptl/tableau.h"
+#include "testing/generators.h"
+
+namespace tic {
+namespace testing {
+
+/// \brief Verdict of one metamorphic oracle on one case. `pass == false`
+/// means the paper-derived identity was violated; `detail` then carries a
+/// human-readable explanation ending in the full reproducer text, so a CI log
+/// alone suffices to replay the failure. Infrastructure errors (a monitor
+/// rejecting the sentence, a tableau failing) are reported through the
+/// surrounding Result instead — the distinction matters to the shrinker,
+/// which must treat "invalid candidate" differently from "still failing".
+struct OracleResult {
+  bool pass = true;
+  std::string detail;
+};
+
+// ---------------------------------------------------------------------------
+// The oracle kit: each function checks one identity between independent
+// constructions of the paper, on one generated case.
+// ---------------------------------------------------------------------------
+
+/// \brief Tableau-engine equality: kLegacy and kBitset must agree on
+/// sat/unsat, and each engine's lasso witness must validate under the
+/// independent word evaluator. Optionally reports the shared verdict.
+Result<OracleResult> TableauEnginesAgree(ptl::Factory* fac, ptl::Formula f,
+                                         bool* satisfiable = nullptr);
+
+/// \brief Monitor-backend equality: the automaton backend (memoized
+/// residual-graph transitions) must produce exactly the per-update verdicts
+/// of the literal Lemma 4.2 progression + CheckSat procedure.
+Result<OracleResult> BackendVerdictsAgree(const FotlCase& c);
+
+/// \brief Monitor-vs-batch agreement: the incremental monitor's verdict after
+/// each transaction must equal a from-scratch CheckPotentialSatisfaction on
+/// the corresponding history prefix.
+Result<OracleResult> MonitorMatchesBatch(const FotlCase& c);
+
+/// \brief Prefix-closure of Pref(C) (Section 2): once a history prefix falls
+/// out of Pref(C) no extension re-enters it, so the per-prefix verdict
+/// sequence must be monotone non-increasing, and a permanent-violation flag
+/// must coincide with (and persist after) the first NO.
+Result<OracleResult> PrefixClosureHolds(const FotlCase& c);
+
+/// \brief Renaming invariance: the Theorem 4.1 construction depends only on
+/// the *pattern* of the history, not on which universe elements realize it.
+/// Renaming every element of the stream through the bijection `perm` must
+/// leave every per-update verdict unchanged.
+Result<OracleResult> RenamingInvariant(const FotlCase& c,
+                                       const std::function<Value(Value)>& perm);
+
+/// \brief Trigger duality (Section 2): the trigger for condition C fires at t
+/// for substitution theta iff !C(theta) is NOT potentially satisfied. Runs
+/// TriggerManager (automaton backend) against an independent dual check that
+/// enumerates substitutions over R_D and calls the progression backend.
+/// `c.sentence` is the open existential condition.
+Result<OracleResult> TriggerDualityHolds(const FotlCase& c);
+
+// ---------------------------------------------------------------------------
+// Test-only fault injection.
+// ---------------------------------------------------------------------------
+
+/// \brief When set, BackendVerdictsAgree reports a planted divergence on any
+/// case for which the hook returns true (after running both real monitors, so
+/// candidate validity is still enforced). Exists so the shrinker test can
+/// plant a deterministic "bug" and prove minimization converges; never set it
+/// outside tests. Pass nullptr to clear.
+void SetBackendFaultHookForTest(std::function<bool(const FotlCase&)> hook);
+
+}  // namespace testing
+}  // namespace tic
+
+#endif  // TIC_TESTING_ORACLES_H_

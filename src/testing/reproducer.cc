@@ -1,0 +1,175 @@
+#include "testing/reproducer.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "fotl/classify.h"
+#include "fotl/parser.h"
+#include "fotl/printer.h"
+
+namespace tic {
+namespace testing {
+
+namespace {
+
+std::string OpToString(const Vocabulary& vocab, const UpdateOp& op) {
+  std::string out = op.kind == UpdateOp::Kind::kInsert ? "+" : "-";
+  out += vocab.predicate(op.predicate).name;
+  out += "(";
+  for (size_t i = 0; i < op.tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(op.tuple[i]);
+  }
+  out += ")";
+  return out;
+}
+
+// Parses "+Name(v, ...)" / "-Name(v, ...)".
+Result<UpdateOp> ParseOp(const Vocabulary& vocab, std::string_view tok) {
+  if (tok.size() < 2 || (tok[0] != '+' && tok[0] != '-')) {
+    return Status::InvalidArgument("bad update op (want +P(...)/-P(...)): " +
+                                   std::string(tok));
+  }
+  bool insert = tok[0] == '+';
+  size_t open = tok.find('(');
+  if (open == std::string_view::npos || tok.back() != ')') {
+    return Status::InvalidArgument("bad update op syntax: " + std::string(tok));
+  }
+  std::string name(tok.substr(1, open - 1));
+  TIC_ASSIGN_OR_RETURN(PredicateId pred, vocab.FindPredicate(name));
+  Tuple tuple;
+  std::string args(tok.substr(open + 1, tok.size() - open - 2));
+  std::stringstream ss(args);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    try {
+      tuple.push_back(std::stoll(field));
+    } catch (...) {
+      return Status::InvalidArgument("bad tuple value '" + field + "' in " +
+                                     std::string(tok));
+    }
+  }
+  if (tuple.size() != vocab.predicate(pred).arity) {
+    return Status::InvalidArgument("arity mismatch in op: " + std::string(tok));
+  }
+  return insert ? UpdateOp::Insert(pred, std::move(tuple))
+                : UpdateOp::Delete(pred, std::move(tuple));
+}
+
+}  // namespace
+
+std::string SerializeCase(const FotlCase& c) {
+  std::string out = "# tic reproducer v1\n";
+  for (size_t i = 0; i < c.vocab->num_predicates(); ++i) {
+    const PredicateInfo& info = c.vocab->predicate(static_cast<PredicateId>(i));
+    out += "pred " + info.name + " " + std::to_string(info.arity) + "\n";
+  }
+  out += "sentence " + fotl::ToString(*c.factory, c.sentence) + "\n";
+  for (const Transaction& txn : c.stream) {
+    out += "txn";
+    for (const UpdateOp& op : txn) {
+      out += " " + OpToString(*c.vocab, op);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<FotlCase> ParseCase(std::string_view text) {
+  auto vocab = std::make_shared<Vocabulary>();
+  std::vector<PredicateId> preds;
+  std::optional<std::string> sentence_text;
+  std::vector<std::vector<std::string>> txn_tokens;
+
+  std::stringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string directive;
+    ss >> directive;
+    if (directive == "pred") {
+      std::string name;
+      uint32_t arity = 0;
+      ss >> name >> arity;
+      TIC_ASSIGN_OR_RETURN(PredicateId id, vocab->AddPredicate(name, arity));
+      preds.push_back(id);
+    } else if (directive == "sentence") {
+      std::string rest;
+      std::getline(ss, rest);
+      sentence_text = rest;
+    } else if (directive == "txn") {
+      // Ops contain "(v, w)" with spaces after commas; re-join tokens so a
+      // token boundary inside parentheses does not split an op.
+      std::vector<std::string> ops;
+      std::string tok;
+      std::string pending;
+      while (ss >> tok) {
+        pending += pending.empty() ? tok : " " + tok;
+        if (pending.find('(') != std::string::npos && pending.back() == ')') {
+          ops.push_back(pending);
+          pending.clear();
+        }
+      }
+      if (!pending.empty()) {
+        return Status::InvalidArgument("unterminated op in txn line: " + line);
+      }
+      txn_tokens.push_back(std::move(ops));
+    } else {
+      return Status::InvalidArgument("unknown reproducer directive: " + directive);
+    }
+  }
+  if (!sentence_text) {
+    return Status::InvalidArgument("reproducer has no sentence line");
+  }
+
+  FotlCase c;
+  c.vocab = vocab;
+  c.preds = std::move(preds);
+  c.factory = std::make_shared<fotl::FormulaFactory>(c.vocab);
+  TIC_ASSIGN_OR_RETURN(c.sentence, fotl::Parse(c.factory.get(), *sentence_text));
+  c.num_vars = fotl::Classify(c.sentence).external_universals.size();
+  for (const auto& ops : txn_tokens) {
+    Transaction txn;
+    for (const std::string& tok : ops) {
+      TIC_ASSIGN_OR_RETURN(UpdateOp op, ParseOp(*c.vocab, tok));
+      txn.push_back(std::move(op));
+    }
+    c.stream.push_back(std::move(txn));
+  }
+  return c;
+}
+
+Result<FotlCase> LoadCaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open reproducer file: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseCase(buf.str());
+}
+
+Status WriteCaseFile(const FotlCase& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write reproducer file: " + path);
+  out << SerializeCase(c);
+  return Status::OK();
+}
+
+std::optional<uint64_t> ReplaySeedFromEnv() {
+  const char* v = std::getenv("TIC_REPLAY_SEED");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  uint64_t seed = std::strtoull(v, &end, 0);
+  if (end == v) return std::nullopt;
+  return seed;
+}
+
+std::optional<std::string> ReplayFileFromEnv() {
+  const char* v = std::getenv("TIC_REPLAY_FILE");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+}  // namespace testing
+}  // namespace tic

@@ -1,0 +1,49 @@
+#ifndef TIC_TESTING_REPRODUCER_H_
+#define TIC_TESTING_REPRODUCER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "testing/generators.h"
+
+namespace tic {
+namespace testing {
+
+/// \brief Renders a case as a self-contained reproducer: vocabulary
+/// declarations, the pretty-printed sentence (fotl::Parse-compatible), and
+/// one `txn` line per transaction. The text round-trips through ParseCase,
+/// and is what the differential suites print on failure so a CI log alone is
+/// enough to replay locally (write it to a file, set TIC_REPLAY_FILE).
+///
+/// Format (one directive per line, `#` comments ignored):
+///   # tic reproducer v1
+///   pred P0 1
+///   pred P1 2
+///   sentence forall x . G (P0(x) -> X P1(x, x))
+///   txn +P0(1) -P1(2, 3)
+///   txn
+std::string SerializeCase(const FotlCase& c);
+
+/// \brief Rebuilds a case (fresh vocabulary + factory) from reproducer text.
+Result<FotlCase> ParseCase(std::string_view text);
+
+/// \brief Reads and parses a reproducer file.
+Result<FotlCase> LoadCaseFile(const std::string& path);
+
+/// \brief Writes SerializeCase(c) to `path`.
+Status WriteCaseFile(const FotlCase& c, const std::string& path);
+
+/// \brief TIC_REPLAY_SEED: when set, the random suites run only this seed
+/// (and print the reproducer for it). Empty when unset or unparsable.
+std::optional<uint64_t> ReplaySeedFromEnv();
+
+/// \brief TIC_REPLAY_FILE: when set, the replay tests load this reproducer
+/// and re-run the oracle kit on it. Empty when unset.
+std::optional<std::string> ReplayFileFromEnv();
+
+}  // namespace testing
+}  // namespace tic
+
+#endif  // TIC_TESTING_REPRODUCER_H_

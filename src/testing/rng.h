@@ -1,0 +1,79 @@
+#ifndef TIC_TESTING_RNG_H_
+#define TIC_TESTING_RNG_H_
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace tic {
+namespace testing {
+
+/// \brief The single entropy source behind every structure-aware generator.
+///
+/// Two modes share one draw interface so the SAME generator code backs both
+/// the seeded mt19937 property suites and the byte-stream-driven fuzz
+/// harnesses (libFuzzer hands us raw bytes; structure-aware fuzzing means the
+/// generator, not the parser, turns them into a well-formed case):
+///
+///  - Seed mode wraps std::mt19937 and reproduces the exact draw sequences of
+///    the historical in-test generators: Raw() is `rng()`, Below(n) is
+///    `rng() % n`, and Pick(lo, hi) goes through
+///    std::uniform_int_distribution — so porting a suite onto the shared
+///    generators keeps every historical seed producing the same case.
+///  - Byte mode consumes the buffer little-endian, 4 bytes per draw, and
+///    returns 0 once exhausted. Zero drives every generator grammar to its
+///    leaf production, so generation always terminates and short fuzz inputs
+///    yield small cases.
+class Entropy {
+ public:
+  /// Seed mode.
+  explicit Entropy(uint64_t seed) : mode_(Mode::kSeeded), rng_(static_cast<uint32_t>(seed)) {}
+
+  /// Byte-stream mode; the buffer is copied (fuzzer data is transient).
+  Entropy(const uint8_t* data, size_t size)
+      : mode_(Mode::kBytes), bytes_(data, data + size) {}
+
+  bool seeded() const { return mode_ == Mode::kSeeded; }
+
+  /// One full 32-bit draw (`rng()` in seed mode).
+  uint32_t Raw() {
+    if (mode_ == Mode::kSeeded) return rng_();
+    uint32_t v = 0;
+    for (int i = 0; i < 4 && pos_ < bytes_.size(); ++i) {
+      v |= static_cast<uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  /// Draw in [0, n): the historical `rng() % n` in seed mode. \pre n > 0
+  uint32_t Below(uint32_t n) { return Raw() % n; }
+
+  /// Draw in [lo, hi]: uniform_int_distribution in seed mode (bit-compatible
+  /// with the historical ptl formula generator).
+  int Pick(int lo, int hi) {
+    if (mode_ == Mode::kSeeded) {
+      std::uniform_int_distribution<int> d(lo, hi);
+      return d(rng_);
+    }
+    return lo + static_cast<int>(Raw() % static_cast<uint32_t>(hi - lo + 1));
+  }
+
+  /// Byte mode: all input consumed (subsequent draws are 0). Never true in
+  /// seed mode.
+  bool exhausted() const {
+    return mode_ == Mode::kBytes && pos_ >= bytes_.size();
+  }
+
+ private:
+  enum class Mode { kSeeded, kBytes };
+  Mode mode_;
+  std::mt19937 rng_;
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testing
+}  // namespace tic
+
+#endif  // TIC_TESTING_RNG_H_

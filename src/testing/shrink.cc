@@ -1,0 +1,148 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fotl/classify.h"
+
+namespace tic {
+namespace testing {
+
+namespace {
+
+// All distinct subformulas of `f` (including f itself), smallest first.
+std::vector<fotl::Formula> SubformulasOf(fotl::Formula f) {
+  std::vector<fotl::Formula> out;
+  std::unordered_set<fotl::Formula> seen;
+  std::vector<fotl::Formula> stack{f};
+  while (!stack.empty()) {
+    fotl::Formula g = stack.back();
+    stack.pop_back();
+    if (!seen.insert(g).second) continue;
+    out.push_back(g);
+    fotl::NodeKind k = g->kind();
+    if (fotl::IsBinaryConnective(k)) {
+      stack.push_back(g->lhs());
+      stack.push_back(g->rhs());
+    } else if (fotl::IsUnaryConnective(k) || fotl::IsQuantifier(k)) {
+      stack.push_back(g->child(0));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](fotl::Formula a, fotl::Formula b) { return a->size() < b->size(); });
+  return out;
+}
+
+// `sub` universally closed over exactly its own free variables.
+fotl::Formula Requantify(const FotlCase& c, fotl::Formula sub) {
+  fotl::Formula phi = sub;
+  const std::vector<fotl::VarId>& fv = sub->free_vars();
+  for (auto it = fv.rbegin(); it != fv.rend(); ++it) {
+    phi = c.factory->Forall(*it, phi);
+  }
+  return phi;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const FailurePredicate& fails, ShrinkStats* stats, size_t max_attempts)
+      : fails_(fails), stats_(stats), max_attempts_(max_attempts) {}
+
+  bool StillFails(const FotlCase& candidate) {
+    if (attempts_ >= max_attempts_) return false;
+    ++attempts_;
+    if (stats_ != nullptr) stats_->attempts = attempts_;
+    bool failing = fails_(candidate);
+    if (failing && stats_ != nullptr) ++stats_->improvements;
+    return failing;
+  }
+
+  // ddmin-style: remove contiguous transaction chunks, halving the chunk size.
+  bool ShrinkStream(FotlCase* c) {
+    bool improved = false;
+    for (size_t chunk = std::max<size_t>(c->stream.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      bool removed_any = true;
+      while (removed_any && !c->stream.empty()) {
+        removed_any = false;
+        for (size_t start = 0; start + chunk <= c->stream.size(); ++start) {
+          FotlCase candidate = *c;
+          candidate.stream.erase(candidate.stream.begin() + start,
+                                 candidate.stream.begin() + start + chunk);
+          if (StillFails(candidate)) {
+            *c = std::move(candidate);
+            improved = removed_any = true;
+            break;
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+    // Individual ops inside the surviving transactions.
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (size_t t = 0; t < c->stream.size() && !removed_any; ++t) {
+        for (size_t i = 0; i < c->stream[t].size(); ++i) {
+          FotlCase candidate = *c;
+          candidate.stream[t].erase(candidate.stream[t].begin() + i);
+          if (candidate.stream[t].empty()) {
+            candidate.stream.erase(candidate.stream.begin() + t);
+          }
+          if (StillFails(candidate)) {
+            *c = std::move(candidate);
+            improved = removed_any = true;
+            break;
+          }
+        }
+      }
+    }
+    return improved;
+  }
+
+  // Replace the sentence with a requantified proper subformula, smallest
+  // first, so the first accepted candidate is the best this pass can do.
+  bool ShrinkSentence(FotlCase* c) {
+    std::vector<fotl::VarId> vars;
+    fotl::Formula body = nullptr;
+    fotl::StripUniversalPrefix(c->sentence, &vars, &body);
+    for (fotl::Formula sub : SubformulasOf(body)) {
+      if (sub->size() >= c->sentence->size()) break;  // sorted: no gain beyond
+      FotlCase candidate = *c;
+      candidate.sentence = Requantify(*c, sub);
+      candidate.num_vars = sub->free_vars().size();
+      if (candidate.sentence == c->sentence) continue;
+      if (candidate.sentence->size() >= c->sentence->size()) continue;
+      if (StillFails(candidate)) {
+        *c = std::move(candidate);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t attempts_ = 0;
+
+ private:
+  const FailurePredicate& fails_;
+  ShrinkStats* stats_;
+  size_t max_attempts_;
+};
+
+}  // namespace
+
+FotlCase ShrinkCase(const FotlCase& seed, const FailurePredicate& fails,
+                    ShrinkStats* stats, size_t max_attempts) {
+  FotlCase best = seed;
+  Shrinker shrinker(fails, stats, max_attempts);
+  bool improved = true;
+  while (improved && shrinker.attempts_ < max_attempts) {
+    improved = false;
+    if (shrinker.ShrinkStream(&best)) improved = true;
+    if (shrinker.ShrinkSentence(&best)) improved = true;
+  }
+  return best;
+}
+
+}  // namespace testing
+}  // namespace tic

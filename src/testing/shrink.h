@@ -1,0 +1,42 @@
+#ifndef TIC_TESTING_SHRINK_H_
+#define TIC_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "testing/generators.h"
+
+namespace tic {
+namespace testing {
+
+/// \brief The failure predicate a shrink run minimizes against: true when the
+/// case still exhibits the failure (oracle reports pass == false). It must
+/// return false — not crash — on candidates it cannot evaluate (the oracles'
+/// Result layer gives this for free: infrastructure errors mean "not a valid
+/// failing case").
+using FailurePredicate = std::function<bool(const FotlCase&)>;
+
+struct ShrinkStats {
+  size_t attempts = 0;      ///< predicate evaluations
+  size_t improvements = 0;  ///< accepted smaller candidates
+};
+
+/// \brief Greedy delta-debugging minimizer for a failing (sentence, stream)
+/// pair. Alternates two reduction axes to a fixpoint:
+///
+///  - stream: ddmin-style chunk removal (halves, then quarters, ... down to
+///    single transactions), then removal of individual update ops inside the
+///    surviving transactions;
+///  - sentence: replace the quantified matrix with each proper subformula
+///    (smallest first), requantifying only over the variables still free —
+///    candidates that no longer fail (including ones the checker rejects)
+///    are simply discarded, so the result is always a valid failing case.
+///
+/// `seed` must satisfy `fails(seed)`; the returned case also does, and is
+/// never larger. `max_attempts` bounds total predicate evaluations.
+FotlCase ShrinkCase(const FotlCase& seed, const FailurePredicate& fails,
+                    ShrinkStats* stats = nullptr, size_t max_attempts = 20000);
+
+}  // namespace testing
+}  // namespace tic
+
+#endif  // TIC_TESTING_SHRINK_H_

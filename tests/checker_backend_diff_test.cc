@@ -11,202 +11,85 @@
 //   C. Batch checks with require_safety=false on non-safe formulas: the
 //      closure-bitset TransitionSystem's eager (SCC) liveness mode against
 //      progression + tableau, including the clamped-budget fallback.
+//
+// Case generation and the backend-equality oracle live in src/testing/
+// (shared with checker_property_test and fuzz_monitor_diff); seed mode there
+// reproduces the historical per-seed cases bit for bit, so the seed bases and
+// family sizes below cover exactly what they always covered. Failure messages
+// carry the full reproducer text; re-run one case with TIC_REPLAY_SEED=<c>,
+// or save the reproducer to a file and set TIC_REPLAY_FILE to replay it
+// through the ReplayFromFile test.
 
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <random>
 #include <string>
 #include <vector>
 
 #include "checker/extension.h"
-#include "checker/monitor.h"
 #include "fotl/factory.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "testing/reproducer.h"
 
 namespace tic {
 namespace checker {
 namespace {
 
-class BackendDiffTest : public ::testing::Test {
- protected:
-  void Reset(size_t num_preds) {
-    auto v = std::make_shared<Vocabulary>();
-    preds_.clear();
-    for (size_t i = 0; i < num_preds; ++i) {
-      preds_.push_back(*v->AddPredicate("P" + std::to_string(i), 1));
-    }
-    vocab_ = v;
-    fac_ = std::make_shared<fotl::FormulaFactory>(vocab_);
-  }
+namespace tt = tic::testing;
 
-  fotl::Term Var(size_t i) {
-    return fotl::Term::Var(fac_->InternVar(i == 0 ? "x" : "y"));
-  }
+// Runs the shared backend-equality oracle; on violation the detail already
+// ends in the serialized reproducer.
+void ExpectBackendsAgree(const tt::FotlCase& kase, const std::string& label) {
+  auto r = tt::BackendVerdictsAgree(kase);
+  ASSERT_TRUE(r.ok()) << label << ": " << r.status().ToString()
+                      << "\nreproducer:\n" << tt::SerializeCase(kase);
+  ASSERT_TRUE(r->pass) << label << ": " << r->detail;
+}
 
-  fotl::Formula Lit(std::mt19937* rng, size_t num_vars) {
-    fotl::Formula a = *fac_->Atom(preds_[(*rng)() % preds_.size()],
-                                  {Var((*rng)() % num_vars)});
-    return (*rng)() % 2 == 0 ? a : fac_->Not(a);
-  }
-
-  // Conjunction of 1-2 literals: a safe implication antecedent (its negation
-  // NNFs to a disjunction of literals).
-  fotl::Formula LitConj(std::mt19937* rng, size_t num_vars) {
-    fotl::Formula a = Lit(rng, num_vars);
-    return (*rng)() % 2 == 0 ? a : fac_->And(a, Lit(rng, num_vars));
-  }
-
-  // Co-safe side: positive atoms under And/Or/Next/Until/Eventually. Only
-  // ever used under negation, where NNF turns Until into Release and
-  // Eventually into Always — still safe.
-  fotl::Formula GenCosafe(std::mt19937* rng, size_t num_vars, int depth) {
-    if (depth <= 0) return *fac_->Atom(preds_[(*rng)() % preds_.size()],
-                                       {Var((*rng)() % num_vars)});
-    switch ((*rng)() % 5) {
-      case 0:
-        return fac_->And(GenCosafe(rng, num_vars, depth - 1),
-                         GenCosafe(rng, num_vars, depth - 1));
-      case 1:
-        return fac_->Or(GenCosafe(rng, num_vars, depth - 1),
-                        GenCosafe(rng, num_vars, depth - 1));
-      case 2:
-        return fac_->Next(GenCosafe(rng, num_vars, depth - 1));
-      case 3:
-        return fac_->Until(GenCosafe(rng, num_vars, depth - 1),
-                           GenCosafe(rng, num_vars, depth - 1));
-      default:
-        return fac_->Eventually(GenCosafe(rng, num_vars, depth - 1));
-    }
-  }
-
-  // Safe grammar: every production stays syntactically safe after NNF.
-  fotl::Formula GenSafe(std::mt19937* rng, size_t num_vars, int depth) {
-    if (depth <= 0) return Lit(rng, num_vars);
-    switch ((*rng)() % 7) {
-      case 0:
-        return Lit(rng, num_vars);
-      case 1:
-        return fac_->And(GenSafe(rng, num_vars, depth - 1),
-                         GenSafe(rng, num_vars, depth - 1));
-      case 2:
-        return fac_->Or(GenSafe(rng, num_vars, depth - 1),
-                        GenSafe(rng, num_vars, depth - 1));
-      case 3:
-        return fac_->Next(GenSafe(rng, num_vars, depth - 1));
-      case 4:
-        return fac_->Always(GenSafe(rng, num_vars, depth - 1));
-      case 5:
-        return fac_->Implies(LitConj(rng, num_vars),
-                             GenSafe(rng, num_vars, depth - 1));
-      default:
-        return fac_->Not(GenCosafe(rng, num_vars, depth - 1));
-    }
-  }
-
-  fotl::Formula Quantify(fotl::Formula matrix, size_t num_vars) {
-    fotl::Formula phi = matrix;
-    for (size_t i = num_vars; i-- > 0;) {
-      phi = fac_->Forall(fac_->InternVar(i == 0 ? "x" : "y"), phi);
-    }
-    return phi;
-  }
-
-  // Random transaction over `universe`; with DAG-friendly churn (inserts and
-  // deletes of random unary tuples across all predicates).
-  Transaction RandomTxn(std::mt19937* rng, const std::vector<Value>& universe) {
-    Transaction txn;
-    for (PredicateId p : preds_) {
-      for (Value v : universe) {
-        uint32_t r = (*rng)() % 4;
-        if (r == 0) txn.push_back(UpdateOp::Insert(p, {v}));
-        if (r == 1) txn.push_back(UpdateOp::Delete(p, {v}));
-      }
-    }
-    return txn;
-  }
-
-  // Runs both backends on the same sentence and stream; asserts per-update
-  // verdict equality. Returns false if Create rejected the sentence (the
-  // generator only produces safe matrices, so this is a hard failure).
-  void RunCase(fotl::Formula phi, const std::vector<Transaction>& stream,
-               const std::string& label) {
-    CheckOptions prog_opts;
-    prog_opts.backend = MonitorBackend::kProgression;
-    CheckOptions auto_opts;
-    auto_opts.backend = MonitorBackend::kAutomaton;
-    auto mp = Monitor::Create(fac_, phi, {}, prog_opts);
-    ASSERT_TRUE(mp.ok()) << label << ": " << mp.status().ToString();
-    auto ma = Monitor::Create(fac_, phi, {}, auto_opts);
-    ASSERT_TRUE(ma.ok()) << label << ": " << ma.status().ToString();
-    for (size_t t = 0; t < stream.size(); ++t) {
-      auto vp = (*mp)->ApplyTransaction(stream[t]);
-      auto va = (*ma)->ApplyTransaction(stream[t]);
-      ASSERT_TRUE(vp.ok()) << label << " t=" << t << ": "
-                           << vp.status().ToString();
-      ASSERT_TRUE(va.ok()) << label << " t=" << t << ": "
-                           << va.status().ToString();
-      ASSERT_EQ(vp->potentially_satisfied, va->potentially_satisfied)
-          << label << " t=" << t;
-      ASSERT_EQ(vp->permanently_violated, va->permanently_violated)
-          << label << " t=" << t;
-      EXPECT_EQ(va->backend, MonitorBackend::kAutomaton);
-      EXPECT_EQ(vp->backend, MonitorBackend::kProgression);
-    }
-  }
-
-  VocabularyPtr vocab_;
-  std::vector<PredicateId> preds_;
-  std::shared_ptr<fotl::FormulaFactory> fac_;
-};
-
-TEST_F(BackendDiffTest, RandomSafeSentencesAgreePerUpdate) {
+TEST(BackendDiffTest, RandomSafeSentencesAgreePerUpdate) {
   // Family A: 800 random safe sentences. Streams run over values {1,2,3}
   // with value 4 arriving in the back half — every case with a late fresh
   // element exercises the epoch recompile + word replay path.
   constexpr int kCases = 800;
+  auto replay = tt::ReplaySeedFromEnv();
   for (int c = 0; c < kCases; ++c) {
-    std::mt19937 rng(0x9e3779b9u + c);
-    Reset(2 + rng() % 2);
-    size_t num_vars = 1 + rng() % 2;
-    fotl::Formula matrix = GenSafe(&rng, num_vars, 2 + rng() % 3);
-    fotl::Formula phi = Quantify(fac_->Always(matrix), num_vars);
-    size_t len = 5 + rng() % 4;
-    std::vector<Transaction> stream;
-    for (size_t t = 0; t < len; ++t) {
-      std::vector<Value> universe{1, 2, 3};
-      if (t >= len / 2) universe.push_back(4);
-      stream.push_back(RandomTxn(&rng, universe));
-    }
-    RunCase(phi, stream, "caseA#" + std::to_string(c));
+    if (replay && *replay != static_cast<uint64_t>(c)) continue;
+    tt::Entropy ent(0x9e3779b9u + static_cast<uint32_t>(c));
+    tt::FotlCase kase = tt::GenerateSafetyCase(&ent);
+    ExpectBackendsAgree(kase, "caseA#" + std::to_string(c) +
+                                  " (re-run with TIC_REPLAY_SEED=" +
+                                  std::to_string(c) + ")");
   }
 }
 
-TEST_F(BackendDiffTest, SpillSizedClosuresAgreePerUpdate) {
+TEST(BackendDiffTest, SpillSizedClosuresAgreePerUpdate) {
   // Family B: the grounded joint formula carries a deep Next-chain per
   // instance, pushing the closure past FlatBits's 256 inline bits, so both
   // backends run the heap-spill bitset path.
   constexpr int kCases = 100;
   for (int c = 0; c < kCases; ++c) {
-    std::mt19937 rng(0x85ebca6bu + c);
-    Reset(2);
+    tt::Entropy ent(0x85ebca6bu + static_cast<uint32_t>(c));
+    tt::CaseBuilder builder(2);
     // G (P0(x) -> X^k P1(x)), k in [60, 120): closure size scales with k and
     // with the number of instances.
-    size_t k = 60 + rng() % 60;
-    fotl::Formula head = *fac_->Atom(preds_[1], {Var(0)});
-    for (size_t i = 0; i < k; ++i) head = fac_->Next(head);
+    size_t k = 60 + ent.Below(60);
+    auto& fac = *builder.factory();
+    fotl::Formula head = *fac.Atom(builder.preds()[1], {builder.Var(0)});
+    for (size_t i = 0; i < k; ++i) head = fac.Next(head);
     fotl::Formula matrix =
-        fac_->Implies(*fac_->Atom(preds_[0], {Var(0)}), head);
-    fotl::Formula phi = Quantify(fac_->Always(matrix), 1);
-    size_t len = 4 + rng() % 3;
+        fac.Implies(*fac.Atom(builder.preds()[0], {builder.Var(0)}), head);
+    fotl::Formula phi = builder.Quantify(fac.Always(matrix), 1);
+    size_t len = 4 + ent.Below(3);
     std::vector<Transaction> stream;
     for (size_t t = 0; t < len; ++t) {
-      stream.push_back(RandomTxn(&rng, {1, 2}));
+      stream.push_back(tt::ChurnTxn(&ent, builder.preds(), {1, 2}));
     }
-    RunCase(phi, stream, "caseB#" + std::to_string(c));
+    ExpectBackendsAgree(builder.Finish(phi, 1, std::move(stream)),
+                        "caseB#" + std::to_string(c));
   }
 }
 
-TEST_F(BackendDiffTest, BatchNonSafeChecksAgree) {
+TEST(BackendDiffTest, BatchNonSafeChecksAgree) {
   // Family C: the batch checker with require_safety=false on formulas with
   // positive Until/Eventually — the TransitionSystem's eager SCC-liveness
   // mode (and, where compilation exceeds the clamped budget, its fallback to
@@ -214,20 +97,25 @@ TEST_F(BackendDiffTest, BatchNonSafeChecksAgree) {
   constexpr int kCases = 200;
   int automaton_ran = 0;
   for (int c = 0; c < kCases; ++c) {
-    std::mt19937 rng(0xc2b2ae35u + c);
-    Reset(2 + rng() % 2);
+    tt::Entropy ent(0xc2b2ae35u + static_cast<uint32_t>(c));
+    tt::CaseBuilder builder(2 + ent.Below(2));
     size_t num_vars = 1;
-    fotl::Formula matrix = GenCosafe(&rng, num_vars, 2 + rng() % 2);
-    if (rng() % 2 == 0) {
-      matrix = fac_->And(matrix, GenSafe(&rng, num_vars, 2));
+    int depth = 2 + static_cast<int>(ent.Below(2));
+    fotl::Formula matrix = builder.GenCosafe(&ent, num_vars, depth);
+    if (ent.Below(2) == 0) {
+      matrix = builder.factory()->And(matrix,
+                                      builder.GenSafe(&ent, num_vars, 2));
     }
-    fotl::Formula phi = Quantify(matrix, num_vars);
+    fotl::Formula phi = builder.Quantify(matrix, num_vars);
 
-    History h = *History::Create(vocab_, {});
-    size_t len = 2 + rng() % 3;
+    History h = *History::Create(builder.vocab(), {});
+    size_t len = 2 + ent.Below(3);
+    std::vector<Transaction> stream;
     for (size_t t = 0; t < len; ++t) {
-      ASSERT_TRUE(ApplyTransaction(&h, RandomTxn(&rng, {1, 2})).ok());
+      stream.push_back(tt::ChurnTxn(&ent, builder.preds(), {1, 2}));
+      ASSERT_TRUE(ApplyTransaction(&h, stream.back()).ok());
     }
+    tt::FotlCase kase = builder.Finish(phi, num_vars, std::move(stream));
 
     CheckOptions prog_opts;
     prog_opts.backend = MonitorBackend::kProgression;
@@ -236,17 +124,40 @@ TEST_F(BackendDiffTest, BatchNonSafeChecksAgree) {
     CheckOptions auto_opts = prog_opts;
     auto_opts.backend = MonitorBackend::kAutomaton;
 
-    auto rp = CheckPotentialSatisfaction(*fac_, phi, h, {}, prog_opts);
-    auto ra = CheckPotentialSatisfaction(*fac_, phi, h, {}, auto_opts);
-    ASSERT_TRUE(rp.ok()) << "caseC#" << c << ": " << rp.status().ToString();
-    ASSERT_TRUE(ra.ok()) << "caseC#" << c << ": " << ra.status().ToString();
+    auto rp = CheckPotentialSatisfaction(*builder.factory(), phi, h, {},
+                                         prog_opts);
+    auto ra = CheckPotentialSatisfaction(*builder.factory(), phi, h, {},
+                                         auto_opts);
+    ASSERT_TRUE(rp.ok()) << "caseC#" << c << ": " << rp.status().ToString()
+                         << "\nreproducer:\n" << tt::SerializeCase(kase);
+    ASSERT_TRUE(ra.ok()) << "caseC#" << c << ": " << ra.status().ToString()
+                         << "\nreproducer:\n" << tt::SerializeCase(kase);
     EXPECT_EQ(rp->potentially_satisfied, ra->potentially_satisfied)
-        << "caseC#" << c;
+        << "caseC#" << c << "\nreproducer:\n" << tt::SerializeCase(kase);
     if (ra->tableau_stats.num_expansions == 0) ++automaton_ran;
   }
   // The clamped-budget fallback must not have swallowed the whole family:
   // most single-variable groundings compile fine.
   EXPECT_GT(automaton_ran, kCases / 2);
+}
+
+// TIC_REPLAY_FILE=<path>: load a reproducer written from a failure message
+// (or by the shrinker) and re-run the full oracle kit on it. Skipped when the
+// variable is unset, so the test is inert in normal CI runs.
+TEST(BackendDiffReplayTest, ReplayFromFile) {
+  auto file = tt::ReplayFileFromEnv();
+  if (!file) GTEST_SKIP() << "TIC_REPLAY_FILE not set";
+  auto kase = tt::LoadCaseFile(*file);
+  ASSERT_TRUE(kase.ok()) << kase.status().ToString();
+  auto r = tt::BackendVerdictsAgree(*kase);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->pass) << r->detail;
+  auto b = tt::MonitorMatchesBatch(*kase);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(b->pass) << b->detail;
+  auto p = tt::PrefixClosureHolds(*kase);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->pass) << p->detail;
 }
 
 }  // namespace

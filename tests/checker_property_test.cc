@@ -5,19 +5,28 @@
 // sound (YES => witness verifies) and complete (oracle-YES => checker-YES)
 // over the enumerated space — plus literal/simplified grounding agreement and
 // monitor/batch agreement on random update streams.
+//
+// Random histories and streams come from the shared src/testing/ generators
+// (seed mode reproduces the historical draw sequences); the brute-force
+// enumeration oracle stays local because it is this suite's independent
+// ground truth, deliberately not shared with the code under test.
 
 #include <gtest/gtest.h>
 
-#include <random>
+#include <string>
+#include <vector>
 
 #include "checker/extension.h"
-#include "checker/monitor.h"
 #include "fotl/evaluator.h"
 #include "fotl/parser.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
 
 namespace tic {
 namespace checker {
 namespace {
+
+namespace tt = tic::testing;
 
 class OracleTest : public ::testing::TestWithParam<int> {
  protected:
@@ -94,7 +103,7 @@ class OracleTest : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(OracleTest, CheckerMatchesBruteForce) {
-  std::mt19937 rng(7000 + GetParam());
+  tt::Entropy ent(static_cast<uint32_t>(7000 + GetParam()));
   std::vector<std::string> constraints = {
       "forall x . G (p(x) -> X G !p(x))",
       "forall x . G (p(x) -> X q(x))",
@@ -105,15 +114,13 @@ TEST_P(OracleTest, CheckerMatchesBruteForce) {
   auto phi = fotl::Parse(fac_.get(), text);
   ASSERT_TRUE(phi.ok());
 
-  // Random history of 1..3 states over elements {1, 2}.
+  // Random history of 1..3 states over elements {1, 2}: each of p(1), p(2),
+  // q(1), q(2) present independently with probability 1/2 (same draw order as
+  // the historical inline loop).
   History h = *History::Create(vocab_);
-  size_t len = 1 + rng() % 3;
+  size_t len = 1 + ent.Below(3);
   for (size_t t = 0; t < len; ++t) {
-    DatabaseState* s = h.AppendEmptyState();
-    if (rng() % 2) (void)s->Insert(p_, {1});
-    if (rng() % 2) (void)s->Insert(p_, {2});
-    if (rng() % 2) (void)s->Insert(q_, {1});
-    if (rng() % 2) (void)s->Insert(q_, {2});
+    tt::AppendRandomState(&ent, &h, {p_, q_}, {1, 2});
   }
 
   auto res = CheckPotentialSatisfaction(*fac_, *phi, h);
@@ -144,17 +151,16 @@ TEST_P(GroundingAgreementTest, LiteralAndSimplifiedAgreeOnRandomHistories) {
       "forall x . G (p(x) -> X q(x))",
       "forall x y . G ((p(x) & p(y)) -> x = y)",
   };
-  std::mt19937 rng(9000 + GetParam());
+  tt::Entropy ent(static_cast<uint32_t>(9000 + GetParam()));
   auto phi = fotl::Parse(fac.get(), constraints[GetParam() % constraints.size()]);
   ASSERT_TRUE(phi.ok());
 
+  // Random history over all four tuples (the shared state distribution — a
+  // superset of the historical p-biased one, same seeds and case count).
   History h = *History::Create(vocab);
-  size_t len = 1 + rng() % 3;
+  size_t len = 1 + ent.Below(3);
   for (size_t t = 0; t < len; ++t) {
-    DatabaseState* s = h.AppendEmptyState();
-    if (rng() % 2) (void)s->Insert(p, {1});
-    if (rng() % 3 == 0) (void)s->Insert(p, {2});
-    if (rng() % 2) (void)s->Insert(q, {1});
+    tt::AppendRandomState(&ent, &h, {p, q}, {1, 2});
   }
 
   CheckOptions lit;
@@ -179,34 +185,25 @@ TEST_P(MonitorAgreementTest, MonitorMatchesBatchWithDeletes) {
   auto phi = fotl::Parse(fac.get(), "forall x . G (p(x) -> X q(x))");
   ASSERT_TRUE(phi.ok());
 
-  std::mt19937 rng(4200 + GetParam());
-  auto monitor = *Monitor::Create(fac, *phi);
-  History reference = *History::Create(vocab);
+  // 7 single-op transactions over {1,2,3} (SingleOpTxn reproduces the
+  // historical element-then-op draw order), run through the shared
+  // monitor-vs-batch oracle.
+  tt::Entropy ent(static_cast<uint32_t>(4200 + GetParam()));
+  std::vector<Transaction> stream;
   for (int step = 0; step < 7; ++step) {
-    Transaction txn;
-    Value e = 1 + rng() % 3;
-    switch (rng() % 4) {
-      case 0:
-        txn.push_back(UpdateOp::Insert(p, {e}));
-        break;
-      case 1:
-        txn.push_back(UpdateOp::Insert(q, {e}));
-        break;
-      case 2:
-        txn.push_back(UpdateOp::Delete(p, {e}));
-        break;
-      default:
-        txn.push_back(UpdateOp::Delete(q, {e}));
-        break;
-    }
-    auto verdict = monitor->ApplyTransaction(txn);
-    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
-    ASSERT_TRUE(ApplyTransaction(&reference, txn).ok());
-    auto batch = CheckPotentialSatisfaction(*fac, *phi, reference);
-    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-    EXPECT_EQ(verdict->potentially_satisfied, batch->potentially_satisfied)
-        << "seed " << GetParam() << " step " << step;
+    stream.push_back(tt::SingleOpTxn(&ent, {p, q}, {1, 2, 3}));
   }
+  tt::FotlCase kase;
+  kase.vocab = vocab;
+  kase.factory = fac;
+  kase.preds = {p, q};
+  kase.num_vars = 1;
+  kase.sentence = *phi;
+  kase.stream = std::move(stream);
+
+  auto r = tt::MonitorMatchesBatch(kase);
+  ASSERT_TRUE(r.ok()) << "seed " << GetParam() << ": " << r.status().ToString();
+  EXPECT_TRUE(r->pass) << "seed " << GetParam() << ": " << r->detail;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonitorAgreementTest, ::testing::Range(0, 16));

@@ -3,85 +3,39 @@
 // spill path), kLegacy and kBitset must agree on sat/unsat, and each engine's
 // lasso witness must validate under the independent word evaluator. This is
 // the verdict-invariance contract TableauEngine::kBitset ships under.
+//
+// Formula generation and the engine-equality oracle live in src/testing/
+// (shared with the property suites and fuzz_ptl_parser); seed mode there
+// reproduces the historical per-seed formulas bit for bit, so the seeds and
+// case counts below cover exactly what they always covered. Set
+// TIC_REPLAY_SEED=<n> to re-run a single seed from a failure message.
 
 #include <gtest/gtest.h>
 
-#include <random>
 #include <string>
 #include <vector>
 
 #include "ptl/formula.h"
-#include "ptl/tableau.h"
-#include "ptl/word.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "testing/reproducer.h"
 
 namespace tic {
 namespace ptl {
 namespace {
 
-Formula RandomFormula(Factory* fac, std::mt19937* rng,
-                      const std::vector<Formula>& atoms, int depth) {
-  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 9);
-  switch (pick(*rng)) {
-    case 0:
-      return atoms[(*rng)() % atoms.size()];
-    case 1:
-      return fac->Not(atoms[(*rng)() % atoms.size()]);
-    case 2:
-      return fac->Not(RandomFormula(fac, rng, atoms, depth - 1));
-    case 3:
-      return fac->And(RandomFormula(fac, rng, atoms, depth - 1),
-                      RandomFormula(fac, rng, atoms, depth - 1));
-    case 4:
-      return fac->Or(RandomFormula(fac, rng, atoms, depth - 1),
-                     RandomFormula(fac, rng, atoms, depth - 1));
-    case 5:
-      return fac->Next(RandomFormula(fac, rng, atoms, depth - 1));
-    case 6:
-      return fac->Until(RandomFormula(fac, rng, atoms, depth - 1),
-                        RandomFormula(fac, rng, atoms, depth - 1));
-    case 7:
-      return fac->Release(RandomFormula(fac, rng, atoms, depth - 1),
-                          RandomFormula(fac, rng, atoms, depth - 1));
-    case 8:
-      return fac->Eventually(RandomFormula(fac, rng, atoms, depth - 1));
-    default:
-      return fac->Always(RandomFormula(fac, rng, atoms, depth - 1));
-  }
-}
+namespace tt = tic::testing;
 
-// Runs both engines on `f` and enforces the invariance contract. Returns the
-// shared verdict.
+// Runs the shared engine-equality oracle on `f` and reports the full
+// pretty-printed formula on any violation. Returns the shared verdict.
 bool CheckBothEngines(Factory* fac, Formula f) {
-  TableauOptions legacy;
-  legacy.engine = TableauEngine::kLegacy;
-  TableauOptions bitset;
-  bitset.engine = TableauEngine::kBitset;
-
-  auto rl = CheckSat(fac, f, legacy);
-  auto rb = CheckSat(fac, f, bitset);
-  EXPECT_TRUE(rl.ok()) << rl.status().ToString();
-  EXPECT_TRUE(rb.ok()) << rb.status().ToString();
-  if (!rl.ok() || !rb.ok()) return false;
-
-  EXPECT_EQ(rl->satisfiable, rb->satisfiable)
-      << "engines disagree on " << ToString(*fac, f);
-  // The engines may pick different (state-order-dependent) witnesses; each
-  // must independently satisfy the formula.
-  if (rl->satisfiable) {
-    auto holds = Evaluate(*rl->witness, f, 0);
-    EXPECT_TRUE(holds.ok()) << holds.status().ToString();
-    if (holds.ok()) {
-      EXPECT_TRUE(*holds) << "legacy witness fails " << ToString(*fac, f);
-    }
-  }
-  if (rb->satisfiable) {
-    auto holds = Evaluate(*rb->witness, f, 0);
-    EXPECT_TRUE(holds.ok()) << holds.status().ToString();
-    if (holds.ok()) {
-      EXPECT_TRUE(*holds) << "bitset witness fails " << ToString(*fac, f);
-    }
-  }
-  return rb->satisfiable;
+  bool satisfiable = false;
+  auto r = tt::TableauEnginesAgree(fac, f, &satisfiable);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nformula: "
+                      << ToString(*fac, f);
+  if (!r.ok()) return false;
+  EXPECT_TRUE(r->pass) << r->detail;
+  return satisfiable;
 }
 
 // 1000 seeded random formulas, depth 4 over 3 letters. Closures stay inside
@@ -90,37 +44,40 @@ bool CheckBothEngines(Factory* fac, Formula f) {
 TEST(DifferentialTableauTest, RandomFormulasAgreeAcrossEngines) {
   auto vocab = std::make_shared<PropVocabulary>();
   Factory fac(vocab);
-  std::vector<Formula> atoms = {fac.Atom(vocab->Intern("a")),
-                                fac.Atom(vocab->Intern("b")),
-                                fac.Atom(vocab->Intern("c"))};
+  std::vector<Formula> atoms = tt::PtlAtoms(&fac, 3);
+  auto replay = tt::ReplaySeedFromEnv();
   size_t sat_count = 0;
   for (int seed = 0; seed < 1000; ++seed) {
-    std::mt19937 rng(seed);
-    Formula f = RandomFormula(&fac, &rng, atoms, 4);
+    if (replay && *replay != static_cast<uint64_t>(seed)) continue;
+    tt::Entropy ent(static_cast<uint32_t>(seed));
+    Formula f = tt::GeneratePtlFormula(&fac, &ent, atoms, 4);
     if (CheckBothEngines(&fac, f)) ++sat_count;
-    if (::testing::Test::HasFatalFailure()) {
-      FAIL() << "aborted at seed " << seed;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "failing seed " << seed << " (re-run with TIC_REPLAY_SEED="
+             << seed << "); formula: " << ToString(fac, f);
     }
   }
   // Sanity: the sweep exercises both verdicts.
-  EXPECT_GT(sat_count, 100u);
-  EXPECT_LT(sat_count, 1000u);
+  if (!replay) {
+    EXPECT_GT(sat_count, 100u);
+    EXPECT_LT(sat_count, 1000u);
+  }
 }
 
 // Deeper random formulas push some closures past 4 inline words.
 TEST(DifferentialTableauTest, DeeperRandomFormulasAgreeAcrossEngines) {
   auto vocab = std::make_shared<PropVocabulary>();
   Factory fac(vocab);
-  std::vector<Formula> atoms;
-  for (int i = 0; i < 6; ++i) {
-    atoms.push_back(fac.Atom(vocab->Intern(std::string(1, 'a' + i))));
-  }
+  std::vector<Formula> atoms = tt::PtlAtoms(&fac, 6);
+  auto replay = tt::ReplaySeedFromEnv();
   for (int seed = 0; seed < 120; ++seed) {
-    std::mt19937 rng(50000 + seed);
-    Formula f = RandomFormula(&fac, &rng, atoms, 6);
+    if (replay && *replay != static_cast<uint64_t>(seed)) continue;
+    tt::Entropy ent(static_cast<uint32_t>(50000 + seed));
+    Formula f = tt::GeneratePtlFormula(&fac, &ent, atoms, 6);
     CheckBothEngines(&fac, f);
-    if (::testing::Test::HasFatalFailure()) {
-      FAIL() << "aborted at seed " << seed;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "failing seed " << seed << " (re-run with TIC_REPLAY_SEED="
+             << seed << "); formula: " << ToString(fac, f);
     }
   }
 }

@@ -236,6 +236,42 @@ TEST_F(TransitionSystemTest, CacheSharesAcrossLetterRenamings) {
   EXPECT_TRUE(t2->live);
 }
 
+// The per-check grounding pattern: a system compiled through a short-lived
+// factory goes into the cache, the factory dies, and a later hit (through a
+// different factory and letter renaming) lazily expands the cached system —
+// which dereferences closure nodes owned by the compiling factory. The
+// shared_ptr Get overload pins that factory; without the pin this is a
+// use-after-free (historically an out_of_range in GrowStateMeta, or a crash).
+TEST_F(TransitionSystemTest, CachePinsShortLivedCompilingFactory) {
+  AutomatonCache cache(8);
+  {
+    auto vocab1 = std::make_shared<PropVocabulary>();
+    auto fac1 = std::make_shared<Factory>(vocab1);
+    PropId a = vocab1->Intern("a");
+    PropId b = vocab1->Intern("b");
+    Formula f1 = fac1->Always(fac1->Implies(fac1->Atom(a), fac1->Next(fac1->Atom(b))));
+    ASSERT_TRUE(cache.Get(fac1, f1).ok());
+    // fac1 (and with it every node the cached closure references) dies here
+    // unless the cache pinned it.
+  }
+  Formula f2 = fac_.Always(fac_.Implies(fac_.Atom(p_), fac_.Next(fac_.Atom(q_))));
+  auto h = cache.Get(&fac_, f2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(cache.stats().hits, 1u) << "renaming must hit the cached system";
+  // Lazy expansion across several fresh states exercises GrowStateMeta on the
+  // shared (safe-mode) system.
+  uint32_t set = h->ts->initial();
+  auto s1 = h->ts->Step(set, S({p_}), h->letters);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_TRUE(s1->live);
+  auto s2 = h->ts->Step(s1->next, S({p_, q_}), h->letters);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_TRUE(s2->live);
+  auto s3 = h->ts->Step(s2->next, S({}), h->letters);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_FALSE(s3->live) << "p-then-not-q violates f2";
+}
+
 TEST_F(TransitionSystemTest, CacheEvictsLeastRecentlyUsed) {
   AutomatonCache cache(2);
   Formula f1 = fac_.Atom(p_);

@@ -1,0 +1,154 @@
+// Shrinker convergence on a planted bug: the test-only fault hook makes
+// BackendVerdictsAgree report a divergence on exactly the cases whose
+// sentence mentions P0 and whose stream inserts P0(1). Starting from a bulky
+// failing case, ShrinkCase must converge to (essentially) the minimal
+// failing pair — a <= 3-node sentence and a <= 2-transaction stream — and the
+// minimized reproducer must survive a file round-trip still failing, which is
+// the whole point of emitting reproducer files from CI logs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fotl/printer.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "testing/reproducer.h"
+#include "testing/shrink.h"
+
+namespace tic {
+namespace testing {
+namespace {
+
+// Clears the fault hook even when an assertion aborts the test body.
+struct HookGuard {
+  ~HookGuard() { SetBackendFaultHookForTest(nullptr); }
+};
+
+// The planted "bug": present iff the sentence mentions predicate P0 AND the
+// stream still inserts P0(1). Both sides shrink — the sentence must keep its
+// P0 atom, the stream must keep one insert op.
+bool PlantedBug(const FotlCase& c) {
+  if (fotl::ToString(*c.factory, c.sentence).find("P0(") == std::string::npos) {
+    return false;
+  }
+  for (const Transaction& txn : c.stream) {
+    for (const UpdateOp& op : txn) {
+      if (op.kind == UpdateOp::Kind::kInsert && op.predicate == c.preds[0] &&
+          op.tuple == Tuple{1}) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool StillFails(const FotlCase& c) {
+  auto r = BackendVerdictsAgree(c);
+  return r.ok() && !r->pass;
+}
+
+size_t TotalOps(const FotlCase& c) {
+  size_t n = 0;
+  for (const Transaction& txn : c.stream) n += txn.size();
+  return n;
+}
+
+// A deliberately bulky failing seed case: a 2-variable sentence with several
+// redundant conjuncts around the load-bearing P0 atom, and a 6-transaction
+// stream where only one op (the +P0(1)) matters.
+FotlCase BulkySeedCase() {
+  CaseBuilder builder(3);
+  auto& fac = *builder.factory();
+  fotl::Formula p0x = *fac.Atom(builder.preds()[0], {builder.Var(0)});
+  fotl::Formula p1x = *fac.Atom(builder.preds()[1], {builder.Var(0)});
+  fotl::Formula p2y = *fac.Atom(builder.preds()[2], {builder.Var(1)});
+  fotl::Formula matrix =
+      fac.And(fac.Implies(p1x, fac.Next(fac.Or(p1x, p2y))),
+              fac.And(fac.Or(p0x, fac.Not(p2y)),
+                      fac.Always(fac.Implies(p2y, fac.Or(p1x, p2y)))));
+  fotl::Formula phi = builder.Quantify(fac.Always(matrix), 2);
+
+  std::vector<Transaction> stream;
+  Entropy ent(1234);
+  for (int t = 0; t < 6; ++t) {
+    stream.push_back(ChurnTxn(&ent, builder.preds(), {1, 2, 3}));
+  }
+  // Guarantee the load-bearing op is present regardless of the churn draws.
+  stream[3].push_back(UpdateOp::Insert(builder.preds()[0], {1}));
+  return builder.Finish(phi, 2, std::move(stream));
+}
+
+TEST(ShrinkerTest, ConvergesToMinimalPlantedBug) {
+  HookGuard guard;
+  FotlCase seed = BulkySeedCase();
+
+  // Sanity: without the hook, the real backends agree — the "bug" is purely
+  // the planted one.
+  ASSERT_FALSE(StillFails(seed));
+  SetBackendFaultHookForTest(PlantedBug);
+  ASSERT_TRUE(StillFails(seed));
+
+  ShrinkStats stats;
+  FotlCase shrunk = ShrinkCase(seed, StillFails, &stats);
+
+  // The result still fails, and is minimal for the planted predicate: the
+  // sentence needs nothing beyond `forall x . P0(x)` (2 nodes) and the
+  // stream nothing beyond the single +P0(1) op.
+  EXPECT_TRUE(StillFails(shrunk));
+  EXPECT_LE(shrunk.sentence->size(), 3u)
+      << fotl::ToString(*shrunk.factory, shrunk.sentence);
+  EXPECT_LE(shrunk.stream.size(), 2u) << SerializeCase(shrunk);
+  EXPECT_LE(TotalOps(shrunk), 2u) << SerializeCase(shrunk);
+  EXPECT_TRUE(PlantedBug(shrunk));
+  EXPECT_GT(stats.attempts, 0u);
+  EXPECT_GT(stats.improvements, 0u);
+
+  // The minimized case round-trips through a reproducer file and the reloaded
+  // copy still fails — a failure written from a CI log replays locally.
+  std::string path =
+      ::testing::TempDir() + "/tic_shrinker_reproducer.txt";
+  ASSERT_TRUE(WriteCaseFile(shrunk, path).ok());
+  auto loaded = LoadCaseFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(SerializeCase(*loaded), SerializeCase(shrunk));
+  EXPECT_TRUE(StillFails(*loaded));
+  std::remove(path.c_str());
+}
+
+// Shrinking a case that fails for a reason independent of the sentence still
+// minimizes the sentence to a single quantified atom: candidates the checker
+// rejects are discarded, never returned.
+TEST(ShrinkerTest, AlwaysReturnsAValidFailingCase) {
+  HookGuard guard;
+  // Bug depends on the stream only.
+  SetBackendFaultHookForTest([](const FotlCase& c) {
+    for (const Transaction& txn : c.stream) {
+      for (const UpdateOp& op : txn) {
+        if (op.kind == UpdateOp::Kind::kInsert && op.tuple == Tuple{2}) {
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+
+  Entropy ent(77);
+  FotlCase seed = GenerateSafetyCase(&ent);
+  seed.stream[0].push_back(UpdateOp::Insert(seed.preds[0], {2}));
+  ASSERT_TRUE(StillFails(seed));
+
+  FotlCase shrunk = ShrinkCase(seed, StillFails);
+  EXPECT_TRUE(StillFails(shrunk));
+  // The sentence axis is unconstrained by this bug, so it bottoms out at a
+  // single requantified atom; the stream keeps exactly one insert of (2).
+  EXPECT_LE(shrunk.sentence->size(), 3u)
+      << fotl::ToString(*shrunk.factory, shrunk.sentence);
+  EXPECT_LE(TotalOps(shrunk), 1u) << SerializeCase(shrunk);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace tic

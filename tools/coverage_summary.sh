@@ -1,0 +1,49 @@
+#!/bin/sh
+# Aggregates gcov line coverage for src/ after a `coverage`-preset build has
+# run its tests: finds every .gcda in the build tree, runs gcov on it, and
+# prints a per-file + total summary. Prefers lcov/gcovr when installed (nicer
+# reports), falls back to plain gcov (always present with GCC).
+#
+# Usage: coverage_summary.sh <build-dir>   (SRC_DIR env = repo root)
+
+set -eu
+BUILD_DIR="${1:?usage: coverage_summary.sh <build-dir>}"
+SRC_DIR="${SRC_DIR:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+if command -v lcov >/dev/null 2>&1; then
+  lcov --capture --directory "$BUILD_DIR" --output-file "$BUILD_DIR/coverage.info" \
+       --rc lcov_branch_coverage=0 >/dev/null
+  lcov --extract "$BUILD_DIR/coverage.info" "$SRC_DIR/src/*" \
+       --output-file "$BUILD_DIR/coverage.src.info" >/dev/null
+  lcov --list "$BUILD_DIR/coverage.src.info"
+  exit 0
+fi
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root "$SRC_DIR" --filter "$SRC_DIR/src/" "$BUILD_DIR"
+  exit 0
+fi
+
+# Plain-gcov fallback: one "file,covered,total" record per src/ source.
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+find "$BUILD_DIR" -name '*.gcda' | while read -r gcda; do
+  gcov -n -s "$SRC_DIR" "$gcda" 2>/dev/null
+done | awk -v src="$SRC_DIR/src/" '
+  # POSIX awk only (mawk has no asorti): aggregate here, sort outside.
+  /^File / { f = $2; gsub(/\x27/, "", f); keep = index(f, "src/") == 1 || index(f, src) == 1 }
+  /^Lines executed:/ && keep {
+    split($2, parts, ":"); p = parts[2]; gsub(/%/, "", p);
+    lines[f] += $4; cov[f] += p / 100.0 * $4;
+  }
+  END { for (f in lines) printf "%s %d %d\n", f, lines[f], cov[f]; }
+' | sort | awk '
+  BEGIN { printf "%-52s %10s %10s %8s\n", "file (src/)", "lines", "covered", "pct"; }
+  {
+    pct = $2 > 0 ? 100.0 * $3 / $2 : 0;
+    printf "%-52s %10d %10d %7.1f%%\n", $1, $2, $3, pct;
+    total += $2; totcov += $3;
+  }
+  END {
+    printf "%-52s %10d %10d %7.1f%%\n", "TOTAL", total, totcov,
+           total > 0 ? 100.0 * totcov / total : 0;
+  }'
