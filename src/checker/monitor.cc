@@ -189,7 +189,7 @@ Result<std::unique_ptr<Monitor>> Monitor::Create(
     std::vector<GroundElem> assignment(k);
     for (size_t i = 0; i < k; ++i) assignment[i] = domain[idx[i]];
     TIC_ASSIGN_OR_RETURN(ptl::Formula residual, m->GroundMatrix(assignment));
-    m->instance_index_.emplace(assignment, m->instances_.size());
+    m->instance_index_.Emplace(assignment, m->instances_.size());
     m->instances_.push_back(Instance{std::move(assignment), residual});
     size_t d = 0;
     while (d < k && ++idx[d] == domain.size()) {
@@ -206,8 +206,7 @@ ptl::PropId Monitor::Letter(PredicateId pred, const std::vector<Value>& codes) {
   // hit path — every tuple after a letter's first sight — is allocation-free.
   letter_probe_.pred = pred;
   letter_probe_.codes.assign(codes.begin(), codes.end());
-  auto it = letters_.find(letter_probe_);
-  if (it != letters_.end()) return it->second;
+  if (const ptl::PropId* hit = letters_.Get(letter_probe_)) return *hit;
   std::string name = ffac_->vocabulary()->predicate(pred).name + "(";
   for (size_t i = 0; i < codes.size(); ++i) {
     if (i > 0) name += ",";
@@ -215,14 +214,16 @@ ptl::PropId Monitor::Letter(PredicateId pred, const std::vector<Value>& codes) {
   }
   name += ")";
   ptl::PropId id = prop_vocab_->Intern(name);
-  auto [node, inserted] = letters_.emplace(LetterKey{pred, codes}, id);
-  (void)inserted;
-  // Index the letter under each distinct code it mentions (node pointers stay
-  // valid across rehashes), so renaming can find letters by touched code.
-  const std::vector<Value>& cs = node->first.codes;
+  letters_.Emplace(LetterKey{pred, codes}, id);
+  uint32_t log_index = static_cast<uint32_t>(letter_log_.size());
+  letter_log_.push_back(LetterEntry{LetterKey{pred, codes}, id});
+  // Index the letter under each distinct code it mentions (log indices, not
+  // entry pointers — flat-table entries relocate on insert), so renaming can
+  // find letters by touched code.
+  const std::vector<Value>& cs = letter_log_.back().key.codes;
   for (size_t i = 0; i < cs.size(); ++i) {
     if (std::find(cs.begin(), cs.begin() + i, cs[i]) != cs.begin() + i) continue;
-    letters_by_code_[cs[i]].push_back(&*node);
+    letters_by_code_[cs[i]].push_back(log_index);
   }
   return id;
 }
@@ -396,11 +397,11 @@ Result<ptl::Formula> Monitor::RenameFromPattern(
     e = z;
   }
 
-  auto pattern_it = instance_index_.find(pattern);
-  if (pattern_it == instance_index_.end()) {
+  const size_t* pattern_idx = instance_index_.Get(pattern);
+  if (pattern_idx == nullptr) {
     return Status::Internal("history-less catch-up: pattern instance missing");
   }
-  ptl::Formula pattern_residual = instances_[pattern_it->second].residual;
+  ptl::Formula pattern_residual = instances_[*pattern_idx].residual;
 
   // Letter renaming: any letter mentioning a mapped stand-in code becomes the
   // letter with the fresh element substituted. The per-code index hands us
@@ -409,25 +410,28 @@ Result<ptl::Formula> Monitor::RenameFromPattern(
   for (const auto& [value, z] : fresh_to_z) code_map.emplace(z.code, value);
   // Collect before renaming: Letter() inserts grow letters_by_code_, so the
   // bucket vectors must not be iterated while new letters are minted.
-  std::vector<const std::pair<const LetterKey, ptl::PropId>*> touched;
+  std::vector<uint32_t> touched;  // letter_log_ indices
   std::unordered_set<ptl::PropId> seen;
   for (const auto& [zcode, value] : code_map) {
     (void)value;
-    auto bucket = letters_by_code_.find(zcode);
-    if (bucket == letters_by_code_.end()) continue;
-    for (const auto* entry : bucket->second) {
-      if (seen.insert(entry->second).second) touched.push_back(entry);
+    const std::vector<uint32_t>* bucket = letters_by_code_.Get(zcode);
+    if (bucket == nullptr) continue;
+    for (uint32_t idx : *bucket) {
+      if (seen.insert(letter_log_[idx].id).second) touched.push_back(idx);
     }
   }
   std::unordered_map<ptl::PropId, ptl::PropId> letter_map;
   std::vector<Value> renamed;  // scratch
-  for (const auto* entry : touched) {
-    renamed = entry->first.codes;
+  for (uint32_t idx : touched) {
+    // Copy before the Letter() call below: minting a renamed letter appends
+    // to letter_log_, which may relocate the entry.
+    LetterEntry entry = letter_log_[idx];
+    renamed = entry.key.codes;
     for (Value& c : renamed) {
       auto it = code_map.find(c);
       if (it != code_map.end()) c = it->second;
     }
-    letter_map.emplace(entry->second, Letter(entry->first.pred, renamed));
+    letter_map.emplace(entry.id, Letter(entry.key.pred, renamed));
   }
   return RenameLetters(pattern_residual, letter_map);
 }
@@ -489,12 +493,13 @@ Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
   // Partition live residuals by hash-consed identity: instances over symmetric
   // elements share one formula node, so each distinct residual is progressed
   // once and the result fanned back out.
-  std::unordered_map<ptl::Formula, size_t> class_of;
+  flat::FlatMap<ptl::Formula, size_t>& class_of = class_of_scratch_;
+  class_of.Clear();
   std::vector<ptl::Formula> reps;
   for (const Instance& inst : instances_) {
     if (inst.residual->kind() == ptl::Kind::kFalse) continue;
-    auto [it, inserted] = class_of.emplace(inst.residual, reps.size());
-    (void)it;
+    auto [e, inserted] = class_of.Emplace(inst.residual, reps.size());
+    (void)e;
     if (inserted) reps.push_back(inst.residual);
   }
   if (num_classes != nullptr) *num_classes = reps.size();
@@ -522,20 +527,19 @@ Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
   for (const Status& s : errors) TIC_RETURN_NOT_OK(s);
   for (Instance& inst : instances_) {
     if (inst.residual->kind() == ptl::Kind::kFalse) continue;
-    inst.residual = progressed[class_of.at(inst.residual)];
+    inst.residual = progressed[*class_of.Get(inst.residual)];
   }
   return Status::OK();
 }
 
 uint32_t Monitor::AutoIntern(ptl::Formula f) {
-  auto it = auto_state_ids_.find(f);
-  if (it != auto_state_ids_.end()) return it->second;
+  if (const uint32_t* hit = auto_state_ids_.Get(f)) return *hit;
   uint32_t id = static_cast<uint32_t>(auto_states_.size());
   // A false residual is known dead for free; everything else waits for the
   // first AutoLive query.
   auto_states_.push_back(
       AutoState{f, f->kind() == ptl::Kind::kFalse ? int8_t{0} : int8_t{-1}});
-  auto_state_ids_.emplace(f, id);
+  auto_state_ids_.Emplace(f, id);
   return id;
 }
 
@@ -563,26 +567,29 @@ uint32_t Monitor::SigOf(const ptl::PropState& w) {
       sig_scratch_[i >> 3] |= static_cast<char>(1u << (i & 7));
     }
   }
-  auto ins = auto_sigs_.emplace(sig_scratch_,
-                                static_cast<uint32_t>(auto_sigs_.size()));
-  return ins.first->second;
+  // flat Emplace constructs the stored key only on a miss — a signature hit
+  // (every step in steady state) copies no string and allocates nothing. The
+  // std::unordered_map it replaces built a node per call even on hits.
+  auto [e, inserted] =
+      auto_sigs_.Emplace(sig_scratch_, static_cast<uint32_t>(auto_sigs_.size()));
+  (void)inserted;
+  return e->second;
 }
 
 Result<uint32_t> Monitor::AutoStep(uint32_t sid, const ptl::PropState& w) {
   ++auto_steps_;
   uint64_t key = (static_cast<uint64_t>(sid) << 32) | SigOf(w);
-  auto hit = auto_memo_.find(key);
-  if (hit != auto_memo_.end()) {
+  if (const uint32_t* hit = auto_memo_.Get(key)) {
     ++auto_memo_hits_;
     TIC_COUNTER_ADD("automaton/transition_memo_hits", 1);
-    return hit->second;
+    return *hit;
   }
   TIC_COUNTER_ADD("automaton/transition_memo_misses", 1);
   TIC_ASSIGN_OR_RETURN(
       ptl::Formula next,
       ptl::Progress(prop_factory_.get(), auto_states_[sid].residual, w));
   uint32_t nid = AutoIntern(next);
-  auto_memo_.emplace(key, nid);
+  auto_memo_.Emplace(key, nid);
   return nid;
 }
 
@@ -608,9 +615,9 @@ Status Monitor::AutomatonApply(bool joint_changed, const ptl::PropState& w,
     // so the joint formula's atom set is a sound signature alphabet for every
     // residual reachable this epoch.
     auto_states_.clear();
-    auto_state_ids_.clear();
-    auto_sigs_.clear();
-    auto_memo_.clear();
+    auto_state_ids_.Clear();
+    auto_sigs_.Clear();
+    auto_memo_.Clear();
     auto_alphabet_.clear();
     {
       std::vector<ptl::Formula> stack{joint_};
@@ -681,15 +688,16 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     return verdict;
   }
 
-  // New relevant elements introduced by this state?
-  std::unordered_set<Value> active;
-  history_.state(t).CollectActiveDomain(&active);
+  // New relevant elements introduced by this state? The scratch set keeps its
+  // warm buckets across updates — the steady-state scan allocates nothing.
+  active_scratch_.Clear();
+  history_.state(t).CollectActiveDomain(&active_scratch_);
   std::vector<Value> fresh;
-  for (Value v : active) {
+  active_scratch_.ForEach([&](Value v) {
     if (!std::binary_search(known_relevant_.begin(), known_relevant_.end(), v)) {
       fresh.push_back(v);
     }
-  }
+  });
   std::sort(fresh.begin(), fresh.end());
 
   // Enumerates every assignment over the merged domain that touches a fresh
@@ -721,7 +729,7 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
         std::vector<GroundElem> assignment(k);
         for (size_t i = 0; i < k; ++i) assignment[i] = domain[idx[i]];
         TIC_ASSIGN_OR_RETURN(ptl::Formula residual, make(assignment));
-        instance_index_.emplace(assignment, instances_.size());
+        instance_index_.Emplace(assignment, instances_.size());
         instances_.push_back(Instance{std::move(assignment), residual});
       }
       size_t d = 0;

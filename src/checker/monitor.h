@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "checker/extension.h"
+#include "common/flat/flat_map.h"
+#include "common/flat/flat_set.h"
 #include "common/result.h"
 #include "db/update.h"
 #include "fotl/factory.h"
@@ -159,14 +161,20 @@ class Monitor {
   struct LetterKeyHash {
     size_t operator()(const LetterKey& k) const;
   };
-  std::unordered_map<LetterKey, ptl::PropId, LetterKeyHash> letters_;
+  flat::FlatMap<LetterKey, ptl::PropId, flat::Remixed<LetterKeyHash>> letters_;
   LetterKey letter_probe_;  // scratch for allocation-free lookups
-  // Value code -> letters whose key mentions it (pointers into `letters_`
-  // nodes, which unordered_map keeps stable). Lets fresh-element renaming
-  // visit only the letters actually touched instead of snapshotting the map.
-  std::unordered_map<Value,
-                     std::vector<const std::pair<const LetterKey, ptl::PropId>*>>
-      letters_by_code_;
+  // Append-only log of minted letters, indexed by mint order. Flat-table
+  // entries relocate on insert, so the per-code index below stores indices
+  // into this log, never pointers into `letters_`.
+  struct LetterEntry {
+    LetterKey key;
+    ptl::PropId id;
+  };
+  std::vector<LetterEntry> letter_log_;
+  // Value code -> letters (log indices) whose key mentions it. Lets
+  // fresh-element renaming visit only the letters actually touched instead of
+  // snapshotting the map.
+  flat::FlatMap<Value, std::vector<uint32_t>> letters_by_code_;
 
   // One residual per instance; the monitored condition is their conjunction.
   struct Instance {
@@ -181,7 +189,8 @@ class Monitor {
     bool operator()(const std::vector<GroundElem>& a,
                     const std::vector<GroundElem>& b) const;
   };
-  std::unordered_map<std::vector<GroundElem>, size_t, AssignmentHash, AssignmentEq>
+  flat::FlatMap<std::vector<GroundElem>, size_t, flat::Remixed<AssignmentHash>,
+                AssignmentEq>
       instance_index_;
   bool dead_ = false;  // permanently violated
   ptl::TableauStats cumulative_tableau_stats_;  // totals across all updates
@@ -216,15 +225,18 @@ class Monitor {
     int8_t live;  // -1 unknown, 0 dead, 1 live — decided lazily, then cached
   };
   std::vector<AutoState> auto_states_;
-  std::unordered_map<ptl::Formula, uint32_t> auto_state_ids_;
+  flat::FlatMap<ptl::Formula, uint32_t> auto_state_ids_;
   std::vector<ptl::PropId> auto_alphabet_;  // atoms of joint_, stable order
-  std::unordered_map<std::string, uint32_t> auto_sigs_;  // packed letter bits
-  std::unordered_map<uint64_t, uint32_t> auto_memo_;  // (state, sig) -> state
+  flat::FlatMap<std::string, uint32_t> auto_sigs_;  // packed letter bits
+  flat::FlatMap<uint64_t, uint32_t> auto_memo_;  // (state, sig) -> state
   uint32_t auto_current_ = 0;
   uint64_t auto_steps_ = 0;
   uint64_t auto_memo_hits_ = 0;
   uint64_t auto_live_queries_ = 0;  // CheckSat calls (state interns)
   std::string sig_scratch_;
+  // Per-update scratch, cleared (buckets kept warm) instead of re-allocated.
+  flat::FlatSet<Value> active_scratch_;  // this state's active domain
+  flat::FlatMap<ptl::Formula, size_t> class_of_scratch_;  // ProgressAll classes
 
   // Interns `f` as an automaton state (no tableau work).
   uint32_t AutoIntern(ptl::Formula f);

@@ -1,0 +1,135 @@
+#ifndef TIC_COMMON_FLAT_ARENA_H_
+#define TIC_COMMON_FLAT_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace tic {
+namespace flat {
+
+/// Epoch (bump) allocator for per-update scratch. One monitor update is one
+/// epoch: temporaries are bump-allocated with no individual frees, and
+/// Reset() at the epoch boundary rewinds the arena without returning memory
+/// to the heap. After warm-up the per-epoch high-water mark stops growing, so
+/// steady-state epochs perform ZERO heap allocations — the property the
+/// `ctest -L alloc` gate checks end to end.
+///
+/// Alloc is not thread-safe; each thread (or each Monitor) owns its arena.
+class EpochArena {
+ public:
+  static constexpr size_t kFirstBlockBytes = 4096;
+
+  EpochArena() = default;
+  EpochArena(const EpochArena&) = delete;
+  EpochArena& operator=(const EpochArena&) = delete;
+  EpochArena(EpochArena&&) = default;
+  EpochArena& operator=(EpochArena&&) = default;
+
+  /// Bump-allocates `bytes` with `align` alignment (power of 2). The block
+  /// chain doubles, so even the first epoch does O(log size) heap
+  /// allocations, and later epochs reuse the chain.
+  void* Alloc(size_t bytes, size_t align) {
+    assert((align & (align - 1)) == 0);
+    while (true) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        size_t at = (offset_ + align - 1) & ~(align - 1);
+        if (at + bytes <= b.cap) {
+          offset_ = at + bytes;
+          return b.data.get() + at;
+        }
+        // Doesn't fit here; try the next (larger) block.
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      size_t cap = blocks_.empty() ? kFirstBlockBytes : blocks_.back().cap * 2;
+      while (cap < bytes + align) cap *= 2;
+      blocks_.push_back(Block{std::make_unique<unsigned char[]>(cap), cap});
+    }
+  }
+
+  template <typename T>
+  T* AllocArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is rewound, never destructed");
+    return static_cast<T*>(Alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Epoch boundary: every pointer handed out so far is dead; the block
+  /// chain is kept for the next epoch.
+  void Reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total heap bytes owned (diagnostics / tests).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.cap;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t cap;
+  };
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;   // current block index
+  size_t offset_ = 0;  // bump offset within blocks_[block_]
+};
+
+/// Vector of trivially copyable elements backed by an EpochArena. Growth
+/// abandons the old storage inside the arena (reclaimed wholesale at Reset),
+/// so push_back never touches the heap once the arena is warm. Valid only
+/// until the arena's next Reset.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVec relocates with memcpy and never destructs");
+
+ public:
+  explicit ArenaVec(EpochArena* arena, size_t initial_cap = 8)
+      : arena_(arena), cap_(initial_cap) {
+    data_ = arena_->AllocArray<T>(cap_);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) {
+      T* bigger = arena_->AllocArray<T>(cap_ * 2);
+      std::memcpy(bigger, data_, size_ * sizeof(T));
+      data_ = bigger;
+      cap_ *= 2;
+    }
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  EpochArena* arena_;
+  T* data_;
+  size_t size_ = 0;
+  size_t cap_;
+};
+
+}  // namespace flat
+}  // namespace tic
+
+#endif  // TIC_COMMON_FLAT_ARENA_H_

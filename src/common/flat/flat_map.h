@@ -1,0 +1,134 @@
+#ifndef TIC_COMMON_FLAT_FLAT_MAP_H_
+#define TIC_COMMON_FLAT_FLAT_MAP_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/flat/flat_table.h"
+#include "common/flat/wyhash.h"
+
+namespace tic {
+namespace flat {
+
+/// Robin-hood open-addressing map (see flat_table.h for the core invariants).
+/// Replaces std::unordered_map on hot paths: entries are stored inline in the
+/// bucket array, so lookups touch one cache line instead of chasing a node
+/// pointer, and no per-entry allocation ever happens — the only heap traffic
+/// is the bucket array itself, which Clear() retains.
+///
+/// Deliberate API differences from std::unordered_map:
+///  - Find returns an entry pointer (nullptr on miss), not an iterator.
+///  - Entries REHASH-MOVE: pointers returned by Find/Emplace are invalidated
+///    by any insert (like iterators of a rehashing std table, but stricter —
+///    any insert may displace, not just growing ones). Never hold an entry
+///    pointer across an insert.
+///  - No per-entry heap nodes, so keys/values must be movable.
+template <typename K, typename V, typename HashT = Hash<K>,
+          typename EqT = std::equal_to<K>>
+class FlatMap {
+ public:
+  using Entry = std::pair<K, V>;
+
+  struct GetKey {
+    const K& operator()(const Entry& e) const { return e.first; }
+  };
+
+  Entry* Find(const K& key) { return table_.Find(key); }
+  const Entry* Find(const K& key) const { return table_.Find(key); }
+  bool Contains(const K& key) const { return table_.Contains(key); }
+
+  /// Value lookup: nullptr on miss.
+  V* Get(const K& key) {
+    Entry* e = table_.Find(key);
+    return e != nullptr ? &e->second : nullptr;
+  }
+  const V* Get(const K& key) const {
+    const Entry* e = table_.Find(key);
+    return e != nullptr ? &e->second : nullptr;
+  }
+
+  /// Inserts {key, value} unless the key exists. Returns {entry, inserted}.
+  template <typename KeyArg, typename... ValueArgs>
+  std::pair<Entry*, bool> Emplace(KeyArg&& key, ValueArgs&&... value) {
+    return table_.FindOrEmplace(key, [&] {
+      return Entry(std::piecewise_construct,
+                   std::forward_as_tuple(std::forward<KeyArg>(key)),
+                   std::forward_as_tuple(std::forward<ValueArgs>(value)...));
+    });
+  }
+
+  V& operator[](const K& key) {
+    auto [e, inserted] = table_.FindOrEmplace(key, [&] { return Entry(key, V()); });
+    return e->second;
+  }
+
+  bool Erase(const K& key) { return table_.Erase(key); }
+  void Clear() { table_.Clear(); }
+  void Reserve(size_t n) { table_.Reserve(n); }
+
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  size_t capacity() const { return table_.capacity(); }
+  size_t bucket_count() const { return table_.bucket_count(); }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const { table_.ForEach(fn); }
+  template <typename Fn>
+  void ForEach(Fn fn) { table_.ForEach(fn); }
+
+ private:
+  FlatTable<K, Entry, GetKey, HashT, EqT> table_;
+};
+
+/// Fixed-capacity variant: at most N entries, all storage inline (no heap at
+/// all). Emplace on a full table returns {nullptr, false}; callers own the
+/// overflow policy (fail, spill to a dynamic table, ...).
+template <typename K, typename V, size_t N, typename HashT = Hash<K>,
+          typename EqT = std::equal_to<K>>
+class FixedFlatMap {
+ public:
+  using Entry = std::pair<K, V>;
+  using GetKey = typename FlatMap<K, V, HashT, EqT>::GetKey;
+  static constexpr size_t kCapacity = N;
+
+  Entry* Find(const K& key) { return table_.Find(key); }
+  const Entry* Find(const K& key) const { return table_.Find(key); }
+  bool Contains(const K& key) const { return table_.Contains(key); }
+
+  V* Get(const K& key) {
+    Entry* e = table_.Find(key);
+    return e != nullptr ? &e->second : nullptr;
+  }
+  const V* Get(const K& key) const {
+    const Entry* e = table_.Find(key);
+    return e != nullptr ? &e->second : nullptr;
+  }
+
+  template <typename KeyArg, typename... ValueArgs>
+  std::pair<Entry*, bool> Emplace(KeyArg&& key, ValueArgs&&... value) {
+    return table_.FindOrEmplace(key, [&] {
+      return Entry(std::piecewise_construct,
+                   std::forward_as_tuple(std::forward<KeyArg>(key)),
+                   std::forward_as_tuple(std::forward<ValueArgs>(value)...));
+    });
+  }
+
+  bool Erase(const K& key) { return table_.Erase(key); }
+  void Clear() { table_.Clear(); }
+
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  bool full() const { return table_.full(); }
+  size_t capacity() const { return kCapacity; }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const { table_.ForEach(fn); }
+
+ private:
+  FlatTable<K, Entry, GetKey, HashT, EqT, N> table_;
+};
+
+}  // namespace flat
+}  // namespace tic
+
+#endif  // TIC_COMMON_FLAT_FLAT_MAP_H_

@@ -1,0 +1,387 @@
+#ifndef TIC_COMMON_FLAT_FLAT_TABLE_H_
+#define TIC_COMMON_FLAT_FLAT_TABLE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/flat/wyhash.h"
+
+namespace tic {
+namespace flat {
+
+/// \file Robin-hood open-addressing core shared by FlatMap / FlatSet.
+///
+/// Layout: a power-of-2 array of buckets, each a probe-distance byte plus an
+/// entry slot. distance 0 marks an empty bucket; distance d means the entry's
+/// home bucket is d-1 steps back. Robin-hood insertion displaces entries that
+/// are closer to home than the carried one ("steal from the rich"), which
+/// bounds probe-sequence variance; erasure backward-shifts the following run
+/// instead of leaving tombstones, so probe lengths never degrade with
+/// insert/erase churn.
+///
+/// Capacity policy (after the fixed-containers exemplar): buckets oversize the
+/// element capacity by ~30% — for n elements the table keeps
+/// next_pow2(n * 13/10) buckets, i.e. load stays below ~77%.
+///
+/// Two storage variants share this core:
+///  - kFixedCap == 0: buckets live on the heap and double when the load bound
+///    is hit. A default-constructed table owns no memory until first insert.
+///  - kFixedCap == N: bucket storage is inline (no heap, usable mid-hot-path
+///    or in constexpr-sized scratch) and the table holds at most N entries;
+///    inserting into a full table fails loudly via the Emplace result rather
+///    than growing.
+
+inline constexpr size_t kFlatMinBuckets = 8;
+
+constexpr size_t FlatNextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Buckets needed for `n` entries under the ~30% oversize policy.
+constexpr size_t FlatBucketCountFor(size_t n) {
+  size_t want = n + (n * 3 + 9) / 10;  // ceil(n * 1.3), never equal to n
+  return FlatNextPow2(want < kFlatMinBuckets ? kFlatMinBuckets : want);
+}
+
+/// Max entries a bucket array of `buckets` may hold (inverse of the above).
+constexpr size_t FlatCapacityForBuckets(size_t buckets) {
+  return buckets * 10 / 13;
+}
+
+template <typename K, typename Entry, typename GetKey, typename HashT,
+          typename EqT, size_t kFixedCap = 0>
+class FlatTable {
+  static constexpr bool kFixed = kFixedCap != 0;
+  static constexpr size_t kFixedBuckets = kFixed ? FlatBucketCountFor(kFixedCap) : 0;
+
+ public:
+  using key_type = K;
+  using value_type = Entry;
+
+  FlatTable() = default;
+
+  FlatTable(const FlatTable& o) { CopyFrom(o); }
+  FlatTable& operator=(const FlatTable& o) {
+    if (this != &o) {
+      DestroyAll();
+      CopyFrom(o);
+    }
+    return *this;
+  }
+
+  FlatTable(FlatTable&& o) noexcept { MoveFrom(std::move(o)); }
+  FlatTable& operator=(FlatTable&& o) noexcept {
+    if (this != &o) {
+      DestroyAll();
+      MoveFrom(std::move(o));
+    }
+    return *this;
+  }
+
+  ~FlatTable() { DestroyAll(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t bucket_count() const { return buckets(); }
+
+  /// Entries the table can hold before the next reallocation (dynamic) or at
+  /// all (fixed).
+  size_t capacity() const {
+    if constexpr (kFixed) return kFixedCap;
+    return FlatCapacityForBuckets(buckets());
+  }
+
+  /// Fixed variant only: no further insert can succeed.
+  bool full() const {
+    if constexpr (kFixed) return size_ >= kFixedCap;
+    return false;
+  }
+
+  Entry* Find(const K& key) { return FindImpl(key); }
+  const Entry* Find(const K& key) const {
+    return const_cast<FlatTable*>(this)->FindImpl(key);
+  }
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Looks up `key`; when absent, inserts `make()` (invoked only on insert,
+  /// so lookups construct nothing). Returns {entry, inserted}. On a FULL
+  /// fixed table a miss returns {nullptr, false} — the only case the entry
+  /// pointer is null — so callers choose the overflow policy.
+  template <typename MakeEntry>
+  std::pair<Entry*, bool> FindOrEmplace(const K& key, MakeEntry make) {
+    if constexpr (!kFixed) {
+      if (buckets() == 0) Rehash(kFlatMinBuckets);
+    }
+    const size_t mask = buckets() - 1;
+    uint64_t h = hash_(key);
+    size_t i = static_cast<size_t>(h) & mask;
+    uint8_t dist = 1;
+    while (dist_[i] >= dist) {
+      if (dist_[i] == dist && eq_(GetKey{}(EntryAt(i)), key)) {
+        return {&EntryAt(i), false};
+      }
+      i = (i + 1) & mask;
+      ++dist;
+    }
+    // Absent. Fixed tables refuse at capacity; dynamic tables grow at the
+    // load bound (and restart, since the probe position moved).
+    if constexpr (kFixed) {
+      if (size_ >= kFixedCap) return {nullptr, false};
+    } else {
+      if ((size_ + 1) * 13 > buckets() * 10) {
+        Rehash(buckets() * 2);
+        return FindOrEmplace(key, std::move(make));
+      }
+    }
+    Entry* placed = InsertAt(i, dist, make());
+    ++size_;
+    return {placed, true};
+  }
+
+  /// Erases `key` with backward-shift deletion. Returns whether it was there.
+  bool Erase(const K& key) {
+    Entry* e = FindImpl(key);
+    if (e == nullptr) return false;
+    const size_t mask = buckets() - 1;
+    size_t i = static_cast<size_t>(e - reinterpret_cast<Entry*>(SlotBase()));
+    EntryAt(i).~Entry();
+    size_t j = (i + 1) & mask;
+    while (dist_[j] > 1) {
+      ::new (static_cast<void*>(&EntryAt(i))) Entry(std::move(EntryAt(j)));
+      EntryAt(j).~Entry();
+      dist_[i] = static_cast<uint8_t>(dist_[j] - 1);
+      i = j;
+      j = (j + 1) & mask;
+    }
+    dist_[i] = 0;
+    --size_;
+    return true;
+  }
+
+  /// Destroys all entries; keeps the bucket array (so a warm scratch table
+  /// clears without touching the heap).
+  void Clear() {
+    if (size_ != 0) {
+      const size_t n = buckets();
+      for (size_t i = 0; i < n; ++i) {
+        if (dist_[i] != 0) EntryAt(i).~Entry();
+      }
+      std::memset(dist_, 0, n);
+      size_ = 0;
+    }
+  }
+
+  /// Dynamic variant: pre-size for `n` entries without rehashing later.
+  void Reserve(size_t n) {
+    if constexpr (!kFixed) {
+      size_t want = FlatBucketCountFor(n);
+      if (want > buckets()) Rehash(want);
+    } else {
+      assert(n <= kFixedCap);
+      (void)n;
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    const size_t n = buckets();
+    for (size_t i = 0; i < n; ++i) {
+      if (dist_[i] != 0) fn(EntryAt(i));
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    const size_t n = buckets();
+    for (size_t i = 0; i < n; ++i) {
+      if (dist_[i] != 0) fn(EntryAt(i));
+    }
+  }
+
+ private:
+  size_t buckets() const {
+    if constexpr (kFixed) {
+      return kFixedBuckets;
+    } else {
+      return buckets_;
+    }
+  }
+
+  unsigned char* SlotBase() {
+    if constexpr (kFixed) {
+      return fixed_slots_;
+    } else {
+      return heap_slots_;
+    }
+  }
+  const unsigned char* SlotBase() const {
+    return const_cast<FlatTable*>(this)->SlotBase();
+  }
+
+  Entry& EntryAt(size_t i) {
+    return *std::launder(reinterpret_cast<Entry*>(SlotBase() + i * sizeof(Entry)));
+  }
+  const Entry& EntryAt(size_t i) const {
+    return const_cast<FlatTable*>(this)->EntryAt(i);
+  }
+
+  Entry* FindImpl(const K& key) {
+    if (size_ == 0) return nullptr;
+    const size_t mask = buckets() - 1;
+    uint64_t h = hash_(key);
+    size_t i = static_cast<size_t>(h) & mask;
+    uint8_t dist = 1;
+    while (dist_[i] >= dist) {
+      if (dist_[i] == dist && eq_(GetKey{}(EntryAt(i)), key)) return &EntryAt(i);
+      i = (i + 1) & mask;
+      ++dist;
+    }
+    return nullptr;
+  }
+
+  /// Places `carry` at probe position (i, dist), displacing richer entries
+  /// down the chain. Precondition: the key is absent and capacity allows it.
+  Entry* InsertAt(size_t i, uint8_t dist, Entry carry) {
+    const size_t mask = buckets() - 1;
+    Entry* placed = nullptr;
+    while (true) {
+      if (dist_[i] == 0) {
+        ::new (static_cast<void*>(&EntryAt(i))) Entry(std::move(carry));
+        dist_[i] = dist;
+        return placed != nullptr ? placed : &EntryAt(i);
+      }
+      if (dist_[i] < dist) {
+        std::swap(EntryAt(i), carry);
+        std::swap(dist_[i], dist);
+        if (placed == nullptr) placed = &EntryAt(i);
+      }
+      i = (i + 1) & mask;
+      if (dist == UINT8_MAX) {
+        // Probe chain outran the distance byte. Unreachable under the load
+        // bound with a mixing hash; grow out of it when we can.
+        if constexpr (kFixed) {
+          assert(false && "FlatTable: fixed-capacity probe overflow");
+          __builtin_trap();
+        } else {
+          Entry rescued = std::move(carry);
+          Rehash(buckets() * 2);
+          return EmplaceUnique(std::move(rescued));
+        }
+      }
+      ++dist;
+    }
+  }
+
+  /// Insert for keys known absent (rehash path) — no equality probing.
+  Entry* EmplaceUnique(Entry&& e) {
+    const size_t mask = buckets() - 1;
+    uint64_t h = hash_(GetKey{}(e));
+    size_t i = static_cast<size_t>(h) & mask;
+    uint8_t dist = 1;
+    while (dist_[i] >= dist) {
+      i = (i + 1) & mask;
+      ++dist;
+    }
+    return InsertAt(i, dist, std::move(e));
+  }
+
+  void Rehash(size_t new_buckets) {
+    static_assert(!kFixed, "fixed tables never rehash");
+    assert((new_buckets & (new_buckets - 1)) == 0);
+    uint8_t* old_dist = dist_;
+    unsigned char* old_slots = heap_slots_;
+    size_t old_buckets = buckets_;
+
+    AllocBuckets(new_buckets);
+    for (size_t i = 0; i < old_buckets; ++i) {
+      if (old_dist[i] != 0) {
+        Entry& e = *std::launder(
+            reinterpret_cast<Entry*>(old_slots + i * sizeof(Entry)));
+        EmplaceUnique(std::move(e));
+        e.~Entry();
+      }
+    }
+    FreeBuckets(old_dist, old_slots);
+  }
+
+  void AllocBuckets(size_t n) {
+    if constexpr (!kFixed) {
+      dist_ = new uint8_t[n]();
+      heap_slots_ = static_cast<unsigned char*>(::operator new(
+          n * sizeof(Entry), std::align_val_t{alignof(Entry)}));
+      buckets_ = n;
+    }
+  }
+
+  void FreeBuckets(uint8_t* dist, unsigned char* slots) {
+    if constexpr (!kFixed) {
+      delete[] dist;
+      if (slots != nullptr) {
+        ::operator delete(slots, std::align_val_t{alignof(Entry)});
+      }
+    }
+  }
+
+  void DestroyAll() {
+    Clear();
+    if constexpr (!kFixed) {
+      FreeBuckets(dist_, heap_slots_);
+      dist_ = nullptr;
+      heap_slots_ = nullptr;
+      buckets_ = 0;
+    }
+  }
+
+  void CopyFrom(const FlatTable& o) {
+    if constexpr (!kFixed) {
+      if (o.size_ != 0) AllocBuckets(o.buckets_);
+    }
+    o.ForEach([this](const Entry& e) { EmplaceUnique(Entry(e)); });
+    size_ = o.size_;
+  }
+
+  void MoveFrom(FlatTable&& o) {
+    if constexpr (kFixed) {
+      // Inline storage cannot be stolen; move slot-wise and clear the source.
+      for (size_t i = 0; i < kFixedBuckets; ++i) {
+        if (o.dist_[i] != 0) EmplaceUnique(std::move(o.EntryAt(i)));
+      }
+      size_ = o.size_;
+      o.Clear();
+    } else {
+      dist_ = o.dist_;
+      heap_slots_ = o.heap_slots_;
+      buckets_ = o.buckets_;
+      size_ = o.size_;
+      o.dist_ = nullptr;
+      o.heap_slots_ = nullptr;
+      o.buckets_ = 0;
+      o.size_ = 0;
+    }
+  }
+
+  size_t size_ = 0;
+  HashT hash_{};
+  EqT eq_{};
+
+  // Storage: the fixed variant keeps the distance bytes and entry slots
+  // inline (dist_ aliases fixed_dist_); the dynamic variant owns two heap
+  // blocks. The unused arm collapses to minimal stubs under if constexpr.
+  uint8_t* dist_ = kFixed ? fixed_dist_ : nullptr;
+  unsigned char* heap_slots_ = nullptr;
+  size_t buckets_ = 0;
+
+  uint8_t fixed_dist_[kFixed ? kFixedBuckets : 1] = {};
+  alignas(Entry) unsigned char fixed_slots_[kFixed ? kFixedBuckets * sizeof(Entry) : 1];
+};
+
+}  // namespace flat
+}  // namespace tic
+
+#endif  // TIC_COMMON_FLAT_FLAT_TABLE_H_

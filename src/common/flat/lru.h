@@ -1,0 +1,131 @@
+#ifndef TIC_COMMON_FLAT_LRU_H_
+#define TIC_COMMON_FLAT_LRU_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/flat/flat_map.h"
+#include "common/flat/wyhash.h"
+
+namespace tic {
+namespace flat {
+
+/// Fixed-capacity LRU index: a slab of nodes threaded into an intrusive
+/// recency list (uint32 prev/next indices, no per-node heap allocation) plus
+/// a FlatMap from key to slab slot. Capacity is fixed at construction and the
+/// slab + index are pre-reserved, so after the slab fills once, hits,
+/// refreshes, and evicting inserts all run with ZERO heap allocations — this
+/// is what replaces the std::list + string-keyed std::unordered_map LRUs in
+/// VerdictCache / AutomatonCache, whose every lookup allocated a key string.
+///
+/// Keys are expected to be cheap values (Fp128 fingerprints, ints). Values
+/// may own memory; on eviction the value is destroyed in place.
+template <typename K, typename V, typename HashT = Hash<K>,
+          typename EqT = std::equal_to<K>>
+class FlatLru {
+ public:
+  explicit FlatLru(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {
+    slab_.reserve(capacity_);
+    index_.Reserve(capacity_);
+  }
+
+  size_t size() const { return slab_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Hit: returns the value and marks the entry most-recently used.
+  /// Miss: nullptr.
+  V* Find(const K& key) {
+    uint32_t* slot = index_.Get(key);
+    if (slot == nullptr) return nullptr;
+    Touch(*slot);
+    return &slab_[*slot].value;
+  }
+
+  /// Inserts or overwrites; the entry becomes most-recently used. At
+  /// capacity the least-recently-used entry is evicted (its slab slot is
+  /// reused, so no allocation). Returns the stored value.
+  V* Insert(const K& key, V value) {
+    uint32_t* slot = index_.Get(key);
+    if (slot != nullptr) {
+      Node& n = slab_[*slot];
+      n.value = std::move(value);
+      Touch(*slot);
+      return &n.value;
+    }
+    uint32_t at;
+    if (slab_.size() < capacity_) {
+      at = static_cast<uint32_t>(slab_.size());
+      slab_.push_back(Node{key, std::move(value), kNil, kNil});
+      ++fills_;
+    } else {
+      at = tail_;
+      Unlink(at);
+      Node& n = slab_[at];
+      index_.Erase(n.key);
+      n.key = key;
+      n.value = std::move(value);
+      ++evictions_;
+    }
+    LinkFront(at);
+    index_.Emplace(key, at);
+    return &slab_[at].value;
+  }
+
+  uint64_t evictions() const { return evictions_; }
+
+  /// Iterates entries in unspecified order: fn(const K&, const V&).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Node& n : slab_) fn(n.key, n.value);
+  }
+
+ private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  struct Node {
+    K key;
+    V value;
+    uint32_t prev;
+    uint32_t next;
+  };
+
+  void LinkFront(uint32_t at) {
+    Node& n = slab_[at];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil) slab_[head_].prev = at;
+    head_ = at;
+    if (tail_ == kNil) tail_ = at;
+  }
+
+  void Unlink(uint32_t at) {
+    Node& n = slab_[at];
+    if (n.prev != kNil) slab_[n.prev].next = n.next;
+    if (n.next != kNil) slab_[n.next].prev = n.prev;
+    if (head_ == at) head_ = n.next;
+    if (tail_ == at) tail_ = n.prev;
+    n.prev = n.next = kNil;
+  }
+
+  void Touch(uint32_t at) {
+    if (head_ == at) return;
+    Unlink(at);
+    LinkFront(at);
+  }
+
+  size_t capacity_;
+  std::vector<Node> slab_;
+  FlatMap<K, uint32_t, HashT, EqT> index_;
+  uint32_t head_ = kNil;
+  uint32_t tail_ = kNil;
+  uint64_t evictions_ = 0;
+  uint64_t fills_ = 0;
+};
+
+}  // namespace flat
+}  // namespace tic
+
+#endif  // TIC_COMMON_FLAT_LRU_H_

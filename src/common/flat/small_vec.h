@@ -1,0 +1,156 @@
+#ifndef TIC_COMMON_FLAT_SMALL_VEC_H_
+#define TIC_COMMON_FLAT_SMALL_VEC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace tic {
+namespace flat {
+
+/// Small-buffer vector for trivially copyable elements: up to N inline, heap
+/// beyond. The inline tier is what makes PropState and similar per-element
+/// hot-path values allocation-free — a copy of a small SmallVec is a memcpy,
+/// not a heap allocation, and growth past N is the uncommon spill case.
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec relies on memcpy relocation");
+  static_assert(std::is_trivially_default_constructible_v<T>,
+                "inline storage lives in a union");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& o) { CopyFrom(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      if (spilled()) delete[] heap_;
+      CopyFrom(o);
+    }
+    return *this;
+  }
+
+  SmallVec(SmallVec&& o) noexcept { MoveFrom(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      if (spilled()) delete[] heap_;
+      MoveFrom(o);
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    if (spilled()) delete[] heap_;
+  }
+
+  bool spilled() const { return cap_ > N; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+
+  T* data() { return spilled() ? heap_ : inline_; }
+  const T* data() const { return spilled() ? heap_ : inline_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) Grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  /// Inserts `v` at index `i`, shifting the tail right.
+  void insert_at(size_t i, const T& v) {
+    assert(i <= size_);
+    if (size_ == cap_) Grow(cap_ * 2);
+    T* d = data();
+    std::memmove(d + i + 1, d + i, (size_ - i) * sizeof(T));
+    d[i] = v;
+    ++size_;
+  }
+
+  /// Removes the element at index `i`, shifting the tail left.
+  void erase_at(size_t i) {
+    assert(i < size_);
+    T* d = data();
+    std::memmove(d + i, d + i + 1, (size_ - i - 1) * sizeof(T));
+    --size_;
+  }
+
+  void resize(size_t n) {
+    reserve(n);
+    if (n > size_) std::memset(data() + size_, 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data(), b.data(), a.size_ * sizeof(T)) == 0);
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) { return !(a == b); }
+
+ private:
+  void Grow(size_t want) {
+    size_t new_cap = cap_ * 2 > want ? cap_ * 2 : want;
+    T* heap = new T[new_cap];
+    std::memcpy(heap, data(), size_ * sizeof(T));
+    if (spilled()) delete[] heap_;
+    heap_ = heap;
+    cap_ = new_cap;
+  }
+
+  void CopyFrom(const SmallVec& o) {
+    size_ = o.size_;
+    if (o.size_ <= N) {
+      cap_ = N;
+      std::memcpy(inline_, o.data(), o.size_ * sizeof(T));
+    } else {
+      cap_ = o.size_;
+      heap_ = new T[cap_];
+      std::memcpy(heap_, o.heap_, o.size_ * sizeof(T));
+    }
+  }
+
+  void MoveFrom(SmallVec& o) {
+    size_ = o.size_;
+    cap_ = o.cap_;
+    if (o.spilled()) {
+      heap_ = o.heap_;
+      o.cap_ = N;
+    } else {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+    }
+    o.size_ = 0;
+  }
+
+  size_t size_ = 0;
+  size_t cap_ = N;
+  union {
+    T inline_[N];
+    T* heap_;
+  };
+};
+
+}  // namespace flat
+}  // namespace tic
+
+#endif  // TIC_COMMON_FLAT_SMALL_VEC_H_

@@ -1,0 +1,163 @@
+#ifndef TIC_COMMON_FLAT_WYHASH_H_
+#define TIC_COMMON_FLAT_WYHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace tic {
+namespace flat {
+
+/// wyhash-style 64-bit mixing. The flat containers index buckets with
+/// `hash & (pow2 - 1)`, so unlike the prime-modulus std tables they consume
+/// only the LOW bits of the hash — identity hashes (std::hash on integers)
+/// would turn sequential keys into sequential buckets and make robin-hood
+/// displacement quadratic. Every key type therefore goes through a full
+/// 128-bit-multiply mix.
+
+inline uint64_t WyMix(uint64_t a, uint64_t b) {
+  __uint128_t r = static_cast<__uint128_t>(a) * b;
+  return static_cast<uint64_t>(r) ^ static_cast<uint64_t>(r >> 64);
+}
+
+inline uint64_t WyHash64(uint64_t x, uint64_t seed = 0xa0761d6478bd642fULL) {
+  return WyMix(x ^ 0xe7037ed1a0b428dbULL, seed ^ 0x8ebc6af09c88c6e3ULL);
+}
+
+namespace wyhash_internal {
+
+inline uint64_t Read8(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint64_t Read4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace wyhash_internal
+
+/// Byte-buffer hash following the wyhash read schedule (8-byte lanes, a
+/// 1..8-byte tail folded from both ends). Self-contained; not bit-identical
+/// to any upstream wyhash release, but with the same mixing structure.
+inline uint64_t WyHashBytes(const void* data, size_t len,
+                            uint64_t seed = 0x2d358dccaa6c78a5ULL) {
+  using wyhash_internal::Read4;
+  using wyhash_internal::Read8;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t a = 0, b = 0;
+  seed ^= 0xa0761d6478bd642fULL;
+  if (len <= 8) {
+    if (len >= 4) {
+      a = Read4(p);
+      b = Read4(p + len - 4);
+    } else if (len > 0) {
+      a = (uint64_t{p[0]} << 16) | (uint64_t{p[len >> 1]} << 8) | p[len - 1];
+    }
+  } else if (len <= 16) {
+    a = Read8(p);
+    b = Read8(p + len - 8);
+  } else {
+    size_t i = len;
+    while (i > 16) {
+      seed = WyMix(Read8(p) ^ 0xe7037ed1a0b428dbULL, Read8(p + 8) ^ seed);
+      p += 16;
+      i -= 16;
+    }
+    // p has advanced by at least 16, so these two lanes (the final 16 bytes
+    // of the buffer, re-read from the end) stay in bounds even for small i.
+    a = Read8(p + i - 16);
+    b = Read8(p + i - 8);
+  }
+  return WyMix(0x8ebc6af09c88c6e3ULL ^ len,
+               WyMix(a ^ 0xe7037ed1a0b428dbULL, b ^ seed));
+}
+
+/// 128-bit content fingerprint: two independently seeded passes over the same
+/// bytes. Used as a cache key in place of the full key string — 2^-128
+/// accidental-collision probability makes equality-by-fingerprint safe, and
+/// debug builds double-check against the retained key string.
+struct Fp128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  static Fp128 OfBytes(const void* data, size_t len) {
+    Fp128 fp;
+    fp.lo = WyHashBytes(data, len, 0x2d358dccaa6c78a5ULL);
+    fp.hi = WyHashBytes(data, len, 0x9e3779b97f4a7c15ULL);
+    return fp;
+  }
+  static Fp128 OfString(const std::string& s) { return OfBytes(s.data(), s.size()); }
+
+  friend bool operator==(const Fp128& a, const Fp128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Fp128& a, const Fp128& b) { return !(a == b); }
+};
+
+/// Default hasher for the flat containers. Specialized per key family; a
+/// custom functor can always be supplied instead.
+template <typename K, typename Enable = void>
+struct Hash;
+
+template <typename K>
+struct Hash<K, std::enable_if_t<std::is_integral_v<K> || std::is_enum_v<K>>> {
+  uint64_t operator()(K k) const {
+    return WyHash64(static_cast<uint64_t>(k));
+  }
+};
+
+template <typename T>
+struct Hash<T*> {
+  uint64_t operator()(const T* p) const {
+    return WyHash64(reinterpret_cast<uintptr_t>(p));
+  }
+};
+
+template <>
+struct Hash<std::string> {
+  uint64_t operator()(const std::string& s) const {
+    return WyHashBytes(s.data(), s.size());
+  }
+  uint64_t operator()(std::string_view s) const {
+    return WyHashBytes(s.data(), s.size());
+  }
+};
+
+template <>
+struct Hash<Fp128> {
+  uint64_t operator()(const Fp128& fp) const {
+    // Already uniform; one mix folds both halves into the bucket index.
+    return WyMix(fp.lo, fp.hi ^ 0x8ebc6af09c88c6e3ULL);
+  }
+};
+
+template <typename T>
+struct Hash<std::vector<T>, std::enable_if_t<std::is_integral_v<T>>> {
+  uint64_t operator()(const std::vector<T>& v) const {
+    return WyHashBytes(v.data(), v.size() * sizeof(T));
+  }
+};
+
+/// Adapts any std-style size_t hasher (e.g. an existing std::unordered_map
+/// functor being ported) by re-mixing its result for pow2 bucket indexing.
+template <typename StdHash>
+struct Remixed {
+  StdHash inner;
+  template <typename K>
+  uint64_t operator()(const K& k) const {
+    return WyHash64(static_cast<uint64_t>(inner(k)));
+  }
+};
+
+}  // namespace flat
+}  // namespace tic
+
+#endif  // TIC_COMMON_FLAT_WYHASH_H_

@@ -2,6 +2,7 @@
 #define TIC_DB_HISTORY_H_
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -36,8 +37,9 @@ class History {
   size_t length() const { return states_.size(); }
   bool empty() const { return states_.empty(); }
 
-  /// \pre t < length()
-  const DatabaseState& state(size_t t) const { return states_[t]; }
+  /// \pre t < length(). The reference stays valid across later appends —
+  /// states are individually heap-owned, not stored inline in a vector.
+  const DatabaseState& state(size_t t) const { return *states_[t]; }
 
   /// \pre c < vocabulary()->num_constants()
   Value ConstantValue(ConstantId c) const { return constant_interp_[c]; }
@@ -45,16 +47,25 @@ class History {
 
   /// Appends a fresh all-empty state and returns a pointer for population.
   DatabaseState* AppendEmptyState() {
-    states_.emplace_back(vocab_);
-    return &states_.back();
+    states_.push_back(std::make_shared<DatabaseState>(vocab_));
+    return states_.back().get();
   }
 
   /// Appends a copy of the last state (the identity update); the history must be
   /// non-empty. Returns a pointer for applying the delta.
   Result<DatabaseState*> AppendCopyOfLast() {
     if (states_.empty()) return Status::OutOfRange("history has no states to copy");
+    states_.push_back(std::make_shared<DatabaseState>(*states_.back()));
+    return states_.back().get();
+  }
+
+  /// Appends the last state again *by aliasing* (shared ownership, no deep
+  /// copy): the empty-transaction fast path. The aliased state must not be
+  /// mutated afterwards — use AppendCopyOfLast when a delta follows.
+  Status AppendAliasOfLast() {
+    if (states_.empty()) return Status::OutOfRange("history has no states to alias");
     states_.push_back(states_.back());
-    return &states_.back();
+    return Status::OK();
   }
 
   /// Appends an externally built state; its vocabulary must match.
@@ -62,7 +73,7 @@ class History {
     if (state.vocabulary().get() != vocab_.get()) {
       return Status::InvalidArgument("state built over a different vocabulary");
     }
-    states_.push_back(std::move(state));
+    states_.push_back(std::make_shared<DatabaseState>(std::move(state)));
     return Status::OK();
   }
 
@@ -71,7 +82,7 @@ class History {
   /// Returned sorted ascending (deterministic downstream numbering).
   std::vector<Value> RelevantSet() const {
     std::unordered_set<Value> set(constant_interp_.begin(), constant_interp_.end());
-    for (const DatabaseState& s : states_) s.CollectActiveDomain(&set);
+    for (const auto& s : states_) s->CollectActiveDomain(&set);
     std::vector<Value> out(set.begin(), set.end());
     std::sort(out.begin(), out.end());
     return out;
@@ -83,7 +94,10 @@ class History {
 
   VocabularyPtr vocab_;
   std::vector<Value> constant_interp_;
-  std::vector<DatabaseState> states_;
+  // shared_ptr, not inline values: an empty transaction appends an alias of
+  // the previous state (no deep copy of every relation), and state(t)
+  // references survive later appends.
+  std::vector<std::shared_ptr<DatabaseState>> states_;
 };
 
 /// \brief A finitely-represented *infinite* temporal database: `prefix` states

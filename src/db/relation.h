@@ -45,8 +45,10 @@ class Relation {
 
   bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
 
-  /// Collects every element appearing in any tuple into `out`.
-  void CollectElements(std::unordered_set<Value>* out) const {
+  /// Collects every element appearing in any tuple into `out`. Any set type
+  /// with `insert(Value)` works (std::unordered_set, flat::FlatSet).
+  template <typename SetT>
+  void CollectElements(SetT* out) const {
     for (const Tuple& t : tuples_) {
       for (Value v : t) out->insert(v);
     }

@@ -55,8 +55,10 @@ class DatabaseState {
   }
 
   /// Adds every element mentioned by any relation of this state to `out`
-  /// (the state's contribution to the relevant set R_D of Section 4).
-  void CollectActiveDomain(std::unordered_set<Value>* out) const {
+  /// (the state's contribution to the relevant set R_D of Section 4). Any set
+  /// type with `insert(Value)` works (std::unordered_set, flat::FlatSet).
+  template <typename SetT>
+  void CollectActiveDomain(SetT* out) const {
     for (const Relation& r : relations_) r.CollectElements(out);
   }
 

@@ -34,6 +34,11 @@ using Transaction = std::vector<UpdateOp>;
 /// transaction extends the current history by one state, after which the
 /// monitor re-checks potential satisfaction.
 inline Status ApplyTransaction(History* history, const Transaction& txn) {
+  if (txn.empty() && !history->empty()) {
+    // Identity update: alias the previous state instead of deep-copying every
+    // relation — the steady-state fast path costs one shared_ptr append.
+    return history->AppendAliasOfLast();
+  }
   DatabaseState* next = nullptr;
   if (history->empty()) {
     next = history->AppendEmptyState();

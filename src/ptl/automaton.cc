@@ -1,7 +1,6 @@
 #include "ptl/automaton.h"
 
-#include <unordered_map>
-
+#include "common/flat/flat_map.h"
 #include "ptl/tableau_internal.h"
 
 namespace tic {
@@ -33,17 +32,17 @@ Result<TableauAutomaton> BuildTableauAutomaton(Factory* factory, Formula f,
 
   std::vector<StateSet> states;
   std::vector<std::vector<uint32_t>> edges;
-  std::unordered_map<StateSet, uint32_t, StateSetHash> ids;
+  flat::FlatMap<StateSet, uint32_t, flat::Remixed<StateSetHash>> ids;
+  ids.Reserve(64);  // skip the early growth rehashes of the intern loop
   std::vector<bool> initial;
 
   auto intern = [&](StateSet&& s) -> Result<uint32_t> {
-    auto it = ids.find(s);
-    if (it != ids.end()) return it->second;
+    if (const uint32_t* found = ids.Get(s)) return *found;
     if (states.size() >= options.max_states) {
       return Status::ResourceExhausted("automaton exceeded max_states");
     }
     uint32_t id = static_cast<uint32_t>(states.size());
-    ids.emplace(s, id);
+    ids.Emplace(s, id);
     states.push_back(std::move(s));
     edges.emplace_back();
     initial.push_back(false);

@@ -74,6 +74,9 @@ class FlatBits {
   uint64_t* words() { return spilled() ? heap_ : inline_; }
   const uint64_t* words() const { return spilled() ? heap_ : inline_; }
 
+  /// Zeroes every bit, keeping the width (and any heap block).
+  void ClearAll() { std::memset(words(), 0, num_words_ * sizeof(uint64_t)); }
+
   bool Test(uint32_t i) const {
     return (words()[i >> 6] >> (i & 63)) & 1u;
   }

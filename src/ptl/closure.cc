@@ -1,18 +1,64 @@
 #include "ptl/closure.h"
 
-#include <unordered_map>
+#include "common/flat/flat_map.h"
 
 namespace tic {
 namespace ptl {
 
+namespace {
+
+/// Formula -> closure-index map with a compile-time fast tier: closures at or
+/// below the bitset engine's spill threshold (FlatBits::kInlineWords * 64 =
+/// 256 members, the overwhelmingly common case) are indexed by a fully inline
+/// fixed-capacity table — zero heap allocations to build the index. Larger
+/// closures migrate once into a heap-backed flat table and stay there.
+class ClosureIndex {
+  static constexpr size_t kInlineMembers = FlatBits::kInlineWords * 64;
+
+ public:
+  /// Returns {index of f, inserted}.
+  std::pair<uint32_t, bool> Emplace(Formula f, uint32_t next_index) {
+    if (!spilled_) {
+      auto [e, inserted] = small_.Emplace(f, next_index);
+      if (e != nullptr) return {e->second, inserted};
+      Spill();
+    }
+    auto [e, inserted] = big_.Emplace(f, next_index);
+    return {e->second, inserted};
+  }
+
+  const uint32_t* Get(Formula f) const {
+    return spilled_ ? big_.Get(f) : small_.Get(f);
+  }
+  bool Contains(Formula f) const { return Get(f) != nullptr; }
+
+  /// \pre f was interned.
+  uint32_t At(Formula f) const { return *Get(f); }
+
+ private:
+  void Spill() {
+    big_.Reserve(2 * kInlineMembers);
+    small_.ForEach([this](const auto& e) { big_.Emplace(e.first, e.second); });
+    small_.Clear();
+    spilled_ = true;
+  }
+
+  flat::FixedFlatMap<Formula, uint32_t, kInlineMembers> small_;
+  flat::FlatMap<Formula, uint32_t> big_;
+  bool spilled_ = false;
+};
+
+}  // namespace
+
 Result<Closure> Closure::Build(Factory* factory, Formula nnf) {
   Closure cl;
-  std::unordered_map<Formula, uint32_t> index;
+  ClosureIndex index;
 
   auto intern = [&](Formula f) -> uint32_t {
-    auto [it, inserted] = index.emplace(f, static_cast<uint32_t>(cl.members_.size()));
+    auto [idx, inserted] =
+        index.Emplace(f, static_cast<uint32_t>(cl.members_.size()));
     if (inserted) cl.members_.push_back(f);
-    return it->second;
+    return idx;
   };
 
   // Pass 1: pre-order traversal over the DAG in stored child order (the
@@ -22,7 +68,7 @@ Result<Closure> Closure::Build(Factory* factory, Formula nnf) {
   while (!stack.empty()) {
     Formula f = stack.back();
     stack.pop_back();
-    if (index.count(f) > 0) continue;
+    if (index.Contains(f)) continue;
     switch (f->kind()) {
       case Kind::kImplies:
         return Status::Internal("closure: Implies survived NNF");
@@ -36,14 +82,14 @@ Result<Closure> Closure::Build(Factory* factory, Formula nnf) {
     }
     intern(f);
     // Reverse push so child(0)'s subtree is numbered first.
-    if (f->child(1) != nullptr && index.count(f->child(1)) == 0) {
+    if (f->child(1) != nullptr && !index.Contains(f->child(1))) {
       stack.push_back(f->child(1));
     }
-    if (f->child(0) != nullptr && index.count(f->child(0)) == 0) {
+    if (f->child(0) != nullptr && !index.Contains(f->child(0))) {
       stack.push_back(f->child(0));
     }
   }
-  cl.root_ = index.at(nnf);
+  cl.root_ = index.At(nnf);
 
   // Pass 2: append the derived X(f) members of the temporal operators (their
   // expansion rules assert them; the child of each is already a member).
@@ -72,58 +118,58 @@ Result<Closure> Closure::Build(Factory* factory, Formula nnf) {
       case Kind::kAtom: {
         r.op = Op::kLitPos;
         r.atom = f->atom();
-        auto it = index.find(factory->Not(f));
-        if (it != index.end()) r.complement = it->second;
+        const uint32_t* neg = index.Get(factory->Not(f));
+        if (neg != nullptr) r.complement = *neg;
         break;
       }
       case Kind::kNot:
         r.op = Op::kLitNeg;
-        r.a = index.at(f->child(0));
+        r.a = index.At(f->child(0));
         r.complement = r.a;
         break;
       case Kind::kAnd:
         r.op = Op::kAnd;
-        r.a = index.at(f->lhs());
-        r.b = index.at(f->rhs());
+        r.a = index.At(f->lhs());
+        r.b = index.At(f->rhs());
         break;
       case Kind::kOr:
         r.op = Op::kOr;
         r.is_alpha = false;
-        r.a = index.at(f->lhs());
-        r.b = index.at(f->rhs());
+        r.a = index.At(f->lhs());
+        r.b = index.At(f->rhs());
         break;
       case Kind::kNext:
         r.op = Op::kNext;
-        r.a = index.at(f->child(0));
+        r.a = index.At(f->child(0));
         break;
       case Kind::kUntil:
         r.op = Op::kUntil;
         r.is_alpha = false;
-        r.a = index.at(f->lhs());
-        r.b = index.at(f->rhs());
+        r.a = index.At(f->lhs());
+        r.b = index.At(f->rhs());
         r.goal = r.b;
-        r.next_self = index.at(factory->Next(f));
+        r.next_self = index.At(factory->Next(f));
         cl.obligation_mask_.Set(i);
         break;
       case Kind::kRelease:
         r.op = Op::kRelease;
         r.is_alpha = false;
-        r.a = index.at(f->lhs());
-        r.b = index.at(f->rhs());
-        r.next_self = index.at(factory->Next(f));
+        r.a = index.At(f->lhs());
+        r.b = index.At(f->rhs());
+        r.next_self = index.At(factory->Next(f));
         break;
       case Kind::kEventually:
         r.op = Op::kEventually;
         r.is_alpha = false;
-        r.a = index.at(f->child(0));
+        r.a = index.At(f->child(0));
         r.goal = r.a;
-        r.next_self = index.at(factory->Next(f));
+        r.next_self = index.At(factory->Next(f));
         cl.obligation_mask_.Set(i);
         break;
       case Kind::kAlways:
         r.op = Op::kAlways;
-        r.a = index.at(f->child(0));
-        r.next_self = index.at(factory->Next(f));
+        r.a = index.At(f->child(0));
+        r.next_self = index.At(factory->Next(f));
         break;
       case Kind::kImplies:
         return Status::Internal("closure: Implies survived NNF");

@@ -1,6 +1,6 @@
 #include "ptl/progress.h"
 
-#include <unordered_map>
+#include "common/flat/flat_map.h"
 
 namespace tic {
 namespace ptl {
@@ -12,10 +12,9 @@ class Progressor {
   Progressor(Factory* fac, const PropState* state) : fac_(fac), state_(state) {}
 
   Result<Formula> Run(Formula f) {
-    auto it = memo_.find(f);
-    if (it != memo_.end()) return it->second;
+    if (const Formula* found = memo_.Get(f)) return *found;
     TIC_ASSIGN_OR_RETURN(Formula out, Compute(f));
-    memo_.emplace(f, out);
+    memo_.Emplace(f, out);
     return out;
   }
 
@@ -80,7 +79,7 @@ class Progressor {
 
   Factory* fac_;
   const PropState* state_;
-  std::unordered_map<Formula, Formula> memo_;
+  flat::FlatMap<Formula, Formula> memo_;
 };
 
 }  // namespace

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat/flat_map.h"
+#include "common/flat/flat_set.h"
 #include "common/telemetry/telemetry.h"
 #include "ptl/bitset.h"
 #include "ptl/closure.h"
@@ -43,7 +43,7 @@ class BitsetSafetySearch : public EngineBase {
       if (!produced) {
         // Every successor branch of this level's state failed.
         if (top.id != FlatBits::kNpos) {
-          on_path_.erase(top.id);
+          on_path_.Erase(top.id);
           path_.pop_back();
           MarkFailed(top.id);
         }
@@ -52,12 +52,11 @@ class BitsetSafetySearch : public EngineBase {
       }
       bool inserted = false;
       TIC_ASSIGN_OR_RETURN(uint32_t sid, table_.Intern(state, 0, &inserted));
-      if (!top.seen.insert(sid).second) continue;  // per-expansion dedup
+      if (!top.seen.Insert(sid)) continue;  // per-expansion dedup
       if (top.id != FlatBits::kNpos) ++stats_->num_edges;
 
-      auto it = on_path_.find(sid);
-      if (it != on_path_.end()) {
-        loop_start_ = it->second;  // cycle: an infinite path exists
+      if (const size_t* depth = on_path_.Get(sid)) {
+        loop_start_ = *depth;  // cycle: an infinite path exists
         found = true;
         break;
       }
@@ -71,7 +70,7 @@ class BitsetSafetySearch : public EngineBase {
         return Status::ResourceExhausted(
             "safety search path exceeded 100000 states");
       }
-      on_path_.emplace(sid, path_.size());
+      on_path_.Emplace(sid, path_.size());
       path_.push_back(sid);
       levels_.emplace_back(sid, BranchEnumerator(closure_, options_, stats_));
       TIC_RETURN_NOT_OK(levels_.back().enumerator.Start(SeedIndicesOf(sid)));
@@ -94,7 +93,7 @@ class BitsetSafetySearch : public EngineBase {
   struct Level {
     uint32_t id;  // path state expanded at this level; kNpos for the root seed
     BranchEnumerator enumerator;
-    std::unordered_set<uint32_t> seen;
+    flat::FlatSet<uint32_t> seen;
 
     Level(uint32_t id_in, BranchEnumerator e)
         : id(id_in), enumerator(std::move(e)) {}
@@ -107,7 +106,7 @@ class BitsetSafetySearch : public EngineBase {
 
   std::vector<Level> levels_;
   std::vector<uint32_t> path_;
-  std::unordered_map<uint32_t, size_t> on_path_;
+  flat::FlatMap<uint32_t, size_t> on_path_;
   std::vector<bool> failed_;
   size_t loop_start_ = 0;
 };

@@ -9,9 +9,9 @@
 
 #include <cstring>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat/flat_set.h"
 #include "common/result.h"
 #include "ptl/bitset.h"
 #include "ptl/closure.h"
@@ -348,7 +348,8 @@ class EngineBase {
         enumerator_(closure, options, stats),
         next_mask_(closure->size()),
         lit_mask_(closure->size()),
-        row_tmp_(closure->size()) {
+        row_tmp_(closure->size()),
+        cover_state_(closure->size()) {
     using Op = Closure::Op;
     for (uint32_t i = 0; i < closure->size(); ++i) {
       Op op = closure->rule(i).op;
@@ -364,15 +365,16 @@ class EngineBase {
   Status Cover(const std::vector<uint32_t>& seed, size_t max_states,
                std::vector<uint32_t>* out_ids) {
     TIC_RETURN_NOT_OK(enumerator_.Start(seed));
-    FlatBits state(closure_->size());
-    std::unordered_set<uint32_t> seen;
+    cover_state_.ClearAll();
+    cover_seen_.Clear();  // keeps warm buckets: no allocation on reuse
     while (true) {
       bool produced = false;
-      TIC_RETURN_NOT_OK(enumerator_.Next(&state, &produced));
+      TIC_RETURN_NOT_OK(enumerator_.Next(&cover_state_, &produced));
       if (!produced) break;
       bool inserted = false;
-      TIC_ASSIGN_OR_RETURN(uint32_t id, table_.Intern(state, max_states, &inserted));
-      if (seen.insert(id).second) out_ids->push_back(id);
+      TIC_ASSIGN_OR_RETURN(uint32_t id,
+                           table_.Intern(cover_state_, max_states, &inserted));
+      if (cover_seen_.Insert(id)) out_ids->push_back(id);
     }
     return Status::OK();
   }
@@ -405,6 +407,8 @@ class EngineBase {
   FlatBits next_mask_;  // bits of the X-members
   FlatBits lit_mask_;   // bits of the positive literals
   FlatBits row_tmp_;
+  FlatBits cover_state_;              // Cover's enumeration scratch
+  flat::FlatSet<uint32_t> cover_seen_;  // Cover's per-call dedup scratch
 };
 
 }  // namespace internal

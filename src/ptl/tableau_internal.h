@@ -9,9 +9,9 @@
 #include <cstdint>
 #include <functional>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat/flat_set.h"
 #include "common/hash.h"
 #include "common/status.h"
 #include "ptl/formula.h"
@@ -150,9 +150,9 @@ class Expander {
 
   // Returns false if the sink stopped the enumeration.
   bool ExpandEach(const std::vector<Formula>& seed, const Sink& sink) {
-    std::unordered_set<StateSet, StateSetHash> seen;
+    flat::FlatSet<StateSet, flat::Remixed<StateSetHash>> seen;
     Sink dedup = [&](StateSet&& s) {
-      if (!seen.insert(s).second) return true;
+      if (!seen.Insert(s)) return true;
       return sink(std::move(s));
     };
     return Rec(seed, std::set<Formula>(), dedup, 0);

@@ -1,10 +1,13 @@
 #include "ptl/transition_system.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "common/flat/flat_map.h"
 #include "common/hash.h"
 #include "common/telemetry/telemetry.h"
 #include "ptl/closure.h"
@@ -20,11 +23,8 @@ namespace ptl {
 namespace {
 
 struct IdVecHash {
-  size_t operator()(const std::vector<uint32_t>& v) const {
-    size_t seed = 0;
-    HashCombine(&seed, v.size());
-    for (uint32_t x : v) HashCombine(&seed, static_cast<size_t>(x));
-    return seed;
+  uint64_t operator()(const std::vector<uint32_t>& v) const {
+    return flat::WyHashBytes(v.data(), v.size() * sizeof(uint32_t));
   }
 };
 
@@ -55,7 +55,7 @@ struct TransitionSystem::Rep {
   // Alphabet: the atoms the closure's literals mention, in closure-index
   // order of first occurrence (deterministic across runs).
   std::vector<PropId> alphabet;
-  std::unordered_map<PropId, uint32_t> alpha_index;
+  flat::FlatMap<PropId, uint32_t> alpha_index;
   std::vector<uint32_t> canon_of_alpha;  // alphabet pos -> canonical letter idx
   FlatBits neg_lit_mask;                 // closure bits of the kLitNeg members
 
@@ -66,16 +66,17 @@ struct TransitionSystem::Rep {
   std::vector<std::vector<uint32_t>> edges;
   std::vector<uint8_t> expanded;
 
-  // State-set interning: sorted id vectors. Map nodes are stable, so
-  // set_by_id holds pointers to the interned keys.
-  std::unordered_map<std::vector<uint32_t>, uint32_t, IdVecHash> set_ids;
-  std::vector<const std::vector<uint32_t>*> set_by_id;
+  // State-set interning: sorted id vectors. Flat-table entries relocate on
+  // insert, so the id->set view owns its vectors (set_by_id) and the index
+  // maps a copy of the key; lookups of known sets touch no heap.
+  flat::FlatMap<std::vector<uint32_t>, uint32_t, IdVecHash> set_ids;
+  std::vector<std::vector<uint32_t>> set_by_id;
   uint32_t empty_set = 0;
 
   // Letter-signature interning (bitsets over the alphabet) and the
   // transition memo keyed by (state-set id, signature id).
   internal::StateTable sig_table;
-  std::unordered_map<uint64_t, TransitionStep> memo;
+  flat::FlatMap<uint64_t, TransitionStep> memo;
 
   uint64_t steps = 0;
   uint64_t memo_hits = 0;
@@ -85,6 +86,7 @@ struct TransitionSystem::Rep {
   FlatBits sig_scratch;
   std::vector<uint32_t> survivors_scratch;
   std::vector<uint32_t> next_scratch;
+  flat::FlatMap<uint32_t, size_t> on_path_scratch;
 
   Rep(Closure c, const TableauOptions& o)
       : closure(std::move(c)),
@@ -107,7 +109,7 @@ struct TransitionSystem::Rep {
       } else {
         continue;
       }
-      if (alpha_index.emplace(atom, static_cast<uint32_t>(alphabet.size())).second) {
+      if (alpha_index.Emplace(atom, static_cast<uint32_t>(alphabet.size())).second) {
         alphabet.push_back(atom);
       }
     }
@@ -121,7 +123,7 @@ struct TransitionSystem::Rep {
     const Closure::Rule& r = closure.rule(closure_idx);
     PropId atom = r.op == Op::kLitPos ? r.atom
                                       : closure.member(closure_idx)->child(0)->atom();
-    return alpha_index.at(atom);
+    return *alpha_index.Get(atom);
   }
 
   // Extends the per-state vectors to cover states interned since the last
@@ -143,11 +145,12 @@ struct TransitionSystem::Rep {
     }
   }
 
-  uint32_t InternSet(std::vector<uint32_t> ids) {
-    auto [it, inserted] =
-        set_ids.emplace(std::move(ids), static_cast<uint32_t>(set_by_id.size()));
-    if (inserted) set_by_id.push_back(&it->first);
-    return it->second;
+  // Lookup is allocation-free; only a genuinely new set copies `ids`.
+  uint32_t InternSet(const std::vector<uint32_t>& ids) {
+    uint32_t next_id = static_cast<uint32_t>(set_by_id.size());
+    auto [e, inserted] = set_ids.Emplace(ids, next_id);
+    if (inserted) set_by_id.push_back(ids);
+    return e->second;
   }
 
   Status EnsureExpanded(uint32_t s) {
@@ -180,7 +183,9 @@ struct TransitionSystem::Rep {
       size_t edge;
     };
     std::vector<Lv> stack{{root, 0}};
-    std::unordered_map<uint32_t, size_t> on_path{{root, 0}};
+    flat::FlatMap<uint32_t, size_t>& on_path = on_path_scratch;
+    on_path.Clear();
+    on_path.Emplace(root, size_t{0});
     auto mark_path_live = [&] {
       for (const Lv& lv : stack) live[lv.id] = kLive;
     };
@@ -189,17 +194,17 @@ struct TransitionSystem::Rep {
       TIC_RETURN_NOT_OK(EnsureExpanded(top.id));
       if (top.edge >= edges[top.id].size()) {
         live[top.id] = kDead;
-        on_path.erase(top.id);
+        on_path.Erase(top.id);
         stack.pop_back();
         continue;
       }
       uint32_t w = edges[top.id][top.edge++];
-      if (live[w] == kLive || on_path.count(w) > 0) {
+      if (live[w] == kLive || on_path.Contains(w)) {
         mark_path_live();
         return true;
       }
       if (live[w] == kDead) continue;
-      on_path.emplace(w, stack.size());
+      on_path.Emplace(w, stack.size());
       stack.push_back({w, 0});
     }
     return false;  // root (and its whole subtree) marked dead
@@ -266,7 +271,10 @@ struct TransitionSystem::Rep {
   // interns the signature.
   Result<uint32_t> InternSig(const PropState& w, const std::vector<PropId>& letters) {
     uint32_t width = static_cast<uint32_t>(alphabet.size());
-    FlatBits sig(width);
+    // Reuses sig_scratch (sized by BuildAlphabet): no per-Step construction
+    // even when the alphabet spills past FlatBits' inline words.
+    FlatBits& sig = sig_scratch;
+    sig.ClearAll();
     for (uint32_t j = 0; j < width; ++j) {
       uint32_t canon = canon_of_alpha[j];
       if (canon >= letters.size()) {
@@ -348,16 +356,15 @@ Result<TransitionStep> TransitionSystem::Step(uint32_t set_id,
   ++r.steps;
   TIC_ASSIGN_OR_RETURN(uint32_t sig_id, r.InternSig(letter, letters));
   uint64_t key = (static_cast<uint64_t>(set_id) << 32) | sig_id;
-  auto hit = r.memo.find(key);
-  if (hit != r.memo.end()) {
+  if (const TransitionStep* hit = r.memo.Get(key)) {
     ++r.memo_hits;
     TIC_COUNTER_ADD("automaton/transition_memo_hits", 1);
-    return hit->second;
+    return *hit;
   }
   TIC_COUNTER_ADD("automaton/transition_memo_misses", 1);
 
   r.sig_scratch.AssignWords(r.sig_table.Row(sig_id));
-  const std::vector<uint32_t>& current = *r.set_by_id[set_id];
+  const std::vector<uint32_t>& current = r.set_by_id[set_id];
   r.survivors_scratch.clear();
   for (uint32_t s : current) {
     if (r.Compatible(s, r.sig_scratch)) r.survivors_scratch.push_back(s);
@@ -389,7 +396,7 @@ Result<TransitionStep> TransitionSystem::Step(uint32_t set_id,
       }
     }
   }
-  r.memo.emplace(key, step);
+  r.memo.Emplace(key, step);
   return step;
 }
 
@@ -404,7 +411,7 @@ Result<bool> TransitionSystem::Live(uint32_t set_id) {
   if (set_id >= r.set_by_id.size()) {
     return Status::InvalidArgument("unknown state-set id");
   }
-  for (uint32_t s : *r.set_by_id[set_id]) {
+  for (uint32_t s : r.set_by_id[set_id]) {
     TIC_ASSIGN_OR_RETURN(bool l, r.LiveState(s));
     if (l) return true;
   }
@@ -426,7 +433,8 @@ TransitionSystemStats TransitionSystem::stats() const {
   return s;
 }
 
-AutomatonCache::AutomatonCache(size_t capacity) : capacity_(capacity) {}
+AutomatonCache::AutomatonCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)), lru_(capacity_) {}
 
 Result<AutomatonHandle> AutomatonCache::Get(Factory* factory, Formula f,
                                             const TableauOptions& options) {
@@ -449,11 +457,12 @@ Result<AutomatonHandle> AutomatonCache::Get(std::shared_ptr<Factory> factory,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(cf->key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    if (CacheEntry* e = lru_.Find(cf->fp)) {
+#ifndef NDEBUG
+      assert(e->debug_key == cf->key && "AutomatonCache: Fp128 fingerprint collision");
+#endif
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return AutomatonHandle{it->second->second, std::move(cf->letters)};
+      return AutomatonHandle{e->ts, std::move(cf->letters)};
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -463,18 +472,21 @@ Result<AutomatonHandle> AutomatonCache::Get(std::shared_ptr<Factory> factory,
                        TransitionSystem::Compile(factory, nnf, options));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(cf->key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return AutomatonHandle{it->second->second, std::move(cf->letters)};
+    if (CacheEntry* e = lru_.Find(cf->fp)) {
+#ifndef NDEBUG
+      assert(e->debug_key == cf->key && "AutomatonCache: Fp128 fingerprint collision");
+#endif
+      return AutomatonHandle{e->ts, std::move(cf->letters)};
     }
-    lru_.emplace_front(cf->key, ts);
-    index_.emplace(cf->key, lru_.begin());
-    while (lru_.size() > capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
+    CacheEntry entry;
+    entry.ts = ts;
+#ifndef NDEBUG
+    entry.debug_key = cf->key;
+#endif
+    uint64_t evicted_before = lru_.evictions();
+    lru_.Insert(cf->fp, std::move(entry));
+    evictions_.fetch_add(lru_.evictions() - evicted_before,
+                         std::memory_order_relaxed);
     entries_.store(lru_.size(), std::memory_order_relaxed);
   }
   return AutomatonHandle{std::move(ts), std::move(cf->letters)};

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat/lru.h"
+#include "common/flat/wyhash.h"
 #include "common/result.h"
 #include "ptl/formula.h"
 #include "ptl/tableau.h"
@@ -177,12 +177,20 @@ class AutomatonCache {
   AutomatonCacheStats stats() const;
 
  private:
-  using LruList = std::list<std::pair<std::string, std::shared_ptr<TransitionSystem>>>;
+  struct CacheEntry {
+    std::shared_ptr<TransitionSystem> ts;
+#ifndef NDEBUG
+    // Debug builds retain the canonical key to detect fingerprint collisions.
+    std::string debug_key;
+#endif
+  };
 
   mutable std::mutex mu_;
   size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> index_;
+  // Fingerprint-keyed slab LRU (see VerdictCache): hits hash 16 bytes and
+  // allocate nothing, where the string-keyed index re-hashed the whole
+  // canonical key per lookup.
+  flat::FlatLru<flat::Fp128, CacheEntry> lru_;
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

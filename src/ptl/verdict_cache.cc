@@ -1,6 +1,7 @@
 #include "ptl/verdict_cache.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/telemetry/telemetry.h"
 
@@ -114,23 +115,27 @@ std::optional<CanonicalFormula> Canonicalize(Formula f, size_t max_nodes) {
     if (c1 != nullptr) stack.push_back(c1);
     if (c0 != nullptr) stack.push_back(c0);
   }
+  out.fp = flat::Fp128::OfString(out.key);
   return out;
 }
 
-VerdictCache::VerdictCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+VerdictCache::VerdictCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)), lru_(capacity_) {}
 
 bool VerdictCache::Lookup(const CanonicalFormula& cf, bool* satisfiable,
                           std::optional<UltimatelyPeriodicWord>* witness) {
   TIC_SPAN("verdict_cache.lookup");
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(cf.key);
-  if (it == index_.end()) {
+  const Entry* found = lru_.Find(cf.fp);
+  if (found == nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     TIC_COUNTER_ADD("verdict_cache/misses", 1);
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  const Entry& e = it->second->second;
+  const Entry& e = *found;
+#ifndef NDEBUG
+  assert(e.debug_key == cf.key && "VerdictCache: Fp128 fingerprint collision");
+#endif
   *satisfiable = e.satisfiable;
   if (witness != nullptr) {
     witness->reset();
@@ -184,20 +189,16 @@ void VerdictCache::Insert(const CanonicalFormula& cf, bool satisfiable,
     encode(witness->prefix, &e.prefix);
     encode(witness->loop, &e.loop);
   }
+#ifndef NDEBUG
+  e.debug_key = cf.key;
+#endif
 
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(cf.key);
-  if (it != index_.end()) {
-    it->second->second = std::move(e);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  lru_.emplace_front(cf.key, std::move(e));
-  index_.emplace(cf.key, lru_.begin());
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t evicted_before = lru_.evictions();
+  lru_.Insert(cf.fp, std::move(e));
+  uint64_t evicted = lru_.evictions() - evicted_before;
+  if (evicted != 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
     TIC_COUNTER_ADD("verdict_cache/evictions", 1);
   }
   entries_.store(lru_.size(), std::memory_order_relaxed);

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat/lru.h"
+#include "common/flat/wyhash.h"
 #include "ptl/formula.h"
 #include "ptl/word.h"
 
@@ -39,6 +39,7 @@ struct VerdictCacheStats {
 /// addresses, it transfers across Factory and PropVocabulary instances.
 struct CanonicalFormula {
   std::string key;
+  flat::Fp128 fp;               ///< 128-bit fingerprint of `key` (cache index key)
   std::vector<PropId> letters;  ///< canonical index -> concrete letter
 };
 
@@ -82,13 +83,19 @@ class VerdictCache {
     bool has_witness = false;
     std::vector<std::vector<uint32_t>> prefix;
     std::vector<std::vector<uint32_t>> loop;
+#ifndef NDEBUG
+    // Debug builds retain the full key to detect fingerprint collisions; a
+    // release hit compares only the 128-bit fingerprint (2^-128 risk).
+    std::string debug_key;
+#endif
   };
-  using LruList = std::list<std::pair<std::string, Entry>>;
 
   mutable std::mutex mu_;
   size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> index_;
+  // Fingerprint-keyed slab LRU: hits and steady-state inserts touch no heap,
+  // unlike the former std::list + string-keyed index (which re-hashed and
+  // heap-compared a full key string on every lookup).
+  flat::FlatLru<flat::Fp128, Entry> lru_;
 
   // Monotonic counters kept outside mu_ (relaxed atomics) so stats() is a
   // lock-free snapshot. entries_ mirrors lru_.size() at each mutation.

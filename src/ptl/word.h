@@ -1,9 +1,11 @@
 #ifndef TIC_PTL_WORD_H_
 #define TIC_PTL_WORD_H_
 
+#include <algorithm>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat/small_vec.h"
 #include "common/result.h"
 #include "ptl/formula.h"
 
@@ -11,24 +13,43 @@ namespace tic {
 namespace ptl {
 
 /// \brief One propositional state: the set of letters that are true.
+///
+/// Stored as a sorted inline small-vector (not a node-based set): states on
+/// the monitor's word-building path hold a handful of letters, so membership
+/// is a binary search over one cache line and building/copying a state
+/// performs no heap allocation until the inline tier (12 letters) spills.
 class PropState {
  public:
-  PropState() = default;
-  explicit PropState(std::unordered_set<PropId> trues) : trues_(std::move(trues)) {}
+  /// Inline capacity. States wider than this spill to one heap block.
+  static constexpr size_t kInlineTrues = 12;
 
-  bool Get(PropId p) const { return trues_.count(p) > 0; }
+  PropState() = default;
+  explicit PropState(const std::unordered_set<PropId>& trues) {
+    for (PropId p : trues) Set(p, true);
+  }
+
+  bool Get(PropId p) const {
+    return std::binary_search(trues_.begin(), trues_.end(), p);
+  }
+
   void Set(PropId p, bool value) {
-    if (value) {
-      trues_.insert(p);
-    } else {
-      trues_.erase(p);
+    const PropId* at = std::lower_bound(trues_.begin(), trues_.end(), p);
+    size_t i = static_cast<size_t>(at - trues_.begin());
+    bool present = i < trues_.size() && trues_[i] == p;
+    if (value && !present) {
+      trues_.insert_at(i, p);
+    } else if (!value && present) {
+      trues_.erase_at(i);
     }
   }
-  const std::unordered_set<PropId>& trues() const { return trues_; }
+
+  /// True letters in ascending PropId order.
+  const flat::SmallVec<PropId, kInlineTrues>& trues() const { return trues_; }
+
   bool operator==(const PropState& o) const { return trues_ == o.trues_; }
 
  private:
-  std::unordered_set<PropId> trues_;
+  flat::SmallVec<PropId, kInlineTrues> trues_;
 };
 
 /// \brief A finite sequence of propositional states — the paper's

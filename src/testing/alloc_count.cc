@@ -1,0 +1,146 @@
+#include "testing/alloc_count.h"
+
+#ifdef TIC_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed is enough: the gate tests quiesce worker threads before reading.
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  // Aligned new is allowed any power-of-two alignment (alignof(T) may be 1),
+  // but posix_memalign requires at least sizeof(void*).
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+// The full replaceable-function family: sized and aligned deletes all funnel
+// into the same malloc/free pair, so mixing variants stays consistent.
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+
+namespace tic {
+namespace testing {
+
+bool AllocCountingAvailable() { return true; }
+
+void ResetAllocCounts() {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+}
+
+uint64_t AllocationsSinceReset() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+uint64_t DeallocationsSinceReset() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+}  // namespace testing
+}  // namespace tic
+
+#else  // !TIC_COUNT_ALLOCS
+
+namespace tic {
+namespace testing {
+
+bool AllocCountingAvailable() { return false; }
+void ResetAllocCounts() {}
+uint64_t AllocationsSinceReset() { return 0; }
+uint64_t DeallocationsSinceReset() { return 0; }
+
+}  // namespace testing
+}  // namespace tic
+
+#endif  // TIC_COUNT_ALLOCS
+
+namespace tic {
+namespace testing {
+
+AllocWindow::AllocWindow()
+    : start_allocs_(AllocationsSinceReset()),
+      start_frees_(DeallocationsSinceReset()) {}
+
+uint64_t AllocWindow::allocations() const {
+  return AllocationsSinceReset() - start_allocs_;
+}
+
+uint64_t AllocWindow::deallocations() const {
+  return DeallocationsSinceReset() - start_frees_;
+}
+
+}  // namespace testing
+}  // namespace tic

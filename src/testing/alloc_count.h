@@ -1,0 +1,50 @@
+#ifndef TIC_TESTING_ALLOC_COUNT_H_
+#define TIC_TESTING_ALLOC_COUNT_H_
+
+#include <cstdint>
+
+// Heap-allocation counting for zero-allocation gate tests.
+//
+// When alloc_count.cc is compiled with TIC_COUNT_ALLOCS, it replaces the
+// global operator new/delete family with counting forwarders; the counters
+// below then report every heap allocation the process performs. Without the
+// macro the same translation unit compiles to stubs (available() == false)
+// and the default allocator stays untouched.
+//
+// The interposition is process-global, so alloc_count.cc must be compiled
+// *into the gate-test target only* (see tests/CMakeLists.txt), never into a
+// library other targets link.
+
+namespace tic {
+namespace testing {
+
+/// True when the counting operator new/delete family is compiled in.
+bool AllocCountingAvailable();
+
+/// Zeroes both counters.
+void ResetAllocCounts();
+
+/// operator-new calls (any variant) since the last reset.
+uint64_t AllocationsSinceReset();
+
+/// operator-delete calls (any variant, null deletes excluded) since the last
+/// reset.
+uint64_t DeallocationsSinceReset();
+
+/// RAII window: captures the counters at construction; allocations() gives
+/// the delta so far without disturbing concurrent windows.
+class AllocWindow {
+ public:
+  AllocWindow();
+  uint64_t allocations() const;
+  uint64_t deallocations() const;
+
+ private:
+  uint64_t start_allocs_;
+  uint64_t start_frees_;
+};
+
+}  // namespace testing
+}  // namespace tic
+
+#endif  // TIC_TESTING_ALLOC_COUNT_H_

@@ -1,0 +1,181 @@
+// Zero-allocation gate for the steady-state monitoring hot path.
+//
+// The flat-container layer (src/common/flat/) exists so that a warmed-up
+// Monitor::ApplyTransaction on the automaton backend's memo-hit path touches
+// the heap exactly zero times: history append aliases the previous state,
+// the propositional state stays inline in PropState's small-vector, letter
+// lookup probes a warm flat map, and the (state, signature) transition is a
+// flat-map hit. This suite interposes the global operator new/delete family
+// (src/testing/alloc_count.cc, compiled into this target with
+// TIC_COUNT_ALLOCS) and asserts that bound — a regression here means some
+// hot-path structure started allocating again.
+
+#include <gtest/gtest.h>
+
+#include "checker/monitor.h"
+#include "common/flat/flat_map.h"
+#include "common/flat/flat_set.h"
+#include "fotl/parser.h"
+#include "ptl/word.h"
+#include "testing/alloc_count.h"
+
+namespace tic {
+namespace checker {
+namespace {
+
+class AllocCountTest : public ::testing::Test {
+ protected:
+  AllocCountTest() {
+    auto v = std::make_shared<Vocabulary>();
+    sub_ = *v->AddPredicate("Sub", 1);
+    fill_ = *v->AddPredicate("Fill", 1);
+    vocab_ = v;
+    fac_ = std::make_shared<fotl::FormulaFactory>(vocab_);
+    submit_once_ =
+        *fotl::Parse(fac_.get(), "forall x . G (Sub(x) -> X G !Sub(x))");
+  }
+
+  Transaction Txn(std::vector<Value> subs, std::vector<Value> fills = {}) {
+    Transaction t;
+    for (Value v : subs) t.push_back(UpdateOp::Insert(sub_, {v}));
+    for (Value v : fills) t.push_back(UpdateOp::Insert(fill_, {v}));
+    return t;
+  }
+
+  VocabularyPtr vocab_;
+  PredicateId sub_ = 0, fill_ = 0;
+  std::shared_ptr<fotl::FormulaFactory> fac_;
+  fotl::Formula submit_once_ = nullptr;
+};
+
+TEST_F(AllocCountTest, HarnessIsCompiledIn) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+  testing::ResetAllocCounts();
+  testing::AllocWindow w;
+  // Direct allocator-function calls: a `delete new int` expression may be
+  // elided entirely by the optimizer, but these cannot.
+  void* p = ::operator new(16);
+  ::operator delete(p);
+  EXPECT_EQ(w.allocations(), 1u);
+  EXPECT_EQ(w.deallocations(), 1u);
+}
+
+// The headline guarantee: after warm-up, an empty-transaction update on the
+// automaton backend — history alias append, letter probes, signature hit,
+// transition-memo hit, cached liveness — performs ZERO heap allocations.
+TEST_F(AllocCountTest, SteadyStateMonitorStepAllocatesNothing) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+  auto m = *Monitor::Create(fac_, submit_once_);
+  ASSERT_EQ(m->options().backend, MonitorBackend::kAutomaton);
+
+  // Populate: one element becomes relevant, then the database stays put.
+  // Sub(7) must be retracted before the steady phase: Sub persisting across
+  // states violates "Sub(x) -> X G !Sub(x)", and a dead monitor would skip
+  // the very hot path this test is about.
+  ASSERT_TRUE(m->ApplyTransaction(Txn({7}, {11})).ok());
+  Transaction retract;
+  retract.push_back(UpdateOp::Delete(sub_, {7}));
+  ASSERT_TRUE(m->ApplyTransaction(retract).ok());
+  // Warm-up: amortized growth (history/word vectors double past the measure
+  // window), memo and signature tables fill, letter probe capacity settles.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(Transaction{}).ok());
+  }
+
+  testing::ResetAllocCounts();
+  testing::AllocWindow window;
+  for (int i = 0; i < 20; ++i) {
+    auto v = m->ApplyTransaction(Transaction{});
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v->potentially_satisfied);
+    ASSERT_EQ(v->backend, MonitorBackend::kAutomaton);
+  }
+  EXPECT_EQ(window.allocations(), 0u)
+      << "steady-state memo-hit updates must not touch the heap";
+  EXPECT_EQ(window.deallocations(), 0u);
+}
+
+// Same bound for a *recurring delta* (insert+delete cycle the memo has seen
+// before): the transaction copies the state, so the db layer allocates, but
+// the monitor side — signature, transition, verdict — must still hit warm
+// structures; assert the per-update allocation count stays flat and small
+// instead of growing with history length.
+TEST_F(AllocCountTest, RecurringDeltaStaysFlat) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+  auto m = *Monitor::Create(fac_, submit_once_);
+  ASSERT_TRUE(m->ApplyTransaction(Txn({7})).ok());
+  Transaction retract;
+  retract.push_back(UpdateOp::Delete(sub_, {7}));
+  ASSERT_TRUE(m->ApplyTransaction(retract).ok());
+  Transaction fill = Txn({}, {11});
+  Transaction unfill;
+  unfill.push_back(UpdateOp::Delete(fill_, {11}));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(fill).ok());
+    ASSERT_TRUE(m->ApplyTransaction(unfill).ok());
+  }
+  testing::ResetAllocCounts();
+  testing::AllocWindow early;
+  ASSERT_TRUE(m->ApplyTransaction(fill).ok());
+  ASSERT_TRUE(m->ApplyTransaction(unfill).ok());
+  uint64_t per_cycle = early.allocations();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(fill).ok());
+    ASSERT_TRUE(m->ApplyTransaction(unfill).ok());
+  }
+  testing::AllocWindow late;
+  ASSERT_TRUE(m->ApplyTransaction(fill).ok());
+  ASSERT_TRUE(m->ApplyTransaction(unfill).ok());
+  ASSERT_TRUE(m->last_verdict().potentially_satisfied);  // not a dead monitor
+  // The same delta later in the history must not cost more: no O(t) copies,
+  // no cache rebuilds.
+  EXPECT_LE(late.allocations(), per_cycle);
+}
+
+// PropState regression (the unordered_set -> sorted inline small-vector
+// bugfix): up to kInlineTrues distinct true letters live entirely inline.
+TEST_F(AllocCountTest, PropStateInlineOperationsAllocateNothing) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+  testing::ResetAllocCounts();
+  testing::AllocWindow window;
+  ptl::PropState st;
+  for (ptl::PropId p = 0; p < ptl::PropState::kInlineTrues; ++p) {
+    st.Set(p * 3, true);
+  }
+  for (ptl::PropId p = 0; p < ptl::PropState::kInlineTrues; ++p) {
+    EXPECT_TRUE(st.Get(p * 3));
+    EXPECT_FALSE(st.Get(p * 3 + 1));
+  }
+  ptl::PropState copy = st;       // inline copy
+  copy.Set(0, false);             // inline erase
+  EXPECT_FALSE(copy.Get(0));
+  EXPECT_TRUE(st.Get(0));
+  EXPECT_EQ(window.allocations(), 0u);
+}
+
+// Flat-table hit paths allocate nothing once warm: map hits, set re-inserts,
+// and Clear() keeps bucket storage.
+TEST_F(AllocCountTest, FlatContainerHitPathsAllocateNothing) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+  flat::FlatMap<uint64_t, uint64_t> map;
+  flat::FlatSet<uint32_t> set;
+  for (uint64_t i = 0; i < 100; ++i) {
+    map.Emplace(i, i * i);
+    set.Insert(static_cast<uint32_t>(i));
+  }
+  testing::ResetAllocCounts();
+  testing::AllocWindow window;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_NE(map.Get(i), nullptr);
+    ASSERT_FALSE(set.Insert(static_cast<uint32_t>(i)));
+  }
+  set.Clear();
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(set.Insert(static_cast<uint32_t>(i)));
+  }
+  EXPECT_EQ(window.allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace checker
+}  // namespace tic

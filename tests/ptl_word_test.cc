@@ -111,6 +111,46 @@ TEST_F(WordTest, PropStateSetUnset) {
   EXPECT_EQ(s, PropState());
 }
 
+// Regression for the unordered_set -> sorted inline small-vector port: the
+// sorted invariant, equality, and the set-constructor must hold regardless
+// of insertion order, across the inline/heap spill boundary, and after
+// interleaved erasures.
+TEST_F(WordTest, PropStateSpillAndOrderIndependence) {
+  const size_t n = 3 * PropState::kInlineTrues;  // well past the inline tier
+  PropState ascending, descending;
+  std::unordered_set<PropId> trues;
+  for (size_t i = 0; i < n; ++i) {
+    PropId asc = static_cast<PropId>(2 * i);
+    PropId desc = static_cast<PropId>(2 * (n - 1 - i));
+    ascending.Set(asc, true);
+    descending.Set(desc, true);
+    trues.insert(asc);
+  }
+  EXPECT_EQ(ascending, descending);
+  EXPECT_EQ(ascending, PropState(trues));
+  ASSERT_EQ(ascending.trues().size(), n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_LT(ascending.trues()[i], ascending.trues()[i + 1]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(ascending.Get(static_cast<PropId>(2 * i)));
+    EXPECT_FALSE(ascending.Get(static_cast<PropId>(2 * i + 1)));
+  }
+  // Copies are independent; erasing every other letter keeps order.
+  PropState copy = ascending;
+  for (size_t i = 0; i < n; i += 2) copy.Set(static_cast<PropId>(2 * i), false);
+  EXPECT_EQ(copy.trues().size(), n / 2);
+  for (size_t i = 0; i + 1 < copy.trues().size(); ++i) {
+    EXPECT_LT(copy.trues()[i], copy.trues()[i + 1]);
+  }
+  EXPECT_EQ(ascending.trues().size(), n);
+  // Redundant Set calls are no-ops in both directions.
+  PropState idem = copy;
+  idem.Set(copy.trues()[0], true);
+  idem.Set(static_cast<PropId>(1), false);
+  EXPECT_EQ(idem, copy);
+}
+
 }  // namespace
 }  // namespace ptl
 }  // namespace tic
