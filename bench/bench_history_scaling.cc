@@ -108,8 +108,82 @@ void BM_Fifo_MonitorPerUpdate(benchmark::State& state, size_t threads,
   }
 }
 
+// Cross-instance lockstep stepping (PR 7): per-update cost of the automaton
+// backend over a symmetric population of `instances` letter-disjoint
+// submit-once instances, cohort SoA stepping on vs off. Shapes:
+//   uniform — every order is submitted at t0 and retracted at t1, so all
+//     slots share one state and the cohort advances with a single table-cell
+//     read per update; the joint baseline recomputes an O(alphabet) letter
+//     signature per update instead.
+//   mixed — half the orders are submitted+retracted, half only ever named by
+//     Fill, parking the population in two distinct states: every update runs
+//     the word-parallel dense-table gather across all slots.
+void BM_SubmitOnce_CohortSteadyState(benchmark::State& state, bool cohort,
+                                     bool mixed) {
+  auto& fx = Fixture();
+  size_t instances = static_cast<size_t>(state.range(0));
+  checker::CheckOptions opts;
+  opts.backend = checker::MonitorBackend::kAutomaton;
+  opts.cohort_stepping = cohort;
+  auto monitor = *checker::Monitor::Create(fx.factory, fx.submit_once, {}, opts);
+  size_t submitted = mixed ? instances / 2 : instances;
+  Transaction grow;
+  for (size_t v = 1; v <= instances; ++v) {
+    if (v <= submitted) {
+      grow.push_back(UpdateOp::Insert(fx.sub, {static_cast<Value>(v)}));
+    } else {
+      grow.push_back(UpdateOp::Insert(fx.fill, {static_cast<Value>(v)}));
+    }
+  }
+  Transaction retract;
+  for (size_t v = 1; v <= submitted; ++v) {
+    retract.push_back(UpdateOp::Delete(fx.sub, {static_cast<Value>(v)}));
+  }
+  auto grown = monitor->ApplyTransaction(grow);
+  if (!grown.ok()) {
+    state.SkipWithError(grown.status().ToString().c_str());
+    return;
+  }
+  auto retracted = monitor->ApplyTransaction(retract);
+  if (!retracted.ok()) {
+    state.SkipWithError(retracted.status().ToString().c_str());
+    return;
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto v = monitor->ApplyTransaction(Transaction{});
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+  }
+  checker::MonitorVerdict last;
+  for (auto _ : state) {
+    auto v = monitor->ApplyTransaction(Transaction{});
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(v->potentially_satisfied);
+    last = *v;
+  }
+  if (!last.potentially_satisfied) {
+    state.SkipWithError("monitor died in steady state");
+    return;
+  }
+  state.counters["instances"] = static_cast<double>(last.num_instances);
+  state.counters["cohorts"] = static_cast<double>(last.num_cohorts);
+  state.counters["cohort_instances"] =
+      static_cast<double>(last.num_cohort_instances);
+  state.counters["memo_hits"] =
+      static_cast<double>(last.automaton_stats.memo_hits);
+  state.counters["memo_steps"] = static_cast<double>(last.automaton_stats.steps);
+  state.counters["state_sets"] =
+      static_cast<double>(last.automaton_stats.num_state_sets);
+}
+
 void RegisterAll(const std::vector<size_t>& thread_counts,
-                 const std::vector<checker::MonitorBackend>& backends) {
+                 const std::vector<checker::MonitorBackend>& backends,
+                 const std::vector<bool>& cohort_modes) {
   benchmark::RegisterBenchmark("BM_Fifo_HistorySweep", BM_Fifo_HistorySweep)
       ->RangeMultiplier(2)
       ->Range(8, 512)
@@ -129,6 +203,20 @@ void RegisterAll(const std::vector<size_t>& thread_counts,
           ->Arg(256);
     }
   }
+  for (bool cohort : cohort_modes) {
+    for (bool mixed : {false, true}) {
+      std::string name = std::string("BM_SubmitOnce_CohortSteadyState/shape:") +
+                         (mixed ? "mixed" : "uniform") + "/cohort:" +
+                         (cohort ? "on" : "off");
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [cohort, mixed](benchmark::State& s) {
+                                     BM_SubmitOnce_CohortSteadyState(s, cohort,
+                                                                     mixed);
+                                   })
+          ->Arg(1024)
+          ->Arg(10240);
+    }
+  }
 }
 
 }  // namespace
@@ -140,6 +228,8 @@ int main(int argc, char** argv) {
       &argc, argv,
       {tic::checker::MonitorBackend::kAutomaton,
        tic::checker::MonitorBackend::kProgression});
-  tic::RegisterAll(threads, backends);
+  std::vector<bool> cohort_modes =
+      tic::bench::ParseCohort(&argc, argv, {true, false});
+  tic::RegisterAll(threads, backends, cohort_modes);
   return tic::bench::RunBenchmarks(&argc, argv);
 }

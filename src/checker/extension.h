@@ -70,9 +70,27 @@ struct CheckOptions {
   /// batch/trigger automaton path; when null and the automaton backend is
   /// selected, TriggerManager defaults one. Inject an instance here to share
   /// compiled automata — and their transition memos — across trigger managers
-  /// and batch checks. (The Monitor's residual graph is per-monitor state and
-  /// does not use this cache.)
+  /// and batch checks. The Monitor's cohort path also compiles through this
+  /// cache (per-instance residuals are letter-renamings of one another, so
+  /// symmetric instances land on one shared TransitionSystem); when null and
+  /// cohort stepping is on, Monitor defaults a private instance. The joint
+  /// residual graph remains per-monitor state.
   std::shared_ptr<ptl::AutomatonCache> automaton_cache;
+
+  /// Step letter-disjoint grounded instances in cohorts: instances whose
+  /// residuals share no ground atoms are grouped by compiled automaton
+  /// (structure-of-arrays state ids) and advanced per transaction with one
+  /// letter signature plus a word-parallel gather over a dense state x
+  /// letter-class table (AVX2 when available). Verdict-equivalent to the
+  /// joint path by construction — sat(AND of atom-disjoint residuals) equals
+  /// AND of per-residual sat — and differentially enforced by the
+  /// `cohort-diff` suite. Instances that share atoms still step jointly.
+  bool cohort_stepping = true;
+  /// Re-run offline automaton minimization (TransitionSystem::MinimizeNow)
+  /// whenever a cohort's system has interned this many new state-sets since
+  /// the last run; 0 disables minimization. Collapsing bisimilar states keeps
+  /// dense cohort tables small on long heterogeneous histories.
+  uint32_t cohort_minimize_interval = 24;
 
   /// Degree of parallelism for the per-update hot paths (Monitor residual
   /// progression, TriggerManager substitution sweeps). 1 = fully sequential.

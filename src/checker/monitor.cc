@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "common/flat/gather.h"
 #include "common/hash.h"
 #include "common/telemetry/telemetry.h"
 #include "common/thread_pool.h"
@@ -81,6 +82,13 @@ Result<std::unique_ptr<Monitor>> Monitor::Create(
   // renaming are progression-specific, so those modes keep kProgression.
   m->backend_ = m->options_.backend;
   if (mode != MonitorMode::kEager) m->backend_ = MonitorBackend::kProgression;
+  // Cohort stepping compiles per-instance automata through the
+  // renaming-invariant cache so symmetric instances share one transition
+  // system; default a private cache when the caller didn't inject one.
+  if (m->backend_ == MonitorBackend::kAutomaton && m->options_.cohort_stepping &&
+      m->options_.automaton_cache == nullptr) {
+    m->options_.automaton_cache = std::make_shared<ptl::AutomatonCache>();
+  }
   if (m->options_.thread_pool == nullptr && m->options_.threads > 1) {
     m->options_.thread_pool = std::make_shared<ThreadPool>(m->options_.threads - 1);
   }
@@ -358,9 +366,18 @@ Result<ptl::Formula> Monitor::GroundAndCatchUp(
     const std::vector<GroundElem>& assignment) {
   TIC_SPAN("monitor.catch_up");
   TIC_ASSIGN_OR_RETURN(ptl::Formula residual, GroundMatrix(assignment));
-  for (const ptl::PropState& w : word_) {
-    TIC_ASSIGN_OR_RETURN(residual, ptl::Progress(prop_factory_.get(), residual, w));
+  for (const WordEntry& e : word_) {
     if (residual->kind() == ptl::Kind::kFalse) break;
+    for (uint64_t r = 0; r < e.repeat; ++r) {
+      TIC_ASSIGN_OR_RETURN(ptl::Formula next,
+                           ptl::Progress(prop_factory_.get(), residual, e.w));
+      // Hash-consed fixpoint: progression is deterministic, so once the
+      // residual stops changing under this run's letter, the remaining
+      // repetitions are no-ops — catch-up costs one rewrite per RUN.
+      if (next == residual) break;
+      residual = next;
+      if (residual->kind() == ptl::Kind::kFalse) break;
+    }
   }
   return residual;
 }
@@ -490,27 +507,47 @@ ptl::Formula Monitor::RenameLetters(
 
 Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
   TIC_SPAN("monitor.progress");
-  // Partition live residuals by hash-consed identity: instances over symmetric
-  // elements share one formula node, so each distinct residual is progressed
-  // once and the result fanned back out.
-  flat::FlatMap<ptl::Formula, size_t>& class_of = class_of_scratch_;
-  class_of.Clear();
-  std::vector<ptl::Formula> reps;
-  for (const Instance& inst : instances_) {
-    if (inst.residual->kind() == ptl::Kind::kFalse) continue;
-    auto [e, inserted] = class_of.Emplace(inst.residual, reps.size());
-    (void)e;
-    if (inserted) reps.push_back(inst.residual);
+  // Persistent partition of instances into residual equivalence classes.
+  // Progression is a pure function of the residual, so once built the classes
+  // stay valid across updates — the steady-state path walks the class list
+  // directly instead of re-hashing every instance's formula per transaction.
+  // Rebuild only when instances were added since the partition was taken.
+  if (progress_classes_instances_ != instances_.size()) {
+    progress_classes_.clear();
+    flat::FlatMap<ptl::Formula, size_t>& class_of = class_of_scratch_;
+    class_of.Clear();
+    for (size_t m = 0; m < instances_.size(); ++m) {
+      auto [e, inserted] =
+          class_of.Emplace(instances_[m].residual, progress_classes_.size());
+      if (inserted) {
+        progress_classes_.push_back(ProgressClass{instances_[m].residual, {}});
+      }
+      progress_classes_[e->second].members.push_back(static_cast<uint32_t>(m));
+    }
+    progress_classes_instances_ = instances_.size();
   }
-  if (num_classes != nullptr) *num_classes = reps.size();
+
+  // Count and progress only live classes (a false residual is a fixpoint);
+  // dead classes keep their members pinned at false.
+  size_t live_classes = 0;
+  for (const ProgressClass& pc : progress_classes_) {
+    if (pc.residual->kind() != ptl::Kind::kFalse) ++live_classes;
+  }
+  if (num_classes != nullptr) *num_classes = live_classes;
 
   // Result<T> is not default-constructible; collect values and errors apart.
-  std::vector<ptl::Formula> progressed(reps.size(), nullptr);
-  std::vector<Status> errors(reps.size());
+  const size_t n = progress_classes_.size();
+  std::vector<ptl::Formula> progressed(n, nullptr);
+  std::vector<Status> errors(n);
   ptl::Factory* pf = prop_factory_.get();
   auto step = [&](size_t i) {
+    ptl::Formula f = progress_classes_[i].residual;
+    if (f->kind() == ptl::Kind::kFalse) {
+      progressed[i] = f;
+      return;
+    }
     TIC_SPAN("monitor.progress_class");
-    Result<ptl::Formula> r = ptl::Progress(pf, reps[i], w);
+    Result<ptl::Formula> r = ptl::Progress(pf, f, w);
     if (r.ok()) {
       progressed[i] = *r;
     } else {
@@ -518,17 +555,396 @@ Status Monitor::ProgressAll(const ptl::PropState& w, size_t* num_classes) {
     }
   };
   ThreadPool* pool = options_.thread_pool.get();
-  if (pool != nullptr && reps.size() > 1) {
-    pool->ParallelFor(reps.size(), step);
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, step);
   } else {
-    for (size_t i = 0; i < reps.size(); ++i) step(i);
+    for (size_t i = 0; i < n; ++i) step(i);
   }
-  TIC_COUNTER_ADD("monitor/residual_classes", reps.size());
+  TIC_COUNTER_ADD("monitor/residual_classes", live_classes);
   for (const Status& s : errors) TIC_RETURN_NOT_OK(s);
-  for (Instance& inst : instances_) {
-    if (inst.residual->kind() == ptl::Kind::kFalse) continue;
-    inst.residual = progressed[*class_of.Get(inst.residual)];
+
+  // Fan progressed residuals back out, then merge classes whose results
+  // collided (distinct residuals can progress to one formula) so the
+  // partition stays canonical: one class per distinct residual.
+  flat::FlatMap<ptl::Formula, size_t>& merged_of = class_of_scratch_;
+  merged_of.Clear();
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ProgressClass& pc = progress_classes_[i];
+    for (uint32_t m : pc.members) instances_[m].residual = progressed[i];
+    auto [e, inserted] = merged_of.Emplace(progressed[i], out);
+    if (inserted) {
+      if (out != i) {
+        progress_classes_[out].residual = progressed[i];
+        progress_classes_[out].members = std::move(pc.members);
+      } else {
+        pc.residual = progressed[i];
+      }
+      ++out;
+    } else {
+      std::vector<uint32_t>& dst = progress_classes_[e->second].members;
+      dst.insert(dst.end(), pc.members.begin(), pc.members.end());
+      pc.members.clear();
+    }
   }
+  progress_classes_.resize(out);
+  return Status::OK();
+}
+
+uint32_t Monitor::DsuFind(uint32_t i) {
+  while (dsu_parent_[i] != i) {
+    dsu_parent_[i] = dsu_parent_[dsu_parent_[i]];  // path halving
+    i = dsu_parent_[i];
+  }
+  return i;
+}
+
+void Monitor::DsuUnion(uint32_t a, uint32_t b, size_t first_new, bool* demoted) {
+  uint32_t ra = DsuFind(a);
+  uint32_t rb = DsuFind(b);
+  if (ra == rb) return;
+  // A pre-existing component is either a cohorted/inert singleton or a joint
+  // block, and dsu_min_ names one of its members — enough to see whether this
+  // merge pulls an already-cohorted instance out of letter-disjointness.
+  for (uint32_t r : {ra, rb}) {
+    if (dsu_min_[r] < first_new && placement_[dsu_min_[r]] == Placement::kCohort) {
+      *demoted = true;
+    }
+  }
+  if (dsu_size_[ra] < dsu_size_[rb]) std::swap(ra, rb);
+  dsu_parent_[rb] = ra;
+  dsu_size_[ra] += dsu_size_[rb];
+  dsu_min_[ra] = std::min(dsu_min_[ra], dsu_min_[rb]);
+}
+
+void Monitor::AtomsOf(ptl::Formula f) {
+  atoms_scratch_.clear();
+  std::vector<ptl::Formula> stack{f};
+  std::unordered_set<ptl::Formula> seen{f};
+  while (!stack.empty()) {
+    ptl::Formula g = stack.back();
+    stack.pop_back();
+    if (g->kind() == ptl::Kind::kAtom) {
+      atoms_scratch_.push_back(g->atom());
+      continue;
+    }
+    for (size_t i = 0; i < 2; ++i) {
+      ptl::Formula c = g->child(i);
+      if (c != nullptr && seen.insert(c).second) stack.push_back(c);
+    }
+  }
+  std::sort(atoms_scratch_.begin(), atoms_scratch_.end());
+  atoms_scratch_.erase(std::unique(atoms_scratch_.begin(), atoms_scratch_.end()),
+                       atoms_scratch_.end());
+}
+
+void Monitor::EnsureCohortTable(Cohort* ch, uint32_t rows_needed,
+                                uint32_t cols_needed) {
+  if (rows_needed <= ch->rows && cols_needed <= ch->cols) return;
+  uint32_t rows = std::max({rows_needed, ch->rows * 2, 8u});
+  uint32_t cols = std::max({cols_needed, ch->cols * 2, 4u});
+  std::vector<uint32_t> table(static_cast<size_t>(rows) * cols,
+                              kCellUndiscovered);
+  for (uint32_t r = 0; r < ch->rows; ++r) {
+    std::copy(ch->table.begin() + static_cast<size_t>(r) * ch->cols,
+              ch->table.begin() + static_cast<size_t>(r) * ch->cols + ch->cols,
+              table.begin() + static_cast<size_t>(r) * cols);
+  }
+  ch->table = std::move(table);
+  ch->rows = rows;
+  ch->cols = cols;
+}
+
+Result<uint32_t> Monitor::CohortCell(Cohort* ch, uint32_t state, uint32_t sig,
+                                     bool* discovered) {
+  if (state < ch->rows && sig < ch->cols) {
+    uint32_t cell = ch->table[static_cast<size_t>(state) * ch->cols + sig];
+    if (cell != kCellUndiscovered) return cell;
+  }
+  *discovered = true;
+  TIC_ASSIGN_OR_RETURN(ptl::TransitionStep step, ch->ts->StepSig(state, sig));
+  // One id is reserved so a fully-set cell can't collide with the
+  // undiscovered sentinel.
+  if (step.next >= kCellNextMask) {
+    return Status::ResourceExhausted("cohort state-set id space exhausted");
+  }
+  uint32_t cell = (step.live ? 1u << 31 : 0) |
+                  (step.any_survivor ? 1u << 30 : 0) | step.next;
+  // The successor needs a row of its own before the next gather reads it.
+  EnsureCohortTable(ch, std::max(state, step.next) + 1, sig + 1);
+  ch->table[static_cast<size_t>(state) * ch->cols + sig] = cell;
+  return cell;
+}
+
+Result<Monitor::Placement> Monitor::PlaceOne(uint32_t idx) {
+  ptl::Formula residual = instances_[idx].residual;
+  if (residual->kind() == ptl::Kind::kTrue) return Placement::kInert;
+  if (residual->kind() == ptl::Kind::kFalse) return Placement::kJoint;
+  Result<ptl::AutomatonHandle> h = options_.automaton_cache->Get(
+      prop_factory_, residual, options_.tableau);
+  if (!h.ok()) {
+    // Budget blowups (non-safe formulas with huge covers) fall back to the
+    // joint residual graph, which only materializes visited states.
+    TIC_COUNTER_ADD("monitor/cohort_compile_fallbacks", 1);
+    return Placement::kJoint;
+  }
+  uint32_t c;
+  if (const uint32_t* hit = cohort_by_ts_.Get(h->ts.get())) {
+    c = *hit;
+  } else {
+    c = static_cast<uint32_t>(cohorts_.size());
+    cohorts_.push_back(Cohort{});
+    Cohort& fresh = cohorts_.back();
+    fresh.ts = h->ts;
+    fresh.stride = static_cast<uint32_t>(h->letters.size());
+    TIC_ASSIGN_OR_RETURN(fresh.zero_sig,
+                         h->ts->InternSignature(ptl::PropState{}, h->letters));
+    cohort_by_ts_.Emplace(h->ts.get(), c);
+  }
+  // Catch the new slot up through the stored word EXCLUDING the state just
+  // appended: CohortStepAll applies the current letter to every slot after
+  // placement, new and old alike. Renamed replays share the transition memo,
+  // so N symmetric arrivals cost one miss-path walk plus N-1 memo hits per
+  // past state.
+  uint32_t s = h->ts->initial();
+  for (size_t j = 0; j < word_.size(); ++j) {
+    // The final run contributes one repetition less: the current letter is
+    // applied to every slot (new and old) by CohortStepAll after placement.
+    uint64_t reps = word_[j].repeat - (j + 1 == word_.size() ? 1 : 0);
+    for (uint64_t r = 0; r < reps; ++r) {
+      TIC_ASSIGN_OR_RETURN(ptl::TransitionStep step,
+                           h->ts->Step(s, word_[j].w, h->letters));
+      // Deterministic transitions: a self-loop is this run's fixpoint.
+      if (step.next == s) break;
+      s = step.next;
+    }
+  }
+  Cohort& ch = cohorts_[c];
+  uint32_t slot = static_cast<uint32_t>(ch.states.size());
+  // A departure from states[0] breaks the uniform-stale representation:
+  // materialize before appending.
+  if (ch.uniform && slot > 0 && s != ch.states[0]) {
+    for (uint32_t i = 1; i < slot; ++i) ch.states[i] = ch.states[0];
+    ch.uniform = false;
+  }
+  ch.states.push_back(s);
+  ch.members.push_back(idx);
+  ch.hot_count.push_back(0);
+  ch.hot_pos.push_back(0);
+  for (ptl::PropId p : h->letters) {
+    ch.letters.push_back(p);
+    // Letter-disjointness makes the owning slot unique.
+    cohort_touch_.Emplace(p, (static_cast<uint64_t>(c) << 32) | slot);
+    // Seed hot tracking from the current letter: flips before this placement
+    // (including the full first-update build) happened without an owner.
+    if (cur_letter_.Get(p) && ch.hot_count[slot]++ == 0) {
+      ch.hot_pos[slot] = static_cast<uint32_t>(ch.hot_slots.size());
+      ch.hot_slots.push_back(slot);
+    }
+  }
+  EnsureCohortTable(&ch, s + 1, ch.zero_sig + 1);
+  ++num_cohort_slots_;
+  return Placement::kCohort;
+}
+
+Status Monitor::RebuildPlacements() {
+  // Letter-disjointness broke for some cohorted instance (a fresh element's
+  // residual shares atoms with it): recompute the whole partition. Rare by
+  // construction — only atom-sharing arrivals land here — and correct by
+  // simplicity: instances hold their ORIGINAL grounded formulas in automaton
+  // mode, so demotion to the joint path needs no state surgery (the joint
+  // epoch replay catches demoted instances up from scratch), and re-cohorted
+  // instances replay through the shared transition memo.
+  TIC_SPAN("monitor.cohort_rebuild");
+  TIC_COUNTER_ADD("monitor/cohort_rebuilds", 1);
+  cohorts_.clear();
+  cohort_by_ts_.Clear();
+  cohort_touch_.Clear();
+  atom_owner_.Clear();
+  num_joint_ = 0;
+  num_cohort_slots_ = 0;
+  const size_t n = instances_.size();
+  placement_.assign(n, Placement::kJoint);
+  dsu_parent_.resize(n);
+  dsu_size_.assign(n, 1);
+  dsu_min_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    dsu_parent_[i] = i;
+    dsu_min_[i] = i;
+  }
+  bool ignored = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    AtomsOf(instances_[i].residual);
+    for (ptl::PropId p : atoms_scratch_) {
+      auto [e, inserted] = atom_owner_.Emplace(p, i);
+      if (!inserted) DsuUnion(i, e->second, n, &ignored);
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    Placement pl = Placement::kJoint;
+    if (dsu_size_[DsuFind(i)] == 1) {
+      TIC_ASSIGN_OR_RETURN(pl, PlaceOne(i));
+    }
+    placement_[i] = pl;
+    if (pl == Placement::kJoint) ++num_joint_;
+  }
+  return Status::OK();
+}
+
+Result<bool> Monitor::PlaceInstances(size_t first_new) {
+  const size_t n = instances_.size();
+  if (cohorts_built_ && first_new == n) return false;  // steady state: no-op
+  if (!cohorts_built_) {
+    cohorts_built_ = true;
+    TIC_RETURN_NOT_OK(RebuildPlacements());
+    return num_joint_ > 0;
+  }
+  // Incremental path: extend the union-find with the fresh instances only.
+  size_t joint_before = num_joint_;
+  dsu_parent_.resize(n);
+  dsu_size_.resize(n, 1);
+  dsu_min_.resize(n);
+  placement_.resize(n, Placement::kJoint);
+  for (uint32_t i = static_cast<uint32_t>(first_new); i < n; ++i) {
+    dsu_parent_[i] = i;
+    dsu_size_[i] = 1;
+    dsu_min_[i] = i;
+  }
+  bool demoted = false;
+  for (uint32_t i = static_cast<uint32_t>(first_new); i < n; ++i) {
+    AtomsOf(instances_[i].residual);
+    for (ptl::PropId p : atoms_scratch_) {
+      auto [e, inserted] = atom_owner_.Emplace(p, i);
+      if (!inserted) DsuUnion(i, e->second, first_new, &demoted);
+    }
+  }
+  if (demoted) {
+    TIC_RETURN_NOT_OK(RebuildPlacements());
+    return true;
+  }
+  for (uint32_t i = static_cast<uint32_t>(first_new); i < n; ++i) {
+    Placement pl = Placement::kJoint;
+    if (dsu_size_[DsuFind(i)] == 1) {
+      TIC_ASSIGN_OR_RETURN(pl, PlaceOne(i));
+    }
+    placement_[i] = pl;
+    if (pl == Placement::kJoint) ++num_joint_;
+  }
+  return num_joint_ != joint_before;
+}
+
+void Monitor::OnLetterFlip(ptl::PropId p, bool value) {
+  const uint64_t* packed = cohort_touch_.Get(p);
+  if (packed == nullptr) return;
+  Cohort& ch = cohorts_[*packed >> 32];
+  uint32_t slot = static_cast<uint32_t>(*packed & 0xFFFFFFFFu);
+  if (value) {
+    if (ch.hot_count[slot]++ == 0) {
+      ch.hot_pos[slot] = static_cast<uint32_t>(ch.hot_slots.size());
+      ch.hot_slots.push_back(slot);
+    }
+  } else if (--ch.hot_count[slot] == 0) {
+    // Swap-remove; fix the displaced slot's position index.
+    uint32_t at = ch.hot_pos[slot];
+    uint32_t last = ch.hot_slots[ch.hot_slots.size() - 1];
+    ch.hot_slots[at] = last;
+    ch.hot_pos[last] = at;
+    ch.hot_slots.pop_back();
+  }
+}
+
+Status Monitor::CohortStepAll(const ptl::PropState& w, MonitorVerdict* verdict,
+                              bool* all_live) {
+  TIC_SPAN("monitor.cohort_step");
+  bool live = true;
+  for (Cohort& ch : cohorts_) {
+    const size_t n = ch.states.size();
+    if (n == 0) continue;
+    bool discovered = false;
+    uint64_t cohort_misses = 0;
+    cohort_steps_ += n;
+    if (ch.uniform && ch.hot_slots.empty()) {
+      // Every slot sits in states[0] and no slot has a true letter: the
+      // whole cohort advances with ONE cell read.
+      bool miss = false;
+      TIC_ASSIGN_OR_RETURN(uint32_t cell,
+                           CohortCell(&ch, ch.states[0], ch.zero_sig, &miss));
+      ch.states[0] = cell & kCellNextMask;
+      live = live && (cell >> 31) != 0;
+      if (miss) {
+        discovered = true;
+        ++cohort_misses;
+      }
+    } else {
+      if (ch.uniform) {
+        // Leave the uniform-stale representation before per-slot stepping.
+        for (size_t i = 1; i < n; ++i) ch.states[i] = ch.states[0];
+        ch.uniform = false;
+      }
+      if (gather_scratch_.size() < n) gather_scratch_.resize(n);
+      flat::GatherRow(ch.table.data(), ch.cols, ch.zero_sig, ch.states.data(),
+                      n, gather_scratch_.data());
+      // Hot slots (a true letter of their own) see a non-zero signature;
+      // their cells override the gathered zero-signature row. CohortCell may
+      // grow the table, but the gather already copied cell VALUES, which
+      // stay valid across growth.
+      for (uint32_t slot : ch.hot_slots) {
+        TIC_ASSIGN_OR_RETURN(
+            uint32_t sig,
+            ch.ts->InternSignature(w, ch.letters.data() + slot * ch.stride,
+                                   ch.stride));
+        bool miss = false;
+        TIC_ASSIGN_OR_RETURN(gather_scratch_[slot],
+                             CohortCell(&ch, ch.states[slot], sig, &miss));
+        if (miss) {
+          discovered = true;
+          ++cohort_misses;
+        }
+      }
+      uint32_t and_acc = ~0u;
+      uint32_t or_acc = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t cell = gather_scratch_[i];
+        if (cell == kCellUndiscovered) {
+          // Only untouched slots can still be unresolved (touched ones were
+          // filled above), so the signature is the zero signature.
+          bool miss = false;
+          TIC_ASSIGN_OR_RETURN(
+              cell, CohortCell(&ch, ch.states[i], ch.zero_sig, &miss));
+          discovered = true;
+          ++cohort_misses;
+        }
+        ch.states[i] = cell & kCellNextMask;
+        and_acc &= cell;
+        or_acc |= cell;
+      }
+      live = live && (and_acc >> 31) != 0;
+      // All slots landed on one state: back to the single-cell fast path.
+      ch.uniform = ((and_acc ^ or_acc) & kCellNextMask) == 0;
+    }
+    cohort_table_hits_ += n - std::min<uint64_t>(n, cohort_misses);
+    // Offline minimization trigger — checked only when this update resolved a
+    // new cell, so the steady state takes no TransitionSystem lock at all.
+    if (discovered && options_.cohort_minimize_interval > 0) {
+      uint64_t sets = ch.ts->num_state_sets();
+      if (sets >= ch.sets_at_minimize + options_.cohort_minimize_interval) {
+        ptl::MinimizeStats ms = ch.ts->MinimizeNow();
+        TIC_GAUGE_SET("monitor/cohort_collapsed_sets", ms.collapsed_sets);
+        // Representatives are valid under every letter (liveness and literal
+        // masks are class-invariant), so live states remap without replay.
+        for (size_t i = 0; i < n; ++i) {
+          ch.states[i] = ch.ts->Representative(ch.states[i]);
+        }
+        ch.sets_at_minimize = ch.ts->num_state_sets();
+      }
+    }
+  }
+  *all_live = live;
+  verdict->num_cohorts = cohorts_.size();
+  verdict->num_cohort_instances = num_cohort_slots_;
+  TIC_GAUGE_SET("monitor/cohorts", cohorts_.size());
+  TIC_GAUGE_SET("monitor/cohort_instances", num_cohort_slots_);
+  TIC_GAUGE_SET("monitor/gather_width", flat::GatherWidth());
   return Status::OK();
 }
 
@@ -606,7 +1022,13 @@ Status Monitor::AutomatonApply(bool joint_changed, const ptl::PropState& w,
     std::unordered_set<ptl::Formula> distinct;
     std::vector<ptl::Formula> parts;
     parts.reserve(instances_.size());
-    for (const Instance& inst : instances_) {
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      // With cohort stepping on, letter-disjoint instances are advanced in
+      // SoA lockstep; only atom-sharing (and compile-fallback) instances
+      // remain in the joint conjunction. An empty placement_ means cohorting
+      // is off and every instance is joint.
+      if (!placement_.empty() && placement_[i] != Placement::kJoint) continue;
+      const Instance& inst = instances_[i];
       if (distinct.insert(inst.residual).second) parts.push_back(inst.residual);
     }
     num_joint_classes_ = parts.size();
@@ -644,8 +1066,14 @@ Status Monitor::AutomatonApply(bool joint_changed, const ptl::PropState& w,
     // so catching up after a fresh element costs one rewrite per past state,
     // exactly like the progression backend's GroundAndCatchUp, not a tableau
     // per state.
-    for (const ptl::PropState& st : word_) {
-      TIC_ASSIGN_OR_RETURN(auto_current_, AutoStep(auto_current_, st));
+    for (const WordEntry& e : word_) {
+      for (uint64_t r = 0; r < e.repeat; ++r) {
+        TIC_ASSIGN_OR_RETURN(uint32_t next, AutoStep(auto_current_, e.w));
+        // Memoized deterministic steps: a self-loop is this run's fixpoint,
+        // so a long run of a recurring state replays in O(1).
+        if (next == auto_current_) break;
+        auto_current_ = next;
+      }
     }
   } else {
     TIC_SPAN("monitor.automaton_step");
@@ -688,16 +1116,35 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     return verdict;
   }
 
-  // New relevant elements introduced by this state? The scratch set keeps its
-  // warm buckets across updates — the steady-state scan allocates nothing.
+  // New relevant elements introduced by this state? After the first update
+  // the scan is O(delta): an element can only join the active domain through
+  // an inserted tuple that survives the transaction, so only the txn's ops
+  // are examined — never the whole database. The first update (which may sit
+  // on a non-empty starting history) scans the full state once.
   active_scratch_.Clear();
-  history_.state(t).CollectActiveDomain(&active_scratch_);
   std::vector<Value> fresh;
-  active_scratch_.ForEach([&](Value v) {
-    if (!std::binary_search(known_relevant_.begin(), known_relevant_.end(), v)) {
-      fresh.push_back(v);
+  if (cur_letter_valid_) {
+    for (const UpdateOp& op : txn) {
+      if (op.kind != UpdateOp::Kind::kInsert) continue;
+      int holds = -1;  // lazily checked once per op
+      for (Value v : op.tuple) {
+        if (std::binary_search(known_relevant_.begin(), known_relevant_.end(),
+                               v)) {
+          continue;
+        }
+        if (holds < 0) holds = history_.state(t).Holds(op.predicate, op.tuple);
+        if (holds == 1 && active_scratch_.Insert(v)) fresh.push_back(v);
+      }
     }
-  });
+  } else {
+    history_.state(t).CollectActiveDomain(&active_scratch_);
+    active_scratch_.ForEach([&](Value v) {
+      if (!std::binary_search(known_relevant_.begin(), known_relevant_.end(),
+                              v)) {
+        fresh.push_back(v);
+      }
+    });
+  }
   std::sort(fresh.begin(), fresh.end());
 
   // Enumerates every assignment over the merged domain that touches a fresh
@@ -742,7 +1189,36 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     return Status::OK();
   };
 
-  ptl::PropState w = PropStateOf(t);
+  // Current letter, maintained incrementally: the new state differs from the
+  // previous one by exactly this transaction's ops, so updating the letter is
+  // O(delta) — and `letter_changed` tells the word RLE below whether the new
+  // state extends the current run (an empty transaction costs nothing).
+  bool letter_changed = false;
+  if (cur_letter_valid_) {
+    const Vocabulary& vocab = *ffac_->vocabulary();
+    for (const UpdateOp& op : txn) {
+      if (vocab.predicate(op.predicate).builtin != Builtin::kNone) continue;
+      ptl::PropId p = Letter(op.predicate, op.tuple);
+      bool value = op.kind == UpdateOp::Kind::kInsert;
+      if (cur_letter_.Get(p) != value) {
+        cur_letter_.Set(p, value);
+        OnLetterFlip(p, value);
+        letter_changed = true;
+      }
+    }
+  } else {
+    cur_letter_ = PropStateOf(t);
+    cur_letter_valid_ = true;
+    letter_changed = true;
+  }
+  const ptl::PropState& w = cur_letter_;
+  auto append_letter = [&] {
+    if (!letter_changed && !word_.empty()) {
+      ++word_.back().repeat;
+    } else {
+      word_.push_back(WordEntry{w, 1});
+    }
+  };
 
   TIC_COUNTER_ADD("monitor/fresh_elements", fresh.size());
 
@@ -767,7 +1243,8 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     // formulas; the residual-graph automaton advances one memoized state id
     // per update. Recurring database states cost a hash lookup — no
     // progression rewrite, no conjunction rebuild, no tableau.
-    word_.push_back(w);
+    append_letter();
+    size_t first_new = instances_.size();
     if (!fresh.empty()) {
       TIC_RETURN_NOT_OK([&] {
         TIC_SPAN("monitor.fresh_instances");
@@ -779,7 +1256,43 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
                  fresh.end(), std::back_inserter(merged));
       known_relevant_ = std::move(merged);
     }
-    TIC_RETURN_NOT_OK(AutomatonApply(!fresh.empty(), w, &verdict));
+    bool cohort_live = true;
+    bool joint_live = true;
+    if (options_.cohort_stepping) {
+      // Letter-disjoint instances advance in SoA lockstep; the joint residual
+      // graph only runs when atom-sharing instances exist, and only resets
+      // its epoch when its own membership changed (a fresh batch landing
+      // entirely in cohorts no longer forces a joint replay).
+      TIC_ASSIGN_OR_RETURN(bool joint_changed, PlaceInstances(first_new));
+      TIC_RETURN_NOT_OK(CohortStepAll(w, &verdict, &cohort_live));
+      if (num_joint_ > 0) {
+        TIC_RETURN_NOT_OK(AutomatonApply(joint_changed, w, &verdict));
+        joint_live = verdict.potentially_satisfied;
+      }
+      verdict.num_residual_classes = num_joint_classes_ + cohorts_.size();
+      // Fold cohort stepping into the automaton counters: a table-cell read
+      // is this path's memo hit.
+      verdict.automaton_stats.steps += cohort_steps_;
+      verdict.automaton_stats.memo_hits += cohort_table_hits_;
+      for (const Cohort& ch : cohorts_) {
+        ptl::TransitionSystemStats s = ch.ts->stats();
+        verdict.automaton_stats.num_states += s.num_states;
+        verdict.automaton_stats.num_state_sets += s.num_state_sets;
+        verdict.automaton_stats.num_signatures += s.num_signatures;
+        verdict.automaton_stats.live_queries += s.live_queries;
+        verdict.automaton_stats.alphabet_size += s.alphabet_size;
+      }
+    } else {
+      TIC_RETURN_NOT_OK(AutomatonApply(!fresh.empty(), w, &verdict));
+      joint_live = verdict.potentially_satisfied;
+    }
+    // Exact verdict: the monitored condition is the conjunction over all
+    // instances, and sat factors across the letter-disjoint split.
+    verdict.potentially_satisfied = cohort_live && joint_live;
+    if (!verdict.potentially_satisfied) {
+      dead_ = true;
+      verdict.permanently_violated = true;
+    }
     verdict.num_instances = instances_.size();
     TIC_GAUGE_SET("monitor/instances", instances_.size());
     TIC_HISTOGRAM_RECORD("monitor/residual_size", verdict.residual_size);
@@ -793,7 +1306,7 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     last_verdict_ = verdict;
     return verdict;
   } else {
-    word_.push_back(w);
+    append_letter();
     TIC_RETURN_NOT_OK(ProgressAll(w, &verdict.num_residual_classes));
     if (!fresh.empty()) {
       TIC_RETURN_NOT_OK([&] {

@@ -9,10 +9,12 @@
 #include "checker/extension.h"
 #include "common/flat/flat_map.h"
 #include "common/flat/flat_set.h"
+#include "common/flat/small_vec.h"
 #include "common/result.h"
 #include "db/update.h"
 #include "fotl/factory.h"
 #include "ptl/progress.h"
+#include "ptl/transition_system.h"
 
 namespace tic {
 namespace checker {
@@ -73,6 +75,12 @@ struct MonitorVerdict {
   /// Cumulative counters of the shared compiled-automaton cache, when one was
   /// injected through CheckOptions (batch/trigger-level sharing).
   ptl::AutomatonCacheStats automaton_cache_stats;
+  /// Cohort lockstep stepping (CheckOptions::cohort_stepping): number of
+  /// letter-disjoint cohorts and the instances stepped through them in
+  /// structure-of-arrays form. Instances sharing ground atoms still step
+  /// through the joint residual graph and are not counted here.
+  size_t num_cohorts = 0;
+  size_t num_cohort_instances = 0;
 };
 
 /// \brief Incremental temporal integrity monitor for a universal safety
@@ -144,7 +152,24 @@ class Monitor {
   fotl::Formula matrix_ = nullptr;
   CheckOptions options_;
   MonitorMode mode_;
-  std::vector<ptl::PropState> word_;  // one per history state
+
+  // Run-length-encoded propositional word: a run of identical consecutive
+  // letters (recurring database states — the steady-state common case)
+  // shares one entry, so an empty transaction appends nothing and copies
+  // nothing, and fresh-element replays cost one transition per RUN once the
+  // stepped state reaches its per-letter fixpoint, not one per past state.
+  struct WordEntry {
+    ptl::PropState w;
+    uint64_t repeat = 1;
+  };
+  std::vector<WordEntry> word_;
+
+  // Letter of the current history state, maintained incrementally from each
+  // transaction's ops (O(delta) instead of an O(database) rescan per
+  // update). Initialized from PropStateOf on the first update so a non-empty
+  // starting history is covered.
+  ptl::PropState cur_letter_;
+  bool cur_letter_valid_ = false;
 
   History history_;
   std::vector<Value> known_relevant_;  // sorted
@@ -237,6 +262,122 @@ class Monitor {
   // Per-update scratch, cleared (buckets kept warm) instead of re-allocated.
   flat::FlatSet<Value> active_scratch_;  // this state's active domain
   flat::FlatMap<ptl::Formula, size_t> class_of_scratch_;  // ProgressAll classes
+
+  // ProgressAll's persistent residual equivalence classes: maintained across
+  // updates instead of being rebuilt from formula identity every transaction.
+  // Progression is a function of the residual alone, so class membership only
+  // changes when (a) two classes' progressed residuals collide — merged
+  // in-place after each update — or (b) instances are added, which
+  // invalidates the partition wholesale (progress_classes_instances_ guards).
+  struct ProgressClass {
+    ptl::Formula residual;
+    std::vector<uint32_t> members;  // instance indices
+  };
+  std::vector<ProgressClass> progress_classes_;
+  size_t progress_classes_instances_ = 0;  // instances_.size() when built
+
+  // --- Cohort lockstep state (kAutomaton + CheckOptions::cohort_stepping) ---
+  // Instances whose residuals share no ground atoms (union-find over PropIds)
+  // are *letter-disjoint*: sat(AND of their residuals) equals AND of their
+  // individual sat verdicts, because models over disjoint atom sets compose.
+  // Each such singleton instance compiles through the renaming-invariant
+  // AutomatonCache, so symmetric instances land on one shared
+  // ptl::TransitionSystem and form a *cohort*: current state-set ids in
+  // structure-of-arrays form, advanced per transaction with ONE letter
+  // signature per touched slot plus a word-parallel gather (flat::GatherRow)
+  // over a dense `state x signature` cell table. Untouched slots — the
+  // overwhelming steady-state majority — share the all-false signature, so a
+  // transaction that touches none of a cohort's letters advances the whole
+  // cohort with one table row gather (or one cell read when all slots sit in
+  // the same state). Instances that DO share atoms keep the exact joint
+  // residual-graph path below.
+  enum class Placement : uint8_t {
+    kJoint,   // steps through the joint residual graph (shares atoms, or
+              // compile fell back: budget blowup, false residual)
+    kCohort,  // letter-disjoint, stepped in SoA lockstep
+    kInert,   // residual is `true`: never violated, nothing to step
+  };
+  struct Cohort {
+    std::shared_ptr<ptl::TransitionSystem> ts;
+    uint32_t stride = 0;  // canonical letters per slot
+    // SoA per slot: current state-set id, owning instance index, and the
+    // canonical-index -> PropId letter block at [slot*stride, (slot+1)*stride).
+    flat::SmallVec<uint32_t, 8> states;
+    flat::SmallVec<uint32_t, 8> members;
+    flat::SmallVec<ptl::PropId, 8> letters;
+    // Hot slots — slots with at least one TRUE letter in the current state —
+    // maintained persistently from each transaction's letter flips (O(delta)
+    // per update) instead of rescanning the letter's trues per step:
+    // hot_count[slot] counts true letters, hot_slots lists slots with a
+    // non-zero count (swap-remove order, hot_pos[slot] = index in hot_slots).
+    flat::SmallVec<uint32_t, 8> hot_count;
+    flat::SmallVec<uint32_t, 8> hot_slots;
+    flat::SmallVec<uint32_t, 8> hot_pos;
+    uint32_t zero_sig = 0;  // interned all-false signature id
+    // Dense row-major `rows x cols` cell table over (state-set id, signature
+    // id): cell = live<<31 | any_survivor<<30 | next, kCellUndiscovered until
+    // first resolved through TransitionSystem::StepSig. Monitor-side (not in
+    // the TS) so the gather runs without the TS mutex.
+    std::vector<uint32_t> table;
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    // All slots sit in states[0] (slots past 0 may be stale): a transaction
+    // touching nothing steps the whole cohort with ONE cell read. Slots are
+    // materialized (fill with states[0]) before the first gather.
+    bool uniform = true;
+    uint64_t sets_at_minimize = 0;  // num_state_sets at the last MinimizeNow
+  };
+  static constexpr uint32_t kCellNextMask = (1u << 30) - 1;
+  static constexpr uint32_t kCellUndiscovered = 0xFFFFFFFFu;
+  std::vector<Cohort> cohorts_;
+  flat::FlatMap<const void*, uint32_t> cohort_by_ts_;  // TS ptr -> cohort idx
+  std::vector<Placement> placement_;  // per instance; empty = cohorting off
+  bool cohorts_built_ = false;
+  size_t num_joint_ = 0;         // instances with Placement::kJoint
+  size_t num_cohort_slots_ = 0;  // instances with Placement::kCohort
+  // PropId -> packed (cohort << 32 | slot). Letter-disjointness makes the
+  // owner unique, so routing a letter flip to its hot slot is one probe.
+  flat::FlatMap<ptl::PropId, uint64_t> cohort_touch_;
+  std::vector<uint32_t> gather_scratch_;  // per-cohort cell buffer, kept warm
+  // Persistent union-find over instance indices, keyed by shared atoms:
+  // atom_owner_ maps each residual atom to the first instance that mentioned
+  // it, dsu_min_ tracks the lowest member index per component (placement_ of
+  // that member tells whether a merge demotes a cohorted instance).
+  std::vector<uint32_t> dsu_parent_;
+  std::vector<uint32_t> dsu_size_;
+  std::vector<uint32_t> dsu_min_;
+  flat::FlatMap<ptl::PropId, uint32_t> atom_owner_;
+  uint64_t cohort_steps_ = 0;       // slots advanced, lifetime
+  uint64_t cohort_table_hits_ = 0;  // slots answered by the dense table
+  std::vector<ptl::PropId> atoms_scratch_;  // AtomsOf output, reused
+
+  // Routes one current-letter value change to its owning cohort slot's hot
+  // count (no-op for letters no cohort owns). Called for every flip the
+  // incremental letter update detects.
+  void OnLetterFlip(ptl::PropId p, bool value);
+
+  uint32_t DsuFind(uint32_t i);
+  // Unions the components of `a` and `b`; sets *demoted when the merged
+  // component absorbs a previously cohorted instance (slow-path trigger).
+  void DsuUnion(uint32_t a, uint32_t b, size_t first_new, bool* demoted);
+  // Distinct residual atoms of `f` into atoms_scratch_ (explicit stack).
+  void AtomsOf(ptl::Formula f);
+  // Places instances [first_new, instances_.size()): extends the union-find,
+  // appends still-singleton instances to cohorts (replaying word_ minus the
+  // current state), and routes the rest to the joint path. A merge that
+  // demotes a cohorted instance rebuilds all placements from scratch.
+  // Returns true when joint membership changed (epoch reset needed).
+  Result<bool> PlaceInstances(size_t first_new);
+  Result<Placement> PlaceOne(uint32_t idx);
+  Status RebuildPlacements();
+  // Advances every cohort through `w`; *all_live = AND of per-slot liveness.
+  Status CohortStepAll(const ptl::PropState& w, MonitorVerdict* verdict,
+                       bool* all_live);
+  // Dense-table cell for (state, sig), resolving through StepSig on first
+  // discovery; grows the table as needed. Sets *discovered on a resolve.
+  Result<uint32_t> CohortCell(Cohort* ch, uint32_t state, uint32_t sig,
+                              bool* discovered);
+  void EnsureCohortTable(Cohort* ch, uint32_t rows_needed, uint32_t cols_needed);
 
   // Interns `f` as an automaton state (no tableau work).
   uint32_t AutoIntern(ptl::Formula f);

@@ -1,0 +1,88 @@
+#include "common/flat/gather.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(TIC_SIMD_ENABLED)
+#define TIC_GATHER_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace tic {
+namespace flat {
+namespace {
+
+void GatherRowScalar(const uint32_t* table, uint32_t cols, uint32_t col,
+                     const uint32_t* states, size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = table[static_cast<size_t>(states[i]) * cols + col];
+  }
+}
+
+#ifdef TIC_GATHER_HAVE_AVX2
+__attribute__((target("avx2"))) void GatherRowAvx2(const uint32_t* table,
+                                                   uint32_t cols, uint32_t col,
+                                                   const uint32_t* states,
+                                                   size_t n, uint32_t* out) {
+  const __m256i vcols = _mm256_set1_epi32(static_cast<int>(cols));
+  const __m256i vcol = _mm256_set1_epi32(static_cast<int>(col));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i s = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(states + i));
+    // Row-major cell index: states[i] * cols + col. Table ids stay below
+    // 2^30 (the monitor packs verdict bits above bit 29), so the 32-bit
+    // multiply cannot wrap for any real table.
+    __m256i idx = _mm256_add_epi32(_mm256_mullo_epi32(s, vcols), vcol);
+    __m256i v = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(table), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  for (; i < n; ++i) {
+    out[i] = table[static_cast<size_t>(states[i]) * cols + col];
+  }
+}
+#endif
+
+using GatherFn = void (*)(const uint32_t*, uint32_t, uint32_t, const uint32_t*,
+                          size_t, uint32_t*);
+
+struct Backend {
+  GatherFn fn;
+  uint32_t width;
+  const char* name;
+};
+
+bool SimdDisabledByEnv() {
+  const char* v = std::getenv("TIC_SIMD");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "OFF") == 0 ||
+         std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0;
+}
+
+Backend PickBackend() {
+#ifdef TIC_GATHER_HAVE_AVX2
+  if (!SimdDisabledByEnv() && __builtin_cpu_supports("avx2")) {
+    return {GatherRowAvx2, 8, "avx2"};
+  }
+#endif
+  return {GatherRowScalar, 1, "scalar"};
+}
+
+// Resolved once, before main: steady-state stepping never re-checks CPU
+// features or the environment.
+const Backend kBackend = PickBackend();
+
+}  // namespace
+
+void GatherRow(const uint32_t* table, uint32_t cols, uint32_t col,
+               const uint32_t* states, size_t n, uint32_t* out) {
+  kBackend.fn(table, cols, col, states, n, out);
+}
+
+uint32_t GatherWidth() { return kBackend.width; }
+
+const char* GatherBackendName() { return kBackend.name; }
+
+}  // namespace flat
+}  // namespace tic

@@ -1,0 +1,38 @@
+#ifndef TIC_COMMON_FLAT_GATHER_H_
+#define TIC_COMMON_FLAT_GATHER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tic {
+namespace flat {
+
+/// Word-parallel row gather over a dense row-major `rows x cols` uint32 table:
+/// for each i in [0, n), `out[i] = table[states[i] * cols + col]`. This is the
+/// cohort lockstep primitive: `states` is a structure-of-arrays block of
+/// current automaton state ids sharing one letter class `col`, and the gather
+/// advances all of them in one pass.
+///
+/// The backend is chosen once at process start: AVX2 `vpgatherdd` when the
+/// build enables TIC_SIMD (CMake option, default ON), the CPU reports AVX2,
+/// and the environment variable TIC_SIMD is not set to `off`/`0`/`false`;
+/// otherwise a portable scalar loop. Both produce identical output for
+/// identical input — the `simd-scalar` ctest config pins the environment
+/// override to keep the portable path honest.
+///
+/// Callers guarantee every `states[i] < rows` and `col < cols`; `out` may
+/// alias `states` (each lane is read before it is written).
+void GatherRow(const uint32_t* table, uint32_t cols, uint32_t col,
+               const uint32_t* states, size_t n, uint32_t* out);
+
+/// Lanes the selected backend advances per hardware step: 8 for AVX2, 1 for
+/// scalar. Telemetry only — GatherRow handles any `n` on any backend.
+uint32_t GatherWidth();
+
+/// "avx2" or "scalar"; stable for the process lifetime.
+const char* GatherBackendName();
+
+}  // namespace flat
+}  // namespace tic
+
+#endif  // TIC_COMMON_FLAT_GATHER_H_

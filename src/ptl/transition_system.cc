@@ -28,6 +28,17 @@ struct IdVecHash {
   }
 };
 
+// Lexicographic word comparison of two equal-width bitsets (the minimizer's
+// initial partition groups by exact mask content, never by hash).
+int CompareBits(const FlatBits& a, const FlatBits& b) {
+  const uint64_t* wa = a.words();
+  const uint64_t* wb = b.words();
+  for (uint32_t i = 0; i < a.num_words(); ++i) {
+    if (wa[i] != wb[i]) return wa[i] < wb[i] ? -1 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 // All of the compiled automaton's mutable state. Methods assume the owning
@@ -81,6 +92,13 @@ struct TransitionSystem::Rep {
   uint64_t steps = 0;
   uint64_t memo_hits = 0;
   uint64_t live_queries = 0;
+
+  // Minimization artifacts: bisimulation class per tableau state and the
+  // set-id -> representative-set-id table from the last MinimizeNow run.
+  // Both identity-by-default: RepOf answers for ids interned after the run.
+  std::vector<uint32_t> state_class;
+  std::vector<uint32_t> set_rep;
+  MinimizeStats min_stats;
 
   // Scratch reused across Step calls (all under the owner's lock).
   FlatBits sig_scratch;
@@ -269,7 +287,8 @@ struct TransitionSystem::Rep {
 
   // Projects `w` onto the alphabet through the caller's canonical letters and
   // interns the signature.
-  Result<uint32_t> InternSig(const PropState& w, const std::vector<PropId>& letters) {
+  Result<uint32_t> InternSig(const PropState& w, const PropId* letters,
+                             size_t num_letters) {
     uint32_t width = static_cast<uint32_t>(alphabet.size());
     // Reuses sig_scratch (sized by BuildAlphabet): no per-Step construction
     // even when the alphabet spills past FlatBits' inline words.
@@ -277,7 +296,7 @@ struct TransitionSystem::Rep {
     sig.ClearAll();
     for (uint32_t j = 0; j < width; ++j) {
       uint32_t canon = canon_of_alpha[j];
-      if (canon >= letters.size()) {
+      if (canon >= num_letters) {
         return Status::InvalidArgument(
             "letter mapping too small for this transition system");
       }
@@ -285,6 +304,165 @@ struct TransitionSystem::Rep {
     }
     bool inserted = false;
     return sig_table.Intern(sig, 0, &inserted);
+  }
+
+  uint32_t RepOf(uint32_t set_id) const {
+    return set_id < set_rep.size() ? set_rep[set_id] : set_id;
+  }
+
+  // Shared transition body of Step and StepSig: memo probe, survivor filter,
+  // successor union, lazy liveness. Newly computed successors are
+  // canonicalized through the representative map so post-minimization
+  // stepping converges onto class representatives.
+  Result<TransitionStep> StepBySig(uint32_t set_id, uint32_t sig_id) {
+    uint64_t key = (static_cast<uint64_t>(set_id) << 32) | sig_id;
+    if (const TransitionStep* hit = memo.Get(key)) {
+      ++memo_hits;
+      TIC_COUNTER_ADD("automaton/transition_memo_hits", 1);
+      return *hit;
+    }
+    TIC_COUNTER_ADD("automaton/transition_memo_misses", 1);
+
+    sig_scratch.AssignWords(sig_table.Row(sig_id));
+    const std::vector<uint32_t>& current = set_by_id[set_id];
+    survivors_scratch.clear();
+    for (uint32_t s : current) {
+      if (Compatible(s, sig_scratch)) survivors_scratch.push_back(s);
+    }
+
+    TransitionStep step;
+    step.any_survivor = !survivors_scratch.empty();
+    if (!step.any_survivor) {
+      step.next = empty_set;
+      step.live = false;
+    } else {
+      next_scratch.clear();
+      for (uint32_t s : survivors_scratch) {
+        TIC_RETURN_NOT_OK(EnsureExpanded(s));
+        next_scratch.insert(next_scratch.end(), edges[s].begin(),
+                            edges[s].end());
+      }
+      std::sort(next_scratch.begin(), next_scratch.end());
+      next_scratch.erase(std::unique(next_scratch.begin(), next_scratch.end()),
+                         next_scratch.end());
+      step.next = RepOf(InternSet(next_scratch));
+      step.live = false;
+      for (uint32_t s : survivors_scratch) {
+        TIC_ASSIGN_OR_RETURN(bool l, LiveState(s));
+        if (l) {
+          step.live = true;
+          break;
+        }
+      }
+    }
+    memo.Emplace(key, step);
+    return step;
+  }
+
+  // Partition refinement over discovered tableau states, lifted to state-sets
+  // (see the header comment on MinimizeNow for the soundness argument).
+  MinimizeStats Minimize() {
+    GrowStateMeta();
+    const uint32_t n = static_cast<uint32_t>(pos_mask.size());
+    state_class.assign(n, 0);
+    std::vector<uint32_t> expanded_order;
+    expanded_order.reserve(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      if (expanded[s]) expanded_order.push_back(s);
+    }
+    // Initial partition: resolved liveness plus exact literal masks. A finer
+    // partition is always sound, so kUnknown simply counts as its own
+    // liveness value and unexpanded states stay singleton.
+    std::sort(expanded_order.begin(), expanded_order.end(),
+              [&](uint32_t a, uint32_t b) {
+                if (live[a] != live[b]) return live[a] < live[b];
+                int c = CompareBits(pos_mask[a], pos_mask[b]);
+                if (c != 0) return c < 0;
+                return CompareBits(neg_mask[a], neg_mask[b]) < 0;
+              });
+    uint32_t num_classes = 0;
+    for (size_t i = 0; i < expanded_order.size(); ++i) {
+      if (i > 0) {
+        uint32_t p = expanded_order[i - 1];
+        uint32_t s = expanded_order[i];
+        bool same = live[p] == live[s] &&
+                    CompareBits(pos_mask[p], pos_mask[s]) == 0 &&
+                    CompareBits(neg_mask[p], neg_mask[s]) == 0;
+        if (!same) ++num_classes;
+      }
+      state_class[expanded_order[i]] = num_classes;
+    }
+    if (!expanded_order.empty()) ++num_classes;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (!expanded[s]) state_class[s] = num_classes++;
+    }
+
+    // Refine by successor-class sets until stable. Rounds only split classes,
+    // so the count is nondecreasing and bounded by n — termination in <= n
+    // rounds, each O(states * out-degree + sort).
+    std::vector<std::vector<uint32_t>> succ_sig(n);
+    std::vector<uint32_t> next_class(n);
+    while (true) {
+      for (uint32_t s : expanded_order) {
+        std::vector<uint32_t>& sig = succ_sig[s];
+        sig.clear();
+        for (uint32_t w : edges[s]) sig.push_back(state_class[w]);
+        std::sort(sig.begin(), sig.end());
+        sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+      }
+      std::sort(expanded_order.begin(), expanded_order.end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (state_class[a] != state_class[b]) {
+                    return state_class[a] < state_class[b];
+                  }
+                  return succ_sig[a] < succ_sig[b];
+                });
+      uint32_t count = 0;
+      for (size_t i = 0; i < expanded_order.size(); ++i) {
+        if (i > 0) {
+          uint32_t p = expanded_order[i - 1];
+          uint32_t s = expanded_order[i];
+          if (state_class[p] != state_class[s] || succ_sig[p] != succ_sig[s]) {
+            ++count;
+          }
+        }
+        next_class[expanded_order[i]] = count;
+      }
+      if (!expanded_order.empty()) ++count;
+      for (uint32_t s = 0; s < n; ++s) {
+        if (!expanded[s]) next_class[s] = count++;
+      }
+      bool stable = count == num_classes;
+      num_classes = count;
+      state_class.swap(next_class);
+      if (stable) break;
+    }
+
+    // Lift to state-sets: equivalence = equal member-class sets, the
+    // representative is the lowest id (ascending scan: first occurrence wins).
+    const uint32_t nsets = static_cast<uint32_t>(set_by_id.size());
+    set_rep.assign(nsets, 0);
+    flat::FlatMap<std::vector<uint32_t>, uint32_t, IdVecHash> rep_of_sig;
+    std::vector<uint32_t> sig;
+    uint64_t collapsed = 0;
+    for (uint32_t i = 0; i < nsets; ++i) {
+      sig.assign(set_by_id[i].begin(), set_by_id[i].end());
+      for (uint32_t& s : sig) s = state_class[s];
+      std::sort(sig.begin(), sig.end());
+      sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+      auto [e, inserted] = rep_of_sig.Emplace(sig, i);
+      set_rep[i] = e->second;
+      if (!inserted) ++collapsed;
+    }
+    ++min_stats.runs;
+    min_stats.tableau_states = n;
+    min_stats.tableau_classes = num_classes;
+    min_stats.state_sets = nsets;
+    min_stats.collapsed_sets = collapsed;
+    TIC_COUNTER_ADD("automaton/minimize_runs", 1);
+    TIC_GAUGE_SET("automaton/minimize_classes", num_classes);
+    TIC_GAUGE_SET("automaton/minimize_collapsed_sets", collapsed);
+    return min_stats;
   }
 };
 
@@ -354,55 +532,61 @@ Result<TransitionStep> TransitionSystem::Step(uint32_t set_id,
     return Status::InvalidArgument("unknown state-set id");
   }
   ++r.steps;
-  TIC_ASSIGN_OR_RETURN(uint32_t sig_id, r.InternSig(letter, letters));
-  uint64_t key = (static_cast<uint64_t>(set_id) << 32) | sig_id;
-  if (const TransitionStep* hit = r.memo.Get(key)) {
-    ++r.memo_hits;
-    TIC_COUNTER_ADD("automaton/transition_memo_hits", 1);
-    return *hit;
-  }
-  TIC_COUNTER_ADD("automaton/transition_memo_misses", 1);
-
-  r.sig_scratch.AssignWords(r.sig_table.Row(sig_id));
-  const std::vector<uint32_t>& current = r.set_by_id[set_id];
-  r.survivors_scratch.clear();
-  for (uint32_t s : current) {
-    if (r.Compatible(s, r.sig_scratch)) r.survivors_scratch.push_back(s);
-  }
-
-  TransitionStep step;
-  step.any_survivor = !r.survivors_scratch.empty();
-  if (!step.any_survivor) {
-    step.next = r.empty_set;
-    step.live = false;
-  } else {
-    r.next_scratch.clear();
-    for (uint32_t s : r.survivors_scratch) {
-      TIC_RETURN_NOT_OK(r.EnsureExpanded(s));
-      r.next_scratch.insert(r.next_scratch.end(), r.edges[s].begin(),
-                            r.edges[s].end());
-    }
-    std::sort(r.next_scratch.begin(), r.next_scratch.end());
-    r.next_scratch.erase(
-        std::unique(r.next_scratch.begin(), r.next_scratch.end()),
-        r.next_scratch.end());
-    step.next = r.InternSet(r.next_scratch);
-    step.live = false;
-    for (uint32_t s : r.survivors_scratch) {
-      TIC_ASSIGN_OR_RETURN(bool l, r.LiveState(s));
-      if (l) {
-        step.live = true;
-        break;
-      }
-    }
-  }
-  r.memo.Emplace(key, step);
-  return step;
+  TIC_ASSIGN_OR_RETURN(uint32_t sig_id,
+                       r.InternSig(letter, letters.data(), letters.size()));
+  return r.StepBySig(set_id, sig_id);
 }
 
 Result<TransitionStep> TransitionSystem::Step(uint32_t set_id,
                                               const PropState& letter) {
   return Step(set_id, letter, default_letters_);
+}
+
+Result<uint32_t> TransitionSystem::InternSignature(
+    const PropState& w, const std::vector<PropId>& letters) {
+  return InternSignature(w, letters.data(), letters.size());
+}
+
+Result<uint32_t> TransitionSystem::InternSignature(const PropState& w,
+                                                   const PropId* letters,
+                                                   size_t num_letters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep_->InternSig(w, letters, num_letters);
+}
+
+Result<TransitionStep> TransitionSystem::StepSig(uint32_t set_id,
+                                                 uint32_t sig_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rep& r = *rep_;
+  if (set_id >= r.set_by_id.size()) {
+    return Status::InvalidArgument("unknown state-set id");
+  }
+  if (sig_id >= r.sig_table.size()) {
+    return Status::InvalidArgument("unknown signature id");
+  }
+  ++r.steps;
+  return r.StepBySig(set_id, sig_id);
+}
+
+MinimizeStats TransitionSystem::MinimizeNow() {
+  TIC_SPAN("automaton.minimize");
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep_->Minimize();
+}
+
+uint32_t TransitionSystem::Representative(uint32_t set_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep_->RepOf(set_id);
+}
+
+uint64_t TransitionSystem::num_state_sets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep_->set_by_id.size();
+}
+
+MinimizeStats TransitionSystem::minimize_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep_->min_stats;
 }
 
 Result<bool> TransitionSystem::Live(uint32_t set_id) {

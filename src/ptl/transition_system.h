@@ -32,6 +32,16 @@ struct TransitionStep {
   bool live = false;
 };
 
+/// \brief Counters of the offline minimization pass (MinimizeNow). `runs` is
+/// cumulative; the remaining fields describe the most recent run.
+struct MinimizeStats {
+  uint64_t runs = 0;             ///< MinimizeNow calls over the system's lifetime
+  uint64_t tableau_states = 0;   ///< tableau states covered by the last run
+  uint64_t tableau_classes = 0;  ///< bisimulation classes after the last run
+  uint64_t state_sets = 0;       ///< interned state-sets covered by the last run
+  uint64_t collapsed_sets = 0;   ///< sets remapped to a lower representative
+};
+
 /// \brief Size and cache counters of one compiled transition system,
 /// cumulative over its lifetime (which may span several monitors when shared
 /// through an AutomatonCache).
@@ -117,6 +127,47 @@ class TransitionSystem {
   /// accepting infinite path? `Live(initial())` decides the compiled formula
   /// itself (used for the empty-word case).
   Result<bool> Live(uint32_t set_id);
+
+  /// Interns the letter signature of `w` projected through `letters` without
+  /// stepping anything. Cohort lockstep stepping computes one signature per
+  /// transaction and fans it across many StepSig calls; the returned ids are
+  /// the ones Step's transition memo is keyed by. The pointer overload serves
+  /// flattened structure-of-arrays letter storage (`letters[0..num_letters)`
+  /// maps canonical indices to the caller's PropIds).
+  Result<uint32_t> InternSignature(const PropState& w,
+                                   const std::vector<PropId>& letters);
+  Result<uint32_t> InternSignature(const PropState& w, const PropId* letters,
+                                   size_t num_letters);
+
+  /// Pushes one already-interned signature through `set_id`: identical to
+  /// Step minus the letter projection, sharing the same memo. This is the
+  /// per-slot cohort operation — O(1) on a memo hit regardless of alphabet.
+  Result<TransitionStep> StepSig(uint32_t set_id, uint32_t sig_id);
+
+  /// Offline minimization: partition refinement (Hopcroft/Moore style) over
+  /// the tableau states discovered so far — initial classes by resolved
+  /// liveness and exact literal masks, unexpanded states pinned to singleton
+  /// classes (their edges are unknown), refined by successor-class sets to a
+  /// fixpoint — then lifted to interned state-sets: two sets are equivalent
+  /// iff their member-class sets coincide, and each maps to the lowest set id
+  /// of its class. Representatives are valid under EVERY letter
+  /// (compatibility depends only on the class-invariant literal masks, and
+  /// liveness is class-invariant), so callers may remap live state ids at any
+  /// time without replaying; ids interned after a run map to themselves until
+  /// the next run. Step/StepSig canonicalize newly computed successors
+  /// through the representative map, so symmetric cohorts converge onto the
+  /// collapsed state space without caller-side work.
+  MinimizeStats MinimizeNow();
+
+  /// Representative state-set id of `set_id` per the last MinimizeNow run
+  /// (identity before the first run and for ids interned since).
+  uint32_t Representative(uint32_t set_id) const;
+
+  /// Interned state-set count (the cohort minimization trigger reads this
+  /// instead of building a full stats() struct).
+  uint64_t num_state_sets() const;
+
+  MinimizeStats minimize_stats() const;
 
   TransitionSystemStats stats() const;
 

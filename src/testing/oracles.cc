@@ -9,6 +9,7 @@
 #include "checker/monitor.h"
 #include "checker/trigger.h"
 #include "fotl/printer.h"
+#include "ptl/transition_system.h"
 #include "ptl/word.h"
 #include "testing/reproducer.h"
 
@@ -99,6 +100,125 @@ Result<OracleResult> BackendVerdictsAgree(const FotlCase& c) {
     return Fail("planted divergence (test-only fault hook)", c);
   }
   return OracleResult{};
+}
+
+Result<OracleResult> CohortConfigsAgree(const FotlCase& c) {
+  // Four independent constructions of the same per-update verdict sequence:
+  // the literal progression procedure, the joint residual graph (cohorts
+  // off), cohort lockstep with minimization forced every discovery, and
+  // cohort lockstep with minimization disabled.
+  struct Config {
+    const char* name;
+    checker::CheckOptions opts;
+  };
+  std::vector<Config> configs(4);
+  configs[0].name = "progression";
+  configs[0].opts.backend = checker::MonitorBackend::kProgression;
+  configs[1].name = "joint";
+  configs[1].opts.cohort_stepping = false;
+  configs[2].name = "cohort+minimize";
+  configs[2].opts.cohort_minimize_interval = 1;
+  configs[3].name = "cohort";
+  configs[3].opts.cohort_minimize_interval = 0;
+
+  std::vector<std::unique_ptr<checker::Monitor>> monitors;
+  for (const Config& cfg : configs) {
+    TIC_ASSIGN_OR_RETURN(
+        auto m, checker::Monitor::Create(c.factory, c.sentence, {}, cfg.opts));
+    monitors.push_back(std::move(m));
+  }
+  for (size_t t = 0; t < c.stream.size(); ++t) {
+    TIC_ASSIGN_OR_RETURN(auto ref, monitors[0]->ApplyTransaction(c.stream[t]));
+    for (size_t i = 1; i < monitors.size(); ++i) {
+      TIC_ASSIGN_OR_RETURN(auto v, monitors[i]->ApplyTransaction(c.stream[t]));
+      if (v.potentially_satisfied != ref.potentially_satisfied ||
+          v.permanently_violated != ref.permanently_violated) {
+        return Fail(
+            std::string("cohort config divergence at t=") + std::to_string(t) +
+                ": progression (sat=" + std::to_string(ref.potentially_satisfied) +
+                ", dead=" + std::to_string(ref.permanently_violated) + ") vs " +
+                configs[i].name + " (sat=" + std::to_string(v.potentially_satisfied) +
+                ", dead=" + std::to_string(v.permanently_violated) + ")",
+            c);
+      }
+    }
+  }
+  return OracleResult{};
+}
+
+Result<OracleResult> MinimizedAutomatonAgrees(ptl::Factory* fac, ptl::Formula f,
+                                              Entropy* ent, size_t steps) {
+  OracleResult out;
+  // Two private compilations of the same formula: `ref` is never minimized,
+  // `min` is minimized at random points mid-stream. Budget blowups (random
+  // non-safe formulas with huge covers) are not the minimizer's fault — count
+  // the case as vacuously passed.
+  auto ref = ptl::TransitionSystem::Compile(fac, f);
+  auto min = ptl::TransitionSystem::Compile(fac, f);
+  if (!ref.ok() || !min.ok()) return out;
+  ptl::TransitionSystem& a = **ref;
+  ptl::TransitionSystem& b = **min;
+
+  uint32_t sa = a.initial();
+  uint32_t sb = b.initial();
+  const std::vector<ptl::PropId>& letters = a.default_letters();
+  for (size_t t = 0; t < steps; ++t) {
+    ptl::PropState w;
+    for (ptl::PropId p : letters) {
+      if (ent->Below(2) == 1) w.Set(p, true);
+    }
+    TIC_ASSIGN_OR_RETURN(ptl::TransitionStep stepa, a.Step(sa, w));
+    TIC_ASSIGN_OR_RETURN(ptl::TransitionStep stepb, b.Step(sb, w));
+    if (stepa.any_survivor != stepb.any_survivor || stepa.live != stepb.live) {
+      out.pass = false;
+      out.detail = "minimized/unminimized divergence at step " +
+                   std::to_string(t) + " (survivor " +
+                   std::to_string(stepa.any_survivor) + "/" +
+                   std::to_string(stepb.any_survivor) + ", live " +
+                   std::to_string(stepa.live) + "/" + std::to_string(stepb.live) +
+                   ") on " + ptl::ToString(*fac, f);
+      return out;
+    }
+    sa = stepa.next;
+    sb = stepb.next;
+    if (ent->Below(4) == 0) {
+      b.MinimizeNow();
+      sb = b.Representative(sb);
+    }
+  }
+
+  // Idempotence: with no new states interned in between, a second run must
+  // compute the same partition, collapse the same sets, and leave every
+  // representative where the first run put it.
+  ptl::MinimizeStats first = b.MinimizeNow();
+  uint64_t nsets = b.num_state_sets();
+  std::vector<uint32_t> reps(nsets);
+  for (uint64_t i = 0; i < nsets; ++i) {
+    reps[i] = b.Representative(static_cast<uint32_t>(i));
+  }
+  ptl::MinimizeStats second = b.MinimizeNow();
+  if (second.tableau_classes != first.tableau_classes ||
+      second.state_sets != first.state_sets ||
+      second.collapsed_sets != first.collapsed_sets) {
+    out.pass = false;
+    out.detail = "minimization not idempotent (classes " +
+                 std::to_string(first.tableau_classes) + " -> " +
+                 std::to_string(second.tableau_classes) + ", collapsed " +
+                 std::to_string(first.collapsed_sets) + " -> " +
+                 std::to_string(second.collapsed_sets) + ") on " +
+                 ptl::ToString(*fac, f);
+    return out;
+  }
+  for (uint64_t i = 0; i < nsets; ++i) {
+    if (b.Representative(static_cast<uint32_t>(i)) != reps[i]) {
+      out.pass = false;
+      out.detail = "representative of set " + std::to_string(i) +
+                   " moved across an idempotent re-run on " +
+                   ptl::ToString(*fac, f);
+      return out;
+    }
+  }
+  return out;
 }
 
 Result<OracleResult> MonitorMatchesBatch(const FotlCase& c) {

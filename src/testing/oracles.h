@@ -39,6 +39,23 @@ Result<OracleResult> TableauEnginesAgree(ptl::Factory* fac, ptl::Formula f,
 /// of the literal Lemma 4.2 progression + CheckSat procedure.
 Result<OracleResult> BackendVerdictsAgree(const FotlCase& c);
 
+/// \brief Cohort-configuration equality: the cohort lockstep path (SoA
+/// states, dense-table gather stepping) — with offline minimization forced
+/// (interval 1) and disabled (interval 0) — must produce exactly the
+/// per-update verdicts of the joint residual-graph path (cohorts off) and of
+/// the literal progression baseline, on every transaction of the case.
+Result<OracleResult> CohortConfigsAgree(const FotlCase& c);
+
+/// \brief Minimizer metamorphic oracle on one compiled PTL formula: stepping
+/// a TransitionSystem through `steps` random letters must report identical
+/// (any_survivor, live) per step whether or not MinimizeNow runs at random
+/// points along the way (states remapped through Representative), and the
+/// pass must be idempotent — a second consecutive run refines nothing and
+/// leaves the representative map unchanged. Returns pass vacuously when the
+/// formula exceeds the compile budget (random non-safe formulas may).
+Result<OracleResult> MinimizedAutomatonAgrees(ptl::Factory* fac, ptl::Formula f,
+                                              Entropy* ent, size_t steps);
+
 /// \brief Monitor-vs-batch agreement: the incremental monitor's verdict after
 /// each transaction must equal a from-scratch CheckPotentialSatisfaction on
 /// the corresponding history prefix.

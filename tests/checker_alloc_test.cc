@@ -95,6 +95,76 @@ TEST_F(AllocCountTest, SteadyStateMonitorStepAllocatesNothing) {
   EXPECT_EQ(window.deallocations(), 0u);
 }
 
+// The same zero-allocation bound for a WIDE warmed cohort: 32 letter-disjoint
+// instances stepping through one cohort's SoA gather loop, with slots parked
+// in genuinely different automaton states (element 7 saw Sub, the rest did
+// not), so the measured updates run the dense-table gather — not the
+// single-cell uniform shortcut — and must still never touch the heap: touch
+// marking probes a warm flat map, states[] and the gather scratch are
+// pre-sized, the minimize trigger reads a counter without taking the
+// TransitionSystem lock.
+TEST_F(AllocCountTest, SteadyStateCohortGatherAllocatesNothing) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+  auto m = *Monitor::Create(fac_, submit_once_);
+  ASSERT_EQ(m->options().backend, MonitorBackend::kAutomaton);
+  ASSERT_TRUE(m->options().cohort_stepping);
+
+  std::vector<Value> universe;
+  for (Value v = 1; v <= 32; ++v) universe.push_back(v);
+  ASSERT_TRUE(m->ApplyTransaction(Txn({}, universe)).ok());  // 32 instances
+  ASSERT_TRUE(m->ApplyTransaction(Txn({7})).ok());
+  Transaction retract;
+  retract.push_back(UpdateOp::Delete(sub_, {7}));
+  ASSERT_TRUE(m->ApplyTransaction(retract).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(Transaction{}).ok());
+  }
+  ASSERT_EQ(m->last_verdict().num_cohort_instances, 32u);
+  ASSERT_EQ(m->last_verdict().num_cohorts, 1u);
+
+  testing::ResetAllocCounts();
+  testing::AllocWindow window;
+  for (int i = 0; i < 20; ++i) {
+    auto v = m->ApplyTransaction(Transaction{});
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v->potentially_satisfied);
+  }
+  EXPECT_EQ(window.allocations(), 0u)
+      << "warmed cohort gather updates must not touch the heap";
+  EXPECT_EQ(window.deallocations(), 0u);
+}
+
+// Cohort growth is O(delta), not O(population): appending one fresh element
+// to a warmed 32-instance cohort late in the run must cost no more
+// allocations than the same append early — no table rebuilds, no placement
+// recomputation over existing instances, no states[] reshuffle beyond the
+// one appended slot.
+TEST_F(AllocCountTest, CohortGrowthIsDeltaBounded) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+  auto m = *Monitor::Create(fac_, submit_once_);
+  std::vector<Value> universe;
+  for (Value v = 1; v <= 32; ++v) universe.push_back(v);
+  ASSERT_TRUE(m->ApplyTransaction(Txn({}, universe)).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(Transaction{}).ok());
+  }
+
+  testing::ResetAllocCounts();
+  testing::AllocWindow early;
+  ASSERT_TRUE(m->ApplyTransaction(Txn({}, {100})).ok());
+  uint64_t early_cost = early.allocations();
+  // More steady updates, then a second single-element append much later.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(Transaction{}).ok());
+  }
+  testing::AllocWindow late;
+  ASSERT_TRUE(m->ApplyTransaction(Txn({}, {101})).ok());
+  ASSERT_TRUE(m->last_verdict().potentially_satisfied);
+  ASSERT_EQ(m->last_verdict().num_cohort_instances, 34u);
+  // Same delta, longer history and bigger population: must not cost more.
+  EXPECT_LE(late.allocations(), early_cost);
+}
+
 // Same bound for a *recurring delta* (insert+delete cycle the memo has seen
 // before): the transaction copies the state, so the db layer allocates, but
 // the monitor side — signature, transition, verdict — must still hit warm

@@ -288,8 +288,12 @@ TEST_F(MonitorTest, AutomatonBackendMemoizesSteadyStates) {
   // Same steady stream on the automaton backend: after the first occurrence
   // of a (residual, letter) pair, updates are pure transition-memo hits and
   // the tableau never runs again — live_queries stays at the number of
-  // distinct residuals reached.
-  auto m = *Monitor::Create(fac_, submit_once_);
+  // distinct residuals reached. Pinned to the joint residual-graph path: the
+  // default cohort lockstep path counts table-cell reads instead of joint
+  // steps (covered by the cohort-specific tests below).
+  CheckOptions options;
+  options.cohort_stepping = false;
+  auto m = *Monitor::Create(fac_, submit_once_, {}, options);
   MonitorVerdict last;
   for (int step = 0; step < 6; ++step) {
     auto v = m->ApplyTransaction(Txn({}, {1}));  // Fill(1) every state
@@ -311,7 +315,11 @@ TEST_F(MonitorTest, TableauStatsPerUpdateAndCumulative) {
   // CheckSat counters reset per call, so verdict.tableau_stats covers only
   // the latest update; cumulative_tableau_stats must be the running sum of
   // the per-update stats, and must freeze (not reset) once the monitor dies.
-  auto m = *Monitor::Create(fac_, submit_once_);
+  // Joint path only: cohort liveness is precompiled per state (lazy safety
+  // expansion), so the cohort path never reaches the monitor's CheckSat.
+  CheckOptions options;
+  options.cohort_stepping = false;
+  auto m = *Monitor::Create(fac_, submit_once_, {}, options);
   ptl::TableauStats sum;
   for (int step = 0; step < 4; ++step) {
     auto v = m->ApplyTransaction(Txn({}, {1}));  // Fill(1), never violating

@@ -292,6 +292,9 @@ TEST_F(TelemetryTest, AutomatonBackendEmitsStepSpansAndMemoCounters) {
   auto sink = std::make_shared<TraceSink>();
   checker::CheckOptions options;
   options.trace_sink = sink;
+  // The monitor.automaton_step span belongs to the joint residual-graph path;
+  // cohort lockstep stepping emits monitor.cohort_step instead.
+  options.cohort_stepping = false;
   auto m = checker::Monitor::Create(fac, submit_once, {}, options);
   ASSERT_TRUE(m.ok()) << m.status().ToString();
 
