@@ -163,7 +163,8 @@ inline std::vector<bool> ParseCohort(int* argc, char** argv,
 
 // Reporter for --json=<path>: the normal console table, plus a record file
 // written to `path` on exit —
-// `{"meta": {git_sha, build_type, telemetry}, "records": [{"name": ...,
+// `{"meta": {git_sha, build_type, telemetry, ..., recorder}, "records":
+// [{"name": ...,
 // "params": ..., "ns_per_op": ..., "counters": {...}}, ...], "telemetry":
 // {flat metrics}}`. The meta header makes BENCH_*.json trajectories
 // attributable to a commit and build configuration; the telemetry section is
@@ -210,8 +211,16 @@ class JsonRecordReporter : public benchmark::ConsoleReporter {
       std::fprintf(stderr, "cannot open --json path %s\n", path_.c_str());
       return;
     }
+    std::string meta = telemetry::BuildInfoJson();
+    // Splice the runtime recorder switch into the meta header so recorder
+    // on/off BENCH rows are attributable without out-of-band notes.
+    size_t close = meta.rfind('}');
+    if (close != std::string::npos) {
+      meta.insert(close, std::string(", \"recorder\": ") +
+                             (telemetry::RecorderActive() ? "true" : "false"));
+    }
     std::fputs("{\n\"meta\": ", f);
-    std::fputs(telemetry::BuildInfoJson().c_str(), f);
+    std::fputs(meta.c_str(), f);
     std::fputs(",\n\"records\": [\n", f);
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fputs(records_[i].c_str(), f);
@@ -253,6 +262,7 @@ class JsonRecordReporter : public benchmark::ConsoleReporter {
 inline int RunBenchmarks(int* argc, char** argv) {
   std::string json_path;
   std::string trace_path;
+  std::string recorder_dump_path;
   bool telemetry_on = false;
   {
     std::vector<char*> keep;
@@ -264,6 +274,16 @@ inline int RunBenchmarks(int* argc, char** argv) {
         trace_path = a.substr(8);
       } else if (a == "--telemetry") {
         telemetry_on = true;
+      } else if (a.rfind("--recorder=", 0) == 0) {
+        // Flight-recorder runtime switch (recorder on/off overhead benches).
+        telemetry::SetRecorderEnabled(a.substr(11) != "off");
+      } else if (a.rfind("--recorder-ring=", 0) == 0) {
+        // Events per thread ring; smaller rings stay cache-resident and
+        // lower the steady-state recording overhead at the cost of history.
+        telemetry::SetRecorderRingCapacity(
+            static_cast<size_t>(std::strtoull(a.c_str() + 16, nullptr, 10)));
+      } else if (a.rfind("--recorder-dump=", 0) == 0) {
+        recorder_dump_path = a.substr(16);
       } else {
         keep.push_back(argv[i]);
       }
@@ -300,6 +320,17 @@ inline int RunBenchmarks(int* argc, char** argv) {
   }
   if (telemetry_on || sink != nullptr) {
     std::fprintf(stderr, "%s", telemetry::CollectMetrics().SummaryTable().c_str());
+  }
+  if (!recorder_dump_path.empty()) {
+    if (!telemetry::DumpRecorder(recorder_dump_path)) {
+      std::fprintf(stderr, "cannot write --recorder-dump path %s\n",
+                   recorder_dump_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu recorder events (%llu dropped) to %s\n",
+                 telemetry::SnapshotRecorder().size(),
+                 static_cast<unsigned long long>(telemetry::RecorderDropped()),
+                 recorder_dump_path.c_str());
   }
   return 0;
 }

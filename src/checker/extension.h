@@ -2,8 +2,10 @@
 #define TIC_CHECKER_EXTENSION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "checker/grounding.h"
 #include "common/result.h"
@@ -46,6 +48,30 @@ enum class MonitorBackend {
   /// verdicts and the history-less renaming are progression-specific, and
   /// witness decoding needs the residual formula).
   kAutomaton,
+};
+
+/// \brief How eagerly the monitor detects violations, and how it catches up
+/// instances for newly relevant elements. (Lives here rather than monitor.h
+/// so provenance replay helpers can name a mode without the full Monitor.)
+enum class MonitorMode {
+  /// Exact potential satisfaction (Theorem 4.2): run the satisfiability check
+  /// after every update, detecting violations at the earliest possible time.
+  /// New-element instances are caught up by replaying the stored history.
+  kEager,
+  /// The weaker notion implemented by Lipeck & Saake (Section 5): only the
+  /// linear-time progression runs per update, so violations are always
+  /// detected (the residual collapses to false) but possibly later than the
+  /// earliest time. Cheap: no exponential phase per update.
+  kLazy,
+  /// Eager verdicts WITHOUT storing the propositional history — an answer (in
+  /// this setting) to the Section 6 open question of a history-less method
+  /// for universal formulas. The z-stand-in atoms are kept as real letters
+  /// (never true in any state) instead of being folded to false; when an
+  /// element e becomes relevant, its instances' residuals are obtained from
+  /// the matching z-pattern instance by *renaming letters* (e was
+  /// indistinguishable from the stand-in over the entire past), so no replay
+  /// is needed. Per-update memory is O(residuals), independent of t.
+  kEagerHistoryLess,
 };
 
 /// \brief Options for the Theorem 4.2 decision procedure.
@@ -110,6 +136,24 @@ struct CheckOptions {
   /// Serialize it with TraceSink::WriteChromeTrace when done. Tracing is
   /// process-global: the last installed sink wins.
   std::shared_ptr<telemetry::TraceSink> trace_sink;
+
+  /// Assemble verdict provenance when an update flips the monitor to
+  /// violated: MonitorVerdict::explanations() then carries one Diagnosis per
+  /// culprit instance (capped at kMaxExplanations) — the grounded
+  /// substitution, the letter delta of the fatal update, the last-K residual
+  /// trajectory, and the closure subformula that became unsatisfiable. The
+  /// capture runs exactly once, at the flip (a terminal event), so it costs
+  /// the steady-state hot path nothing.
+  bool provenance = true;
+
+  /// Stall watchdog (opt-in): when > 0, Monitor::Create starts one sampling
+  /// thread that watches every ApplyTransaction; an update still open after
+  /// this many milliseconds records a `watchdog_fire` flight-recorder event,
+  /// dumps the recorder to `watchdog_dump_path` (when set), and notes the
+  /// stall on stderr — once per stuck update. Ignored in `-DTIC_TELEMETRY=OFF`
+  /// builds (no recorder to dump, and the hot path must stay symbol-free).
+  uint64_t watchdog_ms = 0;
+  std::string watchdog_dump_path;
 };
 
 /// \brief Outcome of a potential-satisfaction check.

@@ -96,6 +96,17 @@ Result<std::unique_ptr<Monitor>> Monitor::Create(
     telemetry::SetTraceSink(m->options_.trace_sink);
     telemetry::SetEnabled(true);
   }
+#ifdef TIC_TELEMETRY_ENABLED
+  // Pre-create the calling thread's flight-recorder ring: the first
+  // TIC_RECORD must not allocate inside a measured (zero-alloc gate) window.
+  telemetry::EnsureThreadRing();
+  if (m->options_.watchdog_ms > 0) {
+    telemetry::StallWatchdog::Options wo;
+    wo.deadline_ms = m->options_.watchdog_ms;
+    wo.dump_path = m->options_.watchdog_dump_path;
+    m->watchdog_ = std::make_unique<telemetry::StallWatchdog>(std::move(wo));
+  }
+#endif
 
   // Safety gate: check the tense skeleton (each first-order atom abstracted to
   // one letter — safety depends only on the temporal structure).
@@ -788,6 +799,7 @@ Status Monitor::RebuildPlacements() {
     placement_[i] = pl;
     if (pl == Placement::kJoint) ++num_joint_;
   }
+  TIC_RECORD(kCohortRebuild, cohorts_.size(), num_cohort_slots_, num_joint_);
   return Status::OK();
 }
 
@@ -833,9 +845,9 @@ Result<bool> Monitor::PlaceInstances(size_t first_new) {
   return num_joint_ != joint_before;
 }
 
-void Monitor::OnLetterFlip(ptl::PropId p, bool value) {
+uint64_t Monitor::OnLetterFlip(ptl::PropId p, bool value) {
   const uint64_t* packed = cohort_touch_.Get(p);
-  if (packed == nullptr) return;
+  if (packed == nullptr) return ~uint64_t{0};
   Cohort& ch = cohorts_[*packed >> 32];
   uint32_t slot = static_cast<uint32_t>(*packed & 0xFFFFFFFFu);
   if (value) {
@@ -851,12 +863,17 @@ void Monitor::OnLetterFlip(ptl::PropId p, bool value) {
     ch.hot_pos[last] = at;
     ch.hot_slots.pop_back();
   }
+  return *packed;
 }
 
 Status Monitor::CohortStepAll(const ptl::PropState& w, MonitorVerdict* verdict,
                               bool* all_live) {
   TIC_SPAN("monitor.cohort_step");
   bool live = true;
+  // Per-update culprit capture: cleared cheaply (capacity kept), filled only
+  // on the terminal update where a cohort cell dies.
+  dead_scratch_.clear();
+  dead_total_ = 0;
   for (Cohort& ch : cohorts_) {
     const size_t n = ch.states.size();
     if (n == 0) continue;
@@ -871,6 +888,14 @@ Status Monitor::CohortStepAll(const ptl::PropState& w, MonitorVerdict* verdict,
                            CohortCell(&ch, ch.states[0], ch.zero_sig, &miss));
       ch.states[0] = cell & kCellNextMask;
       live = live && (cell >> 31) != 0;
+      if ((cell >> 31) == 0) {
+        // All slots share the dead cell: every member is a culprit.
+        dead_total_ += n;
+        for (size_t i = 0; i < n && dead_scratch_.size() < kMaxExplanations;
+             ++i) {
+          dead_scratch_.push_back(ch.members[i]);
+        }
+      }
       if (miss) {
         discovered = true;
         ++cohort_misses;
@@ -911,6 +936,9 @@ Status Monitor::CohortStepAll(const ptl::PropState& w, MonitorVerdict* verdict,
           bool miss = false;
           TIC_ASSIGN_OR_RETURN(
               cell, CohortCell(&ch, ch.states[i], ch.zero_sig, &miss));
+          // Store the resolved cell back so the death scan below sees every
+          // slot's actual cell (miss path only — no steady-state cost).
+          gather_scratch_[i] = cell;
           discovered = true;
           ++cohort_misses;
         }
@@ -919,6 +947,17 @@ Status Monitor::CohortStepAll(const ptl::PropState& w, MonitorVerdict* verdict,
         or_acc |= cell;
       }
       live = live && (and_acc >> 31) != 0;
+      if ((and_acc >> 31) == 0) {
+        // Terminal update: collect the members whose cell died (provenance
+        // culprits). gather_scratch_ holds every slot's resolved cell.
+        for (size_t i = 0; i < n; ++i) {
+          if ((gather_scratch_[i] >> 31) != 0) continue;
+          ++dead_total_;
+          if (dead_scratch_.size() < kMaxExplanations) {
+            dead_scratch_.push_back(ch.members[i]);
+          }
+        }
+      }
       // All slots landed on one state: back to the single-cell fast path.
       ch.uniform = ((and_acc ^ or_acc) & kCellNextMask) == 0;
     }
@@ -936,6 +975,8 @@ Status Monitor::CohortStepAll(const ptl::PropState& w, MonitorVerdict* verdict,
           ch.states[i] = ch.ts->Representative(ch.states[i]);
         }
         ch.sets_at_minimize = ch.ts->num_state_sets();
+        TIC_RECORD(kCohortMinimize, ms.collapsed_sets, ch.sets_at_minimize,
+                   static_cast<uint64_t>(&ch - cohorts_.data()));
       }
     }
   }
@@ -1006,6 +1047,7 @@ Result<uint32_t> Monitor::AutoStep(uint32_t sid, const ptl::PropState& w) {
       ptl::Progress(prop_factory_.get(), auto_states_[sid].residual, w));
   uint32_t nid = AutoIntern(next);
   auto_memo_.Emplace(key, nid);
+  TIC_RECORD(kMemoSpill, nid, auto_memo_.size(), key & 0xFFFFFFFFu);
   return nid;
 }
 
@@ -1061,6 +1103,9 @@ Status Monitor::AutomatonApply(bool joint_changed, const ptl::PropState& w,
       }
     }
     auto_current_ = AutoIntern(joint_);
+    auto_prev_ = auto_current_;
+    TIC_RECORD(kEpochReset, history_.length() - 1, instances_.size(),
+               word_.size());
     // Replay the stored word (it already includes the state just appended).
     // Replay is progression-only — intermediate liveness is never queried —
     // so catching up after a fresh element costs one rewrite per past state,
@@ -1072,11 +1117,13 @@ Status Monitor::AutomatonApply(bool joint_changed, const ptl::PropState& w,
         // Memoized deterministic steps: a self-loop is this run's fixpoint,
         // so a long run of a recurring state replays in O(1).
         if (next == auto_current_) break;
+        auto_prev_ = auto_current_;
         auto_current_ = next;
       }
     }
   } else {
     TIC_SPAN("monitor.automaton_step");
+    auto_prev_ = auto_current_;
     TIC_ASSIGN_OR_RETURN(auto_current_, AutoStep(auto_current_, w));
   }
   TIC_ASSIGN_OR_RETURN(bool live, AutoLive(auto_current_, verdict));
@@ -1102,8 +1149,13 @@ Status Monitor::AutomatonApply(bool joint_changed, const ptl::PropState& w,
 Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
   TIC_SPAN("monitor.update");
   TIC_COUNTER_ADD("monitor/updates", 1);
+#ifdef TIC_TELEMETRY_ENABLED
+  telemetry::StallWatchdog::Scope watchdog_scope(watchdog_.get());
+#endif
   TIC_RETURN_NOT_OK(tic::ApplyTransaction(&history_, txn));
   size_t t = history_.length() - 1;
+  TIC_RECORD(kTxnApplied, t, txn.size(), instances_.size());
+  last_delta_.clear();  // capacity kept warm: no steady-state allocation
   MonitorVerdict verdict;
   verdict.time = t;
   verdict.backend = backend_;
@@ -1112,6 +1164,10 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     verdict.permanently_violated = true;
     verdict.potentially_satisfied = false;
     verdict.cumulative_tableau_stats = cumulative_tableau_stats_;
+    // Late verdicts carry the flip's diagnoses: callers that notice the
+    // violation on a later update still get the original explanation.
+    verdict.diagnoses = explanations_;
+    verdict.num_culprits = num_culprits_;
     last_verdict_ = verdict;
     return verdict;
   }
@@ -1202,7 +1258,12 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
       bool value = op.kind == UpdateOp::Kind::kInsert;
       if (cur_letter_.Get(p) != value) {
         cur_letter_.Set(p, value);
-        OnLetterFlip(p, value);
+        // The owner must be computed OUTSIDE the macro: TIC_RECORD's
+        // TIC_TELEMETRY=OFF branch leaves its arguments unevaluated.
+        uint64_t owner = OnLetterFlip(p, value);
+        TIC_RECORD(kLetterFlip, p, value ? 1 : 0, owner);
+        (void)owner;
+        if (options_.provenance) last_delta_.emplace_back(p, value);
         letter_changed = true;
       }
     }
@@ -1292,6 +1353,11 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     if (!verdict.potentially_satisfied) {
       dead_ = true;
       verdict.permanently_violated = true;
+      if (options_.provenance) {
+        ptl::Formula joint_res =
+            joint_ != nullptr ? auto_states_[auto_current_].residual : nullptr;
+        TIC_RETURN_NOT_OK(BuildExplanations(t, w, joint_res, &verdict));
+      }
     }
     verdict.num_instances = instances_.size();
     TIC_GAUGE_SET("monitor/instances", instances_.size());
@@ -1303,6 +1369,7 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     if (options_.automaton_cache != nullptr) {
       verdict.automaton_cache_stats = options_.automaton_cache->stats();
     }
+    NoteVerdict(verdict);
     last_verdict_ = verdict;
     return verdict;
   } else {
@@ -1347,6 +1414,9 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     dead_ = true;
     verdict.permanently_violated = true;
     verdict.potentially_satisfied = false;
+    if (options_.provenance) {
+      TIC_RETURN_NOT_OK(BuildExplanations(t, w, conj, &verdict));
+    }
   } else if (mode_ == MonitorMode::kLazy) {
     // Lipeck–Saake-style weak monitoring: no satisfiability check; report
     // "no violation detected yet".
@@ -1362,14 +1432,222 @@ Result<MonitorVerdict> Monitor::ApplyTransaction(const Transaction& txn) {
     if (!sat.satisfiable) {
       dead_ = true;
       verdict.permanently_violated = true;
+      if (options_.provenance) {
+        TIC_RETURN_NOT_OK(BuildExplanations(t, w, conj, &verdict));
+      }
     }
   }
   verdict.cumulative_tableau_stats = cumulative_tableau_stats_;
   if (options_.tableau.verdict_cache != nullptr) {
     verdict.verdict_cache_stats = options_.tableau.verdict_cache->stats();
   }
+  NoteVerdict(verdict);
   last_verdict_ = verdict;
   return verdict;
+}
+
+const std::vector<Diagnosis>& MonitorVerdict::explanations() const {
+  static const std::vector<Diagnosis> kEmpty;
+  return diagnoses != nullptr ? *diagnoses : kEmpty;
+}
+
+void Monitor::NoteVerdict(const MonitorVerdict& v) {
+  if (any_verdict_ && v.potentially_satisfied == last_sat_) return;
+  any_verdict_ = true;
+  last_sat_ = v.potentially_satisfied;
+  TIC_RECORD(kVerdictChange, v.time, last_sat_ ? 1 : 0, v.num_instances);
+}
+
+void Monitor::CaptureDelta(Diagnosis* d) const {
+  d->delta.reserve(last_delta_.size());
+  for (const auto& [p, v] : last_delta_) {
+    d->delta.push_back(DiagnosisDelta{p, v, prop_vocab_->Name(p)});
+  }
+}
+
+Status Monitor::BuildTrajectory(ptl::Formula grounded, Diagnosis* d,
+                                ptl::PropState* fatal_w) {
+  ptl::Factory* pf = prop_factory_.get();
+  ptl::Formula cur = grounded;
+  ptl::Formula prev = nullptr;
+  size_t time = 0;
+  auto push = [&](size_t tm, ptl::Formula f) {
+    if (d->trajectory.size() == kTrajectoryK) {
+      d->trajectory.erase(d->trajectory.begin());
+    }
+    d->trajectory.push_back(DiagnosisStep{tm, f, f->size()});
+  };
+  for (const WordEntry& e : word_) {
+    for (uint64_t r = 0; r < e.repeat; ++r) {
+      TIC_ASSIGN_OR_RETURN(ptl::Formula next, ptl::Progress(pf, cur, e.w));
+      prev = cur;
+      cur = next;
+      push(time, cur);
+      ++time;
+      if (d->last_live == nullptr && cur->kind() == ptl::Kind::kFalse) {
+        // The residual collapsed HERE; everything after stays false, so this
+        // state's letter is the fatal one regardless of what followed.
+        d->last_live = prev;
+        *fatal_w = e.w;
+      }
+      if (cur == prev) {
+        // Hash-consed fixpoint under this run's letter: the remaining
+        // repetitions leave the residual unchanged. Synthesize the (at most
+        // K) trajectory tail instead of re-progressing a long run.
+        uint64_t remaining = e.repeat - r - 1;
+        uint64_t skip = remaining > kTrajectoryK ? remaining - kTrajectoryK : 0;
+        time += skip;
+        for (uint64_t j = skip; j < remaining; ++j) {
+          push(time, cur);
+          ++time;
+        }
+        break;
+      }
+    }
+  }
+  d->residual = cur;
+  if (d->last_live == nullptr) {
+    // Never literally false (the conjunction died of unsatisfiability): the
+    // fatal letter is the latest one, and `prev` entered it.
+    d->last_live = prev;
+    if (!word_.empty()) *fatal_w = word_.back().w;
+  }
+  return Status::OK();
+}
+
+Result<Diagnosis> Monitor::DiagnoseInstance(uint32_t idx, size_t t,
+                                            const ptl::PropState& w) {
+  const Instance& inst = instances_[idx];
+  Diagnosis d;
+  d.time = t;
+  d.factory = prop_factory_;
+  d.assignment = inst.assignment;
+  for (size_t i = 0; i < external_.size() && i < d.assignment.size(); ++i) {
+    if (i > 0) d.assignment_text += ", ";
+    d.assignment_text += ffac_->VarName(external_[i]);
+    d.assignment_text += "=";
+    d.assignment_text += d.assignment[i].ToString();
+  }
+  TIC_ASSIGN_OR_RETURN(d.grounded, GroundMatrix(inst.assignment));
+  ptl::PropState fatal_w = w;
+  if (!word_.empty()) {
+    TIC_RETURN_NOT_OK(BuildTrajectory(d.grounded, &d, &fatal_w));
+  } else {
+    // History-less mode stores no word: report the current residual only.
+    d.residual = inst.residual;
+    d.trajectory.push_back(
+        DiagnosisStep{t, inst.residual, inst.residual->size()});
+  }
+  if (d.last_live != nullptr && d.last_live->kind() != ptl::Kind::kFalse) {
+    TIC_ASSIGN_OR_RETURN(
+        ptl::CollapseExplanation ce,
+        ptl::ExplainCollapse(prop_factory_.get(), d.last_live, fatal_w));
+    d.subformula = ce.subformula;
+    d.closure_index = ce.closure_index;
+    d.subformula_progressed_to_false = ce.progressed_to_false;
+  }
+  CaptureDelta(&d);
+  return d;
+}
+
+Status Monitor::BuildExplanations(size_t t, const ptl::PropState& w,
+                                  ptl::Formula joint_residual,
+                                  MonitorVerdict* verdict) {
+  TIC_SPAN("monitor.provenance");
+  explanations_ = std::make_shared<std::vector<Diagnosis>>();
+  num_culprits_ = 0;
+
+  std::vector<uint32_t> culprits;
+  if (!dead_scratch_.empty()) {
+    // Cohort death: CohortStepAll identified the dead slots exactly.
+    culprits = dead_scratch_;
+    num_culprits_ = dead_total_;
+  } else {
+    // Progression-style paths: residuals that literally collapsed to false.
+    for (uint32_t i = 0; i < instances_.size(); ++i) {
+      if (instances_[i].residual->kind() == ptl::Kind::kFalse) {
+        culprits.push_back(i);
+      }
+    }
+    // Automaton joint path (instances hold un-progressed originals) or an
+    // unsat-but-not-false conjunction: replay each instance's grounded
+    // original through the stored word — capped, memoized per distinct
+    // original — looking for individually false (then unsat) residuals.
+    if (culprits.empty() && !word_.empty()) {
+      std::unordered_map<ptl::Formula, ptl::Formula> final_of;
+      std::vector<std::pair<uint32_t, ptl::Formula>> finals;
+      for (uint32_t i = 0;
+           i < instances_.size() && final_of.size() < kMaxReplayInstances;
+           ++i) {
+        TIC_ASSIGN_OR_RETURN(ptl::Formula g,
+                             GroundMatrix(instances_[i].assignment));
+        auto it = final_of.find(g);
+        if (it == final_of.end()) {
+          TIC_ASSIGN_OR_RETURN(ptl::Formula fin,
+                               GroundAndCatchUp(instances_[i].assignment));
+          it = final_of.emplace(g, fin).first;
+        }
+        finals.emplace_back(i, it->second);
+      }
+      for (const auto& [i, fin] : finals) {
+        if (fin->kind() == ptl::Kind::kFalse) culprits.push_back(i);
+      }
+      if (culprits.empty()) {
+        std::unordered_map<ptl::Formula, int> live_memo;
+        size_t probes = 0;
+        for (const auto& [i, fin] : finals) {
+          auto lt = live_memo.find(fin);
+          if (lt == live_memo.end()) {
+            if (probes >= kMaxSatProbes) continue;
+            ++probes;
+            TIC_ASSIGN_OR_RETURN(
+                ptl::SatResult sat,
+                ptl::CheckSat(prop_factory_.get(), fin, options_.tableau));
+            lt = live_memo.emplace(fin, sat.satisfiable ? 1 : 0).first;
+          }
+          if (lt->second == 0) culprits.push_back(i);
+        }
+      }
+    }
+    num_culprits_ = culprits.size();
+  }
+
+  if (culprits.empty()) {
+    // No single instance explains the violation: shared letters made the
+    // CONJUNCTION unsatisfiable while every conjunct stayed individually
+    // live. Emit one joint diagnosis.
+    Diagnosis d;
+    d.time = t;
+    d.joint = true;
+    d.factory = prop_factory_;
+    d.grounded = joint_;
+    d.residual = joint_residual;
+    if (backend_ == MonitorBackend::kAutomaton && joint_ != nullptr &&
+        auto_prev_ < auto_states_.size()) {
+      d.last_live = auto_states_[auto_prev_].residual;
+    }
+    if (d.last_live != nullptr && d.last_live->kind() != ptl::Kind::kFalse) {
+      TIC_ASSIGN_OR_RETURN(
+          ptl::CollapseExplanation ce,
+          ptl::ExplainCollapse(prop_factory_.get(), d.last_live, w));
+      d.subformula = ce.subformula;
+      d.closure_index = ce.closure_index;
+      d.subformula_progressed_to_false = ce.progressed_to_false;
+    }
+    CaptureDelta(&d);
+    explanations_->push_back(std::move(d));
+    num_culprits_ = 1;
+  } else {
+    for (size_t i = 0;
+         i < culprits.size() && explanations_->size() < kMaxExplanations;
+         ++i) {
+      TIC_ASSIGN_OR_RETURN(Diagnosis d, DiagnoseInstance(culprits[i], t, w));
+      explanations_->push_back(std::move(d));
+    }
+  }
+  verdict->diagnoses = explanations_;
+  verdict->num_culprits = num_culprits_;
+  return Status::OK();
 }
 
 }  // namespace checker

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "checker/extension.h"
+#include "checker/provenance.h"
 #include "common/flat/flat_map.h"
+#include "common/telemetry/telemetry.h"
 #include "common/flat/flat_set.h"
 #include "common/flat/small_vec.h"
 #include "common/result.h"
@@ -19,28 +21,8 @@
 namespace tic {
 namespace checker {
 
-/// \brief How eagerly the monitor detects violations, and how it catches up
-/// instances for newly relevant elements.
-enum class MonitorMode {
-  /// Exact potential satisfaction (Theorem 4.2): run the satisfiability check
-  /// after every update, detecting violations at the earliest possible time.
-  /// New-element instances are caught up by replaying the stored history.
-  kEager,
-  /// The weaker notion implemented by Lipeck & Saake (Section 5): only the
-  /// linear-time progression runs per update, so violations are always
-  /// detected (the residual collapses to false) but possibly later than the
-  /// earliest time. Cheap: no exponential phase per update.
-  kLazy,
-  /// Eager verdicts WITHOUT storing the propositional history — an answer (in
-  /// this setting) to the Section 6 open question of a history-less method
-  /// for universal formulas. The z-stand-in atoms are kept as real letters
-  /// (never true in any state) instead of being folded to false; when an
-  /// element e becomes relevant, its instances' residuals are obtained from
-  /// the matching z-pattern instance by *renaming letters* (e was
-  /// indistinguishable from the stand-in over the entire past), so no replay
-  /// is needed. Per-update memory is O(residuals), independent of t.
-  kEagerHistoryLess,
-};
+// MonitorMode lives in extension.h (needed by provenance replay helpers);
+// re-exported here through the include above.
 
 /// \brief Verdict after one transaction.
 struct MonitorVerdict {
@@ -81,6 +63,16 @@ struct MonitorVerdict {
   /// through the joint residual graph and are not counted here.
   size_t num_cohorts = 0;
   size_t num_cohort_instances = 0;
+  /// Verdict provenance (CheckOptions::provenance): populated on the update
+  /// that flips the monitor to permanently violated, then re-attached to
+  /// every subsequent (dead) verdict. `num_culprits` counts ALL culprit
+  /// instances identified; `diagnoses` holds at most
+  /// Monitor::kMaxExplanations of them (one Diagnosis each).
+  size_t num_culprits = 0;
+  std::shared_ptr<std::vector<Diagnosis>> diagnoses;
+  /// The captured diagnoses, or an empty vector when none were assembled
+  /// (provenance off, monitor still live, or pre-first-update).
+  const std::vector<Diagnosis>& explanations() const;
 };
 
 /// \brief Incremental temporal integrity monitor for a universal safety
@@ -221,6 +213,52 @@ class Monitor {
   ptl::TableauStats cumulative_tableau_stats_;  // totals across all updates
   MonitorVerdict last_verdict_;
 
+  // --- Verdict provenance (CheckOptions::provenance) ---
+  static constexpr size_t kMaxExplanations = 8;   // diagnoses per flip
+  static constexpr size_t kTrajectoryK = 8;       // trajectory tail length
+  static constexpr size_t kMaxReplayInstances = 64;  // culprit replay cap
+  static constexpr size_t kMaxSatProbes = 8;      // culprit CheckSat cap
+  // Letter flips of the CURRENT update (letter id, new value), captured in
+  // the incremental letter loop and decoded to ground atoms only at a flip
+  // to violated. Cleared per update; capacity is kept warm, so the
+  // steady-state hot path never allocates for it.
+  std::vector<std::pair<ptl::PropId, bool>> last_delta_;
+  // Cohort slots whose table cell died this update: the owning instance
+  // indices (capped at kMaxExplanations) and the uncapped total. Filled by
+  // CohortStepAll only on the (terminal) death update.
+  std::vector<uint32_t> dead_scratch_;
+  size_t dead_total_ = 0;
+  // Diagnoses of the flip, shared with every verdict issued at or after it.
+  std::shared_ptr<std::vector<Diagnosis>> explanations_;
+  size_t num_culprits_ = 0;
+  // Verdict-change edge detection for the flight recorder.
+  bool any_verdict_ = false;
+  bool last_sat_ = false;
+#ifdef TIC_TELEMETRY_ENABLED
+  std::unique_ptr<telemetry::StallWatchdog> watchdog_;  // CheckOptions::watchdog_ms
+#endif
+
+  // Assembles MonitorVerdict provenance at the alive->dead flip: identifies
+  // culprit instances (cohort death bits, literal `false` residuals, else a
+  // capped per-instance replay of the stored word), builds one Diagnosis per
+  // culprit (capped), and falls back to a single joint Diagnosis when no
+  // individual instance explains the violation (shared-letter interaction).
+  // `joint_residual` is the residual the joint path died on (may be null).
+  Status BuildExplanations(size_t t, const ptl::PropState& w,
+                           ptl::Formula joint_residual, MonitorVerdict* verdict);
+  Result<Diagnosis> DiagnoseInstance(uint32_t idx, size_t t,
+                                     const ptl::PropState& w);
+  // Progresses `grounded` through the stored word, keeping the last-K
+  // trajectory; fills d->trajectory / d->residual / d->last_live and sets
+  // *fatal_w to the letter under which the residual first collapsed (the
+  // final letter when it never literally reached `false`).
+  Status BuildTrajectory(ptl::Formula grounded, Diagnosis* d,
+                         ptl::PropState* fatal_w);
+  // Decodes last_delta_ into d->delta using the letter names.
+  void CaptureDelta(Diagnosis* d) const;
+  // Records a kVerdictChange flight-recorder event on every edge.
+  void NoteVerdict(const MonitorVerdict& v);
+
   // --- Automaton backend state (kEager + MonitorBackend::kAutomaton) ---
   // In this mode Instance::residual holds the instance's ORIGINAL grounded
   // formula (never progressed) and the monitor runs the *residual-graph
@@ -255,6 +293,7 @@ class Monitor {
   flat::FlatMap<std::string, uint32_t> auto_sigs_;  // packed letter bits
   flat::FlatMap<uint64_t, uint32_t> auto_memo_;  // (state, sig) -> state
   uint32_t auto_current_ = 0;
+  uint32_t auto_prev_ = 0;  // state entering the latest step (provenance)
   uint64_t auto_steps_ = 0;
   uint64_t auto_memo_hits_ = 0;
   uint64_t auto_live_queries_ = 0;  // CheckSat calls (state interns)
@@ -353,8 +392,10 @@ class Monitor {
 
   // Routes one current-letter value change to its owning cohort slot's hot
   // count (no-op for letters no cohort owns). Called for every flip the
-  // incremental letter update detects.
-  void OnLetterFlip(ptl::PropId p, bool value);
+  // incremental letter update detects. Returns the packed
+  // `cohort << 32 | slot` owner, or ~0 when no cohort owns the letter —
+  // the flight recorder logs it with the flip.
+  uint64_t OnLetterFlip(ptl::PropId p, bool value);
 
   uint32_t DsuFind(uint32_t i);
   // Unions the components of `a` and `b`; sets *demoted when the merged

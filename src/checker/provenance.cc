@@ -1,0 +1,105 @@
+#include "checker/provenance.h"
+
+#include "checker/monitor.h"
+
+namespace tic {
+namespace checker {
+
+std::string Diagnosis::Render() const {
+  std::string out;
+  out += "violation at t=" + std::to_string(time);
+  if (joint) {
+    out += " (joint conjunction)";
+  } else {
+    out += " instance [" + assignment_text + "]";
+  }
+  out += "\n";
+  if (factory != nullptr) {
+    const ptl::Factory& f = *factory;
+    if (grounded != nullptr) {
+      out += "  grounded:   " + ptl::ToString(f, grounded) + "\n";
+    }
+    if (!delta.empty()) {
+      out += "  delta:      ";
+      for (size_t i = 0; i < delta.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += delta[i].inserted ? "+" : "-";
+        out += delta[i].atom;
+      }
+      out += "\n";
+    }
+    if (subformula != nullptr) {
+      out += "  collapsed:  " + ptl::ToString(f, subformula);
+      if (closure_index != ptl::Closure::kNone) {
+        out += "  (closure #" + std::to_string(closure_index);
+        out += subformula_progressed_to_false ? ", progressed to false)"
+                                              : ", unsatisfiable)";
+      }
+      out += "\n";
+    }
+    if (!trajectory.empty()) {
+      out += "  trajectory:\n";
+      for (const DiagnosisStep& s : trajectory) {
+        out += "    t=" + std::to_string(s.time) + ": " +
+               ptl::ToString(f, s.residual) + "\n";
+      }
+    } else if (residual != nullptr) {
+      out += "  residual:   " + ptl::ToString(f, residual) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Transaction>> TransactionsFromHistory(const History& history) {
+  std::vector<Transaction> txns;
+  txns.reserve(history.length());
+  const Vocabulary& vocab = *history.vocabulary();
+  for (size_t t = 0; t < history.length(); ++t) {
+    Transaction txn;
+    const DatabaseState* prev = t == 0 ? nullptr : &history.state(t - 1);
+    const DatabaseState& cur = history.state(t);
+    for (PredicateId p = 0; p < vocab.num_predicates(); ++p) {
+      if (vocab.predicate(p).builtin != Builtin::kNone) continue;
+      if (prev != nullptr) {
+        for (const Tuple& tup : prev->relation(p)) {
+          if (!cur.Holds(p, tup)) txn.push_back(UpdateOp::Delete(p, tup));
+        }
+      }
+      for (const Tuple& tup : cur.relation(p)) {
+        if (prev == nullptr || !prev->Holds(p, tup)) {
+          txn.push_back(UpdateOp::Insert(p, tup));
+        }
+      }
+    }
+    txns.push_back(std::move(txn));
+  }
+  return txns;
+}
+
+Result<ReplayOutcome> ReplayHistory(
+    std::shared_ptr<fotl::FormulaFactory> fotl_factory, fotl::Formula phi,
+    const History& history, CheckOptions options, MonitorMode mode) {
+  TIC_ASSIGN_OR_RETURN(std::vector<Transaction> txns,
+                       TransactionsFromHistory(history));
+  // The replica monitors the condition, not the observer machinery.
+  options.trace_sink = nullptr;
+  options.watchdog_ms = 0;
+  TIC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Monitor> replica,
+      Monitor::Create(std::move(fotl_factory), phi,
+                      history.constant_interpretation(), options, mode));
+  ReplayOutcome out;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    TIC_ASSIGN_OR_RETURN(MonitorVerdict v,
+                         replica->ApplyTransaction(txns[i]));
+    ++out.updates;
+    if (!out.violated && v.permanently_violated) {
+      out.violated = true;
+      out.violated_at = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace checker
+}  // namespace tic

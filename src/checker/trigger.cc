@@ -108,6 +108,7 @@ Result<std::vector<TriggerFiring>> TriggerManager::EvaluateTriggers() {
   }
 
   std::vector<char> fired(jobs.size(), 0);
+  std::vector<char> permanent(jobs.size(), 0);
   std::vector<Status> errors(jobs.size());
   auto evaluate = [&](size_t i) {
     Result<CheckResult> check = CheckPotentialSatisfaction(
@@ -117,6 +118,7 @@ Result<std::vector<TriggerFiring>> TriggerManager::EvaluateTriggers() {
       return;
     }
     fired[i] = check->potentially_satisfied ? 0 : 1;
+    permanent[i] = check->permanently_violated ? 1 : 0;
   };
   TIC_COUNTER_ADD("trigger/jobs", jobs.size());
   ThreadPool* pool = options_.thread_pool.get();
@@ -131,7 +133,26 @@ Result<std::vector<TriggerFiring>> TriggerManager::EvaluateTriggers() {
   // parallel sweep is indistinguishable from the sequential one.
   for (size_t i = 0; i < jobs.size(); ++i) {
     if (fired[i] == 0) continue;
-    TriggerFiring firing{jobs[i].trig->name, now, jobs[i].theta};
+    TriggerFiring firing{jobs[i].trig->name, now, jobs[i].theta, {}};
+    if (options_.provenance) {
+      // The duality of Section 2, spelled out: the firing IS a violation
+      // verdict for the negated condition under this substitution.
+      std::string& e = firing.explanation;
+      e += "trigger \"" + firing.trigger + "\" fired at t=";
+      e += std::to_string(now);
+      e += " for [";
+      bool first = true;
+      for (fotl::VarId v : jobs[i].trig->params) {
+        if (!first) e += ", ";
+        first = false;
+        e += ffac_->VarName(v);
+        e += "=";
+        e += std::to_string(jobs[i].theta.at(v));
+      }
+      e += "]: no extension of the history can falsify the condition (the "
+           "negated condition lost potential satisfaction";
+      e += permanent[i] != 0 ? "; its residual collapsed to false)" : ")";
+    }
     if (jobs[i].trig->action) jobs[i].trig->action(firing);
     firings.push_back(std::move(firing));
   }

@@ -19,6 +19,11 @@ struct TriggerFiring {
   std::string trigger;
   size_t time = 0;            ///< instant of the state after the update
   fotl::Valuation substitution;  ///< ground substitution theta for C's free vars
+  /// Human-readable provenance (CheckOptions::provenance, default on): the
+  /// duality argument behind the firing — which substitution made the negated
+  /// condition unsatisfiable, and whether the collapse was permanent. Empty
+  /// when provenance is disabled.
+  std::string explanation;
 };
 
 /// \brief Temporal Condition-Action triggers via the duality of Section 2:

@@ -1,5 +1,8 @@
 #include "common/telemetry/build_info.h"
 
+#include <thread>
+
+#include "common/flat/gather.h"
 #include "common/telemetry/json.h"
 
 // TIC_BUILD_GIT_SHA and TIC_BUILD_TYPE are passed as compile definitions on
@@ -26,6 +29,8 @@ const BuildInfo& GetBuildInfo() {
 #else
     b.telemetry_compiled = false;
 #endif
+    b.simd = flat::GatherBackendName();  // runtime dispatch, not just build
+    b.hardware_threads = std::thread::hardware_concurrency();
     return b;
   }();
   return info;
@@ -39,6 +44,9 @@ std::string BuildInfoJson() {
   AppendJsonEscaped(&out, b.build_type);
   out += "\", \"telemetry\": ";
   out += b.telemetry_compiled ? "true" : "false";
+  out += ", \"simd\": \"";
+  AppendJsonEscaped(&out, b.simd);
+  out += "\", \"threads\": " + std::to_string(b.hardware_threads);
   out += "}";
   return out;
 }

@@ -13,11 +13,15 @@ struct BuildInfo {
   std::string git_sha;     // "unknown" outside a git checkout
   std::string build_type;  // CMAKE_BUILD_TYPE, "unknown" if unset
   bool telemetry_compiled = false;
+  std::string simd;            // gather-kernel dispatch: "avx2" or "scalar"
+  unsigned hardware_threads = 0;  // std::thread::hardware_concurrency()
 };
 
 const BuildInfo& GetBuildInfo();
 
-/// {"git_sha": "...", "build_type": "...", "telemetry": true}
+/// {"git_sha": "...", "build_type": "...", "telemetry": true,
+///  "simd": "avx2", "threads": 8} — everything a committed BENCH json needs
+/// to be self-describing.
 std::string BuildInfoJson();
 
 }  // namespace telemetry

@@ -1,6 +1,7 @@
 #include "common/telemetry/registry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/telemetry/json.h"
@@ -12,18 +13,35 @@ uint64_t HistogramData::ApproxPercentile(double p) const {
   if (count == 0) return 0;
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
-  if (rank >= count) rank = count - 1;
+  // Nearest-rank quantile, 1-based: the value whose position in the sorted
+  // sample is ceil(p * count).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
   uint64_t seen = 0;
   for (uint32_t b = 0; b < kBuckets; ++b) {
-    seen += buckets[b];
-    if (seen > rank) {
-      // Upper bound of bucket b (values of bit-width b): 2^b - 1.
-      if (b == 0) return 0;
-      if (b >= 63) return max;
-      uint64_t bound = (uint64_t{1} << b) - 1;
-      return bound < max ? bound : max;
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] < rank) {
+      seen += buckets[b];
+      continue;
     }
+    // The rank lands in bucket b, which covers values of bit-width b:
+    // [2^(b-1), 2^b - 1] (bucket 0 is just {0}). Interpolate linearly within
+    // the bucket instead of reporting its raw upper bound — the log-scale
+    // buckets are wide (2^22..2^23-1 spans 4M ns), and the upper bound used
+    // to surface as nonsense like "p50: 4194303".
+    const uint64_t lo = b == 0 ? 0 : (uint64_t{1} << (b - 1));
+    uint64_t hi = b == 0 ? 0 : (b >= 63 ? max : (uint64_t{1} << b) - 1);
+    if (hi > max) hi = max;  // the top occupied bucket cannot exceed max
+    if (hi <= lo) return hi < max ? hi : max;
+    const uint64_t in_bucket = rank - seen;  // 1..buckets[b]
+    const double frac = static_cast<double>(in_bucket) /
+                        static_cast<double>(buckets[b]);
+    const uint64_t v =
+        lo + static_cast<uint64_t>(
+                 std::llround(static_cast<double>(hi - lo) * frac));
+    return v > max ? max : v;
   }
   return max;
 }

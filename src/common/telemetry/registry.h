@@ -116,8 +116,10 @@ struct HistogramData {
   double Mean() const {
     return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
   }
-  /// Upper bound of the bucket holding the p-quantile (p in [0,1]); the
-  /// log-scale buckets make this exact to within a factor of 2.
+  /// Nearest-rank p-quantile (p in [0,1]), linearly interpolated within the
+  /// log-scale bucket holding the rank (values inside a bucket are assumed
+  /// uniform). Exact for samples that fill their buckets evenly; never
+  /// exceeds `max`.
   uint64_t ApproxPercentile(double p) const;
 };
 

@@ -17,6 +17,7 @@
 // per site for the process lifetime.
 
 #include "common/telemetry/build_info.h"
+#include "common/telemetry/recorder.h"
 #include "common/telemetry/registry.h"
 #include "common/telemetry/span.h"
 #include "common/telemetry/trace.h"
@@ -73,6 +74,20 @@
 #define TIC_NOW_NS() \
   (::tic::telemetry::Enabled() ? ::tic::telemetry::NowNs() : uint64_t{0})
 
+/// Appends one flight-recorder event (recorder.h) to the calling thread's
+/// ring. `type` is a bare EventType enumerator name (kTxnApplied, ...);
+/// a/b/c are the event's payload words. Gated on RecorderActive() — the
+/// recorder's own runtime switch, independent of telemetry Enabled().
+#define TIC_RECORD(type, a, b, c)                                           \
+  do {                                                                      \
+    if (::tic::telemetry::RecorderActive()) {                               \
+      ::tic::telemetry::RecordEvent(::tic::telemetry::EventType::type,      \
+                                    static_cast<uint64_t>(a),               \
+                                    static_cast<uint64_t>(b),               \
+                                    static_cast<uint64_t>(c));              \
+    }                                                                       \
+  } while (0)
+
 #else  // !TIC_TELEMETRY_ENABLED
 
 // (void)sizeof keeps the arguments semantically checked but unevaluated, so
@@ -88,6 +103,10 @@
 #define TIC_HISTOGRAM_RECORD(name, value) \
   do { (void)sizeof(name); (void)sizeof(value); } while (0)
 #define TIC_NOW_NS() (uint64_t{0})
+// `type` is an enumerator token, meaningless outside the macro expansion, so
+// only the payload expressions get the sizeof treatment.
+#define TIC_RECORD(type, a, b, c) \
+  do { (void)sizeof(a); (void)sizeof(b); (void)sizeof(c); } while (0)
 
 #endif  // TIC_TELEMETRY_ENABLED
 

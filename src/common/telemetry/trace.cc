@@ -18,7 +18,11 @@ void TraceSink::Append(const TraceEvent& ev) {
     ++dropped_;
     return;
   }
-  if (events_.empty()) base_ns_ = ev.start_ns;
+  // Events arrive in COMPLETION order, so a parent span that started before
+  // the first-completed child would be clamped to ts 0 if the base were just
+  // the first arrival — a phantom interleaving in the rendered trace. The
+  // base is the minimum start seen, keeping every relative ts exact.
+  if (events_.empty() || ev.start_ns < base_ns_) base_ns_ = ev.start_ns;
   events_.push_back(ev);
 }
 

@@ -47,7 +47,7 @@ class TraceSink {
  private:
   mutable std::mutex mu_;
   size_t max_events_;
-  uint64_t base_ns_ = 0;  // first event's start; makes ts small and stable
+  uint64_t base_ns_ = 0;  // min start over events; makes ts small and exact
   uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };

@@ -1,6 +1,9 @@
 #include "ptl/closure.h"
 
 #include "common/flat/flat_map.h"
+#include "ptl/nnf.h"
+#include "ptl/progress.h"
+#include "ptl/tableau.h"
 
 namespace tic {
 namespace ptl {
@@ -176,6 +179,57 @@ Result<Closure> Closure::Build(Factory* factory, Formula nnf) {
     }
   }
   return cl;
+}
+
+Result<CollapseExplanation> ExplainCollapse(Factory* factory, Formula last_live,
+                                            const PropState& w,
+                                            size_t max_sat_checks) {
+  Formula nnf = ToNnf(factory, last_live);
+  TIC_ASSIGN_OR_RETURN(Closure closure, Closure::Build(factory, nnf));
+  CollapseExplanation best;
+  // Pass 1: members that progress to False under `w` — the syntactic
+  // collapse the automaton/progression backends detect. Smallest wins: the
+  // tightest subformula is the most useful explanation.
+  for (uint32_t i = 0; i < closure.size(); ++i) {
+    Formula m = closure.member(i);
+    if (m->kind() == Kind::kTrue || m->kind() == Kind::kFalse) continue;
+    Result<Formula> prog = Progress(factory, m, w);
+    if (!prog.ok()) continue;
+    if ((*prog)->kind() != Kind::kFalse) continue;
+    if (best.subformula == nullptr || m->size() < best.subformula->size()) {
+      best.subformula = m;
+      best.closure_index = i;
+      best.progressed_to_false = true;
+    }
+  }
+  if (best.subformula != nullptr) return best;
+  // Pass 2: tableau-unsat without syntactic collapse (e.g. `a & !a` split
+  // across conjuncts of a progressed residual). CheckSat per member is
+  // exponential in the worst case, hence the cap — this runs once per
+  // violation, not per update.
+  TableauOptions topts;
+  size_t checks = 0;
+  for (uint32_t i = 0; i < closure.size() && checks < max_sat_checks; ++i) {
+    Formula m = closure.member(i);
+    if (m->kind() == Kind::kTrue || m->kind() == Kind::kFalse) continue;
+    if (best.subformula != nullptr && m->size() >= best.subformula->size()) {
+      continue;
+    }
+    Result<Formula> prog = Progress(factory, m, w);
+    if (!prog.ok() || (*prog)->kind() == Kind::kTrue) continue;
+    ++checks;
+    Result<SatResult> sat = CheckSat(factory, *prog, topts);
+    if (!sat.ok() || sat->satisfiable) continue;
+    best.subformula = m;
+    best.closure_index = i;
+    best.progressed_to_false = false;
+  }
+  if (best.subformula == nullptr) {
+    // Nothing smaller explains it; point at the whole residual.
+    best.subformula = nnf;
+    best.closure_index = closure.root();
+  }
+  return best;
 }
 
 }  // namespace ptl

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "ptl/bitset.h"
 #include "ptl/formula.h"
+#include "ptl/word.h"
 
 namespace tic {
 namespace ptl {
@@ -73,6 +74,28 @@ class Closure {
   FlatBits obligation_mask_;
   uint32_t root_ = 0;
 };
+
+/// \brief Back-reference from a collapsed monitor state to the closure: which
+/// subformula of the last live residual became unsatisfiable when letter `w`
+/// was consumed.
+struct CollapseExplanation {
+  Formula subformula = nullptr;  ///< closure member (NNF of the residual)
+  uint32_t closure_index = Closure::kNone;
+  bool progressed_to_false = false;  ///< false: unsat found via CheckSat
+};
+
+/// \brief Explains a residual collapse for verdict provenance: builds the
+/// Fischer–Ladner closure of NNF(`last_live`) — the residual that entered the
+/// violating state — and returns the smallest member that is unsatisfiable
+/// after consuming `w`: first the smallest member that progresses to False
+/// outright, otherwise (tableau-unsat without syntactic collapse) the
+/// smallest member whose progression CheckSat refutes, capped at
+/// `max_sat_checks` tableau runs. Falls back to the closure root when nothing
+/// smaller explains the collapse, so the result is always usable. Cold-path
+/// only — called once per monitor death, never per update.
+Result<CollapseExplanation> ExplainCollapse(Factory* factory, Formula last_live,
+                                            const PropState& w,
+                                            size_t max_sat_checks = 128);
 
 }  // namespace ptl
 }  // namespace tic

@@ -512,6 +512,8 @@ Result<std::shared_ptr<TransitionSystem>> TransitionSystem::Compile(
   ts->initial_set_ = r.InternSet(std::move(initial));
 
   if (!ts->safe_) TIC_RETURN_NOT_OK(r.MaterializeAndSolve());
+  TIC_RECORD(kAutomatonCompile, r.closure.size(), r.alphabet.size(),
+             r.set_by_id.size());
   return ts;
 }
 

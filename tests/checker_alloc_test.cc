@@ -15,6 +15,7 @@
 #include "checker/monitor.h"
 #include "common/flat/flat_map.h"
 #include "common/flat/flat_set.h"
+#include "common/telemetry/recorder.h"
 #include "fotl/parser.h"
 #include "ptl/word.h"
 #include "testing/alloc_count.h"
@@ -132,6 +133,74 @@ TEST_F(AllocCountTest, SteadyStateCohortGatherAllocatesNothing) {
   EXPECT_EQ(window.allocations(), 0u)
       << "warmed cohort gather updates must not touch the heap";
   EXPECT_EQ(window.deallocations(), 0u);
+}
+
+// The flight recorder rides the hot path (TIC_RECORD in ApplyTransaction and
+// the letter-flip loop), so the zero-allocation bound must hold WITH the
+// recorder demonstrably recording: rings are pre-created by Monitor::Create
+// (telemetry::EnsureThreadRing) and a slot write is seven atomic stores into
+// a fixed ring — no heap. A recurring non-empty delta keeps events flowing
+// through the measured window.
+TEST_F(AllocCountTest, SteadyStateStepWithRecorderEnabledAllocatesNothing) {
+  ASSERT_TRUE(testing::AllocCountingAvailable());
+#ifdef TIC_TELEMETRY_ENABLED
+  telemetry::SetRecorderEnabled(true);
+  auto m = *Monitor::Create(fac_, submit_once_);
+  ASSERT_EQ(m->options().backend, MonitorBackend::kAutomaton);
+
+  Transaction fill = Txn({}, {11});
+  Transaction unfill;
+  unfill.push_back(UpdateOp::Delete(fill_, {11}));
+  ASSERT_TRUE(m->ApplyTransaction(Txn({7}, {})).ok());
+  Transaction retract;
+  retract.push_back(UpdateOp::Delete(sub_, {7}));
+  ASSERT_TRUE(m->ApplyTransaction(retract).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(fill).ok());
+    ASSERT_TRUE(m->ApplyTransaction(unfill).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(m->ApplyTransaction(Transaction{}).ok());
+  }
+
+  const uint64_t events_before = telemetry::SnapshotRecorder().size() +
+                                 telemetry::RecorderDropped();
+  testing::ResetAllocCounts();
+  {
+    testing::AllocWindow window;
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(m->ApplyTransaction(Transaction{}).ok());
+    }
+    // The memo-hit empty update records kTxnApplied and stays heap-free.
+    EXPECT_EQ(window.allocations(), 0u)
+        << "recorder-on steady-state updates must not touch the heap";
+    EXPECT_EQ(window.deallocations(), 0u);
+  }
+  {
+    // Warmed recurring delta WITH letter flips: the db-side state copy
+    // allocates (as RecurringDeltaStaysFlat documents), but turning the
+    // recorder off must not change the monitor-side count — i.e. recording
+    // the kLetterFlip events is itself allocation-free.
+    testing::AllocWindow with_recorder;
+    ASSERT_TRUE(m->ApplyTransaction(fill).ok());
+    ASSERT_TRUE(m->ApplyTransaction(unfill).ok());
+    uint64_t on_cost = with_recorder.allocations();
+    telemetry::SetRecorderEnabled(false);
+    testing::AllocWindow without_recorder;
+    ASSERT_TRUE(m->ApplyTransaction(fill).ok());
+    ASSERT_TRUE(m->ApplyTransaction(unfill).ok());
+    telemetry::SetRecorderEnabled(true);
+    EXPECT_EQ(on_cost, without_recorder.allocations())
+        << "recording letter flips must cost zero allocations";
+  }
+  const uint64_t events_after = telemetry::SnapshotRecorder().size() +
+                                telemetry::RecorderDropped();
+  EXPECT_GT(events_after, events_before)
+      << "the gate is vacuous unless events were actually recorded";
+  ASSERT_TRUE(m->last_verdict().potentially_satisfied);
+#else
+  GTEST_SKIP() << "recorder compiled out (TIC_TELEMETRY=OFF)";
+#endif
 }
 
 // Cohort growth is O(delta), not O(population): appending one fresh element

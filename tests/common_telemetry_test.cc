@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "checker/monitor.h"
@@ -328,6 +330,96 @@ TEST_F(TelemetryTest, AutomatonBackendEmitsStepSpansAndMemoCounters) {
   ASSERT_TRUE(ValidateChromeTrace(sink->SerializeChromeTrace(), &error, &num_events))
       << error;
   EXPECT_GE(num_events, 60u);
+}
+
+// Pinned percentile regression: 1000 uniform samples 0..999. The old
+// bucket-upper-bound estimator returned the bucket ceiling (p50 = 511,
+// p95 = p99 = 1023 — off by up to 2x); with within-bucket interpolation the
+// estimates must land within one interpolation step of the exact ranks.
+TEST_F(TelemetryTest, PercentilesInterpolateWithinLogBuckets) {
+  Histogram h;
+  for (uint64_t v = 0; v < 1000; ++v) h.Record(v);
+  HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 1000u);
+  EXPECT_EQ(d.max, 999u);
+  EXPECT_NEAR(static_cast<double>(d.ApproxPercentile(0.50)), 499.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(d.ApproxPercentile(0.95)), 949.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(d.ApproxPercentile(0.99)), 989.0, 8.0);
+  EXPECT_LE(d.ApproxPercentile(1.0), d.max);
+}
+
+// Satellite coverage for the Chrome-trace exporter under concurrency: pool
+// workers emit NESTED spans in parallel through one shared sink. Within each
+// tid the span intervals must form a proper stack — every pair of spans
+// either disjoint or fully nested, never partially overlapping — and the
+// serialized trace must still validate. Run under the tsan preset.
+TEST_F(TelemetryTest, ConcurrentNestedSpansKeepPerTidNesting) {
+  auto sink = std::make_shared<TraceSink>();
+  SetTraceSink(sink);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([] {
+        for (int i = 0; i < 12; ++i) {
+          TIC_SPAN("outer");
+          {
+            TIC_SPAN("mid");
+            { TIC_SPAN("leaf"); }
+            { TIC_SPAN("leaf"); }
+          }
+          { TIC_SPAN("mid"); }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  SetTraceSink(nullptr);
+  ASSERT_EQ(sink->size(), 4u * 12u * 5u);
+
+  std::string text = sink->SerializeChromeTrace();
+  std::string error;
+  size_t num_events = 0;
+  ASSERT_TRUE(ValidateChromeTrace(text, &error, &num_events)) << error;
+  ASSERT_EQ(num_events, sink->size());
+
+  std::string parse_error;
+  auto doc = ParseJson(text, &parse_error);
+  ASSERT_TRUE(doc.has_value()) << parse_error;
+  struct Span {
+    std::string name;
+    double ts, dur;
+  };
+  std::map<int, std::vector<Span>> by_tid;
+  for (const JsonValue& e : doc->Find("traceEvents")->array) {
+    by_tid[static_cast<int>(e.Find("tid")->number)].push_back(
+        Span{e.Find("name")->string, e.Find("ts")->number,
+             e.Find("dur")->number});
+  }
+  ASSERT_GE(by_tid.size(), 2u) << "spans did not come from multiple threads";
+  // Serialization order is completion order, so within a tid a child precedes
+  // its enclosing parent, and ts must be non-decreasing along same-name
+  // sibling spans. The structural check below subsumes both: no partial
+  // interval overlap within a tid (µs rounding gets a small tolerance).
+  constexpr double kTolUs = 0.0015;
+  for (const auto& [tid, spans] : by_tid) {
+    for (size_t i = 0; i < spans.size(); ++i) {
+      for (size_t j = i + 1; j < spans.size(); ++j) {
+        const Span& a = spans[i];
+        const Span& b = spans[j];
+        const double a_end = a.ts + a.dur, b_end = b.ts + b.dur;
+        const bool disjoint =
+            a_end <= b.ts + kTolUs || b_end <= a.ts + kTolUs;
+        const bool a_in_b =
+            a.ts >= b.ts - kTolUs && a_end <= b_end + kTolUs;
+        const bool b_in_a =
+            b.ts >= a.ts - kTolUs && b_end <= a_end + kTolUs;
+        ASSERT_TRUE(disjoint || a_in_b || b_in_a)
+            << "tid " << tid << ": interleaved spans " << a.name << " ["
+            << a.ts << ", " << a_end << ") and " << b.name << " [" << b.ts
+            << ", " << b_end << ")";
+      }
+    }
+  }
 }
 
 #else  // !TIC_TELEMETRY_ENABLED
